@@ -1,0 +1,72 @@
+//! E7 — scalability of the ad-hoc ("virtual ETL") pipeline: wall time of
+//! each stage as the input grows, with and without blocking.
+
+use hummer_bench::{f3, ms, render_table};
+use hummer_core::{Hummer, HummerConfig, MatcherConfig, SniffConfig};
+use hummer_datagen::{cluster_pair_metrics, generate, DirtyConfig, EntityKind, SourceSpec};
+use hummer_dupdetect::CandidateSpec;
+
+fn main() {
+    println!("E7 — pipeline scalability (two heterogeneous person sources)\n");
+    let mut rows = Vec::new();
+    for n in [100usize, 500, 1000, 2000, 5000] {
+        let w = generate(&DirtyConfig {
+            kind: EntityKind::Person,
+            entities: n,
+            sources: vec![
+                SourceSpec::plain("A"),
+                SourceSpec::plain("B")
+                    .rename("Name", "FullName")
+                    .rename("City", "Town")
+                    .shuffled(),
+            ],
+            coverage: 0.7,
+            typo_rate: 0.08,
+            null_rate: 0.05,
+            conflict_rate: 0.1,
+            dup_within_source: 0.0,
+            seed: n as u64,
+        });
+
+        for (label, blocking) in [("all-pairs", false), ("blocking", true)] {
+            let mut config = HummerConfig {
+                matcher: MatcherConfig {
+                    sniff: SniffConfig { top_k: 10, min_similarity: 0.3, ..Default::default() },
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            if blocking {
+                config.detector.candidates = CandidateSpec::SortedNeighborhood {
+                    key: vec!["Name".into()],
+                    window: 15,
+                };
+            }
+            let mut h = Hummer::with_config(config);
+            for s in &w.sources {
+                h.repository_mut()
+                    .register_table(s.table.name().to_string(), s.table.clone())
+                    .unwrap();
+            }
+            let out = h.fuse_sources(&["A", "B"], &[]).unwrap();
+            let pr = cluster_pair_metrics(&out.detection.cluster_ids, &w.gold_union_entity_ids());
+            rows.push(vec![
+                out.integrated.len().to_string(),
+                label.to_string(),
+                ms(out.timings.matching),
+                ms(out.timings.transformation),
+                ms(out.timings.detection),
+                ms(out.timings.fusion),
+                ms(out.timings.total()),
+                f3(pr.f1()),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["rows", "strategy", "match_ms", "xform_ms", "detect_ms", "fuse_ms", "total_ms", "dupF1"],
+            &rows
+        )
+    );
+}

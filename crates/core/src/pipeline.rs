@@ -1,0 +1,363 @@
+//! The HumMer facade: fully automatic data fusion.
+//!
+//! "Guided by a query against multiple tables, HumMer proceeds in three
+//! fully automated steps: instance-based schema matching [...], duplicate
+//! detection [...], data fusion and conflict resolution" (abstract).
+//!
+//! Two modes, as in §3:
+//! * [`Hummer::query`] — the basic SQL interface: `FUSE FROM` queries over
+//!   heterogeneous sources are pre-aligned by schema matching (renaming
+//!   favors the first source in the query), then executed;
+//! * [`Hummer::fuse_sources`] — the automatic end-to-end pipeline the
+//!   wizard drives: match → transform → detect duplicates → fuse by
+//!   `objectID` (the step-wise, adjustable variant lives in
+//!   [`crate::wizard`]).
+
+use crate::error::Result;
+use crate::repository::MetadataRepository;
+use hummer_dupdetect::{
+    annotate_object_ids, detect_duplicates, DetectionResult, DetectorConfig, OBJECT_ID_COLUMN,
+};
+use hummer_fusion::{
+    fuse, FunctionRegistry, FusionSpec, Lineage, ResolutionSpec, SampleConflict,
+};
+use hummer_matching::{apply_renames, integrate, match_star, MatchResult, MatcherConfig};
+use hummer_query::{parse, QueryOutput, TableSet};
+use hummer_engine::Table;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time spent in each pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Schema matching (DUMAS over all table pairs).
+    pub matching: Duration,
+    /// Renaming + `sourceID` + full outer union.
+    pub transformation: Duration,
+    /// Duplicate detection.
+    pub detection: Duration,
+    /// Conflict resolution / fusion.
+    pub fusion: Duration,
+}
+
+impl StageTimings {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.matching + self.transformation + self.detection + self.fusion
+    }
+}
+
+/// Everything the automatic pipeline produced (the intermediate artifacts
+/// are what the demo GUI visualizes at each step).
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// The clean, consistent, fused result (bookkeeping columns dropped).
+    pub result: Table,
+    /// Per-cell lineage of `result` (color-coding support).
+    pub lineage: Lineage,
+    /// Sampled conflicts that were resolved.
+    pub sample_conflicts: Vec<SampleConflict>,
+    /// Total number of resolved cell-level conflicts.
+    pub conflict_count: usize,
+    /// Schema-matching results (preferred table vs. each other table).
+    pub match_results: Vec<MatchResult>,
+    /// The integrated table (after transformation, before detection).
+    pub integrated: Table,
+    /// The duplicate-detection result over `integrated`.
+    pub detection: DetectionResult,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct HummerConfig {
+    /// Schema-matching parameters.
+    pub matcher: MatcherConfig,
+    /// Duplicate-detection parameters.
+    pub detector: DetectorConfig,
+}
+
+/// The HumMer system: a metadata repository plus configured components.
+#[derive(Debug, Default)]
+pub struct Hummer {
+    repository: MetadataRepository,
+    config: HummerConfig,
+    registry: FunctionRegistry,
+}
+
+impl Hummer {
+    /// A HumMer with default configuration and an empty repository.
+    pub fn new() -> Self {
+        Hummer::default()
+    }
+
+    /// A HumMer with explicit configuration.
+    pub fn with_config(config: HummerConfig) -> Self {
+        Hummer { repository: MetadataRepository::new(), config, registry: FunctionRegistry::standard() }
+    }
+
+    /// The metadata repository (read).
+    pub fn repository(&self) -> &MetadataRepository {
+        &self.repository
+    }
+
+    /// The metadata repository (register/deregister sources).
+    pub fn repository_mut(&mut self) -> &mut MetadataRepository {
+        &mut self.repository
+    }
+
+    /// The resolution-function registry (register custom functions here).
+    pub fn registry_mut(&mut self) -> &mut FunctionRegistry {
+        &mut self.registry
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &HummerConfig {
+        &self.config
+    }
+
+    /// The pipeline configuration (mutable).
+    pub fn config_mut(&mut self) -> &mut HummerConfig {
+        &mut self.config
+    }
+
+    /// Run the fully automatic pipeline over the given source aliases:
+    /// schema matching → transformation → duplicate detection → fusion.
+    ///
+    /// `resolutions` assigns per-column conflict-resolution functions
+    /// (columns named in the *preferred* — first — source's schema);
+    /// everything else defaults to `COALESCE`.
+    pub fn fuse_sources(
+        &self,
+        aliases: &[&str],
+        resolutions: &[(String, ResolutionSpec)],
+    ) -> Result<PipelineOutcome> {
+        let mut timings = StageTimings::default();
+
+        // Fetch sources.
+        let tables: Vec<&Table> = aliases
+            .iter()
+            .map(|a| self.repository.get(a))
+            .collect::<Result<_>>()?;
+
+        // 1. Schema matching.
+        let t0 = Instant::now();
+        let match_results = match_star(&tables, &self.config.matcher);
+        timings.matching = t0.elapsed();
+
+        // 2. Transformation: rename → sourceID → full outer union.
+        let t0 = Instant::now();
+        let integrated = integrate(&tables, &match_results, "Integrated")?;
+        timings.transformation = t0.elapsed();
+
+        // 3. Duplicate detection → objectID.
+        let t0 = Instant::now();
+        let detection = detect_duplicates(&integrated, &self.config.detector)
+            .map_err(hummer_engine::EngineError::from)?;
+        let annotated = annotate_object_ids(&integrated, &detection)?;
+        timings.detection = t0.elapsed();
+
+        // 4. Fusion by objectID.
+        let t0 = Instant::now();
+        let mut spec = FusionSpec::by_key(vec![OBJECT_ID_COLUMN])
+            .drop_column(OBJECT_ID_COLUMN)
+            .drop_column(hummer_matching::SOURCE_ID_COLUMN);
+        for (col, rspec) in resolutions {
+            spec = spec.resolve(col.clone(), rspec.clone());
+        }
+        let fused = fuse(&annotated, &spec, &self.registry)?;
+        timings.fusion = t0.elapsed();
+
+        Ok(PipelineOutcome {
+            result: fused.table,
+            lineage: fused.lineage,
+            sample_conflicts: fused.sample_conflicts,
+            conflict_count: fused.conflict_count,
+            match_results,
+            integrated,
+            detection,
+            timings,
+        })
+    }
+
+    /// Execute a Fuse By query (the "basic SQL interface" mode).
+    ///
+    /// For `FUSE FROM` over multiple heterogeneous sources, schema matching
+    /// aligns the non-preferred tables to the first table's attribute names
+    /// before execution — so the query can "use only column names of one of
+    /// the tables to be fused" (§2.1).
+    pub fn query(&self, sql: &str) -> Result<QueryOutput> {
+        let q = parse(sql)?;
+        if q.from.fuse && q.from.tables.len() > 1 {
+            // Pre-align with schema matching.
+            let tables: Vec<&Table> = q
+                .from
+                .tables
+                .iter()
+                .map(|a| self.repository.get(a))
+                .collect::<Result<_>>()?;
+            let matches = match_star(&tables, &self.config.matcher);
+            let mut aligned = TableSet::new();
+            aligned.add(tables[0].clone());
+            for (t, m) in tables[1..].iter().zip(&matches) {
+                aligned.add(apply_renames(t, m)?);
+            }
+            Ok(hummer_query::execute(&q, &aligned, &self.registry)?)
+        } else {
+            Ok(hummer_query::execute(&q, &self.repository, &self.registry)?)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::{table, Value};
+    use hummer_matching::SniffConfig;
+
+    /// Heterogeneous student sources with duplicates and conflicts.
+    fn hummer() -> Hummer {
+        let mut h = Hummer::with_config(HummerConfig {
+            matcher: MatcherConfig {
+                sniff: SniffConfig { min_similarity: 0.2, ..Default::default() },
+                ..Default::default()
+            },
+            // Narrow 2-3 column schemas carry little evidence mass, so the
+            // duplicate threshold sits lower than the wide-schema default —
+            // exactly the knob wizard step 3 exposes.
+            detector: DetectorConfig {
+                threshold: 0.7,
+                unsure_threshold: 0.55,
+                ..Default::default()
+            },
+        });
+        h.repository_mut()
+            .register_table(
+                "EE_Student",
+                table! {
+                    "EE_Student" => ["Name", "Age", "City"];
+                    ["John Smith", 24, "Berlin"],
+                    ["Mary Jones", 22, "Hamburg"],
+                    ["Peter Miller", 27, "Munich"],
+                },
+            )
+            .unwrap();
+        h.repository_mut()
+            .register_table(
+                "CS_Students",
+                table! {
+                    "CS_Students" => ["FullName", "Years", "Town"];
+                    ["John Smith", 25, "Berlin"],
+                    ["Mary Jones", 22, "Hamburg"],
+                    ["Ada Lovelace", 28, "London"],
+                },
+            )
+            .unwrap();
+        h
+    }
+
+    #[test]
+    fn automatic_pipeline_end_to_end() {
+        let h = hummer();
+        let out = h
+            .fuse_sources(
+                &["EE_Student", "CS_Students"],
+                &[("Age".to_string(), ResolutionSpec::named("max"))],
+            )
+            .unwrap();
+        // 4 distinct people out of 6 rows.
+        assert_eq!(out.result.len(), 4, "{}", out.result.pretty());
+        // Schema is the preferred one (plus unmatched extras), bookkeeping dropped.
+        assert!(out.result.schema().contains("Name"));
+        assert!(out.result.schema().contains("Age"));
+        assert!(!out.result.schema().contains("objectID"));
+        assert!(!out.result.schema().contains("sourceID"));
+        // John's age conflict resolved by max.
+        let name = out.result.resolve("Name").unwrap();
+        let age = out.result.resolve("Age").unwrap();
+        let john = out
+            .result
+            .rows()
+            .iter()
+            .find(|r| r[name] == Value::text("John Smith"))
+            .expect("john fused");
+        assert_eq!(john[age], Value::Int(25));
+        // Intermediate artifacts exposed.
+        assert_eq!(out.integrated.len(), 6);
+        assert_eq!(out.detection.object_count(), 4);
+        assert!(out.conflict_count >= 1);
+        assert_eq!(out.match_results.len(), 1);
+    }
+
+    #[test]
+    fn lineage_shows_merged_sources() {
+        let h = hummer();
+        let out = h.fuse_sources(&["EE_Student", "CS_Students"], &[]).unwrap();
+        let name = out.result.resolve("Name").unwrap();
+        let sources = out.lineage.all_sources();
+        assert_eq!(sources, vec!["CS_Students".to_string(), "EE_Student".to_string()]);
+        // Some fused cell carries provenance.
+        let any_pure = (0..out.result.len()).any(|r| out.lineage.cell(r, name).is_pure());
+        assert!(any_pure);
+    }
+
+    #[test]
+    fn query_mode_aligns_schemas_first() {
+        let h = hummer();
+        // CS_Students has FullName/Years/Town, but the query may speak the
+        // preferred (EE) schema thanks to automatic matching.
+        let out = h
+            .query(
+                "SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)",
+            )
+            .unwrap();
+        assert_eq!(out.table.len(), 4);
+        let john = out
+            .table
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::text("John Smith"))
+            .unwrap();
+        assert_eq!(john[1], Value::Int(25));
+    }
+
+    #[test]
+    fn plain_query_passes_through() {
+        let h = hummer();
+        let out = h.query("SELECT Name FROM EE_Student WHERE Age > 23 ORDER BY Name").unwrap();
+        assert_eq!(out.table.len(), 2);
+    }
+
+    #[test]
+    fn unknown_alias_errors() {
+        let h = hummer();
+        assert!(h.fuse_sources(&["Nope"], &[]).is_err());
+        assert!(h.query("SELECT * FROM Nope").is_err());
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let h = hummer();
+        let out = h.fuse_sources(&["EE_Student", "CS_Students"], &[]).unwrap();
+        assert!(out.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn single_source_cleansing() {
+        // The online data-cleansing service scenario: one dirty table.
+        let mut h = hummer();
+        h.repository_mut()
+            .register_table(
+                "Dump",
+                table! {
+                    "Dump" => ["Name", "City"];
+                    ["Jon Smith", "Berlin"],
+                    ["John Smith", "Berlin"],
+                    ["Mary Jones", "Hamburg"],
+                },
+            )
+            .unwrap();
+        let out = h.fuse_sources(&["Dump"], &[]).unwrap();
+        assert_eq!(out.result.len(), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Deterministic entity synthesis: the clean "real world" that dirty
+//! sources are derived from.
+//!
+//! The original demo used hand-collected data (CD shops, tsunami records,
+//! student rosters) that was never published; we synthesize worlds with the
+//! same shape and a *known gold standard* (see DESIGN.md §3).
+
+use hummer_engine::{row, Date, Row, Table, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// First-name pool (mixed origins, as in the demo's multinational data).
+pub const FIRST_NAMES: [&str; 40] = [
+    "John", "Mary", "Peter", "Anna", "Michael", "Laura", "Thomas", "Julia", "Robert", "Emma",
+    "Daniel", "Sophie", "Andreas", "Marie", "Stefan", "Clara", "Martin", "Eva", "Paul", "Lena",
+    "Markus", "Nina", "Felix", "Sarah", "Jonas", "Mia", "Lukas", "Hannah", "David", "Laila",
+    "Karim", "Aisha", "Ravi", "Priya", "Chen", "Mei", "Kenji", "Yuki", "Carlos", "Lucia",
+];
+
+/// Last-name pool.
+pub const LAST_NAMES: [&str; 40] = [
+    "Smith", "Jones", "Miller", "Brown", "Wilson", "Taylor", "Davies", "Evans", "Thomas",
+    "Johnson", "Schmidt", "Mueller", "Schneider", "Fischer", "Weber", "Meyer", "Wagner",
+    "Becker", "Hoffmann", "Koch", "Richter", "Klein", "Wolf", "Neumann", "Schwarz", "Krueger",
+    "Hartmann", "Lange", "Werner", "Krause", "Lehmann", "Maier", "Huber", "Fuchs", "Vogel",
+    "Keller", "Frank", "Berger", "Winkler", "Roth",
+];
+
+/// City pool.
+pub const CITIES: [&str; 24] = [
+    "Berlin", "Hamburg", "Munich", "Cologne", "Frankfurt", "Stuttgart", "Dresden", "Leipzig",
+    "Hannover", "Bremen", "Potsdam", "Rostock", "Kiel", "Erfurt", "Mainz", "Trondheim",
+    "Oslo", "Bergen", "Vienna", "Zurich", "Basel", "Prague", "Amsterdam", "Antwerp",
+];
+
+/// Band/artist pool for the CD-shopping scenario.
+pub const ARTISTS: [&str; 20] = [
+    "The Beatles", "Pink Floyd", "Led Zeppelin", "Queen", "The Rolling Stones", "David Bowie",
+    "Radiohead", "Nirvana", "Miles Davis", "John Coltrane", "Johnny Cash", "Bob Dylan",
+    "Aretha Franklin", "Stevie Wonder", "Kraftwerk", "Daft Punk", "Portishead", "Bjork",
+    "Herbie Hancock", "The Clash",
+];
+
+/// Album-title word pools (combined to synthesize distinct titles).
+pub const TITLE_HEADS: [&str; 16] = [
+    "Abbey", "Dark", "Electric", "Golden", "Silent", "Midnight", "Crimson", "Blue", "Wild",
+    "Broken", "Endless", "Neon", "Paper", "Velvet", "Hollow", "Distant",
+];
+
+/// Album-title tails.
+pub const TITLE_TAILS: [&str; 16] = [
+    "Road", "Side", "Dreams", "Hours", "Echoes", "Mirror", "Garden", "Harvest", "River",
+    "Signals", "Horizon", "Letters", "Shadows", "Machine", "Stations", "Fields",
+];
+
+/// Music genres.
+pub const GENRES: [&str; 8] =
+    ["Rock", "Pop", "Jazz", "Electronic", "Folk", "Blues", "Classical", "Soul"];
+
+/// Villages for the disaster-registry scenario.
+pub const VILLAGES: [&str; 16] = [
+    "Kalmunai", "Batticaloa", "Trincomalee", "Galle", "Matara", "Hambantota", "Ampara",
+    "Mullaitivu", "Banda Aceh", "Meulaboh", "Calang", "Sigli", "Phuket", "Khao Lak",
+    "Nagapattinam", "Cuddalore",
+];
+
+/// Status values for disaster records.
+pub const STATUSES: [&str; 4] = ["missing", "found", "hospitalized", "evacuated"];
+
+/// Hospital names for disaster records.
+pub const HOSPITALS: [&str; 8] = [
+    "General Hospital", "St. Mary Clinic", "Red Cross Station", "Field Hospital 3",
+    "Coastal Medical Center", "District Clinic", "Mobile Unit A", "Mercy Hospital",
+];
+
+/// A kind of real-world entity to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityKind {
+    /// People: `Name, City, Age, Phone` (students, customers).
+    Person,
+    /// CDs in a shop catalog: `Artist, Title, Year, Price, Genre`.
+    Cd,
+    /// Disaster-registry records:
+    /// `Name, Village, Status, Hospital, LastSeen`.
+    DisasterRecord,
+}
+
+impl EntityKind {
+    /// The canonical (preferred-schema) column names of this kind.
+    pub fn columns(&self) -> &'static [&'static str] {
+        match self {
+            EntityKind::Person => &["Name", "City", "Age", "Phone"],
+            EntityKind::Cd => &["Artist", "Title", "Year", "Price", "Genre"],
+            EntityKind::DisasterRecord => &["Name", "Village", "Status", "Hospital", "LastSeen"],
+        }
+    }
+
+    /// Synthesize the clean row of entity `id` using `rng` for the
+    /// free attributes. Entity identity (the fields that make two records
+    /// "the same object") is a deterministic function of `id`, so
+    /// duplicates of entity `id` agree on identity fields by construction.
+    pub fn make_row(&self, id: usize, rng: &mut StdRng) -> Row {
+        match self {
+            EntityKind::Person => {
+                let first = FIRST_NAMES[id % FIRST_NAMES.len()];
+                let last = LAST_NAMES[(id / FIRST_NAMES.len() + id) % LAST_NAMES.len()];
+                let city = CITIES[(id * 7 + 3) % CITIES.len()];
+                let age = 18 + ((id * 13) % 60) as i64;
+                let phone = format!("+49-{:03}-{:05}", (id * 37) % 900 + 100, (id * 971) % 90000 + 10000);
+                row![format!("{first} {last}"), city, age, phone]
+            }
+            EntityKind::Cd => {
+                let artist = ARTISTS[id % ARTISTS.len()];
+                let title = format!(
+                    "{} {}",
+                    TITLE_HEADS[(id / ARTISTS.len()) % TITLE_HEADS.len()],
+                    TITLE_TAILS[(id * 11 + 5) % TITLE_TAILS.len()]
+                );
+                let year = 1960 + ((id * 17) % 45) as i64;
+                let price = 5.0 + rng.gen_range(0..2500) as f64 / 100.0;
+                let genre = GENRES[(id * 3) % GENRES.len()];
+                row![artist, title, year, price, genre]
+            }
+            EntityKind::DisasterRecord => {
+                let first = FIRST_NAMES[(id * 3 + 1) % FIRST_NAMES.len()];
+                let last = LAST_NAMES[(id * 5 + 2) % LAST_NAMES.len()];
+                let village = VILLAGES[id % VILLAGES.len()];
+                let status = STATUSES[rng.gen_range(0..STATUSES.len())];
+                let hospital = if status == "hospitalized" {
+                    Value::text(HOSPITALS[id % HOSPITALS.len()])
+                } else {
+                    Value::Null
+                };
+                let day = (id % 27 + 1) as u8;
+                let date = Date::new(2004, 12, day).expect("valid day");
+                Row::from_values(vec![
+                    Value::text(format!("{first} {last}")),
+                    Value::text(village),
+                    Value::text(status),
+                    hospital,
+                    Value::Date(date),
+                ])
+            }
+        }
+    }
+
+    /// Build the clean table of `n` entities. Row index = entity id.
+    pub fn clean_table(&self, n: usize, rng: &mut StdRng) -> Table {
+        let rows: Vec<Row> = (0..n).map(|id| self.make_row(id, rng)).collect();
+        Table::from_rows(self.kind_name(), self.columns(), rows)
+            .expect("generated rows match schema")
+    }
+
+    /// A display name for the kind.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            EntityKind::Person => "Persons",
+            EntityKind::Cd => "CDs",
+            EntityKind::DisasterRecord => "DisasterRecords",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_tables_have_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [EntityKind::Person, EntityKind::Cd, EntityKind::DisasterRecord] {
+            let t = kind.clean_table(50, &mut rng);
+            assert_eq!(t.len(), 50);
+            assert_eq!(t.schema().len(), kind.columns().len());
+        }
+    }
+
+    #[test]
+    fn identity_fields_deterministic_per_id() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(999); // different rng
+        let a = EntityKind::Person.make_row(7, &mut r1);
+        let b = EntityKind::Person.make_row(7, &mut r2);
+        // Person rows are fully deterministic in id.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cd_identity_fields_stable_but_price_random() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let a = EntityKind::Cd.make_row(3, &mut r1);
+        let b = EntityKind::Cd.make_row(3, &mut r2);
+        assert_eq!(a[0], b[0]); // artist
+        assert_eq!(a[1], b[1]); // title
+        assert_eq!(a[2], b[2]); // year
+        // price differs between shops — that's the point of the scenario
+    }
+
+    #[test]
+    fn entities_are_mostly_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = EntityKind::Person.clean_table(200, &mut rng);
+        let mut names: Vec<String> = t.rows().iter().map(|r| r[0].to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert!(names.len() > 150, "name collisions too frequent: {}", names.len());
+    }
+
+    #[test]
+    fn disaster_hospital_consistent_with_status() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = EntityKind::DisasterRecord.clean_table(100, &mut rng);
+        let status = t.resolve("Status").unwrap();
+        let hospital = t.resolve("Hospital").unwrap();
+        for r in t.rows() {
+            if r[status] == Value::text("hospitalized") {
+                assert!(!r[hospital].is_null());
+            } else {
+                assert!(r[hospital].is_null());
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # hummer-datagen — workloads, gold standards, and metrics
+//!
+//! The original HumMer demo ran on hand-collected data (CD shop catalogs,
+//! tsunami-relief registries, student rosters) that was never published.
+//! This crate synthesizes worlds with the same *properties* — duplicates
+//! across autonomous sources, schematic heterogeneity, missing values, and
+//! contradictions — but with a machine-checkable gold standard, which is
+//! what the experiment suite in EXPERIMENTS.md evaluates against.
+//!
+//! * [`entities`] — deterministic clean worlds (persons, CDs, disaster
+//!   records),
+//! * [`noise`] — seeded typo / null / conflict injection,
+//! * [`generator`] — derive heterogeneous dirty sources with known row ↔
+//!   entity mapping and known attribute correspondences,
+//! * [`scenarios`] — the paper's §1 demo scenarios, pre-configured,
+//! * [`metrics`] — precision / recall / F1 for pairs, clusterings,
+//!   ranked candidate lists, and schema correspondences.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod entities;
+pub mod generator;
+pub mod metrics;
+pub mod noise;
+pub mod scenarios;
+
+pub use entities::EntityKind;
+pub use generator::{generate, DirtyConfig, GeneratedSource, GeneratedWorld, SourceSpec};
+pub use metrics::{
+    cluster_pair_metrics, correspondence_metrics, pair_metrics, precision_at_k, PrecisionRecall,
+};
+pub use noise::{dirty_value, perturb, typo, typos};

@@ -1,0 +1,199 @@
+//! Evaluation metrics: precision / recall / F1 for duplicate pairs,
+//! clusterings, and schema correspondences.
+
+use std::collections::HashSet;
+
+/// Precision and recall (with derived F1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// True positives / predicted positives (1.0 when nothing predicted).
+    pub precision: f64,
+    /// True positives / gold positives (1.0 when gold is empty).
+    pub recall: f64,
+}
+
+impl PrecisionRecall {
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision;
+        let r = self.recall;
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn normalize(pairs: &[(usize, usize)]) -> HashSet<(usize, usize)> {
+    pairs
+        .iter()
+        .map(|&(a, b)| (a.min(b), a.max(b)))
+        .collect()
+}
+
+/// Pair-level precision/recall of predicted duplicate pairs against gold
+/// pairs (order within a pair is ignored).
+pub fn pair_metrics(predicted: &[(usize, usize)], gold: &[(usize, usize)]) -> PrecisionRecall {
+    let p = normalize(predicted);
+    let g = normalize(gold);
+    let tp = p.intersection(&g).count() as f64;
+    PrecisionRecall {
+        precision: if p.is_empty() { 1.0 } else { tp / p.len() as f64 },
+        recall: if g.is_empty() { 1.0 } else { tp / g.len() as f64 },
+    }
+}
+
+/// Pairwise precision/recall of a clustering: every pair of rows sharing a
+/// predicted cluster id is a predicted pair, every pair sharing a gold id a
+/// gold pair. The standard pairwise clustering metric used in duplicate
+/// detection.
+pub fn cluster_pair_metrics(predicted_ids: &[usize], gold_ids: &[usize]) -> PrecisionRecall {
+    assert_eq!(
+        predicted_ids.len(),
+        gold_ids.len(),
+        "clusterings must label the same rows"
+    );
+    let pairs_of = |ids: &[usize]| -> HashSet<(usize, usize)> {
+        let mut by: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+        for (row, &id) in ids.iter().enumerate() {
+            by.entry(id).or_default().push(row);
+        }
+        let mut out = HashSet::new();
+        for members in by.values() {
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    out.insert((members[i], members[j]));
+                }
+            }
+        }
+        out
+    };
+    let p = pairs_of(predicted_ids);
+    let g = pairs_of(gold_ids);
+    let tp = p.intersection(&g).count() as f64;
+    PrecisionRecall {
+        precision: if p.is_empty() { 1.0 } else { tp / p.len() as f64 },
+        recall: if g.is_empty() { 1.0 } else { tp / g.len() as f64 },
+    }
+}
+
+/// Precision among the first `k` ranked pairs (DUMAS's "the most similar
+/// tuples are in fact duplicates" claim, measured). Returns 1.0 for `k = 0`.
+pub fn precision_at_k(
+    ranked: &[(usize, usize)],
+    gold: &[(usize, usize)],
+    k: usize,
+) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let g = normalize(gold);
+    let taken: Vec<(usize, usize)> = ranked
+        .iter()
+        .take(k)
+        .map(|&(a, b)| (a.min(b), a.max(b)))
+        .collect();
+    if taken.is_empty() {
+        return 1.0;
+    }
+    let tp = taken.iter().filter(|p| g.contains(p)).count();
+    tp as f64 / taken.len() as f64
+}
+
+/// Correspondence-level precision/recall: predicted `(label, canonical)`
+/// rename pairs against the gold mapping (both case-insensitive).
+pub fn correspondence_metrics(
+    predicted: &[(String, String)],
+    gold: &[(String, String)],
+) -> PrecisionRecall {
+    let norm = |pairs: &[(String, String)]| -> HashSet<(String, String)> {
+        pairs
+            .iter()
+            .map(|(a, b)| (a.to_ascii_lowercase(), b.to_ascii_lowercase()))
+            .collect()
+    };
+    let p = norm(predicted);
+    let g = norm(gold);
+    let tp = p.intersection(&g).count() as f64;
+    PrecisionRecall {
+        precision: if p.is_empty() { 1.0 } else { tp / p.len() as f64 },
+        recall: if g.is_empty() { 1.0 } else { tp / g.len() as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let gold = vec![(0, 1), (2, 3)];
+        let m = pair_metrics(&gold, &gold);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn order_within_pair_ignored() {
+        let m = pair_metrics(&[(1, 0)], &[(0, 1)]);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_prediction() {
+        let gold = vec![(0, 1), (2, 3), (4, 5)];
+        let pred = vec![(0, 1), (6, 7)];
+        let m = pair_metrics(&pred, &gold);
+        assert_eq!(m.precision, 0.5);
+        assert!((m.recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let m = pair_metrics(&[], &[]);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1(), 1.0);
+        let m2 = pair_metrics(&[], &[(0, 1)]);
+        assert_eq!(m2.precision, 1.0);
+        assert_eq!(m2.recall, 0.0);
+        assert_eq!(m2.f1(), 0.0);
+    }
+
+    #[test]
+    fn cluster_metrics_match_pair_view() {
+        // predicted: {0,1},{2},{3}; gold: {0,1,2},{3}
+        let m = cluster_pair_metrics(&[0, 0, 1, 2], &[0, 0, 0, 1]);
+        // predicted pairs: (0,1); gold pairs: (0,1),(0,2),(1,2)
+        assert_eq!(m.precision, 1.0);
+        assert!((m.recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same rows")]
+    fn cluster_metrics_len_mismatch_panics() {
+        cluster_pair_metrics(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn precision_at_k_prefix() {
+        let gold = vec![(0, 1), (2, 3)];
+        let ranked = vec![(0, 1), (2, 3), (4, 5), (6, 7)];
+        assert_eq!(precision_at_k(&ranked, &gold, 1), 1.0);
+        assert_eq!(precision_at_k(&ranked, &gold, 2), 1.0);
+        assert_eq!(precision_at_k(&ranked, &gold, 4), 0.5);
+        assert_eq!(precision_at_k(&ranked, &gold, 0), 1.0);
+        // k beyond ranked length uses what exists.
+        assert_eq!(precision_at_k(&ranked[..2], &gold, 10), 1.0);
+    }
+
+    #[test]
+    fn correspondence_case_insensitive() {
+        let pred = vec![("fullname".to_string(), "NAME".to_string())];
+        let gold = vec![("FullName".to_string(), "Name".to_string())];
+        let m = correspondence_metrics(&pred, &gold);
+        assert_eq!(m.f1(), 1.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Candidate-pair generation strategies.
+//!
+//! The naive strategy compares all O(n²) pairs. The paper's filter (an
+//! upper bound to the similarity measure, applied in
+//! [`crate::detector`]) prunes *evaluations*; blocking strategies here
+//! prune *candidates* before any similarity arithmetic runs:
+//!
+//! * [`CandidateStrategy::AllPairs`] — exhaustive, recall 1.0.
+//! * [`CandidateStrategy::SortedNeighborhood`] — the classic merge/purge
+//!   method: sort rows by a key, slide a window of width `w`, compare only
+//!   rows within a window. Near-linear, may miss pairs whose keys sort far
+//!   apart.
+
+use hummer_engine::Table;
+
+/// How candidate pairs are generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CandidateStrategy {
+    /// Every unordered pair (i < j).
+    AllPairs,
+    /// Sorted-neighborhood with the given key attributes and window width
+    /// (≥ 2). The key is the concatenated string rendering of the key
+    /// attributes' values.
+    SortedNeighborhood {
+        /// Column indices forming the sort key.
+        key_attrs: Vec<usize>,
+        /// Window width `w`: each row is paired with its `w − 1` successors
+        /// in key order.
+        window: usize,
+    },
+}
+
+/// Generate candidate pairs `(i, j)` with `i < j` under the strategy.
+pub fn candidate_pairs(table: &Table, strategy: &CandidateStrategy) -> Vec<(usize, usize)> {
+    let n = table.len();
+    match strategy {
+        CandidateStrategy::AllPairs => {
+            let mut out = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    out.push((i, j));
+                }
+            }
+            out
+        }
+        CandidateStrategy::SortedNeighborhood { key_attrs, window } => {
+            assert!(*window >= 2, "window must be at least 2");
+            // Sort row indices by the concatenated key.
+            let mut order: Vec<usize> = (0..n).collect();
+            let keys: Vec<String> = table
+                .rows()
+                .iter()
+                .map(|r| {
+                    let mut k = String::new();
+                    for &a in key_attrs {
+                        if let Some(t) = r[a].as_text() {
+                            k.push_str(&t.to_lowercase());
+                        }
+                        k.push('\u{1f}'); // field separator
+                    }
+                    k
+                })
+                .collect();
+            order.sort_by(|&a, &b| keys[a].cmp(&keys[b]).then(a.cmp(&b)));
+            let mut out = Vec::new();
+            for (pos, &i) in order.iter().enumerate() {
+                for &j in order.iter().skip(pos + 1).take(window - 1) {
+                    out.push((i.min(j), i.max(j)));
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::table;
+
+    fn t() -> Table {
+        table! {
+            "T" => ["Name"];
+            ["delta"],
+            ["alpha"],
+            ["alphb"],   // sorts right next to alpha
+            ["zeta"],
+        }
+    }
+
+    #[test]
+    fn all_pairs_count() {
+        let pairs = candidate_pairs(&t(), &CandidateStrategy::AllPairs);
+        assert_eq!(pairs.len(), 6); // C(4,2)
+        assert!(pairs.iter().all(|&(i, j)| i < j));
+    }
+
+    #[test]
+    fn sorted_neighborhood_pairs_close_keys() {
+        let s = CandidateStrategy::SortedNeighborhood { key_attrs: vec![0], window: 2 };
+        let pairs = candidate_pairs(&t(), &s);
+        // Sorted: alpha(1), alphb(2), delta(0), zeta(3) → neighbors only.
+        assert_eq!(pairs, vec![(0, 2), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn window_covers_all_when_large() {
+        let s = CandidateStrategy::SortedNeighborhood { key_attrs: vec![0], window: 10 };
+        let pairs = candidate_pairs(&t(), &s);
+        assert_eq!(pairs.len(), 6); // degenerates to all pairs
+    }
+
+    #[test]
+    fn fewer_candidates_than_all_pairs() {
+        // 50 rows, window 3 → ~2n pairs instead of n(n-1)/2.
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            rows.push(hummer_engine::row![format!("name{i:03}")]);
+        }
+        let t = hummer_engine::Table::from_rows("T", &["Name"], rows).unwrap();
+        let sn = candidate_pairs(
+            &t,
+            &CandidateStrategy::SortedNeighborhood { key_attrs: vec![0], window: 3 },
+        );
+        let all = candidate_pairs(&t, &CandidateStrategy::AllPairs);
+        assert!(sn.len() < all.len() / 5, "{} vs {}", sn.len(), all.len());
+    }
+
+    #[test]
+    fn null_keys_sort_together() {
+        let t = table! {
+            "T" => ["k"];
+            [()],
+            ["x"],
+            [()],
+        };
+        let s = CandidateStrategy::SortedNeighborhood { key_attrs: vec![0], window: 2 };
+        let pairs = candidate_pairs(&t, &s);
+        assert!(pairs.contains(&(0, 2))); // the two null-keyed rows pair up
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 2")]
+    fn tiny_window_panics() {
+        candidate_pairs(&t(), &CandidateStrategy::SortedNeighborhood { key_attrs: vec![0], window: 1 });
+    }
+
+    #[test]
+    fn empty_table_no_pairs() {
+        let t = table! { "E" => ["a"]; };
+        assert!(candidate_pairs(&t, &CandidateStrategy::AllPairs).is_empty());
+    }
+}

@@ -1,0 +1,424 @@
+//! The duplicate detector: candidate generation → filter → pairwise
+//! comparison → threshold classification → transitive closure → `objectID`.
+
+use crate::blocking::{candidate_pairs, CandidateStrategy};
+use crate::heuristics::{select_attributes, HeuristicConfig};
+use crate::measure::TupleSimilarity;
+use crate::unionfind::UnionFind;
+use hummer_engine::error::EngineError;
+use hummer_engine::{Column, ColumnType, Result, Table, Value};
+
+/// Name of the cluster column the detector appends: "the output of
+/// duplicate detection is the same as the input relation, but enriched by
+/// an objectID column for identification" (paper §2.3).
+pub const OBJECT_ID_COLUMN: &str = "objectID";
+
+/// Candidate generation specified by column *names* (resolved against the
+/// input table at detection time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CandidateSpec {
+    /// Compare every pair.
+    AllPairs,
+    /// Sorted-neighborhood blocking over the given key columns.
+    SortedNeighborhood {
+        /// Key column names (sort key is their concatenated rendering).
+        key: Vec<String>,
+        /// Window width (≥ 2).
+        window: usize,
+    },
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Compare only these columns; `None` runs the attribute-selection
+    /// heuristics (the demo's "adjust duplicate definition" step overrides
+    /// this).
+    pub attributes: Option<Vec<String>>,
+    /// Heuristic parameters used when `attributes` is `None`.
+    pub heuristics: HeuristicConfig,
+    /// Candidate-pair strategy.
+    pub candidates: CandidateSpec,
+    /// Pairs scoring at or above this are duplicates.
+    pub threshold: f64,
+    /// Pairs in `[unsure_threshold, threshold)` are "unsure cases" for the
+    /// user to decide (§3's three segments). Must be ≤ `threshold`.
+    pub unsure_threshold: f64,
+    /// Apply the cheap upper-bound filter before the full measure
+    /// (§2.3: "the number of pairwise comparisons are reduced by applying a
+    /// filter (upper bound to the similarity measure)").
+    pub use_filter: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            attributes: None,
+            heuristics: HeuristicConfig::default(),
+            candidates: CandidateSpec::AllPairs,
+            threshold: 0.75,
+            unsure_threshold: 0.6,
+            use_filter: true,
+        }
+    }
+}
+
+/// A scored row pair (`left < right`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DuplicatePair {
+    /// Smaller row index.
+    pub left: usize,
+    /// Larger row index.
+    pub right: usize,
+    /// Similarity under the tuple measure.
+    pub similarity: f64,
+}
+
+/// Counters describing how much work detection did (benchmarked in E5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectionStats {
+    /// Candidate pairs produced by the strategy.
+    pub candidates: usize,
+    /// Candidates discarded by the upper-bound filter without a full
+    /// comparison.
+    pub filtered_out: usize,
+    /// Full similarity evaluations performed.
+    pub compared: usize,
+}
+
+/// The detector's output, rich enough for the demo's "confirm duplicates"
+/// step: users can promote unsure pairs or reject accepted ones, then
+/// re-form the transitive closure with [`DetectionResult::recluster`].
+#[derive(Debug, Clone)]
+pub struct DetectionResult {
+    /// Accepted duplicate pairs (similarity ≥ threshold).
+    pub pairs: Vec<DuplicatePair>,
+    /// Unsure pairs (unsure_threshold ≤ similarity < threshold).
+    pub unsure: Vec<DuplicatePair>,
+    /// Dense cluster id per row (the future `objectID` values).
+    pub cluster_ids: Vec<usize>,
+    /// Clusters of row indices (singletons included), ordered by smallest
+    /// member.
+    pub clusters: Vec<Vec<usize>>,
+    /// Work counters.
+    pub stats: DetectionStats,
+    /// Names of the columns that were compared.
+    pub attributes_used: Vec<String>,
+}
+
+impl DetectionResult {
+    /// Promote the unsure pair `(left, right)` to a confirmed duplicate.
+    /// Returns false if no such unsure pair exists. Call
+    /// [`DetectionResult::recluster`] afterwards.
+    pub fn confirm_unsure(&mut self, left: usize, right: usize) -> bool {
+        let (l, r) = (left.min(right), left.max(right));
+        if let Some(pos) = self.unsure.iter().position(|p| p.left == l && p.right == r) {
+            let p = self.unsure.remove(pos);
+            self.pairs.push(p);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reject an accepted duplicate pair (user says "not the same object").
+    /// Returns false if the pair was not accepted. Call
+    /// [`DetectionResult::recluster`] afterwards.
+    pub fn reject_pair(&mut self, left: usize, right: usize) -> bool {
+        let (l, r) = (left.min(right), left.max(right));
+        let before = self.pairs.len();
+        self.pairs.retain(|p| !(p.left == l && p.right == r));
+        self.pairs.len() != before
+    }
+
+    /// Recompute the transitive closure from the current accepted pairs.
+    pub fn recluster(&mut self) {
+        let n = self.cluster_ids.len();
+        let mut uf = UnionFind::new(n);
+        for p in &self.pairs {
+            uf.union(p.left, p.right);
+        }
+        self.cluster_ids = uf.cluster_ids();
+        self.clusters = uf.clusters();
+    }
+
+    /// Number of detected real-world objects (clusters).
+    pub fn object_count(&self) -> usize {
+        self.clusters.len()
+    }
+}
+
+/// Run duplicate detection over a table.
+pub fn detect_duplicates(table: &Table, cfg: &DetectorConfig) -> Result<DetectionResult> {
+    if cfg.unsure_threshold > cfg.threshold {
+        return Err(EngineError::Expression(format!(
+            "unsure_threshold {} exceeds threshold {}",
+            cfg.unsure_threshold, cfg.threshold
+        )));
+    }
+    // Resolve comparison attributes.
+    let attrs: Vec<usize> = match &cfg.attributes {
+        Some(names) => names
+            .iter()
+            .map(|n| table.resolve(n))
+            .collect::<Result<_>>()?,
+        None => select_attributes(table, &cfg.heuristics),
+    };
+    if attrs.is_empty() {
+        return Err(EngineError::Expression(
+            "no usable attributes for duplicate detection (heuristics selected none)".into(),
+        ));
+    }
+    let attributes_used: Vec<String> = attrs
+        .iter()
+        .map(|&i| table.schema().column(i).name.clone())
+        .collect();
+
+    let strategy = match &cfg.candidates {
+        CandidateSpec::AllPairs => CandidateStrategy::AllPairs,
+        CandidateSpec::SortedNeighborhood { key, window } => {
+            let key_attrs: Vec<usize> = key
+                .iter()
+                .map(|n| table.resolve(n))
+                .collect::<Result<_>>()?;
+            CandidateStrategy::SortedNeighborhood { key_attrs, window: *window }
+        }
+    };
+
+    let measure = TupleSimilarity::new(table, attrs);
+    let candidates = candidate_pairs(table, &strategy);
+    let mut stats = DetectionStats { candidates: candidates.len(), ..Default::default() };
+
+    let mut pairs = Vec::new();
+    let mut unsure = Vec::new();
+    for (i, j) in candidates {
+        if cfg.use_filter && measure.upper_bound(table, i, j) < cfg.unsure_threshold {
+            stats.filtered_out += 1;
+            continue;
+        }
+        stats.compared += 1;
+        let s = measure.similarity(table, i, j);
+        if s >= cfg.threshold {
+            pairs.push(DuplicatePair { left: i, right: j, similarity: s });
+        } else if s >= cfg.unsure_threshold {
+            unsure.push(DuplicatePair { left: i, right: j, similarity: s });
+        }
+    }
+    pairs.sort_by(|a, b| b.similarity.total_cmp(&a.similarity));
+    unsure.sort_by(|a, b| b.similarity.total_cmp(&a.similarity));
+
+    let mut result = DetectionResult {
+        pairs,
+        unsure,
+        cluster_ids: vec![0; table.len()],
+        clusters: Vec::new(),
+        stats,
+        attributes_used,
+    };
+    result.recluster();
+    Ok(result)
+}
+
+/// Append the `objectID` column carrying each row's cluster id.
+pub fn annotate_object_ids(table: &Table, result: &DetectionResult) -> Result<Table> {
+    assert_eq!(
+        table.len(),
+        result.cluster_ids.len(),
+        "detection result must describe this table"
+    );
+    let mut out = table.clone();
+    out.add_column(Column::new(OBJECT_ID_COLUMN, ColumnType::Int), |i, _| {
+        Value::Int(result.cluster_ids[i] as i64)
+    })?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::table;
+
+    fn people() -> Table {
+        table! {
+            "People" => ["Name", "City", "Age"];
+            ["John Smith", "Berlin", 34],     // 0
+            ["Jon Smith", "Berlin", 34],      // 1 dup of 0
+            ["John Smith", (), 34],           // 2 dup of 0 (missing city)
+            ["Mary Jones", "Hamburg", 28],    // 3
+            ["Mary Jones", "Hamburg", 28],    // 4 dup of 3
+            ["Peter Miller", "Munich", 45],   // 5 singleton
+        }
+    }
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig { threshold: 0.75, unsure_threshold: 0.55, ..Default::default() }
+    }
+
+    #[test]
+    fn finds_clusters_with_transitive_closure() {
+        let t = people();
+        let r = detect_duplicates(&t, &cfg()).unwrap();
+        assert_eq!(r.object_count(), 3);
+        assert_eq!(r.cluster_ids[0], r.cluster_ids[1]);
+        assert_eq!(r.cluster_ids[0], r.cluster_ids[2]);
+        assert_eq!(r.cluster_ids[3], r.cluster_ids[4]);
+        assert_ne!(r.cluster_ids[0], r.cluster_ids[3]);
+        assert_ne!(r.cluster_ids[5], r.cluster_ids[0]);
+    }
+
+    #[test]
+    fn object_id_column_annotated() {
+        let t = people();
+        let r = detect_duplicates(&t, &cfg()).unwrap();
+        let annotated = annotate_object_ids(&t, &r).unwrap();
+        assert!(annotated.schema().contains(OBJECT_ID_COLUMN));
+        let oid = annotated.resolve(OBJECT_ID_COLUMN).unwrap();
+        assert_eq!(annotated.cell(0, oid), annotated.cell(1, oid));
+        assert_ne!(annotated.cell(0, oid), annotated.cell(5, oid));
+    }
+
+    #[test]
+    fn filter_preserves_results() {
+        let t = people();
+        let with = detect_duplicates(&t, &DetectorConfig { use_filter: true, ..cfg() }).unwrap();
+        let without =
+            detect_duplicates(&t, &DetectorConfig { use_filter: false, ..cfg() }).unwrap();
+        assert_eq!(with.pairs, without.pairs, "filter must be lossless");
+        assert_eq!(with.cluster_ids, without.cluster_ids);
+        assert!(with.stats.compared <= without.stats.compared);
+        assert_eq!(without.stats.filtered_out, 0);
+    }
+
+    #[test]
+    fn explicit_attributes_override_heuristics() {
+        let t = people();
+        let r = detect_duplicates(
+            &t,
+            &DetectorConfig {
+                attributes: Some(vec!["Name".into()]),
+                // one attribute = little evidence mass; lower bar
+                threshold: 0.6,
+                unsure_threshold: 0.5,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.attributes_used, vec!["Name"]);
+        // On name alone, rows 0 and 2 are identical.
+        assert_eq!(r.cluster_ids[0], r.cluster_ids[2]);
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let t = people();
+        let r = detect_duplicates(
+            &t,
+            &DetectorConfig { attributes: Some(vec!["Nope".into()]), ..cfg() },
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bad_thresholds_error() {
+        let t = people();
+        let r = detect_duplicates(
+            &t,
+            &DetectorConfig { threshold: 0.5, unsure_threshold: 0.9, ..Default::default() },
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn unsure_band_collects_borderline_pairs() {
+        let t = table! {
+            "T" => ["Name"];
+            ["jonathan q smithers"],
+            ["jonathan q smithert"],  // very close → sure
+            ["jonathan x smothers"],  // borderline-ish
+        };
+        let r = detect_duplicates(
+            &t,
+            &DetectorConfig {
+                attributes: Some(vec!["Name".into()]),
+                threshold: 0.63,
+                unsure_threshold: 0.55,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!r.pairs.is_empty());
+        assert!(!r.unsure.is_empty());
+    }
+
+    #[test]
+    fn confirm_and_reject_then_recluster() {
+        let t = table! {
+            "T" => ["Name"];
+            ["jonathan q smithers"],
+            ["jonathan q smithert"],
+            ["jonathan x smothers"],
+        };
+        let mut r = detect_duplicates(
+            &t,
+            &DetectorConfig {
+                attributes: Some(vec!["Name".into()]),
+                threshold: 0.63,
+                unsure_threshold: 0.55,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let u = r.unsure[0];
+        assert!(r.confirm_unsure(u.left, u.right));
+        r.recluster();
+        assert_eq!(r.cluster_ids[u.left], r.cluster_ids[u.right]);
+
+        let p = r.pairs[0];
+        assert!(r.reject_pair(p.right, p.left)); // order-insensitive
+        assert!(!r.reject_pair(p.left, p.right)); // already gone
+        r.recluster();
+    }
+
+    #[test]
+    fn sorted_neighborhood_on_good_key_keeps_recall() {
+        let t = people();
+        let blocked = detect_duplicates(
+            &t,
+            &DetectorConfig {
+                candidates: CandidateSpec::SortedNeighborhood {
+                    key: vec!["Name".into()],
+                    window: 3,
+                },
+                ..cfg()
+            },
+        )
+        .unwrap();
+        let full = detect_duplicates(&t, &cfg()).unwrap();
+        assert!(blocked.stats.candidates <= full.stats.candidates);
+        // Duplicates share name prefixes here, so blocking loses nothing.
+        assert_eq!(blocked.cluster_ids, full.cluster_ids);
+    }
+
+    #[test]
+    fn empty_table_detects_nothing() {
+        let t = table! { "E" => ["Name"]; };
+        let r = detect_duplicates(
+            &t,
+            &DetectorConfig { attributes: Some(vec!["Name".into()]), ..cfg() },
+        )
+        .unwrap();
+        assert!(r.pairs.is_empty());
+        assert_eq!(r.object_count(), 0);
+    }
+
+    #[test]
+    fn bookkeeping_columns_ignored_by_heuristics() {
+        let mut t = people();
+        t.add_column(Column::new("sourceID", ColumnType::Text), |i, _| {
+            Value::text(format!("s{i}"))
+        })
+        .unwrap();
+        let r = detect_duplicates(&t, &cfg()).unwrap();
+        assert!(!r.attributes_used.iter().any(|a| a == "sourceID"));
+    }
+}

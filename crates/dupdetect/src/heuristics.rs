@@ -1,0 +1,172 @@
+//! Heuristic selection of "interesting" attributes for duplicate detection.
+//!
+//! Paper §2.3: comparison should use attributes that are "(i) related to the
+//! currently considered object, (ii) useable by our similarity measure, and
+//! (iii) likely to distinguish duplicates from non-duplicates. We developed
+//! several heuristics to select such attributes," which users may override.
+//!
+//! In the relational mapping all columns of the (merged) table are related
+//! to the object, so the heuristics here score (ii) usability — how many
+//! values are present and text/numeric — and (iii) distinguishing power —
+//! how diverse the values are. Bookkeeping columns (`sourceID`, `objectID`)
+//! are excluded by name.
+
+use hummer_engine::Table;
+use std::collections::HashSet;
+
+/// Columns never used for comparison: pipeline bookkeeping.
+pub const BOOKKEEPING_COLUMNS: [&str; 2] = ["sourceID", "objectID"];
+
+/// Per-attribute heuristic scores.
+#[derive(Debug, Clone)]
+pub struct AttributeScore {
+    /// Column index in the table.
+    pub index: usize,
+    /// Column name.
+    pub name: String,
+    /// Fraction of rows with a non-null value (coverage).
+    pub coverage: f64,
+    /// Distinct non-null values divided by non-null count (distinctness —
+    /// identifying power proxy).
+    pub distinctness: f64,
+    /// Combined interestingness in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Configuration for attribute selection.
+#[derive(Debug, Clone)]
+pub struct HeuristicConfig {
+    /// Minimum coverage for an attribute to be considered at all.
+    pub min_coverage: f64,
+    /// Minimum combined score to be selected.
+    pub min_score: f64,
+    /// Upper bound on the number of selected attributes (best-first).
+    pub max_attributes: usize,
+}
+
+impl Default for HeuristicConfig {
+    fn default() -> Self {
+        HeuristicConfig { min_coverage: 0.5, min_score: 0.15, max_attributes: 8 }
+    }
+}
+
+/// Score every column of `table`.
+pub fn score_attributes(table: &Table) -> Vec<AttributeScore> {
+    let n = table.len().max(1) as f64;
+    table
+        .schema()
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(idx, col)| {
+            let mut non_null = 0usize;
+            let mut distinct: HashSet<String> = HashSet::new();
+            for v in table.column_values(idx) {
+                if !v.is_null() {
+                    non_null += 1;
+                    distinct.insert(v.to_string());
+                }
+            }
+            let coverage = non_null as f64 / n;
+            let distinctness = if non_null == 0 {
+                0.0
+            } else {
+                distinct.len() as f64 / non_null as f64
+            };
+            // Harmonic-style blend: an attribute must both be present and
+            // distinguish. Perfectly constant columns score 0... but a
+            // column with a couple of distinct values still helps a bit.
+            let score = coverage * distinctness;
+            AttributeScore {
+                index: idx,
+                name: col.name.clone(),
+                coverage,
+                distinctness,
+                score,
+            }
+        })
+        .collect()
+}
+
+/// Select interesting attribute indices by the heuristics, best-first.
+/// Bookkeeping columns are always excluded.
+pub fn select_attributes(table: &Table, cfg: &HeuristicConfig) -> Vec<usize> {
+    let mut scored: Vec<AttributeScore> = score_attributes(table)
+        .into_iter()
+        .filter(|s| {
+            !BOOKKEEPING_COLUMNS
+                .iter()
+                .any(|b| b.eq_ignore_ascii_case(&s.name))
+        })
+        .filter(|s| s.coverage >= cfg.min_coverage && s.score >= cfg.min_score)
+        .collect();
+    scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.index.cmp(&b.index)));
+    scored.truncate(cfg.max_attributes);
+    let mut idx: Vec<usize> = scored.into_iter().map(|s| s.index).collect();
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::table;
+
+    fn t() -> Table {
+        table! {
+            "T" => ["Name", "Constant", "Sparse", "sourceID"];
+            ["Alice", "x", (), "A"],
+            ["Bob", "x", (), "A"],
+            ["Carol", "x", (), "B"],
+            ["Dave", "x", 1, "B"],
+        }
+    }
+
+    #[test]
+    fn scores_reflect_coverage_and_distinctness() {
+        let scores = score_attributes(&t());
+        let name = &scores[0];
+        assert_eq!(name.coverage, 1.0);
+        assert_eq!(name.distinctness, 1.0);
+        assert_eq!(name.score, 1.0);
+        let constant = &scores[1];
+        assert_eq!(constant.coverage, 1.0);
+        assert_eq!(constant.distinctness, 0.25);
+        let sparse = &scores[2];
+        assert_eq!(sparse.coverage, 0.25);
+    }
+
+    #[test]
+    fn selection_excludes_bookkeeping_and_weak_columns() {
+        let selected = select_attributes(&t(), &HeuristicConfig::default());
+        // Name qualifies; Constant (distinctness .25 → score .25) also
+        // clears the default bar; Sparse fails coverage; sourceID excluded.
+        assert!(selected.contains(&0));
+        assert!(!selected.contains(&2));
+        assert!(!selected.contains(&3));
+    }
+
+    #[test]
+    fn max_attributes_truncates_best_first() {
+        let cfg = HeuristicConfig { max_attributes: 1, ..Default::default() };
+        let selected = select_attributes(&t(), &cfg);
+        assert_eq!(selected, vec![0]); // Name has the top score
+    }
+
+    #[test]
+    fn empty_table_scores_zero() {
+        let t = table! { "E" => ["a"]; };
+        let s = score_attributes(&t);
+        assert_eq!(s[0].coverage, 0.0);
+        assert_eq!(s[0].score, 0.0);
+        assert!(select_attributes(&t, &HeuristicConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn indices_returned_sorted() {
+        let selected = select_attributes(&t(), &HeuristicConfig::default());
+        let mut sorted = selected.clone();
+        sorted.sort_unstable();
+        assert_eq!(selected, sorted);
+    }
+}

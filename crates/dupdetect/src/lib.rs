@@ -1,0 +1,58 @@
+//! # hummer-dupdetect — duplicate detection for HumMer
+//!
+//! The second automated phase of the pipeline (paper §2.3): find the sets of
+//! tuples in the integrated table that describe the same real-world object.
+//! The method is the DogmatiX XML algorithm (Weis & Naumann, SIGMOD 2005)
+//! "mapped to the relational world":
+//!
+//! * [`heuristics`] — pick the "interesting" attributes worth comparing
+//!   (usable by the measure, likely to distinguish duplicates), which the
+//!   user may override;
+//! * [`measure`] — the tuple-similarity measure with the paper's four
+//!   ingredients: matched vs. unmatched attributes, per-field edit/numeric
+//!   distance, identifying power via soft IDF, and the crucial asymmetry
+//!   that contradictions reduce similarity while missing values do not;
+//! * [`blocking`] — candidate generation (all pairs or sorted
+//!   neighborhood);
+//! * [`detector`] — the filter (a cheap admissible upper bound on the
+//!   measure), threshold classification into sure / unsure / non-duplicates,
+//!   transitive closure via [`unionfind`], and the appended `objectID`
+//!   column.
+//!
+//! ## Example
+//!
+//! ```
+//! use hummer_engine::table;
+//! use hummer_dupdetect::{detect_duplicates, annotate_object_ids, DetectorConfig};
+//!
+//! let t = table! {
+//!     "People" => ["Name", "City"];
+//!     ["John Smith", "Berlin"],
+//!     ["Jon Smith", "Berlin"],
+//!     ["Mary Jones", "Hamburg"],
+//! };
+//! let result = detect_duplicates(&t, &DetectorConfig::default()).unwrap();
+//! assert_eq!(result.object_count(), 2);
+//! let annotated = annotate_object_ids(&t, &result).unwrap();
+//! assert!(annotated.schema().contains("objectID"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blocking;
+pub mod detector;
+pub mod heuristics;
+pub mod measure;
+pub mod unionfind;
+
+pub use blocking::{candidate_pairs, CandidateStrategy};
+pub use detector::{
+    annotate_object_ids, detect_duplicates, CandidateSpec, DetectionResult, DetectionStats,
+    DetectorConfig, DuplicatePair, OBJECT_ID_COLUMN,
+};
+pub use heuristics::{score_attributes, select_attributes, AttributeScore, HeuristicConfig};
+pub use measure::{
+    field_similarity, field_similarity_with_range, TupleSimilarity, NUMERIC_SIGMA_SCALE,
+};
+pub use unionfind::UnionFind;

@@ -1,0 +1,521 @@
+//! The tuple-similarity measure — DogmatiX's XML measure "mapped to the
+//! relational world" (paper §2.3).
+//!
+//! For a pair of tuples the measure accounts for exactly the four aspects
+//! the paper lists:
+//!
+//! 1. **matched vs. unmatched attributes** — only attributes where *both*
+//!    tuples carry a value ("matched") contribute; a value facing a `NULL`
+//!    ("non-specified") is excluded from numerator *and* denominator,
+//! 2. **data similarity** — matched values are compared with edit-distance
+//!    similarity for text and relative numeric distance for numbers/dates,
+//! 3. **identifying power** — each matched attribute is weighted by the
+//!    *soft IDF* of its values within that attribute's corpus: agreeing on
+//!    a rare value is strong evidence, agreeing on a ubiquitous one is weak,
+//! 4. **contradictions vs. missing data** — a contradicting pair of values
+//!    keeps its weight in the denominator while contributing little to the
+//!    numerator, so contradictions *reduce* similarity while missing data
+//!    has *no influence*.
+//!
+//! ```text
+//!             Σ_{a ∈ matched} w_a · s_a
+//! sim(t,u) = ───────────────────────────            s_a, w_a ∈ [0, 1]
+//!             Σ_{a ∈ matched} w_a + λ
+//! ```
+//!
+//! λ = [`EVIDENCE_PRIOR`] is a smoothing prior on the evidence mass: a pair
+//! that matches on a single weakly-identifying attribute (e.g. only an
+//! equal date, everything else `NULL`) must not reach full confidence just
+//! because its one matched field agrees. Missing fields still have *no
+//! influence* in the paper's sense — they enter neither numerator nor
+//! denominator — but confidence now grows with the amount of agreeing
+//! evidence. The flip side is that even identical tuples score slightly
+//! below 1 (`Σw / (Σw + λ)`); thresholds account for this.
+
+use hummer_engine::{Table, Value};
+use hummer_textsim::edit::levenshtein_similarity;
+use hummer_textsim::numeric::relative_similarity;
+use hummer_textsim::tfidf::Corpus;
+use hummer_textsim::tokenize::word_tokens;
+
+/// How many standard deviations of gap drive a numeric similarity to zero
+/// (the scale handed to [`field_similarity_with_range`] is
+/// `NUMERIC_SIGMA_SCALE · σ` of the attribute).
+///
+/// Plain relative distance is blind on large-magnitude attributes — any two
+/// years are "99 % similar", any two date *ordinals* (~732 000) are
+/// indistinguishable — which collapses duplicate-detection precision.
+/// Scaling to the attribute's dispersion keeps true-duplicate noise (a gap
+/// well under σ) similar while separating genuinely different values
+/// (see DESIGN.md §6).
+pub const NUMERIC_SIGMA_SCALE: f64 = 2.0;
+
+/// Smoothing prior λ on matched-evidence mass (in units of one maximally
+/// identifying attribute's weight). See the module docs for the rationale;
+/// `exp4_dupdetect` ablates it.
+pub const EVIDENCE_PRIOR: f64 = 0.25;
+
+/// Per-field similarity between two non-null values: numeric pairs compare
+/// by distance against `scale` (the gap at which similarity reaches zero;
+/// dates via their day ordinal), everything else by normalized Levenshtein
+/// over the lowercase text rendering.
+///
+/// `scale` is typically `2σ` of the attribute's values (`None` when the
+/// caller has no statistics, e.g. for ad-hoc value pairs); without a usable
+/// scale the comparison falls back to relative distance.
+pub fn field_similarity_with_range(a: &Value, b: &Value, scale: Option<f64>) -> f64 {
+    debug_assert!(!a.is_null() && !b.is_null());
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => numeric_field_similarity(x, y, scale),
+        _ => {
+            let sa = a.to_string().to_lowercase();
+            let sb = b.to_string().to_lowercase();
+            levenshtein_similarity(&sa, &sb)
+        }
+    }
+}
+
+/// [`field_similarity_with_range`] without scale statistics.
+pub fn field_similarity(a: &Value, b: &Value) -> f64 {
+    field_similarity_with_range(a, b, None)
+}
+
+fn numeric_field_similarity(x: f64, y: f64, scale: Option<f64>) -> f64 {
+    if x == y {
+        return 1.0;
+    }
+    match scale {
+        Some(s) if s > 0.0 && s.is_finite() => (1.0 - (x - y).abs() / s).max(0.0),
+        _ => relative_similarity(x, y),
+    }
+}
+
+/// A cheap *upper bound* on [`field_similarity_with_range`], used by the
+/// comparison filter: `O(1)` instead of `O(len²)`.
+///
+/// For text the bound is the length bound of normalized edit similarity
+/// (`dist ≥ |len(a) − len(b)|`); numeric comparison is already cheap, so
+/// the bound is exact there.
+pub fn field_similarity_upper_bound(a: &Value, b: &Value, range: Option<f64>) -> f64 {
+    debug_assert!(!a.is_null() && !b.is_null());
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => numeric_field_similarity(x, y, range),
+        _ => {
+            let la = a.to_string().chars().count();
+            let lb = b.to_string().chars().count();
+            let max = la.max(lb);
+            if max == 0 {
+                return 1.0;
+            }
+            1.0 - la.abs_diff(lb) as f64 / max as f64
+        }
+    }
+}
+
+/// Precomputed per-cell comparison data: weight, numeric view, and the
+/// lowercased text rendering (so neither the measure nor its upper bound
+/// allocates during pairwise comparison).
+#[derive(Debug, Clone)]
+struct CellData {
+    /// Identifying power (mean soft IDF of the value's tokens).
+    weight: f64,
+    /// Numeric view, when the value has one.
+    num: Option<f64>,
+    /// Lowercased text rendering (for edit-distance comparison).
+    text: String,
+    /// Character count of `text` (the O(1) length bound).
+    len: usize,
+    /// Bucketed character histogram of `text` (a–z, digits, other): each
+    /// edit operation changes the L1 distance between histograms by at most
+    /// 2, so `levenshtein ≥ L1/2` — a second admissible bound.
+    hist: [u16; 28],
+}
+
+fn char_histogram(text: &str) -> [u16; 28] {
+    let mut h = [0u16; 28];
+    for c in text.chars() {
+        let bucket = match c {
+            'a'..='z' => (c as u8 - b'a') as usize,
+            '0'..='9' => 26,
+            _ => 27,
+        };
+        h[bucket] = h[bucket].saturating_add(1);
+    }
+    h
+}
+
+/// A tuple-similarity scorer bound to one table: it precomputes per-attribute
+/// corpora (for soft-IDF weights), per-attribute numeric dispersion scales,
+/// and per-cell text/numeric caches, so pairwise comparison allocates
+/// nothing.
+#[derive(Debug)]
+pub struct TupleSimilarity {
+    /// Indices of the attributes participating in comparison.
+    attrs: Vec<usize>,
+    /// One token corpus per participating attribute (documents = that
+    /// attribute's non-null values).
+    corpora: Vec<Corpus>,
+    /// Per row and participating attribute: the cell cache, or `None` for
+    /// `NULL`.
+    cells: Vec<Vec<Option<CellData>>>,
+    /// Per participating attribute: the numeric comparison scale
+    /// (`NUMERIC_SIGMA_SCALE · σ`) when the attribute is fully numeric,
+    /// else `None`.
+    ranges: Vec<Option<f64>>,
+}
+
+impl TupleSimilarity {
+    /// Build the scorer for `table`, comparing only `attrs` (column
+    /// indices) — typically the output of the attribute-selection
+    /// heuristics.
+    pub fn new(table: &Table, attrs: Vec<usize>) -> Self {
+        let mut corpora = Vec::with_capacity(attrs.len());
+        for &a in &attrs {
+            let docs: Vec<Vec<String>> = table
+                .column_values(a)
+                .filter(|v| !v.is_null())
+                .map(|v| word_tokens(&v.to_string()))
+                .collect();
+            corpora.push(Corpus::from_documents(docs));
+        }
+        let cells: Vec<Vec<Option<CellData>>> = table
+            .rows()
+            .iter()
+            .map(|row| {
+                attrs
+                    .iter()
+                    .zip(&corpora)
+                    .map(|(&a, corpus)| {
+                        let v = &row[a];
+                        if v.is_null() {
+                            None
+                        } else {
+                            let text = v.to_string().to_lowercase();
+                            Some(CellData {
+                                weight: value_weight(corpus, v),
+                                num: v.as_f64(),
+                                len: text.chars().count(),
+                                hist: char_histogram(&text),
+                                text,
+                            })
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Numeric dispersion statistics: an attribute gets a comparison
+        // scale (2σ) when every non-null value has a numeric view (ints,
+        // floats, dates, numeric text) and the dispersion is non-zero.
+        let ranges: Vec<Option<f64>> = attrs
+            .iter()
+            .map(|&a| {
+                let mut xs: Vec<f64> = Vec::new();
+                for v in table.column_values(a) {
+                    if v.is_null() {
+                        continue;
+                    }
+                    match v.as_f64() {
+                        Some(x) => xs.push(x),
+                        None => return None, // mixed/textual attribute
+                    }
+                }
+                if xs.len() < 2 {
+                    return None;
+                }
+                let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+                let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+                let sigma = var.sqrt();
+                (sigma > 0.0).then_some(NUMERIC_SIGMA_SCALE * sigma)
+            })
+            .collect();
+        TupleSimilarity { attrs, corpora, cells, ranges }
+    }
+
+    /// The participating attribute indices.
+    pub fn attrs(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    /// The per-attribute corpora (exposed for diagnostics and benches).
+    pub fn corpora(&self) -> &[Corpus] {
+        &self.corpora
+    }
+
+    /// Similarity of rows `i` and `j` of the bound table, in `[0, 1]`.
+    /// Pairs with no matched attribute score 0. The `table` parameter is
+    /// kept for API symmetry; all data comes from the caches.
+    pub fn similarity(&self, _table: &Table, i: usize, j: usize) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for k in 0..self.attrs.len() {
+            let (u, v) = match (&self.cells[i][k], &self.cells[j][k]) {
+                (Some(u), Some(v)) => (u, v),
+                _ => continue, // missing data: no influence
+            };
+            let w = (u.weight + v.weight) / 2.0;
+            let s = match (u.num, v.num) {
+                (Some(x), Some(y)) => numeric_field_similarity(x, y, self.ranges[k]),
+                _ => levenshtein_similarity(&u.text, &v.text),
+            };
+            num += w * s;
+            den += w;
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            (num / (den + EVIDENCE_PRIOR)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Admissible upper bound on [`TupleSimilarity::similarity`]: per-field
+    /// `O(1)` bounds over the caches (no allocation, no edit distance), so
+    /// `upper_bound ≥ similarity` always holds — the filter is lossless.
+    pub fn upper_bound(&self, _table: &Table, i: usize, j: usize) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for k in 0..self.attrs.len() {
+            let (u, v) = match (&self.cells[i][k], &self.cells[j][k]) {
+                (Some(u), Some(v)) => (u, v),
+                _ => continue,
+            };
+            let w = (u.weight + v.weight) / 2.0;
+            let s = match (u.num, v.num) {
+                (Some(x), Some(y)) => numeric_field_similarity(x, y, self.ranges[k]),
+                _ => {
+                    let max = u.len.max(v.len);
+                    if max == 0 {
+                        1.0
+                    } else {
+                        // Two admissible lower bounds on the edit distance:
+                        // length difference, and half the histogram L1 gap.
+                        let l1: u32 = u
+                            .hist
+                            .iter()
+                            .zip(&v.hist)
+                            .map(|(x, y)| x.abs_diff(*y) as u32)
+                            .sum();
+                        let dist_lb = (l1 as f64 / 2.0).max(u.len.abs_diff(v.len) as f64);
+                        1.0 - dist_lb / max as f64
+                    }
+                }
+            };
+            num += w * s;
+            den += w;
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            (num / (den + EVIDENCE_PRIOR)).min(1.0)
+        }
+    }
+}
+
+/// Identifying power of one value: the mean soft IDF of its tokens in the
+/// attribute's corpus, floored at a small ε so matched-but-common values
+/// still participate.
+fn value_weight(corpus: &Corpus, v: &Value) -> f64 {
+    let tokens = word_tokens(&v.to_string());
+    if tokens.is_empty() {
+        return 0.05;
+    }
+    let sum: f64 = tokens.iter().map(|t| corpus.soft_idf(t)).sum();
+    (sum / tokens.len() as f64).max(0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::table;
+
+    fn t() -> Table {
+        table! {
+            "People" => ["Name", "City", "Age"];
+            ["John Smith", "Berlin", 34],      // 0
+            ["John Smith", "Berlin", 34],      // 1: exact dup of 0
+            ["Jon Smith", "Berlin", 34],       // 2: typo dup of 0
+            ["John Smith", (), 34],            // 3: missing city
+            ["John Smith", "Munich", 34],      // 4: contradicting city
+            ["Mary Jones", "Hamburg", 28],     // 5: different person
+        }
+    }
+
+    fn scorer(table: &Table) -> TupleSimilarity {
+        TupleSimilarity::new(table, vec![0, 1, 2])
+    }
+
+    #[test]
+    fn identical_tuples_score_near_one() {
+        // The evidence prior caps even identical tuples at Σw / (Σw + λ);
+        // with three matched attributes that cap is high.
+        let t = t();
+        let s = scorer(&t);
+        let sim = s.similarity(&t, 0, 1);
+        assert!(sim > 0.8, "{sim}");
+        // And nothing scores higher than an identical pair.
+        for i in 0..t.len() {
+            for j in (i + 1)..t.len() {
+                assert!(s.similarity(&t, i, j) <= sim + 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn typo_scores_high_but_below_identical() {
+        let t = t();
+        let s = scorer(&t);
+        let v = s.similarity(&t, 0, 2);
+        let identical = s.similarity(&t, 0, 1);
+        assert!(v > 0.75, "{v}");
+        assert!(v < identical, "typo {v} vs identical {identical}");
+    }
+
+    #[test]
+    fn missing_beats_contradiction() {
+        // The paper's key semantic: "contradictory data reduces similarity
+        // whereas missing data has no influence".
+        let t = t();
+        let s = scorer(&t);
+        let with_null = s.similarity(&t, 0, 3);
+        let with_contradiction = s.similarity(&t, 0, 4);
+        assert!(
+            with_null > with_contradiction,
+            "null {with_null} vs contradiction {with_contradiction}"
+        );
+        // Missing has no influence beyond shrinking the evidence mass: the
+        // null-city pair scores like an identical pair over the remaining
+        // two attributes.
+        let two_attr_identical = {
+            let narrow = TupleSimilarity::new(&t, vec![0, 2]);
+            narrow.similarity(&t, 0, 1)
+        };
+        assert!((with_null - two_attr_identical).abs() < 0.15, "{with_null} vs {two_attr_identical}");
+    }
+
+    #[test]
+    fn different_entities_score_low() {
+        let t = t();
+        let s = scorer(&t);
+        assert!(s.similarity(&t, 0, 5) < 0.5);
+    }
+
+    #[test]
+    fn symmetry() {
+        let t = t();
+        let s = scorer(&t);
+        for i in 0..t.len() {
+            for j in 0..t.len() {
+                assert!((s.similarity(&t, i, j) - s.similarity(&t, j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_admissible() {
+        let t = t();
+        let s = scorer(&t);
+        for i in 0..t.len() {
+            for j in 0..t.len() {
+                assert!(
+                    s.upper_bound(&t, i, j) + 1e-12 >= s.similarity(&t, i, j),
+                    "bound violated for ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_matched_attributes_scores_zero() {
+        let t = table! {
+            "T" => ["a", "b"];
+            [1, ()],
+            [(), 2],
+        };
+        let s = TupleSimilarity::new(&t, vec![0, 1]);
+        assert_eq!(s.similarity(&t, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn rare_value_agreement_outweighs_common_value_agreement() {
+        // Two pairs: one agrees on a rare city, one on a ubiquitous city,
+        // both disagree on the name.
+        let t = table! {
+            "T" => ["Name", "City"];
+            ["aaaa", "Wittenberge"],   // 0 rare city
+            ["bbbb", "Wittenberge"],   // 1
+            ["cccc", "Berlin"],        // 2 common city
+            ["dddd", "Berlin"],        // 3
+            ["eeee", "Berlin"],
+            ["ffff", "Berlin"],
+            ["gggg", "Berlin"],
+        };
+        let s = TupleSimilarity::new(&t, vec![0, 1]);
+        let rare = s.similarity(&t, 0, 1);
+        let common = s.similarity(&t, 2, 3);
+        assert!(rare > common, "rare {rare} vs common {common}");
+    }
+
+    #[test]
+    fn numeric_fields_use_relative_distance_without_range() {
+        let a = Value::Int(100);
+        let b = Value::Int(99);
+        let c = Value::Int(50);
+        assert!(field_similarity(&a, &b) > 0.9);
+        assert!(field_similarity(&a, &c) <= 0.5);
+    }
+
+    #[test]
+    fn sigma_scaling_separates_large_magnitude_values() {
+        // Years 1975 vs 1990: ~99% similar under relative distance, but
+        // clearly different within a catalog whose 2σ is ~26 years.
+        let a = Value::Int(1975);
+        let b = Value::Int(1990);
+        let rel = field_similarity_with_range(&a, &b, None);
+        let scaled = field_similarity_with_range(&a, &b, Some(26.0));
+        assert!(rel > 0.99, "relative distance is blind here: {rel}");
+        assert!(scaled < 0.5, "sigma scaling separates: {scaled}");
+        // While true-duplicate noise (±1 year) stays similar.
+        let close = field_similarity_with_range(&a, &Value::Int(1976), Some(26.0));
+        assert!(close > 0.9, "{close}");
+    }
+
+    #[test]
+    fn measure_uses_ranges_for_date_columns() {
+        // Two people sharing a status and close dates must not be fused
+        // just because date *ordinals* are huge numbers.
+        let t = table! {
+            "T" => ["Name", "Seen"];
+            ["Aisha Koch", hummer_engine::Date::new(2004, 12, 5).unwrap()],
+            ["Ravi Wolf", hummer_engine::Date::new(2004, 12, 8).unwrap()],
+            ["Aisha Koch", hummer_engine::Date::new(2004, 12, 6).unwrap()],
+            ["Chen Berger", hummer_engine::Date::new(2004, 12, 26).unwrap()],
+        };
+        let s = TupleSimilarity::new(&t, vec![0, 1]);
+        let different_people = s.similarity(&t, 0, 1);
+        let same_person = s.similarity(&t, 0, 2);
+        assert!(different_people < 0.6, "{different_people}");
+        assert!(same_person > 0.7, "{same_person}");
+        assert!(same_person > different_people + 0.2);
+    }
+
+    #[test]
+    fn field_bound_dominates_similarity() {
+        let vals = [
+            Value::text("John Smith"),
+            Value::text("Jon Smyth"),
+            Value::text("x"),
+            Value::Int(42),
+            Value::Float(41.5),
+        ];
+        for a in &vals {
+            for b in &vals {
+                for range in [None, Some(10.0)] {
+                    assert!(
+                        field_similarity_upper_bound(a, b, range) + 1e-12
+                            >= field_similarity_with_range(a, b, range),
+                        "{a:?} vs {b:?} range {range:?}"
+                    );
+                }
+            }
+        }
+    }
+}

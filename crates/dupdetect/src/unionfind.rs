@@ -1,0 +1,144 @@
+//! Disjoint-set forest (union-find) with path compression and union by
+//! rank — the transitive closure over duplicate pairs (paper §2.3: "the
+//! transitive closure over duplicate pairs is formed to obtain clusters of
+//! objects that all represent a single real-world entity").
+
+/// A disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Compress.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The clusters, each sorted ascending, ordered by their smallest
+    /// member. Singletons are included.
+    pub fn clusters(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+
+    /// Cluster ids: `ids[x]` is the dense id (0-based, ordered by smallest
+    /// member) of `x`'s cluster — this becomes the `objectID` column.
+    pub fn cluster_ids(&mut self) -> Vec<usize> {
+        let clusters = self.clusters();
+        let mut ids = vec![0usize; self.len()];
+        for (cid, members) in clusters.iter().enumerate() {
+            for &m in members {
+                ids[m] = cid;
+            }
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.clusters(), vec![vec![0], vec![1], vec![2]]);
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn union_and_transitivity() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already connected transitively
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.clusters(), vec![vec![0, 1, 2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn cluster_ids_are_dense_and_ordered() {
+        let mut uf = UnionFind::new(4);
+        uf.union(2, 3);
+        let ids = uf.cluster_ids();
+        assert_eq!(ids, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn large_chain_compresses() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.connected(0, n - 1));
+        assert_eq!(uf.clusters().len(), 1);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert!(uf.clusters().is_empty());
+        assert!(uf.cluster_ids().is_empty());
+    }
+}

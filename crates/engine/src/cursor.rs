@@ -1,0 +1,222 @@
+//! Lazy, iterator-based operators — the XXL "cursor algebra" face of the
+//! engine.
+//!
+//! The original HumMer runs on XXL, a Java library whose operators are
+//! *cursors*: demand-driven iterators over tuples. This module mirrors that
+//! style on top of Rust's `Iterator`, which is useful when a pipeline stage
+//! should not materialize its input (e.g. streaming a large outer union into
+//! duplicate detection's blocking phase).
+//!
+//! A [`Cursor`] owns its schema (tuples flowing through are plain [`Row`]s)
+//! and can be materialized into a [`Table`] at any point with
+//! [`Cursor::collect_table`].
+
+use crate::expr::Expr;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+
+/// A schema-carrying stream of rows.
+pub struct Cursor<'a> {
+    schema: Schema,
+    iter: Box<dyn Iterator<Item = Row> + 'a>,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor scanning a table (clones rows on demand).
+    pub fn scan(table: &'a Table) -> Cursor<'a> {
+        Cursor {
+            schema: table.schema().clone(),
+            iter: Box::new(table.rows().iter().cloned()),
+        }
+    }
+
+    /// A cursor over owned rows.
+    pub fn from_rows(schema: Schema, rows: Vec<Row>) -> Cursor<'static> {
+        Cursor { schema, iter: Box::new(rows.into_iter()) }
+    }
+
+    /// The stream's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Lazy selection. Rows failing (or erroring in) the predicate are
+    /// dropped; evaluation errors surface at `collect_table` time as missing
+    /// rows would be silent, so instead the predicate is pre-resolved:
+    /// an unknown column fails immediately.
+    pub fn filter(self, predicate: Expr) -> Result<Cursor<'a>> {
+        // Validate references eagerly for early error reporting.
+        for c in predicate.columns() {
+            self.schema.resolve(c, "<cursor>")?;
+        }
+        let schema = self.schema.clone();
+        let iter = self
+            .iter
+            .filter(move |row| predicate.matches(&schema, row).unwrap_or(false));
+        Ok(Cursor { schema: self.schema, iter: Box::new(iter) })
+    }
+
+    /// Lazy projection onto named columns.
+    pub fn project<S: AsRef<str>>(self, columns: &[S]) -> Result<Cursor<'a>> {
+        let indices: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema.resolve(c.as_ref(), "<cursor>"))
+            .collect::<Result<_>>()?;
+        let schema = self.schema.project(&indices)?;
+        let iter = self.iter.map(move |row| row.project(&indices));
+        Ok(Cursor { schema, iter: Box::new(iter) })
+    }
+
+    /// Lazy concatenation (UNION ALL by position); the other cursor's rows
+    /// follow this one's. Arity must match.
+    pub fn chain(self, other: Cursor<'a>) -> Result<Cursor<'a>> {
+        if self.schema.len() != other.schema.len() {
+            return Err(crate::error::EngineError::SchemaMismatch(format!(
+                "cursor chain arity mismatch: {} vs {}",
+                self.schema.len(),
+                other.schema.len()
+            )));
+        }
+        Ok(Cursor { schema: self.schema, iter: Box::new(self.iter.chain(other.iter)) })
+    }
+
+    /// Lazy outer-union alignment of this cursor into a wider target schema:
+    /// columns are matched by name, missing ones padded with `NULL`.
+    pub fn align_to(self, target: &Schema) -> Cursor<'a> {
+        let mapping: Vec<Option<usize>> = target
+            .columns()
+            .iter()
+            .map(|c| self.schema.index_of(&c.name))
+            .collect();
+        let iter = self.iter.map(move |row| {
+            mapping
+                .iter()
+                .map(|m| m.map(|i| row[i].clone()).unwrap_or(Value::Null))
+                .collect()
+        });
+        Cursor { schema: target.clone(), iter: Box::new(iter) }
+    }
+
+    /// Take at most `n` rows.
+    pub fn limit(self, n: usize) -> Cursor<'a> {
+        Cursor { schema: self.schema, iter: Box::new(self.iter.take(n)) }
+    }
+
+    /// Materialize into a table.
+    pub fn collect_table(self, name: &str) -> Result<Table> {
+        let mut t = Table::empty(name, self.schema);
+        for row in self.iter {
+            t.push(row)?;
+        }
+        Ok(t)
+    }
+}
+
+impl Iterator for Cursor<'_> {
+    type Item = Row;
+    fn next(&mut self) -> Option<Row> {
+        self.iter.next()
+    }
+}
+
+/// Full outer union of several cursors, streamed: computes the union schema
+/// first (cheap — schemas only), then lazily aligns and chains the inputs.
+pub fn outer_union_cursors<'a>(cursors: Vec<Cursor<'a>>) -> Cursor<'a> {
+    let mut schema = Schema::of_names::<&str>(&[]).expect("empty schema");
+    for c in &cursors {
+        schema = schema.outer_union(c.schema());
+    }
+    let mut aligned: Option<Cursor<'a>> = None;
+    for c in cursors {
+        let a = c.align_to(&schema);
+        aligned = Some(match aligned {
+            None => a,
+            Some(prev) => prev.chain(a).expect("aligned cursors share schema"),
+        });
+    }
+    aligned.unwrap_or_else(|| Cursor::from_rows(schema, Vec::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table;
+
+    fn t() -> Table {
+        table! {
+            "T" => ["x", "y"];
+            [1, "a"],
+            [2, "b"],
+            [3, "c"],
+        }
+    }
+
+    #[test]
+    fn scan_filter_project_pipeline() {
+        let t = t();
+        let out = Cursor::scan(&t)
+            .filter(Expr::col("x").gt(Expr::lit(1)))
+            .unwrap()
+            .project(&["y"])
+            .unwrap()
+            .collect_table("out")
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema().names(), vec!["y"]);
+    }
+
+    #[test]
+    fn filter_validates_columns_eagerly() {
+        let t = t();
+        assert!(Cursor::scan(&t).filter(Expr::col("zz").gt(Expr::lit(1))).is_err());
+    }
+
+    #[test]
+    fn limit_is_lazy_and_bounded() {
+        let t = t();
+        let out = Cursor::scan(&t).limit(2).collect_table("out").unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn outer_union_cursors_aligns() {
+        let a = table! { "A" => ["Name", "Age"]; ["x", 1] };
+        let b = table! { "B" => ["Name", "City"]; ["y", "Berlin"] };
+        let u = outer_union_cursors(vec![Cursor::scan(&a), Cursor::scan(&b)])
+            .collect_table("U")
+            .unwrap();
+        assert_eq!(u.schema().names(), vec!["Name", "Age", "City"]);
+        assert_eq!(u.len(), 2);
+        assert!(u.cell(0, 2).is_null());
+        assert!(u.cell(1, 1).is_null());
+        assert_eq!(u.cell(1, 2), &Value::text("Berlin"));
+    }
+
+    #[test]
+    fn outer_union_cursors_empty() {
+        let u = outer_union_cursors(vec![]).collect_table("U").unwrap();
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn cursor_matches_materialized_outer_union() {
+        let a = table! { "A" => ["p", "q"]; [1, 2], [3, 4] };
+        let b = table! { "B" => ["q", "r"]; [5, 6] };
+        let lazy = outer_union_cursors(vec![Cursor::scan(&a), Cursor::scan(&b)])
+            .collect_table("U")
+            .unwrap();
+        let eager = crate::ops::outer_union(&[&a, &b], "U").unwrap();
+        assert_eq!(lazy.rows(), eager.rows());
+        assert_eq!(lazy.schema().names(), eager.schema().names());
+    }
+
+    #[test]
+    fn chain_arity_mismatch_errors() {
+        let a = table! { "A" => ["x"]; [1] };
+        let b = table! { "B" => ["x", "y"]; [1, 2] };
+        assert!(Cursor::scan(&a).chain(Cursor::scan(&b)).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for the relational engine.
+
+use std::fmt;
+
+/// Errors produced by the relational engine.
+///
+/// Every fallible engine operation returns [`Result<T>`](crate::Result) with
+/// this error type. The variants are deliberately coarse: they distinguish
+/// the *kind* of failure (schema, type, expression, I/O, …) and carry a
+/// human-readable description with the offending names or values.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn {
+        /// Name as it appeared in the query or API call.
+        name: String,
+        /// Name of the table or intermediate relation searched.
+        relation: String,
+    },
+    /// A column name appears more than once where uniqueness is required.
+    DuplicateColumn(String),
+    /// Two schemas that must be compatible (e.g. for `UNION`) are not.
+    SchemaMismatch(String),
+    /// A row's arity does not match its table's schema.
+    ArityMismatch {
+        /// Number of columns the schema defines.
+        expected: usize,
+        /// Number of values the row carried.
+        actual: usize,
+    },
+    /// An operation was applied to values of an unsupported type,
+    /// e.g. arithmetic on text.
+    TypeError(String),
+    /// An expression failed to evaluate (division by zero, bad cast, …).
+    Expression(String),
+    /// Failure while parsing external data (CSV cell, date literal, …).
+    Parse(String),
+    /// Underlying I/O failure (CSV reading/writing).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownColumn { name, relation } => {
+                write!(f, "unknown column `{name}` in relation `{relation}`")
+            }
+            EngineError::DuplicateColumn(name) => {
+                write!(f, "duplicate column name `{name}`")
+            }
+            EngineError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            EngineError::ArityMismatch { expected, actual } => {
+                write!(f, "row arity mismatch: schema has {expected} columns, row has {actual}")
+            }
+            EngineError::TypeError(msg) => write!(f, "type error: {msg}"),
+            EngineError::Expression(msg) => write!(f, "expression error: {msg}"),
+            EngineError::Parse(msg) => write!(f, "parse error: {msg}"),
+            EngineError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_column() {
+        let e = EngineError::UnknownColumn {
+            name: "Age".into(),
+            relation: "Students".into(),
+        };
+        assert_eq!(e.to_string(), "unknown column `Age` in relation `Students`");
+    }
+
+    #[test]
+    fn display_arity() {
+        let e = EngineError::ArityMismatch { expected: 3, actual: 2 };
+        assert!(e.to_string().contains("3 columns"));
+        assert!(e.to_string().contains("row has 2"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = EngineError::from(io);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,580 @@
+//! Scalar expressions over rows: the engine's predicate and computation
+//! language (used by `WHERE` and `HAVING` in Fuse By queries).
+
+use crate::error::EngineError;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+use std::fmt;
+
+/// Binary comparison operators with SQL three-valued-logic semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        })
+    }
+}
+
+/// A scalar expression tree.
+///
+/// Expressions are resolved against a [`Schema`] at evaluation time by
+/// column name, which keeps them reusable across the renamings the
+/// transformation phase performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference by (case-insensitive) name.
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// Comparison, three-valued: `NULL op x` evaluates to `NULL`.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic; `NULL` propagates.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Logical AND (three-valued).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR (three-valued).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT (three-valued).
+    Not(Box<Expr>),
+    /// `expr IS NULL`
+    IsNull(Box<Expr>),
+    /// `expr IS NOT NULL`
+    IsNotNull(Box<Expr>),
+    /// `expr LIKE pattern` with `%` and `_` wildcards (case-sensitive).
+    Like(Box<Expr>, String),
+    /// `expr IN (v1, v2, ...)`
+    In(Box<Expr>, Vec<Expr>),
+    /// Scalar function call (LOWER, UPPER, LENGTH, ABS, COALESCE, ...).
+    Call(String, Vec<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand: column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Shorthand: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Shorthand: `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// Shorthand: `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(other))
+    }
+
+    /// Shorthand: `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(other))
+    }
+
+    /// Shorthand: `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Shorthand: `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate against a row under a schema.
+    pub fn eval(&self, schema: &Schema, row: &Row) -> Result<Value> {
+        match self {
+            Expr::Column(name) => {
+                let idx = schema.resolve(name, "<expr>")?;
+                Ok(row[idx].clone())
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Cmp(op, l, r) => {
+                let lv = l.eval(schema, row)?;
+                let rv = r.eval(schema, row)?;
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                let ord = lv.cmp_total(&rv);
+                let b = match op {
+                    CmpOp::Eq => ord.is_eq(),
+                    CmpOp::Ne => ord.is_ne(),
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                };
+                Ok(Value::Bool(b))
+            }
+            Expr::Arith(op, l, r) => {
+                let lv = l.eval(schema, row)?;
+                let rv = r.eval(schema, row)?;
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                eval_arith(*op, &lv, &rv)
+            }
+            Expr::And(l, r) => {
+                let lv = truth(&l.eval(schema, row)?)?;
+                let rv = truth(&r.eval(schema, row)?)?;
+                // Kleene logic: FALSE dominates NULL.
+                Ok(match (lv, rv) {
+                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                })
+            }
+            Expr::Or(l, r) => {
+                let lv = truth(&l.eval(schema, row)?)?;
+                let rv = truth(&r.eval(schema, row)?)?;
+                Ok(match (lv, rv) {
+                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                })
+            }
+            Expr::Not(e) => Ok(match truth(&e.eval(schema, row)?)? {
+                Some(b) => Value::Bool(!b),
+                None => Value::Null,
+            }),
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval(schema, row)?.is_null())),
+            Expr::IsNotNull(e) => Ok(Value::Bool(!e.eval(schema, row)?.is_null())),
+            Expr::Like(e, pattern) => {
+                let v = e.eval(schema, row)?;
+                match v.as_text() {
+                    None => Ok(Value::Null),
+                    Some(s) => Ok(Value::Bool(like_match(&s, pattern))),
+                }
+            }
+            Expr::In(e, list) => {
+                let v = e.eval(schema, row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let iv = item.eval(schema, row)?;
+                    match v.sql_eq(&iv) {
+                        Some(true) => return Ok(Value::Bool(true)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+            }
+            Expr::Call(name, args) => eval_call(name, args, schema, row),
+            Expr::Neg(e) => {
+                let v = e.eval(schema, row)?;
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(EngineError::TypeError(format!("cannot negate {other:?}"))),
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: `NULL` counts as not-satisfied (SQL `WHERE`).
+    pub fn matches(&self, schema: &Schema, row: &Row) -> Result<bool> {
+        Ok(truth(&self.eval(schema, row)?)?.unwrap_or(false))
+    }
+
+    /// All column names referenced by the expression (with duplicates).
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Column(n) => out.push(n),
+            Expr::Literal(_) => {}
+            Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) | Expr::Neg(e) => {
+                e.collect_columns(out)
+            }
+            Expr::Like(e, _) => e.collect_columns(out),
+            Expr::In(e, list) => {
+                e.collect_columns(out);
+                for i in list {
+                    i.collect_columns(out);
+                }
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+/// Coerce a value to three-valued truth. Non-boolean, non-null values are a
+/// type error (SQL does not truthify arbitrary values).
+fn truth(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => Err(EngineError::TypeError(format!(
+            "expected boolean condition, got {other:?}"
+        ))),
+    }
+}
+
+fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+    // String concatenation via `+`.
+    if op == ArithOp::Add {
+        if let (Value::Text(a), Value::Text(b)) = (l, r) {
+            return Ok(Value::Text(format!("{a}{b}")));
+        }
+    }
+    // Pure integer arithmetic stays integral.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return match op {
+            ArithOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
+            ArithOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+            ArithOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            ArithOp::Div => {
+                if *b == 0 {
+                    Err(EngineError::Expression("division by zero".into()))
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            ArithOp::Mod => {
+                if *b == 0 {
+                    Err(EngineError::Expression("modulo by zero".into()))
+                } else {
+                    Ok(Value::Int(a % b))
+                }
+            }
+        };
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(EngineError::TypeError(format!(
+                "arithmetic {op} not defined on {l:?} and {r:?}"
+            )))
+        }
+    };
+    let x = match op {
+        ArithOp::Add => a + b,
+        ArithOp::Sub => a - b,
+        ArithOp::Mul => a * b,
+        ArithOp::Div => {
+            if b == 0.0 {
+                return Err(EngineError::Expression("division by zero".into()));
+            }
+            a / b
+        }
+        ArithOp::Mod => {
+            if b == 0.0 {
+                return Err(EngineError::Expression("modulo by zero".into()));
+            }
+            a % b
+        }
+    };
+    Ok(Value::Float(x))
+}
+
+fn eval_call(name: &str, args: &[Expr], schema: &Schema, row: &Row) -> Result<Value> {
+    let lower = name.to_ascii_lowercase();
+    let arity = |n: usize| -> Result<()> {
+        if args.len() != n {
+            Err(EngineError::Expression(format!(
+                "function {name} expects {n} argument(s), got {}",
+                args.len()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    match lower.as_str() {
+        "coalesce" => {
+            for a in args {
+                let v = a.eval(schema, row)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        "lower" | "upper" => {
+            arity(1)?;
+            let v = args[0].eval(schema, row)?;
+            Ok(match v.as_text() {
+                None => Value::Null,
+                Some(s) => Value::Text(if lower == "lower" {
+                    s.to_lowercase()
+                } else {
+                    s.to_uppercase()
+                }),
+            })
+        }
+        "length" => {
+            arity(1)?;
+            let v = args[0].eval(schema, row)?;
+            Ok(match v.as_text() {
+                None => Value::Null,
+                Some(s) => Value::Int(s.chars().count() as i64),
+            })
+        }
+        "trim" => {
+            arity(1)?;
+            let v = args[0].eval(schema, row)?;
+            Ok(match v.as_text() {
+                None => Value::Null,
+                Some(s) => Value::Text(s.trim().to_string()),
+            })
+        }
+        "abs" => {
+            arity(1)?;
+            match args[0].eval(schema, row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => Err(EngineError::TypeError(format!("ABS of {other:?}"))),
+            }
+        }
+        "round" => {
+            arity(1)?;
+            match args[0].eval(schema, row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i)),
+                Value::Float(f) => Ok(Value::Int(f.round() as i64)),
+                other => Err(EngineError::TypeError(format!("ROUND of {other:?}"))),
+            }
+        }
+        _ => Err(EngineError::Expression(format!("unknown function `{name}`"))),
+    }
+}
+
+/// SQL `LIKE` matching with `%` (any run) and `_` (any single char).
+fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Try consuming 0..=len chars.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn schema() -> Schema {
+        Schema::of_names(&["name", "age", "city"]).unwrap()
+    }
+
+    fn alice() -> Row {
+        row!["Alice", 22, ()]
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let s = schema();
+        let r = alice();
+        assert_eq!(Expr::col("name").eval(&s, &r).unwrap(), Value::text("Alice"));
+        assert_eq!(Expr::lit(7).eval(&s, &r).unwrap(), Value::Int(7));
+        assert!(Expr::col("nope").eval(&s, &r).is_err());
+    }
+
+    #[test]
+    fn comparisons_three_valued() {
+        let s = schema();
+        let r = alice();
+        let e = Expr::col("age").gt(Expr::lit(21));
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Bool(true));
+        // city is NULL → comparison is NULL → matches() is false
+        let e2 = Expr::col("city").eq(Expr::lit("Berlin"));
+        assert_eq!(e2.eval(&s, &r).unwrap(), Value::Null);
+        assert!(!e2.matches(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn kleene_and_or() {
+        let s = schema();
+        let r = alice();
+        let null = Expr::col("city").eq(Expr::lit("x"));
+        let t = Expr::lit(true);
+        let f = Expr::lit(false);
+        // FALSE AND NULL = FALSE
+        assert_eq!(f.clone().and(null.clone()).eval(&s, &r).unwrap(), Value::Bool(false));
+        // TRUE AND NULL = NULL
+        assert_eq!(t.clone().and(null.clone()).eval(&s, &r).unwrap(), Value::Null);
+        // TRUE OR NULL = TRUE
+        assert_eq!(t.or(null.clone()).eval(&s, &r).unwrap(), Value::Bool(true));
+        // FALSE OR NULL = NULL
+        assert_eq!(f.or(null.clone()).eval(&s, &r).unwrap(), Value::Null);
+        // NOT NULL = NULL
+        assert_eq!(Expr::Not(Box::new(null)).eval(&s, &r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = schema();
+        let r = alice();
+        let e = Expr::Arith(ArithOp::Add, Box::new(Expr::col("age")), Box::new(Expr::lit(8)));
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Int(30));
+        let d = Expr::Arith(ArithOp::Div, Box::new(Expr::lit(7)), Box::new(Expr::lit(2)));
+        assert_eq!(d.eval(&s, &r).unwrap(), Value::Int(3));
+        let fdiv = Expr::Arith(ArithOp::Div, Box::new(Expr::lit(7.0)), Box::new(Expr::lit(2)));
+        assert_eq!(fdiv.eval(&s, &r).unwrap(), Value::Float(3.5));
+        let zero = Expr::Arith(ArithOp::Div, Box::new(Expr::lit(1)), Box::new(Expr::lit(0)));
+        assert!(zero.eval(&s, &r).is_err());
+    }
+
+    #[test]
+    fn string_concat_via_plus() {
+        let s = schema();
+        let r = alice();
+        let e = Expr::Arith(ArithOp::Add, Box::new(Expr::col("name")), Box::new(Expr::lit("!")));
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::text("Alice!"));
+    }
+
+    #[test]
+    fn null_propagates_through_arith() {
+        let s = schema();
+        let r = alice();
+        let e = Expr::Arith(ArithOp::Add, Box::new(Expr::col("city")), Box::new(Expr::lit(1)));
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let s = schema();
+        let r = alice();
+        assert_eq!(
+            Expr::IsNull(Box::new(Expr::col("city"))).eval(&s, &r).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Expr::IsNotNull(Box::new(Expr::col("name"))).eval(&s, &r).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("Alice", "A%"));
+        assert!(like_match("Alice", "%ice"));
+        assert!(like_match("Alice", "A_ice"));
+        assert!(!like_match("Alice", "B%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn in_list_with_null() {
+        let s = schema();
+        let r = alice();
+        let e = Expr::In(Box::new(Expr::col("age")), vec![Expr::lit(21), Expr::lit(22)]);
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Bool(true));
+        let e2 = Expr::In(
+            Box::new(Expr::col("age")),
+            vec![Expr::lit(1), Expr::Literal(Value::Null)],
+        );
+        assert_eq!(e2.eval(&s, &r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let s = schema();
+        let r = alice();
+        let call = |n: &str, args: Vec<Expr>| Expr::Call(n.into(), args);
+        assert_eq!(
+            call("LOWER", vec![Expr::col("name")]).eval(&s, &r).unwrap(),
+            Value::text("alice")
+        );
+        assert_eq!(
+            call("length", vec![Expr::col("name")]).eval(&s, &r).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            call("coalesce", vec![Expr::col("city"), Expr::lit("?")]).eval(&s, &r).unwrap(),
+            Value::text("?")
+        );
+        assert_eq!(call("abs", vec![Expr::lit(-5)]).eval(&s, &r).unwrap(), Value::Int(5));
+        assert_eq!(call("round", vec![Expr::lit(2.6)]).eval(&s, &r).unwrap(), Value::Int(3));
+        assert!(call("nope", vec![]).eval(&s, &r).is_err());
+        assert!(call("lower", vec![]).eval(&s, &r).is_err());
+    }
+
+    #[test]
+    fn columns_collects_references() {
+        let e = Expr::col("a").eq(Expr::lit(1)).and(Expr::col("b").gt(Expr::col("c")));
+        assert_eq!(e.columns(), vec!["a", "b", "c"]);
+    }
+}

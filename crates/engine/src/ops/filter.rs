@@ -1,0 +1,49 @@
+//! Selection (σ).
+
+use crate::expr::Expr;
+use crate::table::Table;
+use crate::Result;
+
+/// Keep the rows satisfying `predicate` (SQL `WHERE` semantics: rows whose
+/// predicate evaluates to `NULL` are dropped).
+pub fn select(table: &Table, predicate: &Expr) -> Result<Table> {
+    let mut out = Table::empty(table.name(), table.schema().clone());
+    for row in table.rows() {
+        if predicate.matches(table.schema(), row)? {
+            out.push(row.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table;
+
+    #[test]
+    fn filters_rows() {
+        let t = table! {
+            "T" => ["x"];
+            [1], [2], [3],
+        };
+        let out = select(&t, &Expr::col("x").gt(Expr::lit(1))).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn null_predicate_drops_row() {
+        let t = table! {
+            "T" => ["x"];
+            [1], [()],
+        };
+        let out = select(&t, &Expr::col("x").gt(Expr::lit(0))).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = table! { "T" => ["x"]; [1] };
+        assert!(select(&t, &Expr::col("y").gt(Expr::lit(0))).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Grouping and standard SQL aggregation (`GROUP BY`).
+//!
+//! The *conflict resolution* of the fusion layer is "implemented as user
+//! defined aggregation" (paper §2.4); this module provides the plain SQL
+//! aggregates that Fuse By inherits (`min`, `max`, `sum`, …), while the
+//! richer, context-aware resolution functions live in `hummer-fusion`.
+
+use crate::error::EngineError;
+use crate::row::Row;
+use crate::schema::{Column, ColumnType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A standard SQL aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(col)` — non-null count.
+    Count,
+    /// `COUNT(*)` — row count.
+    CountAll,
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+    /// `SUM(col)`
+    Sum,
+    /// `AVG(col)`
+    Avg,
+}
+
+impl AggFunc {
+    /// Parse a function name (case-insensitive).
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            _ => return None,
+        })
+    }
+
+    /// Apply to the (possibly empty) multiset of values of one group.
+    /// Null handling follows SQL: nulls are ignored; aggregates of an
+    /// all-null group are `NULL` (except the counts).
+    pub fn apply(&self, values: &[&Value]) -> Result<Value> {
+        let non_null: Vec<&&Value> = values.iter().filter(|v| !v.is_null()).collect();
+        match self {
+            AggFunc::CountAll => Ok(Value::Int(values.len() as i64)),
+            AggFunc::Count => Ok(Value::Int(non_null.len() as i64)),
+            AggFunc::Min => Ok(non_null.iter().min_by(|a, b| a.cmp_total(b)).map(|v| (**v).clone()).unwrap_or(Value::Null)),
+            AggFunc::Max => Ok(non_null.iter().max_by(|a, b| a.cmp_total(b)).map(|v| (**v).clone()).unwrap_or(Value::Null)),
+            AggFunc::Sum | AggFunc::Avg => {
+                if non_null.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let mut sum = 0.0;
+                let mut all_int = true;
+                for v in &non_null {
+                    match v {
+                        Value::Int(i) => sum += *i as f64,
+                        Value::Float(f) => {
+                            all_int = false;
+                            sum += f;
+                        }
+                        other => {
+                            return Err(EngineError::TypeError(format!(
+                                "{self} over non-numeric value {other:?}"
+                            )))
+                        }
+                    }
+                }
+                if *self == AggFunc::Avg {
+                    Ok(Value::Float(sum / non_null.len() as f64))
+                } else if all_int {
+                    Ok(Value::Int(sum as i64))
+                } else {
+                    Ok(Value::Float(sum))
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::CountAll => "COUNT(*)",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+        })
+    }
+}
+
+/// One aggregate column in a `GROUP BY` result.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    /// The function.
+    pub func: AggFunc,
+    /// Input column; ignored for `COUNT(*)`.
+    pub column: String,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl Aggregate {
+    /// Construct an aggregate.
+    pub fn new(func: AggFunc, column: impl Into<String>, alias: impl Into<String>) -> Self {
+        Aggregate { func, column: column.into(), alias: alias.into() }
+    }
+}
+
+/// `GROUP BY keys` with the given aggregates. Groups appear in order of
+/// first occurrence; `NULL` group keys form a single group (SQL behaviour).
+/// With an empty `keys`, the whole input is one group (even when empty).
+pub fn group_by(table: &Table, keys: &[&str], aggregates: &[Aggregate]) -> Result<Table> {
+    let key_idx: Vec<usize> = keys.iter().map(|k| table.resolve(k)).collect::<Result<_>>()?;
+    let agg_idx: Vec<Option<usize>> = aggregates
+        .iter()
+        .map(|a| {
+            if a.func == AggFunc::CountAll {
+                Ok(None)
+            } else {
+                table.resolve(&a.column).map(Some)
+            }
+        })
+        .collect::<Result<_>>()?;
+
+    let mut cols: Vec<Column> = key_idx
+        .iter()
+        .map(|&i| table.schema().column(i).clone())
+        .collect();
+    for a in aggregates {
+        let ctype = match a.func {
+            AggFunc::Count | AggFunc::CountAll => ColumnType::Int,
+            AggFunc::Avg => ColumnType::Float,
+            _ => ColumnType::Any,
+        };
+        cols.push(Column::new(a.alias.clone(), ctype));
+    }
+    let schema = Schema::new(cols)?;
+
+    // Group rows, preserving first-occurrence order.
+    let mut order: Vec<Row> = Vec::new();
+    let mut groups: HashMap<Row, Vec<usize>> = HashMap::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        let key = row.project(&key_idx);
+        groups
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            })
+            .push(i);
+    }
+    // Global aggregation over an empty table still yields one row.
+    if keys.is_empty() && table.is_empty() {
+        order.push(Row::new());
+        groups.insert(Row::new(), Vec::new());
+    }
+
+    let mut out = Table::empty(table.name(), schema);
+    for key in order {
+        let members = &groups[&key];
+        let mut values = key.into_values();
+        for (a, idx) in aggregates.iter().zip(&agg_idx) {
+            let column_values: Vec<&Value> = match idx {
+                Some(c) => members.iter().map(|&i| &table.rows()[i][*c]).collect(),
+                None => members.iter().map(|&i| &table.rows()[i][0]).collect(),
+            };
+            values.push(a.func.apply(&column_values)?);
+        }
+        out.push(Row::from_values(values))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table;
+
+    fn sales() -> Table {
+        table! {
+            "S" => ["region", "amount"];
+            ["north", 10],
+            ["south", 20],
+            ["north", 30],
+            ["south", ()],
+            [(), 5],
+        }
+    }
+
+    #[test]
+    fn group_by_single_key() {
+        let g = group_by(
+            &sales(),
+            &["region"],
+            &[
+                Aggregate::new(AggFunc::Sum, "amount", "total"),
+                Aggregate::new(AggFunc::Count, "amount", "n"),
+                Aggregate::new(AggFunc::CountAll, "", "rows"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.len(), 3); // north, south, NULL
+        let north = g.rows().iter().find(|r| r[0] == Value::text("north")).unwrap();
+        assert_eq!(north[1], Value::Int(40));
+        assert_eq!(north[2], Value::Int(2));
+        let south = g.rows().iter().find(|r| r[0] == Value::text("south")).unwrap();
+        assert_eq!(south[1], Value::Int(20));
+        assert_eq!(south[2], Value::Int(1)); // NULL not counted
+        assert_eq!(south[3], Value::Int(2)); // but COUNT(*) counts it
+    }
+
+    #[test]
+    fn null_keys_group_together() {
+        let t = table! {
+            "T" => ["k", "v"];
+            [(), 1],
+            [(), 2],
+        };
+        let g = group_by(&t, &["k"], &[Aggregate::new(AggFunc::Sum, "v", "s")]).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.cell(0, 1), &Value::Int(3));
+    }
+
+    #[test]
+    fn global_aggregate_no_keys() {
+        let g = group_by(&sales(), &[], &[Aggregate::new(AggFunc::Avg, "amount", "a")]).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.cell(0, 0), &Value::Float(65.0 / 4.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_table() {
+        let t = table! { "E" => ["x"]; };
+        let g = group_by(
+            &t,
+            &[],
+            &[
+                Aggregate::new(AggFunc::CountAll, "", "n"),
+                Aggregate::new(AggFunc::Sum, "x", "s"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.cell(0, 0), &Value::Int(0));
+        assert!(g.cell(0, 1).is_null());
+    }
+
+    #[test]
+    fn min_max_on_text() {
+        let t = table! { "T" => ["s"]; ["b"], ["a"], ["c"] };
+        let g = group_by(
+            &t,
+            &[],
+            &[
+                Aggregate::new(AggFunc::Min, "s", "lo"),
+                Aggregate::new(AggFunc::Max, "s", "hi"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.cell(0, 0), &Value::text("a"));
+        assert_eq!(g.cell(0, 1), &Value::text("c"));
+    }
+
+    #[test]
+    fn sum_type_error_on_text() {
+        let t = table! { "T" => ["s"]; ["b"] };
+        assert!(group_by(&t, &[], &[Aggregate::new(AggFunc::Sum, "s", "x")]).is_err());
+    }
+
+    #[test]
+    fn sum_stays_int_when_all_int() {
+        let t = table! { "T" => ["x"]; [1], [2] };
+        let g = group_by(&t, &[], &[Aggregate::new(AggFunc::Sum, "x", "s")]).unwrap();
+        assert_eq!(g.cell(0, 0), &Value::Int(3));
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(AggFunc::parse("MAX"), Some(AggFunc::Max));
+        assert_eq!(AggFunc::parse("avg"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("median"), None);
+    }
+
+    #[test]
+    fn groups_preserve_first_occurrence_order() {
+        let g = group_by(&sales(), &["region"], &[]).unwrap();
+        assert_eq!(g.cell(0, 0), &Value::text("north"));
+        assert_eq!(g.cell(1, 0), &Value::text("south"));
+        assert!(g.cell(2, 0).is_null());
+    }
+}

@@ -1,0 +1,263 @@
+//! Join operators: nested-loop (arbitrary predicate), hash (equi-join), and
+//! cross product.
+//!
+//! The combined schema uses the original column names where they are unique
+//! across both inputs; a name occurring on both sides is disambiguated as
+//! `<table>.<column>`. This mirrors SQL's qualified-name behaviour closely
+//! enough for the Fuse By subset.
+
+use crate::error::EngineError;
+use crate::expr::Expr;
+use crate::row::Row;
+use crate::schema::{Column, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// Which tuples survive a join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Only matching pairs.
+    Inner,
+    /// All left rows; unmatched ones padded with `NULL`s.
+    Left,
+    /// All rows of both sides; unmatched ones padded with `NULL`s.
+    Full,
+}
+
+/// Build the combined schema, qualifying colliding names with table names.
+fn joint_schema(left: &Table, right: &Table) -> Result<Schema> {
+    let mut cols: Vec<Column> = Vec::with_capacity(left.schema().len() + right.schema().len());
+    for c in left.schema().columns() {
+        let name = if right.schema().contains(&c.name) {
+            format!("{}.{}", left.name(), c.name)
+        } else {
+            c.name.clone()
+        };
+        cols.push(Column::new(name, c.ctype));
+    }
+    for c in right.schema().columns() {
+        let name = if left.schema().contains(&c.name) {
+            format!("{}.{}", right.name(), c.name)
+        } else {
+            c.name.clone()
+        };
+        cols.push(Column::new(name, c.ctype));
+    }
+    Schema::new(cols).map_err(|_| {
+        EngineError::SchemaMismatch(format!(
+            "cannot join `{}` and `{}`: qualified column names still collide",
+            left.name(),
+            right.name()
+        ))
+    })
+}
+
+fn concat_rows(l: &Row, r: &Row) -> Row {
+    let mut vals = Vec::with_capacity(l.len() + r.len());
+    vals.extend_from_slice(l.values());
+    vals.extend_from_slice(r.values());
+    Row::from_values(vals)
+}
+
+fn null_row(n: usize) -> Row {
+    Row::from_values(vec![Value::Null; n])
+}
+
+/// Cross product (×) of two tables.
+pub fn cross_product(left: &Table, right: &Table) -> Result<Table> {
+    let schema = joint_schema(left, right)?;
+    let name = format!("{}x{}", left.name(), right.name());
+    let mut out = Table::empty(name, schema);
+    for l in left.rows() {
+        for r in right.rows() {
+            out.push(concat_rows(l, r))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Nested-loop join with an arbitrary predicate evaluated over the combined
+/// row. Supports inner, left outer, and full outer joins.
+pub fn nested_loop_join(
+    left: &Table,
+    right: &Table,
+    predicate: &Expr,
+    kind: JoinKind,
+) -> Result<Table> {
+    let schema = joint_schema(left, right)?;
+    let name = format!("{}⋈{}", left.name(), right.name());
+    let mut out = Table::empty(name, schema.clone());
+    let mut right_matched = vec![false; right.len()];
+    for l in left.rows() {
+        let mut matched = false;
+        for (j, r) in right.rows().iter().enumerate() {
+            let joined = concat_rows(l, r);
+            if predicate.matches(&schema, &joined)? {
+                matched = true;
+                right_matched[j] = true;
+                out.push(joined)?;
+            }
+        }
+        if !matched && kind != JoinKind::Inner {
+            out.push(concat_rows(l, &null_row(right.schema().len())))?;
+        }
+    }
+    if kind == JoinKind::Full {
+        for (j, r) in right.rows().iter().enumerate() {
+            if !right_matched[j] {
+                out.push(concat_rows(&null_row(left.schema().len()), r))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Hash equi-join on `left_col = right_col`. `NULL` keys never match
+/// (SQL semantics). Builds the hash table on the right input.
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_col: &str,
+    right_col: &str,
+    kind: JoinKind,
+) -> Result<Table> {
+    let li = left.resolve(left_col)?;
+    let ri = right.resolve(right_col)?;
+    let schema = joint_schema(left, right)?;
+    let name = format!("{}⋈{}", left.name(), right.name());
+    let mut out = Table::empty(name, schema);
+
+    let mut index: HashMap<&Value, Vec<usize>> = HashMap::with_capacity(right.len());
+    for (j, r) in right.rows().iter().enumerate() {
+        if !r[ri].is_null() {
+            index.entry(&r[ri]).or_default().push(j);
+        }
+    }
+    let mut right_matched = vec![false; right.len()];
+    for l in left.rows() {
+        let key = &l[li];
+        let matches = if key.is_null() { None } else { index.get(key) };
+        match matches {
+            Some(js) if !js.is_empty() => {
+                for &j in js {
+                    right_matched[j] = true;
+                    out.push(concat_rows(l, &right.rows()[j]))?;
+                }
+            }
+            _ => {
+                if kind != JoinKind::Inner {
+                    out.push(concat_rows(l, &null_row(right.schema().len())))?;
+                }
+            }
+        }
+    }
+    if kind == JoinKind::Full {
+        for (j, r) in right.rows().iter().enumerate() {
+            if !right_matched[j] {
+                out.push(concat_rows(&null_row(left.schema().len()), r))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table;
+
+    fn people() -> Table {
+        table! {
+            "P" => ["id", "name"];
+            [1, "Alice"],
+            [2, "Bob"],
+            [3, "Carol"],
+        }
+    }
+
+    fn cities() -> Table {
+        table! {
+            "C" => ["pid", "city"];
+            [1, "Berlin"],
+            [1, "Potsdam"],
+            [4, "Munich"],
+        }
+    }
+
+    #[test]
+    fn cross_product_cardinality() {
+        let x = cross_product(&people(), &cities()).unwrap();
+        assert_eq!(x.len(), 9);
+        assert_eq!(x.schema().len(), 4);
+    }
+
+    #[test]
+    fn qualified_names_on_collision() {
+        let a = table! { "A" => ["id"]; [1] };
+        let b = table! { "B" => ["id"]; [1] };
+        let x = cross_product(&a, &b).unwrap();
+        assert_eq!(x.schema().names(), vec!["A.id", "B.id"]);
+    }
+
+    #[test]
+    fn inner_hash_join() {
+        let j = hash_join(&people(), &cities(), "id", "pid", JoinKind::Inner).unwrap();
+        assert_eq!(j.len(), 2); // Alice x Berlin, Alice x Potsdam
+        for r in j.rows() {
+            assert_eq!(r[0], Value::Int(1));
+        }
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let j = hash_join(&people(), &cities(), "id", "pid", JoinKind::Left).unwrap();
+        assert_eq!(j.len(), 4); // 2 matches + Bob + Carol padded
+        let bob = j.rows().iter().find(|r| r[1] == Value::text("Bob")).unwrap();
+        assert!(bob[3].is_null());
+    }
+
+    #[test]
+    fn full_join_keeps_unmatched_right() {
+        let j = hash_join(&people(), &cities(), "id", "pid", JoinKind::Full).unwrap();
+        assert_eq!(j.len(), 5); // + Munich row
+        let munich = j.rows().iter().find(|r| r[3] == Value::text("Munich")).unwrap();
+        assert!(munich[0].is_null());
+    }
+
+    #[test]
+    fn null_keys_do_not_match() {
+        let a = table! { "A" => ["k"]; [()], [1] };
+        let b = table! { "B" => ["k"]; [()], [1] };
+        let j = hash_join(&a, &b, "k", "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn nested_loop_matches_hash_join_on_equi_predicate() {
+        let p = people();
+        let c = cities();
+        let pred = Expr::col("id").eq(Expr::col("pid"));
+        for kind in [JoinKind::Inner, JoinKind::Left, JoinKind::Full] {
+            let h = hash_join(&p, &c, "id", "pid", kind).unwrap();
+            let n = nested_loop_join(&p, &c, &pred, kind).unwrap();
+            let sort = |t: &Table| {
+                let mut rows = t.rows().to_vec();
+                rows.sort();
+                rows
+            };
+            assert_eq!(sort(&h), sort(&n), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn nested_loop_supports_theta_join() {
+        let a = table! { "A" => ["x"]; [1], [5] };
+        let b = table! { "B" => ["y"]; [3] };
+        let j = nested_loop_join(&a, &b, &Expr::col("x").lt(Expr::col("y")), JoinKind::Inner)
+            .unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.cell(0, 0), &Value::Int(1));
+    }
+}

@@ -1,0 +1,97 @@
+//! Multi-key sorting (`ORDER BY`).
+
+use crate::table::Table;
+use crate::Result;
+use std::cmp::Ordering;
+
+/// One `ORDER BY` key: a column plus direction. `NULL`s sort last under
+/// ascending order (see [`crate::value::Value::cmp_total`]) and first under
+/// descending, matching common SQL implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortKey {
+    /// Column name.
+    pub column: String,
+    /// True for ascending (SQL default).
+    pub ascending: bool,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(column: impl Into<String>) -> Self {
+        SortKey { column: column.into(), ascending: true }
+    }
+
+    /// Descending key.
+    pub fn desc(column: impl Into<String>) -> Self {
+        SortKey { column: column.into(), ascending: false }
+    }
+}
+
+/// Stable multi-key sort of a table.
+pub fn sort(table: &Table, keys: &[SortKey]) -> Result<Table> {
+    let resolved: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|k| table.resolve(&k.column).map(|i| (i, k.ascending)))
+        .collect::<Result<_>>()?;
+    Ok(table.sorted_by(|a, b| {
+        for &(i, asc) in &resolved {
+            let ord = a[i].cmp_total(&b[i]);
+            let ord = if asc { ord } else { ord.reverse() };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table;
+    use crate::value::Value;
+
+    fn t() -> Table {
+        table! {
+            "T" => ["name", "age"];
+            ["bob", 24],
+            ["alice", 22],
+            ["carol", 22],
+            ["dave", ()],
+        }
+    }
+
+    #[test]
+    fn single_key_asc_nulls_last() {
+        let s = sort(&t(), &[SortKey::asc("age")]).unwrap();
+        assert_eq!(s.cell(0, 1), &Value::Int(22));
+        assert!(s.cell(3, 1).is_null());
+    }
+
+    #[test]
+    fn single_key_desc() {
+        let s = sort(&t(), &[SortKey::desc("age")]).unwrap();
+        assert!(s.cell(0, 1).is_null()); // NULL first under desc
+        assert_eq!(s.cell(1, 1), &Value::Int(24));
+    }
+
+    #[test]
+    fn multi_key_breaks_ties() {
+        let s = sort(&t(), &[SortKey::asc("age"), SortKey::desc("name")]).unwrap();
+        assert_eq!(s.cell(0, 0), &Value::text("carol"));
+        assert_eq!(s.cell(1, 0), &Value::text("alice"));
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let s = sort(&t(), &[SortKey::asc("age")]).unwrap();
+        // alice precedes carol: equal keys keep input order
+        assert_eq!(s.cell(0, 0), &Value::text("alice"));
+        assert_eq!(s.cell(1, 0), &Value::text("carol"));
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        assert!(sort(&t(), &[SortKey::asc("zz")]).is_err());
+    }
+}

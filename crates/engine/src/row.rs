@@ -1,0 +1,213 @@
+//! Rows (tuples) of a relation.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A tuple: an ordered list of [`Value`]s matching some schema.
+///
+/// `Row` is a thin newtype over `Vec<Value>`; it exists so that fusion-layer
+/// code can speak in terms of tuples and so invariants (arity checks) have a
+/// single home in [`crate::table::Table::push`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Self {
+        Row(Vec::new())
+    }
+
+    /// A row from values.
+    pub fn from_values(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the row carries no values.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// The value at `idx`, or `None` out of bounds.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, v: Value) {
+        self.0.push(v);
+    }
+
+    /// Number of non-`NULL` values — the "completeness" of a tuple, used by
+    /// fusion quality metrics.
+    pub fn non_null_count(&self) -> usize {
+        self.0.iter().filter(|v| !v.is_null()).count()
+    }
+
+    /// Concatenation of all non-`NULL` values separated by single spaces.
+    ///
+    /// This is the "tuple as one string" document representation DUMAS feeds
+    /// to TF-IDF when sniffing duplicates across unaligned tables.
+    pub fn as_document(&self) -> String {
+        let mut out = String::new();
+        for v in &self.0 {
+            if let Some(t) = v.as_text() {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&t);
+            }
+        }
+        out
+    }
+
+    /// A new row projected onto `indices` (cloning the selected values).
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+impl IndexMut<usize> for Row {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        &mut self.0[idx]
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for Row {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Row {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if v.is_null() {
+                write!(f, "NULL")?;
+            } else {
+                write!(f, "{v}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Build a [`Row`] from a list of expressions convertible to [`Value`].
+///
+/// ```
+/// use hummer_engine::row;
+/// let r = row![1, "Alice", 3.5, ()];
+/// assert_eq!(r.len(), 4);
+/// assert!(r[3].is_null());
+/// ```
+#[macro_export]
+macro_rules! row {
+    () => { $crate::row::Row::new() };
+    ($($v:expr),+ $(,)?) => {
+        $crate::row::Row::from_values(vec![$($crate::IntoValue::into_value($v)),+])
+    };
+}
+
+/// Conversion helper backing the [`row!`] macro: like `Into<Value>` but also
+/// maps `()` to `NULL` so literal rows can spell missing values.
+pub trait IntoValue {
+    /// Convert into a [`Value`].
+    fn into_value(self) -> Value;
+}
+
+impl IntoValue for () {
+    fn into_value(self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Into<Value>> IntoValue for T {
+    fn into_value(self) -> Value {
+        self.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_macro_and_nulls() {
+        let r = row![1, "x", ()];
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], Value::Int(1));
+        assert_eq!(r[1], Value::text("x"));
+        assert!(r[2].is_null());
+    }
+
+    #[test]
+    fn document_skips_nulls() {
+        let r = row!["John Doe", (), 42];
+        assert_eq!(r.as_document(), "John Doe 42");
+    }
+
+    #[test]
+    fn document_of_all_null_row_is_empty() {
+        let r = row![(), ()];
+        assert_eq!(r.as_document(), "");
+    }
+
+    #[test]
+    fn non_null_count() {
+        assert_eq!(row![1, (), 3].non_null_count(), 2);
+        assert_eq!(row![].non_null_count(), 0);
+    }
+
+    #[test]
+    fn project_clones_selection() {
+        let r = row![10, 20, 30];
+        assert_eq!(r.project(&[2, 0]), row![30, 10]);
+    }
+
+    #[test]
+    fn display_marks_null() {
+        assert_eq!(row![1, ()].to_string(), "[1, NULL]");
+    }
+}

@@ -1,0 +1,299 @@
+//! Relation schemas: ordered, named, typed columns.
+
+use crate::error::EngineError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The declared type of a column.
+///
+/// Sources pulled in ad hoc are often untyped (CSV, screen-scraped tables),
+/// so [`ColumnType::Any`] marks a column whose cells may mix types; the
+/// engine's operators treat `Any` as compatible with everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// Boolean.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Calendar date.
+    Date,
+    /// Dynamically typed (heterogeneous or unknown).
+    Any,
+}
+
+impl ColumnType {
+    /// Whether a value of type `other` may be stored in a column of `self`.
+    pub fn accepts(&self, other: ColumnType) -> bool {
+        *self == ColumnType::Any
+            || *self == other
+            // Ints are acceptable in float columns (numeric widening).
+            || (*self == ColumnType::Float && other == ColumnType::Int)
+    }
+
+    /// The least upper bound of two types: equal types stay, Int∪Float =
+    /// Float, anything else degrades to `Any`.
+    pub fn unify(self, other: ColumnType) -> ColumnType {
+        use ColumnType::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Int, Float) | (Float, Int) => Float,
+            (Any, t) | (t, Any) => t,
+            _ => Any,
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Bool => "BOOL",
+            ColumnType::Int => "INT",
+            ColumnType::Float => "FLOAT",
+            ColumnType::Text => "TEXT",
+            ColumnType::Date => "DATE",
+            ColumnType::Any => "ANY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single column: a name plus a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name. Matching is case-insensitive but the original case is
+    /// preserved for display.
+    pub name: String,
+    /// Declared type.
+    pub ctype: ColumnType,
+}
+
+impl Column {
+    /// Create a column.
+    pub fn new(name: impl Into<String>, ctype: ColumnType) -> Self {
+        Column { name: name.into(), ctype }
+    }
+
+    /// A dynamically typed column (the common case for ad-hoc sources).
+    pub fn any(name: impl Into<String>) -> Self {
+        Column::new(name, ColumnType::Any)
+    }
+}
+
+/// An ordered list of columns with O(1) name lookup.
+///
+/// Column names are unique per schema (case-insensitively); HumMer's
+/// transformation phase guarantees this by renaming matched attributes to the
+/// preferred schema's names *before* the outer union.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    /// Lowercased name → index.
+    index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema from columns, rejecting duplicate names.
+    pub fn new(columns: Vec<Column>) -> Result<Self, EngineError> {
+        let mut index = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            if index.insert(c.name.to_ascii_lowercase(), i).is_some() {
+                return Err(EngineError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Schema { columns, index })
+    }
+
+    /// Build a schema of dynamically typed columns from names.
+    pub fn of_names<S: AsRef<str>>(names: &[S]) -> Result<Self, EngineError> {
+        Schema::new(names.iter().map(|n| Column::any(n.as_ref())).collect())
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Index of a column, or an [`EngineError::UnknownColumn`] naming
+    /// `relation` in the message.
+    pub fn resolve(&self, name: &str, relation: &str) -> Result<usize, EngineError> {
+        self.index_of(name).ok_or_else(|| EngineError::UnknownColumn {
+            name: name.to_string(),
+            relation: relation.to_string(),
+        })
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// True iff a column with this (case-insensitive) name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// A new schema with one column appended.
+    pub fn with_column(&self, col: Column) -> Result<Schema, EngineError> {
+        let mut cols = self.columns.clone();
+        cols.push(col);
+        Schema::new(cols)
+    }
+
+    /// A new schema with the column at `idx` renamed.
+    pub fn renamed(&self, idx: usize, new_name: impl Into<String>) -> Result<Schema, EngineError> {
+        let mut cols = self.columns.clone();
+        cols[idx].name = new_name.into();
+        Schema::new(cols)
+    }
+
+    /// Projection of this schema onto the given column indices
+    /// (duplicates allowed only if names stay unique — projection of the
+    /// same column twice fails with [`EngineError::DuplicateColumn`]).
+    pub fn project(&self, indices: &[usize]) -> Result<Schema, EngineError> {
+        Schema::new(indices.iter().map(|&i| self.columns[i].clone()).collect())
+    }
+
+    /// The *outer-union schema* of two schemas: all columns of `self` in
+    /// order, then the columns of `other` whose names are new. Shared
+    /// columns unify their types. This is the schema produced by HumMer's
+    /// data-transformation step after renaming.
+    pub fn outer_union(&self, other: &Schema) -> Schema {
+        let mut cols = self.columns.clone();
+        let mut index: HashMap<String, usize> = self.index.clone();
+        for c in &other.columns {
+            let key = c.name.to_ascii_lowercase();
+            match index.get(&key) {
+                Some(&i) => {
+                    cols[i].ctype = cols[i].ctype.unify(c.ctype);
+                }
+                None => {
+                    index.insert(key, cols.len());
+                    cols.push(c.clone());
+                }
+            }
+        }
+        // Names are unique by construction.
+        Schema { columns: cols, index }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ctype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::of_names(&["a", "b", "c"]).unwrap()
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = abc();
+        assert_eq!(s.index_of("A"), Some(0));
+        assert_eq!(s.index_of("B"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.contains("C"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(Schema::of_names(&["x", "X"]).is_err());
+    }
+
+    #[test]
+    fn resolve_reports_relation() {
+        let err = abc().resolve("zz", "T").unwrap_err();
+        assert!(err.to_string().contains("zz"));
+        assert!(err.to_string().contains("T"));
+    }
+
+    #[test]
+    fn outer_union_merges_by_name() {
+        let left = Schema::new(vec![
+            Column::new("name", ColumnType::Text),
+            Column::new("age", ColumnType::Int),
+        ])
+        .unwrap();
+        let right = Schema::new(vec![
+            Column::new("Age", ColumnType::Float),
+            Column::new("city", ColumnType::Text),
+        ])
+        .unwrap();
+        let u = left.outer_union(&right);
+        assert_eq!(u.names(), vec!["name", "age", "city"]);
+        // Int ∪ Float = Float
+        assert_eq!(u.column(1).ctype, ColumnType::Float);
+    }
+
+    #[test]
+    fn outer_union_degrades_to_any() {
+        let l = Schema::new(vec![Column::new("x", ColumnType::Text)]).unwrap();
+        let r = Schema::new(vec![Column::new("x", ColumnType::Int)]).unwrap();
+        assert_eq!(l.outer_union(&r).column(0).ctype, ColumnType::Any);
+    }
+
+    #[test]
+    fn type_unify_and_accepts() {
+        assert_eq!(ColumnType::Int.unify(ColumnType::Float), ColumnType::Float);
+        assert_eq!(ColumnType::Any.unify(ColumnType::Text), ColumnType::Text);
+        assert!(ColumnType::Float.accepts(ColumnType::Int));
+        assert!(ColumnType::Any.accepts(ColumnType::Date));
+        assert!(!ColumnType::Int.accepts(ColumnType::Text));
+    }
+
+    #[test]
+    fn project_and_rename() {
+        let s = abc();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+        let r = s.renamed(1, "bb").unwrap();
+        assert_eq!(r.names(), vec!["a", "bb", "c"]);
+        assert!(s.project(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Schema::new(vec![
+            Column::new("n", ColumnType::Text),
+            Column::new("a", ColumnType::Int),
+        ])
+        .unwrap();
+        assert_eq!(s.to_string(), "(n TEXT, a INT)");
+    }
+}

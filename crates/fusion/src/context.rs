@@ -1,0 +1,168 @@
+//! The *query context* a conflict resolution function sees.
+//!
+//! Paper §2.4: "the concept of conflict resolution is more general than the
+//! concept of aggregation, because it uses the entire query context to
+//! resolve conflicts. The query context consists not only of the conflicting
+//! values themselves, but also of the corresponding tuples, all the
+//! remaining column values, and other metadata, such as column name or table
+//! name."
+
+use hummer_engine::{Row, Schema, Value};
+
+/// Everything a resolution function may consult when merging one column of
+/// one duplicate cluster.
+#[derive(Debug)]
+pub struct ConflictContext<'a> {
+    /// Name of the table being fused.
+    pub table_name: &'a str,
+    /// Schema of the (pre-fusion) table.
+    pub schema: &'a Schema,
+    /// Name of the column being resolved.
+    pub column: &'a str,
+    /// Index of that column.
+    pub column_index: usize,
+    /// The cluster's full tuples, in input order.
+    pub rows: Vec<&'a Row>,
+    /// Source alias per tuple (from the `sourceID` column), when present.
+    pub source_ids: Vec<Option<String>>,
+}
+
+impl<'a> ConflictContext<'a> {
+    /// The conflicting values themselves (this column of every tuple,
+    /// `NULL`s included), in input order.
+    pub fn values(&self) -> Vec<&'a Value> {
+        self.rows.iter().map(|r| &r[self.column_index]).collect()
+    }
+
+    /// The non-`NULL` values with the index of the tuple that supplied each.
+    pub fn non_null_values(&self) -> Vec<(usize, &'a Value)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                let v = &r[self.column_index];
+                (!v.is_null()).then_some((i, v))
+            })
+            .collect()
+    }
+
+    /// Whether this column is in *conflict*: more than one distinct
+    /// non-null value across the cluster.
+    pub fn is_conflict(&self) -> bool {
+        let non_null = self.non_null_values();
+        match non_null.split_first() {
+            None => false,
+            Some(((_, first), rest)) => rest.iter().any(|(_, v)| !v.group_eq(first)),
+        }
+    }
+
+    /// The value another column takes in tuple `row` (for functions like
+    /// `MOST RECENT` that consult companion attributes).
+    pub fn companion_value(&self, row: usize, column: &str) -> Option<&'a Value> {
+        let idx = self.schema.index_of(column)?;
+        self.rows.get(row).map(|r| &r[idx])
+    }
+
+    /// Tuple indices supplied by the given source alias.
+    pub fn rows_from_source(&self, source: &str) -> Vec<usize> {
+        self.source_ids
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.as_deref()
+                    .is_some_and(|alias| alias.eq_ignore_ascii_case(source))
+                    .then_some(i)
+            })
+            .collect()
+    }
+
+    /// Number of tuples in the cluster.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the cluster is empty (does not occur during fusion but
+    /// keeps the API total).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::{row, Schema};
+
+    fn schema() -> Schema {
+        Schema::of_names(&["Name", "Age", "sourceID"]).unwrap()
+    }
+
+    fn rows() -> Vec<Row> {
+        vec![
+            row!["John", 33, "A"],
+            row!["John", 34, "B"],
+            row!["John", (), "C"],
+        ]
+    }
+
+    fn ctx<'a>(schema: &'a Schema, rows: &'a [Row], col: usize) -> ConflictContext<'a> {
+        ConflictContext {
+            table_name: "T",
+            schema,
+            column: schema.column(col).name.as_str(),
+            column_index: col,
+            rows: rows.iter().collect(),
+            source_ids: rows
+                .iter()
+                .map(|r| r[2].as_text())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn values_preserve_order_and_nulls() {
+        let s = schema();
+        let r = rows();
+        let c = ctx(&s, &r, 1);
+        let vals = c.values();
+        assert_eq!(vals.len(), 3);
+        assert!(vals[2].is_null());
+    }
+
+    #[test]
+    fn non_null_values_carry_row_indices() {
+        let s = schema();
+        let r = rows();
+        let c = ctx(&s, &r, 1);
+        let nn = c.non_null_values();
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].0, 0);
+        assert_eq!(nn[1].0, 1);
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let s = schema();
+        let r = rows();
+        assert!(ctx(&s, &r, 1).is_conflict()); // 33 vs 34
+        assert!(!ctx(&s, &r, 0).is_conflict()); // all "John"
+    }
+
+    #[test]
+    fn null_against_value_is_not_conflict() {
+        let s = schema();
+        let r = vec![row!["John", 33, "A"], row!["John", (), "B"]];
+        assert!(!ctx(&s, &r, 1).is_conflict()); // subsumption, not conflict
+    }
+
+    #[test]
+    fn companion_and_source_lookup() {
+        let s = schema();
+        let r = rows();
+        let c = ctx(&s, &r, 1);
+        assert_eq!(c.companion_value(1, "Name"), Some(&Value::text("John")));
+        assert_eq!(c.companion_value(1, "nope"), None);
+        assert_eq!(c.rows_from_source("b"), vec![1]);
+        assert!(c.rows_from_source("zz").is_empty());
+    }
+}

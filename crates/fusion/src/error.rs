@@ -1,0 +1,65 @@
+//! Error type for the fusion layer.
+
+use std::fmt;
+
+/// Errors produced during conflict resolution and fusion.
+#[derive(Debug)]
+pub enum FusionError {
+    /// A Fuse By / fusion spec referenced an unknown resolution function.
+    UnknownFunction(String),
+    /// A resolution function received a bad argument (missing source,
+    /// unknown recency column, wrong arity, …).
+    BadArgument(String),
+    /// A function was applied to values it cannot handle.
+    TypeError(String),
+    /// Underlying engine failure (schema, arity, expression).
+    Engine(hummer_engine::EngineError),
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::UnknownFunction(name) => {
+                write!(f, "unknown resolution function `{name}`")
+            }
+            FusionError::BadArgument(msg) => write!(f, "bad resolution argument: {msg}"),
+            FusionError::TypeError(msg) => write!(f, "resolution type error: {msg}"),
+            FusionError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FusionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FusionError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hummer_engine::EngineError> for FusionError {
+    fn from(e: hummer_engine::EngineError) -> Self {
+        FusionError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(FusionError::UnknownFunction("frob".into())
+            .to_string()
+            .contains("frob"));
+        assert!(FusionError::BadArgument("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn engine_error_wraps_with_source() {
+        use std::error::Error as _;
+        let e: FusionError = hummer_engine::EngineError::DuplicateColumn("c".into()).into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,667 @@
+//! The conflict resolution functions of paper §2.4.
+//!
+//! Each function consumes a [`ConflictContext`] (the full query context) and
+//! produces a [`Resolved`] value plus the indices of the tuples that
+//! contributed to it — the raw material for lineage tracking.
+//!
+//! Functions implemented (the paper's list, plus the standard SQL
+//! aggregates it mentions): `CHOOSE(source)`, `COALESCE`, `FIRST`, `LAST`,
+//! `VOTE`, `GROUP`, `CONCAT`, annotated `CONCAT`, `SHORTEST`, `LONGEST`,
+//! `MOST RECENT`, `MIN`, `MAX`, `SUM`, `AVG`, `MEDIAN`, `COUNT`.
+
+use crate::context::ConflictContext;
+use crate::error::FusionError;
+use hummer_engine::Value;
+
+/// Result alias for resolution functions.
+pub type Result<T> = std::result::Result<T, FusionError>;
+
+/// A resolved cell: the merged value and the cluster-tuple indices that
+/// supplied it (empty when the value was synthesized, e.g. a `SUM`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resolved {
+    /// The merged value.
+    pub value: Value,
+    /// Indices (within the cluster) of contributing tuples.
+    pub contributors: Vec<usize>,
+}
+
+impl Resolved {
+    /// A resolved value with contributors.
+    pub fn new(value: Value, contributors: Vec<usize>) -> Self {
+        Resolved { value, contributors }
+    }
+
+    /// A synthesized value: derived from all tuples rather than taken from
+    /// one (aggregates, concatenations).
+    pub fn synthesized(value: Value, ctx: &ConflictContext<'_>) -> Self {
+        Resolved { value, contributors: ctx.non_null_values().iter().map(|(i, _)| *i).collect() }
+    }
+}
+
+/// A conflict resolution function.
+///
+/// "Conflict resolution is implemented as user defined aggregation"
+/// (§2.4) — implementors get the whole context, not just the value list,
+/// and the registry makes the system extensible ("of course HumMer is
+/// extensible and new functions can be added").
+pub trait ResolutionFunction: Send + Sync {
+    /// Canonical lowercase name (what Fuse By queries call).
+    fn name(&self) -> &str;
+
+    /// Merge one column of one cluster.
+    fn resolve(&self, ctx: &ConflictContext<'_>) -> Result<Resolved>;
+}
+
+/// How [`Vote`] breaks ties between equally frequent values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// The value whose first occurrence comes earliest (deterministic
+    /// stand-in for the paper's "choosing randomly").
+    #[default]
+    FirstSeen,
+    /// The smallest value under the engine's total order.
+    Least,
+    /// The largest value under the engine's total order.
+    Greatest,
+}
+
+// ---------------------------------------------------------------------------
+// Value-picking functions
+// ---------------------------------------------------------------------------
+
+/// `COALESCE` — the first non-null value (the Fuse By default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Coalesce;
+
+impl ResolutionFunction for Coalesce {
+    fn name(&self) -> &str {
+        "coalesce"
+    }
+    fn resolve(&self, ctx: &ConflictContext<'_>) -> Result<Resolved> {
+        match ctx.non_null_values().first() {
+            Some(&(i, v)) => Ok(Resolved::new(v.clone(), vec![i])),
+            None => Ok(Resolved::new(Value::Null, vec![])),
+        }
+    }
+}
+
+/// `FIRST` — the first value, "even if it is a null value".
+#[derive(Debug, Default, Clone, Copy)]
+pub struct First;
+
+impl ResolutionFunction for First {
+    fn name(&self) -> &str {
+        "first"
+    }
+    fn resolve(&self, ctx: &ConflictContext<'_>) -> Result<Resolved> {
+        match ctx.values().first() {
+            Some(v) => Ok(Resolved::new((*v).clone(), vec![0])),
+            None => Ok(Resolved::new(Value::Null, vec![])),
+        }
+    }
+}
+
+/// `LAST` — the last value, even if null.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Last;
+
+impl ResolutionFunction for Last {
+    fn name(&self) -> &str {
+        "last"
+    }
+    fn resolve(&self, ctx: &ConflictContext<'_>) -> Result<Resolved> {
+        let vals = ctx.values();
+        match vals.last() {
+            Some(v) => Ok(Resolved::new((*v).clone(), vec![vals.len() - 1])),
+            None => Ok(Resolved::new(Value::Null, vec![])),
+        }
+    }
+}
+
+/// `CHOOSE(source)` — the value supplied by a specific source.
+#[derive(Debug, Clone)]
+pub struct Choose {
+    /// The preferred source alias.
+    pub source: String,
+}
+
+impl ResolutionFunction for Choose {
+    fn name(&self) -> &str {
+        "choose"
+    }
+    fn resolve(&self, ctx: &ConflictContext<'_>) -> Result<Resolved> {
+        let rows = ctx.rows_from_source(&self.source);
+        // First non-null value from the chosen source; NULL when the source
+        // contributed nothing.
+        for i in rows {
+            let v = &ctx.rows[i][ctx.column_index];
+            if !v.is_null() {
+                return Ok(Resolved::new(v.clone(), vec![i]));
+            }
+        }
+        Ok(Resolved::new(Value::Null, vec![]))
+    }
+}
+
+/// `VOTE` — the most frequent non-null value; ties broken per [`TieBreak`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Vote {
+    /// Tie-breaking strategy.
+    pub tie_break: TieBreak,
+}
+
+impl ResolutionFunction for Vote {
+    fn name(&self) -> &str {
+        "vote"
+    }
+    fn resolve(&self, ctx: &ConflictContext<'_>) -> Result<Resolved> {
+        let non_null = ctx.non_null_values();
+        if non_null.is_empty() {
+            return Ok(Resolved::new(Value::Null, vec![]));
+        }
+        // Count occurrences of each distinct value, tracking contributors.
+        let mut groups: Vec<(&Value, Vec<usize>)> = Vec::new();
+        for (i, v) in &non_null {
+            match groups.iter_mut().find(|(g, _)| g.group_eq(v)) {
+                Some((_, members)) => members.push(*i),
+                None => groups.push((v, vec![*i])),
+            }
+        }
+        let max_count = groups.iter().map(|(_, m)| m.len()).max().unwrap_or(0);
+        let tied: Vec<&(&Value, Vec<usize>)> =
+            groups.iter().filter(|(_, m)| m.len() == max_count).collect();
+        let winner = match self.tie_break {
+            TieBreak::FirstSeen => tied[0],
+            TieBreak::Least => tied
+                .iter()
+                .min_by(|a, b| a.0.cmp_total(b.0))
+                .expect("tied is non-empty"),
+            TieBreak::Greatest => tied
+                .iter()
+                .max_by(|a, b| a.0.cmp_total(b.0))
+                .expect("tied is non-empty"),
+        };
+        Ok(Resolved::new(winner.0.clone(), winner.1.clone()))
+    }
+}
+
+/// `SHORTEST` / `LONGEST` — the value of minimum/maximum length under the
+/// character-count length measure.
+#[derive(Debug, Clone, Copy)]
+pub struct ByLength {
+    /// True → `LONGEST`, false → `SHORTEST`.
+    pub longest: bool,
+}
+
+impl ResolutionFunction for ByLength {
+    fn name(&self) -> &str {
+        if self.longest {
+            "longest"
+        } else {
+            "shortest"
+        }
+    }
+    fn resolve(&self, ctx: &ConflictContext<'_>) -> Result<Resolved> {
+        let non_null = ctx.non_null_values();
+        let best = non_null.iter().reduce(|acc, cur| {
+            let la = acc.1.to_string().chars().count();
+            let lc = cur.1.to_string().chars().count();
+            let better = if self.longest { lc > la } else { lc < la };
+            if better {
+                cur
+            } else {
+                acc
+            }
+        });
+        match best {
+            Some(&(i, v)) => Ok(Resolved::new(v.clone(), vec![i])),
+            None => Ok(Resolved::new(Value::Null, vec![])),
+        }
+    }
+}
+
+/// `MOST RECENT` — "recency is evaluated with the help of another attribute
+/// or other metadata": picks the value whose tuple has the greatest value in
+/// `recency_column` (typically a date). Tuples with `NULL` recency lose to
+/// any dated tuple; ties go to the earlier tuple.
+#[derive(Debug, Clone)]
+pub struct MostRecent {
+    /// The companion attribute carrying recency (date or numeric).
+    pub recency_column: String,
+}
+
+impl ResolutionFunction for MostRecent {
+    fn name(&self) -> &str {
+        "mostrecent"
+    }
+    fn resolve(&self, ctx: &ConflictContext<'_>) -> Result<Resolved> {
+        if ctx.schema.index_of(&self.recency_column).is_none() {
+            return Err(FusionError::BadArgument(format!(
+                "MOST RECENT: no such recency column `{}`",
+                self.recency_column
+            )));
+        }
+        let non_null = ctx.non_null_values();
+        let best = non_null
+            .iter()
+            .map(|&(i, v)| {
+                let rec = ctx
+                    .companion_value(i, &self.recency_column)
+                    .cloned()
+                    .unwrap_or(Value::Null);
+                (i, v, rec)
+            })
+            .max_by(|a, b| {
+                // NULL recency sorts lowest; then engine order; earlier
+                // tuple wins ties (max_by keeps the last maximal → compare
+                // index descending as final key).
+                let rec_ord = match (a.2.is_null(), b.2.is_null()) {
+                    (true, true) => std::cmp::Ordering::Equal,
+                    (true, false) => std::cmp::Ordering::Less,
+                    (false, true) => std::cmp::Ordering::Greater,
+                    (false, false) => a.2.cmp_total(&b.2),
+                };
+                rec_ord.then(b.0.cmp(&a.0))
+            });
+        match best {
+            Some((i, v, _)) => Ok(Resolved::new(v.clone(), vec![i])),
+            None => Ok(Resolved::new(Value::Null, vec![])),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value-synthesizing functions
+// ---------------------------------------------------------------------------
+
+/// `GROUP` — "returns a set of all conflicting values and leaves resolution
+/// to the user". Rendered as `{v1, v2, …}` over the distinct non-null
+/// values in first-seen order.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Group;
+
+impl ResolutionFunction for Group {
+    fn name(&self) -> &str {
+        "group"
+    }
+    fn resolve(&self, ctx: &ConflictContext<'_>) -> Result<Resolved> {
+        let non_null = ctx.non_null_values();
+        if non_null.is_empty() {
+            return Ok(Resolved::new(Value::Null, vec![]));
+        }
+        let mut distinct: Vec<&Value> = Vec::new();
+        for (_, v) in &non_null {
+            if !distinct.iter().any(|d| d.group_eq(v)) {
+                distinct.push(v);
+            }
+        }
+        if distinct.len() == 1 {
+            // No conflict: hand back the single value unchanged.
+            return Ok(Resolved::new(distinct[0].clone(), vec![non_null[0].0]));
+        }
+        let body = distinct
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        Ok(Resolved::synthesized(Value::Text(format!("{{{body}}}")), ctx))
+    }
+}
+
+/// `CONCAT` / annotated `CONCAT` — all non-null values joined by a
+/// separator; the annotated form appends each value's source
+/// ("including annotations, such as the data source").
+#[derive(Debug, Clone)]
+pub struct Concat {
+    /// Separator between values.
+    pub separator: String,
+    /// Append `[source]` annotations.
+    pub annotated: bool,
+}
+
+impl Default for Concat {
+    fn default() -> Self {
+        Concat { separator: " | ".into(), annotated: false }
+    }
+}
+
+impl ResolutionFunction for Concat {
+    fn name(&self) -> &str {
+        if self.annotated {
+            "annotatedconcat"
+        } else {
+            "concat"
+        }
+    }
+    fn resolve(&self, ctx: &ConflictContext<'_>) -> Result<Resolved> {
+        let non_null = ctx.non_null_values();
+        if non_null.is_empty() {
+            return Ok(Resolved::new(Value::Null, vec![]));
+        }
+        let parts: Vec<String> = non_null
+            .iter()
+            .map(|&(i, v)| {
+                if self.annotated {
+                    let src = ctx.source_ids[i].as_deref().unwrap_or("?");
+                    format!("{v} [{src}]")
+                } else {
+                    v.to_string()
+                }
+            })
+            .collect();
+        Ok(Resolved::synthesized(Value::Text(parts.join(&self.separator)), ctx))
+    }
+}
+
+/// The numeric/ordering aggregates the paper inherits from SQL:
+/// `MIN`, `MAX`, `SUM`, `AVG`, `MEDIAN`, `COUNT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericAggregate {
+    /// Smallest non-null value (any type, engine order).
+    Min,
+    /// Largest non-null value.
+    Max,
+    /// Sum of numeric values.
+    Sum,
+    /// Mean of numeric values.
+    Avg,
+    /// Median of numeric values (midpoint average for even counts).
+    Median,
+    /// Count of non-null values.
+    Count,
+}
+
+impl ResolutionFunction for NumericAggregate {
+    fn name(&self) -> &str {
+        match self {
+            NumericAggregate::Min => "min",
+            NumericAggregate::Max => "max",
+            NumericAggregate::Sum => "sum",
+            NumericAggregate::Avg => "avg",
+            NumericAggregate::Median => "median",
+            NumericAggregate::Count => "count",
+        }
+    }
+
+    fn resolve(&self, ctx: &ConflictContext<'_>) -> Result<Resolved> {
+        let non_null = ctx.non_null_values();
+        match self {
+            NumericAggregate::Count => {
+                Ok(Resolved::synthesized(Value::Int(non_null.len() as i64), ctx))
+            }
+            NumericAggregate::Min | NumericAggregate::Max => {
+                let best = if *self == NumericAggregate::Min {
+                    non_null.iter().min_by(|a, b| a.1.cmp_total(b.1))
+                } else {
+                    non_null.iter().max_by(|a, b| a.1.cmp_total(b.1))
+                };
+                match best {
+                    Some(&(i, v)) => Ok(Resolved::new(v.clone(), vec![i])),
+                    None => Ok(Resolved::new(Value::Null, vec![])),
+                }
+            }
+            NumericAggregate::Sum | NumericAggregate::Avg | NumericAggregate::Median => {
+                if non_null.is_empty() {
+                    return Ok(Resolved::new(Value::Null, vec![]));
+                }
+                let mut nums = Vec::with_capacity(non_null.len());
+                let mut all_int = true;
+                for (_, v) in &non_null {
+                    match v {
+                        Value::Int(i) => nums.push(*i as f64),
+                        Value::Float(f) => {
+                            all_int = false;
+                            nums.push(*f);
+                        }
+                        other => {
+                            return Err(FusionError::TypeError(format!(
+                                "{} over non-numeric value `{other}` in column `{}`",
+                                self.name().to_uppercase(),
+                                ctx.column
+                            )))
+                        }
+                    }
+                }
+                let value = match self {
+                    NumericAggregate::Sum => {
+                        let s: f64 = nums.iter().sum();
+                        if all_int {
+                            Value::Int(s as i64)
+                        } else {
+                            Value::Float(s)
+                        }
+                    }
+                    NumericAggregate::Avg => {
+                        Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                    }
+                    NumericAggregate::Median => {
+                        nums.sort_by(f64::total_cmp);
+                        let n = nums.len();
+                        let m = if n % 2 == 1 {
+                            nums[n / 2]
+                        } else {
+                            (nums[n / 2 - 1] + nums[n / 2]) / 2.0
+                        };
+                        if all_int && m.fract() == 0.0 {
+                            Value::Int(m as i64)
+                        } else {
+                            Value::Float(m)
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Resolved::synthesized(value, ctx))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::{row, Row, Schema};
+
+    fn schema() -> Schema {
+        Schema::of_names(&["Name", "Age", "Updated", "sourceID"]).unwrap()
+    }
+
+    fn rows() -> Vec<Row> {
+        vec![
+            row!["Jon Smith", 33, hummer_engine::Date::parse("2005-01-10").unwrap(), "A"],
+            row!["John Smith", 34, hummer_engine::Date::parse("2005-03-02").unwrap(), "B"],
+            row![(), 34, (), "C"],
+        ]
+    }
+
+    fn ctx<'a>(schema: &'a Schema, rows: &'a [Row], col: usize) -> ConflictContext<'a> {
+        ConflictContext {
+            table_name: "T",
+            schema,
+            column: schema.column(col).name.as_str(),
+            column_index: col,
+            rows: rows.iter().collect(),
+            source_ids: rows.iter().map(|r| r[3].as_text()).collect(),
+        }
+    }
+
+    #[test]
+    fn coalesce_takes_first_non_null() {
+        let s = schema();
+        let r = rows();
+        let out = Coalesce.resolve(&ctx(&s, &r, 0)).unwrap();
+        assert_eq!(out.value, Value::text("Jon Smith"));
+        assert_eq!(out.contributors, vec![0]);
+    }
+
+    #[test]
+    fn coalesce_all_null_is_null() {
+        let s = schema();
+        let r = vec![row![(), (), (), "A"]];
+        let out = Coalesce.resolve(&ctx(&s, &r, 0)).unwrap();
+        assert!(out.value.is_null());
+        assert!(out.contributors.is_empty());
+    }
+
+    #[test]
+    fn first_takes_null_too() {
+        let s = schema();
+        let r = vec![row![(), 1, (), "A"], row!["x", 2, (), "B"]];
+        let out = First.resolve(&ctx(&s, &r, 0)).unwrap();
+        assert!(out.value.is_null(), "FIRST must take the first value even if NULL");
+        let last = Last.resolve(&ctx(&s, &r, 0)).unwrap();
+        assert_eq!(last.value, Value::text("x"));
+        assert_eq!(last.contributors, vec![1]);
+    }
+
+    #[test]
+    fn choose_prefers_named_source() {
+        let s = schema();
+        let r = rows();
+        let out = Choose { source: "B".into() }.resolve(&ctx(&s, &r, 1)).unwrap();
+        assert_eq!(out.value, Value::Int(34));
+        assert_eq!(out.contributors, vec![1]);
+        // Source with only a NULL in this column → NULL.
+        let none = Choose { source: "C".into() }.resolve(&ctx(&s, &r, 0)).unwrap();
+        assert!(none.value.is_null());
+        // Unknown source → NULL.
+        let unk = Choose { source: "ZZ".into() }.resolve(&ctx(&s, &r, 0)).unwrap();
+        assert!(unk.value.is_null());
+    }
+
+    #[test]
+    fn vote_majority_and_ties() {
+        let s = schema();
+        let r = rows();
+        let out = Vote::default().resolve(&ctx(&s, &r, 1)).unwrap();
+        assert_eq!(out.value, Value::Int(34)); // 34 appears twice
+        assert_eq!(out.contributors, vec![1, 2]);
+
+        // Tie: 33 and 34 once each → FirstSeen picks 33, Greatest picks 34.
+        let r2 = vec![row!["a", 33, (), "A"], row!["b", 34, (), "B"]];
+        let first = Vote { tie_break: TieBreak::FirstSeen }.resolve(&ctx(&s, &r2, 1)).unwrap();
+        assert_eq!(first.value, Value::Int(33));
+        let hi = Vote { tie_break: TieBreak::Greatest }.resolve(&ctx(&s, &r2, 1)).unwrap();
+        assert_eq!(hi.value, Value::Int(34));
+        let lo = Vote { tie_break: TieBreak::Least }.resolve(&ctx(&s, &r2, 1)).unwrap();
+        assert_eq!(lo.value, Value::Int(33));
+    }
+
+    #[test]
+    fn shortest_longest() {
+        let s = schema();
+        let r = rows();
+        let sh = ByLength { longest: false }.resolve(&ctx(&s, &r, 0)).unwrap();
+        assert_eq!(sh.value, Value::text("Jon Smith"));
+        let lo = ByLength { longest: true }.resolve(&ctx(&s, &r, 0)).unwrap();
+        assert_eq!(lo.value, Value::text("John Smith"));
+    }
+
+    #[test]
+    fn most_recent_follows_companion_date() {
+        let s = schema();
+        let r = rows();
+        let f = MostRecent { recency_column: "Updated".into() };
+        let out = f.resolve(&ctx(&s, &r, 1)).unwrap();
+        // Row 1 has the latest Updated and Age 34.
+        assert_eq!(out.value, Value::Int(34));
+        assert_eq!(out.contributors, vec![1]);
+    }
+
+    #[test]
+    fn most_recent_null_recency_loses() {
+        let s = schema();
+        let r = vec![
+            row!["old", 1, hummer_engine::Date::parse("2001-01-01").unwrap(), "A"],
+            row!["undated", 2, (), "B"],
+        ];
+        let f = MostRecent { recency_column: "Updated".into() };
+        let out = f.resolve(&ctx(&s, &r, 0)).unwrap();
+        assert_eq!(out.value, Value::text("old"));
+    }
+
+    #[test]
+    fn most_recent_missing_column_errors() {
+        let s = schema();
+        let r = rows();
+        let f = MostRecent { recency_column: "zz".into() };
+        assert!(f.resolve(&ctx(&s, &r, 0)).is_err());
+    }
+
+    #[test]
+    fn group_renders_distinct_set() {
+        let s = schema();
+        let r = rows();
+        let out = Group.resolve(&ctx(&s, &r, 1)).unwrap();
+        assert_eq!(out.value, Value::text("{33, 34}"));
+        // Single distinct value passes through un-bracketed.
+        let single = vec![row!["x", 7, (), "A"], row!["y", 7, (), "B"]];
+        let out1 = Group.resolve(&ctx(&s, &single, 1)).unwrap();
+        assert_eq!(out1.value, Value::Int(7));
+    }
+
+    #[test]
+    fn concat_plain_and_annotated() {
+        let s = schema();
+        let r = rows();
+        let plain = Concat::default().resolve(&ctx(&s, &r, 1)).unwrap();
+        assert_eq!(plain.value, Value::text("33 | 34 | 34"));
+        let ann = Concat { separator: "; ".into(), annotated: true }
+            .resolve(&ctx(&s, &r, 1))
+            .unwrap();
+        assert_eq!(ann.value, Value::text("33 [A]; 34 [B]; 34 [C]"));
+    }
+
+    #[test]
+    fn numeric_aggregates() {
+        let s = schema();
+        let r = rows();
+        let c = ctx(&s, &r, 1);
+        assert_eq!(NumericAggregate::Min.resolve(&c).unwrap().value, Value::Int(33));
+        assert_eq!(NumericAggregate::Max.resolve(&c).unwrap().value, Value::Int(34));
+        assert_eq!(NumericAggregate::Sum.resolve(&c).unwrap().value, Value::Int(101));
+        assert_eq!(
+            NumericAggregate::Avg.resolve(&c).unwrap().value,
+            Value::Float(101.0 / 3.0)
+        );
+        assert_eq!(NumericAggregate::Median.resolve(&c).unwrap().value, Value::Int(34));
+        assert_eq!(NumericAggregate::Count.resolve(&c).unwrap().value, Value::Int(3));
+    }
+
+    #[test]
+    fn median_even_count_averages() {
+        let s = schema();
+        let r = vec![row!["a", 1, (), "A"], row!["b", 4, (), "B"]];
+        let out = NumericAggregate::Median.resolve(&ctx(&s, &r, 1)).unwrap();
+        assert_eq!(out.value, Value::Float(2.5));
+    }
+
+    #[test]
+    fn sum_over_text_errors() {
+        let s = schema();
+        let r = rows();
+        let e = NumericAggregate::Sum.resolve(&ctx(&s, &r, 0));
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn aggregates_of_empty_cluster_are_null() {
+        let s = schema();
+        let r: Vec<Row> = vec![];
+        let c = ConflictContext {
+            table_name: "T",
+            schema: &s,
+            column: "Age",
+            column_index: 1,
+            rows: vec![],
+            source_ids: vec![],
+        };
+        drop(r);
+        assert!(NumericAggregate::Sum.resolve(&c).unwrap().value.is_null());
+        assert!(NumericAggregate::Min.resolve(&c).unwrap().value.is_null());
+        assert_eq!(NumericAggregate::Count.resolve(&c).unwrap().value, Value::Int(0));
+        assert!(Vote::default().resolve(&c).unwrap().value.is_null());
+        assert!(Group.resolve(&c).unwrap().value.is_null());
+        assert!(Concat::default().resolve(&c).unwrap().value.is_null());
+    }
+}

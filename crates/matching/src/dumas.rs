@@ -1,0 +1,223 @@
+//! Duplicate *sniffing* across unaligned tables — the first half of DUMAS.
+//!
+//! "Duplicate detection in unaligned databases is more difficult than in the
+//! usual setting, because attribute correspondences are missing. [...] the
+//! goal of this phase is not to detect all duplicates, but only as many as
+//! required for schema matching. DUMAS considers a tuple as one string and
+//! applies a string similarity measure to extract the most similar tuple
+//! pairs." (paper §2.2)
+//!
+//! Tuples become TF-IDF weight vectors over word tokens; pairs are ranked by
+//! cosine similarity using an inverted index so only token-sharing pairs are
+//! scored (never the full n×m cross product).
+
+use hummer_engine::Table;
+use hummer_textsim::tfidf::{Corpus, TfIdfVector};
+use hummer_textsim::tokenize::word_tokens;
+use std::collections::HashMap;
+
+/// A candidate duplicate pair across two tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TupleMatch {
+    /// Row index in the left table.
+    pub left: usize,
+    /// Row index in the right table.
+    pub right: usize,
+    /// TF-IDF cosine similarity of the two tuples rendered as strings.
+    pub similarity: f64,
+}
+
+/// Configuration for duplicate sniffing.
+#[derive(Debug, Clone)]
+pub struct SniffConfig {
+    /// How many top pairs to return (the `k` duplicates used for matching).
+    pub top_k: usize,
+    /// Minimum tuple cosine similarity for a pair to qualify at all.
+    pub min_similarity: f64,
+    /// When true (default), each row may appear in at most one returned
+    /// pair (greedy 1:1 filter by descending similarity), which stops one
+    /// hub tuple from dominating the sample.
+    pub one_to_one: bool,
+}
+
+impl Default for SniffConfig {
+    fn default() -> Self {
+        SniffConfig { top_k: 10, min_similarity: 0.5, one_to_one: true }
+    }
+}
+
+/// The tuple-as-document view of every row of a table.
+fn row_documents(t: &Table) -> Vec<Vec<String>> {
+    t.rows().iter().map(|r| word_tokens(&r.as_document())).collect()
+}
+
+/// Find the most similar tuple pairs between two unaligned tables.
+///
+/// Corpus statistics (document frequencies) are computed over *both* tables
+/// so a token common in either source is appropriately discounted.
+pub fn sniff_duplicates(left: &Table, right: &Table, cfg: &SniffConfig) -> Vec<TupleMatch> {
+    let left_docs = row_documents(left);
+    let right_docs = row_documents(right);
+    let corpus = Corpus::from_documents(left_docs.iter().chain(right_docs.iter()));
+
+    let left_vecs: Vec<TfIdfVector> =
+        left_docs.iter().map(|d| corpus.weight_vector(d)).collect();
+    let right_vecs: Vec<TfIdfVector> =
+        right_docs.iter().map(|d| corpus.weight_vector(d)).collect();
+
+    // Inverted index over the right table: token -> [(row, weight)].
+    let mut index: HashMap<&str, Vec<(usize, f64)>> = HashMap::new();
+    for (j, v) in right_vecs.iter().enumerate() {
+        for (tok, w) in v.iter() {
+            index.entry(tok).or_default().push((j, w));
+        }
+    }
+
+    // Accumulate dot products per left row, visiting only shared tokens.
+    let mut pairs: Vec<TupleMatch> = Vec::new();
+    let mut acc: HashMap<usize, f64> = HashMap::new();
+    for (i, v) in left_vecs.iter().enumerate() {
+        acc.clear();
+        for (tok, w) in v.iter() {
+            if let Some(posting) = index.get(tok) {
+                for &(j, wj) in posting {
+                    *acc.entry(j).or_insert(0.0) += w * wj;
+                }
+            }
+        }
+        for (&j, &dot) in &acc {
+            let sim = dot.clamp(0.0, 1.0);
+            if sim >= cfg.min_similarity {
+                pairs.push(TupleMatch { left: i, right: j, similarity: sim });
+            }
+        }
+    }
+
+    pairs.sort_by(|a, b| {
+        b.similarity
+            .total_cmp(&a.similarity)
+            .then(a.left.cmp(&b.left))
+            .then(a.right.cmp(&b.right))
+    });
+
+    if cfg.one_to_one {
+        let mut used_l = vec![false; left.len()];
+        let mut used_r = vec![false; right.len()];
+        pairs.retain(|p| {
+            if used_l[p.left] || used_r[p.right] {
+                false
+            } else {
+                used_l[p.left] = true;
+                used_r[p.right] = true;
+                true
+            }
+        });
+    }
+    pairs.truncate(cfg.top_k);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::table;
+
+    fn left() -> Table {
+        table! {
+            "L" => ["Name", "City", "Age"];
+            ["John Smith", "Chicago", 34],
+            ["Mary Jones", "Berlin", 28],
+            ["Peter Miller", "Paris", 45],
+        }
+    }
+
+    fn right() -> Table {
+        // Different schema order and labels; overlapping entities.
+        table! {
+            "R" => ["Ort", "Person"];
+            ["Chicago", "John Smith"],
+            ["Roma", "Giulia Rossi"],
+            ["Berlin", "Mary Jones"],
+        }
+    }
+
+    #[test]
+    fn finds_true_duplicates_first() {
+        let pairs = sniff_duplicates(&left(), &right(), &SniffConfig::default());
+        assert!(pairs.len() >= 2);
+        // The two overlapping people rank on top, in some order.
+        let top2: Vec<(usize, usize)> =
+            pairs.iter().take(2).map(|p| (p.left, p.right)).collect();
+        assert!(top2.contains(&(0, 0)), "John Smith pair in top 2: {top2:?}");
+        assert!(top2.contains(&(1, 2)), "Mary Jones pair in top 2: {top2:?}");
+    }
+
+    #[test]
+    fn similarity_is_bounded() {
+        let pairs = sniff_duplicates(&left(), &right(), &SniffConfig::default());
+        for p in pairs {
+            assert!((0.0..=1.0).contains(&p.similarity));
+        }
+    }
+
+    #[test]
+    fn min_similarity_prunes() {
+        let cfg = SniffConfig { min_similarity: 0.99, ..Default::default() };
+        let pairs = sniff_duplicates(&left(), &right(), &cfg);
+        assert!(pairs.is_empty(), "no pair is ~identical: {pairs:?}");
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let cfg = SniffConfig { top_k: 1, min_similarity: 0.1, ..Default::default() };
+        let pairs = sniff_duplicates(&left(), &right(), &cfg);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn one_to_one_suppresses_hub_rows() {
+        // Right row 0 is similar to both left rows; 1:1 keeps only the best.
+        let l = table! {
+            "L" => ["a"];
+            ["john smith chicago"],
+            ["john smith chicago illinois"],
+        };
+        let r = table! {
+            "R" => ["b"];
+            ["john smith chicago"],
+        };
+        let strict = sniff_duplicates(&l, &r, &SniffConfig { min_similarity: 0.1, ..Default::default() });
+        assert_eq!(strict.len(), 1);
+        let lax = sniff_duplicates(
+            &l,
+            &r,
+            &SniffConfig { min_similarity: 0.1, one_to_one: false, ..Default::default() },
+        );
+        assert_eq!(lax.len(), 2);
+    }
+
+    #[test]
+    fn disjoint_tables_no_pairs() {
+        let l = table! { "L" => ["a"]; ["aaa bbb"] };
+        let r = table! { "R" => ["b"]; ["ccc ddd"] };
+        let pairs = sniff_duplicates(&l, &r, &SniffConfig { min_similarity: 0.0, ..Default::default() });
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn empty_tables() {
+        let l = table! { "L" => ["a"]; };
+        let pairs = sniff_duplicates(&l, &right(), &SniffConfig::default());
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn deterministic_order_on_ties() {
+        let l = table! { "L" => ["a"]; ["x y"], ["x y"] };
+        let r = table! { "R" => ["b"]; ["x y"], ["x y"] };
+        let cfg = SniffConfig { min_similarity: 0.1, one_to_one: false, top_k: 10 };
+        let p1 = sniff_duplicates(&l, &r, &cfg);
+        let p2 = sniff_duplicates(&l, &r, &cfg);
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Maximum-weight bipartite matching (Kuhn-Munkres / Hungarian algorithm).
+//!
+//! DUMAS derives attribute correspondences by computing "the maximum weight
+//! matching" over the averaged field-similarity matrix (paper §2.2). The
+//! matrix is rectangular in general (schemas have different widths); we pad
+//! to a square with zero weights, solve, and drop pad assignments.
+
+/// One assignment in a matching: left index, right index, and its weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    /// Row (left-schema attribute) index.
+    pub left: usize,
+    /// Column (right-schema attribute) index.
+    pub right: usize,
+    /// The matched weight.
+    pub weight: f64,
+}
+
+/// Compute a maximum-weight matching of the bipartite graph given as a
+/// dense `weights[left][right]` matrix (all weights must be finite;
+/// negative weights are treated as 0 — never worth matching).
+///
+/// Returns one [`Assignment`] per matched pair with strictly positive
+/// weight, sorted by descending weight. Runs the O(n³) potentials variant
+/// of the Hungarian algorithm.
+pub fn max_weight_matching(weights: &[Vec<f64>]) -> Vec<Assignment> {
+    let n_rows = weights.len();
+    let n_cols = weights.first().map_or(0, |r| r.len());
+    if n_rows == 0 || n_cols == 0 {
+        return Vec::new();
+    }
+    debug_assert!(
+        weights.iter().all(|r| r.len() == n_cols),
+        "weight matrix must be rectangular"
+    );
+    let n = n_rows.max(n_cols);
+
+    // Build a square *cost* matrix for minimization: cost = max_w - w, with
+    // zero-padding rows/columns carrying cost max_w (equivalent to w = 0).
+    let max_w = weights
+        .iter()
+        .flatten()
+        .fold(0.0_f64, |acc, &w| acc.max(w.max(0.0)));
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < n_rows && j < n_cols {
+            max_w - weights[i][j].max(0.0)
+        } else {
+            max_w
+        }
+    };
+
+    // Hungarian algorithm with row/column potentials.
+    // Indices are 1-based internally; 0 is the virtual root.
+    let mut u = vec![0.0_f64; n + 1]; // row potentials
+    let mut v = vec![0.0_f64; n + 1]; // column potentials
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut out: Vec<Assignment> = Vec::new();
+    for j in 1..=n {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (li, rj) = (i - 1, j - 1);
+        if li < n_rows && rj < n_cols && weights[li][rj] > 0.0 {
+            out.push(Assignment { left: li, right: rj, weight: weights[li][rj] });
+        }
+    }
+    out.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+    out
+}
+
+/// Total weight of a matching.
+pub fn matching_weight(assignments: &[Assignment]) -> f64 {
+    assignments.iter().map(|a| a.weight).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(w: &[&[f64]]) -> Vec<Assignment> {
+        let m: Vec<Vec<f64>> = w.iter().map(|r| r.to_vec()).collect();
+        max_weight_matching(&m)
+    }
+
+    #[test]
+    fn identity_matrix_matches_diagonal() {
+        let m = solve(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().any(|a| a.left == 0 && a.right == 0));
+        assert!(m.iter().any(|a| a.left == 1 && a.right == 1));
+    }
+
+    #[test]
+    fn prefers_total_weight_over_greedy() {
+        // Greedy would take (0,0)=0.9 then be stuck with (1,1)=0.1 → 1.0.
+        // Optimal is (0,1)=0.8 + (1,0)=0.8 → 1.6.
+        let m = solve(&[&[0.9, 0.8], &[0.8, 0.1]]);
+        let total = matching_weight(&m);
+        assert!((total - 1.6).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn rectangular_wide() {
+        // 2 rows, 3 columns: best is (0,2) and (1,0).
+        let m = solve(&[&[0.2, 0.1, 0.9], &[0.8, 0.3, 0.85]]);
+        assert_eq!(m.len(), 2);
+        let total = matching_weight(&m);
+        assert!((total - 1.7).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn rectangular_tall() {
+        let m = solve(&[&[0.9], &[0.8], &[0.1]]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].left, 0);
+        assert_eq!(m[0].right, 0);
+    }
+
+    #[test]
+    fn zero_weights_not_matched() {
+        let m = solve(&[&[0.0, 0.0], &[0.0, 0.7]]);
+        assert_eq!(m.len(), 1);
+        assert_eq!((m[0].left, m[0].right), (1, 1));
+    }
+
+    #[test]
+    fn negative_weights_treated_as_zero() {
+        let m = solve(&[&[-0.5, 0.3], &[0.2, -0.9]]);
+        let total = matching_weight(&m);
+        assert!((total - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(max_weight_matching(&[]).is_empty());
+        assert!(max_weight_matching(&[vec![]]).is_empty());
+    }
+
+    #[test]
+    fn matching_is_one_to_one() {
+        let w = vec![
+            vec![0.5, 0.6, 0.7, 0.2],
+            vec![0.9, 0.4, 0.3, 0.8],
+            vec![0.1, 0.95, 0.2, 0.6],
+        ];
+        let m = max_weight_matching(&w);
+        let mut lefts: Vec<_> = m.iter().map(|a| a.left).collect();
+        let mut rights: Vec<_> = m.iter().map(|a| a.right).collect();
+        lefts.sort_unstable();
+        lefts.dedup();
+        rights.sort_unstable();
+        rights.dedup();
+        assert_eq!(lefts.len(), m.len());
+        assert_eq!(rights.len(), m.len());
+    }
+
+    #[test]
+    fn sorted_by_descending_weight() {
+        let m = solve(&[&[0.3, 0.0], &[0.0, 0.9]]);
+        assert!(m[0].weight >= m[1].weight);
+    }
+
+    #[test]
+    fn beats_brute_force_on_random_small_matrices() {
+        // Exhaustive check on all permutations for 4x4 matrices.
+        let w = vec![
+            vec![0.11, 0.74, 0.35, 0.52],
+            vec![0.63, 0.22, 0.81, 0.17],
+            vec![0.29, 0.58, 0.44, 0.93],
+            vec![0.77, 0.31, 0.66, 0.05],
+        ];
+        let m = max_weight_matching(&w);
+        let hungarian_total = matching_weight(&m);
+        // Brute force over permutations of columns.
+        let mut best = 0.0_f64;
+        let idx = [0usize, 1, 2, 3];
+        let mut perm = idx;
+        // Heap's algorithm, iterative.
+        let mut c = [0usize; 4];
+        let score = |p: &[usize; 4]| -> f64 { (0..4).map(|i| w[i][p[i]]).sum() };
+        best = best.max(score(&perm));
+        let mut i = 0;
+        while i < 4 {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(c[i], i);
+                }
+                best = best.max(score(&perm));
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+        assert!((hungarian_total - best).abs() < 1e-9, "{hungarian_total} vs {best}");
+    }
+}

@@ -1,0 +1,274 @@
+//! The DUMAS schema matcher: from sniffed duplicates to pruned 1:1
+//! attribute correspondences.
+
+use crate::correspondence::{Correspondence, MatchResult};
+use crate::dumas::{sniff_duplicates, SniffConfig};
+use crate::hungarian::max_weight_matching;
+use crate::matrix::SimilarityMatrix;
+use hummer_engine::{Table, Value};
+use hummer_textsim::jaro::jaro_winkler;
+use hummer_textsim::softtfidf::SoftTfIdf;
+use hummer_textsim::tfidf::Corpus;
+use hummer_textsim::tokenize::word_tokens;
+
+/// Configuration of the schema matcher.
+#[derive(Debug, Clone)]
+pub struct MatcherConfig {
+    /// How duplicates are sniffed (top-k, minimum tuple similarity, 1:1).
+    pub sniff: SniffConfig,
+    /// SoftTFIDF secondary-similarity threshold θ for field comparison.
+    pub soft_theta: f64,
+    /// Correspondences with an averaged score below this are pruned
+    /// (§2.2: "correspondences with a similarity score below a given
+    /// threshold are pruned").
+    pub prune_threshold: f64,
+    /// Blend factor `λ ∈ [0, 1]` for column-*label* similarity
+    /// (Jaro-Winkler of attribute names): the matrix entry becomes
+    /// `(1−λ)·instance + λ·label`. DUMAS is purely instance-based, so the
+    /// faithful default is 0; the ablation benches sweep it.
+    pub label_weight: f64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            sniff: SniffConfig::default(),
+            soft_theta: 0.9,
+            prune_threshold: 0.35,
+            label_weight: 0.0,
+        }
+    }
+}
+
+/// Tokenized view of every cell of a table, plus NULL flags.
+fn tokenized_cells(t: &Table) -> Vec<Vec<Option<Vec<String>>>> {
+    t.rows()
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .map(|v| match v {
+                    Value::Null => None,
+                    other => Some(word_tokens(&other.to_string())),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Match two tables' schemas by comparing the fields of sniffed duplicates.
+///
+/// Implements §2.2 of the paper end to end:
+/// 1. sniff the most similar tuple pairs (TF-IDF over whole tuples),
+/// 2. compare each pair field-wise with SoftTFIDF → one matrix per pair,
+/// 3. average the matrices,
+/// 4. maximum-weight bipartite matching → 1:1 correspondences,
+/// 5. prune below `prune_threshold`.
+pub fn match_tables(left: &Table, right: &Table, cfg: &MatcherConfig) -> MatchResult {
+    let duplicates = sniff_duplicates(left, right, &cfg.sniff);
+
+    let n_l = left.schema().len();
+    let n_r = right.schema().len();
+
+    // Field corpus: every non-null cell of either table is one document, so
+    // SoftTFIDF weights reflect how identifying a field value is.
+    let left_cells = tokenized_cells(left);
+    let right_cells = tokenized_cells(right);
+    let corpus = Corpus::from_documents(
+        left_cells
+            .iter()
+            .chain(right_cells.iter())
+            .flatten()
+            .flatten(),
+    );
+    let soft = SoftTfIdf::with_theta(&corpus, cfg.soft_theta);
+
+    // One similarity matrix per duplicate pair, then average.
+    let per_pair: Vec<SimilarityMatrix> = duplicates
+        .iter()
+        .map(|d| {
+            let lrow = &left_cells[d.left];
+            let rrow = &right_cells[d.right];
+            SimilarityMatrix::from_fn(n_l, n_r, |i, j| match (&lrow[i], &rrow[j]) {
+                (Some(a), Some(b)) => soft.similarity(a, b),
+                _ => 0.0,
+            })
+        })
+        .collect();
+    let mut matrix =
+        SimilarityMatrix::mean(&per_pair).unwrap_or_else(|| SimilarityMatrix::zeros(n_l, n_r));
+
+    // Optional label-similarity blend (ablation knob; default off).
+    if cfg.label_weight > 0.0 {
+        let lam = cfg.label_weight.clamp(0.0, 1.0);
+        let lnames = left.schema().names();
+        let rnames = right.schema().names();
+        for i in 0..n_l {
+            for j in 0..n_r {
+                let label =
+                    jaro_winkler(&lnames[i].to_lowercase(), &rnames[j].to_lowercase());
+                let inst = matrix.get(i, j);
+                matrix.set(i, j, (1.0 - lam) * inst + lam * label);
+            }
+        }
+    }
+
+    let assignments = max_weight_matching(&matrix.to_nested());
+    let correspondences: Vec<Correspondence> = assignments
+        .into_iter()
+        .filter(|a| a.weight >= cfg.prune_threshold)
+        .map(|a| Correspondence {
+            left_column: left.schema().column(a.left).name.clone(),
+            right_column: right.schema().column(a.right).name.clone(),
+            score: a.weight,
+        })
+        .collect();
+
+    MatchResult {
+        left_table: left.name().to_string(),
+        right_table: right.name().to_string(),
+        correspondences,
+        duplicates_used: duplicates,
+        matrix,
+    }
+}
+
+/// Match every non-preferred table against the preferred (first) one — the
+/// star alignment HumMer uses when a query fuses more than two relations
+/// ("HumMer is able to display correspondences simultaneously over many
+/// relations", §2.2; renaming favors "the first source mentioned in the
+/// query", §3).
+pub fn match_star(tables: &[&Table], cfg: &MatcherConfig) -> Vec<MatchResult> {
+    match tables.split_first() {
+        None => Vec::new(),
+        Some((preferred, rest)) => rest
+            .iter()
+            .map(|t| match_tables(preferred, t, cfg))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::table;
+
+    /// Two student tables with permuted, relabeled schemas and three
+    /// overlapping students (with small value variations).
+    fn ee() -> Table {
+        table! {
+            "EE_Student" => ["Name", "Age", "City"];
+            ["John Smith", 24, "Berlin"],
+            ["Mary Jones", 22, "Hamburg"],
+            ["Peter Miller", 27, "Munich"],
+            ["Ada Lovelace", 28, "London"],
+        }
+    }
+
+    fn cs() -> Table {
+        table! {
+            "CS_Students" => ["Town", "FullName", "Years"];
+            ["Berlin", "John Smith", 24],
+            ["Hamburg", "Mary Jones", 23],
+            ["Paris", "Marie Curie", 31],
+        }
+    }
+
+    fn cfg() -> MatcherConfig {
+        MatcherConfig {
+            sniff: SniffConfig { min_similarity: 0.2, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finds_expected_correspondences() {
+        let r = match_tables(&ee(), &cs(), &cfg());
+        let map = r.rename_map();
+        assert_eq!(map.get("FullName").map(String::as_str), Some("Name"));
+        assert_eq!(map.get("Town").map(String::as_str), Some("City"));
+        // Age/Years corresponds via equal numbers in the duplicates.
+        assert_eq!(map.get("Years").map(String::as_str), Some("Age"));
+    }
+
+    #[test]
+    fn correspondences_are_one_to_one() {
+        let r = match_tables(&ee(), &cs(), &cfg());
+        let mut lefts: Vec<&str> = r.correspondences.iter().map(|c| c.left_column.as_str()).collect();
+        let mut rights: Vec<&str> =
+            r.correspondences.iter().map(|c| c.right_column.as_str()).collect();
+        let n = r.correspondences.len();
+        lefts.sort_unstable();
+        lefts.dedup();
+        rights.sort_unstable();
+        rights.dedup();
+        assert_eq!(lefts.len(), n);
+        assert_eq!(rights.len(), n);
+    }
+
+    #[test]
+    fn no_duplicates_no_correspondences() {
+        let a = table! { "A" => ["x"]; ["aaa bbb ccc"] };
+        let b = table! { "B" => ["y"]; ["ddd eee fff"] };
+        let r = match_tables(&a, &b, &MatcherConfig::default());
+        assert!(r.duplicates_used.is_empty());
+        assert!(r.correspondences.is_empty());
+    }
+
+    #[test]
+    fn pruning_threshold_filters_weak_matches() {
+        let mut c = cfg();
+        c.prune_threshold = 0.99;
+        let r = match_tables(&ee(), &cs(), &c);
+        // Nothing is that certain on noisy data.
+        assert!(r.correspondences.iter().all(|cc| cc.score >= 0.99));
+    }
+
+    #[test]
+    fn label_blend_can_rescue_instance_less_case() {
+        // No instance overlap at all, but identical labels.
+        let a = table! { "A" => ["Name", "City"]; ["aaa", "bbb"] };
+        let b = table! { "B" => ["Name", "City"]; ["ccc", "ddd"] };
+        let pure = match_tables(&a, &b, &MatcherConfig::default());
+        assert!(pure.correspondences.is_empty());
+        let blended = match_tables(
+            &a,
+            &b,
+            &MatcherConfig { label_weight: 0.5, ..Default::default() },
+        );
+        assert_eq!(blended.correspondences.len(), 2);
+    }
+
+    #[test]
+    fn star_matches_all_against_first() {
+        let t1 = ee();
+        let t2 = cs();
+        let t3 = table! {
+            "Registry" => ["Person", "Residence"];
+            ["John Smith", "Berlin"],
+            ["Ada Lovelace", "London"],
+        };
+        let results = match_star(&[&t1, &t2, &t3], &cfg());
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].right_table, "CS_Students");
+        assert_eq!(results[1].right_table, "Registry");
+        let m3 = results[1].rename_map();
+        assert_eq!(m3.get("Person").map(String::as_str), Some("Name"));
+        assert_eq!(m3.get("Residence").map(String::as_str), Some("City"));
+    }
+
+    #[test]
+    fn matrix_shape_matches_schemas() {
+        let r = match_tables(&ee(), &cs(), &cfg());
+        assert_eq!(r.matrix.rows(), 3);
+        assert_eq!(r.matrix.cols(), 3);
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let r = match_tables(&ee(), &cs(), &cfg());
+        for c in &r.correspondences {
+            assert!((0.0..=1.0).contains(&c.score));
+        }
+    }
+}

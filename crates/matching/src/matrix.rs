@@ -1,0 +1,158 @@
+//! Attribute-pair similarity matrices.
+//!
+//! For each sniffed duplicate pair, DUMAS compares the two tuples
+//! "field-wise using the SoftTFIDF similarity measure, resulting in a matrix
+//! containing similarity scores for each attribute combination. The matrices
+//! of each duplicate are averaged" (paper §2.2). This module holds that
+//! matrix type and its averaging.
+
+use std::fmt;
+
+/// A dense `left-attributes × right-attributes` similarity matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// A zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        SimilarityMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = SimilarityMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Number of rows (left attributes).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (right attributes).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read a cell.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Write a cell.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Element-wise accumulate another matrix (shapes must agree).
+    pub fn add_assign(&mut self, other: &SimilarityMatrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "matrix shapes must agree"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scale all entries.
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// The element-wise mean of several matrices (all the same shape).
+    /// Returns `None` for an empty slice.
+    pub fn mean(matrices: &[SimilarityMatrix]) -> Option<SimilarityMatrix> {
+        let first = matrices.first()?;
+        let mut acc = SimilarityMatrix::zeros(first.rows, first.cols);
+        for m in matrices {
+            acc.add_assign(m);
+        }
+        acc.scale(1.0 / matrices.len() as f64);
+        Some(acc)
+    }
+
+    /// Borrow as the row-major nested vec the Hungarian solver expects.
+    pub fn to_nested(&self) -> Vec<Vec<f64>> {
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.get(i, j)).collect())
+            .collect()
+    }
+}
+
+impl fmt::Display for SimilarityMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:.3}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get() {
+        let m = SimilarityMatrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(1, 2), 12.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn mean_averages() {
+        let a = SimilarityMatrix::from_fn(2, 2, |i, j| if i == j { 1.0 } else { 0.0 });
+        let b = SimilarityMatrix::from_fn(2, 2, |_, _| 0.5);
+        let m = SimilarityMatrix::mean(&[a, b]).unwrap();
+        assert_eq!(m.get(0, 0), 0.75);
+        assert_eq!(m.get(0, 1), 0.25);
+    }
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert!(SimilarityMatrix::mean(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must agree")]
+    fn shape_mismatch_panics() {
+        let mut a = SimilarityMatrix::zeros(1, 2);
+        let b = SimilarityMatrix::zeros(2, 1);
+        a.add_assign(&b);
+    }
+
+    #[test]
+    fn display_is_row_major() {
+        let m = SimilarityMatrix::from_fn(1, 2, |_, j| j as f64);
+        assert_eq!(m.to_string(), "0.000 1.000\n");
+    }
+
+    #[test]
+    fn to_nested_round_trips() {
+        let m = SimilarityMatrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let n = m.to_nested();
+        assert_eq!(n[1][0], 1.0);
+        assert_eq!(n[1][1], 2.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Abstract syntax of the Fuse By dialect (paper Fig. 1), a superset of
+//! Select-Project-Join SQL with sorting, grouping, and aggregation.
+
+use hummer_engine::Expr;
+use hummer_fusion::ResolutionSpec;
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — "replaced by all attributes present in the sources" (§2.1).
+    Wildcard,
+    /// A plain column reference with an optional alias.
+    Column {
+        /// Column name.
+        name: String,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+    /// `RESOLVE(col)` or `RESOLVE(col, function(args…))`.
+    Resolve {
+        /// The column whose conflicts are resolved.
+        column: String,
+        /// The resolution function; `None` means the default (`COALESCE`).
+        function: Option<ResolutionSpec>,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+    /// A standard aggregate in a plain (non-fusion) query:
+    /// `max(Age)`, `count(*)`.
+    Aggregate {
+        /// Function name (`min`, `max`, `sum`, `avg`, `count`).
+        function: String,
+        /// Input column; `None` for `count(*)`.
+        column: Option<String>,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// The `FROM` clause: plain SQL (`FROM`) combines tables by join/cross
+/// product, `FUSE FROM` combines them "by outer union instead of cross
+/// product" (§2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromClause {
+    /// Referenced table names (registry aliases), in query order; the first
+    /// is the preferred schema.
+    pub tables: Vec<String>,
+    /// True for `FUSE FROM`.
+    pub fuse: bool,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Column (possibly an alias from the select list).
+    pub column: String,
+    /// Ascending? (`ASC` default.)
+    pub ascending: bool,
+}
+
+/// A parsed Fuse By statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuseQuery {
+    /// The select list.
+    pub select: Vec<SelectItem>,
+    /// `FROM` / `FUSE FROM`.
+    pub from: FromClause,
+    /// `WHERE` predicate (applies before fusion).
+    pub where_clause: Option<Expr>,
+    /// `FUSE BY (cols)` — the object identifier; `None` for plain queries.
+    pub fuse_by: Option<Vec<String>>,
+    /// Plain `GROUP BY` (mutually exclusive with `FUSE BY`).
+    pub group_by: Vec<String>,
+    /// `HAVING` predicate (applies after fusion/grouping).
+    pub having: Option<Expr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+}
+
+impl FuseQuery {
+    /// True for data-fusion queries (`FUSE BY` present or `FUSE FROM`
+    /// used).
+    pub fn is_fusion(&self) -> bool {
+        self.fuse_by.is_some() || self.from.fuse
+    }
+
+    /// The explicit `RESOLVE` specifications, in select-list order.
+    pub fn resolutions(&self) -> Vec<(&str, Option<&ResolutionSpec>)> {
+        self.select
+            .iter()
+            .filter_map(|item| match item {
+                SelectItem::Resolve { column, function, .. } => {
+                    Some((column.as_str(), function.as_ref()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fusion_detection() {
+        let q = FuseQuery {
+            select: vec![SelectItem::Wildcard],
+            from: FromClause { tables: vec!["A".into()], fuse: true },
+            where_clause: None,
+            fuse_by: None,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+        };
+        assert!(q.is_fusion());
+        let mut plain = q.clone();
+        plain.from.fuse = false;
+        assert!(!plain.is_fusion());
+        plain.fuse_by = Some(vec!["Name".into()]);
+        assert!(plain.is_fusion());
+    }
+
+    #[test]
+    fn resolutions_extracted_in_order() {
+        let q = FuseQuery {
+            select: vec![
+                SelectItem::Column { name: "Name".into(), alias: None },
+                SelectItem::Resolve {
+                    column: "Age".into(),
+                    function: Some(ResolutionSpec::named("max")),
+                    alias: None,
+                },
+                SelectItem::Resolve { column: "City".into(), function: None, alias: None },
+            ],
+            from: FromClause { tables: vec!["A".into()], fuse: true },
+            where_clause: None,
+            fuse_by: Some(vec!["Name".into()]),
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+        };
+        let r = q.resolutions();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].0, "Age");
+        assert!(r[0].1.is_some());
+        assert!(r[1].1.is_none());
+    }
+}

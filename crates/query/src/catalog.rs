@@ -1,0 +1,101 @@
+//! Table catalogs: where the executor finds relations by alias.
+
+use hummer_engine::Table;
+use std::collections::HashMap;
+
+/// Anything that can supply tables by alias (the metadata repository in
+/// `hummer-core` implements this; tests use [`TableSet`]).
+pub trait Catalog {
+    /// Look up a table under a (case-insensitive) alias.
+    fn table(&self, alias: &str) -> Option<&Table>;
+}
+
+/// A simple in-memory catalog.
+#[derive(Debug, Clone, Default)]
+pub struct TableSet {
+    tables: HashMap<String, Table>,
+}
+
+impl TableSet {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        TableSet::default()
+    }
+
+    /// Register a table under its own name.
+    pub fn add(&mut self, table: Table) -> &mut Self {
+        self.tables.insert(table.name().to_ascii_lowercase(), table);
+        self
+    }
+
+    /// Register a table under an explicit alias.
+    pub fn add_as(&mut self, alias: impl Into<String>, mut table: Table) -> &mut Self {
+        let alias = alias.into();
+        table.set_name(alias.clone());
+        self.tables.insert(alias.to_ascii_lowercase(), table);
+        self
+    }
+
+    /// Registered aliases, sorted.
+    pub fn aliases(&self) -> Vec<&str> {
+        let mut a: Vec<&str> = self.tables.values().map(|t| t.name()).collect();
+        a.sort_unstable();
+        a
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+impl Catalog for TableSet {
+    fn table(&self, alias: &str) -> Option<&Table> {
+        self.tables.get(&alias.to_ascii_lowercase())
+    }
+}
+
+impl Catalog for HashMap<String, Table> {
+    fn table(&self, alias: &str) -> Option<&Table> {
+        self.get(alias)
+            .or_else(|| self.get(&alias.to_ascii_lowercase()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::table;
+
+    #[test]
+    fn add_and_lookup_case_insensitive() {
+        let mut c = TableSet::new();
+        c.add(table! { "Students" => ["x"]; [1] });
+        assert!(c.table("students").is_some());
+        assert!(c.table("STUDENTS").is_some());
+        assert!(c.table("nope").is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn add_as_renames() {
+        let mut c = TableSet::new();
+        c.add_as("alias1", table! { "Orig" => ["x"]; [1] });
+        let t = c.table("Alias1").unwrap();
+        assert_eq!(t.name(), "alias1");
+        assert_eq!(c.aliases(), vec!["alias1"]);
+    }
+
+    #[test]
+    fn hashmap_catalog() {
+        let mut m: HashMap<String, Table> = HashMap::new();
+        m.insert("t".into(), table! { "t" => ["x"]; [1] });
+        assert!(Catalog::table(&m, "t").is_some());
+        assert!(Catalog::table(&m, "T").is_some());
+    }
+}

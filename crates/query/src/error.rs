@@ -1,0 +1,93 @@
+//! Error type for the Fuse By query layer.
+
+use std::fmt;
+
+/// Errors from parsing or executing Fuse By queries.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Lexical error: unexpected character, unterminated literal, …
+    Lex {
+        /// Byte offset in the query text.
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// Syntax error with the offending token's position.
+    Parse {
+        /// Byte offset in the query text.
+        position: usize,
+        /// Description, including what was expected.
+        message: String,
+    },
+    /// The query is well-formed but meaningless (unknown table, RESOLVE
+    /// outside a fusion query, …).
+    Semantic(String),
+    /// A referenced table is not registered.
+    UnknownTable(String),
+    /// Engine failure during execution.
+    Engine(hummer_engine::EngineError),
+    /// Fusion failure during execution.
+    Fusion(hummer_fusion::FusionError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { position, message } => {
+                write!(f, "lexical error at offset {position}: {message}")
+            }
+            QueryError::Parse { position, message } => {
+                write!(f, "syntax error at offset {position}: {message}")
+            }
+            QueryError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            QueryError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            QueryError::Engine(e) => write!(f, "engine error: {e}"),
+            QueryError::Fusion(e) => write!(f, "fusion error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Engine(e) => Some(e),
+            QueryError::Fusion(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hummer_engine::EngineError> for QueryError {
+    fn from(e: hummer_engine::EngineError) -> Self {
+        QueryError::Engine(e)
+    }
+}
+
+impl From<hummer_fusion::FusionError> for QueryError {
+    fn from(e: hummer_fusion::FusionError) -> Self {
+        QueryError::Fusion(e)
+    }
+}
+
+/// Result alias for the query layer.
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_position() {
+        let e = QueryError::Parse { position: 17, message: "expected FROM".into() };
+        let s = e.to_string();
+        assert!(s.contains("17"));
+        assert!(s.contains("expected FROM"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error as _;
+        let e: QueryError = hummer_engine::EngineError::DuplicateColumn("x".into()).into();
+        assert!(e.source().is_some());
+    }
+}

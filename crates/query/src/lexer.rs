@@ -1,0 +1,420 @@
+//! Tokenizer for the Fuse By dialect.
+
+use crate::error::{QueryError, Result};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare or quoted identifier (`Name`, `"odd name"`).
+    Ident(String),
+    /// String literal (`'text'`).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// If this token is an identifier matching `kw` case-insensitively.
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Semicolon => write!(f, ";"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+/// Tokenize a query string. Comments (`-- …` to end of line) are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let push = |out: &mut Vec<Spanned>, t: Token| out.push(Spanned { token: t, offset: start });
+        match c {
+            '(' => {
+                push(&mut out, Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                push(&mut out, Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                push(&mut out, Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                push(&mut out, Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                push(&mut out, Token::Star);
+                i += 1;
+            }
+            ';' => {
+                push(&mut out, Token::Semicolon);
+                i += 1;
+            }
+            '+' => {
+                push(&mut out, Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                push(&mut out, Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                push(&mut out, Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                push(&mut out, Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                push(&mut out, Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex {
+                        position: i,
+                        message: "stray `!` (did you mean `!=`?)".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    push(&mut out, Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    push(&mut out, Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    push(&mut out, Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Token::Ge);
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(QueryError::Lex {
+                                position: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(j + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                j += 2;
+                            } else {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            let ch_start = j;
+                            let mut ch_end = j + 1;
+                            while ch_end < bytes.len() && (bytes[ch_end] & 0xC0) == 0x80 {
+                                ch_end += 1;
+                            }
+                            s.push_str(&input[ch_start..ch_end]);
+                            j = ch_end;
+                        }
+                    }
+                }
+                push(&mut out, Token::Str(s));
+                i = j;
+            }
+            '"' => {
+                // Quoted identifier.
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(QueryError::Lex {
+                                position: i,
+                                message: "unterminated quoted identifier".into(),
+                            })
+                        }
+                        Some(b'"') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let ch_start = j;
+                            let mut ch_end = j + 1;
+                            while ch_end < bytes.len() && (bytes[ch_end] & 0xC0) == 0x80 {
+                                ch_end += 1;
+                            }
+                            s.push_str(&input[ch_start..ch_end]);
+                            j = ch_end;
+                        }
+                    }
+                }
+                push(&mut out, Token::Ident(s));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &input[i..j];
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| QueryError::Lex {
+                        position: i,
+                        message: format!("bad float literal `{text}`"),
+                    })?;
+                    push(&mut out, Token::Float(v));
+                } else {
+                    let v: i64 = text.parse().map_err(|_| QueryError::Lex {
+                        position: i,
+                        message: format!("bad integer literal `{text}`"),
+                    })?;
+                    push(&mut out, Token::Int(v));
+                }
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let ch = bytes[j] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        j += 1;
+                    } else if bytes[j] >= 0x80 {
+                        // Allow non-ASCII identifier characters.
+                        let mut ch_end = j + 1;
+                        while ch_end < bytes.len() && (bytes[ch_end] & 0xC0) == 0x80 {
+                            ch_end += 1;
+                        }
+                        j = ch_end;
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut out, Token::Ident(input[i..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    out.push(Spanned { token: Token::Eof, offset: input.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_punctuation() {
+        let t = toks("SELECT Name, RESOLVE(Age, max) FUSE FROM A, B FUSE BY (Name)");
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert!(t[0].is_keyword("select"));
+        assert!(t.contains(&Token::LParen));
+        assert!(t.contains(&Token::Comma));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Token::Int(42), Token::Eof]);
+        assert_eq!(toks("3.5"), vec![Token::Float(3.5), Token::Eof]);
+        // `1.` is Int then Dot (trailing dot is not a float).
+        assert_eq!(toks("1."), vec![Token::Int(1), Token::Dot, Token::Eof]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks("'it''s'"),
+            vec![Token::Str("it's".into()), Token::Eof]
+        );
+        assert_eq!(toks("'héllo'"), vec![Token::Str("héllo".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(
+            toks("\"weird name\""),
+            vec![Token::Ident("weird name".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a <> b <= c >= d != e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ne,
+                Token::Ident("b".into()),
+                Token::Le,
+                Token::Ident("c".into()),
+                Token::Ge,
+                Token::Ident("d".into()),
+                Token::Ne,
+                Token::Ident("e".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("SELECT -- the select list\n *");
+        assert_eq!(t, vec![Token::Ident("SELECT".into()), Token::Star, Token::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+        assert!(tokenize("\"oops").is_err());
+    }
+
+    #[test]
+    fn stray_bang_errors() {
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let spanned = tokenize("SELECT x").unwrap();
+        assert_eq!(spanned[0].offset, 0);
+        assert_eq!(spanned[1].offset, 7);
+    }
+
+    #[test]
+    fn unicode_identifiers() {
+        assert_eq!(
+            toks("Straße"),
+            vec![Token::Ident("Straße".into()), Token::Eof]
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! TF-IDF corpus statistics, weight vectors, and cosine similarity.
+//!
+//! DUMAS treats each tuple as one string ("from the information retrieval
+//! field we adopt the well-known TFIDF similarity for comparing records",
+//! paper §2.2) and ranks tuple pairs across two unaligned tables by the
+//! cosine of their TF-IDF vectors. The duplicate detector reuses the corpus
+//! statistics through [`Corpus::soft_idf`], the "soft version of IDF" that
+//! measures the identifying power of a data item (§2.3).
+
+use std::collections::HashMap;
+
+/// Document-frequency statistics over a token corpus.
+///
+/// A *document* is any token multiset — in HumMer a whole tuple rendered as
+/// a string, or a single attribute value, depending on the caller.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    doc_count: usize,
+    df: HashMap<String, usize>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Build from an iterator of documents.
+    pub fn from_documents<I, D>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = D>,
+        D: AsRef<[String]>,
+    {
+        let mut c = Corpus::new();
+        for d in docs {
+            c.add_document(d.as_ref());
+        }
+        c
+    }
+
+    /// Count one document: each *distinct* token's document frequency grows
+    /// by one.
+    pub fn add_document(&mut self, tokens: &[String]) {
+        self.doc_count += 1;
+        let mut seen: HashMap<&String, ()> = HashMap::with_capacity(tokens.len());
+        for t in tokens {
+            if seen.insert(t, ()).is_none() {
+                *self.df.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Number of documents added.
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Document frequency of a token (0 for unseen tokens).
+    pub fn df(&self, token: &str) -> usize {
+        self.df.get(token).copied().unwrap_or(0)
+    }
+
+    /// Smoothed inverse document frequency: `ln(1 + N / (df + 1))`.
+    ///
+    /// The `+1` in the denominator keeps unseen tokens finite (they get the
+    /// highest weight in the corpus, as an unseen token is maximally
+    /// identifying).
+    pub fn idf(&self, token: &str) -> f64 {
+        let n = self.doc_count as f64;
+        (1.0 + n / (self.df(token) as f64 + 1.0)).ln()
+    }
+
+    /// IDF squashed into `(0, 1]`: `idf(token) / ln(1 + N)`.
+    ///
+    /// This is the "soft IDF" the duplicate detector uses to weigh the
+    /// identifying power of a data item: ≈1 for tokens unique to one
+    /// document, approaching 0 for tokens in every document.
+    pub fn soft_idf(&self, token: &str) -> f64 {
+        if self.doc_count == 0 {
+            return 1.0;
+        }
+        let denom = (1.0 + self.doc_count as f64).ln();
+        (self.idf(token) / denom).min(1.0)
+    }
+
+    /// The unit-normalized TF-IDF vector of a document:
+    /// `v(w) = ln(1 + tf(w)) · idf(w)`, then L2-normalized.
+    pub fn weight_vector(&self, tokens: &[String]) -> TfIdfVector {
+        let mut tf: HashMap<String, f64> = HashMap::with_capacity(tokens.len());
+        for t in tokens {
+            *tf.entry(t.clone()).or_insert(0.0) += 1.0;
+        }
+        let mut weights: HashMap<String, f64> = tf
+            .into_iter()
+            .map(|(t, f)| {
+                let w = (1.0 + f).ln() * self.idf(&t);
+                (t, w)
+            })
+            .collect();
+        let norm: f64 = weights.values().map(|w| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for w in weights.values_mut() {
+                *w /= norm;
+            }
+        }
+        TfIdfVector { weights }
+    }
+
+    /// Cosine similarity of two token lists under this corpus's weights.
+    pub fn tfidf_cosine(&self, a: &[String], b: &[String]) -> f64 {
+        self.weight_vector(a).cosine(&self.weight_vector(b))
+    }
+}
+
+/// A unit-normalized sparse TF-IDF vector.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfVector {
+    weights: HashMap<String, f64>,
+}
+
+impl TfIdfVector {
+    /// The weight of a token (0 when absent).
+    pub fn weight(&self, token: &str) -> f64 {
+        self.weights.get(token).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate over (token, weight) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.weights.iter().map(|(t, w)| (t.as_str(), *w))
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True for the empty vector.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Cosine similarity (dot product — both vectors are unit-normalized).
+    /// Clamped to `[0, 1]` against floating-point drift.
+    pub fn cosine(&self, other: &TfIdfVector) -> f64 {
+        // Iterate over the smaller map.
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let dot: f64 = small
+            .weights
+            .iter()
+            .map(|(t, w)| w * large.weight(t))
+            .sum();
+        dot.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::word_tokens;
+
+    fn corpus() -> Corpus {
+        Corpus::from_documents(vec![
+            word_tokens("the beatles abbey road"),
+            word_tokens("the beatles let it be"),
+            word_tokens("pink floyd the wall"),
+            word_tokens("the rolling stones"),
+        ])
+    }
+
+    #[test]
+    fn df_counts_distinct_per_document() {
+        let mut c = Corpus::new();
+        c.add_document(&word_tokens("a a b"));
+        assert_eq!(c.df("a"), 1);
+        assert_eq!(c.df("b"), 1);
+        assert_eq!(c.df("z"), 0);
+        assert_eq!(c.doc_count(), 1);
+    }
+
+    #[test]
+    fn idf_orders_by_rarity() {
+        let c = corpus();
+        // "the" is in every document; "abbey" in one.
+        assert!(c.idf("abbey") > c.idf("beatles"));
+        assert!(c.idf("beatles") > c.idf("the"));
+        // Unseen token gets the highest idf of all.
+        assert!(c.idf("zeppelin") > c.idf("abbey"));
+    }
+
+    #[test]
+    fn soft_idf_in_unit_interval() {
+        let c = corpus();
+        for t in ["the", "beatles", "abbey", "zeppelin"] {
+            let s = c.soft_idf(t);
+            assert!((0.0..=1.0).contains(&s), "{t} -> {s}");
+        }
+        assert!(c.soft_idf("abbey") > c.soft_idf("the"));
+    }
+
+    #[test]
+    fn empty_corpus_soft_idf_is_one() {
+        assert_eq!(Corpus::new().soft_idf("x"), 1.0);
+    }
+
+    #[test]
+    fn vector_is_unit_normalized() {
+        let c = corpus();
+        let v = c.weight_vector(&word_tokens("the beatles"));
+        let norm: f64 = v.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_identity_and_disjoint() {
+        let c = corpus();
+        let a = word_tokens("the beatles abbey road");
+        let b = word_tokens("pink floyd");
+        assert!((c.tfidf_cosine(&a, &a) - 1.0).abs() < 1e-9);
+        assert_eq!(c.tfidf_cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_symmetry() {
+        let c = corpus();
+        let a = word_tokens("the beatles abbey road");
+        let b = word_tokens("beatles abbey lane");
+        assert!((c.tfidf_cosine(&a, &b) - c.tfidf_cosine(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rare_token_overlap_beats_common_token_overlap() {
+        let c = corpus();
+        // Sharing "abbey road" (rare) scores above sharing "the" (common).
+        let base = word_tokens("abbey road the");
+        let rare = word_tokens("abbey road xyz");
+        let common = word_tokens("the xyz qrs");
+        assert!(c.tfidf_cosine(&base, &rare) > c.tfidf_cosine(&base, &common));
+    }
+
+    #[test]
+    fn empty_vector_cosine_zero() {
+        let c = corpus();
+        let empty: Vec<String> = vec![];
+        assert_eq!(c.tfidf_cosine(&empty, &word_tokens("the")), 0.0);
+        assert_eq!(c.tfidf_cosine(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn repeated_tokens_increase_weight_sublinearly() {
+        let c = corpus();
+        let v1 = c.weight_vector(&word_tokens("abbey"));
+        let v2 = c.weight_vector(&word_tokens("abbey abbey abbey road"));
+        // In v2, "abbey" still dominates but is not 3x "road"'s share of a
+        // two-token split.
+        assert!(v2.weight("abbey") > v2.weight("road"));
+        assert!(v1.weight("abbey") > v2.weight("abbey")); // v1 is all abbey
+    }
+}

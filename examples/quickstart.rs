@@ -1,0 +1,65 @@
+//! Quickstart: the paper's running example (§2.1), end to end.
+//!
+//! Two student tables under different, unaligned schemas; one Fuse By
+//! query; HumMer matches the schemas, unions the data, and resolves the
+//! age conflict with `max` ("assuming students only get older").
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hummer::core::Hummer;
+use hummer::engine::table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut hummer = Hummer::new();
+
+    // The EE department's roster — the preferred schema.
+    hummer.repository_mut().register_table(
+        "EE_Student",
+        table! {
+            "EE_Student" => ["Name", "Age", "City"];
+            ["John Smith", 24, "Berlin"],
+            ["Mary Jones", 22, "Hamburg"],
+            ["Peter Miller", 27, "Munich"],
+        },
+    )?;
+
+    // The CS department uses different labels and column order.
+    hummer.repository_mut().register_table(
+        "CS_Students",
+        table! {
+            "CS_Students" => ["Town", "FullName", "Years"];
+            ["Berlin", "John Smith", 25],
+            ["Hamburg", "Mary Jones", 22],
+            ["London", "Ada Lovelace", 28],
+        },
+    )?;
+
+    println!("Registered sources:");
+    for s in hummer.repository().list() {
+        println!("  {} {:?} ({} rows)", s.alias, s.columns, s.rows);
+    }
+
+    // The paper's example query. Note it speaks only the EE schema —
+    // schema matching maps FullName→Name, Years→Age, Town→City
+    // automatically before execution.
+    let sql = "SELECT Name, RESOLVE(Age, max), RESOLVE(City) \
+               FUSE FROM EE_Student, CS_Students \
+               FUSE BY (Name) \
+               ORDER BY Name";
+    println!("\nQuery:\n  {sql}\n");
+
+    let out = hummer.query(sql)?;
+    println!("Fused result ({} students):", out.table.len());
+    println!("{}", out.table.pretty());
+
+    if let Some(info) = &out.fusion {
+        println!("Conflicts resolved: {}", info.conflict_count);
+        for c in &info.sample_conflicts {
+            println!(
+                "  cluster {}: {} had {:?} -> resolved to {}",
+                c.cluster, c.column, c.values, c.resolved
+            );
+        }
+    }
+    Ok(())
+}

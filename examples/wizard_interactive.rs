@@ -1,0 +1,108 @@
+//! The six-step wizard of the demo (paper Fig. 2), driven programmatically
+//! with user overrides at every step:
+//!
+//! 1. choose sources  2. adjust matching  3. adjust duplicate definition
+//! 4. confirm duplicates  5. specify resolution functions  6. browse result
+//!
+//! Run with: `cargo run --example wizard_interactive`
+
+use hummer::core::{Hummer, HummerConfig, ResolutionSpec, Wizard, WizardPhase};
+use hummer::engine::table;
+use hummer::fusion::FunctionRegistry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Step 1: choose sources -----------------------------------------
+    let mut hummer = Hummer::new();
+    hummer.repository_mut().register_table(
+        "Library",
+        table! {
+            "Library" => ["Title", "Author", "Year"];
+            ["The Trial", "Franz Kafka", 1925],
+            ["The Castle", "Franz Kafka", 1926],
+            ["Ulysses", "James Joyce", 1922],
+        },
+    )?;
+    hummer.repository_mut().register_table(
+        "BookShop",
+        table! {
+            "BookShop" => ["Book", "Writer", "Published", "Price"];
+            ["The Trial", "F. Kafka", 1925, 12.99],
+            ["Ulysses", "James Joyce", 1922, 18.50],
+            ["Dubliners", "James Joyce", 1914, 9.99],
+        },
+    )?;
+    println!("Step 1 — sources: {:?}\n", hummer.repository().list().iter().map(|s| s.alias.clone()).collect::<Vec<_>>());
+
+    let mut wizard = Wizard::start(
+        hummer.repository(),
+        &["Library", "BookShop"],
+        HummerConfig::default(),
+    )?;
+
+    // ---- Step 2: adjust matching -----------------------------------------
+    assert_eq!(wizard.phase(), WizardPhase::AdjustMatching);
+    println!("Step 2 — proposed correspondences:");
+    for m in wizard.match_results() {
+        for c in &m.correspondences {
+            println!("  {c}");
+        }
+    }
+    // The user notices "Published" ≈ "Year" was too weak and adds it by hand.
+    let adjusted = &mut wizard.match_results_mut()?[0];
+    if adjusted.for_left("Year").is_none() {
+        adjusted.add("Year", "Published", 1.0);
+        println!("  [user] added Year ≈ Published");
+    }
+    let integrated = wizard.confirm_matching()?;
+    println!(
+        "  -> integrated table: {} rows, schema {:?}\n",
+        integrated.len(),
+        integrated.schema().names()
+    );
+
+    // ---- Step 3: adjust duplicate definition -------------------------------
+    println!("Step 3 — duplicate definition:");
+    let cfg = wizard.detector_config_mut()?;
+    cfg.attributes = Some(vec!["Title".into(), "Author".into(), "Year".into()]);
+    cfg.threshold = 0.75;
+    cfg.unsure_threshold = 0.55;
+    println!("  [user] compare on Title, Author, Year; θ = 0.75\n");
+    wizard.run_detection()?;
+
+    // ---- Step 4: confirm duplicates ---------------------------------------
+    println!("Step 4 — detected duplicates:");
+    let det = wizard.detection().unwrap();
+    for p in &det.pairs {
+        println!("  sure: rows {} & {} (sim {:.3})", p.left, p.right, p.similarity);
+    }
+    for p in &det.unsure {
+        println!("  unsure: rows {} & {} (sim {:.3})", p.left, p.right, p.similarity);
+    }
+    // The user confirms all unsure pairs that share a title.
+    let unsure: Vec<_> = wizard.detection().unwrap().unsure.clone();
+    for p in unsure {
+        wizard.detection_mut()?.confirm_unsure(p.left, p.right);
+        println!("  [user] confirmed rows {} & {}", p.left, p.right);
+    }
+    wizard.confirm_duplicates()?;
+    println!(
+        "  -> {} distinct books\n",
+        wizard.detection().unwrap().object_count()
+    );
+
+    // ---- Step 5: specify resolution functions ------------------------------
+    println!("Step 5 — resolution functions:");
+    wizard.set_resolution("Author", ResolutionSpec::named("longest"))?; // full names win
+    wizard.set_resolution("Price", ResolutionSpec::named("min"))?; // cheapest offer
+    println!("  Author: LONGEST, Price: MIN, rest: COALESCE\n");
+
+    // ---- Step 6: browse result --------------------------------------------
+    let outcome = wizard.finish(&FunctionRegistry::standard())?;
+    println!("Step 6 — clean & consistent result set:");
+    println!("{}", outcome.result.pretty());
+    println!("Conflicts resolved: {}", outcome.conflict_count);
+    for c in &outcome.sample_conflicts {
+        println!("  {} in cluster {}: {:?} -> {}", c.column, c.cluster, c.values, c.resolved);
+    }
+    Ok(())
+}
