@@ -68,7 +68,7 @@ fn oracle(func: &str, values: &[&Value], rows: &[(&Value, &Value)]) -> Value {
             }
             let mut best: Option<(&Value, usize)> = None;
             for (v, c) in seen {
-                if best.map_or(true, |(_, bc)| c > bc) {
+                if best.is_none_or(|(_, bc)| c > bc) {
                     best = Some((v, c));
                 }
             }

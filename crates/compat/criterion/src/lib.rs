@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset `crates/bench/benches/components.rs` uses:
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `sample_size`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark closure is
+//! warmed up, then timed over `sample_size` samples; mean and median
+//! nanoseconds per iteration are printed to stdout. There are no plots,
+//! baselines, or statistical regressions — the `exp*` binaries are the
+//! primary quantitative artifacts; this keeps `cargo bench` meaningful
+//! without a registry.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// When `cargo test` drives a `harness = false` bench it passes `--test`:
+/// run every closure exactly once (smoke check) instead of timing it.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+#[doc(hidden)]
+pub fn __set_test_mode_from_args() {
+    if std::env::args().any(|a| a == "--test") {
+        TEST_MODE.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Re-export so benches can use `criterion::black_box` if they prefer it.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 30,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Identifier carrying a function name and a displayed parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as in real criterion.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            rendered: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (default 30).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.rendered, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// No-op in the stand-in; real criterion writes reports here.
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if TEST_MODE.load(Ordering::Relaxed) {
+            let mut bencher = Bencher { elapsed_ns: 0.0, iters: 0 };
+            f(&mut bencher);
+            return;
+        }
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        // One warmup sample, discarded.
+        let mut bencher = Bencher { elapsed_ns: 0.0, iters: 0 };
+        f(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { elapsed_ns: 0.0, iters: 0 };
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                samples_ns.push(bencher.elapsed_ns / bencher.iters as f64);
+            }
+        }
+        if samples_ns.is_empty() {
+            return;
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        println!(
+            "bench {label:<50} median {:>12} mean {:>12}",
+            format_ns(median),
+            format_ns(mean)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to each benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    elapsed_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-scaling the iteration count so one sample takes
+    /// at least ~2 ms of wall-clock.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if TEST_MODE.load(Ordering::Relaxed) {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.elapsed_ns = start.elapsed().as_nanos() as f64;
+            self.iters = 1;
+            return;
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_micros() >= 2_000 || iters >= 1 << 20 {
+                self.elapsed_ns = elapsed.as_nanos() as f64;
+                self.iters = iters;
+                return;
+            }
+            iters *= 2;
+        }
+    }
+}
+
+/// Collect benchmark functions into one runner function named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point: run each group. Ignores harness CLI flags that cargo passes.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench` (timed run); `cargo test` passes
+            // `--test` (single smoke iteration per benchmark).
+            $crate::__set_test_mode_from_args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_scales() {
+        let mut b = Bencher { elapsed_ns: 0.0, iters: 0 };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.iters >= 1);
+        assert!(b.elapsed_ns > 0.0);
+    }
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut calls = 0u32;
+        g.bench_function("f", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1)
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4usize, |b, n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert!(calls >= 3); // warmup + 2 samples
+    }
+}

@@ -152,8 +152,7 @@ impl Hummer {
 
         // 3. Duplicate detection → objectID.
         let t0 = Instant::now();
-        let detection = detect_duplicates(&integrated, &self.config.detector)
-            .map_err(hummer_engine::EngineError::from)?;
+        let detection = detect_duplicates(&integrated, &self.config.detector)?;
         let annotated = annotate_object_ids(&integrated, &detection)?;
         timings.detection = t0.elapsed();
 

@@ -85,8 +85,7 @@ impl Wizard {
         let t0 = Instant::now();
         let refs: Vec<&Table> = tables.iter().collect();
         let match_results = match_star(&refs, &config.matcher);
-        let mut timings = StageTimings::default();
-        timings.matching = t0.elapsed();
+        let timings = StageTimings { matching: t0.elapsed(), ..Default::default() };
         Ok(Wizard {
             config,
             phase: WizardPhase::AdjustMatching,

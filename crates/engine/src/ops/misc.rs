@@ -31,7 +31,6 @@ pub fn project(table: &Table, columns: &[(String, Expr)]) -> Result<Table> {
         out.push(Row::from_values(values))?;
     }
     // Inference gives aliases concrete types where possible.
-    let mut out = out;
     out.infer_types();
     Ok(out)
 }

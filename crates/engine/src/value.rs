@@ -262,7 +262,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_total(other))
+        Some(self.cmp(other))
     }
 }
 impl Ord for Value {

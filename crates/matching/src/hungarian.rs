@@ -105,8 +105,7 @@ pub fn max_weight_matching(weights: &[Vec<f64>]) -> Vec<Assignment> {
     }
 
     let mut out: Vec<Assignment> = Vec::new();
-    for j in 1..=n {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().skip(1).take(n) {
         if i == 0 {
             continue;
         }

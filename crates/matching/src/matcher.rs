@@ -103,10 +103,9 @@ pub fn match_tables(left: &Table, right: &Table, cfg: &MatcherConfig) -> MatchRe
         let lam = cfg.label_weight.clamp(0.0, 1.0);
         let lnames = left.schema().names();
         let rnames = right.schema().names();
-        for i in 0..n_l {
-            for j in 0..n_r {
-                let label =
-                    jaro_winkler(&lnames[i].to_lowercase(), &rnames[j].to_lowercase());
+        for (i, lname) in lnames.iter().enumerate().take(n_l) {
+            for (j, rname) in rnames.iter().enumerate().take(n_r) {
+                let label = jaro_winkler(&lname.to_lowercase(), &rname.to_lowercase());
                 let inst = matrix.get(i, j);
                 matrix.set(i, j, (1.0 - lam) * inst + lam * label);
             }

@@ -129,7 +129,7 @@ impl Parser {
     fn query(&mut self) -> Result<FuseQuery> {
         self.expect_keyword("select")?;
         let select = self.select_list()?;
-        let from = self.from_clause()?;
+        let from = self.parse_from_clause()?;
         let where_clause = if self.eat_keyword("where") { Some(self.expr()?) } else { None };
 
         let mut fuse_by = None;
@@ -271,7 +271,7 @@ impl Parser {
         Ok(ResolutionSpec::with_args(function, args))
     }
 
-    fn from_clause(&mut self) -> Result<FromClause> {
+    fn parse_from_clause(&mut self) -> Result<FromClause> {
         let fuse = if self.at_keyword("fuse") {
             self.advance();
             self.expect_keyword("from")?;
