@@ -25,7 +25,10 @@ fn person_world(n: usize, seed: u64) -> hummer_datagen::GeneratedWorld {
         entities: n,
         sources: vec![
             SourceSpec::plain("A"),
-            SourceSpec::plain("B").rename("Name", "FullName").rename("City", "Town").shuffled(),
+            SourceSpec::plain("B")
+                .rename("Name", "FullName")
+                .rename("City", "Town")
+                .shuffled(),
         ],
         coverage: 0.7,
         typo_rate: 0.08,
@@ -99,11 +102,21 @@ fn bench_matching(c: &mut Criterion) {
         let b2 = &w.sources[1].table;
         g.bench_with_input(BenchmarkId::new("sniff_duplicates", n), &n, |bch, _| {
             bch.iter(|| {
-                sniff_duplicates(a, b2, &SniffConfig { min_similarity: 0.3, ..Default::default() })
+                sniff_duplicates(
+                    a,
+                    b2,
+                    &SniffConfig {
+                        min_similarity: 0.3,
+                        ..Default::default()
+                    },
+                )
             })
         });
         let cfg = MatcherConfig {
-            sniff: SniffConfig { min_similarity: 0.3, ..Default::default() },
+            sniff: SniffConfig {
+                min_similarity: 0.3,
+                ..Default::default()
+            },
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::new("match_tables", n), &n, |bch, _| {
@@ -121,8 +134,14 @@ fn bench_dupdetect(c: &mut Criterion) {
     // Ablation: filter on/off, blocking.
     g.bench_function("all_pairs_no_filter", |bch| {
         bch.iter(|| {
-            detect_duplicates(&u, &DetectorConfig { use_filter: false, ..Default::default() })
-                .unwrap()
+            detect_duplicates(
+                &u,
+                &DetectorConfig {
+                    use_filter: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         })
     });
     g.bench_function("all_pairs_filter", |bch| {
@@ -161,8 +180,8 @@ fn bench_fusion(c: &mut Criterion) {
     let registry = FunctionRegistry::standard();
     for func in ["coalesce", "vote", "concat"] {
         g.bench_with_input(BenchmarkId::new("fuse_1400rows", func), &func, |bch, f| {
-            let spec = FusionSpec::by_key(vec!["objectID"])
-                .resolve("Name", ResolutionSpec::named(*f));
+            let spec =
+                FusionSpec::by_key(vec!["objectID"]).resolve("Name", ResolutionSpec::named(*f));
             bch.iter(|| fuse(&u, &spec, &registry).unwrap())
         });
     }
@@ -198,7 +217,10 @@ fn bench_pipeline(c: &mut Criterion) {
     let w = person_world(200, 6);
     let mut h = Hummer::with_config(HummerConfig {
         matcher: MatcherConfig {
-            sniff: SniffConfig { min_similarity: 0.3, ..Default::default() },
+            sniff: SniffConfig {
+                min_similarity: 0.3,
+                ..Default::default()
+            },
             ..Default::default()
         },
         ..Default::default()

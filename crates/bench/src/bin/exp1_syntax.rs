@@ -79,6 +79,9 @@ fn main() {
         ]);
     }
     println!("E1 — Fuse By grammar conformance (Fig. 1)\n");
-    println!("{}", render_table(&["production", "parses", "executes", "|result|"], &rows));
+    println!(
+        "{}",
+        render_table(&["production", "parses", "executes", "|result|"], &rows)
+    );
     println!("{ok}/{} productions parse and execute", statements.len());
 }

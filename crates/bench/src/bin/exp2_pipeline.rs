@@ -3,13 +3,19 @@
 
 use hummer_bench::{f3, ms, render_table};
 use hummer_core::{Hummer, HummerConfig, MatcherConfig, SniffConfig};
-use hummer_datagen::scenarios::{cd_shopping, cleansing_service, disaster_registry, student_rosters};
+use hummer_datagen::scenarios::{
+    cd_shopping, cleansing_service, disaster_registry, student_rosters,
+};
 use hummer_datagen::{cluster_pair_metrics, correspondence_metrics, GeneratedWorld};
 
 fn run_scenario(name: &str, world: &GeneratedWorld) -> Vec<String> {
     let mut h = Hummer::with_config(HummerConfig {
         matcher: MatcherConfig {
-            sniff: SniffConfig { top_k: 10, min_similarity: 0.3, ..Default::default() },
+            sniff: SniffConfig {
+                top_k: 10,
+                min_similarity: 0.3,
+                ..Default::default()
+            },
             ..Default::default()
         },
         ..Default::default()
@@ -73,8 +79,19 @@ fn main() {
         "{}",
         render_table(
             &[
-                "scenario", "src", "rows", "objects", "conflicts", "matchF1", "dupP", "dupR",
-                "dupF1", "match_ms", "xform_ms", "detect_ms", "fuse_ms",
+                "scenario",
+                "src",
+                "rows",
+                "objects",
+                "conflicts",
+                "matchF1",
+                "dupP",
+                "dupR",
+                "dupF1",
+                "match_ms",
+                "xform_ms",
+                "detect_ms",
+                "fuse_ms",
             ],
             &rows
         )

@@ -43,7 +43,11 @@ fn main() {
     let pairs = sniff_duplicates(
         &w.sources[0].table,
         &w.sources[1].table,
-        &SniffConfig { top_k: 100, min_similarity: 0.0, one_to_one: true },
+        &SniffConfig {
+            top_k: 100,
+            min_similarity: 0.0,
+            one_to_one: true,
+        },
     );
     let ranked: Vec<(usize, usize)> = pairs.iter().map(|p| (p.left, p.right)).collect();
     // Gold pairs in (left-row, right-row) space.
@@ -77,7 +81,11 @@ fn main() {
         let mut row = vec![format!("{:.0}%", typo * 100.0)];
         for k in [1usize, 2, 3, 5, 10] {
             let cfg = MatcherConfig {
-                sniff: SniffConfig { top_k: k, min_similarity: 0.3, one_to_one: true },
+                sniff: SniffConfig {
+                    top_k: k,
+                    min_similarity: 0.3,
+                    one_to_one: true,
+                },
                 ..Default::default()
             };
             let m = match_tables(&w.sources[0].table, &w.sources[1].table, &cfg);
@@ -109,7 +117,11 @@ fn main() {
         let mut row = vec![format!("{:.0}%", typo * 100.0)];
         for theta in [0.9, 1.0] {
             let cfg = MatcherConfig {
-                sniff: SniffConfig { top_k: 10, min_similarity: 0.3, one_to_one: true },
+                sniff: SniffConfig {
+                    top_k: 10,
+                    min_similarity: 0.3,
+                    one_to_one: true,
+                },
                 soft_theta: theta,
                 ..Default::default()
             };

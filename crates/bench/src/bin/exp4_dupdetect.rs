@@ -76,7 +76,10 @@ fn main() {
     ] {
         rows.push(vec![label.to_string(), f3(m.similarity(&t, 0, j))]);
     }
-    println!("{}", render_table(&["variant vs. reference", "similarity"], &rows));
+    println!(
+        "{}",
+        render_table(&["variant vs. reference", "similarity"], &rows)
+    );
 
     // (c) transitive closure vs. raw pair set.
     println!("\nE4c — transitive closure vs. raw duplicate pairs (θ = 0.75)\n");
@@ -104,7 +107,12 @@ fn main() {
     }
     let closed_pr = cluster_pair_metrics(&uf.cluster_ids(), &gold);
     let rows = vec![
-        vec!["raw pairs".to_string(), f3(raw_pr.precision), f3(raw_pr.recall), f3(raw_pr.f1())],
+        vec![
+            "raw pairs".to_string(),
+            f3(raw_pr.precision),
+            f3(raw_pr.recall),
+            f3(raw_pr.f1()),
+        ],
         vec![
             "transitive closure".to_string(),
             f3(closed_pr.precision),

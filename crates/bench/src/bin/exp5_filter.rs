@@ -26,11 +26,17 @@ fn main() {
         for (label, det_cfg) in [
             (
                 "naive",
-                DetectorConfig { use_filter: false, ..Default::default() },
+                DetectorConfig {
+                    use_filter: false,
+                    ..Default::default()
+                },
             ),
             (
                 "filter",
-                DetectorConfig { use_filter: true, ..Default::default() },
+                DetectorConfig {
+                    use_filter: true,
+                    ..Default::default()
+                },
             ),
             (
                 "blocking w=20",
@@ -63,7 +69,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["rows", "strategy", "candidates", "compared", "filtered", "recall", "precision", "ms"],
+            &[
+                "rows",
+                "strategy",
+                "candidates",
+                "compared",
+                "filtered",
+                "recall",
+                "precision",
+                "ms"
+            ],
             &rows
         )
     );

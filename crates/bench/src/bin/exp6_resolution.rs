@@ -43,11 +43,22 @@ fn clustered_table(clusters: usize, seed: u64) -> Table {
 fn oracle(func: &str, values: &[&Value], rows: &[(&Value, &Value)]) -> Value {
     let non_null: Vec<&Value> = values.iter().copied().filter(|v| !v.is_null()).collect();
     match func {
-        "coalesce" => non_null.first().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        "coalesce" => non_null
+            .first()
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
         "first" => values.first().map(|v| (*v).clone()).unwrap_or(Value::Null),
         "last" => values.last().map(|v| (*v).clone()).unwrap_or(Value::Null),
-        "min" => non_null.iter().min_by(|a, b| a.cmp_total(b)).map(|v| (*v).clone()).unwrap_or(Value::Null),
-        "max" => non_null.iter().max_by(|a, b| a.cmp_total(b)).map(|v| (*v).clone()).unwrap_or(Value::Null),
+        "min" => non_null
+            .iter()
+            .min_by(|a, b| a.cmp_total(b))
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+        "max" => non_null
+            .iter()
+            .max_by(|a, b| a.cmp_total(b))
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
         "count" => Value::Int(non_null.len() as i64),
         "sum" => {
             if non_null.is_empty() {
@@ -103,7 +114,17 @@ fn main() {
 
     println!("E6 — resolution-function correctness and throughput (500 clusters)\n");
     let mut rows = Vec::new();
-    for func in ["coalesce", "first", "last", "min", "max", "sum", "count", "vote", "mostrecent"] {
+    for func in [
+        "coalesce",
+        "first",
+        "last",
+        "min",
+        "max",
+        "sum",
+        "count",
+        "vote",
+        "mostrecent",
+    ] {
         let spec = if func == "mostrecent" {
             ResolutionSpec::with_args("mostrecent", vec!["recency".into()])
         } else {
@@ -143,7 +164,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["function", "correct", "accuracy", "ms/500 clusters"], &rows)
+        render_table(
+            &["function", "correct", "accuracy", "ms/500 clusters"],
+            &rows
+        )
     );
 
     // Throughput of the full fusion operator.
@@ -162,5 +186,8 @@ fn main() {
             format!("{:.0}", t.len() as f64 / elapsed.as_secs_f64()),
         ]);
     }
-    println!("{}", render_table(&["input rows", "objects", "ms", "rows/s"], &rows));
+    println!(
+        "{}",
+        render_table(&["input rows", "objects", "ms", "rows/s"], &rows)
+    );
 }

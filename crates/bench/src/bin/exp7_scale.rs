@@ -31,7 +31,11 @@ fn main() {
         for (label, blocking) in [("all-pairs", false), ("blocking", true)] {
             let mut config = HummerConfig {
                 matcher: MatcherConfig {
-                    sniff: SniffConfig { top_k: 10, min_similarity: 0.3, ..Default::default() },
+                    sniff: SniffConfig {
+                        top_k: 10,
+                        min_similarity: 0.3,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 },
                 ..Default::default()
@@ -65,7 +69,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["rows", "strategy", "match_ms", "xform_ms", "detect_ms", "fuse_ms", "total_ms", "dupF1"],
+            &[
+                "rows",
+                "strategy",
+                "match_ms",
+                "xform_ms",
+                "detect_ms",
+                "fuse_ms",
+                "total_ms",
+                "dupF1"
+            ],
             &rows
         )
     );

@@ -17,7 +17,11 @@ fn main() {
     let a = &w.sources[0].table;
     let b = &w.sources[1].table;
 
-    println!("E8a — combining two sources ({} and {} rows)\n", a.len(), b.len());
+    println!(
+        "E8a — combining two sources ({} and {} rows)\n",
+        a.len(),
+        b.len()
+    );
     let union = outer_union(&[a, b], "U").unwrap();
     let join = hash_join(a, b, "Title", "Title", JoinKind::Inner).unwrap();
     let cross = cross_product(a, b).unwrap();
@@ -66,7 +70,11 @@ fn main() {
         });
         let refs: Vec<&Table> = w.sources.iter().map(|s| &s.table).collect();
         let cfg = MatcherConfig {
-            sniff: SniffConfig { top_k: 10, min_similarity: 0.3, ..Default::default() },
+            sniff: SniffConfig {
+                top_k: 10,
+                min_similarity: 0.3,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let matches = match_star(&refs, &cfg);
@@ -98,6 +106,9 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["sources", "Σ rows", "union rows", "union cols", "rename F1"], &rows)
+        render_table(
+            &["sources", "Σ rows", "union rows", "union cols", "rename F1"],
+            &rows
+        )
     );
 }

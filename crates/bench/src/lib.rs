@@ -26,7 +26,10 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
         }
         line.trim_end().to_string()
     };
-    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
     out.push('\n');

@@ -114,16 +114,25 @@ impl BenchmarkGroup<'_> {
 
     fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
         if TEST_MODE.load(Ordering::Relaxed) {
-            let mut bencher = Bencher { elapsed_ns: 0.0, iters: 0 };
+            let mut bencher = Bencher {
+                elapsed_ns: 0.0,
+                iters: 0,
+            };
             f(&mut bencher);
             return;
         }
         let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
         // One warmup sample, discarded.
-        let mut bencher = Bencher { elapsed_ns: 0.0, iters: 0 };
+        let mut bencher = Bencher {
+            elapsed_ns: 0.0,
+            iters: 0,
+        };
         f(&mut bencher);
         for _ in 0..self.sample_size {
-            let mut bencher = Bencher { elapsed_ns: 0.0, iters: 0 };
+            let mut bencher = Bencher {
+                elapsed_ns: 0.0,
+                iters: 0,
+            };
             f(&mut bencher);
             if bencher.iters > 0 {
                 samples_ns.push(bencher.elapsed_ns / bencher.iters as f64);
@@ -227,7 +236,10 @@ mod tests {
 
     #[test]
     fn bencher_times_and_scales() {
-        let mut b = Bencher { elapsed_ns: 0.0, iters: 0 };
+        let mut b = Bencher {
+            elapsed_ns: 0.0,
+            iters: 0,
+        };
         b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
         assert!(b.iters >= 1);
         assert!(b.elapsed_ns > 0.0);

@@ -333,9 +333,10 @@ fn string_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
                 spec.push(q);
             }
             let parts: Vec<&str> = spec.split(',').collect();
-            let min: usize = parts[0].trim().parse().unwrap_or_else(|_| {
-                panic!("bad quantifier {{{spec}}} in pattern {pattern:?}")
-            });
+            let min: usize = parts[0]
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}} in pattern {pattern:?}"));
             let max: usize = parts
                 .get(1)
                 .map(|p| p.trim().parse().expect("bad quantifier upper bound"))

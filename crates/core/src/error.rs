@@ -82,8 +82,13 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(HummerError::UnknownSource("x".into()).to_string().contains("x"));
-        let w = HummerError::WizardPhase { action: "fuse".into(), phase: "Matching".into() };
+        assert!(HummerError::UnknownSource("x".into())
+            .to_string()
+            .contains("x"));
+        let w = HummerError::WizardPhase {
+            action: "fuse".into(),
+            phase: "Matching".into(),
+        };
         assert!(w.to_string().contains("fuse"));
         assert!(w.to_string().contains("Matching"));
     }

@@ -52,7 +52,10 @@ pub mod repository;
 pub mod wizard;
 
 pub use error::{HummerError, Result};
-pub use pipeline::{Hummer, HummerConfig, PipelineOutcome, StageTimings};
+pub use pipeline::{
+    fuse_prepared, prepare_tables, Hummer, HummerConfig, PipelineOutcome, PreparedSources,
+    StageTimings,
+};
 pub use repository::{MetadataRepository, SourceInfo};
 pub use wizard::{Wizard, WizardPhase};
 
@@ -65,7 +68,7 @@ pub use hummer_query as query;
 pub use hummer_textsim as textsim;
 
 // The most-used types, at the top level.
-pub use hummer_dupdetect::{DetectorConfig, DetectionResult};
+pub use hummer_dupdetect::{DetectionResult, DetectorConfig};
 pub use hummer_fusion::{FunctionRegistry, ResolutionSpec};
 pub use hummer_matching::{MatcherConfig, SniffConfig};
 pub use hummer_query::QueryOutput;

@@ -18,12 +18,10 @@ use crate::repository::MetadataRepository;
 use hummer_dupdetect::{
     annotate_object_ids, detect_duplicates, DetectionResult, DetectorConfig, OBJECT_ID_COLUMN,
 };
-use hummer_fusion::{
-    fuse, FunctionRegistry, FusionSpec, Lineage, ResolutionSpec, SampleConflict,
-};
+use hummer_engine::Table;
+use hummer_fusion::{fuse, FunctionRegistry, FusionSpec, Lineage, ResolutionSpec, SampleConflict};
 use hummer_matching::{apply_renames, integrate, match_star, MatchResult, MatcherConfig};
 use hummer_query::{parse, QueryOutput, TableSet};
-use hummer_engine::Table;
 use std::time::{Duration, Instant};
 
 /// Wall-clock time spent in each pipeline stage.
@@ -44,6 +42,93 @@ impl StageTimings {
     pub fn total(&self) -> Duration {
         self.matching + self.transformation + self.detection + self.fusion
     }
+}
+
+/// The reusable artifacts of the pipeline's *preparation* stages — schema
+/// matching, transformation, and duplicate detection — everything up to (but
+/// excluding) fusion.
+///
+/// Preparation depends only on the source tables, not on the query's
+/// resolution functions, so a serving layer can compute it once per source
+/// set and replay many differently-resolved fusions against it (see
+/// [`fuse_prepared`]); `hummer_server`'s prepared-pipeline cache stores
+/// exactly this struct.
+#[derive(Debug, Clone)]
+pub struct PreparedSources {
+    /// Schema-matching results (preferred table vs. each other table).
+    pub match_results: Vec<MatchResult>,
+    /// Renamed + `sourceID`-tagged full outer union of the sources.
+    pub integrated: Table,
+    /// Duplicate detection over `integrated`.
+    pub detection: DetectionResult,
+    /// `integrated` with the `objectID` column appended.
+    pub annotated: Table,
+    /// Wall-clock cost of the preparation stages (`fusion` is zero).
+    pub timings: StageTimings,
+}
+
+/// Run the preparation stages (match → transform → detect → annotate) over
+/// explicit tables, without needing a [`Hummer`] or its repository.
+pub fn prepare_tables(tables: &[&Table], config: &HummerConfig) -> Result<PreparedSources> {
+    let mut timings = StageTimings::default();
+
+    // 1. Schema matching.
+    let t0 = Instant::now();
+    let match_results = match_star(tables, &config.matcher);
+    timings.matching = t0.elapsed();
+
+    // 2. Transformation: rename → sourceID → full outer union.
+    let t0 = Instant::now();
+    let integrated = integrate(tables, &match_results, "Integrated")?;
+    timings.transformation = t0.elapsed();
+
+    // 3. Duplicate detection → objectID.
+    let t0 = Instant::now();
+    let detection = detect_duplicates(&integrated, &config.detector)?;
+    let annotated = annotate_object_ids(&integrated, &detection)?;
+    timings.detection = t0.elapsed();
+
+    Ok(PreparedSources {
+        match_results,
+        integrated,
+        detection,
+        annotated,
+        timings,
+    })
+}
+
+/// Run the fusion stage over prepared artifacts: fuse `annotated` by
+/// `objectID` with the given per-column resolutions (default `COALESCE`).
+///
+/// The preparation timings are carried into the outcome with the fusion
+/// stage's cost added, so `outcome.timings.total()` reflects what an
+/// uncached end-to-end run would have paid.
+pub fn fuse_prepared(
+    prepared: &PreparedSources,
+    resolutions: &[(String, ResolutionSpec)],
+    registry: &FunctionRegistry,
+) -> Result<PipelineOutcome> {
+    let mut timings = prepared.timings;
+    let t0 = Instant::now();
+    let mut spec = FusionSpec::by_key(vec![OBJECT_ID_COLUMN])
+        .drop_column(OBJECT_ID_COLUMN)
+        .drop_column(hummer_matching::SOURCE_ID_COLUMN);
+    for (col, rspec) in resolutions {
+        spec = spec.resolve(col.clone(), rspec.clone());
+    }
+    let fused = fuse(&prepared.annotated, &spec, registry)?;
+    timings.fusion = t0.elapsed();
+
+    Ok(PipelineOutcome {
+        result: fused.table,
+        lineage: fused.lineage,
+        sample_conflicts: fused.sample_conflicts,
+        conflict_count: fused.conflict_count,
+        match_results: prepared.match_results.clone(),
+        integrated: prepared.integrated.clone(),
+        detection: prepared.detection.clone(),
+        timings,
+    })
 }
 
 /// Everything the automatic pipeline produced (the intermediate artifacts
@@ -93,7 +178,11 @@ impl Hummer {
 
     /// A HumMer with explicit configuration.
     pub fn with_config(config: HummerConfig) -> Self {
-        Hummer { repository: MetadataRepository::new(), config, registry: FunctionRegistry::standard() }
+        Hummer {
+            repository: MetadataRepository::new(),
+            config,
+            registry: FunctionRegistry::standard(),
+        }
     }
 
     /// The metadata repository (read).
@@ -132,51 +221,19 @@ impl Hummer {
         aliases: &[&str],
         resolutions: &[(String, ResolutionSpec)],
     ) -> Result<PipelineOutcome> {
-        let mut timings = StageTimings::default();
+        let prepared = self.prepare(aliases)?;
+        fuse_prepared(&prepared, resolutions, &self.registry)
+    }
 
-        // Fetch sources.
+    /// Run only the preparation stages (match → transform → detect) over the
+    /// given source aliases; combine with [`fuse_prepared`] to finish, or
+    /// reuse the artifacts across many fusions.
+    pub fn prepare(&self, aliases: &[&str]) -> Result<PreparedSources> {
         let tables: Vec<&Table> = aliases
             .iter()
             .map(|a| self.repository.get(a))
             .collect::<Result<_>>()?;
-
-        // 1. Schema matching.
-        let t0 = Instant::now();
-        let match_results = match_star(&tables, &self.config.matcher);
-        timings.matching = t0.elapsed();
-
-        // 2. Transformation: rename → sourceID → full outer union.
-        let t0 = Instant::now();
-        let integrated = integrate(&tables, &match_results, "Integrated")?;
-        timings.transformation = t0.elapsed();
-
-        // 3. Duplicate detection → objectID.
-        let t0 = Instant::now();
-        let detection = detect_duplicates(&integrated, &self.config.detector)?;
-        let annotated = annotate_object_ids(&integrated, &detection)?;
-        timings.detection = t0.elapsed();
-
-        // 4. Fusion by objectID.
-        let t0 = Instant::now();
-        let mut spec = FusionSpec::by_key(vec![OBJECT_ID_COLUMN])
-            .drop_column(OBJECT_ID_COLUMN)
-            .drop_column(hummer_matching::SOURCE_ID_COLUMN);
-        for (col, rspec) in resolutions {
-            spec = spec.resolve(col.clone(), rspec.clone());
-        }
-        let fused = fuse(&annotated, &spec, &self.registry)?;
-        timings.fusion = t0.elapsed();
-
-        Ok(PipelineOutcome {
-            result: fused.table,
-            lineage: fused.lineage,
-            sample_conflicts: fused.sample_conflicts,
-            conflict_count: fused.conflict_count,
-            match_results,
-            integrated,
-            detection,
-            timings,
-        })
+        prepare_tables(&tables, &self.config)
     }
 
     /// Execute a Fuse By query (the "basic SQL interface" mode).
@@ -218,7 +275,10 @@ mod tests {
     fn hummer() -> Hummer {
         let mut h = Hummer::with_config(HummerConfig {
             matcher: MatcherConfig {
-                sniff: SniffConfig { min_similarity: 0.2, ..Default::default() },
+                sniff: SniffConfig {
+                    min_similarity: 0.2,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             // Narrow 2-3 column schemas carry little evidence mass, so the
@@ -294,7 +354,10 @@ mod tests {
         let out = h.fuse_sources(&["EE_Student", "CS_Students"], &[]).unwrap();
         let name = out.result.resolve("Name").unwrap();
         let sources = out.lineage.all_sources();
-        assert_eq!(sources, vec!["CS_Students".to_string(), "EE_Student".to_string()]);
+        assert_eq!(
+            sources,
+            vec!["CS_Students".to_string(), "EE_Student".to_string()]
+        );
         // Some fused cell carries provenance.
         let any_pure = (0..out.result.len()).any(|r| out.lineage.cell(r, name).is_pure());
         assert!(any_pure);
@@ -323,7 +386,9 @@ mod tests {
     #[test]
     fn plain_query_passes_through() {
         let h = hummer();
-        let out = h.query("SELECT Name FROM EE_Student WHERE Age > 23 ORDER BY Name").unwrap();
+        let out = h
+            .query("SELECT Name FROM EE_Student WHERE Age > 23 ORDER BY Name")
+            .unwrap();
         assert_eq!(out.table.len(), 2);
     }
 
@@ -339,6 +404,56 @@ mod tests {
         let h = hummer();
         let out = h.fuse_sources(&["EE_Student", "CS_Students"], &[]).unwrap();
         assert!(out.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn prepared_artifacts_replay_across_resolutions() {
+        // One preparation, many fusions — the serving layer's cache pattern.
+        let h = hummer();
+        let prepared = h.prepare(&["EE_Student", "CS_Students"]).unwrap();
+        assert_eq!(prepared.integrated.len(), 6);
+        assert!(prepared.annotated.schema().contains("objectID"));
+        assert_eq!(prepared.timings.fusion, Duration::ZERO);
+
+        let registry = FunctionRegistry::standard();
+        let by_max = fuse_prepared(
+            &prepared,
+            &[("Age".to_string(), ResolutionSpec::named("max"))],
+            &registry,
+        )
+        .unwrap();
+        let by_min = fuse_prepared(
+            &prepared,
+            &[("Age".to_string(), ResolutionSpec::named("min"))],
+            &registry,
+        )
+        .unwrap();
+        assert_eq!(by_max.result.len(), 4);
+        assert_eq!(by_min.result.len(), 4);
+        let name = by_max.result.resolve("Name").unwrap();
+        let age = by_max.result.resolve("Age").unwrap();
+        let john_max = by_max
+            .result
+            .rows()
+            .iter()
+            .find(|r| r[name] == Value::text("John Smith"))
+            .unwrap();
+        let john_min = by_min
+            .result
+            .rows()
+            .iter()
+            .find(|r| r[name] == Value::text("John Smith"))
+            .unwrap();
+        assert_eq!(john_max[age], Value::Int(25));
+        assert_eq!(john_min[age], Value::Int(24));
+        // The replay matches the one-shot pipeline.
+        let oneshot = h
+            .fuse_sources(
+                &["EE_Student", "CS_Students"],
+                &[("Age".to_string(), ResolutionSpec::named("max"))],
+            )
+            .unwrap();
+        assert_eq!(oneshot.result.rows(), by_max.result.rows());
     }
 
     #[test]

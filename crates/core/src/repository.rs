@@ -125,7 +125,9 @@ impl MetadataRepository {
 
 impl Catalog for MetadataRepository {
     fn table(&self, alias: &str) -> Option<&Table> {
-        self.sources.get(&alias.to_ascii_lowercase()).map(|(t, _)| t)
+        self.sources
+            .get(&alias.to_ascii_lowercase())
+            .map(|(t, _)| t)
     }
 }
 
@@ -137,7 +139,8 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut r = MetadataRepository::new();
-        r.register_table("Students", table! { "X" => ["a"]; [1] }).unwrap();
+        r.register_table("Students", table! { "X" => ["a"]; [1] })
+            .unwrap();
         let t = r.get("students").unwrap();
         assert_eq!(t.name(), "Students"); // renamed to the alias
         assert!(r.get("nope").is_err());
@@ -156,7 +159,8 @@ mod tests {
     #[test]
     fn csv_registration_with_inference() {
         let mut r = MetadataRepository::new();
-        r.register_csv_str("Shop", "Artist,Price\nQueen,9.99\n").unwrap();
+        r.register_csv_str("Shop", "Artist,Price\nQueen,9.99\n")
+            .unwrap();
         let t = r.get("Shop").unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.schema().names(), vec!["Artist", "Price"]);
@@ -165,8 +169,10 @@ mod tests {
     #[test]
     fn list_is_sorted_and_descriptive() {
         let mut r = MetadataRepository::new();
-        r.register_table("Zeta", table! { "Z" => ["x"]; [1] }).unwrap();
-        r.register_table("Alpha", table! { "A" => ["y", "z"]; [1, 2] }).unwrap();
+        r.register_table("Zeta", table! { "Z" => ["x"]; [1] })
+            .unwrap();
+        r.register_table("Alpha", table! { "A" => ["y", "z"]; [1, 2] })
+            .unwrap();
         let infos = r.list();
         assert_eq!(infos.len(), 2);
         assert_eq!(infos[0].alias, "Alpha");

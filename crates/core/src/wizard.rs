@@ -76,7 +76,9 @@ impl Wizard {
         config: HummerConfig,
     ) -> Result<Wizard> {
         if aliases.is_empty() {
-            return Err(HummerError::Config("wizard needs at least one source".into()));
+            return Err(HummerError::Config(
+                "wizard needs at least one source".into(),
+            ));
         }
         let tables: Vec<Table> = aliases
             .iter()
@@ -85,7 +87,10 @@ impl Wizard {
         let t0 = Instant::now();
         let refs: Vec<&Table> = tables.iter().collect();
         let match_results = match_star(&refs, &config.matcher);
-        let timings = StageTimings { matching: t0.elapsed(), ..Default::default() };
+        let timings = StageTimings {
+            matching: t0.elapsed(),
+            ..Default::default()
+        };
         Ok(Wizard {
             config,
             phase: WizardPhase::AdjustMatching,
@@ -151,7 +156,10 @@ impl Wizard {
     /// The detector configuration, adjustable in step 3 ("users can
     /// optionally adjust the results of the heuristics by hand").
     pub fn detector_config_mut(&mut self) -> Result<&mut DetectorConfig> {
-        self.expect_phase(WizardPhase::AdjustDuplicateDefinition, "adjust duplicate definition")?;
+        self.expect_phase(
+            WizardPhase::AdjustDuplicateDefinition,
+            "adjust duplicate definition",
+        )?;
         Ok(&mut self.config.detector)
     }
 
@@ -267,10 +275,17 @@ mod tests {
     fn config() -> HummerConfig {
         HummerConfig {
             matcher: MatcherConfig {
-                sniff: SniffConfig { min_similarity: 0.2, ..Default::default() },
+                sniff: SniffConfig {
+                    min_similarity: 0.2,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
-            detector: DetectorConfig { threshold: 0.7, unsure_threshold: 0.55, ..Default::default() },
+            detector: DetectorConfig {
+                threshold: 0.7,
+                unsure_threshold: 0.55,
+                ..Default::default()
+            },
         }
     }
 
@@ -290,7 +305,8 @@ mod tests {
         assert_eq!(w.detection().unwrap().object_count(), 3);
 
         w.confirm_duplicates().unwrap();
-        w.set_resolution("Age", ResolutionSpec::named("max")).unwrap();
+        w.set_resolution("Age", ResolutionSpec::named("max"))
+            .unwrap();
         let out = w.finish(&FunctionRegistry::standard()).unwrap();
         assert_eq!(w.phase(), WizardPhase::BrowseResult);
         assert_eq!(out.result.len(), 3);
@@ -339,7 +355,9 @@ mod tests {
         let r = repo();
         let mut w = Wizard::start(&r, &["EE", "CS"], config()).unwrap();
         assert!(w.run_detection().is_err()); // must confirm matching first
-        assert!(w.set_resolution("Age", ResolutionSpec::named("max")).is_err());
+        assert!(w
+            .set_resolution("Age", ResolutionSpec::named("max"))
+            .is_err());
         assert!(w.finish(&FunctionRegistry::standard()).is_err());
         w.confirm_matching().unwrap();
         assert!(w.match_results_mut().is_err()); // too late to adjust

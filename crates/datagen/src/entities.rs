@@ -19,26 +19,98 @@ pub const FIRST_NAMES: [&str; 40] = [
 
 /// Last-name pool.
 pub const LAST_NAMES: [&str; 40] = [
-    "Smith", "Jones", "Miller", "Brown", "Wilson", "Taylor", "Davies", "Evans", "Thomas",
-    "Johnson", "Schmidt", "Mueller", "Schneider", "Fischer", "Weber", "Meyer", "Wagner",
-    "Becker", "Hoffmann", "Koch", "Richter", "Klein", "Wolf", "Neumann", "Schwarz", "Krueger",
-    "Hartmann", "Lange", "Werner", "Krause", "Lehmann", "Maier", "Huber", "Fuchs", "Vogel",
-    "Keller", "Frank", "Berger", "Winkler", "Roth",
+    "Smith",
+    "Jones",
+    "Miller",
+    "Brown",
+    "Wilson",
+    "Taylor",
+    "Davies",
+    "Evans",
+    "Thomas",
+    "Johnson",
+    "Schmidt",
+    "Mueller",
+    "Schneider",
+    "Fischer",
+    "Weber",
+    "Meyer",
+    "Wagner",
+    "Becker",
+    "Hoffmann",
+    "Koch",
+    "Richter",
+    "Klein",
+    "Wolf",
+    "Neumann",
+    "Schwarz",
+    "Krueger",
+    "Hartmann",
+    "Lange",
+    "Werner",
+    "Krause",
+    "Lehmann",
+    "Maier",
+    "Huber",
+    "Fuchs",
+    "Vogel",
+    "Keller",
+    "Frank",
+    "Berger",
+    "Winkler",
+    "Roth",
 ];
 
 /// City pool.
 pub const CITIES: [&str; 24] = [
-    "Berlin", "Hamburg", "Munich", "Cologne", "Frankfurt", "Stuttgart", "Dresden", "Leipzig",
-    "Hannover", "Bremen", "Potsdam", "Rostock", "Kiel", "Erfurt", "Mainz", "Trondheim",
-    "Oslo", "Bergen", "Vienna", "Zurich", "Basel", "Prague", "Amsterdam", "Antwerp",
+    "Berlin",
+    "Hamburg",
+    "Munich",
+    "Cologne",
+    "Frankfurt",
+    "Stuttgart",
+    "Dresden",
+    "Leipzig",
+    "Hannover",
+    "Bremen",
+    "Potsdam",
+    "Rostock",
+    "Kiel",
+    "Erfurt",
+    "Mainz",
+    "Trondheim",
+    "Oslo",
+    "Bergen",
+    "Vienna",
+    "Zurich",
+    "Basel",
+    "Prague",
+    "Amsterdam",
+    "Antwerp",
 ];
 
 /// Band/artist pool for the CD-shopping scenario.
 pub const ARTISTS: [&str; 20] = [
-    "The Beatles", "Pink Floyd", "Led Zeppelin", "Queen", "The Rolling Stones", "David Bowie",
-    "Radiohead", "Nirvana", "Miles Davis", "John Coltrane", "Johnny Cash", "Bob Dylan",
-    "Aretha Franklin", "Stevie Wonder", "Kraftwerk", "Daft Punk", "Portishead", "Bjork",
-    "Herbie Hancock", "The Clash",
+    "The Beatles",
+    "Pink Floyd",
+    "Led Zeppelin",
+    "Queen",
+    "The Rolling Stones",
+    "David Bowie",
+    "Radiohead",
+    "Nirvana",
+    "Miles Davis",
+    "John Coltrane",
+    "Johnny Cash",
+    "Bob Dylan",
+    "Aretha Franklin",
+    "Stevie Wonder",
+    "Kraftwerk",
+    "Daft Punk",
+    "Portishead",
+    "Bjork",
+    "Herbie Hancock",
+    "The Clash",
 ];
 
 /// Album-title word pools (combined to synthesize distinct titles).
@@ -49,19 +121,40 @@ pub const TITLE_HEADS: [&str; 16] = [
 
 /// Album-title tails.
 pub const TITLE_TAILS: [&str; 16] = [
-    "Road", "Side", "Dreams", "Hours", "Echoes", "Mirror", "Garden", "Harvest", "River",
-    "Signals", "Horizon", "Letters", "Shadows", "Machine", "Stations", "Fields",
+    "Road", "Side", "Dreams", "Hours", "Echoes", "Mirror", "Garden", "Harvest", "River", "Signals",
+    "Horizon", "Letters", "Shadows", "Machine", "Stations", "Fields",
 ];
 
 /// Music genres.
-pub const GENRES: [&str; 8] =
-    ["Rock", "Pop", "Jazz", "Electronic", "Folk", "Blues", "Classical", "Soul"];
+pub const GENRES: [&str; 8] = [
+    "Rock",
+    "Pop",
+    "Jazz",
+    "Electronic",
+    "Folk",
+    "Blues",
+    "Classical",
+    "Soul",
+];
 
 /// Villages for the disaster-registry scenario.
 pub const VILLAGES: [&str; 16] = [
-    "Kalmunai", "Batticaloa", "Trincomalee", "Galle", "Matara", "Hambantota", "Ampara",
-    "Mullaitivu", "Banda Aceh", "Meulaboh", "Calang", "Sigli", "Phuket", "Khao Lak",
-    "Nagapattinam", "Cuddalore",
+    "Kalmunai",
+    "Batticaloa",
+    "Trincomalee",
+    "Galle",
+    "Matara",
+    "Hambantota",
+    "Ampara",
+    "Mullaitivu",
+    "Banda Aceh",
+    "Meulaboh",
+    "Calang",
+    "Sigli",
+    "Phuket",
+    "Khao Lak",
+    "Nagapattinam",
+    "Cuddalore",
 ];
 
 /// Status values for disaster records.
@@ -69,8 +162,14 @@ pub const STATUSES: [&str; 4] = ["missing", "found", "hospitalized", "evacuated"
 
 /// Hospital names for disaster records.
 pub const HOSPITALS: [&str; 8] = [
-    "General Hospital", "St. Mary Clinic", "Red Cross Station", "Field Hospital 3",
-    "Coastal Medical Center", "District Clinic", "Mobile Unit A", "Mercy Hospital",
+    "General Hospital",
+    "St. Mary Clinic",
+    "Red Cross Station",
+    "Field Hospital 3",
+    "Coastal Medical Center",
+    "District Clinic",
+    "Mobile Unit A",
+    "Mercy Hospital",
 ];
 
 /// A kind of real-world entity to synthesize.
@@ -106,7 +205,11 @@ impl EntityKind {
                 let last = LAST_NAMES[(id / FIRST_NAMES.len() + id) % LAST_NAMES.len()];
                 let city = CITIES[(id * 7 + 3) % CITIES.len()];
                 let age = 18 + ((id * 13) % 60) as i64;
-                let phone = format!("+49-{:03}-{:05}", (id * 37) % 900 + 100, (id * 971) % 90000 + 10000);
+                let phone = format!(
+                    "+49-{:03}-{:05}",
+                    (id * 37) % 900 + 100,
+                    (id * 971) % 90000 + 10000
+                );
                 row![format!("{first} {last}"), city, age, phone]
             }
             EntityKind::Cd => {
@@ -169,7 +272,11 @@ mod tests {
     #[test]
     fn clean_tables_have_expected_shape() {
         let mut rng = StdRng::seed_from_u64(1);
-        for kind in [EntityKind::Person, EntityKind::Cd, EntityKind::DisasterRecord] {
+        for kind in [
+            EntityKind::Person,
+            EntityKind::Cd,
+            EntityKind::DisasterRecord,
+        ] {
             let t = kind.clean_table(50, &mut rng);
             assert_eq!(t.len(), 50);
             assert_eq!(t.schema().len(), kind.columns().len());
@@ -195,7 +302,7 @@ mod tests {
         assert_eq!(a[0], b[0]); // artist
         assert_eq!(a[1], b[1]); // title
         assert_eq!(a[2], b[2]); // year
-        // price differs between shops — that's the point of the scenario
+                                // price differs between shops — that's the point of the scenario
     }
 
     #[test]
@@ -205,7 +312,11 @@ mod tests {
         let mut names: Vec<String> = t.rows().iter().map(|r| r[0].to_string()).collect();
         names.sort();
         names.dedup();
-        assert!(names.len() > 150, "name collisions too frequent: {}", names.len());
+        assert!(
+            names.len() > 150,
+            "name collisions too frequent: {}",
+            names.len()
+        );
     }
 
     #[test]

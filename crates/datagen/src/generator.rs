@@ -158,8 +158,12 @@ impl GeneratedWorld {
 pub fn generate(cfg: &DirtyConfig) -> GeneratedWorld {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let clean = cfg.kind.clean_table(cfg.entities, &mut rng);
-    let canonical: Vec<String> =
-        clean.schema().names().iter().map(|s| s.to_string()).collect();
+    let canonical: Vec<String> = clean
+        .schema()
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
 
     let mut sources = Vec::with_capacity(cfg.sources.len());
     let mut gold_renames = Vec::with_capacity(cfg.sources.len());
@@ -176,7 +180,12 @@ pub fn generate(cfg: &DirtyConfig) -> GeneratedWorld {
 
         // Column layout for this source.
         let mut kept: Vec<usize> = (0..canonical.len())
-            .filter(|&i| !spec.dropped.iter().any(|d| d.eq_ignore_ascii_case(&canonical[i])))
+            .filter(|&i| {
+                !spec
+                    .dropped
+                    .iter()
+                    .any(|d| d.eq_ignore_ascii_case(&canonical[i]))
+            })
             .collect();
         if spec.shuffle_columns {
             kept.shuffle(&mut rng);
@@ -225,7 +234,11 @@ pub fn generate(cfg: &DirtyConfig) -> GeneratedWorld {
         gold_renames.push(gold);
     }
 
-    GeneratedWorld { clean, sources, gold_renames }
+    GeneratedWorld {
+        clean,
+        sources,
+        gold_renames,
+    }
 }
 
 #[cfg(test)]
@@ -292,7 +305,10 @@ mod tests {
         let ids = &w.sources[0].entity_ids;
         let mut seen = std::collections::HashSet::new();
         let dups = ids.iter().filter(|e| !seen.insert(**e)).count();
-        assert!(dups > 0, "dup_within_source=0.2 should create in-source dups");
+        assert!(
+            dups > 0,
+            "dup_within_source=0.2 should create in-source dups"
+        );
     }
 
     #[test]
@@ -337,7 +353,11 @@ mod tests {
         };
         let w = generate(&cfg);
         for s in &w.sources {
-            assert!(s.table.len() > 50 && s.table.len() < 150, "{}", s.table.len());
+            assert!(
+                s.table.len() > 50 && s.table.len() < 150,
+                "{}",
+                s.table.len()
+            );
         }
     }
 

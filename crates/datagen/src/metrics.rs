@@ -26,10 +26,7 @@ impl PrecisionRecall {
 }
 
 fn normalize(pairs: &[(usize, usize)]) -> HashSet<(usize, usize)> {
-    pairs
-        .iter()
-        .map(|&(a, b)| (a.min(b), a.max(b)))
-        .collect()
+    pairs.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect()
 }
 
 /// Pair-level precision/recall of predicted duplicate pairs against gold
@@ -39,8 +36,16 @@ pub fn pair_metrics(predicted: &[(usize, usize)], gold: &[(usize, usize)]) -> Pr
     let g = normalize(gold);
     let tp = p.intersection(&g).count() as f64;
     PrecisionRecall {
-        precision: if p.is_empty() { 1.0 } else { tp / p.len() as f64 },
-        recall: if g.is_empty() { 1.0 } else { tp / g.len() as f64 },
+        precision: if p.is_empty() {
+            1.0
+        } else {
+            tp / p.len() as f64
+        },
+        recall: if g.is_empty() {
+            1.0
+        } else {
+            tp / g.len() as f64
+        },
     }
 }
 
@@ -73,18 +78,22 @@ pub fn cluster_pair_metrics(predicted_ids: &[usize], gold_ids: &[usize]) -> Prec
     let g = pairs_of(gold_ids);
     let tp = p.intersection(&g).count() as f64;
     PrecisionRecall {
-        precision: if p.is_empty() { 1.0 } else { tp / p.len() as f64 },
-        recall: if g.is_empty() { 1.0 } else { tp / g.len() as f64 },
+        precision: if p.is_empty() {
+            1.0
+        } else {
+            tp / p.len() as f64
+        },
+        recall: if g.is_empty() {
+            1.0
+        } else {
+            tp / g.len() as f64
+        },
     }
 }
 
 /// Precision among the first `k` ranked pairs (DUMAS's "the most similar
 /// tuples are in fact duplicates" claim, measured). Returns 1.0 for `k = 0`.
-pub fn precision_at_k(
-    ranked: &[(usize, usize)],
-    gold: &[(usize, usize)],
-    k: usize,
-) -> f64 {
+pub fn precision_at_k(ranked: &[(usize, usize)], gold: &[(usize, usize)], k: usize) -> f64 {
     if k == 0 {
         return 1.0;
     }
@@ -117,8 +126,16 @@ pub fn correspondence_metrics(
     let g = norm(gold);
     let tp = p.intersection(&g).count() as f64;
     PrecisionRecall {
-        precision: if p.is_empty() { 1.0 } else { tp / p.len() as f64 },
-        recall: if g.is_empty() { 1.0 } else { tp / g.len() as f64 },
+        precision: if p.is_empty() {
+            1.0
+        } else {
+            tp / p.len() as f64
+        },
+        recall: if g.is_empty() {
+            1.0
+        } else {
+            tp / g.len() as f64
+        },
     }
 }
 

@@ -105,7 +105,8 @@ pub fn perturb(v: &Value, rng: &mut StdRng) -> Value {
             Value::Text(t)
         }
         Value::Date(d) => {
-            let mut day = d.day as i32 + rng.gen_range(1..=5) * if rng.gen_bool(0.5) { 1 } else { -1 };
+            let mut day =
+                d.day as i32 + rng.gen_range(1..=5) * if rng.gen_bool(0.5) { 1 } else { -1 };
             day = day.clamp(1, 28);
             Value::Date(hummer_engine::Date::new(d.year, d.month, day as u8).expect("clamped day"))
         }

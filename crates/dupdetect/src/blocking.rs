@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn sorted_neighborhood_pairs_close_keys() {
-        let s = CandidateStrategy::SortedNeighborhood { key_attrs: vec![0], window: 2 };
+        let s = CandidateStrategy::SortedNeighborhood {
+            key_attrs: vec![0],
+            window: 2,
+        };
         let pairs = candidate_pairs(&t(), &s);
         // Sorted: alpha(1), alphb(2), delta(0), zeta(3) → neighbors only.
         assert_eq!(pairs, vec![(0, 2), (0, 3), (1, 2)]);
@@ -107,7 +110,10 @@ mod tests {
 
     #[test]
     fn window_covers_all_when_large() {
-        let s = CandidateStrategy::SortedNeighborhood { key_attrs: vec![0], window: 10 };
+        let s = CandidateStrategy::SortedNeighborhood {
+            key_attrs: vec![0],
+            window: 10,
+        };
         let pairs = candidate_pairs(&t(), &s);
         assert_eq!(pairs.len(), 6); // degenerates to all pairs
     }
@@ -122,7 +128,10 @@ mod tests {
         let t = hummer_engine::Table::from_rows("T", &["Name"], rows).unwrap();
         let sn = candidate_pairs(
             &t,
-            &CandidateStrategy::SortedNeighborhood { key_attrs: vec![0], window: 3 },
+            &CandidateStrategy::SortedNeighborhood {
+                key_attrs: vec![0],
+                window: 3,
+            },
         );
         let all = candidate_pairs(&t, &CandidateStrategy::AllPairs);
         assert!(sn.len() < all.len() / 5, "{} vs {}", sn.len(), all.len());
@@ -136,7 +145,10 @@ mod tests {
             ["x"],
             [()],
         };
-        let s = CandidateStrategy::SortedNeighborhood { key_attrs: vec![0], window: 2 };
+        let s = CandidateStrategy::SortedNeighborhood {
+            key_attrs: vec![0],
+            window: 2,
+        };
         let pairs = candidate_pairs(&t, &s);
         assert!(pairs.contains(&(0, 2))); // the two null-keyed rows pair up
     }
@@ -144,7 +156,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "window must be at least 2")]
     fn tiny_window_panics() {
-        candidate_pairs(&t(), &CandidateStrategy::SortedNeighborhood { key_attrs: vec![0], window: 1 });
+        candidate_pairs(
+            &t(),
+            &CandidateStrategy::SortedNeighborhood {
+                key_attrs: vec![0],
+                window: 1,
+            },
+        );
     }
 
     #[test]

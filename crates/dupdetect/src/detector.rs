@@ -186,13 +186,19 @@ pub fn detect_duplicates(table: &Table, cfg: &DetectorConfig) -> Result<Detectio
                 .iter()
                 .map(|n| table.resolve(n))
                 .collect::<Result<_>>()?;
-            CandidateStrategy::SortedNeighborhood { key_attrs, window: *window }
+            CandidateStrategy::SortedNeighborhood {
+                key_attrs,
+                window: *window,
+            }
         }
     };
 
     let measure = TupleSimilarity::new(table, attrs);
     let candidates = candidate_pairs(table, &strategy);
-    let mut stats = DetectionStats { candidates: candidates.len(), ..Default::default() };
+    let mut stats = DetectionStats {
+        candidates: candidates.len(),
+        ..Default::default()
+    };
 
     let mut pairs = Vec::new();
     let mut unsure = Vec::new();
@@ -204,9 +210,17 @@ pub fn detect_duplicates(table: &Table, cfg: &DetectorConfig) -> Result<Detectio
         stats.compared += 1;
         let s = measure.similarity(table, i, j);
         if s >= cfg.threshold {
-            pairs.push(DuplicatePair { left: i, right: j, similarity: s });
+            pairs.push(DuplicatePair {
+                left: i,
+                right: j,
+                similarity: s,
+            });
         } else if s >= cfg.unsure_threshold {
-            unsure.push(DuplicatePair { left: i, right: j, similarity: s });
+            unsure.push(DuplicatePair {
+                left: i,
+                right: j,
+                similarity: s,
+            });
         }
     }
     pairs.sort_by(|a, b| b.similarity.total_cmp(&a.similarity));
@@ -256,7 +270,11 @@ mod tests {
     }
 
     fn cfg() -> DetectorConfig {
-        DetectorConfig { threshold: 0.75, unsure_threshold: 0.55, ..Default::default() }
+        DetectorConfig {
+            threshold: 0.75,
+            unsure_threshold: 0.55,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -285,9 +303,22 @@ mod tests {
     #[test]
     fn filter_preserves_results() {
         let t = people();
-        let with = detect_duplicates(&t, &DetectorConfig { use_filter: true, ..cfg() }).unwrap();
-        let without =
-            detect_duplicates(&t, &DetectorConfig { use_filter: false, ..cfg() }).unwrap();
+        let with = detect_duplicates(
+            &t,
+            &DetectorConfig {
+                use_filter: true,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        let without = detect_duplicates(
+            &t,
+            &DetectorConfig {
+                use_filter: false,
+                ..cfg()
+            },
+        )
+        .unwrap();
         assert_eq!(with.pairs, without.pairs, "filter must be lossless");
         assert_eq!(with.cluster_ids, without.cluster_ids);
         assert!(with.stats.compared <= without.stats.compared);
@@ -318,7 +349,10 @@ mod tests {
         let t = people();
         let r = detect_duplicates(
             &t,
-            &DetectorConfig { attributes: Some(vec!["Nope".into()]), ..cfg() },
+            &DetectorConfig {
+                attributes: Some(vec!["Nope".into()]),
+                ..cfg()
+            },
         );
         assert!(r.is_err());
     }
@@ -328,7 +362,11 @@ mod tests {
         let t = people();
         let r = detect_duplicates(
             &t,
-            &DetectorConfig { threshold: 0.5, unsure_threshold: 0.9, ..Default::default() },
+            &DetectorConfig {
+                threshold: 0.5,
+                unsure_threshold: 0.9,
+                ..Default::default()
+            },
         );
         assert!(r.is_err());
     }
@@ -409,7 +447,10 @@ mod tests {
         let t = table! { "E" => ["Name"]; };
         let r = detect_duplicates(
             &t,
-            &DetectorConfig { attributes: Some(vec!["Name".into()]), ..cfg() },
+            &DetectorConfig {
+                attributes: Some(vec!["Name".into()]),
+                ..cfg()
+            },
         )
         .unwrap();
         assert!(r.pairs.is_empty());

@@ -46,7 +46,11 @@ pub struct HeuristicConfig {
 
 impl Default for HeuristicConfig {
     fn default() -> Self {
-        HeuristicConfig { min_coverage: 0.5, min_score: 0.15, max_attributes: 8 }
+        HeuristicConfig {
+            min_coverage: 0.5,
+            min_score: 0.15,
+            max_attributes: 8,
+        }
     }
 }
 
@@ -148,7 +152,10 @@ mod tests {
 
     #[test]
     fn max_attributes_truncates_best_first() {
-        let cfg = HeuristicConfig { max_attributes: 1, ..Default::default() };
+        let cfg = HeuristicConfig {
+            max_attributes: 1,
+            ..Default::default()
+        };
         let selected = select_attributes(&t(), &cfg);
         assert_eq!(selected, vec![0]); // Name has the top score
     }

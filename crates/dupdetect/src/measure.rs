@@ -273,9 +273,8 @@ impl TupleSimilarity {
                                         .expect("exact corpus exists for ranged attrs")
                                         .soft_idf(&text)
                                         .max(0.05);
-                                    let near = corpus
-                                        .soft_idf(&numeric_bucket_token(x, *scale))
-                                        .max(0.05);
+                                    let near =
+                                        corpus.soft_idf(&numeric_bucket_token(x, *scale)).max(0.05);
                                     (exact, near)
                                 }
                                 _ => {
@@ -296,7 +295,12 @@ impl TupleSimilarity {
                     .collect()
             })
             .collect();
-        TupleSimilarity { attrs, corpora, cells, ranges }
+        TupleSimilarity {
+            attrs,
+            corpora,
+            cells,
+            ranges,
+        }
     }
 
     /// The participating attribute indices.
@@ -480,7 +484,10 @@ mod tests {
             let narrow = TupleSimilarity::new(&t, vec![0, 2]);
             narrow.similarity(&t, 0, 1)
         };
-        assert!((with_null - two_attr_identical).abs() < 0.15, "{with_null} vs {two_attr_identical}");
+        assert!(
+            (with_null - two_attr_identical).abs() < 0.15,
+            "{with_null} vs {two_attr_identical}"
+        );
     }
 
     #[test]
@@ -579,9 +586,7 @@ mod tests {
             .map(|i| {
                 hummer_engine::Row::from_values(vec![
                     Value::text(format!("Filler Person{i}")),
-                    Value::Date(
-                        hummer_engine::Date::new(2004, 12, 1 + (i % 28) as u8).unwrap(),
-                    ),
+                    Value::Date(hummer_engine::Date::new(2004, 12, 1 + (i % 28) as u8).unwrap()),
                 ])
             })
             .collect();

@@ -90,8 +90,8 @@ fn utf8_len(first_byte: u8) -> usize {
 
 /// Parse CSV text (first record = header) into a table named `name`.
 pub fn read_csv_str(name: &str, content: &str) -> Result<Table> {
-    let (header, mut pos) = parse_record(content, 0)
-        .ok_or_else(|| EngineError::Parse("empty CSV input".into()))?;
+    let (header, mut pos) =
+        parse_record(content, 0).ok_or_else(|| EngineError::Parse("empty CSV input".into()))?;
     let mut table = Table::from_rows(name, &header, Vec::new())?;
     let ncols = header.len();
     let mut line = 1usize;
@@ -227,7 +227,12 @@ mod tests {
         let types: Vec<ColumnType> = t.schema().columns().iter().map(|c| c.ctype).collect();
         assert_eq!(
             types,
-            vec![ColumnType::Int, ColumnType::Float, ColumnType::Date, ColumnType::Text]
+            vec![
+                ColumnType::Int,
+                ColumnType::Float,
+                ColumnType::Date,
+                ColumnType::Text
+            ]
         );
     }
 

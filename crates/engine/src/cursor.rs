@@ -35,7 +35,10 @@ impl<'a> Cursor<'a> {
 
     /// A cursor over owned rows.
     pub fn from_rows(schema: Schema, rows: Vec<Row>) -> Cursor<'static> {
-        Cursor { schema, iter: Box::new(rows.into_iter()) }
+        Cursor {
+            schema,
+            iter: Box::new(rows.into_iter()),
+        }
     }
 
     /// The stream's schema.
@@ -56,7 +59,10 @@ impl<'a> Cursor<'a> {
         let iter = self
             .iter
             .filter(move |row| predicate.matches(&schema, row).unwrap_or(false));
-        Ok(Cursor { schema: self.schema, iter: Box::new(iter) })
+        Ok(Cursor {
+            schema: self.schema,
+            iter: Box::new(iter),
+        })
     }
 
     /// Lazy projection onto named columns.
@@ -67,7 +73,10 @@ impl<'a> Cursor<'a> {
             .collect::<Result<_>>()?;
         let schema = self.schema.project(&indices)?;
         let iter = self.iter.map(move |row| row.project(&indices));
-        Ok(Cursor { schema, iter: Box::new(iter) })
+        Ok(Cursor {
+            schema,
+            iter: Box::new(iter),
+        })
     }
 
     /// Lazy concatenation (UNION ALL by position); the other cursor's rows
@@ -80,7 +89,10 @@ impl<'a> Cursor<'a> {
                 other.schema.len()
             )));
         }
-        Ok(Cursor { schema: self.schema, iter: Box::new(self.iter.chain(other.iter)) })
+        Ok(Cursor {
+            schema: self.schema,
+            iter: Box::new(self.iter.chain(other.iter)),
+        })
     }
 
     /// Lazy outer-union alignment of this cursor into a wider target schema:
@@ -97,12 +109,18 @@ impl<'a> Cursor<'a> {
                 .map(|m| m.map(|i| row[i].clone()).unwrap_or(Value::Null))
                 .collect()
         });
-        Cursor { schema: target.clone(), iter: Box::new(iter) }
+        Cursor {
+            schema: target.clone(),
+            iter: Box::new(iter),
+        }
     }
 
     /// Take at most `n` rows.
     pub fn limit(self, n: usize) -> Cursor<'a> {
-        Cursor { schema: self.schema, iter: Box::new(self.iter.take(n)) }
+        Cursor {
+            schema: self.schema,
+            iter: Box::new(self.iter.take(n)),
+        }
     }
 
     /// Materialize into a table.
@@ -171,7 +189,9 @@ mod tests {
     #[test]
     fn filter_validates_columns_eagerly() {
         let t = t();
-        assert!(Cursor::scan(&t).filter(Expr::col("zz").gt(Expr::lit(1))).is_err());
+        assert!(Cursor::scan(&t)
+            .filter(Expr::col("zz").gt(Expr::lit(1)))
+            .is_err());
     }
 
     #[test]

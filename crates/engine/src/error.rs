@@ -50,7 +50,10 @@ impl fmt::Display for EngineError {
             }
             EngineError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             EngineError::ArityMismatch { expected, actual } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {actual}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {actual}"
+                )
             }
             EngineError::TypeError(msg) => write!(f, "type error: {msg}"),
             EngineError::Expression(msg) => write!(f, "expression error: {msg}"),
@@ -90,7 +93,10 @@ mod tests {
 
     #[test]
     fn display_arity() {
-        let e = EngineError::ArityMismatch { expected: 3, actual: 2 };
+        let e = EngineError::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
         assert!(e.to_string().contains("3 columns"));
         assert!(e.to_string().contains("row has 2"));
     }

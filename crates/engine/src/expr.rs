@@ -215,7 +215,11 @@ impl Expr {
                         None => saw_null = true,
                     }
                 }
-                Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+                Ok(if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(false)
+                })
             }
             Expr::Call(name, args) => eval_call(name, args, schema, row),
             Expr::Neg(e) => {
@@ -406,7 +410,9 @@ fn eval_call(name: &str, args: &[Expr], schema: &Schema, row: &Row) -> Result<Va
                 other => Err(EngineError::TypeError(format!("ROUND of {other:?}"))),
             }
         }
-        _ => Err(EngineError::Expression(format!("unknown function `{name}`"))),
+        _ => Err(EngineError::Expression(format!(
+            "unknown function `{name}`"
+        ))),
     }
 }
 
@@ -445,7 +451,10 @@ mod tests {
     fn column_and_literal() {
         let s = schema();
         let r = alice();
-        assert_eq!(Expr::col("name").eval(&s, &r).unwrap(), Value::text("Alice"));
+        assert_eq!(
+            Expr::col("name").eval(&s, &r).unwrap(),
+            Value::text("Alice")
+        );
         assert_eq!(Expr::lit(7).eval(&s, &r).unwrap(), Value::Int(7));
         assert!(Expr::col("nope").eval(&s, &r).is_err());
     }
@@ -470,9 +479,15 @@ mod tests {
         let t = Expr::lit(true);
         let f = Expr::lit(false);
         // FALSE AND NULL = FALSE
-        assert_eq!(f.clone().and(null.clone()).eval(&s, &r).unwrap(), Value::Bool(false));
+        assert_eq!(
+            f.clone().and(null.clone()).eval(&s, &r).unwrap(),
+            Value::Bool(false)
+        );
         // TRUE AND NULL = NULL
-        assert_eq!(t.clone().and(null.clone()).eval(&s, &r).unwrap(), Value::Null);
+        assert_eq!(
+            t.clone().and(null.clone()).eval(&s, &r).unwrap(),
+            Value::Null
+        );
         // TRUE OR NULL = TRUE
         assert_eq!(t.or(null.clone()).eval(&s, &r).unwrap(), Value::Bool(true));
         // FALSE OR NULL = NULL
@@ -485,11 +500,19 @@ mod tests {
     fn arithmetic() {
         let s = schema();
         let r = alice();
-        let e = Expr::Arith(ArithOp::Add, Box::new(Expr::col("age")), Box::new(Expr::lit(8)));
+        let e = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::col("age")),
+            Box::new(Expr::lit(8)),
+        );
         assert_eq!(e.eval(&s, &r).unwrap(), Value::Int(30));
         let d = Expr::Arith(ArithOp::Div, Box::new(Expr::lit(7)), Box::new(Expr::lit(2)));
         assert_eq!(d.eval(&s, &r).unwrap(), Value::Int(3));
-        let fdiv = Expr::Arith(ArithOp::Div, Box::new(Expr::lit(7.0)), Box::new(Expr::lit(2)));
+        let fdiv = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::lit(7.0)),
+            Box::new(Expr::lit(2)),
+        );
         assert_eq!(fdiv.eval(&s, &r).unwrap(), Value::Float(3.5));
         let zero = Expr::Arith(ArithOp::Div, Box::new(Expr::lit(1)), Box::new(Expr::lit(0)));
         assert!(zero.eval(&s, &r).is_err());
@@ -499,7 +522,11 @@ mod tests {
     fn string_concat_via_plus() {
         let s = schema();
         let r = alice();
-        let e = Expr::Arith(ArithOp::Add, Box::new(Expr::col("name")), Box::new(Expr::lit("!")));
+        let e = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::col("name")),
+            Box::new(Expr::lit("!")),
+        );
         assert_eq!(e.eval(&s, &r).unwrap(), Value::text("Alice!"));
     }
 
@@ -507,7 +534,11 @@ mod tests {
     fn null_propagates_through_arith() {
         let s = schema();
         let r = alice();
-        let e = Expr::Arith(ArithOp::Add, Box::new(Expr::col("city")), Box::new(Expr::lit(1)));
+        let e = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::col("city")),
+            Box::new(Expr::lit(1)),
+        );
         assert_eq!(e.eval(&s, &r).unwrap(), Value::Null);
     }
 
@@ -516,11 +547,15 @@ mod tests {
         let s = schema();
         let r = alice();
         assert_eq!(
-            Expr::IsNull(Box::new(Expr::col("city"))).eval(&s, &r).unwrap(),
+            Expr::IsNull(Box::new(Expr::col("city")))
+                .eval(&s, &r)
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            Expr::IsNotNull(Box::new(Expr::col("name"))).eval(&s, &r).unwrap(),
+            Expr::IsNotNull(Box::new(Expr::col("name")))
+                .eval(&s, &r)
+                .unwrap(),
             Value::Bool(true)
         );
     }
@@ -540,7 +575,10 @@ mod tests {
     fn in_list_with_null() {
         let s = schema();
         let r = alice();
-        let e = Expr::In(Box::new(Expr::col("age")), vec![Expr::lit(21), Expr::lit(22)]);
+        let e = Expr::In(
+            Box::new(Expr::col("age")),
+            vec![Expr::lit(21), Expr::lit(22)],
+        );
         assert_eq!(e.eval(&s, &r).unwrap(), Value::Bool(true));
         let e2 = Expr::In(
             Box::new(Expr::col("age")),
@@ -559,22 +597,34 @@ mod tests {
             Value::text("alice")
         );
         assert_eq!(
-            call("length", vec![Expr::col("name")]).eval(&s, &r).unwrap(),
+            call("length", vec![Expr::col("name")])
+                .eval(&s, &r)
+                .unwrap(),
             Value::Int(5)
         );
         assert_eq!(
-            call("coalesce", vec![Expr::col("city"), Expr::lit("?")]).eval(&s, &r).unwrap(),
+            call("coalesce", vec![Expr::col("city"), Expr::lit("?")])
+                .eval(&s, &r)
+                .unwrap(),
             Value::text("?")
         );
-        assert_eq!(call("abs", vec![Expr::lit(-5)]).eval(&s, &r).unwrap(), Value::Int(5));
-        assert_eq!(call("round", vec![Expr::lit(2.6)]).eval(&s, &r).unwrap(), Value::Int(3));
+        assert_eq!(
+            call("abs", vec![Expr::lit(-5)]).eval(&s, &r).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            call("round", vec![Expr::lit(2.6)]).eval(&s, &r).unwrap(),
+            Value::Int(3)
+        );
         assert!(call("nope", vec![]).eval(&s, &r).is_err());
         assert!(call("lower", vec![]).eval(&s, &r).is_err());
     }
 
     #[test]
     fn columns_collects_references() {
-        let e = Expr::col("a").eq(Expr::lit(1)).and(Expr::col("b").gt(Expr::col("c")));
+        let e = Expr::col("a")
+            .eq(Expr::lit(1))
+            .and(Expr::col("b").gt(Expr::col("c")));
         assert_eq!(e.columns(), vec!["a", "b", "c"]);
     }
 }

@@ -52,8 +52,16 @@ impl AggFunc {
         match self {
             AggFunc::CountAll => Ok(Value::Int(values.len() as i64)),
             AggFunc::Count => Ok(Value::Int(non_null.len() as i64)),
-            AggFunc::Min => Ok(non_null.iter().min_by(|a, b| a.cmp_total(b)).map(|v| (**v).clone()).unwrap_or(Value::Null)),
-            AggFunc::Max => Ok(non_null.iter().max_by(|a, b| a.cmp_total(b)).map(|v| (**v).clone()).unwrap_or(Value::Null)),
+            AggFunc::Min => Ok(non_null
+                .iter()
+                .min_by(|a, b| a.cmp_total(b))
+                .map(|v| (**v).clone())
+                .unwrap_or(Value::Null)),
+            AggFunc::Max => Ok(non_null
+                .iter()
+                .max_by(|a, b| a.cmp_total(b))
+                .map(|v| (**v).clone())
+                .unwrap_or(Value::Null)),
             AggFunc::Sum | AggFunc::Avg => {
                 if non_null.is_empty() {
                     return Ok(Value::Null);
@@ -113,7 +121,11 @@ pub struct Aggregate {
 impl Aggregate {
     /// Construct an aggregate.
     pub fn new(func: AggFunc, column: impl Into<String>, alias: impl Into<String>) -> Self {
-        Aggregate { func, column: column.into(), alias: alias.into() }
+        Aggregate {
+            func,
+            column: column.into(),
+            alias: alias.into(),
+        }
     }
 }
 
@@ -121,7 +133,10 @@ impl Aggregate {
 /// first occurrence; `NULL` group keys form a single group (SQL behaviour).
 /// With an empty `keys`, the whole input is one group (even when empty).
 pub fn group_by(table: &Table, keys: &[&str], aggregates: &[Aggregate]) -> Result<Table> {
-    let key_idx: Vec<usize> = keys.iter().map(|k| table.resolve(k)).collect::<Result<_>>()?;
+    let key_idx: Vec<usize> = keys
+        .iter()
+        .map(|k| table.resolve(k))
+        .collect::<Result<_>>()?;
     let agg_idx: Vec<Option<usize>> = aggregates
         .iter()
         .map(|a| {
@@ -211,10 +226,18 @@ mod tests {
         )
         .unwrap();
         assert_eq!(g.len(), 3); // north, south, NULL
-        let north = g.rows().iter().find(|r| r[0] == Value::text("north")).unwrap();
+        let north = g
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::text("north"))
+            .unwrap();
         assert_eq!(north[1], Value::Int(40));
         assert_eq!(north[2], Value::Int(2));
-        let south = g.rows().iter().find(|r| r[0] == Value::text("south")).unwrap();
+        let south = g
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::text("south"))
+            .unwrap();
         assert_eq!(south[1], Value::Int(20));
         assert_eq!(south[2], Value::Int(1)); // NULL not counted
         assert_eq!(south[3], Value::Int(2)); // but COUNT(*) counts it
@@ -234,7 +257,12 @@ mod tests {
 
     #[test]
     fn global_aggregate_no_keys() {
-        let g = group_by(&sales(), &[], &[Aggregate::new(AggFunc::Avg, "amount", "a")]).unwrap();
+        let g = group_by(
+            &sales(),
+            &[],
+            &[Aggregate::new(AggFunc::Avg, "amount", "a")],
+        )
+        .unwrap();
         assert_eq!(g.len(), 1);
         assert_eq!(g.cell(0, 0), &Value::Float(65.0 / 4.0));
     }

@@ -214,7 +214,11 @@ mod tests {
     fn left_join_pads_nulls() {
         let j = hash_join(&people(), &cities(), "id", "pid", JoinKind::Left).unwrap();
         assert_eq!(j.len(), 4); // 2 matches + Bob + Carol padded
-        let bob = j.rows().iter().find(|r| r[1] == Value::text("Bob")).unwrap();
+        let bob = j
+            .rows()
+            .iter()
+            .find(|r| r[1] == Value::text("Bob"))
+            .unwrap();
         assert!(bob[3].is_null());
     }
 
@@ -222,7 +226,11 @@ mod tests {
     fn full_join_keeps_unmatched_right() {
         let j = hash_join(&people(), &cities(), "id", "pid", JoinKind::Full).unwrap();
         assert_eq!(j.len(), 5); // + Munich row
-        let munich = j.rows().iter().find(|r| r[3] == Value::text("Munich")).unwrap();
+        let munich = j
+            .rows()
+            .iter()
+            .find(|r| r[3] == Value::text("Munich"))
+            .unwrap();
         assert!(munich[0].is_null());
     }
 
@@ -255,8 +263,8 @@ mod tests {
     fn nested_loop_supports_theta_join() {
         let a = table! { "A" => ["x"]; [1], [5] };
         let b = table! { "B" => ["y"]; [3] };
-        let j = nested_loop_join(&a, &b, &Expr::col("x").lt(Expr::col("y")), JoinKind::Inner)
-            .unwrap();
+        let j =
+            nested_loop_join(&a, &b, &Expr::col("x").lt(Expr::col("y")), JoinKind::Inner).unwrap();
         assert_eq!(j.len(), 1);
         assert_eq!(j.cell(0, 0), &Value::Int(1));
     }

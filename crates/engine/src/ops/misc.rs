@@ -21,7 +21,12 @@ pub fn project_named<S: AsRef<str>>(table: &Table, columns: &[S]) -> Result<Tabl
 
 /// Generalized projection: each output column is `(alias, expression)`.
 pub fn project(table: &Table, columns: &[(String, Expr)]) -> Result<Table> {
-    let schema = Schema::new(columns.iter().map(|(a, _)| Column::any(a.clone())).collect())?;
+    let schema = Schema::new(
+        columns
+            .iter()
+            .map(|(a, _)| Column::any(a.clone()))
+            .collect(),
+    )?;
     let mut out = Table::empty(table.name(), schema);
     for row in table.rows() {
         let values: Vec<Value> = columns
@@ -92,7 +97,11 @@ mod tests {
         use crate::expr::ArithOp;
         let cols = vec![(
             "a2".to_string(),
-            Expr::Arith(ArithOp::Mul, Box::new(Expr::col("a")), Box::new(Expr::lit(2))),
+            Expr::Arith(
+                ArithOp::Mul,
+                Box::new(Expr::col("a")),
+                Box::new(Expr::lit(2)),
+            ),
         )];
         let p = project(&t(), &cols).unwrap();
         assert_eq!(p.schema().names(), vec!["a2"]);

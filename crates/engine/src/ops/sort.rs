@@ -18,12 +18,18 @@ pub struct SortKey {
 impl SortKey {
     /// Ascending key.
     pub fn asc(column: impl Into<String>) -> Self {
-        SortKey { column: column.into(), ascending: true }
+        SortKey {
+            column: column.into(),
+            ascending: true,
+        }
     }
 
     /// Descending key.
     pub fn desc(column: impl Into<String>) -> Self {
-        SortKey { column: column.into(), ascending: false }
+        SortKey {
+            column: column.into(),
+            ascending: false,
+        }
     }
 }
 

@@ -74,7 +74,10 @@ pub struct Column {
 impl Column {
     /// Create a column.
     pub fn new(name: impl Into<String>, ctype: ColumnType) -> Self {
-        Column { name: name.into(), ctype }
+        Column {
+            name: name.into(),
+            ctype,
+        }
     }
 
     /// A dynamically typed column (the common case for ad-hoc sources).
@@ -140,10 +143,11 @@ impl Schema {
     /// Index of a column, or an [`EngineError::UnknownColumn`] naming
     /// `relation` in the message.
     pub fn resolve(&self, name: &str, relation: &str) -> Result<usize, EngineError> {
-        self.index_of(name).ok_or_else(|| EngineError::UnknownColumn {
-            name: name.to_string(),
-            relation: relation.to_string(),
-        })
+        self.index_of(name)
+            .ok_or_else(|| EngineError::UnknownColumn {
+                name: name.to_string(),
+                relation: relation.to_string(),
+            })
     }
 
     /// The column at `idx`.
@@ -197,7 +201,10 @@ impl Schema {
             }
         }
         // Names are unique by construction.
-        Schema { columns: cols, index }
+        Schema {
+            columns: cols,
+            index,
+        }
     }
 }
 

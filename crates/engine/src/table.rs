@@ -23,7 +23,11 @@ pub struct Table {
 impl Table {
     /// An empty table with the given name and schema.
     pub fn empty(name: impl Into<String>, schema: Schema) -> Self {
-        Table { name: name.into(), schema, rows: Vec::new() }
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Build a table from rows, validating arity of every row.
@@ -152,7 +156,11 @@ impl Table {
     pub fn sorted_by(&self, mut cmp: impl FnMut(&Row, &Row) -> std::cmp::Ordering) -> Table {
         let mut rows = self.rows.clone();
         rows.sort_by(&mut cmp);
-        Table { name: self.name.clone(), schema: self.schema.clone(), rows }
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows,
+        }
     }
 
     /// Render as an ASCII grid (the demo's "browse result set" view).
@@ -165,7 +173,13 @@ impl Table {
             .map(|r| {
                 r.values()
                     .iter()
-                    .map(|v| if v.is_null() { "·".to_string() } else { v.to_string() })
+                    .map(|v| {
+                        if v.is_null() {
+                            "·".to_string()
+                        } else {
+                            v.to_string()
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -214,7 +228,13 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} {} [{} rows]", self.name, self.schema, self.rows.len())?;
+        writeln!(
+            f,
+            "{} {} [{} rows]",
+            self.name,
+            self.schema,
+            self.rows.len()
+        )?;
         f.write_str(&self.pretty())
     }
 }
@@ -302,8 +322,10 @@ mod tests {
     #[test]
     fn add_column_appends_values() {
         let mut t = students();
-        t.add_column(Column::new("rowid", ColumnType::Int), |i, _| Value::Int(i as i64))
-            .unwrap();
+        t.add_column(Column::new("rowid", ColumnType::Int), |i, _| {
+            Value::Int(i as i64)
+        })
+        .unwrap();
         assert_eq!(t.schema().names(), vec!["Name", "Age", "rowid"]);
         assert_eq!(t.cell(2, 2), &Value::Int(2));
     }
@@ -311,7 +333,9 @@ mod tests {
     #[test]
     fn add_column_rejects_duplicate_name() {
         let mut t = students();
-        assert!(t.add_column(Column::any("name"), |_, _| Value::Null).is_err());
+        assert!(t
+            .add_column(Column::any("name"), |_, _| Value::Null)
+            .is_err());
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl Date {
     /// numeric distance between dates.
     pub fn ordinal(&self) -> i64 {
         // Standard civil-from-days inverse (Howard Hinnant's algorithm).
-        let y = if self.month <= 2 { self.year - 1 } else { self.year } as i64;
+        let y = if self.month <= 2 {
+            self.year - 1
+        } else {
+            self.year
+        } as i64;
         let era = if y >= 0 { y } else { y - 399 } / 400;
         let yoe = y - era * 400;
         let mp = (self.month as i64 + 9) % 12;
@@ -415,7 +419,10 @@ mod tests {
         assert_eq!(Value::infer("-3"), Value::Int(-3));
         assert_eq!(Value::infer("3.25"), Value::Float(3.25));
         assert_eq!(Value::infer("true"), Value::Bool(true));
-        assert_eq!(Value::infer("2005-08-30"), Value::Date(Date::new(2005, 8, 30).unwrap()));
+        assert_eq!(
+            Value::infer("2005-08-30"),
+            Value::Date(Date::new(2005, 8, 30).unwrap())
+        );
         assert_eq!(Value::infer("abc"), Value::text("abc"));
         // ambiguous date-ish text stays text
         assert_eq!(Value::infer("2005-13-45"), Value::text("2005-13-45"));

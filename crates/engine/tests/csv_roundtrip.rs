@@ -1,0 +1,112 @@
+//! Property-based round-trip tests for the CSV reader/writer: fields with
+//! commas, quotes, and newlines — the characters RFC-4180 quoting exists
+//! for — must survive `write_csv_str` → `read_csv_str` unchanged.
+//!
+//! Field content is drawn from letters plus the quoting-relevant specials
+//! (`,`, `"`, `\n`, space) and stays non-numeric, so type inference cannot
+//! legitimately re-render a value differently (e.g. `1.50` → `1.5`); empty
+//! fields are expected to round-trip as `NULL`.
+
+use hummer_engine::csv::{read_csv_str, write_csv_str};
+use hummer_engine::Value;
+use proptest::prelude::*;
+
+/// Build well-formed CSV from raw fields, quoting every field.
+fn csv_from_fields(header: &[String], rows: &[Vec<String>]) -> String {
+    let quote = |f: &String| format!("\"{}\"", f.replace('"', "\"\""));
+    let mut out: String = header.iter().map(quote).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(quote).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// A strategy for a rows × cols grid of tricky fields.
+fn grid(cols: usize, max_rows: usize) -> impl Strategy<Value = Vec<Vec<String>>> {
+    prop::collection::vec(
+        prop::collection::vec("[a-z,\" \n]{0,12}", cols..cols + 1),
+        0..max_rows,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn write_then_read_preserves_fields(rows in (2usize..5).prop_flat_map(|w| grid(w, 7))) {
+        let w = rows.first().map(|r| r.len()).unwrap_or(2);
+        // Distinct, harmless header names; the content under test is rows.
+        let header: Vec<String> = (0..w).map(|i| format!("c{i}")).collect();
+        let table = read_csv_str("T", &csv_from_fields(&header, &rows)).unwrap();
+        prop_assert_eq!(table.len(), rows.len());
+
+        // 1. Parsed cells carry the exact original field text (empty → NULL).
+        for (i, row) in rows.iter().enumerate() {
+            for (j, field) in row.iter().enumerate() {
+                let cell = table.cell(i, j);
+                if field.trim().is_empty() {
+                    // `Value::infer` treats whitespace-only as missing.
+                    prop_assert!(cell.is_null(), "row {i} col {j}: {cell:?}");
+                } else {
+                    prop_assert_eq!(cell.to_string(), field.clone());
+                }
+            }
+        }
+
+        // 2. The writer's own output re-reads to an identical table.
+        let rewritten = write_csv_str(&table);
+        let again = read_csv_str("T", &rewritten).unwrap();
+        prop_assert_eq!(again.rows(), table.rows());
+        prop_assert_eq!(
+            again.schema().names(),
+            table.schema().names()
+        );
+    }
+
+    #[test]
+    fn quoted_header_names_round_trip(names in prop::collection::vec("[a-z,\" ]{1,10}", 2..5)) {
+        // Headers with commas/quotes must be quoted by the writer too.
+        let mut unique = names;
+        for (i, n) in unique.iter_mut().enumerate() {
+            n.push_str(&format!("_{i}")); // force uniqueness
+        }
+        let csv = csv_from_fields(&unique, &[]);
+        let table = read_csv_str("T", &csv).unwrap();
+        prop_assert_eq!(table.schema().names(), unique.iter().map(String::as_str).collect::<Vec<_>>());
+        let again = read_csv_str("T", &write_csv_str(&table)).unwrap();
+        prop_assert_eq!(again.schema().names(), table.schema().names());
+    }
+}
+
+#[test]
+fn the_classic_trap_cases() {
+    // One deterministic grid covering every special at once.
+    let rows = vec![
+        vec![
+            "plain".to_string(),
+            "with,comma".to_string(),
+            "with \"quotes\"".to_string(),
+        ],
+        vec![
+            "line\nbreak".to_string(),
+            String::new(),
+            "\",\n\"".to_string(),
+        ],
+        vec![
+            " leading space".to_string(),
+            "trailing ".to_string(),
+            "\"\"".to_string(),
+        ],
+    ];
+    let header = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+    let table = read_csv_str("T", &csv_from_fields(&header, &rows)).unwrap();
+    assert_eq!(table.cell(0, 1), &Value::text("with,comma"));
+    assert_eq!(table.cell(0, 2), &Value::text("with \"quotes\""));
+    assert_eq!(table.cell(1, 0), &Value::text("line\nbreak"));
+    assert!(table.cell(1, 1).is_null());
+    assert_eq!(table.cell(1, 2), &Value::text("\",\n\""));
+    let again = read_csv_str("T", &write_csv_str(&table)).unwrap();
+    assert_eq!(again.rows(), table.rows());
+}

@@ -112,10 +112,7 @@ mod tests {
             column: schema.column(col).name.as_str(),
             column_index: col,
             rows: rows.iter().collect(),
-            source_ids: rows
-                .iter()
-                .map(|r| r[2].as_text())
-                .collect(),
+            source_ids: rows.iter().map(|r| r[2].as_text()).collect(),
         }
     }
 

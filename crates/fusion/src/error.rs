@@ -53,7 +53,9 @@ mod tests {
         assert!(FusionError::UnknownFunction("frob".into())
             .to_string()
             .contains("frob"));
-        assert!(FusionError::BadArgument("x".into()).to_string().contains("x"));
+        assert!(FusionError::BadArgument("x".into())
+            .to_string()
+            .contains("x"));
     }
 
     #[test]

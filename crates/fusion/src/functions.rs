@@ -29,13 +29,19 @@ pub struct Resolved {
 impl Resolved {
     /// A resolved value with contributors.
     pub fn new(value: Value, contributors: Vec<usize>) -> Self {
-        Resolved { value, contributors }
+        Resolved {
+            value,
+            contributors,
+        }
     }
 
     /// A synthesized value: derived from all tuples rather than taken from
     /// one (aggregates, concatenations).
     pub fn synthesized(value: Value, ctx: &ConflictContext<'_>) -> Self {
-        Resolved { value, contributors: ctx.non_null_values().iter().map(|(i, _)| *i).collect() }
+        Resolved {
+            value,
+            contributors: ctx.non_null_values().iter().map(|(i, _)| *i).collect(),
+        }
     }
 }
 
@@ -169,8 +175,10 @@ impl ResolutionFunction for Vote {
             }
         }
         let max_count = groups.iter().map(|(_, m)| m.len()).max().unwrap_or(0);
-        let tied: Vec<&(&Value, Vec<usize>)> =
-            groups.iter().filter(|(_, m)| m.len() == max_count).collect();
+        let tied: Vec<&(&Value, Vec<usize>)> = groups
+            .iter()
+            .filter(|(_, m)| m.len() == max_count)
+            .collect();
         let winner = match self.tie_break {
             TieBreak::FirstSeen => tied[0],
             TieBreak::Least => tied
@@ -305,7 +313,10 @@ impl ResolutionFunction for Group {
             .map(|v| v.to_string())
             .collect::<Vec<_>>()
             .join(", ");
-        Ok(Resolved::synthesized(Value::Text(format!("{{{body}}}")), ctx))
+        Ok(Resolved::synthesized(
+            Value::Text(format!("{{{body}}}")),
+            ctx,
+        ))
     }
 }
 
@@ -322,7 +333,10 @@ pub struct Concat {
 
 impl Default for Concat {
     fn default() -> Self {
-        Concat { separator: " | ".into(), annotated: false }
+        Concat {
+            separator: " | ".into(),
+            annotated: false,
+        }
     }
 }
 
@@ -350,7 +364,10 @@ impl ResolutionFunction for Concat {
                 }
             })
             .collect();
-        Ok(Resolved::synthesized(Value::Text(parts.join(&self.separator)), ctx))
+        Ok(Resolved::synthesized(
+            Value::Text(parts.join(&self.separator)),
+            ctx,
+        ))
     }
 }
 
@@ -387,9 +404,10 @@ impl ResolutionFunction for NumericAggregate {
     fn resolve(&self, ctx: &ConflictContext<'_>) -> Result<Resolved> {
         let non_null = ctx.non_null_values();
         match self {
-            NumericAggregate::Count => {
-                Ok(Resolved::synthesized(Value::Int(non_null.len() as i64), ctx))
-            }
+            NumericAggregate::Count => Ok(Resolved::synthesized(
+                Value::Int(non_null.len() as i64),
+                ctx,
+            )),
             NumericAggregate::Min | NumericAggregate::Max => {
                 let best = if *self == NumericAggregate::Min {
                     non_null.iter().min_by(|a, b| a.1.cmp_total(b.1))
@@ -468,8 +486,18 @@ mod tests {
 
     fn rows() -> Vec<Row> {
         vec![
-            row!["Jon Smith", 33, hummer_engine::Date::parse("2005-01-10").unwrap(), "A"],
-            row!["John Smith", 34, hummer_engine::Date::parse("2005-03-02").unwrap(), "B"],
+            row![
+                "Jon Smith",
+                33,
+                hummer_engine::Date::parse("2005-01-10").unwrap(),
+                "A"
+            ],
+            row![
+                "John Smith",
+                34,
+                hummer_engine::Date::parse("2005-03-02").unwrap(),
+                "B"
+            ],
             row![(), 34, (), "C"],
         ]
     }
@@ -508,7 +536,10 @@ mod tests {
         let s = schema();
         let r = vec![row![(), 1, (), "A"], row!["x", 2, (), "B"]];
         let out = First.resolve(&ctx(&s, &r, 0)).unwrap();
-        assert!(out.value.is_null(), "FIRST must take the first value even if NULL");
+        assert!(
+            out.value.is_null(),
+            "FIRST must take the first value even if NULL"
+        );
         let last = Last.resolve(&ctx(&s, &r, 0)).unwrap();
         assert_eq!(last.value, Value::text("x"));
         assert_eq!(last.contributors, vec![1]);
@@ -518,14 +549,22 @@ mod tests {
     fn choose_prefers_named_source() {
         let s = schema();
         let r = rows();
-        let out = Choose { source: "B".into() }.resolve(&ctx(&s, &r, 1)).unwrap();
+        let out = Choose { source: "B".into() }
+            .resolve(&ctx(&s, &r, 1))
+            .unwrap();
         assert_eq!(out.value, Value::Int(34));
         assert_eq!(out.contributors, vec![1]);
         // Source with only a NULL in this column → NULL.
-        let none = Choose { source: "C".into() }.resolve(&ctx(&s, &r, 0)).unwrap();
+        let none = Choose { source: "C".into() }
+            .resolve(&ctx(&s, &r, 0))
+            .unwrap();
         assert!(none.value.is_null());
         // Unknown source → NULL.
-        let unk = Choose { source: "ZZ".into() }.resolve(&ctx(&s, &r, 0)).unwrap();
+        let unk = Choose {
+            source: "ZZ".into(),
+        }
+        .resolve(&ctx(&s, &r, 0))
+        .unwrap();
         assert!(unk.value.is_null());
     }
 
@@ -539,11 +578,23 @@ mod tests {
 
         // Tie: 33 and 34 once each → FirstSeen picks 33, Greatest picks 34.
         let r2 = vec![row!["a", 33, (), "A"], row!["b", 34, (), "B"]];
-        let first = Vote { tie_break: TieBreak::FirstSeen }.resolve(&ctx(&s, &r2, 1)).unwrap();
+        let first = Vote {
+            tie_break: TieBreak::FirstSeen,
+        }
+        .resolve(&ctx(&s, &r2, 1))
+        .unwrap();
         assert_eq!(first.value, Value::Int(33));
-        let hi = Vote { tie_break: TieBreak::Greatest }.resolve(&ctx(&s, &r2, 1)).unwrap();
+        let hi = Vote {
+            tie_break: TieBreak::Greatest,
+        }
+        .resolve(&ctx(&s, &r2, 1))
+        .unwrap();
         assert_eq!(hi.value, Value::Int(34));
-        let lo = Vote { tie_break: TieBreak::Least }.resolve(&ctx(&s, &r2, 1)).unwrap();
+        let lo = Vote {
+            tie_break: TieBreak::Least,
+        }
+        .resolve(&ctx(&s, &r2, 1))
+        .unwrap();
         assert_eq!(lo.value, Value::Int(33));
     }
 
@@ -551,7 +602,9 @@ mod tests {
     fn shortest_longest() {
         let s = schema();
         let r = rows();
-        let sh = ByLength { longest: false }.resolve(&ctx(&s, &r, 0)).unwrap();
+        let sh = ByLength { longest: false }
+            .resolve(&ctx(&s, &r, 0))
+            .unwrap();
         assert_eq!(sh.value, Value::text("Jon Smith"));
         let lo = ByLength { longest: true }.resolve(&ctx(&s, &r, 0)).unwrap();
         assert_eq!(lo.value, Value::text("John Smith"));
@@ -561,7 +614,9 @@ mod tests {
     fn most_recent_follows_companion_date() {
         let s = schema();
         let r = rows();
-        let f = MostRecent { recency_column: "Updated".into() };
+        let f = MostRecent {
+            recency_column: "Updated".into(),
+        };
         let out = f.resolve(&ctx(&s, &r, 1)).unwrap();
         // Row 1 has the latest Updated and Age 34.
         assert_eq!(out.value, Value::Int(34));
@@ -572,10 +627,17 @@ mod tests {
     fn most_recent_null_recency_loses() {
         let s = schema();
         let r = vec![
-            row!["old", 1, hummer_engine::Date::parse("2001-01-01").unwrap(), "A"],
+            row![
+                "old",
+                1,
+                hummer_engine::Date::parse("2001-01-01").unwrap(),
+                "A"
+            ],
             row!["undated", 2, (), "B"],
         ];
-        let f = MostRecent { recency_column: "Updated".into() };
+        let f = MostRecent {
+            recency_column: "Updated".into(),
+        };
         let out = f.resolve(&ctx(&s, &r, 0)).unwrap();
         assert_eq!(out.value, Value::text("old"));
     }
@@ -584,7 +646,9 @@ mod tests {
     fn most_recent_missing_column_errors() {
         let s = schema();
         let r = rows();
-        let f = MostRecent { recency_column: "zz".into() };
+        let f = MostRecent {
+            recency_column: "zz".into(),
+        };
         assert!(f.resolve(&ctx(&s, &r, 0)).is_err());
     }
 
@@ -606,9 +670,12 @@ mod tests {
         let r = rows();
         let plain = Concat::default().resolve(&ctx(&s, &r, 1)).unwrap();
         assert_eq!(plain.value, Value::text("33 | 34 | 34"));
-        let ann = Concat { separator: "; ".into(), annotated: true }
-            .resolve(&ctx(&s, &r, 1))
-            .unwrap();
+        let ann = Concat {
+            separator: "; ".into(),
+            annotated: true,
+        }
+        .resolve(&ctx(&s, &r, 1))
+        .unwrap();
         assert_eq!(ann.value, Value::text("33 [A]; 34 [B]; 34 [C]"));
     }
 
@@ -617,15 +684,30 @@ mod tests {
         let s = schema();
         let r = rows();
         let c = ctx(&s, &r, 1);
-        assert_eq!(NumericAggregate::Min.resolve(&c).unwrap().value, Value::Int(33));
-        assert_eq!(NumericAggregate::Max.resolve(&c).unwrap().value, Value::Int(34));
-        assert_eq!(NumericAggregate::Sum.resolve(&c).unwrap().value, Value::Int(101));
+        assert_eq!(
+            NumericAggregate::Min.resolve(&c).unwrap().value,
+            Value::Int(33)
+        );
+        assert_eq!(
+            NumericAggregate::Max.resolve(&c).unwrap().value,
+            Value::Int(34)
+        );
+        assert_eq!(
+            NumericAggregate::Sum.resolve(&c).unwrap().value,
+            Value::Int(101)
+        );
         assert_eq!(
             NumericAggregate::Avg.resolve(&c).unwrap().value,
             Value::Float(101.0 / 3.0)
         );
-        assert_eq!(NumericAggregate::Median.resolve(&c).unwrap().value, Value::Int(34));
-        assert_eq!(NumericAggregate::Count.resolve(&c).unwrap().value, Value::Int(3));
+        assert_eq!(
+            NumericAggregate::Median.resolve(&c).unwrap().value,
+            Value::Int(34)
+        );
+        assert_eq!(
+            NumericAggregate::Count.resolve(&c).unwrap().value,
+            Value::Int(3)
+        );
     }
 
     #[test]
@@ -659,7 +741,10 @@ mod tests {
         drop(r);
         assert!(NumericAggregate::Sum.resolve(&c).unwrap().value.is_null());
         assert!(NumericAggregate::Min.resolve(&c).unwrap().value.is_null());
-        assert_eq!(NumericAggregate::Count.resolve(&c).unwrap().value, Value::Int(0));
+        assert_eq!(
+            NumericAggregate::Count.resolve(&c).unwrap().value,
+            Value::Int(0)
+        );
         assert!(Vote::default().resolve(&c).unwrap().value.is_null());
         assert!(Group.resolve(&c).unwrap().value.is_null());
         assert!(Concat::default().resolve(&c).unwrap().value.is_null());

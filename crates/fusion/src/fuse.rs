@@ -122,8 +122,9 @@ pub fn fuse(
         .iter()
         .map(|c| input.resolve(c).map_err(FusionError::from))
         .collect::<Result<_, _>>()?;
-    let out_cols: Vec<usize> =
-        (0..input.schema().len()).filter(|i| !dropped.contains(i)).collect();
+    let out_cols: Vec<usize> = (0..input.schema().len())
+        .filter(|i| !dropped.contains(i))
+        .collect();
 
     // Instantiate one function per output column.
     let default_fn = registry.build(&spec.default_function)?;
@@ -155,7 +156,10 @@ pub fn fuse(
             .push(i);
     }
 
-    let out_schema = input.schema().project(&out_cols).map_err(FusionError::from)?;
+    let out_schema = input
+        .schema()
+        .project(&out_cols)
+        .map_err(FusionError::from)?;
     let out_names: Vec<String> = out_schema.names().iter().map(|s| s.to_string()).collect();
     let mut out = Table::empty(input.name(), out_schema);
     let mut lineage = Lineage::new(out_names);
@@ -179,8 +183,9 @@ pub fn fuse(
                 rows: member_rows.clone(),
                 source_ids: member_sources.clone(),
             };
-            let is_data_column =
-                !NON_DATA_COLUMNS.iter().any(|b| b.eq_ignore_ascii_case(ctx.column));
+            let is_data_column = !NON_DATA_COLUMNS
+                .iter()
+                .any(|b| b.eq_ignore_ascii_case(ctx.column));
             let had_conflict = is_data_column && ctx.is_conflict();
             let func = explicit.get(&col).unwrap_or(&default_fn);
             let resolved = func.resolve(&ctx)?;
@@ -219,11 +224,17 @@ pub fn fuse(
             });
             values.push(resolved.value);
         }
-        out.push(Row::from_values(values)).map_err(FusionError::from)?;
+        out.push(Row::from_values(values))
+            .map_err(FusionError::from)?;
         lineage.push_row(cell_lineages);
     }
 
-    Ok(FusedTable { table: out, lineage, sample_conflicts: samples, conflict_count })
+    Ok(FusedTable {
+        table: out,
+        lineage,
+        sample_conflicts: samples,
+        conflict_count,
+    })
 }
 
 #[cfg(test)]
@@ -277,8 +288,8 @@ mod tests {
     #[test]
     fn explicit_resolution_overrides_default() {
         // The paper's example: RESOLVE(Age, max) — students only get older.
-        let spec = FusionSpec::by_key(vec!["objectID"])
-            .resolve("Age", ResolutionSpec::named("max"));
+        let spec =
+            FusionSpec::by_key(vec!["objectID"]).resolve("Age", ResolutionSpec::named("max"));
         let fused = fuse(&students(), &spec, &registry()).unwrap();
         let age = fused.table.resolve("Age").unwrap();
         assert_eq!(fused.table.cell(0, age), &Value::Int(25));
@@ -296,14 +307,17 @@ mod tests {
             .iter()
             .find(|c| c.column == "Age")
             .expect("age conflict sampled");
-        assert_eq!(age_conflict.values, vec!["24".to_string(), "25".to_string()]);
+        assert_eq!(
+            age_conflict.values,
+            vec!["24".to_string(), "25".to_string()]
+        );
         assert_eq!(age_conflict.cluster, 0);
     }
 
     #[test]
     fn lineage_tracks_sources_and_conflicts() {
-        let spec = FusionSpec::by_key(vec!["objectID"])
-            .resolve("Age", ResolutionSpec::named("max"));
+        let spec =
+            FusionSpec::by_key(vec!["objectID"]).resolve("Age", ResolutionSpec::named("max"));
         let fused = fuse(&students(), &spec, &registry()).unwrap();
         let age = fused.table.resolve("Age").unwrap();
         let cell = fused.lineage.cell(0, age);
@@ -320,7 +334,10 @@ mod tests {
             .drop_column("objectID")
             .drop_column("sourceID");
         let fused = fuse(&students(), &spec, &registry()).unwrap();
-        assert_eq!(fused.table.schema().names(), vec!["Name", "Age", "Semester"]);
+        assert_eq!(
+            fused.table.schema().names(),
+            vec!["Name", "Age", "Semester"]
+        );
     }
 
     #[test]
@@ -356,7 +373,10 @@ mod tests {
 
     #[test]
     fn empty_key_errors() {
-        let spec = FusionSpec { key_columns: vec![], ..FusionSpec::by_key(vec!["x"]) };
+        let spec = FusionSpec {
+            key_columns: vec![],
+            ..FusionSpec::by_key(vec!["x"])
+        };
         assert!(fuse(&students(), &spec, &registry()).is_err());
     }
 
@@ -394,8 +414,10 @@ mod tests {
 
     #[test]
     fn choose_function_with_sources() {
-        let spec = FusionSpec::by_key(vec!["objectID"])
-            .resolve("Age", ResolutionSpec::with_args("choose", vec!["EE".into()]));
+        let spec = FusionSpec::by_key(vec!["objectID"]).resolve(
+            "Age",
+            ResolutionSpec::with_args("choose", vec!["EE".into()]),
+        );
         let fused = fuse(&students(), &spec, &registry()).unwrap();
         let age = fused.table.resolve("Age").unwrap();
         assert_eq!(fused.table.cell(0, age), &Value::Int(24)); // EE said 24

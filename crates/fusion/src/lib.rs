@@ -50,7 +50,7 @@ pub use context::ConflictContext;
 pub use error::FusionError;
 pub use functions::{
     ByLength, Choose, Coalesce, Concat, First, Group, Last, MostRecent, NumericAggregate,
-    Resolved, ResolutionFunction, TieBreak, Vote,
+    ResolutionFunction, Resolved, TieBreak, Vote,
 };
 pub use fuse::{fuse, FusedTable, FusionSpec, SampleConflict, MAX_SAMPLE_CONFLICTS};
 pub use lineage::{CellLineage, Lineage};

@@ -49,7 +49,10 @@ pub struct Lineage {
 impl Lineage {
     /// Create lineage storage for the given output columns.
     pub fn new(columns: Vec<String>) -> Self {
-        Lineage { columns, cells: Vec::new() }
+        Lineage {
+            columns,
+            cells: Vec::new(),
+        }
     }
 
     /// Append one output row's lineage (must match the column count).

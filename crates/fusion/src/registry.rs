@@ -26,12 +26,18 @@ pub struct ResolutionSpec {
 impl ResolutionSpec {
     /// A spec with no arguments.
     pub fn named(function: impl Into<String>) -> Self {
-        ResolutionSpec { function: function.into(), args: Vec::new() }
+        ResolutionSpec {
+            function: function.into(),
+            args: Vec::new(),
+        }
     }
 
     /// A spec with arguments.
     pub fn with_args(function: impl Into<String>, args: Vec<String>) -> Self {
-        ResolutionSpec { function: function.into(), args }
+        ResolutionSpec {
+            function: function.into(),
+            args,
+        }
     }
 }
 
@@ -49,7 +55,9 @@ impl std::fmt::Debug for FunctionRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut names: Vec<&str> = self.factories.keys().map(String::as_str).collect();
         names.sort_unstable();
-        f.debug_struct("FunctionRegistry").field("functions", &names).finish()
+        f.debug_struct("FunctionRegistry")
+            .field("functions", &names)
+            .finish()
     }
 }
 
@@ -67,7 +75,9 @@ fn no_args(name: &str, args: &[String]) -> Result<(), FusionError> {
 impl FunctionRegistry {
     /// A registry pre-loaded with every function from paper §2.4.
     pub fn standard() -> Self {
-        let mut r = FunctionRegistry { factories: HashMap::new() };
+        let mut r = FunctionRegistry {
+            factories: HashMap::new(),
+        };
         r.register("coalesce", |args| {
             no_args("COALESCE", args)?;
             Ok(Arc::new(Coalesce))
@@ -100,11 +110,17 @@ impl FunctionRegistry {
         });
         r.register("concat", |args| {
             let separator = args.first().cloned().unwrap_or_else(|| " | ".into());
-            Ok(Arc::new(Concat { separator, annotated: false }))
+            Ok(Arc::new(Concat {
+                separator,
+                annotated: false,
+            }))
         });
         r.register("annotatedconcat", |args| {
             let separator = args.first().cloned().unwrap_or_else(|| " | ".into());
-            Ok(Arc::new(Concat { separator, annotated: true }))
+            Ok(Arc::new(Concat {
+                separator,
+                annotated: true,
+            }))
         });
         r.register("shortest", |args| {
             no_args("SHORTEST", args)?;
@@ -115,13 +131,17 @@ impl FunctionRegistry {
             Ok(Arc::new(ByLength { longest: true }))
         });
         r.register("choose", |args| match args {
-            [source] => Ok(Arc::new(Choose { source: source.clone() })),
+            [source] => Ok(Arc::new(Choose {
+                source: source.clone(),
+            })),
             _ => Err(FusionError::BadArgument(
                 "CHOOSE requires exactly one argument: the source alias".into(),
             )),
         });
         r.register("mostrecent", |args| match args {
-            [col] => Ok(Arc::new(MostRecent { recency_column: col.clone() })),
+            [col] => Ok(Arc::new(MostRecent {
+                recency_column: col.clone(),
+            })),
             _ => Err(FusionError::BadArgument(
                 "MOST RECENT requires exactly one argument: the recency column".into(),
             )),
@@ -193,9 +213,23 @@ mod tests {
     fn standard_names_present() {
         let r = FunctionRegistry::standard();
         for name in [
-            "coalesce", "first", "last", "vote", "group", "concat", "annotatedconcat",
-            "shortest", "longest", "choose", "mostrecent", "min", "max", "sum", "avg",
-            "median", "count",
+            "coalesce",
+            "first",
+            "last",
+            "vote",
+            "group",
+            "concat",
+            "annotatedconcat",
+            "shortest",
+            "longest",
+            "choose",
+            "mostrecent",
+            "min",
+            "max",
+            "sum",
+            "avg",
+            "median",
+            "count",
         ] {
             assert!(r.contains(name), "{name} missing");
         }

@@ -19,7 +19,11 @@ pub struct Correspondence {
 
 impl fmt::Display for Correspondence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ≈ {} ({:.3})", self.left_column, self.right_column, self.score)
+        write!(
+            f,
+            "{} ≈ {} ({:.3})",
+            self.left_column, self.right_column, self.score
+        )
     }
 }
 
@@ -66,7 +70,8 @@ impl MatchResult {
             right_column: right,
             score,
         });
-        self.correspondences.sort_by(|a, b| b.score.total_cmp(&a.score));
+        self.correspondences
+            .sort_by(|a, b| b.score.total_cmp(&a.score));
     }
 
     /// Manually delete the correspondence involving `left` and `right`,
@@ -97,8 +102,16 @@ mod tests {
             left_table: "L".into(),
             right_table: "R".into(),
             correspondences: vec![
-                Correspondence { left_column: "Name".into(), right_column: "Person".into(), score: 0.9 },
-                Correspondence { left_column: "City".into(), right_column: "Ort".into(), score: 0.8 },
+                Correspondence {
+                    left_column: "Name".into(),
+                    right_column: "Person".into(),
+                    score: 0.9,
+                },
+                Correspondence {
+                    left_column: "City".into(),
+                    right_column: "Ort".into(),
+                    score: 0.8,
+                },
             ],
             duplicates_used: vec![],
             matrix: SimilarityMatrix::zeros(2, 2),
@@ -130,7 +143,11 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let c = Correspondence { left_column: "A".into(), right_column: "B".into(), score: 0.5 };
+        let c = Correspondence {
+            left_column: "A".into(),
+            right_column: "B".into(),
+            score: 0.5,
+        };
         assert_eq!(c.to_string(), "A ≈ B (0.500)");
     }
 }

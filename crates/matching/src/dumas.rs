@@ -42,13 +42,20 @@ pub struct SniffConfig {
 
 impl Default for SniffConfig {
     fn default() -> Self {
-        SniffConfig { top_k: 10, min_similarity: 0.5, one_to_one: true }
+        SniffConfig {
+            top_k: 10,
+            min_similarity: 0.5,
+            one_to_one: true,
+        }
     }
 }
 
 /// The tuple-as-document view of every row of a table.
 fn row_documents(t: &Table) -> Vec<Vec<String>> {
-    t.rows().iter().map(|r| word_tokens(&r.as_document())).collect()
+    t.rows()
+        .iter()
+        .map(|r| word_tokens(&r.as_document()))
+        .collect()
 }
 
 /// Find the most similar tuple pairs between two unaligned tables.
@@ -60,10 +67,8 @@ pub fn sniff_duplicates(left: &Table, right: &Table, cfg: &SniffConfig) -> Vec<T
     let right_docs = row_documents(right);
     let corpus = Corpus::from_documents(left_docs.iter().chain(right_docs.iter()));
 
-    let left_vecs: Vec<TfIdfVector> =
-        left_docs.iter().map(|d| corpus.weight_vector(d)).collect();
-    let right_vecs: Vec<TfIdfVector> =
-        right_docs.iter().map(|d| corpus.weight_vector(d)).collect();
+    let left_vecs: Vec<TfIdfVector> = left_docs.iter().map(|d| corpus.weight_vector(d)).collect();
+    let right_vecs: Vec<TfIdfVector> = right_docs.iter().map(|d| corpus.weight_vector(d)).collect();
 
     // Inverted index over the right table: token -> [(row, weight)].
     let mut index: HashMap<&str, Vec<(usize, f64)>> = HashMap::new();
@@ -88,7 +93,11 @@ pub fn sniff_duplicates(left: &Table, right: &Table, cfg: &SniffConfig) -> Vec<T
         for (&j, &dot) in &acc {
             let sim = dot.clamp(0.0, 1.0);
             if sim >= cfg.min_similarity {
-                pairs.push(TupleMatch { left: i, right: j, similarity: sim });
+                pairs.push(TupleMatch {
+                    left: i,
+                    right: j,
+                    similarity: sim,
+                });
             }
         }
     }
@@ -146,8 +155,7 @@ mod tests {
         let pairs = sniff_duplicates(&left(), &right(), &SniffConfig::default());
         assert!(pairs.len() >= 2);
         // The two overlapping people rank on top, in some order.
-        let top2: Vec<(usize, usize)> =
-            pairs.iter().take(2).map(|p| (p.left, p.right)).collect();
+        let top2: Vec<(usize, usize)> = pairs.iter().take(2).map(|p| (p.left, p.right)).collect();
         assert!(top2.contains(&(0, 0)), "John Smith pair in top 2: {top2:?}");
         assert!(top2.contains(&(1, 2)), "Mary Jones pair in top 2: {top2:?}");
     }
@@ -162,14 +170,21 @@ mod tests {
 
     #[test]
     fn min_similarity_prunes() {
-        let cfg = SniffConfig { min_similarity: 0.99, ..Default::default() };
+        let cfg = SniffConfig {
+            min_similarity: 0.99,
+            ..Default::default()
+        };
         let pairs = sniff_duplicates(&left(), &right(), &cfg);
         assert!(pairs.is_empty(), "no pair is ~identical: {pairs:?}");
     }
 
     #[test]
     fn top_k_truncates() {
-        let cfg = SniffConfig { top_k: 1, min_similarity: 0.1, ..Default::default() };
+        let cfg = SniffConfig {
+            top_k: 1,
+            min_similarity: 0.1,
+            ..Default::default()
+        };
         let pairs = sniff_duplicates(&left(), &right(), &cfg);
         assert_eq!(pairs.len(), 1);
     }
@@ -186,12 +201,23 @@ mod tests {
             "R" => ["b"];
             ["john smith chicago"],
         };
-        let strict = sniff_duplicates(&l, &r, &SniffConfig { min_similarity: 0.1, ..Default::default() });
+        let strict = sniff_duplicates(
+            &l,
+            &r,
+            &SniffConfig {
+                min_similarity: 0.1,
+                ..Default::default()
+            },
+        );
         assert_eq!(strict.len(), 1);
         let lax = sniff_duplicates(
             &l,
             &r,
-            &SniffConfig { min_similarity: 0.1, one_to_one: false, ..Default::default() },
+            &SniffConfig {
+                min_similarity: 0.1,
+                one_to_one: false,
+                ..Default::default()
+            },
         );
         assert_eq!(lax.len(), 2);
     }
@@ -200,7 +226,14 @@ mod tests {
     fn disjoint_tables_no_pairs() {
         let l = table! { "L" => ["a"]; ["aaa bbb"] };
         let r = table! { "R" => ["b"]; ["ccc ddd"] };
-        let pairs = sniff_duplicates(&l, &r, &SniffConfig { min_similarity: 0.0, ..Default::default() });
+        let pairs = sniff_duplicates(
+            &l,
+            &r,
+            &SniffConfig {
+                min_similarity: 0.0,
+                ..Default::default()
+            },
+        );
         assert!(pairs.is_empty());
     }
 
@@ -215,7 +248,11 @@ mod tests {
     fn deterministic_order_on_ties() {
         let l = table! { "L" => ["a"]; ["x y"], ["x y"] };
         let r = table! { "R" => ["b"]; ["x y"], ["x y"] };
-        let cfg = SniffConfig { min_similarity: 0.1, one_to_one: false, top_k: 10 };
+        let cfg = SniffConfig {
+            min_similarity: 0.1,
+            one_to_one: false,
+            top_k: 10,
+        };
         let p1 = sniff_duplicates(&l, &r, &cfg);
         let p2 = sniff_duplicates(&l, &r, &cfg);
         assert_eq!(p1, p2);

@@ -111,7 +111,11 @@ pub fn max_weight_matching(weights: &[Vec<f64>]) -> Vec<Assignment> {
         }
         let (li, rj) = (i - 1, j - 1);
         if li < n_rows && rj < n_cols && weights[li][rj] > 0.0 {
-            out.push(Assignment { left: li, right: rj, weight: weights[li][rj] });
+            out.push(Assignment {
+                left: li,
+                right: rj,
+                weight: weights[li][rj],
+            });
         }
     }
     out.sort_by(|a, b| b.weight.total_cmp(&a.weight));
@@ -245,6 +249,9 @@ mod tests {
                 i += 1;
             }
         }
-        assert!((hungarian_total - best).abs() < 1e-9, "{hungarian_total} vs {best}");
+        assert!(
+            (hungarian_total - best).abs() < 1e-9,
+            "{hungarian_total} vs {best}"
+        );
     }
 }

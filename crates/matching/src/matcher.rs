@@ -175,7 +175,10 @@ mod tests {
 
     fn cfg() -> MatcherConfig {
         MatcherConfig {
-            sniff: SniffConfig { min_similarity: 0.2, ..Default::default() },
+            sniff: SniffConfig {
+                min_similarity: 0.2,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -193,9 +196,16 @@ mod tests {
     #[test]
     fn correspondences_are_one_to_one() {
         let r = match_tables(&ee(), &cs(), &cfg());
-        let mut lefts: Vec<&str> = r.correspondences.iter().map(|c| c.left_column.as_str()).collect();
-        let mut rights: Vec<&str> =
-            r.correspondences.iter().map(|c| c.right_column.as_str()).collect();
+        let mut lefts: Vec<&str> = r
+            .correspondences
+            .iter()
+            .map(|c| c.left_column.as_str())
+            .collect();
+        let mut rights: Vec<&str> = r
+            .correspondences
+            .iter()
+            .map(|c| c.right_column.as_str())
+            .collect();
         let n = r.correspondences.len();
         lefts.sort_unstable();
         lefts.dedup();
@@ -233,7 +243,10 @@ mod tests {
         let blended = match_tables(
             &a,
             &b,
-            &MatcherConfig { label_weight: 0.5, ..Default::default() },
+            &MatcherConfig {
+                label_weight: 0.5,
+                ..Default::default()
+            },
         );
         assert_eq!(blended.correspondences.len(), 2);
     }

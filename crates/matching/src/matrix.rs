@@ -19,7 +19,11 @@ pub struct SimilarityMatrix {
 impl SimilarityMatrix {
     /// A zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        SimilarityMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        SimilarityMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a closure.

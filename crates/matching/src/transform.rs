@@ -70,13 +70,16 @@ pub fn integrate(tables: &[&Table], matches: &[MatchResult], name: &str) -> Resu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::matcher::{match_tables, MatcherConfig};
     use crate::dumas::SniffConfig;
+    use crate::matcher::{match_tables, MatcherConfig};
     use hummer_engine::table;
 
     fn cfg() -> MatcherConfig {
         MatcherConfig {
-            sniff: SniffConfig { min_similarity: 0.2, ..Default::default() },
+            sniff: SniffConfig {
+                min_similarity: 0.2,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }

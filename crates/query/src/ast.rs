@@ -89,9 +89,9 @@ impl FuseQuery {
         self.select
             .iter()
             .filter_map(|item| match item {
-                SelectItem::Resolve { column, function, .. } => {
-                    Some((column.as_str(), function.as_ref()))
-                }
+                SelectItem::Resolve {
+                    column, function, ..
+                } => Some((column.as_str(), function.as_ref())),
                 _ => None,
             })
             .collect()
@@ -106,7 +106,10 @@ mod tests {
     fn fusion_detection() {
         let q = FuseQuery {
             select: vec![SelectItem::Wildcard],
-            from: FromClause { tables: vec!["A".into()], fuse: true },
+            from: FromClause {
+                tables: vec!["A".into()],
+                fuse: true,
+            },
             where_clause: None,
             fuse_by: None,
             group_by: vec![],
@@ -125,15 +128,25 @@ mod tests {
     fn resolutions_extracted_in_order() {
         let q = FuseQuery {
             select: vec![
-                SelectItem::Column { name: "Name".into(), alias: None },
+                SelectItem::Column {
+                    name: "Name".into(),
+                    alias: None,
+                },
                 SelectItem::Resolve {
                     column: "Age".into(),
                     function: Some(ResolutionSpec::named("max")),
                     alias: None,
                 },
-                SelectItem::Resolve { column: "City".into(), function: None, alias: None },
+                SelectItem::Resolve {
+                    column: "City".into(),
+                    function: None,
+                    alias: None,
+                },
             ],
-            from: FromClause { tables: vec!["A".into()], fuse: true },
+            from: FromClause {
+                tables: vec!["A".into()],
+                fuse: true,
+            },
             where_clause: None,
             fuse_by: Some(vec!["Name".into()]),
             group_by: vec![],

@@ -2,12 +2,113 @@
 
 use hummer_engine::Table;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Anything that can supply tables by alias (the metadata repository in
 /// `hummer-core` implements this; tests use [`TableSet`]).
 pub trait Catalog {
     /// Look up a table under a (case-insensitive) alias.
     fn table(&self, alias: &str) -> Option<&Table>;
+}
+
+// Smart pointers and references forward to the pointee, so a catalog can be
+// shared across threads (e.g. `Arc<TableSet>` in a long-lived query service)
+// and still be passed wherever `&dyn Catalog` is expected.
+impl<C: Catalog + ?Sized> Catalog for &C {
+    fn table(&self, alias: &str) -> Option<&Table> {
+        (**self).table(alias)
+    }
+}
+
+impl<C: Catalog + ?Sized> Catalog for Arc<C> {
+    fn table(&self, alias: &str) -> Option<&Table> {
+        (**self).table(alias)
+    }
+}
+
+impl<C: Catalog + ?Sized> Catalog for Box<C> {
+    fn table(&self, alias: &str) -> Option<&Table> {
+        (**self).table(alias)
+    }
+}
+
+/// A table paired with a monotonically increasing content version.
+///
+/// Concurrent readers (a fusion service's worker threads) snapshot the
+/// `Arc`-ed tables cheaply; the version participates in cache keys so any
+/// re-registration invalidates prepared artifacts derived from the old
+/// contents.
+#[derive(Debug, Clone)]
+pub struct VersionedTable {
+    /// The table (shared, immutable).
+    pub table: Arc<Table>,
+    /// Content version: bumped on every (re-)registration.
+    pub version: u64,
+}
+
+/// A catalog of [`VersionedTable`]s — the shareable, concurrent-reader
+/// counterpart of [`TableSet`].
+#[derive(Debug, Clone, Default)]
+pub struct VersionedTableSet {
+    tables: HashMap<String, VersionedTable>,
+    next_version: u64,
+}
+
+impl VersionedTableSet {
+    /// An empty versioned catalog.
+    pub fn new() -> Self {
+        VersionedTableSet::default()
+    }
+
+    /// Register (or replace) a table under `alias`, bumping the version.
+    /// Returns the version assigned to this registration.
+    pub fn register(&mut self, alias: impl Into<String>, mut table: Table) -> u64 {
+        let alias = alias.into();
+        table.set_name(alias.clone());
+        self.next_version += 1;
+        let version = self.next_version;
+        self.tables.insert(
+            alias.to_ascii_lowercase(),
+            VersionedTable {
+                table: Arc::new(table),
+                version,
+            },
+        );
+        version
+    }
+
+    /// Look up a table together with its version.
+    pub fn get(&self, alias: &str) -> Option<&VersionedTable> {
+        self.tables.get(&alias.to_ascii_lowercase())
+    }
+
+    /// Remove a table; returns whether it existed.
+    pub fn remove(&mut self, alias: &str) -> bool {
+        self.tables.remove(&alias.to_ascii_lowercase()).is_some()
+    }
+
+    /// Registered entries sorted by table name.
+    pub fn entries(&self) -> Vec<&VersionedTable> {
+        let mut v: Vec<&VersionedTable> = self.tables.values().collect();
+        v.sort_by(|a, b| a.table.name().cmp(b.table.name()));
+        v
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+impl Catalog for VersionedTableSet {
+    fn table(&self, alias: &str) -> Option<&Table> {
+        self.get(alias).map(|v| v.table.as_ref())
+    }
 }
 
 /// A simple in-memory catalog.
@@ -89,6 +190,42 @@ mod tests {
         let t = c.table("Alias1").unwrap();
         assert_eq!(t.name(), "alias1");
         assert_eq!(c.aliases(), vec!["alias1"]);
+    }
+
+    #[test]
+    fn shared_catalogs_forward() {
+        let mut c = TableSet::new();
+        c.add(table! { "T" => ["x"]; [1] });
+        let shared = Arc::new(c);
+        assert!(shared.table("t").is_some());
+        let by_ref: &TableSet = &shared;
+        assert!(by_ref.table("T").is_some());
+        let boxed: Box<dyn Catalog> = Box::new(TableSet::new());
+        assert!(boxed.table("t").is_none());
+    }
+
+    #[test]
+    fn versioned_set_bumps_on_replace() {
+        let mut v = VersionedTableSet::new();
+        let v1 = v.register("T", table! { "X" => ["a"]; [1] });
+        let v2 = v.register("t", table! { "X" => ["a"]; [2] });
+        assert!(v2 > v1);
+        assert_eq!(v.len(), 1);
+        let entry = v.get("T").unwrap();
+        assert_eq!(entry.version, v2);
+        assert_eq!(entry.table.name(), "t");
+        assert!(Catalog::table(&v, "T").is_some());
+        assert!(v.remove("T"));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn versioned_entries_sorted() {
+        let mut v = VersionedTableSet::new();
+        v.register("b", table! { "X" => ["a"]; [1] });
+        v.register("a", table! { "X" => ["a"]; [1] });
+        let names: Vec<&str> = v.entries().iter().map(|e| e.table.name()).collect();
+        assert_eq!(names, vec!["a", "b"]);
     }
 
     #[test]

@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn display_carries_position() {
-        let e = QueryError::Parse { position: 17, message: "expected FROM".into() };
+        let e = QueryError::Parse {
+            position: 17,
+            message: "expected FROM".into(),
+        };
         let s = e.to_string();
         assert!(s.contains("17"));
         assert!(s.contains("expected FROM"));

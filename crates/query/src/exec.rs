@@ -21,8 +21,7 @@ use crate::catalog::Catalog;
 use crate::error::{QueryError, Result};
 use crate::parser::parse;
 use hummer_engine::ops::{
-    cross_product, group_by, outer_union, select as filter_rows, sort, Aggregate, AggFunc,
-    SortKey,
+    cross_product, group_by, outer_union, select as filter_rows, sort, AggFunc, Aggregate, SortKey,
 };
 use hummer_engine::{Column, ColumnType, Expr, Table, Value};
 use hummer_fusion::{
@@ -80,12 +79,22 @@ pub fn execute(
             .ok_or_else(|| QueryError::UnknownTable(alias.clone()))?;
         tables.push(t.clone());
     }
+    let combined = combine_tables(query, &tables)?;
+    execute_combined(query, &combined, registry)
+}
+
+/// Step 2 of execution: combine the fetched tables — `FUSE FROM` tags each
+/// with `sourceID` and takes the full outer union, plain `FROM` takes the
+/// cross product.
+///
+/// Exposed so callers that materialize the combination elsewhere (e.g. a
+/// serving layer with a prepared-pipeline cache) can hand an
+/// already-integrated table straight to [`execute_combined`].
+pub fn combine_tables(query: &FuseQuery, tables: &[Table]) -> Result<Table> {
     if tables.is_empty() {
         return Err(QueryError::Semantic("query references no tables".into()));
     }
-
-    // 2. Combine.
-    let mut combined: Table = if query.from.fuse {
+    let combined: Table = if query.from.fuse {
         // FUSE FROM: sourceID + full outer union.
         let tagged: Vec<Table> = tables
             .iter()
@@ -110,11 +119,32 @@ pub fn execute(
         }
         acc
     };
+    Ok(combined)
+}
 
+/// Steps 3–6 of execution, starting from an already-combined table: `WHERE`,
+/// `FUSE BY`/`GROUP BY`, `HAVING`, `ORDER BY`, projection.
+///
+/// `combined` must carry the columns the query references; for fusion
+/// queries that is the `sourceID`-tagged outer union (extra bookkeeping
+/// columns such as a precomputed `objectID` are welcome — they stay out of
+/// `*` expansion and are available as `FUSE BY` keys). Borrowed, not owned:
+/// a serving layer replays many queries against one cached table, and the
+/// hot (cache-hit) path must not pay an O(rows × cols) copy per query.
+pub fn execute_combined(
+    query: &FuseQuery,
+    combined: &Table,
+    registry: &FunctionRegistry,
+) -> Result<QueryOutput> {
     // 3. WHERE.
-    if let Some(pred) = &query.where_clause {
-        combined = filter_rows(&combined, pred)?;
-    }
+    let filtered;
+    let combined: &Table = match &query.where_clause {
+        Some(pred) => {
+            filtered = filter_rows(combined, pred)?;
+            &filtered
+        }
+        None => combined,
+    };
 
     // Alias map: select-list alias → underlying column name (for HAVING /
     // ORDER BY references).
@@ -135,10 +165,12 @@ pub fn execute(
                 )));
             }
             resolved_cols.push(key);
-            let rs = rspec.cloned().unwrap_or_else(|| ResolutionSpec::named("coalesce"));
+            let rs = rspec
+                .cloned()
+                .unwrap_or_else(|| ResolutionSpec::named("coalesce"));
             spec = spec.resolve(col, rs);
         }
-        let fused = run_fusion(&combined, &spec, registry)?;
+        let fused = run_fusion(combined, &spec, registry)?;
         fusion_info = Some(FusionInfo {
             fused_table: fused.table.clone(),
             lineage: fused.lineage,
@@ -149,16 +181,19 @@ pub fn execute(
     } else if !query.group_by.is_empty() {
         let aggs = collect_aggregates(query)?;
         let keys: Vec<&str> = query.group_by.iter().map(String::as_str).collect();
-        current = group_by(&combined, &keys, &aggs)?;
-    } else if query.select.iter().any(|i| matches!(i, SelectItem::Aggregate { .. })) {
+        current = group_by(combined, &keys, &aggs)?;
+    } else if query
+        .select
+        .iter()
+        .any(|i| matches!(i, SelectItem::Aggregate { .. }))
+    {
         // Global aggregation without GROUP BY.
         let aggs = collect_aggregates(query)?;
-        current = group_by(&combined, &[], &aggs)?;
-    } else if query.from.fuse {
-        // FUSE FROM without FUSE BY: the aligned outer union itself.
-        current = combined;
+        current = group_by(combined, &[], &aggs)?;
     } else {
-        current = combined;
+        // Plain pass-through (incl. FUSE FROM without FUSE BY: the aligned
+        // outer union itself); `HAVING`/`ORDER BY` below need ownership.
+        current = combined.clone();
     }
 
     // 5. HAVING, then ORDER BY (aliases resolved against the select list).
@@ -172,7 +207,10 @@ pub fn execute(
             .iter()
             .map(|k| {
                 let col = resolve_name(&k.column, &alias_map, &current);
-                SortKey { column: col, ascending: k.ascending }
+                SortKey {
+                    column: col,
+                    ascending: k.ascending,
+                }
             })
             .collect();
         current = sort(&current, &keys)?;
@@ -180,7 +218,10 @@ pub fn execute(
 
     // 6. Projection.
     let table = project_select(query, &current)?;
-    Ok(QueryOutput { table, fusion: fusion_info })
+    Ok(QueryOutput {
+        table,
+        fusion: fusion_info,
+    })
 }
 
 /// alias (lowercase) → underlying column name.
@@ -188,14 +229,28 @@ fn build_alias_map(query: &FuseQuery) -> HashMap<String, String> {
     let mut m = HashMap::new();
     for item in &query.select {
         match item {
-            SelectItem::Column { name, alias: Some(a) } => {
+            SelectItem::Column {
+                name,
+                alias: Some(a),
+            } => {
                 m.insert(a.to_ascii_lowercase(), name.clone());
             }
-            SelectItem::Resolve { column, alias: Some(a), .. } => {
+            SelectItem::Resolve {
+                column,
+                alias: Some(a),
+                ..
+            } => {
                 m.insert(a.to_ascii_lowercase(), column.clone());
             }
-            SelectItem::Aggregate { function, column, alias: Some(a) } => {
-                m.insert(a.to_ascii_lowercase(), default_agg_name(function, column.as_deref()));
+            SelectItem::Aggregate {
+                function,
+                column,
+                alias: Some(a),
+            } => {
+                m.insert(
+                    a.to_ascii_lowercase(),
+                    default_agg_name(function, column.as_deref()),
+                );
             }
             _ => {}
         }
@@ -245,11 +300,15 @@ fn rewrite_aliases(expr: &Expr, aliases: &HashMap<String, String>, table: &Table
         Like(e, p) => Like(Box::new(rewrite_aliases(e, aliases, table)), p.clone()),
         In(e, list) => In(
             Box::new(rewrite_aliases(e, aliases, table)),
-            list.iter().map(|i| rewrite_aliases(i, aliases, table)).collect(),
+            list.iter()
+                .map(|i| rewrite_aliases(i, aliases, table))
+                .collect(),
         ),
         Call(name, args) => Call(
             name.clone(),
-            args.iter().map(|a| rewrite_aliases(a, aliases, table)).collect(),
+            args.iter()
+                .map(|a| rewrite_aliases(a, aliases, table))
+                .collect(),
         ),
         Neg(e) => Neg(Box::new(rewrite_aliases(e, aliases, table))),
     }
@@ -266,7 +325,11 @@ fn collect_aggregates(query: &FuseQuery) -> Result<Vec<Aggregate>> {
     let mut out = Vec::new();
     for item in &query.select {
         match item {
-            SelectItem::Aggregate { function, column, alias } => {
+            SelectItem::Aggregate {
+                function,
+                column,
+                alias,
+            } => {
                 let func = match (function.as_str(), column) {
                     ("count", None) => AggFunc::CountAll,
                     (name, _) => AggFunc::parse(name).ok_or_else(|| {
@@ -276,7 +339,11 @@ fn collect_aggregates(query: &FuseQuery) -> Result<Vec<Aggregate>> {
                 let alias = alias
                     .clone()
                     .unwrap_or_else(|| default_agg_name(function, column.as_deref()));
-                out.push(Aggregate::new(func, column.clone().unwrap_or_default(), alias));
+                out.push(Aggregate::new(
+                    func,
+                    column.clone().unwrap_or_default(),
+                    alias,
+                ));
             }
             SelectItem::Resolve { .. } => {
                 return Err(QueryError::Semantic(
@@ -305,9 +372,17 @@ fn project_select(query: &FuseQuery, table: &Table) -> Result<Table> {
         .select
         .iter()
         .filter_map(|i| match i {
-            SelectItem::Column { name, alias } | SelectItem::Resolve { column: name, alias, .. } => {
-                Some(alias.clone().unwrap_or_else(|| short_name(name)).to_ascii_lowercase())
-            }
+            SelectItem::Column { name, alias }
+            | SelectItem::Resolve {
+                column: name,
+                alias,
+                ..
+            } => Some(
+                alias
+                    .clone()
+                    .unwrap_or_else(|| short_name(name))
+                    .to_ascii_lowercase(),
+            ),
             _ => None,
         })
         .collect();
@@ -315,8 +390,7 @@ fn project_select(query: &FuseQuery, table: &Table) -> Result<Table> {
         match item {
             SelectItem::Wildcard => {
                 for name in table.schema().names() {
-                    if query.is_fusion()
-                        && BOOKKEEPING.iter().any(|b| b.eq_ignore_ascii_case(name))
+                    if query.is_fusion() && BOOKKEEPING.iter().any(|b| b.eq_ignore_ascii_case(name))
                     {
                         continue;
                     }
@@ -334,7 +408,11 @@ fn project_select(query: &FuseQuery, table: &Table) -> Result<Table> {
                 let out_name = alias.clone().unwrap_or_else(|| short_name(column));
                 columns.push((out_name, Expr::col(column.clone())));
             }
-            SelectItem::Aggregate { function, column, alias } => {
+            SelectItem::Aggregate {
+                function,
+                column,
+                alias,
+            } => {
                 let name = alias
                     .clone()
                     .unwrap_or_else(|| default_agg_name(function, column.as_deref()));
@@ -384,9 +462,8 @@ mod tests {
         // "This statement fuses data on EE- and CS Students, leaving just
         // one tuple per student [...] conflicts in the age [...] resolved by
         // taking the higher age."
-        let out = run(
-            "SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)",
-        );
+        let out =
+            run("SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)");
         assert_eq!(out.table.schema().names(), vec!["Name", "Age"]);
         assert_eq!(out.table.len(), 4); // Alice, Bob, Carol, Dora
         let alice = out
@@ -414,9 +491,8 @@ mod tests {
 
     #[test]
     fn default_resolution_is_coalesce() {
-        let out = run(
-            "SELECT Name, RESOLVE(Semester) FUSE FROM EE_Student, CS_Students FUSE BY (Name)",
-        );
+        let out =
+            run("SELECT Name, RESOLVE(Semester) FUSE FROM EE_Student, CS_Students FUSE BY (Name)");
         let alice = out
             .table
             .rows()
@@ -439,11 +515,9 @@ mod tests {
 
     #[test]
     fn having_and_order_by() {
-        let out = run(
-            "SELECT Name, RESOLVE(Age, max) AS oldest \
+        let out = run("SELECT Name, RESOLVE(Age, max) AS oldest \
              FUSE FROM EE_Student, CS_Students FUSE BY (Name) \
-             HAVING oldest > 20 ORDER BY oldest DESC",
-        );
+             HAVING oldest > 20 ORDER BY oldest DESC");
         assert_eq!(out.table.len(), 3);
         assert_eq!(out.table.cell(0, 0), &Value::text("Bob")); // 24
         assert_eq!(out.table.cell(1, 0), &Value::text("Alice")); // 23
@@ -452,10 +526,8 @@ mod tests {
 
     #[test]
     fn choose_source_resolution() {
-        let out = run(
-            "SELECT Name, RESOLVE(Age, choose('CS_Students')) \
-             FUSE FROM EE_Student, CS_Students FUSE BY (Name)",
-        );
+        let out = run("SELECT Name, RESOLVE(Age, choose('CS_Students')) \
+             FUSE FROM EE_Student, CS_Students FUSE BY (Name)");
         let alice = out
             .table
             .rows()
@@ -500,13 +572,18 @@ mod tests {
 
     #[test]
     fn cross_product_from_multiple_tables() {
-        let out = run("SELECT * FROM EE_Student, CS_Students WHERE EE_Student.Name = CS_Students.Name");
+        let out =
+            run("SELECT * FROM EE_Student, CS_Students WHERE EE_Student.Name = CS_Students.Name");
         assert_eq!(out.table.len(), 1); // only Alice joins
     }
 
     #[test]
     fn unknown_table_is_reported() {
-        let e = run_query("SELECT * FROM Nope", &catalog(), &FunctionRegistry::standard());
+        let e = run_query(
+            "SELECT * FROM Nope",
+            &catalog(),
+            &FunctionRegistry::standard(),
+        );
         assert!(matches!(e, Err(QueryError::UnknownTable(_))));
     }
 
@@ -539,9 +616,8 @@ mod tests {
 
     #[test]
     fn fusion_lineage_exposed() {
-        let out = run(
-            "SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)",
-        );
+        let out =
+            run("SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)");
         let info = out.fusion.unwrap();
         assert_eq!(info.fused_table.len(), 4);
         assert!(info.lineage.conflict_count() >= 1);
@@ -550,6 +626,41 @@ mod tests {
             .sample_conflicts
             .iter()
             .any(|c| c.column == "Age" && c.values.contains(&"22".to_string())));
+    }
+
+    #[test]
+    fn execute_combined_accepts_prematerialized_union() {
+        // A serving layer materializes the sourceID-tagged union (plus an
+        // objectID annotation) once and replays queries against it.
+        let q = parse(
+            "SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)",
+        )
+        .unwrap();
+        let c = catalog();
+        let tables: Vec<Table> = vec![
+            c.table("EE_Student").unwrap().clone(),
+            c.table("CS_Students").unwrap().clone(),
+        ];
+        let mut combined = combine_tables(&q, &tables).unwrap();
+        combined
+            .add_column(
+                hummer_engine::Column::new("objectID", ColumnType::Int),
+                |i, _| Value::Int(i as i64),
+            )
+            .unwrap();
+        let out = execute_combined(&q, &combined, &FunctionRegistry::standard()).unwrap();
+        assert_eq!(out.table.len(), 4);
+        // objectID stays out of the projection.
+        assert_eq!(out.table.schema().names(), vec!["Name", "Age"]);
+    }
+
+    #[test]
+    fn combine_tables_rejects_empty() {
+        let q = parse("SELECT * FROM EE_Student").unwrap();
+        assert!(matches!(
+            combine_tables(&q, &[]),
+            Err(QueryError::Semantic(_))
+        ));
     }
 
     #[test]

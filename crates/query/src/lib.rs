@@ -46,7 +46,7 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{FromClause, FuseQuery, OrderKey, SelectItem};
-pub use catalog::{Catalog, TableSet};
+pub use catalog::{Catalog, TableSet, VersionedTable, VersionedTableSet};
 pub use error::{QueryError, Result};
-pub use exec::{execute, run_query, FusionInfo, QueryOutput};
+pub use exec::{combine_tables, execute, execute_combined, run_query, FusionInfo, QueryOutput};
 pub use parser::parse;

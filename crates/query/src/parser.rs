@@ -56,7 +56,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> QueryError {
-        QueryError::Parse { position: self.offset(), message: message.into() }
+        QueryError::Parse {
+            position: self.offset(),
+            message: message.into(),
+        }
     }
 
     fn at_keyword(&self, kw: &str) -> bool {
@@ -130,7 +133,11 @@ impl Parser {
         self.expect_keyword("select")?;
         let select = self.select_list()?;
         let from = self.parse_from_clause()?;
-        let where_clause = if self.eat_keyword("where") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_keyword("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
 
         let mut fuse_by = None;
         let mut group_by = Vec::new();
@@ -155,7 +162,11 @@ impl Parser {
             }
         }
 
-        let having = if self.eat_keyword("having") { Some(self.expr()?) } else { None };
+        let having = if self.eat_keyword("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
 
         let mut order_by = Vec::new();
         if self.eat_keyword("order") {
@@ -177,7 +188,15 @@ impl Parser {
             }
         }
 
-        Ok(FuseQuery { select, from, where_clause, fuse_by, group_by, having, order_by })
+        Ok(FuseQuery {
+            select,
+            from,
+            where_clause,
+            fuse_by,
+            group_by,
+            having,
+            order_by,
+        })
     }
 
     fn select_list(&mut self) -> Result<Vec<SelectItem>> {
@@ -214,7 +233,11 @@ impl Parser {
             };
             self.expect(&Token::RParen, "`)` closing RESOLVE")?;
             let alias = self.alias()?;
-            return Ok(SelectItem::Resolve { column, function, alias });
+            return Ok(SelectItem::Resolve {
+                column,
+                function,
+                alias,
+            });
         }
         // Aggregate call? (name must be a known aggregate AND followed by `(`)
         if let Token::Ident(name) = self.peek() {
@@ -232,7 +255,11 @@ impl Parser {
                 };
                 self.expect(&Token::RParen, "`)` closing aggregate")?;
                 let alias = self.alias()?;
-                return Ok(SelectItem::Aggregate { function: lower, column, alias });
+                return Ok(SelectItem::Aggregate {
+                    function: lower,
+                    column,
+                    alias,
+                });
             }
         }
         let name = self.column_ref()?;
@@ -254,9 +281,8 @@ impl Parser {
                         Token::Int(i) => args.push(i.to_string()),
                         Token::Float(f) => args.push(f.to_string()),
                         other => {
-                            return Err(self.error(format!(
-                                "expected resolution argument, found `{other}`"
-                            )))
+                            return Err(self
+                                .error(format!("expected resolution argument, found `{other}`")))
                         }
                     }
                     if matches!(self.peek(), Token::Comma) {
@@ -347,7 +373,9 @@ impl Parser {
             self.advance();
             let pattern = match self.advance() {
                 Token::Str(s) => s,
-                other => return Err(self.error(format!("expected pattern string, found `{other}`"))),
+                other => {
+                    return Err(self.error(format!("expected pattern string, found `{other}`")))
+                }
             };
             let e = Expr::Like(Box::new(left), pattern);
             return Ok(if negated { Expr::Not(Box::new(e)) } else { e });
@@ -497,7 +525,9 @@ mod tests {
         assert_eq!(q.fuse_by, Some(vec!["Name".to_string()]));
         assert_eq!(q.select.len(), 2);
         match &q.select[1] {
-            SelectItem::Resolve { column, function, .. } => {
+            SelectItem::Resolve {
+                column, function, ..
+            } => {
                 assert_eq!(column, "Age");
                 assert_eq!(function.as_ref().unwrap().function, "max");
             }
@@ -524,14 +554,18 @@ mod tests {
         )
         .unwrap();
         match &q.select[0] {
-            SelectItem::Resolve { function: Some(f), .. } => {
+            SelectItem::Resolve {
+                function: Some(f), ..
+            } => {
                 assert_eq!(f.function, "choose");
                 assert_eq!(f.args, vec!["cheapstore"]);
             }
             other => panic!("{other:?}"),
         }
         match &q.select[1] {
-            SelectItem::Resolve { function: Some(f), .. } => {
+            SelectItem::Resolve {
+                function: Some(f), ..
+            } => {
                 assert_eq!(f.function, "mostrecent");
                 assert_eq!(f.args, vec!["Updated"]);
             }
@@ -553,7 +587,11 @@ mod tests {
         assert!(!q.order_by[0].ascending);
         assert!(q.order_by[1].ascending);
         match &q.select[1] {
-            SelectItem::Aggregate { function, column, alias } => {
+            SelectItem::Aggregate {
+                function,
+                column,
+                alias,
+            } => {
                 assert_eq!(function, "count");
                 assert!(column.is_none());
                 assert_eq!(alias.as_deref(), Some("n"));
@@ -576,8 +614,7 @@ mod tests {
 
     #[test]
     fn expression_precedence() {
-        let q = parse("SELECT * FROM T WHERE a + b * 2 > 10 AND NOT c = 'x' OR d IS NULL")
-            .unwrap();
+        let q = parse("SELECT * FROM T WHERE a + b * 2 > 10 AND NOT c = 'x' OR d IS NULL").unwrap();
         // OR is outermost.
         match q.where_clause.unwrap() {
             Expr::Or(_, _) => {}
@@ -638,7 +675,10 @@ mod tests {
     #[test]
     fn fuse_by_multiple_columns() {
         let q = parse("SELECT * FUSE FROM A FUSE BY (Name, City)").unwrap();
-        assert_eq!(q.fuse_by, Some(vec!["Name".to_string(), "City".to_string()]));
+        assert_eq!(
+            q.fuse_by,
+            Some(vec!["Name".to_string(), "City".to_string()])
+        );
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! `hummer-serve` — run the HumMer fusion query service.
+//!
+//! ```text
+//! hummer-serve [--addr HOST:PORT] [--threads N] [--cache N]
+//!              [--narrow-schemas] [--preload NAME=FILE.csv ...]
+//! ```
+//!
+//! The process serves until `POST /shutdown` arrives, then drains in-flight
+//! requests and exits 0.
+
+use hummer_server::{HummerServer, ServerConfig, ServiceConfig};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hummer-serve [--addr HOST:PORT] [--threads N] [--cache N] \
+         [--narrow-schemas] [--preload NAME=FILE.csv ...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut preloads: Vec<(String, String)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = args.next().unwrap_or_else(|| usage()),
+            "--threads" => {
+                config.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--cache" => {
+                config.service.cache_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--narrow-schemas" => config.service.pipeline = ServiceConfig::narrow_schema().pipeline,
+            "--preload" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match spec.split_once('=') {
+                    Some((name, path)) => preloads.push((name.to_string(), path.to_string())),
+                    None => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let server = match HummerServer::bind(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hummer-serve: cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, path) in &preloads {
+        let csv = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("hummer-serve: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match server.service().put_table(name, &csv) {
+            Ok(info) => eprintln!("hummer-serve: preloaded `{name}` ({} rows)", info.rows),
+            Err(e) => {
+                eprintln!("hummer-serve: preload `{name}` failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "hummer-serve: listening on {} ({} workers); POST /shutdown to stop",
+        server.local_addr(),
+        config.threads.max(1),
+    );
+    match server.run() {
+        Ok(()) => {
+            eprintln!("hummer-serve: drained, bye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hummer-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! `loadgen` — drive a running `hummer-serve` with generated scenario
+//! worlds and report throughput/latency plus the server's cache hit rate.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--connections N] [--requests N]
+//!         [--worlds N] [--entities N] [--seed N]
+//! ```
+//!
+//! Each world is one of the paper's demo scenarios (CD shopping, disaster
+//! registry, student rosters, cleansing service) with tables uploaded under
+//! world-prefixed names; the request mix fans `FUSE BY` queries over all
+//! worlds round-robin, so a warm server answers almost everything from the
+//! prepared-pipeline cache.
+
+use hummer_server::loadgen::{http_request, run_load, scenario_worlds, upload_world, LoadConfig};
+use hummer_server::Json;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--connections N] [--requests N] \
+         [--worlds N] [--entities N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::new();
+    let mut connections = 8usize;
+    let mut requests = 200usize;
+    let mut worlds_n = 4usize;
+    let mut entities = 60usize;
+    let mut seed = 2005u64;
+    fn next_num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> T {
+        match args.next().and_then(|v| v.parse().ok()) {
+            Some(v) => v,
+            None => usage(),
+        }
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--connections" => connections = next_num(&mut args),
+            "--requests" => requests = next_num(&mut args),
+            "--worlds" => worlds_n = next_num(&mut args),
+            "--entities" => entities = next_num(&mut args),
+            "--seed" => seed = next_num(&mut args),
+            _ => usage(),
+        }
+    }
+    if addr.is_empty() {
+        usage();
+    }
+
+    match http_request(&addr, "GET", "/healthz", "text/plain", b"") {
+        Ok((200, _)) => {}
+        other => {
+            eprintln!("loadgen: server at {addr} not healthy: {other:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!("loadgen: generating {worlds_n} scenario worlds ({entities} entities each)");
+    let worlds = scenario_worlds(worlds_n, entities, seed);
+    let mut sql_pool = Vec::new();
+    for (i, world) in worlds.iter().enumerate() {
+        match upload_world(&addr, &format!("w{i}"), world) {
+            Ok(sql) => sql_pool.push(sql),
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("loadgen: {connections} connections x {requests} total requests");
+    let report = run_load(&LoadConfig {
+        addr: addr.clone(),
+        connections,
+        requests,
+        sql_pool,
+    });
+
+    let cache = http_request(&addr, "GET", "/metrics", "text/plain", b"")
+        .ok()
+        .filter(|(status, _)| *status == 200)
+        .and_then(|(_, body)| Json::parse(&body).ok())
+        .and_then(|m| {
+            m.get("prepared_cache")
+                .and_then(|c| c.get("hit_rate"))
+                .and_then(Json::as_f64)
+        });
+
+    println!("requests_ok      {}", report.ok);
+    println!("requests_err     {}", report.errors);
+    println!("elapsed_s        {:.3}", report.elapsed.as_secs_f64());
+    println!("throughput_rps   {:.1}", report.throughput_rps);
+    println!("latency_mean_ms  {:.3}", report.mean_ms);
+    println!("latency_p50_ms   {:.3}", report.p50_ms);
+    println!("latency_p99_ms   {:.3}", report.p99_ms);
+    match cache {
+        Some(rate) => println!("cache_hit_rate   {rate:.3}"),
+        None => println!("cache_hit_rate   n/a"),
+    }
+    if report.errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,317 @@
+//! A minimal HTTP/1.1 request reader and response writer.
+//!
+//! Covers exactly what the fusion service's wire protocol needs: request
+//! line + headers + `Content-Length` bodies, keep-alive connections, and
+//! plain (unchunked) responses. No TLS, no chunked encoding, no pipelining
+//! beyond serial keep-alive — the loadgen client and `curl` are the target
+//! audience.
+
+use crate::error::{Result, ServerError};
+use std::io::{BufRead, Write};
+
+/// Upper bound on an accepted body (64 MiB) — a CSV upload beyond this is
+/// almost certainly a mistake, and the limit keeps a single connection from
+/// exhausting memory.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Upper bound on the number of request headers.
+const MAX_HEADERS: usize = 128;
+
+/// Upper bound on one request/header line. `Content-Length` alone caps the
+/// body; without this, a peer streaming bytes with no newline would grow a
+/// `read_line` String without bound.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// `read_line` with a hard length cap (the terminating newline may sit at
+/// the cap boundary; anything longer is a 400).
+fn read_line_capped<R: BufRead>(stream: &mut R, out: &mut String) -> Result<usize> {
+    let n = std::io::Read::take(&mut *stream, MAX_LINE_BYTES as u64 + 1).read_line(out)?;
+    if n > MAX_LINE_BYTES {
+        return Err(ServerError::BadRequest(format!(
+            "line exceeds the {MAX_LINE_BYTES}-byte limit"
+        )));
+    }
+    Ok(n)
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercased method (`GET`, `PUT`, …).
+    pub method: String,
+    /// Path component, percent-decoding *not* applied (table names are
+    /// plain identifiers), query string stripped.
+    pub path: String,
+    /// Headers as `(lowercased-name, value)` pairs, in order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (case-insensitive) header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this request.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+
+    /// The body as UTF-8, or a 400 error.
+    pub fn body_utf8(&self) -> Result<&str> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| ServerError::BadRequest("request body is not valid UTF-8".into()))
+    }
+}
+
+/// Read one request from the stream. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (normal keep-alive end-of-life).
+pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Option<Request>> {
+    let mut line = String::new();
+    if read_line_capped(stream, &mut line)? == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end_matches(['\r', '\n']);
+    if line.is_empty() {
+        return Err(ServerError::BadRequest("empty request line".into()));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServerError::BadRequest("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ServerError::BadRequest("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ServerError::BadRequest("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServerError::BadRequest(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    // Strip any query string; the protocol carries parameters in bodies.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        if read_line_capped(stream, &mut h)? == 0 {
+            return Err(ServerError::BadRequest(
+                "connection closed mid-headers".into(),
+            ));
+        }
+        let h = h.trim_end_matches(['\r', '\n']);
+        if h.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ServerError::BadRequest("too many headers".into()));
+        }
+        let (name, value) = h
+            .split_once(':')
+            .ok_or_else(|| ServerError::BadRequest(format!("malformed header `{h}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ServerError::BadRequest(format!("bad Content-Length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ServerError::BadRequest(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Ask the client to close the connection after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// The reason phrase for a status code.
+    fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        }
+    }
+}
+
+/// Serialize a response onto the stream. Head and body go out in a single
+/// write: two small segments would trip Nagle + delayed-ACK stalls
+/// (~40–200 ms per request) on keep-alive connections.
+pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        response.status,
+        Response::reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if response.close {
+            "close"
+        } else {
+            "keep-alive"
+        },
+    );
+    let mut message = Vec::with_capacity(head.len() + response.body.len());
+    message.extend_from_slice(head.as_bytes());
+    message.extend_from_slice(&response.body);
+    stream.write_all(&message)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let req = parse("POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nBODY")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"BODY");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn strips_query_string_and_uppercases_method() {
+        let req = parse("get /tables?verbose=1 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/tables");
+    }
+
+    #[test]
+    fn connection_close_detected() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn eof_before_request_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for bad in [
+            "GARBAGE\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / SPDY/3\r\n\r\n",
+            "GET / HTTP/1.1\r\nbroken header\r\n\r\n",
+            "GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let e = parse(bad).unwrap_err();
+            assert_eq!(e.status(), 400, "{bad:?} → {e}");
+        }
+    }
+
+    #[test]
+    fn endless_header_line_rejected() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 10));
+        let e = parse(&raw).unwrap_err();
+        assert_eq!(e.status(), 400);
+        let raw = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "b".repeat(MAX_LINE_BYTES + 10)
+        );
+        let e = parse(&raw).unwrap_err();
+        assert_eq!(e.status(), 400);
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let e = parse(&format!(
+            "PUT /tables/x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        ))
+        .unwrap_err();
+        assert_eq!(e.status(), 400);
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let e = parse("POST /query HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err();
+        assert!(matches!(e, ServerError::Io(_)));
+    }
+
+    #[test]
+    fn response_serializes_with_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}")).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: keep-alive"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn body_utf8_guard() {
+        let req = Request {
+            method: "POST".into(),
+            path: "/query".into(),
+            headers: vec![],
+            body: vec![0xFF, 0xFE],
+        };
+        assert_eq!(req.body_utf8().unwrap_err().status(), 400);
+    }
+}

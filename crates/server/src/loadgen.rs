@@ -1,0 +1,317 @@
+//! The load-generating client: a minimal HTTP/1.1 client plus a
+//! multi-connection load driver with latency statistics.
+//!
+//! Used three ways: as the `loadgen` binary (fan N concurrent connections
+//! over generated scenario worlds against a remote server), from
+//! `exp9_serving` (the serving-path BENCH numbers), and from the smoke
+//! integration test.
+
+use crate::error::{Result, ServerError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A persistent keep-alive client connection.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `host:port`.
+    pub fn connect(addr: &str) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?; // latency benchmark client: no Nagle
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            addr: addr.to_string(),
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Issue one request; reconnects once if the pooled connection died
+    /// (e.g. the server restarted between calls).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<(u16, String)> {
+        match self.request_once(method, path, content_type, body) {
+            Err(ServerError::Io(_)) => {
+                let fresh = Client::connect(&self.addr)?;
+                *self = fresh;
+                self.request_once(method, path, content_type, body)
+            }
+            other => other,
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<(u16, String)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n\r\n",
+            self.addr,
+            body.len(),
+        );
+        // One write per request (see `write_response` on the Nagle stall).
+        let mut message = Vec::with_capacity(head.len() + body.len());
+        message.extend_from_slice(head.as_bytes());
+        message.extend_from_slice(body);
+        self.writer.write_all(&message)?;
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+}
+
+/// Read one HTTP response: status line, headers, `Content-Length` body.
+fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String)> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(ServerError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before response",
+        )));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ServerError::BadRequest(format!("bad status line `{status_line}`")))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ServerError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            )));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    ServerError::BadRequest(format!("bad content-length `{value}`"))
+                })?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(|text| (status, text))
+        .map_err(|_| ServerError::BadRequest("response body is not UTF-8".into()))
+}
+
+/// One-shot convenience request on a fresh connection.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+) -> Result<(u16, String)> {
+    Client::connect(addr)?.request_once(method, path, content_type, body)
+}
+
+/// Upload one scenario world's sources as `{prefix}_{source}` tables and
+/// return the `FUSE BY (objectID)` query exercising them.
+pub fn upload_world(
+    addr: &str,
+    prefix: &str,
+    world: &hummer_datagen::GeneratedWorld,
+) -> Result<String> {
+    let mut aliases = Vec::new();
+    for source in &world.sources {
+        let alias = format!("{prefix}_{}", source.table.name());
+        let csv = hummer_engine::csv::write_csv_str(&source.table);
+        let (status, body) = http_request(
+            addr,
+            "PUT",
+            &format!("/tables/{alias}"),
+            "text/csv",
+            csv.as_bytes(),
+        )?;
+        if status != 200 {
+            return Err(ServerError::Internal(format!(
+                "upload {alias} failed with {status}: {body}"
+            )));
+        }
+        aliases.push(alias);
+    }
+    Ok(format!(
+        "SELECT * FUSE FROM {} FUSE BY (objectID)",
+        aliases.join(", ")
+    ))
+}
+
+/// Generate a standard world mix, cycling the paper's four demo scenarios.
+pub fn scenario_worlds(
+    count: usize,
+    entities: usize,
+    seed: u64,
+) -> Vec<hummer_datagen::GeneratedWorld> {
+    use hummer_datagen::scenarios::{
+        cd_shopping, cleansing_service, disaster_registry, student_rosters,
+    };
+    (0..count)
+        .map(|i| {
+            let s = seed + i as u64;
+            match i % 4 {
+                0 => cd_shopping(entities, s),
+                1 => disaster_registry(entities, s),
+                2 => student_rosters(entities, s),
+                _ => cleansing_service(entities, s),
+            }
+        })
+        .collect()
+}
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server `host:port`.
+    pub addr: String,
+    /// Concurrent connections (threads).
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// SQL statements cycled round-robin across requests.
+    pub sql_pool: Vec<String>,
+}
+
+/// Aggregated load-run results.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests that returned HTTP 200.
+    pub ok: usize,
+    /// Requests that failed (transport error or non-200).
+    pub errors: usize,
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+    /// Successful requests per second.
+    pub throughput_rps: f64,
+    /// Mean latency (ms) over successful requests.
+    pub mean_ms: f64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+}
+
+/// Latency percentile over an unsorted millisecond sample (`p` in [0,100]);
+/// delegates to the crate's one percentile implementation.
+pub fn percentile_ms(samples: &[f64], p: f64) -> f64 {
+    crate::metrics::percentile(samples, p)
+}
+
+/// Fan `connections` threads over the server, each issuing its share of
+/// `requests` (round-robin over `sql_pool`) on a persistent connection.
+pub fn run_load(config: &LoadConfig) -> LoadReport {
+    let connections = config.connections.max(1);
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let next = Arc::clone(&next);
+        let addr = config.addr.clone();
+        let pool = config.sql_pool.clone();
+        let total = config.requests;
+        handles.push(thread::spawn(move || {
+            let mut latencies = Vec::new();
+            let mut errors = 0usize;
+            let mut client = Client::connect(&addr).ok();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let Some(c) = client.as_mut() else {
+                    errors += 1;
+                    continue;
+                };
+                let sql = &pool[i % pool.len()];
+                let t0 = Instant::now();
+                match c.request("POST", "/query", "text/plain", sql.as_bytes()) {
+                    Ok((200, _)) => latencies.push(t0.elapsed().as_secs_f64() * 1e3),
+                    Ok(_) => errors += 1,
+                    Err(_) => {
+                        errors += 1;
+                        client = None; // connection is poisoned; fail fast
+                    }
+                }
+            }
+            (latencies, errors)
+        }));
+    }
+    let mut latencies = Vec::with_capacity(config.requests);
+    let mut errors = 0;
+    for h in handles {
+        let (mut l, e) = h.join().unwrap_or((Vec::new(), 0));
+        latencies.append(&mut l);
+        errors += e;
+    }
+    let elapsed = started.elapsed();
+    let ok = latencies.len();
+    let mean_ms = if ok == 0 {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / ok as f64
+    };
+    LoadReport {
+        ok,
+        errors,
+        elapsed,
+        throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+            ok as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        mean_ms,
+        p50_ms: percentile_ms(&latencies, 50.0),
+        p99_ms: percentile_ms(&latencies, 99.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
+        assert_eq!(percentile_ms(&[5.0], 99.0), 5.0);
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((percentile_ms(&v, 50.0) - 50.0).abs() <= 1.0);
+        assert!(percentile_ms(&v, 99.0) >= 99.0);
+    }
+
+    #[test]
+    fn read_response_parses_status_and_body() {
+        let raw = "HTTP/1.1 404 Not Found\r\ncontent-type: application/json\r\ncontent-length: 2\r\n\r\n{}";
+        let (status, body) = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body, "{}");
+    }
+
+    #[test]
+    fn read_response_rejects_garbage() {
+        assert!(read_response(&mut BufReader::new(&b"NOPE\r\n\r\n"[..])).is_err());
+        assert!(read_response(&mut BufReader::new(&b""[..])).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Request metrics: counts, latency percentiles, per-stage timing
+//! aggregates.
+//!
+//! One [`Metrics`] lives in the shared service; worker threads record into
+//! it behind a mutex (the critical section is a few counter bumps and a ring
+//! push, so contention stays negligible next to pipeline work). `GET
+//! /metrics` renders a [`MetricsSnapshot`].
+
+use hummer_core::StageTimings;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Per-endpoint latency samples kept for percentile estimates. A ring of the
+/// most recent samples bounds memory on long-lived servers.
+const LATENCY_RING: usize = 8192;
+
+#[derive(Debug, Default)]
+struct EndpointStats {
+    count: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+    next_slot: usize,
+}
+
+impl EndpointStats {
+    fn record(&mut self, latency: Duration, is_error: bool) {
+        self.count += 1;
+        if is_error {
+            self.errors += 1;
+        }
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        if self.latencies_us.len() < LATENCY_RING {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.next_slot] = us;
+            self.next_slot = (self.next_slot + 1) % LATENCY_RING;
+        }
+    }
+}
+
+/// Cumulative pipeline-stage time across all queries served.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageAggregate {
+    /// Sum over all *prepared* runs (cache misses) of match/transform/detect,
+    /// plus every query's fusion time.
+    pub totals: StageTimings,
+    /// Number of preparation runs (== cache misses that reached the pipeline).
+    pub prepares: u64,
+    /// Number of fusion queries executed.
+    pub fusions: u64,
+}
+
+/// A point-in-time view of one endpoint's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointSnapshot {
+    /// Endpoint label, e.g. `POST /query`.
+    pub endpoint: String,
+    /// Requests served.
+    pub count: u64,
+    /// Requests that ended in an error status.
+    pub errors: u64,
+    /// Median latency in milliseconds over the recent window.
+    pub p50_ms: f64,
+    /// 99th-percentile latency in milliseconds over the recent window.
+    pub p99_ms: f64,
+}
+
+/// A point-in-time view of the whole metrics registry.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Total requests across endpoints.
+    pub total_requests: u64,
+    /// Total error responses across endpoints.
+    pub total_errors: u64,
+    /// Per-endpoint stats, sorted by label.
+    pub endpoints: Vec<EndpointSnapshot>,
+    /// Pipeline-stage aggregates.
+    pub stages: StageAggregate,
+}
+
+/// Thread-safe metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    endpoints: BTreeMap<String, EndpointStats>,
+    stages: StageAggregate,
+}
+
+/// Nearest-rank percentile over an unsorted sample; `p` in [0, 100]. The
+/// single percentile implementation in this crate — the server's `/metrics`
+/// and the loadgen client both report through it, so their p50/p99 can
+/// never silently diverge.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// [`percentile`] over microsecond counters.
+pub fn percentile_us(values: &[u64], p: f64) -> f64 {
+    let as_f64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    percentile(&as_f64, p)
+}
+
+impl Metrics {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Record one served request.
+    pub fn record_request(&self, endpoint: &str, latency: Duration, is_error: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .endpoints
+            .entry(endpoint.to_string())
+            .or_default()
+            .record(latency, is_error);
+    }
+
+    /// Record a preparation run (cache miss) with its stage timings.
+    pub fn record_prepare(&self, timings: &StageTimings) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stages.prepares += 1;
+        inner.stages.totals.matching += timings.matching;
+        inner.stages.totals.transformation += timings.transformation;
+        inner.stages.totals.detection += timings.detection;
+    }
+
+    /// Record one fusion execution's wall time.
+    pub fn record_fusion(&self, fusion: Duration) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stages.fusions += 1;
+        inner.stages.totals.fusion += fusion;
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut endpoints = Vec::with_capacity(inner.endpoints.len());
+        let mut total_requests = 0;
+        let mut total_errors = 0;
+        for (name, stats) in &inner.endpoints {
+            total_requests += stats.count;
+            total_errors += stats.errors;
+            endpoints.push(EndpointSnapshot {
+                endpoint: name.clone(),
+                count: stats.count,
+                errors: stats.errors,
+                p50_ms: percentile_us(&stats.latencies_us, 50.0) / 1e3,
+                p99_ms: percentile_us(&stats.latencies_us, 99.0) / 1e3,
+            });
+        }
+        MetricsSnapshot {
+            total_requests,
+            total_errors,
+            endpoints,
+            stages: inner.stages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_counts_and_percentiles() {
+        let m = Metrics::new();
+        for i in 1..=100u64 {
+            m.record_request("POST /query", Duration::from_micros(i * 1000), i % 10 == 0);
+        }
+        m.record_request("GET /healthz", Duration::from_micros(50), false);
+        let snap = m.snapshot();
+        assert_eq!(snap.total_requests, 101);
+        assert_eq!(snap.total_errors, 10);
+        let q = snap
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == "POST /query")
+            .unwrap();
+        assert_eq!(q.count, 100);
+        assert!((q.p50_ms - 50.0).abs() < 2.0, "p50 {}", q.p50_ms);
+        assert!(q.p99_ms >= 98.0, "p99 {}", q.p99_ms);
+    }
+
+    #[test]
+    fn stage_aggregates_accumulate() {
+        let m = Metrics::new();
+        let t = StageTimings {
+            matching: Duration::from_millis(5),
+            transformation: Duration::from_millis(2),
+            detection: Duration::from_millis(3),
+            fusion: Duration::ZERO,
+        };
+        m.record_prepare(&t);
+        m.record_prepare(&t);
+        m.record_fusion(Duration::from_millis(1));
+        let s = m.snapshot().stages;
+        assert_eq!(s.prepares, 2);
+        assert_eq!(s.fusions, 1);
+        assert_eq!(s.totals.matching, Duration::from_millis(10));
+        assert_eq!(s.totals.fusion, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile_us(&[], 50.0), 0.0);
+        assert_eq!(percentile_us(&[7], 99.0), 7.0);
+        assert_eq!(percentile_us(&[3, 1, 2], 0.0), 1.0);
+        assert_eq!(percentile_us(&[3, 1, 2], 100.0), 3.0);
+    }
+
+    #[test]
+    fn latency_ring_bounds_memory() {
+        let mut stats = EndpointStats::default();
+        for i in 0..(LATENCY_RING as u64 + 100) {
+            stats.record(Duration::from_micros(i), false);
+        }
+        assert_eq!(stats.latencies_us.len(), LATENCY_RING);
+        assert_eq!(stats.count, LATENCY_RING as u64 + 100);
+    }
+}

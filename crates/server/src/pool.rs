@@ -1,0 +1,125 @@
+//! A fixed-size worker thread pool over an `mpsc` channel.
+//!
+//! The accept loop hands each connection to the pool; a worker runs the
+//! whole keep-alive conversation. Dropping the pool closes the channel and
+//! joins the workers after they finish in-flight jobs — which is exactly the
+//! graceful-shutdown semantics the server needs.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers (minimum 1).
+    pub fn new(size: usize) -> ThreadPool {
+        let size = size.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("hummer-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the recv; run the job outside.
+                        let job = match receiver.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // channel closed: shut down
+                        };
+                        // A panicking job (bad request data hitting an
+                        // unexpected code path) must not shrink the pool —
+                        // that would silently degrade capacity until the
+                        // server stops serving.
+                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                            eprintln!("hummer-worker: job panicked; worker continues");
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue a job; it runs on the first free worker.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        if let Some(sender) = &self.sender {
+            // Send fails only if all workers died; jobs are best-effort then.
+            let _ = sender.send(Box::new(job));
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // closes the channel; workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_concurrently_and_joins_on_drop() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                thread::sleep(Duration::from_millis(1));
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins: all queued jobs must have completed
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("boom"));
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(1, Ordering::SeqCst);
+        });
+        drop(pool); // joins: the post-panic job must still have run
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn zero_size_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(1, Ordering::SeqCst);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,399 @@
+//! The long-lived HTTP server: listener, routing, graceful shutdown.
+//!
+//! ## Endpoints
+//!
+//! | method & path        | effect |
+//! |----------------------|--------|
+//! | `PUT /tables/{name}` | register/replace a table from a CSV body |
+//! | `GET /tables`        | list registered tables |
+//! | `POST /query`        | execute Fuse By SQL (raw text or `{"sql": …}`) |
+//! | `GET /metrics`       | request counts, p50/p99 latency, stage + cache stats |
+//! | `GET /healthz`       | liveness probe |
+//! | `POST /shutdown`     | graceful shutdown (finish in-flight, then exit) |
+//!
+//! The accept loop hands each connection to a fixed [`ThreadPool`]; one
+//! worker owns the whole keep-alive conversation. Shutdown sets a flag and
+//! nudges the listener with a loopback connection so `accept` wakes; the
+//! pool drains in-flight requests before `run` returns.
+
+use crate::error::{Result, ServerError};
+use crate::http::{read_request, write_response, Request, Response};
+use crate::json::Json;
+use crate::pool::ThreadPool;
+use crate::service::{
+    metrics_to_json, query_result_to_json, FusionService, ServiceConfig, TableInfo,
+};
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub threads: usize,
+    /// Service (pipeline + cache) configuration.
+    pub service: ServiceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: 4,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// A handle that can stop a running server from another thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    addr: SocketAddr,
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Request shutdown: set the flag and wake the acceptor.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept; any connection (even one that is
+        // immediately dropped) suffices.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_requested(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// The HTTP server.
+#[derive(Debug)]
+pub struct HummerServer {
+    listener: TcpListener,
+    service: Arc<FusionService>,
+    threads: usize,
+    shutdown: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+}
+
+impl HummerServer {
+    /// Bind the listener and build the shared service. The server does not
+    /// accept connections until [`HummerServer::run`].
+    pub fn bind(config: ServerConfig) -> std::io::Result<HummerServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(HummerServer {
+            listener,
+            service: Arc::new(FusionService::new(config.service)),
+            threads: config.threads,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            local_addr,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared service (to preload tables before serving).
+    pub fn service(&self) -> &Arc<FusionService> {
+        &self.service
+    }
+
+    /// A handle that stops the server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            addr: self.local_addr,
+            flag: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Serve until shutdown is requested. Returns after all workers drained
+    /// their in-flight connections.
+    pub fn run(self) -> std::io::Result<()> {
+        let pool = ThreadPool::new(self.threads);
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept failure
+            };
+            let service = Arc::clone(&self.service);
+            let shutdown = self.shutdown_handle();
+            pool.execute(move || handle_connection(stream, &service, &shutdown));
+        }
+        drop(pool); // join workers: graceful drain
+        Ok(())
+    }
+}
+
+/// How often an idle worker re-checks the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Serve one keep-alive connection until close, error, or shutdown.
+fn handle_connection(stream: TcpStream, service: &FusionService, shutdown: &ShutdownHandle) {
+    let peer_writable = stream.try_clone();
+    let mut writer = match peer_writable {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    // A read timeout lets the worker notice shutdown while parked on an
+    // idle keep-alive connection instead of blocking the drain forever.
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Wait for the next request's first byte via fill_buf: a timeout
+        // here consumes nothing, so polling cannot corrupt request framing.
+        match reader.fill_buf() {
+            Ok([]) => return, // clean close between requests
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.is_requested() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        // A request has started: allow a generous window for the rest of it
+        // (the clone shares the socket, so this reaches the reader too).
+        let _ = writer.set_read_timeout(Some(Duration::from_secs(30)));
+        let request = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // clean close between requests
+            Err(e) => {
+                // Transport gone → nothing to answer; protocol junk → 400.
+                if !matches!(e, ServerError::Io(_)) {
+                    let _ = write_response(&mut writer, &error_response(&e, true));
+                }
+                return;
+            }
+        };
+        let wants_close = request.wants_close();
+        let endpoint = endpoint_label(&request);
+        let started = Instant::now();
+        let mut response = match route(&request, service, shutdown) {
+            Ok(r) => r,
+            Err(e) => error_response(&e, false),
+        };
+        let is_error = response.status >= 400;
+        service
+            .metrics()
+            .record_request(&endpoint, started.elapsed(), is_error);
+        response.close = response.close || wants_close || shutdown.is_requested();
+        if write_response(&mut writer, &response).is_err() || response.close {
+            return;
+        }
+        let _ = writer.set_read_timeout(Some(IDLE_POLL));
+    }
+}
+
+/// The metrics label for a request: normalized method + route. Unmatched
+/// paths all share one bucket — recording raw paths would let junk traffic
+/// grow the metrics map (and its latency rings) without bound.
+fn endpoint_label(request: &Request) -> String {
+    let route = match request.path.as_str() {
+        "/healthz" | "/tables" | "/query" | "/metrics" | "/shutdown" => request.path.as_str(),
+        p if p.starts_with("/tables/") => "/tables/{name}",
+        _ => "{other}",
+    };
+    let method = match request.method.as_str() {
+        "GET" | "PUT" | "POST" | "DELETE" | "HEAD" | "OPTIONS" | "PATCH" => request.method.as_str(),
+        _ => "{other}",
+    };
+    format!("{method} {route}")
+}
+
+fn error_response(e: &ServerError, close: bool) -> Response {
+    let body = Json::object()
+        .with("error", e.to_string())
+        .with("status", i64::from(e.status()))
+        .to_string_compact();
+    let mut r = Response::json(e.status(), body);
+    r.close = close;
+    r
+}
+
+fn table_info_json(info: &TableInfo) -> Json {
+    Json::object()
+        .with("table", info.name.clone())
+        .with("rows", info.rows)
+        .with(
+            "columns",
+            Json::Arr(info.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+        )
+        .with("version", info.version)
+}
+
+/// Dispatch one request.
+fn route(
+    request: &Request,
+    service: &FusionService,
+    shutdown: &ShutdownHandle,
+) -> Result<Response> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Ok(Response::json(
+            200,
+            Json::object().with("status", "ok").to_string_compact(),
+        )),
+        ("GET", "/tables") => {
+            let tables: Vec<Json> = service.tables().iter().map(table_info_json).collect();
+            Ok(Response::json(
+                200,
+                Json::object()
+                    .with("tables", Json::Arr(tables))
+                    .to_string_compact(),
+            ))
+        }
+        ("GET", "/metrics") => Ok(Response::json(
+            200,
+            metrics_to_json(service).to_string_compact(),
+        )),
+        ("POST", "/query") => {
+            let body = request.body_utf8()?;
+            let sql = extract_sql(body, request.header("content-type"))?;
+            let result = service.query(&sql)?;
+            Ok(Response::json(
+                200,
+                query_result_to_json(&result).to_string_compact(),
+            ))
+        }
+        ("POST", "/shutdown") => {
+            // Full shutdown (flag + acceptor wake): without the wake the
+            // listener would keep the process alive until the next
+            // unrelated connection arrived.
+            shutdown.shutdown();
+            let mut r = Response::json(
+                200,
+                Json::object()
+                    .with("status", "shutting down")
+                    .to_string_compact(),
+            );
+            r.close = true;
+            Ok(r)
+        }
+        ("PUT", path) if path.starts_with("/tables/") => {
+            let name = &path["/tables/".len()..];
+            let info = service.put_table(name, request.body_utf8()?)?;
+            Ok(Response::json(
+                200,
+                table_info_json(&info).to_string_compact(),
+            ))
+        }
+        (_, path)
+            if path == "/healthz"
+                || path == "/tables"
+                || path == "/metrics"
+                || path == "/query"
+                || path == "/shutdown"
+                || path.starts_with("/tables/") =>
+        {
+            Err(ServerError::MethodNotAllowed(format!(
+                "{} {}",
+                request.method, path
+            )))
+        }
+        (_, path) => Err(ServerError::NotFound(path.to_string())),
+    }
+}
+
+/// `POST /query` accepts raw SQL or a JSON document `{"sql": "..."}`.
+fn extract_sql(body: &str, content_type: Option<&str>) -> Result<String> {
+    let looks_json = content_type.is_some_and(|c| c.contains("application/json"))
+        || body.trim_start().starts_with('{');
+    if looks_json {
+        let doc = Json::parse(body)?;
+        return doc
+            .get("sql")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| {
+                ServerError::BadRequest("JSON query body needs a string `sql` field".into())
+            });
+    }
+    let sql = body.trim();
+    if sql.is_empty() {
+        return Err(ServerError::BadRequest("empty query body".into()));
+    }
+    Ok(sql.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_sql_variants() {
+        assert_eq!(extract_sql("SELECT 1", None).unwrap(), "SELECT 1");
+        assert_eq!(
+            extract_sql("{\"sql\": \"SELECT 1\"}", Some("application/json")).unwrap(),
+            "SELECT 1"
+        );
+        assert_eq!(extract_sql("  {\"sql\": \"S\"} ", None).unwrap(), "S");
+        assert!(extract_sql("{\"nope\": 1}", None).is_err());
+        assert!(extract_sql("   ", None).is_err());
+        assert!(extract_sql("{broken", Some("application/json")).is_err());
+    }
+
+    #[test]
+    fn endpoint_labels_normalize_table_names() {
+        let req = Request {
+            method: "PUT".into(),
+            path: "/tables/EE_Student".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(endpoint_label(&req), "PUT /tables/{name}");
+    }
+
+    #[test]
+    fn routing_statuses() {
+        let service = FusionService::new(ServiceConfig::default());
+        // A handle whose wake nudge goes nowhere (no listener behind it).
+        let shutdown = ShutdownHandle {
+            addr: "127.0.0.1:9".parse().unwrap(),
+            flag: Arc::new(AtomicBool::new(false)),
+        };
+        let req = |method: &str, path: &str, body: &[u8]| Request {
+            method: method.into(),
+            path: path.into(),
+            headers: vec![],
+            body: body.to_vec(),
+        };
+        let ok = route(&req("GET", "/healthz", b""), &service, &shutdown).unwrap();
+        assert_eq!(ok.status, 200);
+        let e = route(&req("GET", "/nope", b""), &service, &shutdown).unwrap_err();
+        assert_eq!(e.status(), 404);
+        let e = route(&req("DELETE", "/query", b""), &service, &shutdown).unwrap_err();
+        assert_eq!(e.status(), 405);
+        let e = route(
+            &req("POST", "/query", b"SELECT * FROM Ghosts"),
+            &service,
+            &shutdown,
+        )
+        .unwrap_err();
+        assert_eq!(e.status(), 404);
+        let put = route(&req("PUT", "/tables/T", b"a,b\n1,2\n"), &service, &shutdown).unwrap();
+        assert_eq!(put.status, 200);
+        assert!(!shutdown.is_requested());
+        let bye = route(&req("POST", "/shutdown", b""), &service, &shutdown).unwrap();
+        assert_eq!(bye.status, 200);
+        assert!(bye.close);
+        assert!(shutdown.is_requested());
+    }
+}

@@ -1,0 +1,516 @@
+//! The fusion service: shared catalog + prepared-pipeline cache + metrics.
+//!
+//! [`FusionService`] is the transport-independent heart of the server: the
+//! HTTP layer, the integration tests, and the exp9 bench all drive this
+//! struct. Worker threads share one instance behind an `Arc`; the catalog
+//! sits in an `RwLock` so concurrent queries read in parallel, and the
+//! tables themselves are `Arc`-shared so a snapshot never copies data.
+//!
+//! Query semantics for `FUSE FROM`: the full automatic pipeline (DUMAS
+//! matching → rename + outer union → duplicate detection → `objectID`
+//! annotation) runs over the referenced sources — through the prepared
+//! cache — and the query then executes against the annotated union. That
+//! means `FUSE BY (objectID)` is available to every client for free, and a
+//! repeated query over unchanged sources pays only fusion + projection.
+
+use crate::cache::{CacheStats, PreparedCache, PreparedKey};
+use crate::error::{Result, ServerError};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use hummer_core::{prepare_tables, HummerConfig, PreparedSources, StageTimings};
+use hummer_engine::{csv, Table, Value};
+use hummer_fusion::FunctionRegistry;
+use hummer_query::{execute, execute_combined, parse, FuseQuery, QueryOutput, VersionedTableSet};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Pipeline (matcher + detector) configuration used for every prepare.
+    pub pipeline: HummerConfig,
+    /// Prepared-pipeline cache capacity (source sets, not bytes).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            pipeline: HummerConfig::default(),
+            cache_capacity: 64,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration tuned for narrow (2–3 column) schemas like the
+    /// paper's student example: permissive duplicate sniffing and a lower
+    /// duplicate-classification threshold (little evidence mass per tuple).
+    pub fn narrow_schema() -> Self {
+        use hummer_core::{DetectorConfig, MatcherConfig, SniffConfig};
+        ServiceConfig {
+            pipeline: HummerConfig {
+                matcher: MatcherConfig {
+                    sniff: SniffConfig {
+                        min_similarity: 0.2,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                detector: DetectorConfig {
+                    threshold: 0.7,
+                    unsure_threshold: 0.55,
+                    ..Default::default()
+                },
+            },
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// Descriptive facts about one registered table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableInfo {
+    /// Registered name.
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Content version (bumps on re-upload).
+    pub version: u64,
+}
+
+/// What one query produced, plus serving metadata.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The executed query's output (final table + fusion by-products).
+    pub output: QueryOutput,
+    /// `Some(true)` when prepared artifacts came from the cache,
+    /// `Some(false)` on a miss, `None` for non-fusion queries.
+    pub cache_hit: Option<bool>,
+    /// Stage cost of the prepared artifacts used (zero for plain queries).
+    /// On a hit this is the *saved* cost, not cost paid by this request.
+    pub prepare_timings: StageTimings,
+    /// Wall time this request spent executing (fusion + projection; for a
+    /// miss this excludes preparation, which is reported separately).
+    pub execute_time: Duration,
+}
+
+/// The shared, thread-safe fusion service.
+#[derive(Debug)]
+pub struct FusionService {
+    catalog: RwLock<VersionedTableSet>,
+    cache: Mutex<PreparedCache>,
+    metrics: Metrics,
+    registry: FunctionRegistry,
+    config: HummerConfig,
+}
+
+impl FusionService {
+    /// A service with the given configuration and an empty catalog.
+    pub fn new(config: ServiceConfig) -> Self {
+        FusionService {
+            catalog: RwLock::new(VersionedTableSet::new()),
+            cache: Mutex::new(PreparedCache::new(config.cache_capacity)),
+            metrics: Metrics::new(),
+            registry: FunctionRegistry::standard(),
+            config: config.pipeline,
+        }
+    }
+
+    /// The metrics registry (workers record; `/metrics` snapshots).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Prepared-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap().stats()
+    }
+
+    /// Parse and register CSV under `name` (re-upload replaces and bumps the
+    /// version, invalidating cached pipelines over the table).
+    pub fn put_table(&self, name: &str, csv_text: &str) -> Result<TableInfo> {
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(ServerError::BadRequest(format!(
+                "table name `{name}` must be non-empty and alphanumeric/underscore/dash"
+            )));
+        }
+        let table = csv::read_csv_str(name, csv_text)?;
+        let info_columns: Vec<String> = table
+            .schema()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows = table.len();
+        let version = self.catalog.write().unwrap().register(name, table);
+        Ok(TableInfo {
+            name: name.to_string(),
+            rows,
+            columns: info_columns,
+            version,
+        })
+    }
+
+    /// All registered tables, sorted by name.
+    pub fn tables(&self) -> Vec<TableInfo> {
+        self.catalog
+            .read()
+            .unwrap()
+            .entries()
+            .iter()
+            .map(|e| TableInfo {
+                name: e.table.name().to_string(),
+                rows: e.table.len(),
+                columns: e
+                    .table
+                    .schema()
+                    .names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                version: e.version,
+            })
+            .collect()
+    }
+
+    /// Parse and execute one Fuse By SQL statement.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let q = parse(sql)?;
+        if q.from.fuse {
+            self.fusion_query(&q)
+        } else {
+            self.plain_query(&q)
+        }
+    }
+
+    /// Plain SQL: execute against a catalog snapshot (cheap `Arc` clones, so
+    /// the read lock is held only for the clone).
+    fn plain_query(&self, q: &FuseQuery) -> Result<QueryResult> {
+        let snapshot = self.catalog.read().unwrap().clone();
+        let t0 = Instant::now();
+        let output = execute(q, &snapshot, &self.registry)?;
+        Ok(QueryResult {
+            output,
+            cache_hit: None,
+            prepare_timings: StageTimings::default(),
+            execute_time: t0.elapsed(),
+        })
+    }
+
+    /// `FUSE FROM`: run (or reuse) the prepared pipeline over the referenced
+    /// sources, then execute the query against the annotated union.
+    fn fusion_query(&self, q: &FuseQuery) -> Result<QueryResult> {
+        // Snapshot the referenced tables + versions under the read lock.
+        let (key, tables): (PreparedKey, Vec<Arc<Table>>) = {
+            let catalog = self.catalog.read().unwrap();
+            let mut key = Vec::with_capacity(q.from.tables.len());
+            let mut tables = Vec::with_capacity(q.from.tables.len());
+            for alias in &q.from.tables {
+                let entry = catalog
+                    .get(alias)
+                    .ok_or_else(|| ServerError::UnknownTable(alias.clone()))?;
+                key.push((alias.to_ascii_lowercase(), entry.version));
+                tables.push(Arc::clone(&entry.table));
+            }
+            (key, tables)
+        };
+
+        let (artifacts, hit) = self.prepared_for(&key, &tables)?;
+        let t0 = Instant::now();
+        let output = execute_combined(q, &artifacts.annotated, &self.registry)?;
+        let execute_time = t0.elapsed();
+        self.metrics.record_fusion(execute_time);
+        Ok(QueryResult {
+            output,
+            cache_hit: Some(hit),
+            prepare_timings: artifacts.timings,
+            execute_time,
+        })
+    }
+
+    /// Cache lookup, computing and inserting on a miss.
+    ///
+    /// The cache lock is *not* held during preparation — concurrent misses
+    /// on the same key may prepare twice, but a slow prepare never blocks
+    /// hits on other keys; the duplicate insert is idempotent.
+    fn prepared_for(
+        &self,
+        key: &PreparedKey,
+        tables: &[Arc<Table>],
+    ) -> Result<(Arc<PreparedSources>, bool)> {
+        if let Some(found) = self.cache.lock().unwrap().get(key) {
+            return Ok((found, true));
+        }
+        let refs: Vec<&Table> = tables.iter().map(|t| t.as_ref()).collect();
+        let prepared = Arc::new(prepare_tables(&refs, &self.config)?);
+        self.metrics.record_prepare(&prepared.timings);
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(key.clone(), Arc::clone(&prepared));
+        Ok((prepared, false))
+    }
+}
+
+/// A cell value as wire JSON.
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i),
+        Value::Float(f) => Json::Float(*f),
+        Value::Text(s) => Json::Str(s.clone()),
+        Value::Date(d) => Json::Str(d.to_string()),
+    }
+}
+
+/// A table as wire JSON: `{"columns": [...], "rows": [[...], ...]}`.
+pub fn table_to_json(table: &Table) -> Json {
+    let columns: Vec<Json> = table
+        .schema()
+        .names()
+        .iter()
+        .map(|n| Json::Str(n.to_string()))
+        .collect();
+    let rows: Vec<Json> = table
+        .rows()
+        .iter()
+        .map(|r| Json::Arr(r.values().iter().map(value_to_json).collect()))
+        .collect();
+    Json::object()
+        .with("columns", Json::Arr(columns))
+        .with("rows", Json::Arr(rows))
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// The `POST /query` response document.
+pub fn query_result_to_json(r: &QueryResult) -> Json {
+    let mut doc = Json::object()
+        .with("result", table_to_json(&r.output.table))
+        .with("row_count", r.output.table.len())
+        .with("fused", r.output.fusion.is_some());
+    if let Some(info) = &r.output.fusion {
+        let sources: Vec<Json> = info
+            .lineage
+            .all_sources()
+            .into_iter()
+            .map(Json::Str)
+            .collect();
+        doc.push(
+            "fusion",
+            Json::object()
+                .with("conflict_count", info.conflict_count)
+                .with("fused_rows", info.fused_table.len())
+                .with("sources", Json::Arr(sources)),
+        );
+    }
+    doc.push(
+        "cache",
+        match r.cache_hit {
+            Some(true) => Json::Str("hit".into()),
+            Some(false) => Json::Str("miss".into()),
+            None => Json::Str("n/a".into()),
+        },
+    );
+    doc.push(
+        "timings_ms",
+        Json::object()
+            .with("matching", ms(r.prepare_timings.matching))
+            .with("transformation", ms(r.prepare_timings.transformation))
+            .with("detection", ms(r.prepare_timings.detection))
+            .with("execute", ms(r.execute_time)),
+    );
+    doc
+}
+
+/// The `GET /metrics` response document.
+pub fn metrics_to_json(service: &FusionService) -> Json {
+    let snap = service.metrics().snapshot();
+    let cache = service.cache_stats();
+    let endpoints: Vec<Json> = snap
+        .endpoints
+        .iter()
+        .map(|e| {
+            Json::object()
+                .with("endpoint", e.endpoint.clone())
+                .with("count", e.count)
+                .with("errors", e.errors)
+                .with("p50_ms", e.p50_ms)
+                .with("p99_ms", e.p99_ms)
+        })
+        .collect();
+    Json::object()
+        .with("total_requests", snap.total_requests)
+        .with("total_errors", snap.total_errors)
+        .with("endpoints", Json::Arr(endpoints))
+        .with(
+            "stages_total_ms",
+            Json::object()
+                .with("matching", ms(snap.stages.totals.matching))
+                .with("transformation", ms(snap.stages.totals.transformation))
+                .with("detection", ms(snap.stages.totals.detection))
+                .with("fusion", ms(snap.stages.totals.fusion))
+                .with("prepares", snap.stages.prepares)
+                .with("fusions", snap.stages.fusions),
+        )
+        .with(
+            "prepared_cache",
+            Json::object()
+                .with("hits", cache.hits)
+                .with("misses", cache.misses)
+                .with("evictions", cache.evictions)
+                .with("entries", cache.entries)
+                .with("hit_rate", cache.hit_rate()),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EE_CSV: &str =
+        "Name,Age,City\nJohn Smith,24,Berlin\nMary Jones,22,Hamburg\nPeter Miller,27,Munich\n";
+    const CS_CSV: &str = "FullName,Years,Town\nJohn Smith,25,Berlin\nMary Jones,22,Hamburg\nAda Lovelace,28,London\n";
+
+    fn service() -> FusionService {
+        let s = FusionService::new(ServiceConfig::narrow_schema());
+        s.put_table("EE_Student", EE_CSV).unwrap();
+        s.put_table("CS_Students", CS_CSV).unwrap();
+        s
+    }
+
+    const PAPER_QUERY: &str =
+        "SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)";
+
+    #[test]
+    fn upload_validates_and_versions() {
+        let s = service();
+        assert!(s.put_table("bad name!", "a\n1\n").is_err());
+        assert!(s.put_table("", "a\n1\n").is_err());
+        assert_eq!(s.put_table("T", "a,b\n1\n").unwrap_err().status(), 400); // ragged record
+        let v1 = s.put_table("T", "a\n1\n").unwrap().version;
+        let v2 = s.put_table("T", "a\n2\n").unwrap().version;
+        assert!(v2 > v1);
+        let names: Vec<String> = s.tables().into_iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["CS_Students", "EE_Student", "T"]);
+    }
+
+    #[test]
+    fn fusion_query_misses_then_hits() {
+        let s = service();
+        let cold = s.query(PAPER_QUERY).unwrap();
+        assert_eq!(cold.cache_hit, Some(false));
+        assert_eq!(cold.output.table.len(), 4);
+        let warm = s.query(PAPER_QUERY).unwrap();
+        assert_eq!(warm.cache_hit, Some(true));
+        assert_eq!(warm.output.table.rows(), cold.output.table.rows());
+        // A different query over the same sources still hits.
+        let other = s
+            .query("SELECT Name FUSE FROM EE_Student, CS_Students FUSE BY (objectID)")
+            .unwrap();
+        assert_eq!(other.cache_hit, Some(true));
+        assert_eq!(other.output.table.len(), 4);
+        let stats = s.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn reupload_invalidates_cache() {
+        let s = service();
+        s.query(PAPER_QUERY).unwrap();
+        s.put_table("CS_Students", CS_CSV).unwrap(); // same bytes, new version
+        let after = s.query(PAPER_QUERY).unwrap();
+        assert_eq!(after.cache_hit, Some(false));
+    }
+
+    #[test]
+    fn plain_query_bypasses_cache() {
+        let s = service();
+        let out = s
+            .query("SELECT Name FROM EE_Student WHERE Age > 23 ORDER BY Name")
+            .unwrap();
+        assert_eq!(out.cache_hit, None);
+        assert_eq!(out.output.table.len(), 2);
+        assert_eq!(s.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn unknown_table_and_bad_sql_statuses() {
+        let s = service();
+        assert_eq!(s.query("SELECT * FROM Ghosts").unwrap_err().status(), 404);
+        assert_eq!(
+            s.query("SELECT * FUSE FROM Ghosts FUSE BY (x)")
+                .unwrap_err()
+                .status(),
+            404
+        );
+        assert_eq!(s.query("SELEKT garbage").unwrap_err().status(), 400);
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_prepare() {
+        let s = Arc::new(service());
+        s.query(PAPER_QUERY).unwrap(); // warm the cache
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let r = s.query(PAPER_QUERY).unwrap();
+                    assert_eq!(r.cache_hit, Some(true));
+                    r.output.table.len()
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), 4);
+        }
+        assert_eq!(s.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn wire_json_round_trips() {
+        let s = service();
+        let r = s.query(PAPER_QUERY).unwrap();
+        let doc = query_result_to_json(&r);
+        let parsed = Json::parse(&doc.to_string_compact()).unwrap();
+        assert_eq!(parsed.get("row_count").unwrap().as_i64(), Some(4));
+        assert_eq!(parsed.get("fused").unwrap(), &Json::Bool(true));
+        assert_eq!(parsed.get("cache").unwrap().as_str(), Some("miss"));
+        let result = parsed.get("result").unwrap();
+        assert_eq!(result.get("rows").unwrap().as_array().unwrap().len(), 4);
+        let m = Json::parse(&metrics_to_json(&s).to_string_compact()).unwrap();
+        assert!(
+            m.get("prepared_cache")
+                .unwrap()
+                .get("misses")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+                >= 1
+        );
+    }
+
+    #[test]
+    fn values_serialize_by_type() {
+        use hummer_engine::Date;
+        assert_eq!(value_to_json(&Value::Null), Json::Null);
+        assert_eq!(value_to_json(&Value::Int(3)), Json::Int(3));
+        assert_eq!(value_to_json(&Value::Float(1.5)), Json::Float(1.5));
+        assert_eq!(value_to_json(&Value::Bool(true)), Json::Bool(true));
+        assert_eq!(value_to_json(&Value::text("x")), Json::Str("x".into()));
+        assert_eq!(
+            value_to_json(&Value::Date(Date::new(2005, 8, 30).unwrap())),
+            Json::Str("2005-08-30".into())
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end smoke tests: a real server on a real socket, driven through
+//! the loadgen client — upload, query, cache behavior, errors, concurrency,
+//! graceful shutdown.
+
+use hummer_server::loadgen::{http_request, run_load, Client, LoadConfig};
+use hummer_server::{HummerServer, Json, ServerConfig, ServiceConfig};
+use std::thread;
+
+const EE_CSV: &[u8] =
+    b"Name,Age,City\nJohn Smith,24,Berlin\nMary Jones,22,Hamburg\nPeter Miller,27,Munich\n";
+const CS_CSV: &[u8] =
+    b"FullName,Years,Town\nJohn Smith,25,Berlin\nMary Jones,22,Hamburg\nAda Lovelace,28,London\n";
+const PAPER_QUERY: &[u8] =
+    b"SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)";
+
+/// Start a server on an ephemeral port; returns (addr, shutdown closure).
+fn start_server(threads: usize) -> (String, impl FnOnce()) {
+    let server = HummerServer::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        service: ServiceConfig::narrow_schema(),
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let join = thread::spawn(move || server.run().unwrap());
+    (addr, move || {
+        handle.shutdown();
+        join.join().unwrap();
+    })
+}
+
+#[test]
+fn upload_query_metrics_shutdown() {
+    let (addr, stop) = start_server(4);
+
+    // Health.
+    let (status, body) = http_request(&addr, "GET", "/healthz", "text/plain", b"").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("ok"));
+
+    // Upload the paper's two tables.
+    let (status, _) = http_request(&addr, "PUT", "/tables/EE_Student", "text/csv", EE_CSV).unwrap();
+    assert_eq!(status, 200);
+    let (status, body) =
+        http_request(&addr, "PUT", "/tables/CS_Students", "text/csv", CS_CSV).unwrap();
+    assert_eq!(status, 200);
+    let info = Json::parse(&body).unwrap();
+    assert_eq!(info.get("rows").unwrap().as_i64(), Some(3));
+
+    // Table listing.
+    let (status, body) = http_request(&addr, "GET", "/tables", "text/plain", b"").unwrap();
+    assert_eq!(status, 200);
+    let tables = Json::parse(&body).unwrap();
+    assert_eq!(tables.get("tables").unwrap().as_array().unwrap().len(), 2);
+
+    // The paper's query: heterogeneous schemas fused into 4 students.
+    let (status, body) = http_request(&addr, "POST", "/query", "text/plain", PAPER_QUERY).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("row_count").unwrap().as_i64(), Some(4));
+    assert_eq!(doc.get("cache").unwrap().as_str(), Some("miss"));
+    assert_eq!(doc.get("fused").unwrap(), &Json::Bool(true));
+
+    // Same sources again: served from the prepared-pipeline cache.
+    let (_, body) = http_request(&addr, "POST", "/query", "text/plain", PAPER_QUERY).unwrap();
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("cache").unwrap().as_str(), Some("hit"));
+
+    // JSON body form.
+    let json_body = Json::object()
+        .with(
+            "sql",
+            "SELECT Name FUSE FROM EE_Student, CS_Students FUSE BY (objectID)",
+        )
+        .to_string_compact();
+    let (status, body) = http_request(
+        &addr,
+        "POST",
+        "/query",
+        "application/json",
+        json_body.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("cache").unwrap().as_str(), Some("hit"));
+
+    // Metrics reflect all of the above.
+    let (status, body) = http_request(&addr, "GET", "/metrics", "text/plain", b"").unwrap();
+    assert_eq!(status, 200);
+    let m = Json::parse(&body).unwrap();
+    assert!(m.get("total_requests").unwrap().as_i64().unwrap() >= 6);
+    let cache = m.get("prepared_cache").unwrap();
+    assert_eq!(cache.get("misses").unwrap().as_i64(), Some(1));
+    assert_eq!(cache.get("hits").unwrap().as_i64(), Some(2));
+
+    stop();
+}
+
+#[test]
+fn error_statuses_on_the_wire() {
+    let (addr, stop) = start_server(2);
+    let (status, _) = http_request(&addr, "GET", "/nope", "text/plain", b"").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http_request(&addr, "DELETE", "/query", "text/plain", b"").unwrap();
+    assert_eq!(status, 405);
+    let (status, body) = http_request(
+        &addr,
+        "POST",
+        "/query",
+        "text/plain",
+        b"SELECT * FROM Ghosts",
+    )
+    .unwrap();
+    assert_eq!(status, 404);
+    assert!(Json::parse(&body).unwrap().get("error").is_some());
+    let (status, _) =
+        http_request(&addr, "POST", "/query", "text/plain", b"SELEKT garbage").unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = http_request(&addr, "PUT", "/tables/Bad", "text/csv", b"a,b\n1\n").unwrap();
+    assert_eq!(status, 400);
+    stop();
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests() {
+    let (addr, stop) = start_server(2);
+    http_request(&addr, "PUT", "/tables/EE_Student", "text/csv", EE_CSV).unwrap();
+    http_request(&addr, "PUT", "/tables/CS_Students", "text/csv", CS_CSV).unwrap();
+    let mut client = Client::connect(&addr).unwrap();
+    for _ in 0..10 {
+        let (status, body) = client
+            .request("POST", "/query", "text/plain", PAPER_QUERY)
+            .unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"row_count\":4"));
+    }
+    stop();
+}
+
+#[test]
+fn concurrent_load_is_consistent() {
+    let (addr, stop) = start_server(4);
+    http_request(&addr, "PUT", "/tables/EE_Student", "text/csv", EE_CSV).unwrap();
+    http_request(&addr, "PUT", "/tables/CS_Students", "text/csv", CS_CSV).unwrap();
+    let report = run_load(&LoadConfig {
+        addr: addr.clone(),
+        connections: 8,
+        requests: 80,
+        sql_pool: vec![String::from_utf8(PAPER_QUERY.to_vec()).unwrap()],
+    });
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.ok, 80);
+    assert!(report.p99_ms >= report.p50_ms);
+    // At most a few cold misses (concurrent first arrivals may race), then
+    // everything hits.
+    let (_, body) = http_request(&addr, "GET", "/metrics", "text/plain", b"").unwrap();
+    let m = Json::parse(&body).unwrap();
+    let hits = m
+        .get("prepared_cache")
+        .unwrap()
+        .get("hits")
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert!(
+        hits >= 72,
+        "expected most requests to hit the cache, got {hits}"
+    );
+    stop();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let (addr, _stop) = start_server(2);
+    let server_thread_addr = addr.clone();
+    let (status, _) =
+        http_request(&server_thread_addr, "POST", "/shutdown", "text/plain", b"").unwrap();
+    assert_eq!(status, 200);
+    // The listener stops accepting shortly after; poll until connects fail
+    // or the responses stop coming.
+    let gone = (0..50).any(|_| {
+        thread::sleep(std::time::Duration::from_millis(20));
+        http_request(&addr, "GET", "/healthz", "text/plain", b"").is_err()
+    });
+    assert!(gone, "server kept serving after shutdown");
+}

@@ -62,7 +62,10 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler with explicit prefix scale `p` (must satisfy
 /// `p * max_prefix <= 1` to stay within `[0, 1]`) and prefix cap.
 pub fn jaro_winkler_with(a: &str, b: &str, p: f64, max_prefix: usize) -> f64 {
-    assert!(p * max_prefix as f64 <= 1.0, "prefix boost would exceed 1.0");
+    assert!(
+        p * max_prefix as f64 <= 1.0,
+        "prefix boost would exceed 1.0"
+    );
     let j = jaro(a, b);
     let prefix = a
         .chars()

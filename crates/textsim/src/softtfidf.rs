@@ -53,13 +53,7 @@ impl<'c> SoftTfIdf<'c> {
         self.directed_vec(&vs, &vt, s, t)
     }
 
-    fn directed_vec(
-        &self,
-        vs: &TfIdfVector,
-        vt: &TfIdfVector,
-        s: &[String],
-        t: &[String],
-    ) -> f64 {
+    fn directed_vec(&self, vs: &TfIdfVector, vt: &TfIdfVector, s: &[String], t: &[String]) -> f64 {
         if s.is_empty() || t.is_empty() {
             return 0.0;
         }

@@ -148,11 +148,7 @@ impl TfIdfVector {
         } else {
             (other, self)
         };
-        let dot: f64 = small
-            .weights
-            .iter()
-            .map(|(t, w)| w * large.weight(t))
-            .sum();
+        let dot: f64 = small.weights.iter().map(|(t, w)| w * large.weight(t)).sum();
         dot.clamp(0.0, 1.0)
     }
 }

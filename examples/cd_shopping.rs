@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut hummer = Hummer::with_config(HummerConfig {
         matcher: MatcherConfig {
-            sniff: SniffConfig { top_k: 10, min_similarity: 0.3, ..Default::default() },
+            sniff: SniffConfig {
+                top_k: 10,
+                min_similarity: 0.3,
+                ..Default::default()
+            },
             ..Default::default()
         },
         ..Default::default()

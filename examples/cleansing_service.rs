@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The service side: register, cleanse, return clean CSV.
     let mut hummer = Hummer::new();
-    hummer.repository_mut().register_csv_str("upload", &uploaded_csv)?;
+    hummer
+        .repository_mut()
+        .register_csv_str("upload", &uploaded_csv)?;
 
     let out = hummer.fuse_sources(
         &["upload"],

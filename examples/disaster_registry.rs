@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["FieldTeam", "HospitalList", "MissingReports"],
         &[
             // Status should reflect the latest sighting.
-            ("Status".to_string(), ResolutionSpec::with_args("mostrecent", vec!["LastSeen".into()])),
+            (
+                "Status".to_string(),
+                ResolutionSpec::with_args("mostrecent", vec!["LastSeen".into()]),
+            ),
             // Villages are error-prone; majority wins.
             ("Village".to_string(), ResolutionSpec::named("vote")),
             // Keep the latest date itself.

@@ -31,7 +31,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ["Dubliners", "James Joyce", 1914, 9.99],
         },
     )?;
-    println!("Step 1 — sources: {:?}\n", hummer.repository().list().iter().map(|s| s.alias.clone()).collect::<Vec<_>>());
+    println!(
+        "Step 1 — sources: {:?}\n",
+        hummer
+            .repository()
+            .list()
+            .iter()
+            .map(|s| s.alias.clone())
+            .collect::<Vec<_>>()
+    );
 
     let mut wizard = Wizard::start(
         hummer.repository(),
@@ -73,10 +81,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Step 4 — detected duplicates:");
     let det = wizard.detection().unwrap();
     for p in &det.pairs {
-        println!("  sure: rows {} & {} (sim {:.3})", p.left, p.right, p.similarity);
+        println!(
+            "  sure: rows {} & {} (sim {:.3})",
+            p.left, p.right, p.similarity
+        );
     }
     for p in &det.unsure {
-        println!("  unsure: rows {} & {} (sim {:.3})", p.left, p.right, p.similarity);
+        println!(
+            "  unsure: rows {} & {} (sim {:.3})",
+            p.left, p.right, p.similarity
+        );
     }
     // The user confirms all unsure pairs that share a title.
     let unsure: Vec<_> = wizard.detection().unwrap().unsure.clone();
@@ -102,7 +116,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", outcome.result.pretty());
     println!("Conflicts resolved: {}", outcome.conflict_count);
     for c in &outcome.sample_conflicts {
-        println!("  {} in cluster {}: {:?} -> {}", c.column, c.cluster, c.values, c.resolved);
+        println!(
+            "  {} in cluster {}: {:?} -> {}",
+            c.column, c.cluster, c.values, c.resolved
+        );
     }
     Ok(())
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Smoke-test a release build of hummer-serve: start it on an ephemeral-ish
+# port, upload the paper's two student tables, run the paper's FUSE query,
+# assert HTTP 200 and the fused row count, then shut down gracefully.
+set -euo pipefail
+
+BIN=${BIN:-./target/release/hummer-serve}
+PORT=${PORT:-$((20000 + RANDOM % 20000))}
+ADDR="127.0.0.1:${PORT}"
+
+"$BIN" --addr "$ADDR" --threads 2 --narrow-schemas &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# Wait for the listener.
+for _ in $(seq 1 50); do
+    if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+curl -sf "http://${ADDR}/healthz" >/dev/null
+
+# Upload the paper's example tables (must both answer 200).
+code=$(curl -s -o /tmp/put1.json -w '%{http_code}' -X PUT "http://${ADDR}/tables/EE_Student" \
+    --data-binary $'Name,Age,City\nJohn Smith,24,Berlin\nMary Jones,22,Hamburg\nPeter Miller,27,Munich\n')
+[ "$code" = 200 ] || { echo "PUT EE_Student -> $code"; cat /tmp/put1.json; exit 1; }
+code=$(curl -s -o /tmp/put2.json -w '%{http_code}' -X PUT "http://${ADDR}/tables/CS_Students" \
+    --data-binary $'FullName,Years,Town\nJohn Smith,25,Berlin\nMary Jones,22,Hamburg\nAda Lovelace,28,London\n')
+[ "$code" = 200 ] || { echo "PUT CS_Students -> $code"; cat /tmp/put2.json; exit 1; }
+
+# The paper's query: 6 heterogeneous rows fuse into 4 students.
+code=$(curl -s -o /tmp/query.json -w '%{http_code}' -X POST "http://${ADDR}/query" \
+    -d 'SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)')
+[ "$code" = 200 ] || { echo "POST /query -> $code"; cat /tmp/query.json; exit 1; }
+grep -q '"row_count":4' /tmp/query.json || { echo "unexpected fusion result:"; cat /tmp/query.json; exit 1; }
+
+# Unknown tables must 404.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://${ADDR}/query" -d 'SELECT * FROM Ghosts')
+[ "$code" = 404 ] || { echo "expected 404 for unknown table, got $code"; exit 1; }
+
+# Graceful shutdown: the endpoint answers, then the process exits 0.
+curl -sf -X POST "http://${ADDR}/shutdown" >/dev/null
+wait "$SERVER_PID"
+trap - EXIT
+echo "server smoke test OK (addr ${ADDR})"

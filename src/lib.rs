@@ -19,6 +19,7 @@
 //! | [`query`] | the Fuse By SQL dialect (Fig. 1): parser + executor |
 //! | [`datagen`] | synthetic dirty worlds with gold standards + metrics |
 //! | [`core`](mod@core) | repository + automatic pipeline + six-step wizard |
+//! | [`server`] | HumMer as a service: multi-threaded HTTP fusion queries + prepared-pipeline cache |
 //!
 //! ## Quickstart
 //!
@@ -54,4 +55,5 @@ pub use hummer_engine as engine;
 pub use hummer_fusion as fusion;
 pub use hummer_matching as matching;
 pub use hummer_query as query;
+pub use hummer_server as server;
 pub use hummer_textsim as textsim;

@@ -2,14 +2,20 @@
 //! scenario worlds, with quality floors asserted against gold standards.
 
 use hummer::core::{Hummer, HummerConfig, MatcherConfig, ResolutionSpec, SniffConfig};
-use hummer::datagen::scenarios::{cd_shopping, cleansing_service, disaster_registry, student_rosters};
+use hummer::datagen::scenarios::{
+    cd_shopping, cleansing_service, disaster_registry, student_rosters,
+};
 use hummer::datagen::{cluster_pair_metrics, correspondence_metrics, GeneratedWorld};
 use hummer::engine::Value;
 
 fn hummer_for(world: &GeneratedWorld) -> Hummer {
     let mut h = Hummer::with_config(HummerConfig {
         matcher: MatcherConfig {
-            sniff: SniffConfig { top_k: 10, min_similarity: 0.3, ..Default::default() },
+            sniff: SniffConfig {
+                top_k: 10,
+                min_similarity: 0.3,
+                ..Default::default()
+            },
             ..Default::default()
         },
         ..Default::default()
@@ -28,7 +34,10 @@ fn cd_shopping_pipeline_quality() {
     let h = hummer_for(&world);
     let aliases: Vec<&str> = world.sources.iter().map(|s| s.table.name()).collect();
     let out = h
-        .fuse_sources(&aliases, &[("Price".to_string(), ResolutionSpec::named("min"))])
+        .fuse_sources(
+            &aliases,
+            &[("Price".to_string(), ResolutionSpec::named("min"))],
+        )
         .unwrap();
 
     // Fusion must reduce cardinality to (roughly) the number of entities
@@ -50,7 +59,12 @@ fn cd_shopping_pipeline_quality() {
             .map(|(l, c)| (l.clone(), c.clone()))
             .collect();
         let pr = correspondence_metrics(&predicted, &gold);
-        assert!(pr.recall >= 0.99, "matching recall vs {}: {:?}", m.right_table, pr);
+        assert!(
+            pr.recall >= 0.99,
+            "matching recall vs {}: {:?}",
+            m.right_table,
+            pr
+        );
     }
 
     // Duplicate detection on this noise level: high precision, usable recall.
@@ -116,7 +130,9 @@ fn fused_result_has_no_remaining_near_duplicates() {
     let h = hummer_for(&world);
     let out = h.fuse_sources(&["CustomerDump"], &[]).unwrap();
     let mut h2 = Hummer::new();
-    h2.repository_mut().register_table("Fused", out.result.clone()).unwrap();
+    h2.repository_mut()
+        .register_table("Fused", out.result.clone())
+        .unwrap();
     let second_pass = h2.fuse_sources(&["Fused"], &[]).unwrap();
     let shrink = out.result.len() - second_pass.result.len();
     assert!(
@@ -132,14 +148,24 @@ fn fusion_improves_completeness() {
     // entity) as the best single source row — COALESCE fills gaps.
     let world = disaster_registry(40, 5);
     let h = hummer_for(&world);
-    let out = h.fuse_sources(
-        &world.sources.iter().map(|s| s.table.name()).collect::<Vec<_>>(),
-        &[],
-    )
-    .unwrap();
+    let out = h
+        .fuse_sources(
+            &world
+                .sources
+                .iter()
+                .map(|s| s.table.name())
+                .collect::<Vec<_>>(),
+            &[],
+        )
+        .unwrap();
     let fused_nn: usize = out.result.rows().iter().map(|r| r.non_null_count()).sum();
     let fused_cells: usize = out.result.len() * out.result.schema().len();
-    let integ_nn: usize = out.integrated.rows().iter().map(|r| r.non_null_count()).sum();
+    let integ_nn: usize = out
+        .integrated
+        .rows()
+        .iter()
+        .map(|r| r.non_null_count())
+        .sum();
     // integrated has 2 extra bookkeeping cols, all non-null; exclude them.
     let integ_nn = integ_nn - out.integrated.len(); // sourceID always set
     let integ_cells: usize = out.integrated.len() * (out.integrated.schema().len() - 1);
@@ -155,11 +181,16 @@ fn fusion_improves_completeness() {
 fn lineage_covers_every_non_null_cell() {
     let world = student_rosters(25, 11);
     let h = hummer_for(&world);
-    let out = h.fuse_sources(
-        &world.sources.iter().map(|s| s.table.name()).collect::<Vec<_>>(),
-        &[],
-    )
-    .unwrap();
+    let out = h
+        .fuse_sources(
+            &world
+                .sources
+                .iter()
+                .map(|s| s.table.name())
+                .collect::<Vec<_>>(),
+            &[],
+        )
+        .unwrap();
     for row in 0..out.result.len() {
         for col in 0..out.result.schema().len() {
             let v = out.result.cell(row, col);

@@ -24,7 +24,10 @@ fn engine_module_and_table_macro() {
 fn textsim_module() {
     assert_eq!(hummer::textsim::levenshtein("kitten", "sitting"), 3);
     assert!(hummer::textsim::jaro_winkler("martha", "marhta") > 0.9);
-    assert_eq!(hummer::textsim::word_tokens("Abbey Road!"), vec!["abbey", "road"]);
+    assert_eq!(
+        hummer::textsim::word_tokens("Abbey Road!"),
+        vec!["abbey", "road"]
+    );
 }
 
 #[test]
@@ -76,10 +79,8 @@ fn fusion_module() {
 
 #[test]
 fn query_module() {
-    let q = hummer::query::parse(
-        "SELECT Name, RESOLVE(Age, max) FUSE FROM A, B FUSE BY (Name)",
-    )
-    .unwrap();
+    let q = hummer::query::parse("SELECT Name, RESOLVE(Age, max) FUSE FROM A, B FUSE BY (Name)")
+        .unwrap();
     assert_eq!(q.fuse_by, Some(vec!["Name".to_string()]));
 }
 

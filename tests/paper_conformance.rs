@@ -93,8 +93,14 @@ fn wildcard_expands_to_all_source_attributes() {
 /// Coalesce is used as a default function."
 #[test]
 fn default_function_is_coalesce() {
-    let out = run("SELECT Name, RESOLVE(Semester) FUSE FROM EE_Student, CS_Students FUSE BY (Name)");
-    let alice = out.table.rows().iter().find(|r| r[0] == Value::text("Alice")).unwrap();
+    let out =
+        run("SELECT Name, RESOLVE(Semester) FUSE FROM EE_Student, CS_Students FUSE BY (Name)");
+    let alice = out
+        .table
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::text("Alice"))
+        .unwrap();
     // EE has no Semester column → NULL; CS supplies 5; Coalesce takes it.
     assert_eq!(alice[1], Value::Int(5));
 }
@@ -114,7 +120,8 @@ fn fuse_from_is_outer_union() {
 /// objects."
 #[test]
 fn fuse_by_defines_object_identity() {
-    let out = run("SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)");
+    let out =
+        run("SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)");
     assert_eq!(out.table.len(), 4); // Alice, Bob, Carol, Dora
     let mut names: Vec<String> = out.table.rows().iter().map(|r| r[0].to_string()).collect();
     names.sort();
@@ -128,10 +135,14 @@ fn fuse_by_defines_object_identity() {
 /// taking the higher age."
 #[test]
 fn paper_example_semantics() {
-    let out = run(
-        "SELECT Name, RESOLVE(Age, max)\nFUSE FROM EE_Student, CS_Students\nFUSE BY (Name)",
-    );
-    let alice = out.table.rows().iter().find(|r| r[0] == Value::text("Alice")).unwrap();
+    let out =
+        run("SELECT Name, RESOLVE(Age, max)\nFUSE FROM EE_Student, CS_Students\nFUSE BY (Name)");
+    let alice = out
+        .table
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::text("Alice"))
+        .unwrap();
     assert_eq!(alice[1], Value::Int(23)); // max(22, 23)
 }
 
@@ -156,7 +167,12 @@ fn choose_and_mostrecent_use_context() {
         &FunctionRegistry::standard(),
     )
     .unwrap();
-    let cd1 = by_store.table.rows().iter().find(|r| r[0] == Value::text("CD1")).unwrap();
+    let cd1 = by_store
+        .table
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::text("CD1"))
+        .unwrap();
     assert_eq!(cd1[1], Value::Float(9.0)); // store B's price
 
     let recent = run_query(
@@ -165,7 +181,12 @@ fn choose_and_mostrecent_use_context() {
         &FunctionRegistry::standard(),
     )
     .unwrap();
-    let cd1 = recent.table.rows().iter().find(|r| r[0] == Value::text("CD1")).unwrap();
+    let cd1 = recent
+        .table
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::text("CD1"))
+        .unwrap();
     assert_eq!(cd1[1], Value::Float(9.0)); // the February offer
 }
 
@@ -188,7 +209,11 @@ fn diagnostics() {
         Err(QueryError::Parse { position, .. }) => assert!(position >= 7),
         other => panic!("{other:?}"),
     }
-    match run_query("SELECT * FROM Missing", &catalog(), &FunctionRegistry::standard()) {
+    match run_query(
+        "SELECT * FROM Missing",
+        &catalog(),
+        &FunctionRegistry::standard(),
+    ) {
         Err(QueryError::UnknownTable(name)) => assert_eq!(name, "Missing"),
         other => panic!("{other:?}"),
     }
@@ -207,7 +232,12 @@ fn diagnostics() {
 #[test]
 fn group_function_returns_value_set() {
     let out = run("SELECT Item, RESOLVE(Store, group) FUSE FROM Shops FUSE BY (Item)");
-    let cd1 = out.table.rows().iter().find(|r| r[0] == Value::text("CD1")).unwrap();
+    let cd1 = out
+        .table
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::text("CD1"))
+        .unwrap();
     assert_eq!(cd1[1], Value::text("{A, B}"));
 }
 
@@ -215,7 +245,12 @@ fn group_function_returns_value_set() {
 #[test]
 fn annotated_concat_includes_sources() {
     let out = run("SELECT Item, RESOLVE(Price, annotatedconcat) FUSE FROM Shops FUSE BY (Item)");
-    let cd1 = out.table.rows().iter().find(|r| r[0] == Value::text("CD1")).unwrap();
+    let cd1 = out
+        .table
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::text("CD1"))
+        .unwrap();
     let s = cd1[1].to_string();
     assert!(s.contains("[Shops]"), "{s}"); // sourceID was synthesized from the table
 }

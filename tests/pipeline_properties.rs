@@ -16,19 +16,15 @@ fn arb_table() -> impl Strategy<Value = Table> {
         2 => (0i64..50).prop_map(Value::Int),
         1 => Just(Value::Null),
     ];
-    (2usize..5)
-        .prop_flat_map(move |width| {
-            let cols: Vec<String> = (0..width).map(|i| format!("c{i}")).collect();
-            prop::collection::vec(prop::collection::vec(cell.clone(), width), 0..25)
-                .prop_map(move |rows| {
-                    Table::from_rows(
-                        "T",
-                        &cols,
-                        rows.into_iter().map(Row::from_values).collect(),
-                    )
+    (2usize..5).prop_flat_map(move |width| {
+        let cols: Vec<String> = (0..width).map(|i| format!("c{i}")).collect();
+        prop::collection::vec(prop::collection::vec(cell.clone(), width), 0..25).prop_map(
+            move |rows| {
+                Table::from_rows("T", &cols, rows.into_iter().map(Row::from_values).collect())
                     .expect("arity matches by construction")
-                })
-        })
+            },
+        )
+    })
 }
 
 proptest! {
