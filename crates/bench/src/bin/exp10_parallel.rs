@@ -1,0 +1,205 @@
+//! E10 — intra-query parallelism: 1/2/4/8-thread speedup curves for the
+//! end-to-end pipeline (match → transform → detect → fuse) on the datagen
+//! scenario worlds, plus a byte-identity check between the sequential and
+//! every parallel run.
+//!
+//! Two properties are measured:
+//!
+//! 1. **Determinism** (hard requirement, any hardware): for every world and
+//!    degree, the parallel pipeline's output — fused table, cluster ids,
+//!    conflict samples, match correspondences — must be bit-identical to
+//!    the sequential run. A mismatch aborts the experiment.
+//! 2. **Speedup** (hardware permitting): on the large world the 4-thread
+//!    run must be ≥ 2× faster than 1-thread. This gate only applies when
+//!    the host actually has ≥ 4 cores ([`std::thread::available_parallelism`]);
+//!    on smaller hosts the curve is still recorded (expect ≈ 1×) and the
+//!    gate is reported as skipped in `BENCH_parallel.json`.
+
+use hummer_bench::{f3, render_table};
+use hummer_core::{
+    fuse_prepared_par, prepare_tables, HummerConfig, MatcherConfig, Parallelism, PipelineOutcome,
+    SniffConfig,
+};
+use hummer_datagen::scenarios::{
+    cd_shopping, cleansing_service, disaster_registry, student_rosters,
+};
+use hummer_datagen::GeneratedWorld;
+use hummer_fusion::FunctionRegistry;
+use hummer_server::Json;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const DEGREES: [usize; 4] = [1, 2, 4, 8];
+const SEED: u64 = 2005;
+/// Entities per curve world (the four demo scenarios).
+const CURVE_ENTITIES: usize = 150;
+/// Entities in the large world the speedup gate runs on. At this size the
+/// parallelizable work (pair scoring, matrices, cluster resolution) is
+/// ~85 % of end-to-end wall clock, so 4 threads have an Amdahl ceiling of
+/// ~2.7× — comfortably above the 2× bar on a ≥ 4-core host.
+const LARGE_ENTITIES: usize = 600;
+/// Required end-to-end speedup at 4 threads on the large world.
+const SPEEDUP_BAR: f64 = 2.0;
+
+fn config(par: Parallelism) -> HummerConfig {
+    HummerConfig {
+        matcher: MatcherConfig {
+            sniff: SniffConfig {
+                top_k: 10,
+                min_similarity: 0.3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        parallelism: par,
+        ..Default::default()
+    }
+}
+
+/// Run the full pipeline over a world at the given degree; returns the
+/// outcome, the union row count, and the wall-clock milliseconds.
+fn run_world(world: &GeneratedWorld, par: Parallelism) -> (PipelineOutcome, usize, f64) {
+    let tables: Vec<&hummer_core::engine::Table> = world.sources.iter().map(|s| &s.table).collect();
+    let cfg = config(par);
+    let registry = FunctionRegistry::standard();
+    let t0 = Instant::now();
+    let prepared = prepare_tables(&tables, &cfg).expect("prepare");
+    let out = fuse_prepared_par(&prepared, &[], &registry, par).expect("fuse");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let rows = prepared.integrated.len();
+    (out, rows, ms)
+}
+
+/// A bit-exact rendering of everything the pipeline produced. Two runs are
+/// "the same" iff their fingerprints are string-equal: `{:?}` on `f64`
+/// prints the shortest roundtrip representation, so different bits render
+/// differently.
+fn fingerprint(out: &PipelineOutcome) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{}|{:?}|{:?}",
+        out.result.rows(),
+        out.result.schema().names(),
+        out.detection.cluster_ids,
+        out.conflict_count,
+        out.sample_conflicts,
+        out.match_results
+            .iter()
+            .map(|m| &m.correspondences)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn main() -> ExitCode {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("E10 — intra-query parallelism ({host_cores} cores available)\n");
+
+    let worlds: Vec<(&str, GeneratedWorld)> = vec![
+        ("cd_shopping", cd_shopping(CURVE_ENTITIES, SEED)),
+        ("disaster_registry", disaster_registry(CURVE_ENTITIES, SEED)),
+        ("student_rosters", student_rosters(CURVE_ENTITIES, SEED)),
+        ("cleansing_service", cleansing_service(CURVE_ENTITIES, SEED)),
+        ("cd_shopping_large", cd_shopping(LARGE_ENTITIES, SEED)),
+    ];
+
+    let mut table_rows = Vec::new();
+    let mut world_reports = Vec::new();
+    let mut large_speedup_at_4 = 0.0_f64;
+    for (name, world) in &worlds {
+        let mut base_fp = String::new();
+        let mut base_ms = 0.0;
+        let mut union_rows = 0;
+        let mut degree_reports = Vec::new();
+        let mut row = vec![name.to_string()];
+        for &d in &DEGREES {
+            let (out, rows, ms) = run_world(world, Parallelism::degree(d));
+            let fp = fingerprint(&out);
+            if d == 1 {
+                base_fp = fp.clone();
+                base_ms = ms;
+                union_rows = rows;
+            } else if fp != base_fp {
+                eprintln!("FAIL: {name} at {d} threads diverged from the sequential run");
+                return ExitCode::FAILURE;
+            }
+            let speedup = base_ms / ms.max(1e-9);
+            if *name == "cd_shopping_large" && d == 4 {
+                large_speedup_at_4 = speedup;
+            }
+            row.push(format!("{ms:.0} ({speedup:.2}x)"));
+            degree_reports.push(
+                Json::object()
+                    .with("threads", d)
+                    .with("total_ms", ms)
+                    .with("speedup", speedup),
+            );
+        }
+        row.insert(1, union_rows.to_string());
+        table_rows.push(row);
+        world_reports.push(
+            Json::object()
+                .with("scenario", *name)
+                .with("union_rows", union_rows)
+                .with("identical_to_sequential", true)
+                .with("degrees", Json::Arr(degree_reports)),
+        );
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "world",
+                "rows",
+                "1 thr ms",
+                "2 thr ms (x)",
+                "4 thr ms (x)",
+                "8 thr ms (x)"
+            ],
+            &table_rows
+        )
+    );
+    println!("parallel output identical to sequential on every world and degree\n");
+
+    let gate_applies = host_cores >= 4;
+    let gate_passed = large_speedup_at_4 >= SPEEDUP_BAR;
+    let report = Json::object()
+        .with("experiment", "exp10_parallel")
+        .with("host_parallelism", host_cores)
+        .with("identical_to_sequential", true)
+        .with("worlds", Json::Arr(world_reports))
+        .with(
+            "speedup_gate",
+            Json::object()
+                .with("world", "cd_shopping_large")
+                .with("threads", 4usize)
+                .with("required_speedup", SPEEDUP_BAR)
+                .with("measured_speedup", large_speedup_at_4)
+                .with("applies", gate_applies)
+                .with("passed", gate_applies && gate_passed),
+        );
+    let path = "BENCH_parallel.json";
+    std::fs::write(path, report.to_string_pretty()).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+
+    if gate_applies {
+        if !gate_passed {
+            eprintln!(
+                "FAIL: large-world speedup at 4 threads is {}x, below the {SPEEDUP_BAR}x bar",
+                f3(large_speedup_at_4)
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "PASS: large-world speedup at 4 threads = {}x (>= {SPEEDUP_BAR}x)",
+            f3(large_speedup_at_4)
+        );
+    } else {
+        println!(
+            "NOTE: host has {host_cores} core(s); the >= {SPEEDUP_BAR}x speedup gate needs >= 4 \
+             cores and was skipped (identity checks still enforced)"
+        );
+    }
+    ExitCode::SUCCESS
+}

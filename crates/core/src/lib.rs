@@ -13,6 +13,12 @@
 //! * [`wizard`] — the six-step interactive flow of the demo (Fig. 2) as a
 //!   phase-checked API.
 //!
+//! The pipeline's hot stages (matching, detection, fusion) can run on
+//! several threads: set [`HummerConfig::parallelism`] (see
+//! [`Parallelism`]). Results are bit-identical at every degree — the knob
+//! only changes latency. See `ARCHITECTURE.md` for the dataflow and the
+//! parallel execution layer.
+//!
 //! ## Example
 //!
 //! ```
@@ -53,8 +59,8 @@ pub mod wizard;
 
 pub use error::{HummerError, Result};
 pub use pipeline::{
-    fuse_prepared, prepare_tables, Hummer, HummerConfig, PipelineOutcome, PreparedSources,
-    StageTimings,
+    fuse_prepared, fuse_prepared_par, prepare_tables, Hummer, HummerConfig, PipelineOutcome,
+    PreparedSources, StageTimings,
 };
 pub use repository::{MetadataRepository, SourceInfo};
 pub use wizard::{Wizard, WizardPhase};
@@ -69,6 +75,7 @@ pub use hummer_textsim as textsim;
 
 // The most-used types, at the top level.
 pub use hummer_dupdetect::{DetectionResult, DetectorConfig};
+pub use hummer_fusion::Parallelism;
 pub use hummer_fusion::{FunctionRegistry, ResolutionSpec};
 pub use hummer_matching::{MatcherConfig, SniffConfig};
 pub use hummer_query::QueryOutput;

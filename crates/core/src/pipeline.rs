@@ -16,11 +16,15 @@
 use crate::error::Result;
 use crate::repository::MetadataRepository;
 use hummer_dupdetect::{
-    annotate_object_ids, detect_duplicates, DetectionResult, DetectorConfig, OBJECT_ID_COLUMN,
+    annotate_object_ids, detect_duplicates_par, DetectionResult, DetectorConfig, OBJECT_ID_COLUMN,
 };
 use hummer_engine::Table;
-use hummer_fusion::{fuse, FunctionRegistry, FusionSpec, Lineage, ResolutionSpec, SampleConflict};
-use hummer_matching::{apply_renames, integrate, match_star, MatchResult, MatcherConfig};
+use hummer_fusion::{
+    fuse, FunctionRegistry, FusionSpec, Lineage, Parallelism, ResolutionSpec, SampleConflict,
+};
+use hummer_matching::{
+    apply_renames, integrate, match_star, match_star_par, MatchResult, MatcherConfig,
+};
 use hummer_query::{parse, QueryOutput, TableSet};
 use std::time::{Duration, Instant};
 
@@ -69,12 +73,36 @@ pub struct PreparedSources {
 
 /// Run the preparation stages (match → transform → detect → annotate) over
 /// explicit tables, without needing a [`Hummer`] or its repository.
+///
+/// `config.parallelism` sets how many threads the matching and detection
+/// stages may use; the output is bit-identical for every degree.
+///
+/// # Example
+///
+/// ```
+/// use hummer_core::{prepare_tables, HummerConfig};
+/// use hummer_engine::table;
+///
+/// let dump = table! {
+///     "Dump" => ["Name", "City"];
+///     ["John Smith", "Berlin"],
+///     ["Jon Smith",  "Berlin"],   // typo duplicate
+///     ["Mary Jones", "Hamburg"],
+/// };
+/// let mut config = HummerConfig::default();
+/// config.detector.threshold = 0.6;
+/// config.detector.unsure_threshold = 0.5;
+///
+/// let prepared = prepare_tables(&[&dump], &config).unwrap();
+/// assert!(prepared.annotated.schema().contains("objectID"));
+/// assert_eq!(prepared.detection.object_count(), 2); // the Smiths cluster
+/// ```
 pub fn prepare_tables(tables: &[&Table], config: &HummerConfig) -> Result<PreparedSources> {
     let mut timings = StageTimings::default();
 
     // 1. Schema matching.
     let t0 = Instant::now();
-    let match_results = match_star(tables, &config.matcher);
+    let match_results = match_star_par(tables, &config.matcher, config.parallelism);
     timings.matching = t0.elapsed();
 
     // 2. Transformation: rename → sourceID → full outer union.
@@ -84,7 +112,7 @@ pub fn prepare_tables(tables: &[&Table], config: &HummerConfig) -> Result<Prepar
 
     // 3. Duplicate detection → objectID.
     let t0 = Instant::now();
-    let detection = detect_duplicates(&integrated, &config.detector)?;
+    let detection = detect_duplicates_par(&integrated, &config.detector, config.parallelism)?;
     let annotated = annotate_object_ids(&integrated, &detection)?;
     timings.detection = t0.elapsed();
 
@@ -108,11 +136,24 @@ pub fn fuse_prepared(
     resolutions: &[(String, ResolutionSpec)],
     registry: &FunctionRegistry,
 ) -> Result<PipelineOutcome> {
+    fuse_prepared_par(prepared, resolutions, registry, Parallelism::sequential())
+}
+
+/// [`fuse_prepared`] with up to `par.get()` threads resolving disjoint
+/// duplicate clusters concurrently (bit-identical output for every
+/// degree).
+pub fn fuse_prepared_par(
+    prepared: &PreparedSources,
+    resolutions: &[(String, ResolutionSpec)],
+    registry: &FunctionRegistry,
+    par: Parallelism,
+) -> Result<PipelineOutcome> {
     let mut timings = prepared.timings;
     let t0 = Instant::now();
     let mut spec = FusionSpec::by_key(vec![OBJECT_ID_COLUMN])
         .drop_column(OBJECT_ID_COLUMN)
-        .drop_column(hummer_matching::SOURCE_ID_COLUMN);
+        .drop_column(hummer_matching::SOURCE_ID_COLUMN)
+        .with_parallelism(par);
     for (col, rspec) in resolutions {
         spec = spec.resolve(col.clone(), rspec.clone());
     }
@@ -160,6 +201,13 @@ pub struct HummerConfig {
     pub matcher: MatcherConfig,
     /// Duplicate-detection parameters.
     pub detector: DetectorConfig,
+    /// Intra-query thread budget for the parallelizable stages (matching,
+    /// detection, fusion). Defaults to sequential; results are
+    /// bit-identical for every degree, so this is purely a latency knob.
+    /// A serving layer running N workers should set this to
+    /// `Parallelism::auto_shared(N)` so the two layers compose without
+    /// oversubscribing the machine.
+    pub parallelism: Parallelism,
 }
 
 /// The HumMer system: a metadata repository plus configured components.
@@ -215,14 +263,48 @@ impl Hummer {
     ///
     /// `resolutions` assigns per-column conflict-resolution functions
     /// (columns named in the *preferred* — first — source's schema);
-    /// everything else defaults to `COALESCE`.
+    /// everything else defaults to `COALESCE`. All parallelizable stages
+    /// honor `config().parallelism`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hummer_core::{Hummer, ResolutionSpec};
+    /// use hummer_engine::table;
+    ///
+    /// let mut hummer = Hummer::new();
+    /// // Narrow 2-column sources carry little evidence; lower the bar.
+    /// hummer.config_mut().detector.threshold = 0.6;
+    /// hummer.config_mut().detector.unsure_threshold = 0.5;
+    /// hummer.repository_mut().register_table("EE", table! {
+    ///     "EE" => ["Name", "Age"];
+    ///     ["John Smith", 24],
+    ///     ["Mary Jones", 22],
+    /// }).unwrap();
+    /// hummer.repository_mut().register_table("CS", table! {
+    ///     "CS" => ["FullName", "Years"];   // heterogeneous labels
+    ///     ["John Smith", 25],
+    /// }).unwrap();
+    ///
+    /// let out = hummer.fuse_sources(
+    ///     &["EE", "CS"],
+    ///     &[("Age".to_string(), ResolutionSpec::named("max"))],
+    /// ).unwrap();
+    /// assert_eq!(out.result.len(), 2);     // John fused across sources
+    /// assert!(out.result.schema().contains("Name")); // preferred schema
+    /// ```
     pub fn fuse_sources(
         &self,
         aliases: &[&str],
         resolutions: &[(String, ResolutionSpec)],
     ) -> Result<PipelineOutcome> {
         let prepared = self.prepare(aliases)?;
-        fuse_prepared(&prepared, resolutions, &self.registry)
+        fuse_prepared_par(
+            &prepared,
+            resolutions,
+            &self.registry,
+            self.config.parallelism,
+        )
     }
 
     /// Run only the preparation stages (match → transform → detect) over the
@@ -289,6 +371,7 @@ mod tests {
                 unsure_threshold: 0.55,
                 ..Default::default()
             },
+            ..Default::default()
         });
         h.repository_mut()
             .register_table(

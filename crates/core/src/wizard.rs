@@ -18,11 +18,11 @@ use crate::error::{HummerError, Result};
 use crate::pipeline::{HummerConfig, PipelineOutcome, StageTimings};
 use crate::repository::MetadataRepository;
 use hummer_dupdetect::{
-    annotate_object_ids, detect_duplicates, DetectionResult, DetectorConfig, OBJECT_ID_COLUMN,
+    annotate_object_ids, detect_duplicates_par, DetectionResult, DetectorConfig, OBJECT_ID_COLUMN,
 };
 use hummer_engine::Table;
 use hummer_fusion::{fuse, FunctionRegistry, FusionSpec, ResolutionSpec};
-use hummer_matching::{integrate, match_star, MatchResult};
+use hummer_matching::{integrate, match_star_par, MatchResult};
 use std::time::Instant;
 
 /// Where in the six-step flow the wizard currently is.
@@ -86,7 +86,7 @@ impl Wizard {
             .collect::<Result<_>>()?;
         let t0 = Instant::now();
         let refs: Vec<&Table> = tables.iter().collect();
-        let match_results = match_star(&refs, &config.matcher);
+        let match_results = match_star_par(&refs, &config.matcher, config.parallelism);
         let timings = StageTimings {
             matching: t0.elapsed(),
             ..Default::default()
@@ -169,7 +169,8 @@ impl Wizard {
         self.expect_phase(WizardPhase::AdjustDuplicateDefinition, "run detection")?;
         let integrated = self.integrated.as_ref().expect("set at confirm_matching");
         let t0 = Instant::now();
-        let detection = detect_duplicates(integrated, &self.config.detector)?;
+        let detection =
+            detect_duplicates_par(integrated, &self.config.detector, self.config.parallelism)?;
         self.timings.detection = t0.elapsed();
         self.detection = Some(detection);
         self.phase = WizardPhase::ConfirmDuplicates;
@@ -222,7 +223,8 @@ impl Wizard {
         let t0 = Instant::now();
         let mut spec = FusionSpec::by_key(vec![OBJECT_ID_COLUMN])
             .drop_column(OBJECT_ID_COLUMN)
-            .drop_column(hummer_matching::SOURCE_ID_COLUMN);
+            .drop_column(hummer_matching::SOURCE_ID_COLUMN)
+            .with_parallelism(self.config.parallelism);
         for (col, rspec) in &self.resolutions {
             spec = spec.resolve(col.clone(), rspec.clone());
         }
@@ -286,6 +288,7 @@ mod tests {
                 unsure_threshold: 0.55,
                 ..Default::default()
             },
+            ..Default::default()
         }
     }
 

@@ -7,6 +7,7 @@ use crate::measure::TupleSimilarity;
 use crate::unionfind::UnionFind;
 use hummer_engine::error::EngineError;
 use hummer_engine::{Column, ColumnType, Result, Table, Value};
+use hummer_par::{par_chunks, Parallelism};
 
 /// Name of the cluster column the detector appends: "the output of
 /// duplicate detection is the same as the input relation, but enriched by
@@ -153,8 +154,55 @@ impl DetectionResult {
     }
 }
 
-/// Run duplicate detection over a table.
+/// Run duplicate detection over a table (single-threaded; see
+/// [`detect_duplicates_par`] for the multi-threaded variant with identical
+/// output).
+///
+/// # Example
+///
+/// ```
+/// use hummer_dupdetect::{detect_duplicates, DetectorConfig};
+/// use hummer_engine::table;
+///
+/// let people = table! {
+///     "People" => ["Name", "City"];
+///     ["John Smith", "Berlin"],
+///     ["Jon Smith",  "Berlin"],   // typo duplicate
+///     ["Mary Jones", "Hamburg"],
+/// };
+/// let cfg = DetectorConfig { threshold: 0.6, unsure_threshold: 0.5, ..Default::default() };
+/// let result = detect_duplicates(&people, &cfg).unwrap();
+/// assert_eq!(result.object_count(), 2); // the two Smiths cluster
+/// assert_eq!(result.cluster_ids[0], result.cluster_ids[1]);
+/// ```
 pub fn detect_duplicates(table: &Table, cfg: &DetectorConfig) -> Result<DetectionResult> {
+    detect_duplicates_par(table, cfg, Parallelism::sequential())
+}
+
+/// Per-chunk scoring output, merged in chunk (= candidate) order.
+struct ScoredChunk {
+    pairs: Vec<DuplicatePair>,
+    unsure: Vec<DuplicatePair>,
+    filtered_out: usize,
+    compared: usize,
+}
+
+/// Run duplicate detection with up to `par.get()` threads scoring candidate
+/// pairs concurrently.
+///
+/// The candidate list is split into contiguous chunks, each chunk is scored
+/// on its own thread against the shared (read-only) [`TupleSimilarity`]
+/// caches, and the per-chunk accepted/unsure lists are concatenated in
+/// chunk order — exactly the order the sequential loop produces. The
+/// transitive closure (union-find) then runs single-threaded over the
+/// merged pairs. Output is therefore **bit-identical** to
+/// [`detect_duplicates`] for every degree; `tests/parallel_equivalence.rs`
+/// and `exp10_parallel` enforce this.
+pub fn detect_duplicates_par(
+    table: &Table,
+    cfg: &DetectorConfig,
+    par: Parallelism,
+) -> Result<DetectionResult> {
     if cfg.unsure_threshold > cfg.threshold {
         return Err(EngineError::Expression(format!(
             "unsure_threshold {} exceeds threshold {}",
@@ -200,29 +248,48 @@ pub fn detect_duplicates(table: &Table, cfg: &DetectorConfig) -> Result<Detectio
         ..Default::default()
     };
 
+    // Score candidate chunks on up to `par` threads; the similarity caches
+    // are shared read-only. Chunk results merge in candidate order, so the
+    // pair lists match the sequential loop element for element.
+    let chunks = par_chunks(par, &candidates, |_, chunk| {
+        let mut out = ScoredChunk {
+            pairs: Vec::new(),
+            unsure: Vec::new(),
+            filtered_out: 0,
+            compared: 0,
+        };
+        for &(i, j) in chunk {
+            if cfg.use_filter && measure.upper_bound(table, i, j) < cfg.unsure_threshold {
+                out.filtered_out += 1;
+                continue;
+            }
+            out.compared += 1;
+            let s = measure.similarity(table, i, j);
+            if s >= cfg.threshold {
+                out.pairs.push(DuplicatePair {
+                    left: i,
+                    right: j,
+                    similarity: s,
+                });
+            } else if s >= cfg.unsure_threshold {
+                out.unsure.push(DuplicatePair {
+                    left: i,
+                    right: j,
+                    similarity: s,
+                });
+            }
+        }
+        out
+    });
     let mut pairs = Vec::new();
     let mut unsure = Vec::new();
-    for (i, j) in candidates {
-        if cfg.use_filter && measure.upper_bound(table, i, j) < cfg.unsure_threshold {
-            stats.filtered_out += 1;
-            continue;
-        }
-        stats.compared += 1;
-        let s = measure.similarity(table, i, j);
-        if s >= cfg.threshold {
-            pairs.push(DuplicatePair {
-                left: i,
-                right: j,
-                similarity: s,
-            });
-        } else if s >= cfg.unsure_threshold {
-            unsure.push(DuplicatePair {
-                left: i,
-                right: j,
-                similarity: s,
-            });
-        }
+    for chunk in chunks {
+        stats.filtered_out += chunk.filtered_out;
+        stats.compared += chunk.compared;
+        pairs.extend(chunk.pairs);
+        unsure.extend(chunk.unsure);
     }
+    // Stable sort: ties keep candidate order, the same for every degree.
     pairs.sort_by(|a, b| b.similarity.total_cmp(&a.similarity));
     unsure.sort_by(|a, b| b.similarity.total_cmp(&a.similarity));
 
@@ -455,6 +522,46 @@ mod tests {
         .unwrap();
         assert!(r.pairs.is_empty());
         assert_eq!(r.object_count(), 0);
+    }
+
+    /// Regression (ISSUE 3 audit): clustering must not depend on the order
+    /// pairs were scored/inserted — reversing the accepted-pair list and
+    /// re-forming the closure yields the same `objectID`s.
+    #[test]
+    fn recluster_is_pair_order_independent() {
+        let t = people();
+        let mut r = detect_duplicates(&t, &cfg()).unwrap();
+        let original_ids = r.cluster_ids.clone();
+        let original_clusters = r.clusters.clone();
+        r.pairs.reverse();
+        r.recluster();
+        assert_eq!(r.cluster_ids, original_ids);
+        assert_eq!(r.clusters, original_clusters);
+        // Swapping left/right roles does not matter either.
+        for p in &mut r.pairs {
+            std::mem::swap(&mut p.left, &mut p.right);
+        }
+        let swapped: Vec<(usize, usize)> = r.pairs.iter().map(|p| (p.left, p.right)).collect();
+        let mut uf = UnionFind::new(t.len());
+        for (a, b) in swapped {
+            uf.union(a, b);
+        }
+        assert_eq!(uf.cluster_ids(), original_ids);
+    }
+
+    /// The parallel scorer is bit-identical to the sequential one at every
+    /// degree: same pairs (values *and* order), same stats, same clusters.
+    #[test]
+    fn parallel_detection_matches_sequential() {
+        let t = people();
+        let seq = detect_duplicates(&t, &cfg()).unwrap();
+        for degree in 1..=8 {
+            let par = detect_duplicates_par(&t, &cfg(), Parallelism::degree(degree)).unwrap();
+            assert_eq!(par.pairs, seq.pairs, "degree {degree}");
+            assert_eq!(par.unsure, seq.unsure, "degree {degree}");
+            assert_eq!(par.stats, seq.stats, "degree {degree}");
+            assert_eq!(par.cluster_ids, seq.cluster_ids, "degree {degree}");
+        }
     }
 
     #[test]

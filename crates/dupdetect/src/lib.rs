@@ -19,6 +19,11 @@
 //!   transitive closure via [`unionfind`], and the appended `objectID`
 //!   column.
 //!
+//! Pairwise comparison — the pipeline's hottest loop — can fan out over
+//! threads: [`detect_duplicates_par`] scores candidate chunks concurrently
+//! and merges them in candidate order, so its output is bit-identical to
+//! the sequential [`detect_duplicates`] at every [`Parallelism`] degree.
+//!
 //! ## Example
 //!
 //! ```
@@ -48,10 +53,11 @@ pub mod unionfind;
 
 pub use blocking::{candidate_pairs, CandidateStrategy};
 pub use detector::{
-    annotate_object_ids, detect_duplicates, CandidateSpec, DetectionResult, DetectionStats,
-    DetectorConfig, DuplicatePair, OBJECT_ID_COLUMN,
+    annotate_object_ids, detect_duplicates, detect_duplicates_par, CandidateSpec, DetectionResult,
+    DetectionStats, DetectorConfig, DuplicatePair, OBJECT_ID_COLUMN,
 };
 pub use heuristics::{score_attributes, select_attributes, AttributeScore, HeuristicConfig};
+pub use hummer_par::Parallelism;
 pub use measure::{
     field_similarity, field_similarity_with_range, TupleSimilarity, NUMERIC_SIGMA_SCALE,
     SIGMA_SMALL_SAMPLE_INFLATION,

@@ -2,6 +2,20 @@
 //! rank — the transitive closure over duplicate pairs (paper §2.3: "the
 //! transitive closure over duplicate pairs is formed to obtain clusters of
 //! objects that all represent a single real-world entity").
+//!
+//! ## Determinism
+//!
+//! The internal *representative* of a set (what [`UnionFind::find`]
+//! returns) depends on the order unions were applied in — union-by-rank
+//! picks whichever root happens to be taller. That order varies with pair
+//! scoring order, so representatives must never leak into user-visible
+//! output. The public cluster views are therefore **normalized**:
+//! [`UnionFind::clusters`] orders members ascending and clusters by their
+//! smallest member, and [`UnionFind::cluster_ids`] numbers clusters densely
+//! in that same order. Both are invariant under any permutation of the
+//! union sequence (pinned by the `representative_independence_*` regression
+//! tests below), which is what lets the parallel detector score pairs in
+//! any partition and still produce bit-identical `objectID`s.
 
 /// A disjoint-set forest over `0..n`.
 #[derive(Debug, Clone)]
@@ -30,6 +44,11 @@ impl UnionFind {
     }
 
     /// The representative of `x`'s set (with path compression).
+    ///
+    /// The representative is an implementation detail that depends on the
+    /// order unions were applied — do not expose it; derive output from
+    /// the normalized [`UnionFind::clusters`]/[`UnionFind::cluster_ids`]
+    /// views instead.
     pub fn find(&mut self, x: usize) -> usize {
         let mut root = x;
         while self.parent[root] != root {
@@ -143,5 +162,87 @@ mod tests {
         assert!(uf.is_empty());
         assert!(uf.clusters().is_empty());
         assert!(uf.cluster_ids().is_empty());
+    }
+
+    /// A tiny deterministic shuffle (multiplicative LCG indexing) so the
+    /// tests need no RNG dependency.
+    fn permuted<T: Clone>(xs: &[T], seed: u64) -> Vec<T> {
+        let mut out: Vec<T> = xs.to_vec();
+        let n = out.len();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            out.swap(i, j);
+        }
+        out
+    }
+
+    /// Regression (ISSUE 3 audit): the normalized cluster views must not
+    /// depend on the order pairs were unioned in — the parallel detector
+    /// merges chunk results in an order that differs from any particular
+    /// scoring order, and `objectID`s must come out identical anyway.
+    #[test]
+    fn representative_independence_under_pair_reordering() {
+        // A mix of chains, stars, and singletons over 24 elements.
+        let pairs: Vec<(usize, usize)> = vec![
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0), // cycle
+            (5, 9),
+            (9, 11),
+            (5, 11),
+            (12, 13),
+            (14, 13),
+            (15, 14),
+            (16, 15),
+            (20, 21),
+            (22, 21),
+        ];
+        let mut reference = UnionFind::new(24);
+        for &(a, b) in &pairs {
+            reference.union(a, b);
+        }
+        let ref_clusters = reference.clusters();
+        let ref_ids = reference.cluster_ids();
+        for seed in 0..32 {
+            let mut uf = UnionFind::new(24);
+            for &(a, b) in &permuted(&pairs, seed) {
+                uf.union(a, b);
+            }
+            assert_eq!(uf.clusters(), ref_clusters, "seed {seed}");
+            assert_eq!(uf.cluster_ids(), ref_ids, "seed {seed}");
+        }
+        // Reversed insertion, and each pair flipped, too.
+        let mut uf = UnionFind::new(24);
+        for &(a, b) in pairs.iter().rev() {
+            uf.union(b, a);
+        }
+        assert_eq!(uf.clusters(), ref_clusters);
+        assert_eq!(uf.cluster_ids(), ref_ids);
+    }
+
+    /// The normalization contract itself: ids are dense, ordered by each
+    /// cluster's smallest member, and members are listed ascending.
+    #[test]
+    fn cluster_views_are_normalized() {
+        let mut uf = UnionFind::new(10);
+        uf.union(7, 2);
+        uf.union(9, 4);
+        uf.union(4, 2);
+        let clusters = uf.clusters();
+        for c in &clusters {
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "members ascending");
+        }
+        let firsts: Vec<usize> = clusters.iter().map(|c| c[0]).collect();
+        assert!(firsts.windows(2).all(|w| w[0] < w[1]), "ordered by min");
+        let ids = uf.cluster_ids();
+        let max = *ids.iter().max().unwrap();
+        for id in 0..=max {
+            assert!(ids.contains(&id), "ids dense: missing {id}");
+        }
     }
 }

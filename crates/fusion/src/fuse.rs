@@ -10,6 +10,7 @@ use crate::functions::ResolutionFunction;
 use crate::lineage::{CellLineage, Lineage};
 use crate::registry::{FunctionRegistry, ResolutionSpec};
 use hummer_engine::{Row, Table, Value};
+use hummer_par::{par_map_indexed, Parallelism};
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -37,6 +38,11 @@ pub struct FusionSpec {
     pub default_function: ResolutionSpec,
     /// Columns to drop from the fused output (e.g. bookkeeping columns).
     pub drop_columns: Vec<String>,
+    /// How many threads may resolve disjoint clusters concurrently.
+    /// Clusters are independent by construction, and results merge in
+    /// first-appearance order, so the degree never changes the output —
+    /// only the wall-clock cost of wide fusions. Defaults to sequential.
+    pub parallelism: Parallelism,
 }
 
 impl FusionSpec {
@@ -47,6 +53,7 @@ impl FusionSpec {
             resolutions: Vec::new(),
             default_function: ResolutionSpec::named("coalesce"),
             drop_columns: Vec::new(),
+            parallelism: Parallelism::sequential(),
         }
     }
 
@@ -59,6 +66,12 @@ impl FusionSpec {
     /// Drop a column from the output.
     pub fn drop_column(mut self, column: impl Into<String>) -> Self {
         self.drop_columns.push(column.into());
+        self
+    }
+
+    /// Resolve disjoint clusters on up to `par.get()` threads.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
         self
     }
 }
@@ -92,6 +105,100 @@ pub struct FusedTable {
 
 /// Cap on collected [`SampleConflict`]s.
 pub const MAX_SAMPLE_CONFLICTS: usize = 25;
+
+/// One cluster's fused row plus its by-products, computed independently of
+/// every other cluster (the unit of parallelism in [`fuse`]).
+struct ResolvedCluster {
+    values: Vec<Value>,
+    cell_lineages: Vec<CellLineage>,
+    /// Conflict samples in column order, capped at [`MAX_SAMPLE_CONFLICTS`]
+    /// (the global merge keeps the first `MAX_SAMPLE_CONFLICTS` across
+    /// clusters in order, so a per-cluster cap loses nothing).
+    samples: Vec<SampleConflict>,
+    conflicts: usize,
+}
+
+/// Fuse the cluster whose member row indices are `members` into one tuple.
+#[allow(clippy::too_many_arguments)]
+fn resolve_cluster(
+    cluster_idx: usize,
+    members: &[usize],
+    input: &Table,
+    out_cols: &[usize],
+    row_sources: &[Option<String>],
+    explicit: &HashMap<usize, Arc<dyn ResolutionFunction>>,
+    default_fn: &Arc<dyn ResolutionFunction>,
+) -> Result<ResolvedCluster, FusionError> {
+    let member_rows: Vec<&Row> = members.iter().map(|&i| &input.rows()[i]).collect();
+    let member_sources: Vec<Option<String>> =
+        members.iter().map(|&i| row_sources[i].clone()).collect();
+
+    let mut values: Vec<Value> = Vec::with_capacity(out_cols.len());
+    let mut cell_lineages: Vec<CellLineage> = Vec::with_capacity(out_cols.len());
+    let mut samples: Vec<SampleConflict> = Vec::new();
+    let mut conflicts = 0usize;
+    // One context per cluster, re-aimed per column: the member rows/sources
+    // are shared by every column, and cloning them per column would put
+    // O(members) String allocations inside the hottest fusion loop.
+    let mut ctx = ConflictContext {
+        table_name: input.name(),
+        schema: input.schema(),
+        column: "",
+        column_index: 0,
+        rows: member_rows,
+        source_ids: member_sources,
+    };
+    for &col in out_cols {
+        ctx.column = &input.schema().column(col).name;
+        ctx.column_index = col;
+        let is_data_column = !NON_DATA_COLUMNS
+            .iter()
+            .any(|b| b.eq_ignore_ascii_case(ctx.column));
+        let had_conflict = is_data_column && ctx.is_conflict();
+        let func = explicit.get(&col).unwrap_or(default_fn);
+        let resolved = func.resolve(&ctx)?;
+
+        if had_conflict {
+            conflicts += 1;
+            if samples.len() < MAX_SAMPLE_CONFLICTS {
+                let mut distinct: Vec<String> = Vec::new();
+                for (_, v) in ctx.non_null_values() {
+                    let s = v.to_string();
+                    if !distinct.contains(&s) {
+                        distinct.push(s);
+                    }
+                }
+                samples.push(SampleConflict {
+                    cluster: cluster_idx,
+                    column: ctx.column.to_string(),
+                    values: distinct,
+                    resolved: resolved.value.to_string(),
+                });
+            }
+        }
+
+        let mut sources: Vec<String> = resolved
+            .contributors
+            .iter()
+            .filter_map(|&local| ctx.source_ids[local].clone())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        sources.sort();
+        cell_lineages.push(CellLineage {
+            row_indices: resolved.contributors.iter().map(|&l| members[l]).collect(),
+            sources,
+            had_conflict,
+        });
+        values.push(resolved.value);
+    }
+    Ok(ResolvedCluster {
+        values,
+        cell_lineages,
+        samples,
+        conflicts,
+    })
+}
 
 /// Run fusion over `input` according to `spec`, instantiating resolution
 /// functions from `registry`.
@@ -166,67 +273,52 @@ pub fn fuse(
     let mut samples: Vec<SampleConflict> = Vec::new();
     let mut conflict_count = 0usize;
 
-    for (cluster_idx, key) in order.iter().enumerate() {
-        let members = &groups[key];
-        let member_rows: Vec<&Row> = members.iter().map(|&i| &input.rows()[i]).collect();
-        let member_sources: Vec<Option<String>> =
-            members.iter().map(|&i| row_sources[i].clone()).collect();
-
-        let mut values: Vec<Value> = Vec::with_capacity(out_cols.len());
-        let mut cell_lineages: Vec<CellLineage> = Vec::with_capacity(out_cols.len());
-        for &col in &out_cols {
-            let ctx = ConflictContext {
-                table_name: input.name(),
-                schema: input.schema(),
-                column: &input.schema().column(col).name,
-                column_index: col,
-                rows: member_rows.clone(),
-                source_ids: member_sources.clone(),
-            };
-            let is_data_column = !NON_DATA_COLUMNS
-                .iter()
-                .any(|b| b.eq_ignore_ascii_case(ctx.column));
-            let had_conflict = is_data_column && ctx.is_conflict();
-            let func = explicit.get(&col).unwrap_or(&default_fn);
-            let resolved = func.resolve(&ctx)?;
-
-            if had_conflict {
-                conflict_count += 1;
-                if samples.len() < MAX_SAMPLE_CONFLICTS {
-                    let mut distinct: Vec<String> = Vec::new();
-                    for (_, v) in ctx.non_null_values() {
-                        let s = v.to_string();
-                        if !distinct.contains(&s) {
-                            distinct.push(s);
-                        }
-                    }
-                    samples.push(SampleConflict {
-                        cluster: cluster_idx,
-                        column: ctx.column.to_string(),
-                        values: distinct,
-                        resolved: resolved.value.to_string(),
-                    });
+    // Resolve disjoint clusters concurrently (they share nothing but the
+    // read-only input and the resolution functions), then merge below in
+    // first-appearance order — so every degree produces the same output.
+    let one_cluster = |cluster_idx: usize, key: &Row| {
+        resolve_cluster(
+            cluster_idx,
+            &groups[key],
+            input,
+            &out_cols,
+            &row_sources,
+            &explicit,
+            &default_fn,
+        )
+    };
+    let resolved_clusters: Vec<Result<ResolvedCluster, FusionError>> =
+        if spec.parallelism.is_sequential() {
+            // Inline, stopping at the first error (a parallel run finishes
+            // in-flight clusters before the merge surfaces the same error).
+            let mut acc = Vec::with_capacity(order.len());
+            for (cluster_idx, key) in order.iter().enumerate() {
+                let result = one_cluster(cluster_idx, key);
+                let failed = result.is_err();
+                acc.push(result);
+                if failed {
+                    break;
                 }
             }
+            acc
+        } else {
+            par_map_indexed(spec.parallelism, &order, |cluster_idx, key| {
+                one_cluster(cluster_idx, key)
+            })
+        };
 
-            let mut sources: Vec<String> = resolved
-                .contributors
-                .iter()
-                .filter_map(|&local| member_sources[local].clone())
-                .collect::<BTreeSet<_>>()
-                .into_iter()
-                .collect();
-            sources.sort();
-            cell_lineages.push(CellLineage {
-                row_indices: resolved.contributors.iter().map(|&l| members[l]).collect(),
-                sources,
-                had_conflict,
-            });
-            values.push(resolved.value);
+    for cluster in resolved_clusters {
+        let cluster = cluster?;
+        conflict_count += cluster.conflicts;
+        for sample in cluster.samples {
+            if samples.len() >= MAX_SAMPLE_CONFLICTS {
+                break;
+            }
+            samples.push(sample);
         }
-        out.push(Row::from_values(values))
+        out.push(Row::from_values(cluster.values))
             .map_err(FusionError::from)?;
-        lineage.push_row(cell_lineages);
+        lineage.push_row(cluster.cell_lineages);
     }
 
     Ok(FusedTable {

@@ -12,10 +12,14 @@
 //!   `SHORTEST`/`LONGEST`, `MOST RECENT`, and the SQL aggregates
 //!   `MIN`/`MAX`/`SUM`/`AVG`/`MEDIAN`/`COUNT`;
 //! * [`registry`] — name → function resolution with user extensibility;
-//! * [`fuse`] — the fusion operator: group by the object key, resolve each
+//! * [`mod@fuse`] — the fusion operator: group by the object key, resolve each
 //!   column, collect conflict samples;
 //! * [`lineage`] — per-cell provenance (the demo's color-coding: "one color
 //!   per source relation, mixed colors for merged values").
+//!
+//! Duplicate clusters are disjoint, so [`FusionSpec::with_parallelism`]
+//! lets [`fuse()`] resolve them on several threads; results merge in
+//! first-appearance order and are bit-identical at every degree.
 //!
 //! ## Example
 //!
@@ -53,5 +57,6 @@ pub use functions::{
     ResolutionFunction, Resolved, TieBreak, Vote,
 };
 pub use fuse::{fuse, FusedTable, FusionSpec, SampleConflict, MAX_SAMPLE_CONFLICTS};
+pub use hummer_par::Parallelism;
 pub use lineage::{CellLineage, Lineage};
 pub use registry::{FunctionRegistry, ResolutionSpec};

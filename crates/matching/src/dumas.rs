@@ -12,6 +12,7 @@
 //! scored (never the full n×m cross product).
 
 use hummer_engine::Table;
+use hummer_par::{par_chunks, Parallelism};
 use hummer_textsim::tfidf::{Corpus, TfIdfVector};
 use hummer_textsim::tokenize::word_tokens;
 use std::collections::HashMap;
@@ -62,7 +63,26 @@ fn row_documents(t: &Table) -> Vec<Vec<String>> {
 ///
 /// Corpus statistics (document frequencies) are computed over *both* tables
 /// so a token common in either source is appropriately discounted.
+///
+/// Single-threaded; [`sniff_duplicates_par`] fans the per-row scoring out
+/// over threads with identical output.
 pub fn sniff_duplicates(left: &Table, right: &Table, cfg: &SniffConfig) -> Vec<TupleMatch> {
+    sniff_duplicates_par(left, right, cfg, Parallelism::sequential())
+}
+
+/// [`sniff_duplicates`] with up to `par.get()` threads scoring left rows
+/// concurrently against a shared inverted index over the right table.
+///
+/// Each left row's accumulation is independent, and the final total order
+/// (similarity desc, then row indices) makes the result deterministic
+/// regardless of degree — the output is bit-identical to the sequential
+/// path.
+pub fn sniff_duplicates_par(
+    left: &Table,
+    right: &Table,
+    cfg: &SniffConfig,
+    par: Parallelism,
+) -> Vec<TupleMatch> {
     let left_docs = row_documents(left);
     let right_docs = row_documents(right);
     let corpus = Corpus::from_documents(left_docs.iter().chain(right_docs.iter()));
@@ -79,28 +99,37 @@ pub fn sniff_duplicates(left: &Table, right: &Table, cfg: &SniffConfig) -> Vec<T
     }
 
     // Accumulate dot products per left row, visiting only shared tokens.
-    let mut pairs: Vec<TupleMatch> = Vec::new();
-    let mut acc: HashMap<usize, f64> = HashMap::new();
-    for (i, v) in left_vecs.iter().enumerate() {
-        acc.clear();
-        for (tok, w) in v.iter() {
-            if let Some(posting) = index.get(tok) {
-                for &(j, wj) in posting {
-                    *acc.entry(j).or_insert(0.0) += w * wj;
+    // Chunks of left rows score in parallel (the index is shared
+    // read-only); each chunk reuses one accumulator map across its rows.
+    let mut pairs: Vec<TupleMatch> = par_chunks(par, &left_vecs, |offset, chunk| {
+        let mut out: Vec<TupleMatch> = Vec::new();
+        let mut acc: HashMap<usize, f64> = HashMap::new();
+        for (k, v) in chunk.iter().enumerate() {
+            let i = offset + k;
+            acc.clear();
+            for (tok, w) in v.iter() {
+                if let Some(posting) = index.get(tok) {
+                    for &(j, wj) in posting {
+                        *acc.entry(j).or_insert(0.0) += w * wj;
+                    }
+                }
+            }
+            for (&j, &dot) in &acc {
+                let sim = dot.clamp(0.0, 1.0);
+                if sim >= cfg.min_similarity {
+                    out.push(TupleMatch {
+                        left: i,
+                        right: j,
+                        similarity: sim,
+                    });
                 }
             }
         }
-        for (&j, &dot) in &acc {
-            let sim = dot.clamp(0.0, 1.0);
-            if sim >= cfg.min_similarity {
-                pairs.push(TupleMatch {
-                    left: i,
-                    right: j,
-                    similarity: sim,
-                });
-            }
-        }
-    }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     pairs.sort_by(|a, b| {
         b.similarity

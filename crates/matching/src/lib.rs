@@ -15,6 +15,11 @@
 //! 4. [`transform`] renames matched attributes to the preferred schema,
 //!    adds the `sourceID` column, and computes the full outer union.
 //!
+//! The expensive comparisons parallelize: [`match_tables_par`] /
+//! [`match_star_par`] score sniff candidates and per-duplicate matrices on
+//! up to [`Parallelism::get`] threads with output bit-identical to the
+//! sequential entry points.
+//!
 //! ## Example
 //!
 //! ```
@@ -53,8 +58,9 @@ pub mod matrix;
 pub mod transform;
 
 pub use correspondence::{Correspondence, MatchResult};
-pub use dumas::{sniff_duplicates, SniffConfig, TupleMatch};
+pub use dumas::{sniff_duplicates, sniff_duplicates_par, SniffConfig, TupleMatch};
+pub use hummer_par::Parallelism;
 pub use hungarian::{max_weight_matching, Assignment};
-pub use matcher::{match_star, match_tables, MatcherConfig};
+pub use matcher::{match_star, match_star_par, match_tables, match_tables_par, MatcherConfig};
 pub use matrix::SimilarityMatrix;
 pub use transform::{add_source_id, apply_renames, integrate, SOURCE_ID_COLUMN};

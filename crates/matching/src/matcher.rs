@@ -2,10 +2,11 @@
 //! attribute correspondences.
 
 use crate::correspondence::{Correspondence, MatchResult};
-use crate::dumas::{sniff_duplicates, SniffConfig};
+use crate::dumas::{sniff_duplicates_par, SniffConfig};
 use crate::hungarian::max_weight_matching;
 use crate::matrix::SimilarityMatrix;
 use hummer_engine::{Table, Value};
+use hummer_par::{par_map, Parallelism};
 use hummer_textsim::jaro::jaro_winkler;
 use hummer_textsim::softtfidf::SoftTfIdf;
 use hummer_textsim::tfidf::Corpus;
@@ -64,8 +65,53 @@ fn tokenized_cells(t: &Table) -> Vec<Vec<Option<Vec<String>>>> {
 /// 3. average the matrices,
 /// 4. maximum-weight bipartite matching → 1:1 correspondences,
 /// 5. prune below `prune_threshold`.
+///
+/// # Example
+///
+/// ```
+/// use hummer_engine::table;
+/// use hummer_matching::{match_tables, MatcherConfig, SniffConfig};
+///
+/// // Same people, different attribute labels and column order.
+/// let ee = table! {
+///     "EE_Student" => ["Name", "Age"];
+///     ["John Smith", 24],
+///     ["Mary Jones", 22],
+/// };
+/// let cs = table! {
+///     "CS_Students" => ["Years", "FullName"];
+///     [24, "John Smith"],
+///     [22, "Mary Jones"],
+/// };
+/// let cfg = MatcherConfig {
+///     sniff: SniffConfig { min_similarity: 0.2, ..Default::default() },
+///     ..Default::default()
+/// };
+/// let result = match_tables(&ee, &cs, &cfg);
+/// // The rename map aligns the right table to the left (preferred) schema.
+/// let renames = result.rename_map();
+/// assert_eq!(renames.get("FullName").unwrap(), "Name");
+/// assert_eq!(renames.get("Years").unwrap(), "Age");
+/// ```
 pub fn match_tables(left: &Table, right: &Table, cfg: &MatcherConfig) -> MatchResult {
-    let duplicates = sniff_duplicates(left, right, &cfg.sniff);
+    match_tables_par(left, right, cfg, Parallelism::sequential())
+}
+
+/// [`match_tables`] with up to `par.get()` threads: duplicate sniffing
+/// scores left rows concurrently, and the per-duplicate field-similarity
+/// matrices (the expensive SoftTFIDF comparisons) are computed one
+/// duplicate pair per task before the single-threaded Hungarian assignment.
+///
+/// Output is bit-identical to [`match_tables`] for every degree: matrices
+/// merge in duplicate order, and the mean/assignment steps see the same
+/// numbers either way.
+pub fn match_tables_par(
+    left: &Table,
+    right: &Table,
+    cfg: &MatcherConfig,
+    par: Parallelism,
+) -> MatchResult {
+    let duplicates = sniff_duplicates_par(left, right, &cfg.sniff, par);
 
     let n_l = left.schema().len();
     let n_r = right.schema().len();
@@ -83,18 +129,16 @@ pub fn match_tables(left: &Table, right: &Table, cfg: &MatcherConfig) -> MatchRe
     );
     let soft = SoftTfIdf::with_theta(&corpus, cfg.soft_theta);
 
-    // One similarity matrix per duplicate pair, then average.
-    let per_pair: Vec<SimilarityMatrix> = duplicates
-        .iter()
-        .map(|d| {
-            let lrow = &left_cells[d.left];
-            let rrow = &right_cells[d.right];
-            SimilarityMatrix::from_fn(n_l, n_r, |i, j| match (&lrow[i], &rrow[j]) {
-                (Some(a), Some(b)) => soft.similarity(a, b),
-                _ => 0.0,
-            })
+    // One similarity matrix per duplicate pair — computed in parallel (the
+    // corpus and cell caches are shared read-only) — then averaged.
+    let per_pair: Vec<SimilarityMatrix> = par_map(par, &duplicates, |d| {
+        let lrow = &left_cells[d.left];
+        let rrow = &right_cells[d.right];
+        SimilarityMatrix::from_fn(n_l, n_r, |i, j| match (&lrow[i], &rrow[j]) {
+            (Some(a), Some(b)) => soft.similarity(a, b),
+            _ => 0.0,
         })
-        .collect();
+    });
     let mut matrix =
         SimilarityMatrix::mean(&per_pair).unwrap_or_else(|| SimilarityMatrix::zeros(n_l, n_r));
 
@@ -138,11 +182,21 @@ pub fn match_tables(left: &Table, right: &Table, cfg: &MatcherConfig) -> MatchRe
 /// relations", §2.2; renaming favors "the first source mentioned in the
 /// query", §3).
 pub fn match_star(tables: &[&Table], cfg: &MatcherConfig) -> Vec<MatchResult> {
+    match_star_par(tables, cfg, Parallelism::sequential())
+}
+
+/// [`match_star`] with intra-pair parallelism: each preferred-vs-other
+/// match runs through [`match_tables_par`] with the given degree.
+pub fn match_star_par(
+    tables: &[&Table],
+    cfg: &MatcherConfig,
+    par: Parallelism,
+) -> Vec<MatchResult> {
     match tables.split_first() {
         None => Vec::new(),
         Some((preferred, rest)) => rest
             .iter()
-            .map(|t| match_tables(preferred, t, cfg))
+            .map(|t| match_tables_par(preferred, t, cfg, par))
             .collect(),
     }
 }

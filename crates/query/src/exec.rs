@@ -25,7 +25,8 @@ use hummer_engine::ops::{
 };
 use hummer_engine::{Column, ColumnType, Expr, Table, Value};
 use hummer_fusion::{
-    fuse as run_fusion, FunctionRegistry, FusionSpec, Lineage, ResolutionSpec, SampleConflict,
+    fuse as run_fusion, FunctionRegistry, FusionSpec, Lineage, Parallelism, ResolutionSpec,
+    SampleConflict,
 };
 use std::collections::HashMap;
 
@@ -136,6 +137,20 @@ pub fn execute_combined(
     combined: &Table,
     registry: &FunctionRegistry,
 ) -> Result<QueryOutput> {
+    execute_combined_par(query, combined, registry, Parallelism::sequential())
+}
+
+/// [`execute_combined`] with intra-query parallelism: a `FUSE BY` clause
+/// resolves disjoint duplicate clusters on up to `par.get()` threads
+/// (identical output for every degree; see `hummer_par`'s determinism
+/// contract). This is the knob a serving layer sets per request so its
+/// worker pool and intra-query threads compose without oversubscription.
+pub fn execute_combined_par(
+    query: &FuseQuery,
+    combined: &Table,
+    registry: &FunctionRegistry,
+    par: Parallelism,
+) -> Result<QueryOutput> {
     // 3. WHERE.
     let filtered;
     let combined: &Table = match &query.where_clause {
@@ -154,7 +169,7 @@ pub fn execute_combined(
     let mut fusion_info: Option<FusionInfo> = None;
     let mut current: Table;
     if let Some(keys) = &query.fuse_by {
-        let mut spec = FusionSpec::by_key(keys.clone());
+        let mut spec = FusionSpec::by_key(keys.clone()).with_parallelism(par);
         let mut resolved_cols: Vec<String> = Vec::new();
         for (col, rspec) in query.resolutions() {
             let key = col.to_ascii_lowercase();

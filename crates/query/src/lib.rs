@@ -48,5 +48,9 @@ pub mod parser;
 pub use ast::{FromClause, FuseQuery, OrderKey, SelectItem};
 pub use catalog::{Catalog, TableSet, VersionedTable, VersionedTableSet};
 pub use error::{QueryError, Result};
-pub use exec::{combine_tables, execute, execute_combined, run_query, FusionInfo, QueryOutput};
+pub use exec::{
+    combine_tables, execute, execute_combined, execute_combined_par, run_query, FusionInfo,
+    QueryOutput,
+};
+pub use hummer_fusion::Parallelism;
 pub use parser::parse;

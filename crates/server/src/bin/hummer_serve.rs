@@ -1,19 +1,25 @@
 //! `hummer-serve` — run the HumMer fusion query service.
 //!
 //! ```text
-//! hummer-serve [--addr HOST:PORT] [--threads N] [--cache N]
+//! hummer-serve [--addr HOST:PORT] [--threads N] [--par N] [--cache N]
 //!              [--narrow-schemas] [--preload NAME=FILE.csv ...]
 //! ```
+//!
+//! `--par N` sets the intra-query thread budget each request may use for
+//! the parallelizable pipeline stages (matching, detection, fusion).
+//! Without the flag the budget defaults to the fair per-worker share of
+//! the machine, `max(1, cores / --threads)`, so worker pool × intra-query
+//! threads ≈ cores instead of oversubscribing.
 //!
 //! The process serves until `POST /shutdown` arrives, then drains in-flight
 //! requests and exits 0.
 
-use hummer_server::{HummerServer, ServerConfig, ServiceConfig};
+use hummer_server::{HummerServer, Parallelism, ServerConfig, ServiceConfig};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hummer-serve [--addr HOST:PORT] [--threads N] [--cache N] \
+        "usage: hummer-serve [--addr HOST:PORT] [--threads N] [--par N] [--cache N] \
          [--narrow-schemas] [--preload NAME=FILE.csv ...]"
     );
     std::process::exit(2);
@@ -21,6 +27,7 @@ fn usage() -> ! {
 
 fn main() -> ExitCode {
     let mut config = ServerConfig::default();
+    let mut par: Option<usize> = None;
     let mut preloads: Vec<(String, String)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,6 +38,13 @@ fn main() -> ExitCode {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
+            }
+            "--par" => {
+                par = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--cache" => {
                 config.service.cache_capacity = args
@@ -50,6 +64,12 @@ fn main() -> ExitCode {
             _ => usage(),
         }
     }
+
+    // Compose the two thread layers: N workers x this degree ~ cores.
+    config.service.pipeline.parallelism = match par {
+        Some(n) => Parallelism::degree(n),
+        None => Parallelism::auto_shared(config.threads.max(1)),
+    };
 
     let server = match HummerServer::bind(config.clone()) {
         Ok(s) => s,
@@ -75,9 +95,11 @@ fn main() -> ExitCode {
         }
     }
     eprintln!(
-        "hummer-serve: listening on {} ({} workers); POST /shutdown to stop",
+        "hummer-serve: listening on {} ({} workers x {} intra-query threads); \
+         POST /shutdown to stop",
         server.local_addr(),
         config.threads.max(1),
+        config.service.pipeline.parallelism.get(),
     );
     match server.run() {
         Ok(()) => {

@@ -65,6 +65,7 @@ pub mod service;
 
 pub use cache::{CacheStats, PreparedCache, PreparedKey};
 pub use error::{Result, ServerError};
+pub use hummer_core::Parallelism;
 pub use json::{Json, JsonError};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pool::ThreadPool;

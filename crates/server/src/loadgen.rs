@@ -214,7 +214,7 @@ pub struct LoadReport {
     pub p99_ms: f64,
 }
 
-/// Latency percentile over an unsorted millisecond sample (`p` in [0,100]);
+/// Latency percentile over an unsorted millisecond sample (`p` in `[0, 100]`);
 /// delegates to the crate's one percentile implementation.
 pub fn percentile_ms(samples: &[f64], p: f64) -> f64 {
     crate::metrics::percentile(samples, p)

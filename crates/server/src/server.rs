@@ -30,13 +30,22 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Server construction parameters.
+///
+/// Two thread layers compose here: the worker pool (`threads`) provides
+/// *inter*-query concurrency, while `service.pipeline.parallelism` is the
+/// *intra*-query degree each request may fan pipeline stages out to.
+/// Configure them so they multiply to roughly the machine —
+/// `hummer_core::Parallelism::auto_shared(threads)` is the fair per-worker
+/// share (what the `hummer-serve` binary defaults to). Both default
+/// conservatively: 4 workers × sequential queries.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
     /// Worker threads (each owns one connection at a time).
     pub threads: usize,
-    /// Service (pipeline + cache) configuration.
+    /// Service (pipeline + cache) configuration, including the per-request
+    /// intra-query parallelism knob.
     pub service: ServiceConfig,
 }
 

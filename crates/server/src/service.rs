@@ -20,7 +20,9 @@ use crate::metrics::Metrics;
 use hummer_core::{prepare_tables, HummerConfig, PreparedSources, StageTimings};
 use hummer_engine::{csv, Table, Value};
 use hummer_fusion::FunctionRegistry;
-use hummer_query::{execute, execute_combined, parse, FuseQuery, QueryOutput, VersionedTableSet};
+use hummer_query::{
+    execute, execute_combined_par, parse, FuseQuery, QueryOutput, VersionedTableSet,
+};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -62,6 +64,7 @@ impl ServiceConfig {
                     unsure_threshold: 0.55,
                     ..Default::default()
                 },
+                ..Default::default()
             },
             cache_capacity: 64,
         }
@@ -224,7 +227,16 @@ impl FusionService {
 
         let (artifacts, hit) = self.prepared_for(&key, &tables)?;
         let t0 = Instant::now();
-        let output = execute_combined(q, &artifacts.annotated, &self.registry)?;
+        // The same per-request degree the prepare stages use: the worker
+        // pool provides inter-query concurrency, `config.parallelism`
+        // intra-query threads — configure them to multiply to the machine
+        // (see `ServerConfig`).
+        let output = execute_combined_par(
+            q,
+            &artifacts.annotated,
+            &self.registry,
+            self.config.parallelism,
+        )?;
         let execute_time = t0.elapsed();
         self.metrics.record_fusion(execute_time);
         Ok(QueryResult {

@@ -5,7 +5,7 @@
 //!
 //! * [`edit`] — Levenshtein / Damerau-Levenshtein distance and the derived
 //!   `[0,1]` similarity (field comparison in duplicate detection),
-//! * [`jaro`] — Jaro and Jaro-Winkler (SoftTFIDF's secondary measure),
+//! * [`mod@jaro`] — Jaro and Jaro-Winkler (SoftTFIDF's secondary measure),
 //! * [`tokenize`] — word and padded q-gram tokenizers,
 //! * [`tfidf`] — corpus statistics, TF-IDF weight vectors, cosine
 //!   similarity (DUMAS's tuple-as-string ranking) and the *soft IDF* that

@@ -90,16 +90,21 @@ impl Corpus {
         for t in tokens {
             *tf.entry(t.clone()).or_insert(0.0) += 1.0;
         }
-        let mut weights: HashMap<String, f64> = tf
+        // Token-sorted from here on: the norm below and every dot product
+        // downstream accumulate floats in this order, and a hash-random
+        // order would make repeated runs disagree in the last ULP (breaking
+        // the pipeline's bit-reproducibility guarantee).
+        let mut weights: Vec<(String, f64)> = tf
             .into_iter()
             .map(|(t, f)| {
                 let w = (1.0 + f).ln() * self.idf(&t);
                 (t, w)
             })
             .collect();
-        let norm: f64 = weights.values().map(|w| w * w).sum::<f64>().sqrt();
+        weights.sort_by(|a, b| a.0.cmp(&b.0));
+        let norm: f64 = weights.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
         if norm > 0.0 {
-            for w in weights.values_mut() {
+            for (_, w) in &mut weights {
                 *w /= norm;
             }
         }
@@ -113,18 +118,30 @@ impl Corpus {
 }
 
 /// A unit-normalized sparse TF-IDF vector.
+///
+/// Weights are stored **sorted by token** (lookup is a binary search), so
+/// iteration — and with it every float accumulation built on this type —
+/// has one deterministic order. Do not switch this back to a hash map: the
+/// sniffing dot products and the vector norm would then accumulate in a
+/// per-instance random order, and two runs over identical data could
+/// differ in the last ULP, which the pipeline's bit-reproducibility
+/// contract (sequential == parallel, run == rerun) forbids.
 #[derive(Debug, Clone, Default)]
 pub struct TfIdfVector {
-    weights: HashMap<String, f64>,
+    /// `(token, weight)` pairs, sorted by token, tokens distinct.
+    weights: Vec<(String, f64)>,
 }
 
 impl TfIdfVector {
     /// The weight of a token (0 when absent).
     pub fn weight(&self, token: &str) -> f64 {
-        self.weights.get(token).copied().unwrap_or(0.0)
+        self.weights
+            .binary_search_by(|(t, _)| t.as_str().cmp(token))
+            .map(|i| self.weights[i].1)
+            .unwrap_or(0.0)
     }
 
-    /// Iterate over (token, weight) pairs.
+    /// Iterate over (token, weight) pairs in token order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
         self.weights.iter().map(|(t, w)| (t.as_str(), *w))
     }
@@ -142,7 +159,8 @@ impl TfIdfVector {
     /// Cosine similarity (dot product — both vectors are unit-normalized).
     /// Clamped to `[0, 1]` against floating-point drift.
     pub fn cosine(&self, other: &TfIdfVector) -> f64 {
-        // Iterate over the smaller map.
+        // Iterate over the smaller vector; token order keeps the float
+        // accumulation deterministic.
         let (small, large) = if self.len() <= other.len() {
             (self, other)
         } else {
@@ -254,5 +272,43 @@ mod tests {
         // two-token split.
         assert!(v2.weight("abbey") > v2.weight("road"));
         assert!(v1.weight("abbey") > v2.weight("abbey")); // v1 is all abbey
+    }
+
+    /// Regression: weights, norms, and cosines must be *bit*-identical
+    /// across repeated construction and across token input order. The
+    /// original `HashMap`-backed vector accumulated the norm and dot in a
+    /// per-instance random order, so two runs over identical data could
+    /// differ in the last ULP — which broke the pipeline's sequential ==
+    /// parallel byte-identity contract at scale (caught by
+    /// `exp10_parallel`'s fingerprint check).
+    #[test]
+    fn vectors_are_bit_deterministic() {
+        // Enough distinct tokens that hash-order effects would be near
+        // certain to surface somewhere.
+        let doc: Vec<String> = (0..64).map(|i| format!("tok{i}")).collect();
+        let mut reversed = doc.clone();
+        reversed.reverse();
+        let c = Corpus::from_documents((0..8).map(|i| {
+            (0..16)
+                .map(|j| format!("tok{}", (i * 7 + j * 3) % 64))
+                .collect::<Vec<_>>()
+        }));
+        let probe: Vec<String> = (0..32).map(|i| format!("tok{}", i * 2)).collect();
+        let v0 = c.weight_vector(&doc);
+        for _ in 0..4 {
+            let vf = c.weight_vector(&doc);
+            let vr = c.weight_vector(&reversed);
+            let pairs0: Vec<(&str, f64)> = v0.iter().collect();
+            assert_eq!(pairs0, vf.iter().collect::<Vec<_>>());
+            assert_eq!(pairs0, vr.iter().collect::<Vec<_>>());
+            let p = c.weight_vector(&probe);
+            assert_eq!(v0.cosine(&p).to_bits(), vf.cosine(&p).to_bits());
+            assert_eq!(v0.cosine(&p).to_bits(), vr.cosine(&p).to_bits());
+        }
+        // Iteration order is the sorted token order.
+        let toks: Vec<&str> = v0.iter().map(|(t, _)| t).collect();
+        let mut sorted = toks.clone();
+        sorted.sort_unstable();
+        assert_eq!(toks, sorted);
     }
 }
