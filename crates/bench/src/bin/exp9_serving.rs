@@ -92,12 +92,12 @@ fn main() -> ExitCode {
     );
 
     // Concurrent load over all (now warm) worlds.
-    let load = run_load(&LoadConfig {
-        addr: addr.clone(),
-        connections: 8,
-        requests: 200,
-        sql_pool: sql_pool.clone(),
-    });
+    let load = run_load(&LoadConfig::read_only(
+        addr.clone(),
+        8,
+        200,
+        sql_pool.clone(),
+    ));
     println!(
         "{}",
         render_table(

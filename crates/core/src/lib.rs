@@ -59,8 +59,8 @@ pub mod wizard;
 
 pub use error::{HummerError, Result};
 pub use pipeline::{
-    fuse_prepared, fuse_prepared_par, prepare_tables, Hummer, HummerConfig, PipelineOutcome,
-    PreparedSources, StageTimings,
+    fuse_prepared, fuse_prepared_par, prepare_tables, DeltaReport, Hummer, HummerConfig,
+    PipelineOutcome, PreparedSources, StageTimings,
 };
 pub use repository::{MetadataRepository, SourceInfo};
 pub use wizard::{Wizard, WizardPhase};
@@ -74,7 +74,7 @@ pub use hummer_query as query;
 pub use hummer_textsim as textsim;
 
 // The most-used types, at the top level.
-pub use hummer_dupdetect::{DetectionResult, DetectorConfig};
+pub use hummer_dupdetect::{DetectionResult, DetectorConfig, RowMapping};
 pub use hummer_fusion::Parallelism;
 pub use hummer_fusion::{FunctionRegistry, ResolutionSpec};
 pub use hummer_matching::{MatcherConfig, SniffConfig};

@@ -16,7 +16,8 @@
 use crate::error::Result;
 use crate::repository::MetadataRepository;
 use hummer_dupdetect::{
-    annotate_object_ids, detect_duplicates_par, DetectionResult, DetectorConfig, OBJECT_ID_COLUMN,
+    annotate_object_ids, detect_delta, detect_duplicates_par, DeltaDetectionStats, DetectionResult,
+    DetectorConfig, RowMapping, OBJECT_ID_COLUMN,
 };
 use hummer_engine::Table;
 use hummer_fusion::{
@@ -123,6 +124,84 @@ pub fn prepare_tables(tables: &[&Table], config: &HummerConfig) -> Result<Prepar
         annotated,
         timings,
     })
+}
+
+/// What one [`PreparedSources::apply_delta`] cost and how much it reused.
+#[derive(Debug, Clone)]
+pub struct DeltaReport {
+    /// Incremental-detection counters (dirty rows, carried vs. rescored
+    /// pairs, affected components, full-rescore fallbacks).
+    pub detection: DeltaDetectionStats,
+    /// Wall-clock cost of *this* apply, by stage (`fusion` is zero).
+    pub timings: StageTimings,
+}
+
+impl PreparedSources {
+    /// Refresh these prepared artifacts for the post-delta `new_tables`
+    /// (same sources, same order), where `mapping` relates the rows of the
+    /// old and new *integrated* (outer-union) tables — build it with
+    /// `hummer_delta::concat_mappings` from the per-source mappings a
+    /// `TableDelta` application returns.
+    ///
+    /// The refreshed artifacts are **byte-identical** to
+    /// [`prepare_tables`] over `new_tables` — except `detection.stats`,
+    /// which reports the (delta-sized) work this refresh actually did —
+    /// at every parallelism degree. Schema matching and the transformation
+    /// re-run outright (they are near-linear); the quadratic stage,
+    /// duplicate detection, goes through the incremental path: only pairs
+    /// touching dirty rows are re-scored, and only affected connected
+    /// components re-cluster.
+    ///
+    /// `config` must be the configuration that produced `self`.
+    pub fn apply_delta(
+        &self,
+        new_tables: &[&Table],
+        mapping: &RowMapping,
+        config: &HummerConfig,
+    ) -> Result<(PreparedSources, DeltaReport)> {
+        let mut timings = StageTimings::default();
+
+        // 1. Schema matching: recomputed from scratch (near-linear via the
+        //    inverted sniffing index), so instance drift that changes
+        //    correspondences is honored, not approximated.
+        let t0 = Instant::now();
+        let match_results = match_star_par(new_tables, &config.matcher, config.parallelism);
+        timings.matching = t0.elapsed();
+
+        // 2. Transformation: recomputed (linear). If matching changed the
+        //    union schema, the incremental detector notices through its
+        //    cell comparison and degrades gracefully.
+        let t0 = Instant::now();
+        let integrated = integrate(new_tables, &match_results, "Integrated")?;
+        timings.transformation = t0.elapsed();
+
+        // 3. Duplicate detection: incremental against the old artifacts.
+        let t0 = Instant::now();
+        let (detection, delta_stats) = detect_delta(
+            &self.integrated,
+            &self.detection,
+            &integrated,
+            mapping,
+            &config.detector,
+            config.parallelism,
+        )?;
+        let annotated = annotate_object_ids(&integrated, &detection)?;
+        timings.detection = t0.elapsed();
+
+        Ok((
+            PreparedSources {
+                match_results,
+                integrated,
+                detection,
+                annotated,
+                timings,
+            },
+            DeltaReport {
+                detection: delta_stats,
+                timings,
+            },
+        ))
+    }
 }
 
 /// Run the fusion stage over prepared artifacts: fuse `annotated` by
@@ -537,6 +616,61 @@ mod tests {
             )
             .unwrap();
         assert_eq!(oneshot.result.rows(), by_max.result.rows());
+    }
+
+    #[test]
+    fn apply_delta_matches_from_scratch_prepare() {
+        let h = hummer();
+        let prepared = h.prepare(&["EE_Student", "CS_Students"]).unwrap();
+
+        // CS_Students: fix John's age and add a new student.
+        let ee = h.repository().get("EE_Student").unwrap().clone();
+        let mut cs_rows = h.repository().get("CS_Students").unwrap().rows().to_vec();
+        cs_rows[0] = hummer_engine::Row::from_values(vec![
+            Value::text("John Smith"),
+            Value::Int(26),
+            Value::text("Berlin"),
+        ]);
+        cs_rows.push(hummer_engine::Row::from_values(vec![
+            Value::text("Grace Hopper"),
+            Value::Int(37),
+            Value::text("Arlington"),
+        ]));
+        let cs =
+            hummer_engine::Table::from_rows("CS_Students", &["FullName", "Years", "Town"], cs_rows)
+                .unwrap();
+
+        // EE unchanged (3 rows) + CS: row 0 updated, 1 row appended.
+        let mut old_to_new: Vec<Option<usize>> = (0..6).map(Some).collect();
+        old_to_new.truncate(6);
+        let mapping = RowMapping::new(old_to_new, 7).unwrap();
+
+        let (upgraded, report) = prepared
+            .apply_delta(&[&ee, &cs], &mapping, h.config())
+            .unwrap();
+        let scratch = prepare_tables(&[&ee, &cs], h.config()).unwrap();
+        assert_eq!(upgraded.integrated.rows(), scratch.integrated.rows());
+        assert_eq!(upgraded.annotated.rows(), scratch.annotated.rows());
+        assert_eq!(upgraded.detection.pairs, scratch.detection.pairs);
+        assert_eq!(upgraded.detection.unsure, scratch.detection.unsure);
+        assert_eq!(
+            upgraded.detection.cluster_ids,
+            scratch.detection.cluster_ids
+        );
+        assert_eq!(upgraded.detection.clusters, scratch.detection.clusters);
+        assert_eq!(
+            upgraded.detection.attributes_used,
+            scratch.detection.attributes_used
+        );
+        assert_eq!(report.detection.new_rows, 7);
+        assert!(report.timings.total() > Duration::ZERO);
+
+        // And the fused views agree, too.
+        let registry = FunctionRegistry::standard();
+        let from_upgraded = fuse_prepared(&upgraded, &[], &registry).unwrap();
+        let from_scratch = fuse_prepared(&scratch, &[], &registry).unwrap();
+        assert_eq!(from_upgraded.result.rows(), from_scratch.result.rows());
+        assert_eq!(from_upgraded.conflict_count, from_scratch.conflict_count);
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! # hummer-delta — delta ingestion and incremental maintenance
+//!
+//! HumMer serves *autonomous, evolving* sources; this crate makes evolution
+//! cheap. Instead of re-running the whole pipeline when a source changes,
+//! a delta flows through three incremental layers, each bit-identical to a
+//! from-scratch recompute over the updated data:
+//!
+//! * [`model`] — the [`TableDelta`] change model (insert / update / delete
+//!   of rows, stable pre-delta addressing) and its application to a table,
+//!   producing the [`RowMapping`] every downstream layer consumes;
+//! * [`mapping`] — lifting per-source mappings into the integrated
+//!   (outer-union) row space with [`concat_mappings`];
+//! * duplicate detection — `hummer_dupdetect::detect_delta` re-scores only
+//!   pairs touching dirty rows and re-clusters only affected components;
+//! * [`view`] — [`FusedView`], a fused result patched in place by
+//!   re-resolving only dirty clusters through `hummer_fusion`'s cluster
+//!   memo.
+//!
+//! The pipeline-level entry point is `hummer_core`'s
+//! `PreparedSources::apply_delta`, and the serving layer upgrades its
+//! prepared-pipeline cache entries through `POST /tables/{name}/delta` —
+//! see `ARCHITECTURE.md` ("The delta subsystem") for the dataflow.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mapping;
+pub mod model;
+pub mod view;
+
+pub use hummer_dupdetect::{DeltaDetectionStats, RowMapping};
+pub use mapping::concat_mappings;
+pub use model::{DeltaCounts, DeltaError, DeltaOp, TableDelta};
+pub use view::{FusedView, FusedViewStats};

@@ -1,0 +1,70 @@
+//! Row-mapping composition across the pipeline's row spaces.
+//!
+//! A [`TableDelta`](crate::TableDelta) yields a [`RowMapping`] over one
+//! source table, but the incremental detector works over the *integrated*
+//! table — the outer union that concatenates all sources in query order.
+//! [`concat_mappings`] lifts per-source mappings into that union row space.
+
+use hummer_dupdetect::RowMapping;
+use hummer_engine::Result;
+
+/// Concatenate per-source row mappings (in source/query order) into the
+/// mapping over the integrated (outer-union) table, whose rows are the
+/// sources' rows back to back.
+///
+/// # Example
+///
+/// ```
+/// use hummer_delta::{concat_mappings, RowMapping};
+///
+/// // Source 0 unchanged (2 rows); source 1 deleted its row 0 of 2.
+/// let m = concat_mappings(&[
+///     RowMapping::identity(2),
+///     RowMapping::new(vec![None, Some(0)], 1).unwrap(),
+/// ])
+/// .unwrap();
+/// assert_eq!(m.old_to_new, vec![Some(0), Some(1), None, Some(2)]);
+/// assert_eq!(m.new_len(), 3);
+/// ```
+pub fn concat_mappings(per_source: &[RowMapping]) -> Result<RowMapping> {
+    let total_new: usize = per_source.iter().map(|m| m.new_len()).sum();
+    let mut old_to_new = Vec::with_capacity(per_source.iter().map(|m| m.old_len()).sum());
+    let mut new_offset = 0usize;
+    for m in per_source {
+        for n in &m.old_to_new {
+            old_to_new.push(n.map(|n| n + new_offset));
+        }
+        new_offset += m.new_len();
+    }
+    RowMapping::new(old_to_new, total_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_accumulate_per_source() {
+        // s0: 2 rows, row 1 deleted; s1: 1 row + 1 insert; s2: identity 2.
+        let m = concat_mappings(&[
+            RowMapping::new(vec![Some(0), None], 1).unwrap(),
+            RowMapping::new(vec![Some(0)], 2).unwrap(),
+            RowMapping::identity(2),
+        ])
+        .unwrap();
+        assert_eq!(m.old_len(), 5);
+        assert_eq!(m.new_len(), 5);
+        assert_eq!(m.old_to_new, vec![Some(0), None, Some(1), Some(3), Some(4)]);
+        // The insert in s1 lands at union index 2.
+        assert_eq!(m.new_to_old[2], None);
+        assert_eq!(m.inserted(), 1);
+        assert_eq!(m.deleted(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty_mapping() {
+        let m = concat_mappings(&[]).unwrap();
+        assert_eq!(m.old_len(), 0);
+        assert_eq!(m.new_len(), 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! The delta model: row-level changes to one source table.
+//!
+//! A [`TableDelta`] names a source and carries a batch of [`DeltaOp`]s. All
+//! row indices refer to the table **as it was before the delta** (stable
+//! addressing: the ops in one batch never shift each other's targets).
+//! Application order within a batch is: updates in place, deletes, then
+//! inserts appended at the end — which keeps surviving rows in their
+//! original relative order, the monotonicity the incremental detector's
+//! [`RowMapping`] requires.
+
+use hummer_dupdetect::RowMapping;
+use hummer_engine::{Row, Table, Value};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One row-level change. Indices address the pre-delta table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    /// Append a new row (at the end of the table).
+    Insert(Vec<Value>),
+    /// Replace row `row`'s values in place.
+    Update {
+        /// Pre-delta row index.
+        row: usize,
+        /// The row's new values (full arity).
+        values: Vec<Value>,
+    },
+    /// Remove row `row`.
+    Delete {
+        /// Pre-delta row index.
+        row: usize,
+    },
+}
+
+/// A batch of changes to one named source table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableDelta {
+    /// The source table (catalog alias) the delta applies to.
+    pub table: String,
+    /// The changes, in the order they were submitted.
+    pub ops: Vec<DeltaOp>,
+}
+
+/// Counts of the three op kinds in a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaCounts {
+    /// Rows inserted.
+    pub inserted: usize,
+    /// Rows updated.
+    pub updated: usize,
+    /// Rows deleted.
+    pub deleted: usize,
+}
+
+impl DeltaCounts {
+    /// Total rows touched.
+    pub fn total(&self) -> usize {
+        self.inserted + self.updated + self.deleted
+    }
+}
+
+/// Why a delta could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An op addressed a row outside the table.
+    RowOutOfBounds {
+        /// The offending index.
+        row: usize,
+        /// The table's row count.
+        len: usize,
+    },
+    /// Two ops addressed the same row.
+    ConflictingOps {
+        /// The doubly-addressed index.
+        row: usize,
+    },
+    /// An inserted or updated row has the wrong number of values.
+    ArityMismatch {
+        /// Expected column count.
+        expected: usize,
+        /// Provided value count.
+        actual: usize,
+    },
+    /// The delta body could not be understood (server-side parse).
+    Malformed(String),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::RowOutOfBounds { row, len } => {
+                write!(f, "delta row {row} out of bounds (table has {len} rows)")
+            }
+            DeltaError::ConflictingOps { row } => {
+                write!(f, "delta addresses row {row} more than once")
+            }
+            DeltaError::ArityMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "delta row has {actual} values, table has {expected} columns"
+                )
+            }
+            DeltaError::Malformed(msg) => write!(f, "malformed delta: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl TableDelta {
+    /// An empty delta against `table`.
+    pub fn new(table: impl Into<String>) -> Self {
+        TableDelta {
+            table: table.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Append an insert op (builder style).
+    pub fn insert(mut self, values: Vec<Value>) -> Self {
+        self.ops.push(DeltaOp::Insert(values));
+        self
+    }
+
+    /// Append an update op (builder style).
+    pub fn update(mut self, row: usize, values: Vec<Value>) -> Self {
+        self.ops.push(DeltaOp::Update { row, values });
+        self
+    }
+
+    /// Append a delete op (builder style).
+    pub fn delete(mut self, row: usize) -> Self {
+        self.ops.push(DeltaOp::Delete { row });
+        self
+    }
+
+    /// True when the batch carries no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Count the ops by kind.
+    pub fn counts(&self) -> DeltaCounts {
+        let mut c = DeltaCounts::default();
+        for op in &self.ops {
+            match op {
+                DeltaOp::Insert(_) => c.inserted += 1,
+                DeltaOp::Update { .. } => c.updated += 1,
+                DeltaOp::Delete { .. } => c.deleted += 1,
+            }
+        }
+        c
+    }
+
+    /// Apply the batch to `table`, producing the updated table and the
+    /// [`RowMapping`] from old to new row indices.
+    ///
+    /// The new table keeps the schema (types re-inferred from the data,
+    /// exactly as a fresh load of the updated content would) and the name.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hummer_delta::TableDelta;
+    /// use hummer_engine::{table, Value};
+    ///
+    /// let t = table! {
+    ///     "People" => ["Name", "Age"];
+    ///     ["John Smith", 24],
+    ///     ["Mary Jones", 22],
+    /// };
+    /// let delta = TableDelta::new("People")
+    ///     .update(0, vec![Value::text("John Smith"), Value::Int(25)])
+    ///     .insert(vec![Value::text("Grace Hopper"), Value::Int(37)]);
+    /// let (updated, mapping) = delta.apply(&t).unwrap();
+    /// assert_eq!(updated.len(), 3);
+    /// assert_eq!(updated.cell(0, 1), &Value::Int(25));
+    /// assert_eq!(mapping.old_to_new, vec![Some(0), Some(1)]);
+    /// assert_eq!(mapping.inserted(), 1);
+    /// ```
+    pub fn apply(&self, table: &Table) -> Result<(Table, RowMapping), DeltaError> {
+        let len = table.len();
+        let arity = table.schema().len();
+        let mut updates: BTreeMap<usize, &Vec<Value>> = BTreeMap::new();
+        let mut deletes: BTreeSet<usize> = BTreeSet::new();
+        let mut inserts: Vec<&Vec<Value>> = Vec::new();
+        for op in &self.ops {
+            match op {
+                DeltaOp::Insert(values) => {
+                    if values.len() != arity {
+                        return Err(DeltaError::ArityMismatch {
+                            expected: arity,
+                            actual: values.len(),
+                        });
+                    }
+                    inserts.push(values);
+                }
+                DeltaOp::Update { row, values } => {
+                    if *row >= len {
+                        return Err(DeltaError::RowOutOfBounds { row: *row, len });
+                    }
+                    if values.len() != arity {
+                        return Err(DeltaError::ArityMismatch {
+                            expected: arity,
+                            actual: values.len(),
+                        });
+                    }
+                    if deletes.contains(row) || updates.insert(*row, values).is_some() {
+                        return Err(DeltaError::ConflictingOps { row: *row });
+                    }
+                }
+                DeltaOp::Delete { row } => {
+                    if *row >= len {
+                        return Err(DeltaError::RowOutOfBounds { row: *row, len });
+                    }
+                    if updates.contains_key(row) || !deletes.insert(*row) {
+                        return Err(DeltaError::ConflictingOps { row: *row });
+                    }
+                }
+            }
+        }
+
+        let new_len = len - deletes.len() + inserts.len();
+        let mut rows: Vec<Row> = Vec::with_capacity(new_len);
+        let mut old_to_new: Vec<Option<usize>> = Vec::with_capacity(len);
+        for (i, row) in table.rows().iter().enumerate() {
+            if deletes.contains(&i) {
+                old_to_new.push(None);
+                continue;
+            }
+            old_to_new.push(Some(rows.len()));
+            match updates.get(&i) {
+                Some(values) => rows.push(Row::from_values((*values).clone())),
+                None => rows.push(row.clone()),
+            }
+        }
+        for values in inserts {
+            rows.push(Row::from_values(values.clone()));
+        }
+
+        let mut out =
+            Table::new(table.name(), table.schema().clone(), rows).expect("arity validated above");
+        out.infer_types();
+        let mapping = RowMapping::new(old_to_new, new_len).expect("construction is monotone");
+        Ok((out, mapping))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::table;
+
+    fn t() -> Table {
+        table! {
+            "T" => ["Name", "Age"];
+            ["a", 1],
+            ["b", 2],
+            ["c", 3],
+        }
+    }
+
+    #[test]
+    fn mixed_batch_applies_with_mapping() {
+        let delta = TableDelta::new("T")
+            .delete(1)
+            .update(2, vec![Value::text("c2"), Value::Int(30)])
+            .insert(vec![Value::text("d"), Value::Int(4)]);
+        let (out, mapping) = delta.apply(&t()).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.cell(0, 0), &Value::text("a"));
+        assert_eq!(out.cell(1, 0), &Value::text("c2"));
+        assert_eq!(out.cell(1, 1), &Value::Int(30));
+        assert_eq!(out.cell(2, 0), &Value::text("d"));
+        assert_eq!(mapping.old_to_new, vec![Some(0), None, Some(1)]);
+        assert_eq!(mapping.new_to_old, vec![Some(0), Some(2), None]);
+        let counts = delta.counts();
+        assert_eq!((counts.inserted, counts.updated, counts.deleted), (1, 1, 1));
+        assert_eq!(counts.total(), 3);
+    }
+
+    #[test]
+    fn indices_address_the_pre_delta_table() {
+        // Deleting 0 does not shift the meaning of "row 2".
+        let delta = TableDelta::new("T")
+            .delete(0)
+            .update(2, vec![Value::text("z"), Value::Int(9)]);
+        let (out, _) = delta.apply(&t()).unwrap();
+        assert_eq!(out.cell(0, 0), &Value::text("b"));
+        assert_eq!(out.cell(1, 0), &Value::text("z"));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let e = TableDelta::new("T").delete(9).apply(&t()).unwrap_err();
+        assert!(matches!(e, DeltaError::RowOutOfBounds { row: 9, len: 3 }));
+        let e = TableDelta::new("T")
+            .delete(1)
+            .update(1, vec![Value::text("x"), Value::Int(0)])
+            .apply(&t())
+            .unwrap_err();
+        assert!(matches!(e, DeltaError::ConflictingOps { row: 1 }));
+        let e = TableDelta::new("T")
+            .delete(1)
+            .delete(1)
+            .apply(&t())
+            .unwrap_err();
+        assert!(matches!(e, DeltaError::ConflictingOps { row: 1 }));
+        let e = TableDelta::new("T")
+            .insert(vec![Value::Int(1)])
+            .apply(&t())
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            DeltaError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            }
+        ));
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let delta = TableDelta::new("T");
+        assert!(delta.is_empty());
+        let (out, mapping) = delta.apply(&t()).unwrap();
+        assert_eq!(out.rows(), t().rows());
+        assert_eq!(mapping, RowMapping::identity(3));
+    }
+}

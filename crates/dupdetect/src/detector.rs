@@ -59,10 +59,12 @@ impl Default for DetectorConfig {
             candidates: CandidateSpec::AllPairs,
             // Calibrated against the generated scenario worlds (see
             // `tests/end_to_end.rs`): with the exact-vs-near numeric
-            // weighting in the measure, 0.765 holds pairwise precision at
-            // ~1.0 across seeds while keeping recall well above the unsure
-            // band, which catches the borderline pairs for confirmation.
-            threshold: 0.765,
+            // weighting and the quantized corpus statistics in the measure
+            // (ISSUE 4: step-function stats enable incremental detection),
+            // 0.77 holds pairwise precision at ~1.0 across seeds while
+            // keeping recall well above the unsure band, which catches the
+            // borderline pairs for confirmation.
+            threshold: 0.77,
             unsure_threshold: 0.6,
             use_filter: true,
         }
@@ -187,29 +189,10 @@ struct ScoredChunk {
     compared: usize,
 }
 
-/// Run duplicate detection with up to `par.get()` threads scoring candidate
-/// pairs concurrently.
-///
-/// The candidate list is split into contiguous chunks, each chunk is scored
-/// on its own thread against the shared (read-only) [`TupleSimilarity`]
-/// caches, and the per-chunk accepted/unsure lists are concatenated in
-/// chunk order — exactly the order the sequential loop produces. The
-/// transitive closure (union-find) then runs single-threaded over the
-/// merged pairs. Output is therefore **bit-identical** to
-/// [`detect_duplicates`] for every degree; `tests/parallel_equivalence.rs`
-/// and `exp10_parallel` enforce this.
-pub fn detect_duplicates_par(
-    table: &Table,
-    cfg: &DetectorConfig,
-    par: Parallelism,
-) -> Result<DetectionResult> {
-    if cfg.unsure_threshold > cfg.threshold {
-        return Err(EngineError::Expression(format!(
-            "unsure_threshold {} exceeds threshold {}",
-            cfg.unsure_threshold, cfg.threshold
-        )));
-    }
-    // Resolve comparison attributes.
+/// Resolve the comparison attributes for `table` under `cfg`: explicit
+/// names, or the selection heuristics. Shared by the full detector and the
+/// incremental path so both always agree.
+pub(crate) fn resolve_attributes(table: &Table, cfg: &DetectorConfig) -> Result<Vec<usize>> {
     let attrs: Vec<usize> = match &cfg.attributes {
         Some(names) => names
             .iter()
@@ -222,36 +205,22 @@ pub fn detect_duplicates_par(
             "no usable attributes for duplicate detection (heuristics selected none)".into(),
         ));
     }
-    let attributes_used: Vec<String> = attrs
-        .iter()
-        .map(|&i| table.schema().column(i).name.clone())
-        .collect();
+    Ok(attrs)
+}
 
-    let strategy = match &cfg.candidates {
-        CandidateSpec::AllPairs => CandidateStrategy::AllPairs,
-        CandidateSpec::SortedNeighborhood { key, window } => {
-            let key_attrs: Vec<usize> = key
-                .iter()
-                .map(|n| table.resolve(n))
-                .collect::<Result<_>>()?;
-            CandidateStrategy::SortedNeighborhood {
-                key_attrs,
-                window: *window,
-            }
-        }
-    };
-
-    let measure = TupleSimilarity::new(table, attrs);
-    let candidates = candidate_pairs(table, &strategy);
-    let mut stats = DetectionStats {
-        candidates: candidates.len(),
-        ..Default::default()
-    };
-
-    // Score candidate chunks on up to `par` threads; the similarity caches
-    // are shared read-only. Chunk results merge in candidate order, so the
-    // pair lists match the sequential loop element for element.
-    let chunks = par_chunks(par, &candidates, |_, chunk| {
+/// Score a candidate-pair list against `measure` on up to `par.get()`
+/// threads, merging chunk results in candidate order. The returned pair
+/// lists are **unsorted** (candidate order); callers apply the canonical
+/// similarity-descending stable sort. Shared by [`detect_duplicates_par`]
+/// and the incremental detector so a pair scores identically on both paths.
+pub(crate) fn score_candidates(
+    table: &Table,
+    measure: &TupleSimilarity,
+    cfg: &DetectorConfig,
+    candidates: &[(usize, usize)],
+    par: Parallelism,
+) -> ScoredCandidates {
+    let chunks = par_chunks(par, candidates, |_, chunk| {
         let mut out = ScoredChunk {
             pairs: Vec::new(),
             unsure: Vec::new(),
@@ -281,17 +250,98 @@ pub fn detect_duplicates_par(
         }
         out
     });
-    let mut pairs = Vec::new();
-    let mut unsure = Vec::new();
+    let mut merged = ScoredCandidates::default();
     for chunk in chunks {
-        stats.filtered_out += chunk.filtered_out;
-        stats.compared += chunk.compared;
-        pairs.extend(chunk.pairs);
-        unsure.extend(chunk.unsure);
+        merged.filtered_out += chunk.filtered_out;
+        merged.compared += chunk.compared;
+        merged.pairs.extend(chunk.pairs);
+        merged.unsure.extend(chunk.unsure);
     }
-    // Stable sort: ties keep candidate order, the same for every degree.
-    pairs.sort_by(|a, b| b.similarity.total_cmp(&a.similarity));
-    unsure.sort_by(|a, b| b.similarity.total_cmp(&a.similarity));
+    merged
+}
+
+/// Merged output of [`score_candidates`].
+#[derive(Default)]
+pub(crate) struct ScoredCandidates {
+    pub(crate) pairs: Vec<DuplicatePair>,
+    pub(crate) unsure: Vec<DuplicatePair>,
+    pub(crate) filtered_out: usize,
+    pub(crate) compared: usize,
+}
+
+/// The canonical order of the detector's pair lists: similarity descending,
+/// ties in candidate (lexicographic `(left, right)`) order — exactly what
+/// the full detector's stable sort over lexicographic candidates produces.
+pub(crate) fn sort_pairs_canonical(pairs: &mut [DuplicatePair]) {
+    pairs.sort_by(|a, b| {
+        b.similarity
+            .total_cmp(&a.similarity)
+            .then(a.left.cmp(&b.left))
+            .then(a.right.cmp(&b.right))
+    });
+}
+
+/// Run duplicate detection with up to `par.get()` threads scoring candidate
+/// pairs concurrently.
+///
+/// The candidate list is split into contiguous chunks, each chunk is scored
+/// on its own thread against the shared (read-only) [`TupleSimilarity`]
+/// caches, and the per-chunk accepted/unsure lists are concatenated in
+/// chunk order — exactly the order the sequential loop produces. The
+/// transitive closure (union-find) then runs single-threaded over the
+/// merged pairs. Output is therefore **bit-identical** to
+/// [`detect_duplicates`] for every degree; `tests/parallel_equivalence.rs`
+/// and `exp10_parallel` enforce this.
+pub fn detect_duplicates_par(
+    table: &Table,
+    cfg: &DetectorConfig,
+    par: Parallelism,
+) -> Result<DetectionResult> {
+    if cfg.unsure_threshold > cfg.threshold {
+        return Err(EngineError::Expression(format!(
+            "unsure_threshold {} exceeds threshold {}",
+            cfg.unsure_threshold, cfg.threshold
+        )));
+    }
+    let attrs = resolve_attributes(table, cfg)?;
+    let attributes_used: Vec<String> = attrs
+        .iter()
+        .map(|&i| table.schema().column(i).name.clone())
+        .collect();
+
+    let strategy = match &cfg.candidates {
+        CandidateSpec::AllPairs => CandidateStrategy::AllPairs,
+        CandidateSpec::SortedNeighborhood { key, window } => {
+            let key_attrs: Vec<usize> = key
+                .iter()
+                .map(|n| table.resolve(n))
+                .collect::<Result<_>>()?;
+            CandidateStrategy::SortedNeighborhood {
+                key_attrs,
+                window: *window,
+            }
+        }
+    };
+
+    let measure = TupleSimilarity::new(table, attrs);
+    let candidates = candidate_pairs(table, &strategy);
+    let mut stats = DetectionStats {
+        candidates: candidates.len(),
+        ..Default::default()
+    };
+
+    // Score candidate chunks on up to `par` threads; the similarity caches
+    // are shared read-only. Chunk results merge in candidate order, so the
+    // pair lists match the sequential loop element for element.
+    let scored = score_candidates(table, &measure, cfg, &candidates, par);
+    stats.filtered_out = scored.filtered_out;
+    stats.compared = scored.compared;
+    let mut pairs = scored.pairs;
+    let mut unsure = scored.unsure;
+    // Canonical order: similarity descending, ties in candidate order —
+    // the same comparator the incremental path uses.
+    sort_pairs_canonical(&mut pairs);
+    sort_pairs_canonical(&mut unsure);
 
     let mut result = DetectionResult {
         pairs,

@@ -67,6 +67,53 @@ pub const EVIDENCE_PRIOR: f64 = 0.25;
 /// relative distance is blind — at *every* table size.
 pub const SIGMA_SMALL_SAMPLE_INFLATION: f64 = 10.0;
 
+/// Quantize a corpus count (document count or document frequency) for the
+/// statistics entering the measure: counts up to 63 are exact, larger ones
+/// are truncated to their top 6 binary digits (relative error < 1.6 %).
+///
+/// Why quantize at all: every per-cell weight is a function of corpus-wide
+/// counts, so without quantization a *single* inserted row would shift the
+/// identifying weight of every cell in the table by a few ULPs — and the
+/// incremental detector ([`crate::incremental`]) could never carry a single
+/// scored pair across a delta while staying bit-identical to a from-scratch
+/// run. With step-function counts, a small delta leaves the weights of
+/// untouched rows literally unchanged (until a quantization boundary is
+/// crossed, at which point one delta pays a full rescore and the window
+/// resets). The measure's *semantics* are unchanged — only the granularity
+/// at which corpus evidence is read.
+pub fn quantize_count(c: usize) -> usize {
+    if c < 64 {
+        return c;
+    }
+    let shift = usize::BITS - c.leading_zeros() - 6;
+    (c >> shift) << shift
+}
+
+/// Quantize a σ-based comparison scale onto a geometric grid with 32 steps
+/// per octave (relative error < 2.2 %). Same rationale as
+/// [`quantize_count`]: the scale must be a *step* function of the data so
+/// small deltas leave untouched rows' numeric comparisons bit-identical.
+pub fn quantize_scale(scale: f64) -> f64 {
+    if !scale.is_finite() || scale <= 0.0 {
+        return scale;
+    }
+    ((scale.log2() * 32.0).floor() / 32.0).exp2()
+}
+
+/// Soft IDF over quantized corpus statistics — the identifying-power weight
+/// the measure actually uses. Matches [`Corpus::soft_idf`]'s formula with
+/// [`quantize_count`] applied to both the document count and the document
+/// frequency.
+fn stable_soft_idf(corpus: &Corpus, token: &str) -> f64 {
+    let n = quantize_count(corpus.doc_count());
+    if n == 0 {
+        return 1.0;
+    }
+    let df = quantize_count(corpus.df(token));
+    let idf = (1.0 + n as f64 / (df as f64 + 1.0)).ln();
+    (idf / (1.0 + n as f64).ln()).min(1.0)
+}
+
 /// Per-field similarity between two non-null values: numeric pairs compare
 /// by distance against `scale` (the gap at which similarity reaches zero;
 /// dates via their day ordinal), everything else by normalized Levenshtein
@@ -135,7 +182,7 @@ pub fn field_similarity_upper_bound(a: &Value, b: &Value, range: Option<f64>) ->
 /// lowercased text rendering (so neither the measure nor its upper bound
 /// allocates during pairwise comparison).
 #[derive(Debug, Clone)]
-struct CellData {
+pub(crate) struct CellData {
     /// Identifying power (mean soft IDF of the value's tokens; for σ-scaled
     /// numeric attributes, soft IDF of the *exact* value) — applied to text
     /// comparisons and to exact numeric agreement.
@@ -174,7 +221,7 @@ fn char_histogram(text: &str) -> [u16; 28] {
 /// corpora (for soft-IDF weights), per-attribute numeric dispersion scales,
 /// and per-cell text/numeric caches, so pairwise comparison allocates
 /// nothing.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TupleSimilarity {
     /// Indices of the attributes participating in comparison.
     attrs: Vec<usize>,
@@ -185,8 +232,8 @@ pub struct TupleSimilarity {
     /// `NULL`.
     cells: Vec<Vec<Option<CellData>>>,
     /// Per participating attribute: the numeric comparison scale
-    /// (`NUMERIC_SIGMA_SCALE · σ`) when the attribute is fully numeric,
-    /// else `None`.
+    /// (`NUMERIC_SIGMA_SCALE · σ`, quantized by [`quantize_scale`]) when
+    /// the attribute is fully numeric, else `None`.
     ranges: Vec<Option<f64>>,
 }
 
@@ -219,7 +266,7 @@ impl TupleSimilarity {
                 let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
                 let sigma = var.sqrt();
                 let inflation = 1.0 + SIGMA_SMALL_SAMPLE_INFLATION / n;
-                (sigma > 0.0).then_some(NUMERIC_SIGMA_SCALE * sigma * inflation)
+                (sigma > 0.0).then(|| quantize_scale(NUMERIC_SIGMA_SCALE * sigma * inflation))
             })
             .collect();
         // Identifying-power corpora. Textual attributes document each value's
@@ -268,13 +315,16 @@ impl TupleSimilarity {
                             let text = v.to_string().to_lowercase();
                             let (weight, near_weight) = match (range, v.as_f64()) {
                                 (Some(scale), Some(x)) => {
-                                    let exact = exact_corpus
-                                        .as_ref()
-                                        .expect("exact corpus exists for ranged attrs")
-                                        .soft_idf(&text)
-                                        .max(0.05);
+                                    let exact = stable_soft_idf(
+                                        exact_corpus
+                                            .as_ref()
+                                            .expect("exact corpus exists for ranged attrs"),
+                                        &text,
+                                    )
+                                    .max(0.05);
                                     let near =
-                                        corpus.soft_idf(&numeric_bucket_token(x, *scale)).max(0.05);
+                                        stable_soft_idf(corpus, &numeric_bucket_token(x, *scale))
+                                            .max(0.05);
                                     (exact, near)
                                 }
                                 _ => {
@@ -396,6 +446,51 @@ impl TupleSimilarity {
             (num / (den + EVIDENCE_PRIOR)).min(1.0)
         }
     }
+
+    /// Number of rows the scorer is bound to.
+    pub fn row_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The per-attribute comparison scales as exact bit patterns (`None`
+    /// for text/mixed attributes). Two scorers with equal range bits and
+    /// bit-identical cells produce bit-identical similarities.
+    pub fn range_bits(&self) -> Vec<Option<u64>> {
+        self.ranges.iter().map(|r| r.map(f64::to_bits)).collect()
+    }
+
+    /// Whether the cell of row `i`, participating attribute `k` is non-null
+    /// and carries a numeric view (the only cells whose comparison reads
+    /// the attribute's range).
+    pub fn cell_is_numeric(&self, i: usize, k: usize) -> bool {
+        self.cells[i][k].as_ref().is_some_and(|c| c.num.is_some())
+    }
+
+    /// Bit-exact equality of one row's cell caches against a row of another
+    /// scorer (same participating-attribute count required).
+    ///
+    /// This is the carry-over test of the incremental detector: a pair of
+    /// rows whose cells are bit-identical under the old and new scorer —
+    /// and whose attribute ranges are bit-identical — scores bit-identically,
+    /// because [`TupleSimilarity::similarity`] reads nothing else.
+    pub fn row_cells_identical(&self, i: usize, other: &TupleSimilarity, j: usize) -> bool {
+        debug_assert_eq!(self.attrs.len(), other.attrs.len());
+        self.cells[i]
+            .iter()
+            .zip(&other.cells[j])
+            .all(|(a, b)| match (a, b) {
+                (None, None) => true,
+                (Some(a), Some(b)) => {
+                    a.weight.to_bits() == b.weight.to_bits()
+                        && a.near_weight.to_bits() == b.near_weight.to_bits()
+                        && a.num.map(f64::to_bits) == b.num.map(f64::to_bits)
+                        && a.len == b.len
+                        && a.text == b.text
+                        && a.hist == b.hist
+                }
+                _ => false,
+            })
+    }
 }
 
 /// Noise-resolution bucket label for a σ-scaled numeric value: `scale` is
@@ -406,15 +501,15 @@ fn numeric_bucket_token(x: f64, scale: f64) -> String {
     format!("b{:.0}", (x / width).floor())
 }
 
-/// Identifying power of one value: the mean soft IDF of its tokens in the
-/// attribute's corpus, floored at a small ε so matched-but-common values
-/// still participate.
+/// Identifying power of one value: the mean soft IDF (over quantized corpus
+/// statistics) of its tokens in the attribute's corpus, floored at a small
+/// ε so matched-but-common values still participate.
 fn value_weight(corpus: &Corpus, v: &Value) -> f64 {
     let tokens = word_tokens(&v.to_string());
     if tokens.is_empty() {
         return 0.05;
     }
-    let sum: f64 = tokens.iter().map(|t| corpus.soft_idf(t)).sum();
+    let sum: f64 = tokens.iter().map(|t| stable_soft_idf(corpus, t)).sum();
     (sum / tokens.len() as f64).max(0.05)
 }
 
@@ -618,6 +713,56 @@ mod tests {
         assert!(different_people < 0.6, "{different_people}");
         assert!(same_person > 0.7, "{same_person}");
         assert!(same_person > different_people + 0.2);
+    }
+
+    #[test]
+    fn quantized_counts_are_stable_step_functions() {
+        // Exact below 64.
+        for c in 0..64 {
+            assert_eq!(quantize_count(c), c);
+        }
+        // Monotone, never above the input, relative error < 1/32.
+        let mut prev = 0;
+        for c in 64..5000 {
+            let q = quantize_count(c);
+            assert!(q <= c);
+            assert!(q >= prev);
+            assert!((c - q) as f64 / (c as f64) < 1.0 / 32.0, "{c} -> {q}");
+            prev = q;
+        }
+        // Step function: long runs of identical output (step 16 at ~1000).
+        assert_eq!(quantize_count(1000), quantize_count(1007));
+    }
+
+    #[test]
+    fn quantized_scale_geometric_grid() {
+        for s in [0.5, 1.0, 7.3, 26.0, 1e6] {
+            let q = quantize_scale(s);
+            assert!(q <= s && q > s * 0.979, "{s} -> {q}");
+            // Nearby values share a grid point (stability window).
+            assert_eq!(q.to_bits(), quantize_scale(q * 1.0001).to_bits());
+        }
+        assert_eq!(quantize_scale(0.0), 0.0);
+        assert!(quantize_scale(f64::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn row_cells_identical_detects_changes() {
+        let t1 = t();
+        let mut rows: Vec<hummer_engine::Row> = t1.rows().to_vec();
+        rows[4] = hummer_engine::Row::from_values(vec![
+            Value::text("John Smith"),
+            Value::text("Potsdam"), // changed city
+            Value::Int(34),
+        ]);
+        let t2 = Table::from_rows("People", &["Name", "City", "Age"], rows).unwrap();
+        let a = scorer(&t1);
+        let b = scorer(&t2);
+        // Untouched rows keep bit-identical cells (quantized stats absorb
+        // the tiny df drift of the changed city value).
+        assert!(a.row_cells_identical(0, &b, 0));
+        assert!(!a.row_cells_identical(4, &b, 4));
+        assert_eq!(a.range_bits(), b.range_bits());
     }
 
     #[test]

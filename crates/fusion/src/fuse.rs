@@ -107,20 +107,22 @@ pub struct FusedTable {
 pub const MAX_SAMPLE_CONFLICTS: usize = 25;
 
 /// One cluster's fused row plus its by-products, computed independently of
-/// every other cluster (the unit of parallelism in [`fuse`]).
-struct ResolvedCluster {
-    values: Vec<Value>,
-    cell_lineages: Vec<CellLineage>,
+/// every other cluster (the unit of parallelism in [`fuse`], and the unit
+/// of caching in [`crate::incremental`]).
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedCluster {
+    pub(crate) values: Vec<Value>,
+    pub(crate) cell_lineages: Vec<CellLineage>,
     /// Conflict samples in column order, capped at [`MAX_SAMPLE_CONFLICTS`]
     /// (the global merge keeps the first `MAX_SAMPLE_CONFLICTS` across
     /// clusters in order, so a per-cluster cap loses nothing).
-    samples: Vec<SampleConflict>,
-    conflicts: usize,
+    pub(crate) samples: Vec<SampleConflict>,
+    pub(crate) conflicts: usize,
 }
 
 /// Fuse the cluster whose member row indices are `members` into one tuple.
 #[allow(clippy::too_many_arguments)]
-fn resolve_cluster(
+pub(crate) fn resolve_cluster(
     cluster_idx: usize,
     members: &[usize],
     input: &Table,
@@ -213,120 +215,171 @@ pub fn fuse(
     spec: &FusionSpec,
     registry: &FunctionRegistry,
 ) -> Result<FusedTable, FusionError> {
-    // Resolve key and output columns.
-    let key_idx: Vec<usize> = spec
-        .key_columns
-        .iter()
-        .map(|k| input.resolve(k).map_err(FusionError::from))
-        .collect::<Result<_, _>>()?;
-    if key_idx.is_empty() {
-        return Err(FusionError::BadArgument(
-            "fusion requires at least one key column (FUSE BY)".into(),
-        ));
+    let setup = FusionSetup::new(input, spec, registry)?;
+    let resolved = setup.resolve_all(input, spec, |_| None)?;
+    setup.assemble(input, resolved)
+}
+
+/// Everything [`fuse`] derives from the spec before touching clusters:
+/// resolved columns, instantiated functions, per-row source ids, and the
+/// key groups in first-appearance order. Shared with [`crate::incremental`]
+/// so the incremental path groups, resolves, and assembles byte-identically.
+pub(crate) struct FusionSetup {
+    pub(crate) out_cols: Vec<usize>,
+    pub(crate) order: Vec<Row>,
+    pub(crate) groups: HashMap<Row, Vec<usize>>,
+    row_sources: Vec<Option<String>>,
+    explicit: HashMap<usize, Arc<dyn ResolutionFunction>>,
+    default_fn: Arc<dyn ResolutionFunction>,
+}
+
+impl FusionSetup {
+    pub(crate) fn new(
+        input: &Table,
+        spec: &FusionSpec,
+        registry: &FunctionRegistry,
+    ) -> Result<FusionSetup, FusionError> {
+        // Resolve key and output columns.
+        let key_idx: Vec<usize> = spec
+            .key_columns
+            .iter()
+            .map(|k| input.resolve(k).map_err(FusionError::from))
+            .collect::<Result<_, _>>()?;
+        if key_idx.is_empty() {
+            return Err(FusionError::BadArgument(
+                "fusion requires at least one key column (FUSE BY)".into(),
+            ));
+        }
+        let dropped: BTreeSet<usize> = spec
+            .drop_columns
+            .iter()
+            .map(|c| input.resolve(c).map_err(FusionError::from))
+            .collect::<Result<_, _>>()?;
+        let out_cols: Vec<usize> = (0..input.schema().len())
+            .filter(|i| !dropped.contains(i))
+            .collect();
+
+        // Instantiate one function per output column.
+        let default_fn = registry.build(&spec.default_function)?;
+        let mut explicit: HashMap<usize, Arc<dyn ResolutionFunction>> = HashMap::new();
+        for (col, rspec) in &spec.resolutions {
+            let idx = input.resolve(col).map_err(FusionError::from)?;
+            explicit.insert(idx, registry.build(rspec)?);
+        }
+
+        // Source ids per input row, if the provenance column exists.
+        let source_idx = input.schema().index_of(SOURCE_ID_COLUMN);
+        let row_sources: Vec<Option<String>> = input
+            .rows()
+            .iter()
+            .map(|r| source_idx.and_then(|i| r[i].as_text()))
+            .collect();
+
+        // Group rows by key, preserving first-appearance order.
+        let mut order: Vec<Row> = Vec::new();
+        let mut groups: HashMap<Row, Vec<usize>> = HashMap::new();
+        for (i, row) in input.rows().iter().enumerate() {
+            let key = row.project(&key_idx);
+            groups
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    order.push(key);
+                    Vec::new()
+                })
+                .push(i);
+        }
+
+        Ok(FusionSetup {
+            out_cols,
+            order,
+            groups,
+            row_sources,
+            explicit,
+            default_fn,
+        })
     }
-    let dropped: BTreeSet<usize> = spec
-        .drop_columns
-        .iter()
-        .map(|c| input.resolve(c).map_err(FusionError::from))
-        .collect::<Result<_, _>>()?;
-    let out_cols: Vec<usize> = (0..input.schema().len())
-        .filter(|i| !dropped.contains(i))
-        .collect();
 
-    // Instantiate one function per output column.
-    let default_fn = registry.build(&spec.default_function)?;
-    let mut explicit: HashMap<usize, Arc<dyn ResolutionFunction>> = HashMap::new();
-    for (col, rspec) in &spec.resolutions {
-        let idx = input.resolve(col).map_err(FusionError::from)?;
-        explicit.insert(idx, registry.build(rspec)?);
+    /// Resolve every cluster, either through `shortcut` (the incremental
+    /// path's cache) or by running the resolution functions. Clusters are
+    /// independent, so they run on up to `spec.parallelism` threads and
+    /// merge in first-appearance order — the output is the same at every
+    /// degree.
+    pub(crate) fn resolve_all(
+        &self,
+        input: &Table,
+        spec: &FusionSpec,
+        shortcut: impl Fn(usize) -> Option<ResolvedCluster> + Sync,
+    ) -> Result<Vec<ResolvedCluster>, FusionError> {
+        let one_cluster = |cluster_idx: usize, key: &Row| match shortcut(cluster_idx) {
+            Some(cached) => Ok(cached),
+            None => resolve_cluster(
+                cluster_idx,
+                &self.groups[key],
+                input,
+                &self.out_cols,
+                &self.row_sources,
+                &self.explicit,
+                &self.default_fn,
+            ),
+        };
+        let resolved: Vec<Result<ResolvedCluster, FusionError>> =
+            if spec.parallelism.is_sequential() {
+                // Inline, stopping at the first error (a parallel run
+                // finishes in-flight clusters before the merge surfaces the
+                // same error).
+                let mut acc = Vec::with_capacity(self.order.len());
+                for (cluster_idx, key) in self.order.iter().enumerate() {
+                    let result = one_cluster(cluster_idx, key);
+                    let failed = result.is_err();
+                    acc.push(result);
+                    if failed {
+                        break;
+                    }
+                }
+                acc
+            } else {
+                par_map_indexed(spec.parallelism, &self.order, |cluster_idx, key| {
+                    one_cluster(cluster_idx, key)
+                })
+            };
+        resolved.into_iter().collect()
     }
 
-    // Source ids per input row, if the provenance column exists.
-    let source_idx = input.schema().index_of(SOURCE_ID_COLUMN);
-    let row_sources: Vec<Option<String>> = input
-        .rows()
-        .iter()
-        .map(|r| source_idx.and_then(|i| r[i].as_text()))
-        .collect();
-
-    // Group rows by key, preserving first-appearance order.
-    let mut order: Vec<Row> = Vec::new();
-    let mut groups: HashMap<Row, Vec<usize>> = HashMap::new();
-    for (i, row) in input.rows().iter().enumerate() {
-        let key = row.project(&key_idx);
-        groups
-            .entry(key.clone())
-            .or_insert_with(|| {
-                order.push(key);
-                Vec::new()
-            })
-            .push(i);
-    }
-
-    let out_schema = input
-        .schema()
-        .project(&out_cols)
-        .map_err(FusionError::from)?;
-    let out_names: Vec<String> = out_schema.names().iter().map(|s| s.to_string()).collect();
-    let mut out = Table::empty(input.name(), out_schema);
-    let mut lineage = Lineage::new(out_names);
-    let mut samples: Vec<SampleConflict> = Vec::new();
-    let mut conflict_count = 0usize;
-
-    // Resolve disjoint clusters concurrently (they share nothing but the
-    // read-only input and the resolution functions), then merge below in
-    // first-appearance order — so every degree produces the same output.
-    let one_cluster = |cluster_idx: usize, key: &Row| {
-        resolve_cluster(
-            cluster_idx,
-            &groups[key],
-            input,
-            &out_cols,
-            &row_sources,
-            &explicit,
-            &default_fn,
-        )
-    };
-    let resolved_clusters: Vec<Result<ResolvedCluster, FusionError>> =
-        if spec.parallelism.is_sequential() {
-            // Inline, stopping at the first error (a parallel run finishes
-            // in-flight clusters before the merge surfaces the same error).
-            let mut acc = Vec::with_capacity(order.len());
-            for (cluster_idx, key) in order.iter().enumerate() {
-                let result = one_cluster(cluster_idx, key);
-                let failed = result.is_err();
-                acc.push(result);
-                if failed {
+    /// Merge resolved clusters (in first-appearance order) into the fused
+    /// table, its lineage, and the global conflict sample/count.
+    pub(crate) fn assemble(
+        &self,
+        input: &Table,
+        resolved: Vec<ResolvedCluster>,
+    ) -> Result<FusedTable, FusionError> {
+        let out_schema = input
+            .schema()
+            .project(&self.out_cols)
+            .map_err(FusionError::from)?;
+        let out_names: Vec<String> = out_schema.names().iter().map(|s| s.to_string()).collect();
+        let mut out = Table::empty(input.name(), out_schema);
+        let mut lineage = Lineage::new(out_names);
+        let mut samples: Vec<SampleConflict> = Vec::new();
+        let mut conflict_count = 0usize;
+        for cluster in resolved {
+            conflict_count += cluster.conflicts;
+            for sample in cluster.samples {
+                if samples.len() >= MAX_SAMPLE_CONFLICTS {
                     break;
                 }
+                samples.push(sample);
             }
-            acc
-        } else {
-            par_map_indexed(spec.parallelism, &order, |cluster_idx, key| {
-                one_cluster(cluster_idx, key)
-            })
-        };
-
-    for cluster in resolved_clusters {
-        let cluster = cluster?;
-        conflict_count += cluster.conflicts;
-        for sample in cluster.samples {
-            if samples.len() >= MAX_SAMPLE_CONFLICTS {
-                break;
-            }
-            samples.push(sample);
+            out.push(Row::from_values(cluster.values))
+                .map_err(FusionError::from)?;
+            lineage.push_row(cluster.cell_lineages);
         }
-        out.push(Row::from_values(cluster.values))
-            .map_err(FusionError::from)?;
-        lineage.push_row(cluster.cell_lineages);
+        Ok(FusedTable {
+            table: out,
+            lineage,
+            sample_conflicts: samples,
+            conflict_count,
+        })
     }
-
-    Ok(FusedTable {
-        table: out,
-        lineage,
-        sample_conflicts: samples,
-        conflict_count,
-    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,288 @@
+//! Incremental fusion: re-resolve only dirty clusters.
+//!
+//! Fusion output is a pure function of each cluster in isolation — member
+//! rows (in order), their source ids, and the resolution functions — plus a
+//! deterministic merge in cluster order. So when a delta leaves a cluster's
+//! membership and member contents untouched, its fused row, cell lineage,
+//! and conflict by-products can be **reused** from a memo instead of
+//! re-running the resolution functions, and the result is still
+//! bit-identical to a from-scratch [`crate::fuse()`]:
+//!
+//! * reused values/conflict flags depend only on member-row contents, which
+//!   are unchanged by assumption;
+//! * lineage row indices are remapped through the delta's row mapping;
+//! * a sample conflict's cluster index is rewritten to the cluster's new
+//!   position.
+//!
+//! The caller (the delta subsystem) decides which clusters are reusable —
+//! see `hummer_delta::FusedView` for the sound plan construction — and this
+//! module guarantees the mechanics: recomputed clusters go through exactly
+//! the same code path as [`crate::fuse()`], and the final assembly is shared
+//! with it.
+
+use crate::error::FusionError;
+use crate::fuse::{FusedTable, FusionSetup, FusionSpec, ResolvedCluster};
+use crate::registry::FunctionRegistry;
+use hummer_engine::Table;
+
+/// Per-cluster cached fusion output, reusable across deltas while the
+/// cluster stays untouched.
+#[derive(Debug, Clone)]
+pub struct FusionMemo {
+    clusters: Vec<ResolvedCluster>,
+}
+
+impl FusionMemo {
+    /// Number of memoized clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+}
+
+/// What to do with one output cluster during an incremental fusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterPlan {
+    /// Run the resolution functions (the cluster is new or dirty).
+    Recompute,
+    /// Reuse the memoized output of old cluster `old` (sound only when the
+    /// cluster's membership and member-row contents are unchanged — the
+    /// caller's responsibility).
+    Reuse {
+        /// Index of the cluster in the memo this one reuses.
+        old: usize,
+    },
+}
+
+/// Work counters of one incremental fusion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalFusionStats {
+    /// Output clusters in total.
+    pub clusters: usize,
+    /// Clusters served from the memo.
+    pub reused: usize,
+    /// Clusters whose resolution functions ran.
+    pub recomputed: usize,
+}
+
+/// [`crate::fuse()`] that additionally returns a [`FusionMemo`] for later
+/// incremental runs.
+pub fn fuse_memo(
+    input: &Table,
+    spec: &FusionSpec,
+    registry: &FunctionRegistry,
+) -> Result<(FusedTable, FusionMemo), FusionError> {
+    let setup = FusionSetup::new(input, spec, registry)?;
+    let resolved = setup.resolve_all(input, spec, |_| None)?;
+    let memo = FusionMemo {
+        clusters: resolved.clone(),
+    };
+    let fused = setup.assemble(input, resolved)?;
+    Ok((fused, memo))
+}
+
+/// Fuse `input` reusing memoized clusters according to `plans`.
+///
+/// `plans` must have one entry per output cluster (key group of `input`, in
+/// first-appearance order); `old_to_new[r]` maps an input-row index of the
+/// memoized run to its index in `input` (`None` for deleted rows — which
+/// must not appear among a reused cluster's contributors).
+///
+/// Output is bit-identical to [`crate::fuse()`] over `input` provided every
+/// `Reuse` plan points at a genuinely unchanged cluster.
+pub fn fuse_incremental(
+    input: &Table,
+    spec: &FusionSpec,
+    registry: &FunctionRegistry,
+    plans: &[ClusterPlan],
+    memo: &FusionMemo,
+    old_to_new: &[Option<usize>],
+) -> Result<(FusedTable, FusionMemo, IncrementalFusionStats), FusionError> {
+    let setup = FusionSetup::new(input, spec, registry)?;
+    if plans.len() != setup.order.len() {
+        return Err(FusionError::BadArgument(format!(
+            "incremental fusion got {} cluster plans for {} clusters",
+            plans.len(),
+            setup.order.len()
+        )));
+    }
+    // Validate reuse targets up front so the parallel resolve can treat
+    // them as infallible.
+    for plan in plans {
+        if let ClusterPlan::Reuse { old } = plan {
+            if *old >= memo.clusters.len() {
+                return Err(FusionError::BadArgument(format!(
+                    "reuse target {old} out of bounds (memo has {})",
+                    memo.clusters.len()
+                )));
+            }
+            for lineage in &memo.clusters[*old].cell_lineages {
+                for &r in &lineage.row_indices {
+                    if old_to_new.get(r).copied().flatten().is_none() {
+                        return Err(FusionError::BadArgument(format!(
+                            "reused cluster {old} cites deleted input row {r}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    let resolved = setup.resolve_all(input, spec, |cluster_idx| match plans[cluster_idx] {
+        ClusterPlan::Recompute => None,
+        ClusterPlan::Reuse { old } => {
+            let mut cached = memo.clusters[old].clone();
+            for lineage in &mut cached.cell_lineages {
+                for r in &mut lineage.row_indices {
+                    *r = old_to_new[*r].expect("validated above");
+                }
+            }
+            for sample in &mut cached.samples {
+                sample.cluster = cluster_idx;
+            }
+            Some(cached)
+        }
+    })?;
+    let stats = IncrementalFusionStats {
+        clusters: plans.len(),
+        reused: plans
+            .iter()
+            .filter(|p| matches!(p, ClusterPlan::Reuse { .. }))
+            .count(),
+        recomputed: plans
+            .iter()
+            .filter(|p| matches!(p, ClusterPlan::Recompute))
+            .count(),
+    };
+    let memo = FusionMemo {
+        clusters: resolved.clone(),
+    };
+    let fused = setup.assemble(input, resolved)?;
+    Ok((fused, memo, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ResolutionSpec;
+    use hummer_engine::{table, Table, Value};
+
+    fn students() -> Table {
+        table! {
+            "Students" => ["Name", "Age", "Semester", "sourceID", "objectID"];
+            ["John Smith", 24, (), "EE", 0],
+            ["John Smith", 25, 5, "CS", 0],
+            ["Mary Jones", 22, (), "EE", 1],
+            ["Marie Curie", 31, 9, "CS", 2],
+        }
+    }
+
+    fn spec() -> FusionSpec {
+        FusionSpec::by_key(vec!["objectID"])
+            .drop_column("objectID")
+            .drop_column("sourceID")
+            .resolve("Age", ResolutionSpec::named("max"))
+    }
+
+    fn assert_fused_eq(a: &FusedTable, b: &FusedTable) {
+        assert_eq!(a.table.rows(), b.table.rows());
+        assert_eq!(a.conflict_count, b.conflict_count);
+        assert_eq!(a.sample_conflicts, b.sample_conflicts);
+        for row in 0..a.table.len() {
+            for col in 0..a.table.schema().len() {
+                assert_eq!(a.lineage.cell(row, col), b.lineage.cell(row, col));
+            }
+        }
+    }
+
+    #[test]
+    fn memo_run_matches_plain_fuse() {
+        let t = students();
+        let registry = FunctionRegistry::standard();
+        let plain = crate::fuse(&t, &spec(), &registry).unwrap();
+        let (memoed, memo) = fuse_memo(&t, &spec(), &registry).unwrap();
+        assert_fused_eq(&plain, &memoed);
+        assert_eq!(memo.len(), 3);
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn all_reuse_reproduces_output() {
+        let t = students();
+        let registry = FunctionRegistry::standard();
+        let (plain, memo) = fuse_memo(&t, &spec(), &registry).unwrap();
+        let identity: Vec<Option<usize>> = (0..t.len()).map(Some).collect();
+        let plans = vec![
+            ClusterPlan::Reuse { old: 0 },
+            ClusterPlan::Reuse { old: 1 },
+            ClusterPlan::Reuse { old: 2 },
+        ];
+        let (again, memo2, stats) =
+            fuse_incremental(&t, &spec(), &registry, &plans, &memo, &identity).unwrap();
+        assert_fused_eq(&plain, &again);
+        assert_eq!(stats.reused, 3);
+        assert_eq!(stats.recomputed, 0);
+        assert_eq!(memo2.len(), 3);
+    }
+
+    #[test]
+    fn dirty_cluster_recomputes_and_clean_ones_remap() {
+        let t = students();
+        let registry = FunctionRegistry::standard();
+        let (_, memo) = fuse_memo(&t, &spec(), &registry).unwrap();
+        // Delete Mary (row 2): clusters 0 and 2 survive untouched, the
+        // Mary cluster disappears, a new Grace cluster appears.
+        let t2 = table! {
+            "Students" => ["Name", "Age", "Semester", "sourceID", "objectID"];
+            ["John Smith", 24, (), "EE", 0],
+            ["John Smith", 25, 5, "CS", 0],
+            ["Marie Curie", 31, 9, "CS", 1],
+            ["Grace Hopper", 37, 3, "EE", 2],
+        };
+        let old_to_new = vec![Some(0), Some(1), None, Some(2)];
+        let plans = vec![
+            ClusterPlan::Reuse { old: 0 }, // John cluster unchanged
+            ClusterPlan::Reuse { old: 2 }, // Marie, renumbered 2 -> 1
+            ClusterPlan::Recompute,        // Grace is new
+        ];
+        let (incremental, _, stats) =
+            fuse_incremental(&t2, &spec(), &registry, &plans, &memo, &old_to_new).unwrap();
+        let scratch = crate::fuse(&t2, &spec(), &registry).unwrap();
+        assert_fused_eq(&incremental, &scratch);
+        assert_eq!(stats.reused, 2);
+        assert_eq!(stats.recomputed, 1);
+        // Marie's lineage now cites new row 2.
+        let name = incremental.table.resolve("Name").unwrap();
+        assert_eq!(incremental.lineage.cell(1, name).row_indices, vec![2]);
+        assert_eq!(incremental.table.cell(1, name), &Value::text("Marie Curie"));
+    }
+
+    #[test]
+    fn plan_arity_and_bounds_validated() {
+        let t = students();
+        let registry = FunctionRegistry::standard();
+        let (_, memo) = fuse_memo(&t, &spec(), &registry).unwrap();
+        let identity: Vec<Option<usize>> = (0..t.len()).map(Some).collect();
+        // Wrong plan count.
+        assert!(fuse_incremental(&t, &spec(), &registry, &[], &memo, &identity).is_err());
+        // Out-of-bounds reuse target.
+        let plans = vec![
+            ClusterPlan::Reuse { old: 9 },
+            ClusterPlan::Recompute,
+            ClusterPlan::Recompute,
+        ];
+        assert!(fuse_incremental(&t, &spec(), &registry, &plans, &memo, &identity).is_err());
+        // Reused cluster citing a deleted row.
+        let deleted: Vec<Option<usize>> = vec![None; t.len()];
+        let plans = vec![
+            ClusterPlan::Reuse { old: 0 },
+            ClusterPlan::Recompute,
+            ClusterPlan::Recompute,
+        ];
+        assert!(fuse_incremental(&t, &spec(), &registry, &plans, &memo, &deleted).is_err());
+    }
+}

@@ -47,6 +47,7 @@ pub mod context;
 pub mod error;
 pub mod functions;
 pub mod fuse;
+pub mod incremental;
 pub mod lineage;
 pub mod registry;
 
@@ -58,5 +59,8 @@ pub use functions::{
 };
 pub use fuse::{fuse, FusedTable, FusionSpec, SampleConflict, MAX_SAMPLE_CONFLICTS};
 pub use hummer_par::Parallelism;
+pub use incremental::{
+    fuse_incremental, fuse_memo, ClusterPlan, FusionMemo, IncrementalFusionStats,
+};
 pub use lineage::{CellLineage, Lineage};
 pub use registry::{FunctionRegistry, ResolutionSpec};

@@ -174,12 +174,18 @@ impl FunctionRegistry {
         self.factories.insert(name.into().to_ascii_lowercase(), f);
     }
 
-    /// Instantiate a function from a spec.
+    /// Instantiate a function from a spec. An unknown name errors with the
+    /// full list of registered functions, so a typo in a `RESOLVE` clause
+    /// tells the user what *would* have worked.
     pub fn build(&self, spec: &ResolutionSpec) -> Result<Arc<dyn ResolutionFunction>, FusionError> {
         let key = spec.function.to_ascii_lowercase();
         match self.factories.get(&key) {
             Some(factory) => factory(&spec.args),
-            None => Err(FusionError::UnknownFunction(spec.function.clone())),
+            None => Err(FusionError::UnknownFunction(format!(
+                "{} (available: {})",
+                spec.function,
+                self.names().join(", ")
+            ))),
         }
     }
 
@@ -247,6 +253,21 @@ mod tests {
         let r = FunctionRegistry::standard();
         let e = r.build(&ResolutionSpec::named("frobnicate"));
         assert!(matches!(e, Err(FusionError::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn unknown_function_error_lists_available_names() {
+        let r = FunctionRegistry::standard();
+        let msg = match r.build(&ResolutionSpec::named("frobnicate")) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("frobnicate must not resolve"),
+        };
+        assert!(msg.contains("frobnicate"), "{msg}");
+        // Every registered name appears, sorted, so the user can pick.
+        for name in r.names() {
+            assert!(msg.contains(&name), "missing `{name}` in: {msg}");
+        }
+        assert!(msg.contains("available:"), "{msg}");
     }
 
     #[test]

@@ -3,23 +3,28 @@
 //!
 //! ```text
 //! loadgen --addr HOST:PORT [--connections N] [--requests N]
-//!         [--worlds N] [--entities N] [--seed N]
+//!         [--worlds N] [--entities N] [--seed N] [--update-ratio F]
 //! ```
 //!
 //! Each world is one of the paper's demo scenarios (CD shopping, disaster
 //! registry, student rosters, cleansing service) with tables uploaded under
 //! world-prefixed names; the request mix fans `FUSE BY` queries over all
 //! worlds round-robin, so a warm server answers almost everything from the
-//! prepared-pipeline cache.
+//! prepared-pipeline cache. With `--update-ratio F` (0 < F < 1) that
+//! fraction of requests becomes `POST /tables/{name}/delta` row updates,
+//! exercising delta ingestion — and the incremental cache-upgrade path —
+//! under concurrent queries.
 
-use hummer_server::loadgen::{http_request, run_load, scenario_worlds, upload_world, LoadConfig};
+use hummer_server::loadgen::{
+    http_request, run_load, scenario_worlds, update_pool_for_worlds, upload_world, LoadConfig,
+};
 use hummer_server::Json;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--connections N] [--requests N] \
-         [--worlds N] [--entities N] [--seed N]"
+         [--worlds N] [--entities N] [--seed N] [--update-ratio F]"
     );
     std::process::exit(2);
 }
@@ -31,6 +36,7 @@ fn main() -> ExitCode {
     let mut worlds_n = 4usize;
     let mut entities = 60usize;
     let mut seed = 2005u64;
+    let mut update_ratio = 0.0f64;
     fn next_num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> T {
         match args.next().and_then(|v| v.parse().ok()) {
             Some(v) => v,
@@ -46,10 +52,11 @@ fn main() -> ExitCode {
             "--worlds" => worlds_n = next_num(&mut args),
             "--entities" => entities = next_num(&mut args),
             "--seed" => seed = next_num(&mut args),
+            "--update-ratio" => update_ratio = next_num(&mut args),
             _ => usage(),
         }
     }
-    if addr.is_empty() {
+    if addr.is_empty() || !(0.0..1.0).contains(&update_ratio) {
         usage();
     }
 
@@ -74,12 +81,35 @@ fn main() -> ExitCode {
         }
     }
 
+    let (update_every, update_pool) = if update_ratio > 0.0 {
+        let prefixed: Vec<(String, &hummer_datagen::GeneratedWorld)> = worlds
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (format!("w{i}"), w))
+            .collect();
+        (
+            (1.0 / update_ratio).round().max(1.0) as usize,
+            update_pool_for_worlds(&prefixed),
+        )
+    } else {
+        (0, Vec::new())
+    };
+    if update_every > 0 {
+        eprintln!(
+            "loadgen: mixed workload — every {update_every}th request is a delta update \
+             ({} delta bodies)",
+            update_pool.len()
+        );
+    }
+
     eprintln!("loadgen: {connections} connections x {requests} total requests");
     let report = run_load(&LoadConfig {
         addr: addr.clone(),
         connections,
         requests,
         sql_pool,
+        update_every,
+        update_pool,
     });
 
     let cache = http_request(&addr, "GET", "/metrics", "text/plain", b"")
@@ -94,6 +124,8 @@ fn main() -> ExitCode {
 
     println!("requests_ok      {}", report.ok);
     println!("requests_err     {}", report.errors);
+    println!("updates_ok       {}", report.updates_ok);
+    println!("updates_err      {}", report.update_errors);
     println!("elapsed_s        {:.3}", report.elapsed.as_secs_f64());
     println!("throughput_rps   {:.1}", report.throughput_rps);
     println!("latency_mean_ms  {:.3}", report.mean_ms);

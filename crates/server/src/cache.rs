@@ -129,6 +129,22 @@ impl PreparedCache {
         }
     }
 
+    /// The live entries whose key references source `name` at `version` —
+    /// the entries a delta to that table can *upgrade* in place instead of
+    /// invalidating. Recency is not refreshed (this is bookkeeping, not a
+    /// query hit).
+    pub fn entries_for_source(
+        &self,
+        name: &str,
+        version: u64,
+    ) -> Vec<(PreparedKey, Arc<PreparedSources>)> {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.iter().any(|(n, v)| n == name && *v == version))
+            .map(|(k, e)| (k.clone(), Arc::clone(&e.artifacts)))
+            .collect()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -207,6 +223,20 @@ mod tests {
         assert!(c.get(&key(&[("b", 1)])).is_none());
         assert!(c.get(&key(&[("c", 1)])).is_some());
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn entries_for_source_matches_name_and_version() {
+        let mut c = PreparedCache::new(4);
+        c.insert(key(&[("a", 1), ("b", 2)]), artifacts());
+        c.insert(key(&[("b", 2)]), artifacts());
+        c.insert(key(&[("a", 3)]), artifacts());
+        let hits = c.entries_for_source("b", 2);
+        assert_eq!(hits.len(), 2);
+        assert!(c.entries_for_source("b", 9).is_empty());
+        assert_eq!(c.entries_for_source("a", 3).len(), 1);
+        // No recency refresh, no counter movement.
+        assert_eq!(c.stats().hits, 0);
     }
 
     #[test]

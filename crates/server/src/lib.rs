@@ -70,4 +70,6 @@ pub use json::{Json, JsonError};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pool::ThreadPool;
 pub use server::{HummerServer, ServerConfig, ShutdownHandle};
-pub use service::{FusionService, QueryResult, ServiceConfig, TableInfo};
+pub use service::{
+    parse_delta, DeltaApplyResult, FusionService, QueryResult, ServiceConfig, TableInfo,
+};

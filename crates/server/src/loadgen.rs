@@ -7,6 +7,7 @@
 //! integration test.
 
 use crate::error::{Result, ServerError};
+use crate::json::Json;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -160,6 +161,48 @@ pub fn upload_world(
     ))
 }
 
+/// Build the delta-request pool for the mixed read/update workload: for
+/// each uploaded world (same `prefix` as [`upload_world`]), two alternating
+/// updates of row 0 of its first source — the original row and a perturbed
+/// variant — so consecutive deltas genuinely change content and exercise
+/// the server's incremental cache-upgrade path.
+pub fn update_pool_for_worlds(
+    prefixed_worlds: &[(String, &hummer_datagen::GeneratedWorld)],
+) -> Vec<(String, String)> {
+    use crate::service::value_to_json;
+    let mut pool = Vec::new();
+    for (prefix, world) in prefixed_worlds {
+        let Some(source) = world.sources.first() else {
+            continue;
+        };
+        let Some(row) = source.table.rows().first() else {
+            continue;
+        };
+        let path = format!("/tables/{prefix}_{}/delta", source.table.name());
+        let original: Vec<Json> = row.values().iter().map(value_to_json).collect();
+        let mut perturbed = original.clone();
+        if let Some(slot) = perturbed.iter_mut().find(|v| matches!(v, Json::Str(_))) {
+            if let Json::Str(s) = slot {
+                s.push_str(" upd");
+            }
+        } else {
+            perturbed.push(Json::Str("upd".into())); // won't arise: worlds carry text
+        }
+        for values in [perturbed, original] {
+            let body = Json::object()
+                .with(
+                    "update",
+                    Json::Arr(vec![Json::object()
+                        .with("row", 0usize)
+                        .with("values", Json::Arr(values))]),
+                )
+                .to_string_compact();
+            pool.push((path.clone(), body));
+        }
+    }
+    pool
+}
+
 /// Generate a standard world mix, cycling the paper's four demo scenarios.
 pub fn scenario_worlds(
     count: usize,
@@ -193,6 +236,32 @@ pub struct LoadConfig {
     pub requests: usize,
     /// SQL statements cycled round-robin across requests.
     pub sql_pool: Vec<String>,
+    /// Every `update_every`-th request becomes a delta `POST` drawn from
+    /// `update_pool` instead of a query (`0` = read-only run). This is the
+    /// mixed read/update mode exercising delta ingestion under concurrent
+    /// queries.
+    pub update_every: usize,
+    /// `(path, json_body)` delta requests, cycled like `sql_pool`.
+    pub update_pool: Vec<(String, String)>,
+}
+
+impl LoadConfig {
+    /// A read-only run (no deltas).
+    pub fn read_only(
+        addr: String,
+        connections: usize,
+        requests: usize,
+        sql_pool: Vec<String>,
+    ) -> Self {
+        LoadConfig {
+            addr,
+            connections,
+            requests,
+            sql_pool,
+            update_every: 0,
+            update_pool: Vec::new(),
+        }
+    }
 }
 
 /// Aggregated load-run results.
@@ -202,6 +271,10 @@ pub struct LoadReport {
     pub ok: usize,
     /// Requests that failed (transport error or non-200).
     pub errors: usize,
+    /// Of `ok`, how many were delta (update) requests.
+    pub updates_ok: usize,
+    /// Of `errors`, how many were delta (update) requests.
+    pub update_errors: usize,
     /// Wall time of the whole run.
     pub elapsed: Duration,
     /// Successful requests per second.
@@ -231,10 +304,18 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         let next = Arc::clone(&next);
         let addr = config.addr.clone();
         let pool = config.sql_pool.clone();
+        let updates = config.update_pool.clone();
+        let update_every = if config.update_pool.is_empty() {
+            0
+        } else {
+            config.update_every
+        };
         let total = config.requests;
         handles.push(thread::spawn(move || {
             let mut latencies = Vec::new();
             let mut errors = 0usize;
+            let mut updates_ok = 0usize;
+            let mut update_errors = 0usize;
             let mut client = Client::connect(&addr).ok();
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -245,26 +326,52 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
                     errors += 1;
                     continue;
                 };
-                let sql = &pool[i % pool.len()];
+                // The mixed workload interleaves deltas deterministically:
+                // every `update_every`-th global request mutates a source.
+                let is_update = update_every > 0 && i % update_every == update_every - 1;
                 let t0 = Instant::now();
-                match c.request("POST", "/query", "text/plain", sql.as_bytes()) {
-                    Ok((200, _)) => latencies.push(t0.elapsed().as_secs_f64() * 1e3),
-                    Ok(_) => errors += 1,
+                let outcome = if is_update {
+                    let (path, body) = &updates[(i / update_every) % updates.len()];
+                    c.request("POST", path, "application/json", body.as_bytes())
+                } else {
+                    let sql = &pool[i % pool.len()];
+                    c.request("POST", "/query", "text/plain", sql.as_bytes())
+                };
+                match outcome {
+                    Ok((200, _)) => {
+                        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                        if is_update {
+                            updates_ok += 1;
+                        }
+                    }
+                    Ok(_) => {
+                        errors += 1;
+                        if is_update {
+                            update_errors += 1;
+                        }
+                    }
                     Err(_) => {
                         errors += 1;
+                        if is_update {
+                            update_errors += 1;
+                        }
                         client = None; // connection is poisoned; fail fast
                     }
                 }
             }
-            (latencies, errors)
+            (latencies, errors, updates_ok, update_errors)
         }));
     }
     let mut latencies = Vec::with_capacity(config.requests);
     let mut errors = 0;
+    let mut updates_ok = 0;
+    let mut update_errors = 0;
     for h in handles {
-        let (mut l, e) = h.join().unwrap_or((Vec::new(), 0));
+        let (mut l, e, uo, ue) = h.join().unwrap_or((Vec::new(), 0, 0, 0));
         latencies.append(&mut l);
         errors += e;
+        updates_ok += uo;
+        update_errors += ue;
     }
     let elapsed = started.elapsed();
     let ok = latencies.len();
@@ -276,6 +383,8 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
     LoadReport {
         ok,
         errors,
+        updates_ok,
+        update_errors,
         elapsed,
         throughput_rps: if elapsed.as_secs_f64() > 0.0 {
             ok as f64 / elapsed.as_secs_f64()

@@ -66,6 +66,26 @@ pub struct EndpointSnapshot {
     pub p99_ms: f64,
 }
 
+/// Cumulative delta-ingestion counters (`POST /tables/{name}/delta`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaAggregate {
+    /// Delta batches applied.
+    pub deltas: u64,
+    /// Rows inserted across all deltas.
+    pub rows_inserted: u64,
+    /// Rows updated across all deltas.
+    pub rows_updated: u64,
+    /// Rows deleted across all deltas.
+    pub rows_deleted: u64,
+    /// Prepared-cache entries *upgraded* in place (not invalidated).
+    pub cache_upgrades: u64,
+    /// Upgrade attempts that failed (entry dropped, next query re-prepares).
+    pub cache_upgrade_failures: u64,
+    /// Upgrades that degraded to a full rescore (quantization boundary,
+    /// attribute-selection change, non-incremental blocking strategy).
+    pub full_rescores: u64,
+}
+
 /// A point-in-time view of the whole metrics registry.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
@@ -77,6 +97,8 @@ pub struct MetricsSnapshot {
     pub endpoints: Vec<EndpointSnapshot>,
     /// Pipeline-stage aggregates.
     pub stages: StageAggregate,
+    /// Delta-ingestion aggregates.
+    pub deltas: DeltaAggregate,
 }
 
 /// Thread-safe metrics registry.
@@ -89,6 +111,7 @@ pub struct Metrics {
 struct Inner {
     endpoints: BTreeMap<String, EndpointStats>,
     stages: StageAggregate,
+    deltas: DeltaAggregate,
 }
 
 /// Nearest-rank percentile over an unsorted sample; `p` in [0, 100]. The
@@ -143,6 +166,26 @@ impl Metrics {
         inner.stages.totals.fusion += fusion;
     }
 
+    /// Record one applied delta batch and its cache-upgrade outcome.
+    pub fn record_delta(
+        &self,
+        inserted: u64,
+        updated: u64,
+        deleted: u64,
+        upgrades: u64,
+        upgrade_failures: u64,
+        full_rescores: u64,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.deltas.deltas += 1;
+        inner.deltas.rows_inserted += inserted;
+        inner.deltas.rows_updated += updated;
+        inner.deltas.rows_deleted += deleted;
+        inner.deltas.cache_upgrades += upgrades;
+        inner.deltas.cache_upgrade_failures += upgrade_failures;
+        inner.deltas.full_rescores += full_rescores;
+    }
+
     /// Snapshot all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().unwrap();
@@ -165,6 +208,7 @@ impl Metrics {
             total_errors,
             endpoints,
             stages: inner.stages,
+            deltas: inner.deltas,
         }
     }
 }
@@ -210,6 +254,19 @@ mod tests {
         assert_eq!(s.fusions, 1);
         assert_eq!(s.totals.matching, Duration::from_millis(10));
         assert_eq!(s.totals.fusion, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn delta_aggregates_accumulate() {
+        let m = Metrics::new();
+        m.record_delta(2, 1, 0, 1, 0, 0);
+        m.record_delta(0, 0, 3, 2, 1, 1);
+        let d = m.snapshot().deltas;
+        assert_eq!(d.deltas, 2);
+        assert_eq!((d.rows_inserted, d.rows_updated, d.rows_deleted), (2, 1, 3));
+        assert_eq!(d.cache_upgrades, 3);
+        assert_eq!(d.cache_upgrade_failures, 1);
+        assert_eq!(d.full_rescores, 1);
     }
 
     #[test]

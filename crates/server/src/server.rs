@@ -2,14 +2,15 @@
 //!
 //! ## Endpoints
 //!
-//! | method & path        | effect |
-//! |----------------------|--------|
-//! | `PUT /tables/{name}` | register/replace a table from a CSV body |
-//! | `GET /tables`        | list registered tables |
-//! | `POST /query`        | execute Fuse By SQL (raw text or `{"sql": …}`) |
-//! | `GET /metrics`       | request counts, p50/p99 latency, stage + cache stats |
-//! | `GET /healthz`       | liveness probe |
-//! | `POST /shutdown`     | graceful shutdown (finish in-flight, then exit) |
+//! | method & path                | effect |
+//! |------------------------------|--------|
+//! | `PUT /tables/{name}`         | register/replace a table from a CSV body |
+//! | `POST /tables/{name}/delta`  | apply row-level changes; *upgrades* cached pipelines in place |
+//! | `GET /tables`                | list registered tables |
+//! | `POST /query`                | execute Fuse By SQL (raw text or `{"sql": …}`) |
+//! | `GET /metrics`               | request counts, p50/p99 latency, stage + cache + delta stats |
+//! | `GET /healthz`               | liveness probe |
+//! | `POST /shutdown`             | graceful shutdown (finish in-flight, then exit) |
 //!
 //! The accept loop hands each connection to a fixed [`ThreadPool`]; one
 //! worker owns the whole keep-alive conversation. Shutdown sets a flag and
@@ -21,7 +22,8 @@ use crate::http::{read_request, write_response, Request, Response};
 use crate::json::Json;
 use crate::pool::ThreadPool;
 use crate::service::{
-    metrics_to_json, query_result_to_json, FusionService, ServiceConfig, TableInfo,
+    delta_result_to_json, metrics_to_json, parse_delta, query_result_to_json, FusionService,
+    ServiceConfig, TableInfo,
 };
 use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -218,6 +220,7 @@ fn handle_connection(stream: TcpStream, service: &FusionService, shutdown: &Shut
 fn endpoint_label(request: &Request) -> String {
     let route = match request.path.as_str() {
         "/healthz" | "/tables" | "/query" | "/metrics" | "/shutdown" => request.path.as_str(),
+        p if p.starts_with("/tables/") && p.ends_with("/delta") => "/tables/{name}/delta",
         p if p.starts_with("/tables/") => "/tables/{name}",
         _ => "{other}",
     };
@@ -296,6 +299,19 @@ fn route(
             r.close = true;
             Ok(r)
         }
+        ("POST", path)
+            if path.len() > "/tables//delta".len()
+                && path.starts_with("/tables/")
+                && path.ends_with("/delta") =>
+        {
+            let name = &path["/tables/".len()..path.len() - "/delta".len()];
+            let delta = parse_delta(name, request.body_utf8()?)?;
+            let outcome = service.apply_delta(name, &delta)?;
+            Ok(Response::json(
+                200,
+                delta_result_to_json(&outcome).to_string_compact(),
+            ))
+        }
         ("PUT", path) if path.starts_with("/tables/") => {
             let name = &path["/tables/".len()..];
             let info = service.put_table(name, request.body_utf8()?)?;
@@ -368,6 +384,13 @@ mod tests {
             body: vec![],
         };
         assert_eq!(endpoint_label(&req), "PUT /tables/{name}");
+        let req = Request {
+            method: "POST".into(),
+            path: "/tables/EE_Student/delta".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(endpoint_label(&req), "POST /tables/{name}/delta");
     }
 
     #[test]
@@ -399,6 +422,32 @@ mod tests {
         assert_eq!(e.status(), 404);
         let put = route(&req("PUT", "/tables/T", b"a,b\n1,2\n"), &service, &shutdown).unwrap();
         assert_eq!(put.status, 200);
+        // Delta endpoint: applies and answers 200 with the new version.
+        let d = route(
+            &req("POST", "/tables/T/delta", br#"{"insert": [[3, 4]]}"#),
+            &service,
+            &shutdown,
+        )
+        .unwrap();
+        assert_eq!(d.status, 200);
+        let body = String::from_utf8(d.body.clone()).unwrap();
+        assert!(body.contains("\"rows\":2"), "{body}");
+        // Unknown table and malformed bodies surface proper statuses.
+        let e = route(
+            &req("POST", "/tables/Nope/delta", br#"{"delete": [0]}"#),
+            &service,
+            &shutdown,
+        )
+        .unwrap_err();
+        assert_eq!(e.status(), 404);
+        // Degenerate delta paths (no table name) must not panic on the
+        // name slice; they fall through to method-not-allowed.
+        for degenerate in ["/tables/delta", "/tables//delta"] {
+            let e = route(&req("POST", degenerate, b"{}"), &service, &shutdown).unwrap_err();
+            assert_eq!(e.status(), 405, "{degenerate}");
+        }
+        let e = route(&req("POST", "/tables/T/delta", b"{"), &service, &shutdown).unwrap_err();
+        assert_eq!(e.status(), 400);
         assert!(!shutdown.is_requested());
         let bye = route(&req("POST", "/shutdown", b""), &service, &shutdown).unwrap();
         assert_eq!(bye.status, 200);

@@ -17,7 +17,8 @@ use crate::cache::{CacheStats, PreparedCache, PreparedKey};
 use crate::error::{Result, ServerError};
 use crate::json::Json;
 use crate::metrics::Metrics;
-use hummer_core::{prepare_tables, HummerConfig, PreparedSources, StageTimings};
+use hummer_core::{prepare_tables, HummerConfig, PreparedSources, RowMapping, StageTimings};
+use hummer_delta::{concat_mappings, DeltaError, TableDelta};
 use hummer_engine::{csv, Table, Value};
 use hummer_fusion::FunctionRegistry;
 use hummer_query::{
@@ -100,6 +101,109 @@ pub struct QueryResult {
     pub execute_time: Duration,
 }
 
+/// What applying one delta batch did, for the endpoint's response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaApplyResult {
+    /// The table's post-delta shape and new content version.
+    pub info: TableInfo,
+    /// Rows inserted by this batch.
+    pub inserted: usize,
+    /// Rows updated by this batch.
+    pub updated: usize,
+    /// Rows deleted by this batch.
+    pub deleted: usize,
+    /// Prepared-cache entries upgraded in place.
+    pub cache_upgrades: u64,
+    /// Upgrade attempts that failed (those entries die; next query
+    /// re-prepares cold).
+    pub cache_upgrade_failures: u64,
+    /// Upgrades that internally degraded to a full rescore.
+    pub full_rescores: u64,
+}
+
+/// Parse the `POST /tables/{name}/delta` JSON body into a [`TableDelta`]:
+///
+/// ```json
+/// {
+///   "insert": [["Eve Adams", 30, "Bremen"]],
+///   "update": [{"row": 2, "values": ["Mary Jones", 23, "Hamburg"]}],
+///   "delete": [4]
+/// }
+/// ```
+///
+/// Cell values type like CSV ingestion: JSON strings go through
+/// [`Value::infer`] (so `"25"` becomes an integer and `"2005-08-30"` a
+/// date), numbers/booleans/null map directly.
+pub fn parse_delta(name: &str, body: &str) -> Result<TableDelta> {
+    let doc = Json::parse(body)?;
+    let mut delta = TableDelta::new(name);
+    if let Some(inserts) = doc.get("insert") {
+        let rows = inserts
+            .as_array()
+            .ok_or_else(|| ServerError::BadRequest("`insert` must be an array of rows".into()))?;
+        for row in rows {
+            delta = delta.insert(json_row(row)?);
+        }
+    }
+    if let Some(updates) = doc.get("update") {
+        let entries = updates
+            .as_array()
+            .ok_or_else(|| ServerError::BadRequest("`update` must be an array".into()))?;
+        for entry in entries {
+            let row = entry
+                .get("row")
+                .and_then(Json::as_i64)
+                .filter(|r| *r >= 0)
+                .ok_or_else(|| {
+                    ServerError::BadRequest("`update` entries need a non-negative `row`".into())
+                })?;
+            let values = entry.get("values").ok_or_else(|| {
+                ServerError::BadRequest("`update` entries need a `values` array".into())
+            })?;
+            delta = delta.update(row as usize, json_row(values)?);
+        }
+    }
+    if let Some(deletes) = doc.get("delete") {
+        let rows = deletes
+            .as_array()
+            .ok_or_else(|| ServerError::BadRequest("`delete` must be an array of rows".into()))?;
+        for row in rows {
+            let row = row.as_i64().filter(|r| *r >= 0).ok_or_else(|| {
+                ServerError::BadRequest("`delete` entries must be non-negative row indices".into())
+            })?;
+            delta = delta.delete(row as usize);
+        }
+    }
+    if delta.is_empty() {
+        return Err(ServerError::BadRequest(
+            "delta body carries no `insert`, `update`, or `delete` ops".into(),
+        ));
+    }
+    Ok(delta)
+}
+
+/// One JSON row (array of scalars) as engine values.
+fn json_row(row: &Json) -> Result<Vec<Value>> {
+    let cells = row
+        .as_array()
+        .ok_or_else(|| ServerError::BadRequest("a delta row must be an array of values".into()))?;
+    cells.iter().map(json_value).collect()
+}
+
+/// A JSON scalar as an engine value (strings type-inferred like CSV cells).
+fn json_value(v: &Json) -> Result<Value> {
+    match v {
+        Json::Null => Ok(Value::Null),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Int(i) => Ok(Value::Int(*i)),
+        Json::Float(f) => Ok(Value::Float(*f)),
+        Json::Str(s) => Ok(Value::infer(s)),
+        Json::Arr(_) | Json::Obj(_) => Err(ServerError::BadRequest(
+            "delta cell values must be scalars".into(),
+        )),
+    }
+}
+
 /// The shared, thread-safe fusion service.
 #[derive(Debug)]
 pub struct FusionService {
@@ -159,6 +263,143 @@ impl FusionService {
             columns: info_columns,
             version,
         })
+    }
+
+    /// Apply a parsed delta batch to table `name`: update the catalog (new
+    /// content version) and **upgrade** every prepared-pipeline cache entry
+    /// that referenced the old version, instead of letting it die. Repeat
+    /// fusion queries over the updated sources therefore hit the cache —
+    /// no cold re-prepare.
+    pub fn apply_delta(&self, name: &str, delta: &TableDelta) -> Result<DeltaApplyResult> {
+        let counts = delta.counts();
+        // Catalog swap under the write lock (delta application is linear).
+        let (lname, old_version, new_table, mapping, info) = {
+            let mut catalog = self.catalog.write().unwrap();
+            let entry = catalog
+                .get(name)
+                .ok_or_else(|| ServerError::UnknownTable(name.to_string()))?;
+            let old_version = entry.version;
+            let (new_table, mapping) = delta
+                .apply(&entry.table)
+                .map_err(|e: DeltaError| ServerError::BadRequest(e.to_string()))?;
+            let rows = new_table.len();
+            let columns: Vec<String> = new_table
+                .schema()
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let version = catalog.register(name, new_table);
+            let new_table = Arc::clone(&catalog.get(name).expect("just registered").table);
+            (
+                name.to_ascii_lowercase(),
+                old_version,
+                new_table,
+                mapping,
+                TableInfo {
+                    name: name.to_string(),
+                    rows,
+                    columns,
+                    version,
+                },
+            )
+        };
+
+        // Upgrade cached pipelines over the superseded version. The cache
+        // lock is not held while upgrading; the eventual insert's stale
+        // purge retires the old-version entry.
+        let candidates = self
+            .cache
+            .lock()
+            .unwrap()
+            .entries_for_source(&lname, old_version);
+        let mut upgraded = 0u64;
+        let mut failures = 0u64;
+        let mut full_rescores = 0u64;
+        for (key, artifacts) in candidates {
+            match self.upgrade_entry(&key, &artifacts, &lname, info.version, &new_table, &mapping) {
+                Ok(Some(full_rescore)) => {
+                    upgraded += 1;
+                    full_rescores += u64::from(full_rescore);
+                }
+                Ok(None) => {} // another source in the entry went stale
+                Err(_) => failures += 1,
+            }
+        }
+        self.metrics.record_delta(
+            counts.inserted as u64,
+            counts.updated as u64,
+            counts.deleted as u64,
+            upgraded,
+            failures,
+            full_rescores,
+        );
+        Ok(DeltaApplyResult {
+            info,
+            inserted: counts.inserted,
+            updated: counts.updated,
+            deleted: counts.deleted,
+            cache_upgrades: upgraded,
+            cache_upgrade_failures: failures,
+            full_rescores,
+        })
+    }
+
+    /// Upgrade one cached entry to the delta'd table. Returns
+    /// `Ok(Some(full_rescore))` on success, `Ok(None)` when the entry is
+    /// unrecoverably stale (another referenced source changed meanwhile, or
+    /// a concurrent delta already superseded `new_version`).
+    fn upgrade_entry(
+        &self,
+        key: &PreparedKey,
+        artifacts: &Arc<PreparedSources>,
+        changed: &str,
+        new_version: u64,
+        new_table: &Arc<Table>,
+        mapping: &RowMapping,
+    ) -> Result<Option<bool>> {
+        let mut tables: Vec<Arc<Table>> = Vec::with_capacity(key.len());
+        let mut per_source: Vec<RowMapping> = Vec::with_capacity(key.len());
+        let mut new_key: PreparedKey = Vec::with_capacity(key.len());
+        {
+            let catalog = self.catalog.read().unwrap();
+            for (alias, version) in key {
+                if alias == changed {
+                    // Key the upgraded artifacts with the version *this*
+                    // delta produced — never the catalog's current version:
+                    // a concurrent delta may already have moved the table
+                    // past ours, and caching our (older) content under the
+                    // newest key would serve stale fusions as cache hits.
+                    let current = catalog
+                        .get(alias)
+                        .ok_or_else(|| ServerError::UnknownTable(alias.clone()))?;
+                    if current.version != new_version {
+                        return Ok(None); // superseded while we upgraded
+                    }
+                    tables.push(Arc::clone(new_table));
+                    per_source.push(mapping.clone());
+                    new_key.push((alias.clone(), new_version));
+                } else {
+                    let current = catalog
+                        .get(alias)
+                        .ok_or_else(|| ServerError::UnknownTable(alias.clone()))?;
+                    if current.version != *version {
+                        return Ok(None); // entry stale beyond this delta
+                    }
+                    tables.push(Arc::clone(&current.table));
+                    per_source.push(RowMapping::identity(current.table.len()));
+                    new_key.push((alias.clone(), *version));
+                }
+            }
+        }
+        let union_mapping = concat_mappings(&per_source)?;
+        let refs: Vec<&Table> = tables.iter().map(|t| t.as_ref()).collect();
+        let (upgraded, report) = artifacts.apply_delta(&refs, &union_mapping, &self.config)?;
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(new_key, Arc::new(upgraded));
+        Ok(Some(report.detection.full_rescore))
     }
 
     /// All registered tables, sorted by name.
@@ -345,6 +586,28 @@ pub fn query_result_to_json(r: &QueryResult) -> Json {
     doc
 }
 
+/// The `POST /tables/{name}/delta` response document.
+pub fn delta_result_to_json(r: &DeltaApplyResult) -> Json {
+    Json::object()
+        .with("table", r.info.name.clone())
+        .with("rows", r.info.rows)
+        .with("version", r.info.version)
+        .with(
+            "applied",
+            Json::object()
+                .with("inserted", r.inserted)
+                .with("updated", r.updated)
+                .with("deleted", r.deleted),
+        )
+        .with(
+            "cache",
+            Json::object()
+                .with("upgraded", r.cache_upgrades)
+                .with("upgrade_failures", r.cache_upgrade_failures)
+                .with("full_rescores", r.full_rescores),
+        )
+}
+
 /// The `GET /metrics` response document.
 pub fn metrics_to_json(service: &FusionService) -> Json {
     let snap = service.metrics().snapshot();
@@ -382,7 +645,19 @@ pub fn metrics_to_json(service: &FusionService) -> Json {
                 .with("misses", cache.misses)
                 .with("evictions", cache.evictions)
                 .with("entries", cache.entries)
-                .with("hit_rate", cache.hit_rate()),
+                .with("hit_rate", cache.hit_rate())
+                .with("upgrades", snap.deltas.cache_upgrades),
+        )
+        .with(
+            "deltas",
+            Json::object()
+                .with("applied", snap.deltas.deltas)
+                .with("rows_inserted", snap.deltas.rows_inserted)
+                .with("rows_updated", snap.deltas.rows_updated)
+                .with("rows_deleted", snap.deltas.rows_deleted)
+                .with("cache_upgrades", snap.deltas.cache_upgrades)
+                .with("cache_upgrade_failures", snap.deltas.cache_upgrade_failures)
+                .with("full_rescores", snap.deltas.full_rescores),
         )
 }
 
@@ -434,6 +709,178 @@ mod tests {
         assert_eq!(other.output.table.len(), 4);
         let stats = s.cache_stats();
         assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn delta_upgrades_cache_instead_of_invalidating() {
+        let s = service();
+        let cold = s.query(PAPER_QUERY).unwrap();
+        assert_eq!(cold.cache_hit, Some(false));
+
+        // Insert a fifth, distinct student into CS.
+        let delta = parse_delta(
+            "CS_Students",
+            r#"{"insert": [["Grace Hopper", "37", "Arlington"]]}"#,
+        )
+        .unwrap();
+        let outcome = s.apply_delta("CS_Students", &delta).unwrap();
+        assert_eq!(outcome.inserted, 1);
+        assert_eq!(outcome.cache_upgrades, 1, "{outcome:?}");
+        assert_eq!(outcome.cache_upgrade_failures, 0);
+        assert_eq!(outcome.info.rows, 4);
+
+        // The very next query hits the *upgraded* entry and sees the change.
+        let warm = s.query(PAPER_QUERY).unwrap();
+        assert_eq!(warm.cache_hit, Some(true), "upgrade must not invalidate");
+        assert_eq!(warm.output.table.len(), 5);
+        let stats = s.cache_stats();
+        assert_eq!(stats.misses, 1, "no second cold prepare");
+
+        // The upgraded artifacts equal a cold prepare over the new data.
+        s.put_table("CS_Check", EE_CSV).unwrap(); // unrelated churn
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.deltas.deltas, 1);
+        assert_eq!(snap.deltas.rows_inserted, 1);
+        assert_eq!(snap.deltas.cache_upgrades, 1);
+    }
+
+    #[test]
+    fn delta_update_and_delete_reflect_in_queries() {
+        let s = service();
+        s.query(PAPER_QUERY).unwrap();
+        // Update John's CS age to 30; delete Ada.
+        let delta = parse_delta(
+            "CS_Students",
+            r#"{"update": [{"row": 0, "values": ["John Smith", 30, "Berlin"]}], "delete": [2]}"#,
+        )
+        .unwrap();
+        let outcome = s.apply_delta("CS_Students", &delta).unwrap();
+        assert_eq!((outcome.updated, outcome.deleted), (1, 1));
+        let after = s.query(PAPER_QUERY).unwrap();
+        assert_eq!(after.cache_hit, Some(true));
+        assert_eq!(after.output.table.len(), 3); // Ada gone
+        let age = after.output.table.resolve("Age").unwrap();
+        let name = after.output.table.resolve("Name").unwrap();
+        let john = after
+            .output
+            .table
+            .rows()
+            .iter()
+            .find(|r| r[name] == Value::text("John Smith"))
+            .unwrap();
+        assert_eq!(john[age], Value::Int(30));
+    }
+
+    #[test]
+    fn delta_validation_and_unknown_table() {
+        let s = service();
+        assert_eq!(
+            s.apply_delta("Ghosts", &TableDelta::new("Ghosts").delete(0))
+                .unwrap_err()
+                .status(),
+            404
+        );
+        // Bad row index -> 400.
+        let delta = TableDelta::new("EE_Student").delete(99);
+        assert_eq!(
+            s.apply_delta("EE_Student", &delta).unwrap_err().status(),
+            400
+        );
+        // Parse errors.
+        assert!(parse_delta("T", "{").is_err());
+        assert!(parse_delta("T", "{}").is_err()); // no ops
+        assert!(parse_delta("T", r#"{"insert": "nope"}"#).is_err());
+        assert!(parse_delta("T", r#"{"update": [{"values": [1]}]}"#).is_err());
+        assert!(parse_delta("T", r#"{"delete": [-1]}"#).is_err());
+        assert!(parse_delta("T", r#"{"insert": [[{"nested": 1}]]}"#).is_err());
+        // Typed parsing: strings infer like CSV cells.
+        let d = parse_delta("T", r#"{"insert": [["x", "25", null, true, 1.5]]}"#).unwrap();
+        match &d.ops[0] {
+            hummer_delta::DeltaOp::Insert(vals) => {
+                assert_eq!(vals[1], Value::Int(25));
+                assert_eq!(vals[2], Value::Null);
+                assert_eq!(vals[3], Value::Bool(true));
+                assert_eq!(vals[4], Value::Float(1.5));
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_deltas_never_cache_stale_content() {
+        // Regression for a review finding: an upgrade must key its
+        // artifacts with the version *its* delta produced, never the
+        // catalog's current version — otherwise two racing deltas could
+        // cache the older content under the newest version key and serve
+        // stale fusions as hits. Here we hammer one table from several
+        // threads and then verify the served result equals a cold
+        // recompute of the final catalog content.
+        let s = Arc::new(service());
+        s.query(PAPER_QUERY).unwrap(); // warm
+        let threads: Vec<_> = (0i64..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0i64..4 {
+                        let delta = TableDelta::new("CS_Students").update(
+                            0,
+                            vec![
+                                Value::text("John Smith"),
+                                Value::Int(26 + t + i),
+                                Value::text("Berlin"),
+                            ],
+                        );
+                        s.apply_delta("CS_Students", &delta).unwrap();
+                        s.query(PAPER_QUERY).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let served = s.query(PAPER_QUERY).unwrap();
+        // Cold reference over the *current* catalog content.
+        let fresh = FusionService::new(ServiceConfig::narrow_schema());
+        for info in s.tables() {
+            let table = {
+                let catalog = s.catalog.read().unwrap();
+                Arc::clone(&catalog.get(&info.name).unwrap().table)
+            };
+            fresh
+                .put_table(&info.name, &csv::write_csv_str(&table))
+                .unwrap();
+        }
+        let reference = fresh.query(PAPER_QUERY).unwrap();
+        assert_eq!(
+            served.output.table.rows(),
+            reference.output.table.rows(),
+            "a cached entry served content that does not match the catalog"
+        );
+    }
+
+    #[test]
+    fn delta_json_documents_round_trip() {
+        let s = service();
+        s.query(PAPER_QUERY).unwrap();
+        let delta = parse_delta("EE_Student", r#"{"delete": [2]}"#).unwrap();
+        let outcome = s.apply_delta("EE_Student", &delta).unwrap();
+        let doc = Json::parse(&delta_result_to_json(&outcome).to_string_compact()).unwrap();
+        assert_eq!(doc.get("rows").unwrap().as_i64(), Some(2));
+        assert_eq!(
+            doc.get("applied").unwrap().get("deleted").unwrap().as_i64(),
+            Some(1)
+        );
+        let m = Json::parse(&metrics_to_json(&s).to_string_compact()).unwrap();
+        let deltas = m.get("deltas").unwrap();
+        assert_eq!(deltas.get("applied").unwrap().as_i64(), Some(1));
+        assert!(m
+            .get("prepared_cache")
+            .unwrap()
+            .get("upgrades")
+            .unwrap()
+            .as_i64()
+            .is_some());
     }
 
     #[test]

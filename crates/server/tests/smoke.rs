@@ -140,6 +140,74 @@ fn keep_alive_connection_serves_many_requests() {
 }
 
 #[test]
+fn delta_over_http_upgrades_cache_and_mixed_load_runs() {
+    let (addr, stop) = start_server(4);
+    http_request(&addr, "PUT", "/tables/EE_Student", "text/csv", EE_CSV).unwrap();
+    http_request(&addr, "PUT", "/tables/CS_Students", "text/csv", CS_CSV).unwrap();
+    // Warm the prepared cache.
+    let (status, _) = http_request(&addr, "POST", "/query", "text/plain", PAPER_QUERY).unwrap();
+    assert_eq!(status, 200);
+
+    // POST a delta: insert a fifth student into CS.
+    let delta = br#"{"insert": [["Grace Hopper", "37", "Arlington"]]}"#;
+    let (status, body) = http_request(
+        &addr,
+        "POST",
+        "/tables/CS_Students/delta",
+        "application/json",
+        delta,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("rows").unwrap().as_i64(), Some(4));
+    assert_eq!(
+        doc.get("cache").unwrap().get("upgraded").unwrap().as_i64(),
+        Some(1)
+    );
+
+    // The next query hits the upgraded entry and reflects the insert.
+    let (_, body) = http_request(&addr, "POST", "/query", "text/plain", PAPER_QUERY).unwrap();
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("row_count").unwrap().as_i64(), Some(5));
+    assert_eq!(doc.get("cache").unwrap().as_str(), Some("hit"));
+
+    // Mixed read/update load: every 4th request is a delta update.
+    let update_body = Json::object()
+        .with(
+            "update",
+            Json::Arr(vec![Json::object().with("row", 0usize).with(
+                "values",
+                Json::Arr(vec![
+                    Json::Str("John Smith".into()),
+                    Json::Int(26),
+                    Json::Str("Berlin".into()),
+                ]),
+            )]),
+        )
+        .to_string_compact();
+    let report = run_load(&LoadConfig {
+        addr: addr.clone(),
+        connections: 4,
+        requests: 40,
+        sql_pool: vec![String::from_utf8(PAPER_QUERY.to_vec()).unwrap()],
+        update_every: 4,
+        update_pool: vec![("/tables/CS_Students/delta".into(), update_body)],
+    });
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(report.ok, 40);
+    assert_eq!(report.updates_ok, 10);
+
+    // Delta counters surfaced in /metrics.
+    let (_, body) = http_request(&addr, "GET", "/metrics", "text/plain", b"").unwrap();
+    let m = Json::parse(&body).unwrap();
+    let deltas = m.get("deltas").unwrap();
+    assert_eq!(deltas.get("applied").unwrap().as_i64(), Some(11));
+    assert!(deltas.get("cache_upgrades").unwrap().as_i64().unwrap() >= 1);
+    stop();
+}
+
+#[test]
 fn concurrent_load_is_consistent() {
     let (addr, stop) = start_server(4);
     http_request(&addr, "PUT", "/tables/EE_Student", "text/csv", EE_CSV).unwrap();
@@ -149,6 +217,8 @@ fn concurrent_load_is_consistent() {
         connections: 8,
         requests: 80,
         sql_pool: vec![String::from_utf8(PAPER_QUERY.to_vec()).unwrap()],
+        update_every: 0,
+        update_pool: Vec::new(),
     });
     assert_eq!(report.errors, 0);
     assert_eq!(report.ok, 80);

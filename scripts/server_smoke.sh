@@ -39,6 +39,25 @@ grep -q '"row_count":4' /tmp/query.json || { echo "unexpected fusion result:"; c
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://${ADDR}/query" -d 'SELECT * FROM Ghosts')
 [ "$code" = 404 ] || { echo "expected 404 for unknown table, got $code"; exit 1; }
 
+# Delta ingestion: insert a fifth student, which must *upgrade* the cached
+# prepared pipeline (not invalidate it) — the re-query reflects the insert
+# AND reports a cache hit, i.e. no cold re-prepare.
+code=$(curl -s -o /tmp/delta.json -w '%{http_code}' -X POST "http://${ADDR}/tables/CS_Students/delta" \
+    -H 'content-type: application/json' \
+    -d '{"insert": [["Grace Hopper", "37", "Arlington"]]}')
+[ "$code" = 200 ] || { echo "POST delta -> $code"; cat /tmp/delta.json; exit 1; }
+grep -q '"upgraded":1' /tmp/delta.json || { echo "delta did not upgrade the cache:"; cat /tmp/delta.json; exit 1; }
+
+code=$(curl -s -o /tmp/query2.json -w '%{http_code}' -X POST "http://${ADDR}/query" \
+    -d 'SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)')
+[ "$code" = 200 ] || { echo "POST /query after delta -> $code"; cat /tmp/query2.json; exit 1; }
+grep -q '"row_count":5' /tmp/query2.json || { echo "delta not reflected:"; cat /tmp/query2.json; exit 1; }
+grep -q '"cache":"hit"' /tmp/query2.json || { echo "expected an upgraded-cache hit:"; cat /tmp/query2.json; exit 1; }
+
+# Delta counters are visible in /metrics.
+curl -sf "http://${ADDR}/metrics" | grep -q '"cache_upgrades":1' \
+    || { echo "delta counters missing from /metrics"; exit 1; }
+
 # Graceful shutdown: the endpoint answers, then the process exits 0.
 curl -sf -X POST "http://${ADDR}/shutdown" >/dev/null
 wait "$SERVER_PID"

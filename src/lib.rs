@@ -16,6 +16,7 @@
 //! | [`matching`] | DUMAS schema matching + Hungarian algorithm + transformation |
 //! | [`dupdetect`] | duplicate detection: measure, filter, blocking, transitive closure |
 //! | [`fusion`] | conflict-resolution functions, fusion operator, lineage |
+//! | [`delta`] | delta ingestion + incremental maintenance of clusters and fused views |
 //! | [`query`] | the Fuse By SQL dialect (Fig. 1): parser + executor |
 //! | [`datagen`] | synthetic dirty worlds with gold standards + metrics |
 //! | [`core`](mod@core) | repository + automatic pipeline + six-step wizard |
@@ -50,6 +51,7 @@
 
 pub use hummer_core as core;
 pub use hummer_datagen as datagen;
+pub use hummer_delta as delta;
 pub use hummer_dupdetect as dupdetect;
 pub use hummer_engine as engine;
 pub use hummer_fusion as fusion;

@@ -1,0 +1,237 @@
+//! The delta subsystem's contract as a property: a random sequence of
+//! deltas (inserts / updates / deletes across scenario worlds) applied
+//! incrementally equals a from-scratch rebuild, bit-for-bit, at every
+//! parallelism degree 1–4 — prepared artifacts *and* the incrementally
+//! maintained fused view.
+
+use hummer::core::{
+    fuse_prepared, prepare_tables, HummerConfig, MatcherConfig, Parallelism, PreparedSources,
+    SniffConfig,
+};
+use hummer::datagen::scenarios::{
+    cd_shopping, cleansing_service, disaster_registry, student_rosters,
+};
+use hummer::delta::{concat_mappings, FusedView, RowMapping, TableDelta};
+use hummer::engine::{Table, Value};
+use hummer::fusion::FunctionRegistry;
+use proptest::prelude::*;
+
+fn config(par: Parallelism) -> HummerConfig {
+    HummerConfig {
+        matcher: MatcherConfig {
+            sniff: SniffConfig {
+                top_k: 8,
+                min_similarity: 0.3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        parallelism: par,
+        ..Default::default()
+    }
+}
+
+/// One op in the generated plan: `(kind, row_pick, perturbation)`.
+type OpPlan = (u8, usize, String);
+/// One delta in the plan: `(source_pick, ops)`.
+type DeltaPlan = (usize, Vec<OpPlan>);
+
+/// Interpret an op plan against a concrete table, avoiding row conflicts.
+fn build_delta(table: &Table, plan: &[OpPlan]) -> TableDelta {
+    let mut delta = TableDelta::new(table.name());
+    let mut used: Vec<usize> = Vec::new();
+    for (kind, pick, text) in plan {
+        let n = table.len();
+        match kind % 3 {
+            0 => {
+                // Insert: clone a row (or synthesize) and perturb its first
+                // text cell so the new row is genuinely new content.
+                let mut values: Vec<Value> = if n == 0 {
+                    table
+                        .schema()
+                        .names()
+                        .iter()
+                        .map(|_| Value::text(text.clone()))
+                        .collect()
+                } else {
+                    table.rows()[pick % n].values().to_vec()
+                };
+                if let Some(v) = values.iter_mut().find(|v| matches!(v, Value::Text(_))) {
+                    *v = Value::text(format!("{v} {text}"));
+                }
+                delta = delta.insert(values);
+            }
+            1 if n > 0 => {
+                let row = pick % n;
+                if used.contains(&row) {
+                    continue;
+                }
+                used.push(row);
+                let mut values: Vec<Value> = table.rows()[row].values().to_vec();
+                if let Some(v) = values.iter_mut().find(|v| matches!(v, Value::Text(_))) {
+                    *v = Value::text(format!("{text} {v}"));
+                } else if let Some(v) = values.first_mut() {
+                    *v = Value::text(text.clone());
+                }
+                delta = delta.update(row, values);
+            }
+            2 if n > 1 => {
+                let row = pick % n;
+                if used.contains(&row) {
+                    continue;
+                }
+                used.push(row);
+                delta = delta.delete(row);
+            }
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// Everything the byte-identity contract covers (stats excluded).
+fn assert_prepared_identical(
+    a: &PreparedSources,
+    b: &PreparedSources,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(
+        a.integrated.rows() == b.integrated.rows(),
+        "integrated: {context}"
+    );
+    prop_assert!(
+        a.annotated.schema().names() == b.annotated.schema().names(),
+        "schema: {context}"
+    );
+    prop_assert!(
+        a.annotated.rows() == b.annotated.rows(),
+        "annotated: {context}"
+    );
+    prop_assert!(a.detection.pairs == b.detection.pairs, "pairs: {context}");
+    prop_assert!(
+        a.detection.unsure == b.detection.unsure,
+        "unsure: {context}"
+    );
+    prop_assert!(
+        a.detection.cluster_ids == b.detection.cluster_ids,
+        "cluster_ids: {context}"
+    );
+    prop_assert!(
+        a.detection.clusters == b.detection.clusters,
+        "clusters: {context}"
+    );
+    prop_assert!(
+        a.detection.attributes_used == b.detection.attributes_used,
+        "attributes: {context}"
+    );
+    Ok(())
+}
+
+fn arb_op() -> BoxedStrategy<OpPlan> {
+    (0u8..6)
+        .prop_flat_map(|kind| {
+            (0usize..1000)
+                .prop_flat_map(move |pick| "[a-z]{2,6}".prop_map(move |text| (kind, pick, text)))
+        })
+        .boxed()
+}
+
+fn arb_deltas() -> BoxedStrategy<Vec<DeltaPlan>> {
+    let delta = (0usize..4).prop_flat_map(|source| {
+        prop::collection::vec(arb_op(), 1..5).prop_map(move |ops| (source, ops))
+    });
+    prop::collection::vec(delta, 1..3).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Incremental == from-scratch, bit-for-bit, for degrees 1–4, across a
+    /// random delta sequence over a random scenario world.
+    #[test]
+    fn delta_sequence_equals_rebuild(
+        which in 0usize..4,
+        seed in 0u64..1000,
+        entities in 16usize..28,
+        deltas in arb_deltas(),
+    ) {
+        let world = match which {
+            0 => cd_shopping(entities, seed),
+            1 => disaster_registry(entities, seed),
+            2 => student_rosters(entities, seed),
+            _ => cleansing_service(entities, seed),
+        };
+        let mut tables: Vec<Table> = world.sources.iter().map(|s| s.table.clone()).collect();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let registry = FunctionRegistry::standard();
+        let mut prepared = prepare_tables(&refs, &config(Parallelism::sequential())).unwrap();
+        let mut view = FusedView::new(
+            &prepared.annotated,
+            &prepared.detection,
+            &[],
+            &registry,
+            Parallelism::sequential(),
+        )
+        .unwrap();
+
+        for (step, (source_pick, ops)) in deltas.iter().enumerate() {
+            let s = source_pick % tables.len();
+            let delta = build_delta(&tables[s], ops);
+            let mut maps: Vec<RowMapping> = Vec::new();
+            let mut next_tables: Vec<Table> = Vec::new();
+            for (i, t) in tables.iter().enumerate() {
+                if i == s {
+                    let (nt, m) = delta.apply(t).unwrap();
+                    next_tables.push(nt);
+                    maps.push(m);
+                } else {
+                    next_tables.push(t.clone());
+                    maps.push(RowMapping::identity(t.len()));
+                }
+            }
+            let mapping = concat_mappings(&maps).unwrap();
+            let next_refs: Vec<&Table> = next_tables.iter().collect();
+
+            // From-scratch reference.
+            let scratch = prepare_tables(&next_refs, &config(Parallelism::sequential())).unwrap();
+
+            // Incremental at degrees 1–4, all bit-identical to the reference.
+            let mut upgraded_at_one: Option<PreparedSources> = None;
+            for degree in 1..=4usize {
+                let (upgraded, _report) = prepared
+                    .apply_delta(&next_refs, &mapping, &config(Parallelism::degree(degree)))
+                    .unwrap();
+                assert_prepared_identical(
+                    &upgraded,
+                    &scratch,
+                    &format!("step {step}, degree {degree}"),
+                )?;
+                if degree == 1 {
+                    upgraded_at_one = Some(upgraded);
+                }
+            }
+            let upgraded = upgraded_at_one.expect("degree 1 ran");
+
+            // The incrementally maintained fused view equals from-scratch
+            // fusion over the updated artifacts.
+            view.apply_delta(&upgraded.annotated, &upgraded.detection, &mapping, &registry)
+                .unwrap();
+            let scratch_fused = fuse_prepared(&scratch, &[], &registry).unwrap();
+            prop_assert!(
+                view.table().rows() == scratch_fused.result.rows(),
+                "fused view diverged at step {step}"
+            );
+            prop_assert!(
+                view.fused().conflict_count == scratch_fused.conflict_count,
+                "conflict count diverged at step {step}"
+            );
+            prop_assert!(
+                view.fused().sample_conflicts == scratch_fused.sample_conflicts,
+                "samples diverged at step {step}"
+            );
+
+            tables = next_tables;
+            prepared = upgraded;
+        }
+    }
+}
