@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         addr: "127.0.0.1:0".into(),
         threads: 4,
         service: ServiceConfig::narrow_schema(),
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().to_string();

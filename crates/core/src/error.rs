@@ -18,6 +18,16 @@ pub enum HummerError {
     },
     /// Not enough sources for the requested operation.
     Config(String),
+    /// A source file could not be loaded; carries the offending path so a
+    /// failed registration is debuggable from the message alone.
+    SourceFile {
+        /// The path that failed to load.
+        path: String,
+        /// What went wrong (I/O or CSV parse).
+        source: hummer_engine::EngineError,
+    },
+    /// Durable catalog store failure (WAL append, snapshot, recovery).
+    Store(hummer_store::StoreError),
     /// Relational engine failure.
     Engine(hummer_engine::EngineError),
     /// Fusion failure.
@@ -37,6 +47,10 @@ impl fmt::Display for HummerError {
                 write!(f, "cannot {action} in wizard phase `{phase}`")
             }
             HummerError::Config(msg) => write!(f, "configuration error: {msg}"),
+            HummerError::SourceFile { path, source } => {
+                write!(f, "cannot load source file `{path}`: {source}")
+            }
+            HummerError::Store(e) => write!(f, "store error: {e}"),
             HummerError::Engine(e) => write!(f, "engine error: {e}"),
             HummerError::Fusion(e) => write!(f, "fusion error: {e}"),
             HummerError::Query(e) => write!(f, "query error: {e}"),
@@ -48,6 +62,8 @@ impl std::error::Error for HummerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HummerError::Engine(e) => Some(e),
+            HummerError::SourceFile { source, .. } => Some(source),
+            HummerError::Store(e) => Some(e),
             HummerError::Fusion(e) => Some(e),
             HummerError::Query(e) => Some(e),
             _ => None,
@@ -70,6 +86,12 @@ impl From<hummer_fusion::FusionError> for HummerError {
 impl From<hummer_query::QueryError> for HummerError {
     fn from(e: hummer_query::QueryError) -> Self {
         HummerError::Query(e)
+    }
+}
+
+impl From<hummer_store::StoreError> for HummerError {
+    fn from(e: hummer_store::StoreError) -> Self {
+        HummerError::Store(e)
     }
 }
 
@@ -97,6 +119,21 @@ mod tests {
     fn conversions() {
         use std::error::Error as _;
         let e: HummerError = hummer_engine::EngineError::DuplicateColumn("c".into()).into();
+        assert!(e.source().is_some());
+        let e: HummerError = hummer_store::StoreError::corrupt("/d/wal-0.log", "bad CRC").into();
+        assert!(e.to_string().contains("wal-0.log"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn source_file_errors_name_the_path() {
+        use std::error::Error as _;
+        let e = HummerError::SourceFile {
+            path: "/data/missing.csv".into(),
+            source: hummer_engine::EngineError::Parse("empty CSV input".into()),
+        };
+        assert!(e.to_string().contains("/data/missing.csv"));
+        assert!(e.to_string().contains("empty CSV input"));
         assert!(e.source().is_some());
     }
 }

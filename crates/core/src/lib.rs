@@ -71,7 +71,11 @@ pub use hummer_engine as engine;
 pub use hummer_fusion as fusion;
 pub use hummer_matching as matching;
 pub use hummer_query as query;
+pub use hummer_store as store;
 pub use hummer_textsim as textsim;
+
+// Durable-catalog types, at the top level (see `MetadataRepository::open`).
+pub use hummer_store::{CatalogStore, StoreOptions, StoreStats};
 
 // The most-used types, at the top level.
 pub use hummer_dupdetect::{DetectionResult, DetectorConfig, RowMapping};

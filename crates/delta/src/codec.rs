@@ -1,0 +1,168 @@
+//! Binary encode/decode of [`TableDelta`] batches — the WAL record payload
+//! of the durable catalog store.
+//!
+//! A logged delta *is* the write-ahead-log record: the store frames these
+//! bytes (length prefix + CRC) and recovery replays them through the same
+//! [`TableDelta::apply`] that served the original request, so a recovered
+//! table is byte-identical to the pre-crash one. Values ride on
+//! `hummer_engine::codec`'s bit-exact value encoding.
+
+use crate::model::{DeltaError, DeltaOp, TableDelta};
+use hummer_engine::codec::{read_value, write_value, ByteReader, ByteWriter};
+use hummer_engine::Value;
+
+// Op tags. Stable on disk — append new tags, never renumber.
+const TAG_INSERT: u8 = 0;
+const TAG_UPDATE: u8 = 1;
+const TAG_DELETE: u8 = 2;
+
+fn write_values(w: &mut ByteWriter, values: &[Value]) {
+    w.put_u32(values.len() as u32);
+    for v in values {
+        write_value(w, v);
+    }
+}
+
+fn read_values(r: &mut ByteReader<'_>) -> Result<Vec<Value>, DeltaError> {
+    let count = r
+        .get_count(1, "delta row arity")
+        .map_err(|e| DeltaError::Malformed(e.to_string()))?;
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(read_value(r).map_err(|e| DeltaError::Malformed(e.to_string()))?);
+    }
+    Ok(values)
+}
+
+/// Encode a delta batch (target table name, op count, then the ops in
+/// submission order — order matters for conflict detection on replay).
+pub fn encode_delta(w: &mut ByteWriter, delta: &TableDelta) {
+    w.put_str(&delta.table);
+    w.put_u32(delta.ops.len() as u32);
+    for op in &delta.ops {
+        match op {
+            DeltaOp::Insert(values) => {
+                w.put_u8(TAG_INSERT);
+                write_values(w, values);
+            }
+            DeltaOp::Update { row, values } => {
+                w.put_u8(TAG_UPDATE);
+                w.put_u64(*row as u64);
+                write_values(w, values);
+            }
+            DeltaOp::Delete { row } => {
+                w.put_u8(TAG_DELETE);
+                w.put_u64(*row as u64);
+            }
+        }
+    }
+}
+
+/// Decode a delta batch encoded by [`encode_delta`]. Corruption surfaces as
+/// [`DeltaError::Malformed`].
+pub fn decode_delta(r: &mut ByteReader<'_>) -> Result<TableDelta, DeltaError> {
+    let malformed = |e: hummer_engine::EngineError| DeltaError::Malformed(e.to_string());
+    let table = r.get_str("delta table name").map_err(malformed)?;
+    let op_count = r.get_count(1, "delta op count").map_err(malformed)?;
+    let mut delta = TableDelta::new(table);
+    for _ in 0..op_count {
+        let op = match r.get_u8("delta op tag").map_err(malformed)? {
+            TAG_INSERT => DeltaOp::Insert(read_values(r)?),
+            TAG_UPDATE => {
+                let row = r.get_u64("update row index").map_err(malformed)? as usize;
+                DeltaOp::Update {
+                    row,
+                    values: read_values(r)?,
+                }
+            }
+            TAG_DELETE => {
+                let row = r.get_u64("delete row index").map_err(malformed)? as usize;
+                DeltaOp::Delete { row }
+            }
+            other => return Err(DeltaError::Malformed(format!("bad delta op tag {other}"))),
+        };
+        delta.ops.push(op);
+    }
+    Ok(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::Date;
+
+    fn round_trip(delta: &TableDelta) -> TableDelta {
+        let mut w = ByteWriter::new();
+        encode_delta(&mut w, delta);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_delta(&mut r).unwrap();
+        r.expect_end("delta").unwrap();
+        back
+    }
+
+    #[test]
+    fn mixed_batch_round_trips() {
+        let delta = TableDelta::new("CS_Students")
+            .insert(vec![
+                Value::text("Grace \"the\" Hopper,\nesq."),
+                Value::Int(37),
+                Value::Null,
+            ])
+            .update(
+                3,
+                vec![
+                    Value::Float(-0.0),
+                    Value::Bool(true),
+                    Value::Date(Date::new(2005, 8, 30).unwrap()),
+                ],
+            )
+            .delete(7);
+        assert_eq!(round_trip(&delta), delta);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let delta = TableDelta::new("T");
+        assert_eq!(round_trip(&delta), delta);
+    }
+
+    #[test]
+    fn op_order_is_preserved() {
+        let delta = TableDelta::new("T").delete(1).delete(0);
+        let back = round_trip(&delta);
+        assert_eq!(back.ops, delta.ops);
+    }
+
+    #[test]
+    fn truncation_errors_cleanly() {
+        let delta = TableDelta::new("T")
+            .insert(vec![Value::Int(1), Value::text("x")])
+            .delete(0);
+        let mut w = ByteWriter::new();
+        encode_delta(&mut w, &delta);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let outcome = decode_delta(&mut r);
+            assert!(
+                outcome.is_err() || !r.is_exhausted() || cut == bytes.len(),
+                "cut at {cut} silently parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_malformed() {
+        let mut w = ByteWriter::new();
+        w.put_str("T");
+        w.put_u32(1);
+        w.put_u8(9);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            decode_delta(&mut r),
+            Err(DeltaError::Malformed(_))
+        ));
+    }
+}

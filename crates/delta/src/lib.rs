@@ -8,6 +8,8 @@
 //! * [`model`] — the [`TableDelta`] change model (insert / update / delete
 //!   of rows, stable pre-delta addressing) and its application to a table,
 //!   producing the [`RowMapping`] every downstream layer consumes;
+//! * [`codec`] — the binary encode/decode of a batch, which doubles as the
+//!   durable store's write-ahead-log record payload;
 //! * [`mapping`] — lifting per-source mappings into the integrated
 //!   (outer-union) row space with [`concat_mappings`];
 //! * duplicate detection — `hummer_dupdetect::detect_delta` re-scores only
@@ -24,10 +26,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod mapping;
 pub mod model;
 pub mod view;
 
+pub use codec::{decode_delta, encode_delta};
 pub use hummer_dupdetect::{DeltaDetectionStats, RowMapping};
 pub use mapping::concat_mappings;
 pub use model::{DeltaCounts, DeltaError, DeltaOp, TableDelta};

@@ -1,0 +1,470 @@
+//! Binary (de)serialization of engine primitives — the byte codec
+//! underneath HumMer's durable catalog store (`hummer_store`).
+//!
+//! The format is deliberately simple and fully self-describing at the value
+//! level: little-endian fixed-width integers, length-prefixed UTF-8 strings,
+//! and one tag byte per value. Floats are encoded as their IEEE-754 bit
+//! pattern, so every value — including `-0.0` and subnormals — round-trips
+//! **bit-identically**; that exactness is what lets a recovered catalog
+//! reproduce byte-identical fusion output (see `ARCHITECTURE.md`, "The store
+//! subsystem").
+//!
+//! Corruption surfaces as [`EngineError::Parse`]; framing, checksums, and
+//! file-level atomicity live a layer up in `hummer_store`.
+
+use crate::error::EngineError;
+use crate::row::Row;
+use crate::schema::{Column, ColumnType, Schema};
+use crate::table::Table;
+use crate::value::{Date, Value};
+use crate::Result;
+
+/// An append-only byte buffer with the codec's primitive encodings.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The accumulated bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume into the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i32`.
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes with no prefix (caller-framed).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// A cursor over a byte slice with checked primitive decodings.
+///
+/// Every read validates that enough input remains; running off the end (a
+/// torn or corrupt buffer) yields [`EngineError::Parse`] instead of a panic.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when all input has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fail unless every byte was consumed (trailing garbage detection).
+    pub fn expect_end(&self, what: &str) -> Result<()> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(EngineError::Parse(format!(
+                "codec: {} trailing bytes after {what}",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(EngineError::Parse(format!(
+                "codec: unexpected end of input reading {what} ({} of {n} bytes left)",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i32`.
+    pub fn get_i32(&mut self, what: &str) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self, what: &str) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string. The length is validated
+    /// against the remaining input *before* allocating, so corrupt prefixes
+    /// cannot trigger huge allocations.
+    pub fn get_str(&mut self, what: &str) -> Result<String> {
+        let len = self.get_u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(EngineError::Parse(format!(
+                "codec: {what} declares {len} bytes but only {} remain",
+                self.remaining()
+            )));
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| EngineError::Parse(format!("codec: {what} is not valid UTF-8")))
+    }
+
+    /// Read a collection count, rejecting counts that cannot possibly fit in
+    /// the remaining input given a minimum of `min_item_bytes` per item.
+    pub fn get_count(&mut self, min_item_bytes: usize, what: &str) -> Result<usize> {
+        let count = self.get_u32(what)? as usize;
+        let floor = count.saturating_mul(min_item_bytes.max(1));
+        if floor > self.remaining() {
+            return Err(EngineError::Parse(format!(
+                "codec: {what} declares {count} items but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+}
+
+// Value tags. Stable on disk — append new tags, never renumber.
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_TEXT: u8 = 4;
+const TAG_DATE: u8 = 5;
+
+/// Encode one cell value (tag byte + payload).
+pub fn write_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Null => w.put_u8(TAG_NULL),
+        Value::Bool(b) => {
+            w.put_u8(TAG_BOOL);
+            w.put_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            w.put_u8(TAG_INT);
+            w.put_i64(*i);
+        }
+        Value::Float(f) => {
+            w.put_u8(TAG_FLOAT);
+            w.put_u64(f.to_bits());
+        }
+        Value::Text(s) => {
+            w.put_u8(TAG_TEXT);
+            w.put_str(s);
+        }
+        Value::Date(d) => {
+            w.put_u8(TAG_DATE);
+            w.put_i32(d.year);
+            w.put_u8(d.month);
+            w.put_u8(d.day);
+        }
+    }
+}
+
+/// Decode one cell value.
+pub fn read_value(r: &mut ByteReader<'_>) -> Result<Value> {
+    match r.get_u8("value tag")? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL => match r.get_u8("bool value")? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            other => Err(EngineError::Parse(format!("codec: bad bool byte {other}"))),
+        },
+        TAG_INT => Ok(Value::Int(r.get_i64("int value")?)),
+        TAG_FLOAT => Ok(Value::Float(f64::from_bits(r.get_u64("float value")?))),
+        TAG_TEXT => Ok(Value::Text(r.get_str("text value")?)),
+        TAG_DATE => {
+            let year = r.get_i32("date year")?;
+            let month = r.get_u8("date month")?;
+            let day = r.get_u8("date day")?;
+            Ok(Value::Date(Date::new(year, month, day)?))
+        }
+        other => Err(EngineError::Parse(format!("codec: bad value tag {other}"))),
+    }
+}
+
+fn column_type_tag(t: ColumnType) -> u8 {
+    match t {
+        ColumnType::Bool => 0,
+        ColumnType::Int => 1,
+        ColumnType::Float => 2,
+        ColumnType::Text => 3,
+        ColumnType::Date => 4,
+        ColumnType::Any => 5,
+    }
+}
+
+fn column_type_from_tag(tag: u8) -> Result<ColumnType> {
+    Ok(match tag {
+        0 => ColumnType::Bool,
+        1 => ColumnType::Int,
+        2 => ColumnType::Float,
+        3 => ColumnType::Text,
+        4 => ColumnType::Date,
+        5 => ColumnType::Any,
+        other => {
+            return Err(EngineError::Parse(format!(
+                "codec: bad column type tag {other}"
+            )))
+        }
+    })
+}
+
+/// Encode a schema: column count, then (name, type tag) per column.
+pub fn write_schema(w: &mut ByteWriter, schema: &Schema) {
+    w.put_u32(schema.len() as u32);
+    for c in schema.columns() {
+        w.put_str(&c.name);
+        w.put_u8(column_type_tag(c.ctype));
+    }
+}
+
+/// Decode a schema.
+pub fn read_schema(r: &mut ByteReader<'_>) -> Result<Schema> {
+    let ncols = r.get_count(5, "schema column count")?;
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name = r.get_str("column name")?;
+        let ctype = column_type_from_tag(r.get_u8("column type")?)?;
+        cols.push(Column::new(name, ctype));
+    }
+    Schema::new(cols)
+}
+
+/// Encode a whole table: name, schema, row count, then every cell in row
+/// order. The declared column types are stored as-is (no re-inference), so
+/// decoding reproduces the table **exactly** as it was encoded.
+pub fn write_table(w: &mut ByteWriter, table: &Table) {
+    w.put_str(table.name());
+    write_schema(w, table.schema());
+    w.put_u32(table.len() as u32);
+    for row in table.rows() {
+        for v in row.values() {
+            write_value(w, v);
+        }
+    }
+}
+
+/// Decode a table encoded by [`write_table`].
+pub fn read_table(r: &mut ByteReader<'_>) -> Result<Table> {
+    let name = r.get_str("table name")?;
+    let schema = read_schema(r)?;
+    let ncols = schema.len();
+    let nrows = r.get_count(ncols.max(1), "table row count")?;
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let mut values = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            values.push(read_value(r)?);
+        }
+        rows.push(Row::from_values(values));
+    }
+    Table::new(name, schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table;
+
+    fn round_trip_value(v: &Value) -> Value {
+        let mut w = ByteWriter::new();
+        write_value(&mut w, v);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = read_value(&mut r).unwrap();
+        r.expect_end("value").unwrap();
+        back
+    }
+
+    #[test]
+    fn values_round_trip_bit_exactly() {
+        let cases = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Int(0),
+            Value::Float(0.1 + 0.2), // not representable "nicely"
+            Value::Float(-0.0),
+            Value::Float(f64::MIN_POSITIVE / 2.0), // subnormal
+            Value::text(""),
+            Value::text("with \"quotes\", commas,\nnewlines and ünïcödé 北京"),
+            Value::Date(Date::new(2005, 8, 30).unwrap()),
+            Value::Date(Date::new(-44, 3, 15).unwrap()),
+        ];
+        for v in cases {
+            let back = round_trip_value(&v);
+            // PartialEq treats Int(2)==Float(2.0); compare debug forms for
+            // bit-exactness (covers -0.0 vs 0.0 too).
+            assert_eq!(format!("{v:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn negative_zero_float_is_preserved() {
+        match round_trip_value(&Value::Float(-0.0)) {
+            Value::Float(f) => assert_eq!(f.to_bits(), (-0.0f64).to_bits()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tables_round_trip() {
+        let t = table! {
+            "Mixed" => ["Name", "Age", "GPA", "Born"];
+            ["Ada, \"the\" first", 36, 3.9, "1815-12-10"],
+            [(), 24, (), ()],
+        };
+        let mut w = ByteWriter::new();
+        write_table(&mut w, &t);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = read_table(&mut r).unwrap();
+        r.expect_end("table").unwrap();
+        assert_eq!(back, t); // name + schema (incl. types) + rows
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_errors_cleanly() {
+        let t = table! {
+            "T" => ["a", "b"];
+            [1, "x"],
+            [2.5, ()],
+        };
+        let mut w = ByteWriter::new();
+        write_table(&mut w, &t);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(read_table(&mut r).is_err(), "cut at {cut} must not parse");
+        }
+    }
+
+    #[test]
+    fn corrupt_tags_and_counts_error_not_panic() {
+        // Bad value tag.
+        let mut r = ByteReader::new(&[99]);
+        assert!(read_value(&mut r).is_err());
+        // Bad bool payload.
+        let mut r = ByteReader::new(&[TAG_BOOL, 7]);
+        assert!(read_value(&mut r).is_err());
+        // String length far beyond the buffer must not allocate/panic.
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_TEXT);
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(read_value(&mut r).is_err());
+        // Invalid date is rejected by Date::new.
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_DATE);
+        w.put_i32(2005);
+        w.put_u8(13);
+        w.put_u8(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(read_value(&mut r).is_err());
+        // Row count that cannot fit.
+        let mut w = ByteWriter::new();
+        w.put_str("T");
+        write_schema(&mut w, &Schema::of_names(&["a"]).unwrap());
+        w.put_u32(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(read_table(&mut r).is_err());
+    }
+
+    #[test]
+    fn expect_end_flags_trailing_garbage() {
+        let mut w = ByteWriter::new();
+        write_value(&mut w, &Value::Int(1));
+        w.put_u8(0xAB);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        read_value(&mut r).unwrap();
+        assert!(r.expect_end("value").is_err());
+    }
+
+    #[test]
+    fn non_utf8_text_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_TEXT);
+        w.put_u32(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(read_value(&mut r).is_err());
+    }
+}

@@ -12,7 +12,9 @@
 //!   (nested-loop, hash, cross), `UNION`, **full outer union** (the basis of
 //!   `FUSE FROM`), sorting, grouping with SQL aggregates, distinct, limit,
 //! * lazy XXL-style cursors in [`cursor`],
-//! * CSV ingestion/serialization in [`csv`].
+//! * CSV ingestion/serialization in [`csv`],
+//! * the bit-exact binary codec in [`codec`] (the byte layer under the
+//!   durable catalog store).
 //!
 //! ## Example
 //!
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod csv;
 pub mod cursor;
 pub mod error;

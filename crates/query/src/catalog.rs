@@ -77,6 +77,39 @@ impl VersionedTableSet {
         version
     }
 
+    /// Re-register a table at an explicit version (crash recovery). The
+    /// version clock advances past every restored version, so registrations
+    /// after a restart never collide with pre-crash versions — prepared
+    /// artifacts cached under `(alias, version)` keys stay meaningful.
+    pub fn restore(&mut self, alias: impl Into<String>, mut table: Table, version: u64) {
+        let alias = alias.into();
+        table.set_name(alias.clone());
+        self.next_version = self.next_version.max(version);
+        self.tables.insert(
+            alias.to_ascii_lowercase(),
+            VersionedTable {
+                table: Arc::new(table),
+                version,
+            },
+        );
+    }
+
+    /// The version the next [`VersionedTableSet::register`] will assign.
+    /// Lets a write-ahead logger record the version *before* committing the
+    /// registration.
+    pub fn upcoming_version(&self) -> u64 {
+        self.next_version + 1
+    }
+
+    /// Advance the version clock to at least `version` without registering
+    /// anything. Crash recovery calls this with the highest version the log
+    /// ever assigned — which can exceed every *surviving* table's version
+    /// when the newest table was deregistered before the crash — so
+    /// post-restart registrations never reuse a pre-crash version.
+    pub fn advance_version_clock(&mut self, version: u64) {
+        self.next_version = self.next_version.max(version);
+    }
+
     /// Look up a table together with its version.
     pub fn get(&self, alias: &str) -> Option<&VersionedTable> {
         self.tables.get(&alias.to_ascii_lowercase())
@@ -217,6 +250,27 @@ mod tests {
         assert!(Catalog::table(&v, "T").is_some());
         assert!(v.remove("T"));
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn restore_keeps_versions_and_clock() {
+        let mut v = VersionedTableSet::new();
+        v.restore("B", table! { "X" => ["a"]; [1] }, 7);
+        v.restore("A", table! { "X" => ["a"]; [2] }, 3);
+        assert_eq!(v.get("b").unwrap().version, 7);
+        assert_eq!(v.get("A").unwrap().version, 3);
+        assert_eq!(v.get("a").unwrap().table.name(), "A");
+        // The clock resumes past the highest restored version.
+        assert_eq!(v.upcoming_version(), 8);
+        let assigned = v.register("C", table! { "X" => ["a"]; [3] });
+        assert_eq!(assigned, 8);
+        assert_eq!(v.upcoming_version(), 9);
+        // An explicit clock advance (recovery of a deleted-table version)
+        // moves forward, never backward.
+        v.advance_version_clock(20);
+        assert_eq!(v.upcoming_version(), 21);
+        v.advance_version_clock(5);
+        assert_eq!(v.upcoming_version(), 21);
     }
 
     #[test]

@@ -112,15 +112,16 @@ fn main() -> ExitCode {
         update_pool,
     });
 
-    let cache = http_request(&addr, "GET", "/metrics", "text/plain", b"")
+    let metrics = http_request(&addr, "GET", "/metrics", "text/plain", b"")
         .ok()
         .filter(|(status, _)| *status == 200)
-        .and_then(|(_, body)| Json::parse(&body).ok())
-        .and_then(|m| {
-            m.get("prepared_cache")
-                .and_then(|c| c.get("hit_rate"))
-                .and_then(Json::as_f64)
-        });
+        .and_then(|(_, body)| Json::parse(&body).ok());
+    let cache = metrics.as_ref().and_then(|m| {
+        m.get("prepared_cache")
+            .and_then(|c| c.get("hit_rate"))
+            .and_then(Json::as_f64)
+    });
+    let store = metrics.as_ref().and_then(|m| m.get("store").cloned());
 
     println!("requests_ok      {}", report.ok);
     println!("requests_err     {}", report.errors);
@@ -134,6 +135,33 @@ fn main() -> ExitCode {
     match cache {
         Some(rate) => println!("cache_hit_rate   {rate:.3}"),
         None => println!("cache_hit_rate   n/a"),
+    }
+    // Durable mode: surface the server's store counters so a logged-catalog
+    // run is distinguishable from an in-memory one in the report.
+    match store {
+        Some(store) => {
+            let int = |key: &str| store.get(key).and_then(Json::as_i64).unwrap_or(0);
+            println!("durable_mode     yes");
+            println!(
+                "store_fsync      {}",
+                match store.get("fsync") {
+                    Some(Json::Bool(true)) => "on",
+                    Some(Json::Bool(false)) => "off",
+                    _ => "n/a",
+                }
+            );
+            println!("wal_bytes        {}", int("wal_bytes"));
+            println!("wal_records      {}", int("wal_records"));
+            println!("snapshots        {}", int("snapshots_written"));
+            println!(
+                "recovery_ms      {:.3}",
+                store
+                    .get("recovery_ms")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0)
+            );
+        }
+        None => println!("durable_mode     no"),
     }
     if report.errors > 0 {
         ExitCode::FAILURE

@@ -26,6 +26,9 @@ pub enum ServerError {
     NotFound(String),
     /// The path exists but not with this method. → 405.
     MethodNotAllowed(String),
+    /// The durable catalog store failed (WAL append, snapshot, recovery).
+    /// Carries file + operation context end-to-end. → 500.
+    Store(hummer_store::StoreError),
     /// The server failed while executing a well-formed request. → 500.
     Internal(String),
 }
@@ -38,6 +41,7 @@ impl ServerError {
             ServerError::BadRequest(_) => 400,
             ServerError::UnknownTable(_) | ServerError::NotFound(_) => 404,
             ServerError::MethodNotAllowed(_) => 405,
+            ServerError::Store(_) => 500,
             ServerError::Internal(_) => 500,
         }
     }
@@ -61,6 +65,7 @@ impl fmt::Display for ServerError {
             ServerError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
             ServerError::NotFound(path) => write!(f, "no such resource: {path}"),
             ServerError::MethodNotAllowed(m) => write!(f, "method not allowed: {m}"),
+            ServerError::Store(e) => write!(f, "store error: {e}"),
             ServerError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -70,6 +75,7 @@ impl std::error::Error for ServerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServerError::Io(e) => Some(e),
+            ServerError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -78,6 +84,12 @@ impl std::error::Error for ServerError {
 impl From<std::io::Error> for ServerError {
     fn from(e: std::io::Error) -> Self {
         ServerError::Io(e)
+    }
+}
+
+impl From<hummer_store::StoreError> for ServerError {
+    fn from(e: hummer_store::StoreError) -> Self {
+        ServerError::Store(e)
     }
 }
 
@@ -175,6 +187,21 @@ mod tests {
         assert_eq!(e.status(), 404);
         let e = ServerError::from(HummerError::Config("bad".into()));
         assert_eq!(e.status(), 500);
+    }
+
+    #[test]
+    fn store_errors_are_500_with_full_context() {
+        let e = ServerError::from(hummer_store::StoreError::io(
+            "append to",
+            "/data/wal-3.log",
+            std::io::Error::new(std::io::ErrorKind::StorageFull, "disk full"),
+        ));
+        assert_eq!(e.status(), 500);
+        let msg = e.to_string();
+        assert!(msg.contains("append to"), "{msg}");
+        assert!(msg.contains("/data/wal-3.log"), "{msg}");
+        assert!(msg.contains("disk full"), "{msg}");
+        assert!(e.source().is_some());
     }
 
     #[test]

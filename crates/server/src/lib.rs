@@ -12,7 +12,9 @@
 //! (ordered) source-table set and each table's content version, so repeated
 //! queries over the same sources skip straight to fusion + query execution.
 //!
-//! * [`service`] — the transport-independent core: catalog, cache, metrics;
+//! * [`service`] — the transport-independent core: catalog, cache, metrics,
+//!   and the optional durable store (`hummer_store`) that write-ahead-logs
+//!   every catalog mutation and recovers it on boot;
 //! * [`server`] — listener, worker [`pool`], routing, graceful shutdown;
 //! * [`http`] — minimal HTTP/1.1 request/response framing;
 //! * [`json`] — the hand-rolled JSON writer/parser the wire protocol uses;
@@ -66,6 +68,7 @@ pub mod service;
 pub use cache::{CacheStats, PreparedCache, PreparedKey};
 pub use error::{Result, ServerError};
 pub use hummer_core::Parallelism;
+pub use hummer_store::{CatalogStore, StoreOptions, StoreStats};
 pub use json::{Json, JsonError};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pool::ThreadPool;

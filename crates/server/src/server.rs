@@ -6,11 +6,17 @@
 //! |------------------------------|--------|
 //! | `PUT /tables/{name}`         | register/replace a table from a CSV body |
 //! | `POST /tables/{name}/delta`  | apply row-level changes; *upgrades* cached pipelines in place |
+//! | `DELETE /tables/{name}`      | deregister a table |
 //! | `GET /tables`                | list registered tables |
 //! | `POST /query`                | execute Fuse By SQL (raw text or `{"sql": …}`) |
-//! | `GET /metrics`               | request counts, p50/p99 latency, stage + cache + delta stats |
+//! | `GET /metrics`               | request counts, p50/p99 latency, stage + cache + delta + store stats |
 //! | `GET /healthz`               | liveness probe |
 //! | `POST /shutdown`             | graceful shutdown (finish in-flight, then exit) |
+//!
+//! With [`ServerConfig::data_dir`] set, the catalog is durable: every
+//! mutation is write-ahead-logged before it is acked, and `bind` recovers
+//! the pre-crash catalog (content versions included) from the newest valid
+//! snapshot plus the WAL tail.
 //!
 //! The accept loop hands each connection to a fixed [`ThreadPool`]; one
 //! worker owns the whole keep-alive conversation. Shutdown sets a flag and
@@ -25,6 +31,7 @@ use crate::service::{
     delta_result_to_json, metrics_to_json, parse_delta, query_result_to_json, FusionService,
     ServiceConfig, TableInfo,
 };
+use hummer_store::{CatalogStore, StoreOptions};
 use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -49,6 +56,13 @@ pub struct ServerConfig {
     /// Service (pipeline + cache) configuration, including the per-request
     /// intra-query parallelism knob.
     pub service: ServiceConfig,
+    /// Durable-catalog directory. `None` (the default) keeps the catalog in
+    /// memory only; `Some(dir)` recovers the catalog from `dir` on bind and
+    /// write-ahead-logs every mutation before acking it.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Store tuning (fsync discipline, compaction threshold); only
+    /// meaningful with `data_dir`.
+    pub store: StoreOptions,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +71,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".into(),
             threads: 4,
             service: ServiceConfig::default(),
+            data_dir: None,
+            store: StoreOptions::default(),
         }
     }
 }
@@ -94,14 +110,22 @@ pub struct HummerServer {
 }
 
 impl HummerServer {
-    /// Bind the listener and build the shared service. The server does not
-    /// accept connections until [`HummerServer::run`].
+    /// Bind the listener and build the shared service — recovering the
+    /// catalog from [`ServerConfig::data_dir`] when one is configured. The
+    /// server does not accept connections until [`HummerServer::run`].
     pub fn bind(config: ServerConfig) -> std::io::Result<HummerServer> {
+        let service = match &config.data_dir {
+            Some(dir) => {
+                let (store, recovery) = CatalogStore::open(dir, config.store.clone())?;
+                FusionService::with_store(config.service, store, recovery)
+            }
+            None => FusionService::new(config.service),
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         Ok(HummerServer {
             listener,
-            service: Arc::new(FusionService::new(config.service)),
+            service: Arc::new(service),
             threads: config.threads,
             shutdown: Arc::new(AtomicBool::new(false)),
             local_addr,
@@ -320,6 +344,16 @@ fn route(
                 table_info_json(&info).to_string_compact(),
             ))
         }
+        ("DELETE", path) if path.len() > "/tables/".len() && path.starts_with("/tables/") => {
+            let name = &path["/tables/".len()..];
+            let info = service.delete_table(name)?;
+            Ok(Response::json(
+                200,
+                table_info_json(&info)
+                    .with("deleted", true)
+                    .to_string_compact(),
+            ))
+        }
         (_, path)
             if path == "/healthz"
                 || path == "/tables"
@@ -448,6 +482,16 @@ mod tests {
         }
         let e = route(&req("POST", "/tables/T/delta", b"{"), &service, &shutdown).unwrap_err();
         assert_eq!(e.status(), 400);
+        // Deregistration: 200 with the final shape, then 404 on repeat.
+        let del = route(&req("DELETE", "/tables/T", b""), &service, &shutdown).unwrap();
+        assert_eq!(del.status, 200);
+        let body = String::from_utf8(del.body.clone()).unwrap();
+        assert!(body.contains("\"deleted\":true"), "{body}");
+        let e = route(&req("DELETE", "/tables/T", b""), &service, &shutdown).unwrap_err();
+        assert_eq!(e.status(), 404);
+        // A bare DELETE /tables/ (no name) is method-not-allowed, not a panic.
+        let e = route(&req("DELETE", "/tables/", b""), &service, &shutdown).unwrap_err();
+        assert_eq!(e.status(), 405);
         assert!(!shutdown.is_requested());
         let bye = route(&req("POST", "/shutdown", b""), &service, &shutdown).unwrap();
         assert_eq!(bye.status, 200);

@@ -24,6 +24,7 @@ use hummer_fusion::FunctionRegistry;
 use hummer_query::{
     execute, execute_combined_par, parse, FuseQuery, QueryOutput, VersionedTableSet,
 };
+use hummer_store::{CatalogStore, Recovery, SnapshotEntry, StoreStats};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -205,6 +206,12 @@ fn json_value(v: &Json) -> Result<Value> {
 }
 
 /// The shared, thread-safe fusion service.
+///
+/// With a durable store attached ([`FusionService::with_store`]), every
+/// catalog mutation — register, delta, deregister — is written ahead to the
+/// store's WAL *before* it is applied and acked, under the catalog write
+/// lock (so WAL order always equals version order). Reads never touch the
+/// store.
 #[derive(Debug)]
 pub struct FusionService {
     catalog: RwLock<VersionedTableSet>,
@@ -212,10 +219,14 @@ pub struct FusionService {
     metrics: Metrics,
     registry: FunctionRegistry,
     config: HummerConfig,
+    /// Lock order: `catalog` write lock first, then the store — never the
+    /// other way around.
+    store: Option<Mutex<CatalogStore>>,
 }
 
 impl FusionService {
-    /// A service with the given configuration and an empty catalog.
+    /// A service with the given configuration and an empty, in-memory-only
+    /// catalog.
     pub fn new(config: ServiceConfig) -> Self {
         FusionService {
             catalog: RwLock::new(VersionedTableSet::new()),
@@ -223,6 +234,29 @@ impl FusionService {
             metrics: Metrics::new(),
             registry: FunctionRegistry::standard(),
             config: config.pipeline,
+            store: None,
+        }
+    }
+
+    /// A durable service: the catalog is seeded from `recovery` — content
+    /// versions included, so prepared-pipeline cache keys stay meaningful
+    /// across restarts — and every further mutation is logged to `store`
+    /// before it is acked.
+    pub fn with_store(config: ServiceConfig, store: CatalogStore, recovery: Recovery) -> Self {
+        let mut catalog = VersionedTableSet::new();
+        for t in recovery.tables {
+            catalog.restore(t.alias, t.table, t.version);
+        }
+        // The log may have assigned versions beyond every *surviving*
+        // table's (a deleted table held the highest); never reuse them.
+        catalog.advance_version_clock(recovery.last_version);
+        FusionService {
+            catalog: RwLock::new(catalog),
+            cache: Mutex::new(PreparedCache::new(config.cache_capacity)),
+            metrics: Metrics::new(),
+            registry: FunctionRegistry::standard(),
+            config: config.pipeline,
+            store: Some(Mutex::new(store)),
         }
     }
 
@@ -236,8 +270,39 @@ impl FusionService {
         self.cache.lock().unwrap().stats()
     }
 
+    /// Durable-store counters, when a store is attached.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.lock().unwrap().stats())
+    }
+
+    /// Roll the WAL into a fresh snapshot if it crossed the threshold.
+    /// Called with the catalog write lock held so the snapshot is a
+    /// consistent image. Compaction failure is non-fatal (the WAL record
+    /// is already durable); it is reported and retried after the next
+    /// mutation.
+    fn compact_if_needed(&self, catalog: &VersionedTableSet) {
+        let Some(store) = &self.store else { return };
+        let mut store = store.lock().unwrap();
+        if !store.wants_compaction() {
+            return;
+        }
+        let entries = catalog.entries();
+        let snapshot: Vec<SnapshotEntry<'_>> = entries
+            .iter()
+            .map(|e| SnapshotEntry {
+                alias: e.table.name(),
+                version: e.version,
+                table: e.table.as_ref(),
+            })
+            .collect();
+        if let Err(e) = store.compact(&snapshot) {
+            eprintln!("hummer-server: WAL compaction failed (will retry): {e}");
+        }
+    }
+
     /// Parse and register CSV under `name` (re-upload replaces and bumps the
-    /// version, invalidating cached pipelines over the table).
+    /// version, invalidating cached pipelines over the table). When durable,
+    /// the registration is WAL-logged before the catalog changes.
     pub fn put_table(&self, name: &str, csv_text: &str) -> Result<TableInfo> {
         if name.is_empty()
             || !name
@@ -256,13 +321,52 @@ impl FusionService {
             .map(|s| s.to_string())
             .collect();
         let rows = table.len();
-        let version = self.catalog.write().unwrap().register(name, table);
+        let version = {
+            let mut catalog = self.catalog.write().unwrap();
+            let version = catalog.upcoming_version();
+            if let Some(store) = &self.store {
+                store.lock().unwrap().log_register(name, version, &table)?;
+            }
+            let assigned = catalog.register(name, table);
+            debug_assert_eq!(assigned, version);
+            self.compact_if_needed(&catalog);
+            assigned
+        };
         Ok(TableInfo {
             name: name.to_string(),
             rows,
             columns: info_columns,
             version,
         })
+    }
+
+    /// Remove a table from the catalog; returns its final shape. When
+    /// durable, the removal is WAL-logged before it is applied. Prepared
+    /// cache entries over the removed table become unreachable (versions
+    /// are never reused) and age out via LRU.
+    pub fn delete_table(&self, name: &str) -> Result<TableInfo> {
+        let mut catalog = self.catalog.write().unwrap();
+        let entry = catalog
+            .get(name)
+            .ok_or_else(|| ServerError::UnknownTable(name.to_string()))?;
+        let info = TableInfo {
+            name: entry.table.name().to_string(),
+            rows: entry.table.len(),
+            columns: entry
+                .table
+                .schema()
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            version: entry.version,
+        };
+        if let Some(store) = &self.store {
+            store.lock().unwrap().log_deregister(name)?;
+        }
+        catalog.remove(name);
+        self.compact_if_needed(&catalog);
+        Ok(info)
     }
 
     /// Apply a parsed delta batch to table `name`: update the catalog (new
@@ -273,11 +377,19 @@ impl FusionService {
     pub fn apply_delta(&self, name: &str, delta: &TableDelta) -> Result<DeltaApplyResult> {
         let counts = delta.counts();
         // Catalog swap under the write lock (delta application is linear).
+        // When durable, the delta is WAL-logged — as the TableDelta itself —
+        // before the catalog changes, still under the lock, so log order
+        // always equals version order.
         let (lname, old_version, new_table, mapping, info) = {
             let mut catalog = self.catalog.write().unwrap();
             let entry = catalog
                 .get(name)
                 .ok_or_else(|| ServerError::UnknownTable(name.to_string()))?;
+            // Re-register under the table's canonical alias, not the
+            // request's casing: a delta must never rename the table (and
+            // WAL replay preserves the registered alias, so anything else
+            // would break recovery's identity contract).
+            let canonical = entry.table.name().to_string();
             let old_version = entry.version;
             let (new_table, mapping) = delta
                 .apply(&entry.table)
@@ -289,15 +401,24 @@ impl FusionService {
                 .iter()
                 .map(|s| s.to_string())
                 .collect();
-            let version = catalog.register(name, new_table);
+            let upcoming = catalog.upcoming_version();
+            if let Some(store) = &self.store {
+                store
+                    .lock()
+                    .unwrap()
+                    .log_delta(&canonical, upcoming, delta)?;
+            }
+            let version = catalog.register(canonical.as_str(), new_table);
+            debug_assert_eq!(version, upcoming);
+            self.compact_if_needed(&catalog);
             let new_table = Arc::clone(&catalog.get(name).expect("just registered").table);
             (
-                name.to_ascii_lowercase(),
+                canonical.to_ascii_lowercase(),
                 old_version,
                 new_table,
                 mapping,
                 TableInfo {
-                    name: name.to_string(),
+                    name: canonical,
                     rows,
                     columns,
                     version,
@@ -624,7 +745,7 @@ pub fn metrics_to_json(service: &FusionService) -> Json {
                 .with("p99_ms", e.p99_ms)
         })
         .collect();
-    Json::object()
+    let mut doc = Json::object()
         .with("total_requests", snap.total_requests)
         .with("total_errors", snap.total_errors)
         .with("endpoints", Json::Arr(endpoints))
@@ -658,7 +779,20 @@ pub fn metrics_to_json(service: &FusionService) -> Json {
                 .with("cache_upgrades", snap.deltas.cache_upgrades)
                 .with("cache_upgrade_failures", snap.deltas.cache_upgrade_failures)
                 .with("full_rescores", snap.deltas.full_rescores),
-        )
+        );
+    if let Some(store) = service.store_stats() {
+        doc.push(
+            "store",
+            Json::object()
+                .with("generation", store.generation)
+                .with("wal_bytes", store.wal_bytes)
+                .with("wal_records", store.wal_records)
+                .with("snapshots_written", store.snapshots_written)
+                .with("recovery_ms", store.recovery_ms)
+                .with("fsync", store.fsync),
+        );
+    }
+    doc
 }
 
 #[cfg(test)]
@@ -957,6 +1091,140 @@ mod tests {
                 .unwrap()
                 >= 1
         );
+    }
+
+    use hummer_store::StoreOptions;
+
+    fn temp_dir() -> std::path::PathBuf {
+        hummer_store::scratch::dir("service")
+    }
+
+    fn durable_service(dir: &std::path::Path) -> FusionService {
+        let (store, recovery) = CatalogStore::open(dir, StoreOptions::default()).unwrap();
+        FusionService::with_store(ServiceConfig::narrow_schema(), store, recovery)
+    }
+
+    #[test]
+    fn durable_service_recovers_byte_identical_catalog_and_versions() {
+        let dir = temp_dir();
+        let (before_rows, before_tables) = {
+            let s = durable_service(&dir);
+            s.put_table("EE_Student", EE_CSV).unwrap();
+            s.put_table("CS_Students", CS_CSV).unwrap();
+            let delta = parse_delta(
+                "CS_Students",
+                r#"{"insert": [["Grace Hopper", "37", "Arlington"]]}"#,
+            )
+            .unwrap();
+            s.apply_delta("CS_Students", &delta).unwrap();
+            let r = s.query(PAPER_QUERY).unwrap();
+            (r.output.table.rows().to_vec(), s.tables())
+        }; // dropped mid-flight: a crash, no shutdown hook ran
+
+        let (store, recovery) = CatalogStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(recovery.replayed_records, 3); // 2 registers + 1 delta
+        assert_eq!(recovery.dropped_bytes, 0);
+        let s2 = FusionService::with_store(ServiceConfig::narrow_schema(), store, recovery);
+        // Tables, shapes, AND content versions survive — cache keys stay
+        // meaningful across the restart.
+        assert_eq!(s2.tables(), before_tables);
+        let after = s2.query(PAPER_QUERY).unwrap();
+        assert_eq!(after.output.table.rows(), &before_rows[..]);
+        assert_eq!(after.output.table.len(), 5);
+        // New registrations continue past recovered versions.
+        let v = s2.put_table("T", "a\n1\n").unwrap().version;
+        assert!(v > before_tables.iter().map(|t| t.version).max().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_table_is_logged_and_recovered() {
+        let dir = temp_dir();
+        {
+            let s = durable_service(&dir);
+            s.put_table("EE_Student", EE_CSV).unwrap(); // v1
+            s.put_table("CS_Students", CS_CSV).unwrap(); // v2 — the highest
+            let gone = s.delete_table("CS_Students").unwrap();
+            assert_eq!(gone.name, "CS_Students");
+            assert_eq!(gone.rows, 3);
+            assert_eq!(gone.version, 2);
+            assert_eq!(s.delete_table("CS_Students").unwrap_err().status(), 404);
+        }
+        let s2 = durable_service(&dir);
+        let names: Vec<String> = s2.tables().into_iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["EE_Student"]);
+        // The deleted table held the highest version (2); the recovered
+        // clock must resume past it — reusing 2 would let pre-crash cache
+        // keys alias fresh content.
+        let v = s2.put_table("T", "a\n1\n").unwrap().version;
+        assert_eq!(v, 3, "version clock must resume past deleted tables");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_request_casing_never_renames_the_table() {
+        let s = service();
+        let delta = parse_delta(
+            "cs_students", // deliberately not the registered casing
+            r#"{"insert": [["Grace Hopper", "37", "Arlington"]]}"#,
+        )
+        .unwrap();
+        let outcome = s.apply_delta("cs_students", &delta).unwrap();
+        assert_eq!(outcome.info.name, "CS_Students", "canonical alias kept");
+        let names: Vec<String> = s.tables().into_iter().map(|t| t.name).collect();
+        assert!(names.contains(&"CS_Students".to_string()), "{names:?}");
+        assert!(!names.contains(&"cs_students".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn delete_table_works_without_a_store_too() {
+        let s = service();
+        s.delete_table("EE_Student").unwrap();
+        assert_eq!(s.tables().len(), 1);
+        assert_eq!(s.query(PAPER_QUERY).unwrap_err().status(), 404);
+    }
+
+    #[test]
+    fn threshold_compaction_runs_inside_the_service() {
+        let dir = temp_dir();
+        {
+            let (store, recovery) = CatalogStore::open(
+                &dir,
+                StoreOptions {
+                    fsync: true,
+                    compact_after_bytes: 256, // tiny: every upload compacts
+                },
+            )
+            .unwrap();
+            let s = FusionService::with_store(ServiceConfig::narrow_schema(), store, recovery);
+            s.put_table("EE_Student", EE_CSV).unwrap();
+            s.put_table("CS_Students", CS_CSV).unwrap();
+            let stats = s.store_stats().unwrap();
+            assert!(stats.snapshots_written >= 1, "{stats:?}");
+        }
+        let s2 = durable_service(&dir);
+        assert_eq!(s2.tables().len(), 2);
+        assert_eq!(s2.query(PAPER_QUERY).unwrap().output.table.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_json_has_store_section_only_when_durable() {
+        let plain = service();
+        let m = Json::parse(&metrics_to_json(&plain).to_string_compact()).unwrap();
+        assert!(m.get("store").is_none());
+        assert!(plain.store_stats().is_none());
+
+        let dir = temp_dir();
+        let s = durable_service(&dir);
+        s.put_table("EE_Student", EE_CSV).unwrap();
+        let m = Json::parse(&metrics_to_json(&s).to_string_compact()).unwrap();
+        let store = m.get("store").expect("durable service exposes store");
+        assert!(store.get("wal_bytes").unwrap().as_i64().unwrap() > 16);
+        assert_eq!(store.get("wal_records").unwrap().as_i64(), Some(1));
+        assert_eq!(store.get("snapshots_written").unwrap().as_i64(), Some(0));
+        assert!(store.get("recovery_ms").unwrap().as_f64().is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

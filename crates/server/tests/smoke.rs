@@ -15,12 +15,16 @@ const PAPER_QUERY: &[u8] =
 
 /// Start a server on an ephemeral port; returns (addr, shutdown closure).
 fn start_server(threads: usize) -> (String, impl FnOnce()) {
-    let server = HummerServer::bind(ServerConfig {
+    start_server_with(ServerConfig {
         addr: "127.0.0.1:0".into(),
         threads,
         service: ServiceConfig::narrow_schema(),
+        ..ServerConfig::default()
     })
-    .expect("bind ephemeral port");
+}
+
+fn start_server_with(config: ServerConfig) -> (String, impl FnOnce()) {
+    let server = HummerServer::bind(config).expect("bind ephemeral port");
     let addr = server.local_addr().to_string();
     let handle = server.shutdown_handle();
     let join = thread::spawn(move || server.run().unwrap());
@@ -239,6 +243,92 @@ fn concurrent_load_is_consistent() {
         "expected most requests to hit the cache, got {hits}"
     );
     stop();
+}
+
+#[test]
+fn durable_server_recovers_catalog_across_restart() {
+    let dir = std::env::temp_dir().join(format!("hummer_smoke_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let durable_config = || ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        service: ServiceConfig::narrow_schema(),
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    // First life: register, delta, query.
+    let before = {
+        let (addr, stop) = start_server_with(durable_config());
+        http_request(&addr, "PUT", "/tables/EE_Student", "text/csv", EE_CSV).unwrap();
+        http_request(&addr, "PUT", "/tables/CS_Students", "text/csv", CS_CSV).unwrap();
+        let delta = br#"{"insert": [["Grace Hopper", "37", "Arlington"]]}"#;
+        let (status, _) = http_request(
+            &addr,
+            "POST",
+            "/tables/CS_Students/delta",
+            "application/json",
+            delta,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let (_, body) = http_request(&addr, "POST", "/query", "text/plain", PAPER_QUERY).unwrap();
+        stop();
+        body
+    };
+
+    // Second life, same directory: the catalog — including the delta — is
+    // back, and the fused result is identical.
+    let (addr, stop) = start_server_with(durable_config());
+    let (status, tables) = http_request(&addr, "GET", "/tables", "text/plain", b"").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        Json::parse(&tables)
+            .unwrap()
+            .get("tables")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .len(),
+        2
+    );
+    let (_, after) = http_request(&addr, "POST", "/query", "text/plain", PAPER_QUERY).unwrap();
+    let result_of = |body: &str| {
+        Json::parse(body)
+            .unwrap()
+            .get("result")
+            .unwrap()
+            .to_string_compact()
+    };
+    assert_eq!(result_of(&after), result_of(&before));
+    assert!(after.contains("\"row_count\":5"), "{after}");
+
+    // The store section (wal_bytes, recovery_ms, ...) is on /metrics.
+    let (_, body) = http_request(&addr, "GET", "/metrics", "text/plain", b"").unwrap();
+    let store = Json::parse(&body).unwrap().get("store").cloned().unwrap();
+    assert!(store.get("recovery_ms").unwrap().as_f64().is_some());
+    assert!(store.get("wal_records").unwrap().as_i64().unwrap() >= 3);
+
+    // DELETE is durable too.
+    let (status, _) =
+        http_request(&addr, "DELETE", "/tables/EE_Student", "text/plain", b"").unwrap();
+    assert_eq!(status, 200);
+    stop();
+
+    let (addr, stop) = start_server_with(durable_config());
+    let (_, tables) = http_request(&addr, "GET", "/tables", "text/plain", b"").unwrap();
+    assert_eq!(
+        Json::parse(&tables)
+            .unwrap()
+            .get("tables")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .len(),
+        1
+    );
+    stop();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

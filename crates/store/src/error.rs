@@ -1,0 +1,202 @@
+//! The store's error type: every failure carries the file and the operation
+//! that failed, end-to-end (a bare `EPERM` with no path is undebuggable on a
+//! production box).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Any failure inside the durable catalog store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An OS-level I/O failure, annotated with the operation and path.
+    Io {
+        /// What the store was doing (`"open"`, `"append to"`, `"fsync"`, …).
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A store file failed validation (bad magic, checksum mismatch,
+    /// undecodable payload) somewhere other than a tolerated torn WAL tail.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+    /// A WAL record decoded fine but could not be applied to the recovered
+    /// state (e.g. a delta for a table the log never registered). This means
+    /// the log is internally inconsistent — recovery stops loudly instead of
+    /// serving a silently wrong catalog.
+    Replay {
+        /// The WAL file being replayed.
+        path: PathBuf,
+        /// Zero-based index of the failing record.
+        record: u64,
+        /// Why it could not be applied.
+        detail: String,
+    },
+    /// A record or snapshot payload exceeds an on-disk format limit; it is
+    /// refused at write time (a frame the recovery scan would drop as
+    /// corrupt must never be written).
+    TooLarge {
+        /// What was being written (`"WAL record"`, `"snapshot payload"`).
+        what: &'static str,
+        /// The file it would have gone to.
+        path: PathBuf,
+        /// Actual size.
+        bytes: u64,
+        /// The format limit.
+        cap: u64,
+    },
+    /// A WAL append failed mid-frame and the file could not be truncated
+    /// back to the last durable record. Appending past garbage would make
+    /// recovery drop *later, acked* records as a torn tail, so the store
+    /// refuses all further writes; reopen (which re-truncates) to recover.
+    Poisoned {
+        /// The WAL file left with a partial frame.
+        path: PathBuf,
+    },
+    /// Another live store holds the data directory's OS advisory lock. Two
+    /// writers interleaving WAL appends would corrupt each other's acked
+    /// state, so `open` refuses. The lock dies with its holder (even on
+    /// `kill -9`), so there is no stale-lock state to reclaim.
+    Locked {
+        /// The lock file.
+        path: PathBuf,
+        /// PID the lock file records (best-effort diagnostic; 0 if
+        /// unreadable).
+        pid: u32,
+    },
+}
+
+impl StoreError {
+    /// Annotate an `io::Error` with its operation and path.
+    pub fn io(op: &'static str, path: impl AsRef<Path>, source: std::io::Error) -> Self {
+        StoreError::Io {
+            op,
+            path: path.as_ref().to_path_buf(),
+            source,
+        }
+    }
+
+    /// Build a corruption error for `path`.
+    pub fn corrupt(path: impl AsRef<Path>, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            path: path.as_ref().to_path_buf(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "cannot {op} `{}`: {source}", path.display())
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt store file `{}`: {detail}", path.display())
+            }
+            StoreError::Replay {
+                path,
+                record,
+                detail,
+            } => write!(
+                f,
+                "WAL replay failed at record {record} of `{}`: {detail}",
+                path.display()
+            ),
+            StoreError::TooLarge {
+                what,
+                path,
+                bytes,
+                cap,
+            } => write!(
+                f,
+                "cannot write {what} to `{}`: {bytes} bytes exceeds the {cap}-byte format limit",
+                path.display()
+            ),
+            StoreError::Poisoned { path } => write!(
+                f,
+                "store refuses writes: `{}` holds a partial frame from a failed append \
+                 that could not be truncated; reopen the store to recover",
+                path.display()
+            ),
+            StoreError::Locked { path, pid } => write!(
+                f,
+                "data directory is locked by live process {pid} (`{}`); \
+                 two writers would corrupt the WAL",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for std::io::Error {
+    fn from(e: StoreError) -> Self {
+        match &e {
+            StoreError::Io { source, .. } => std::io::Error::new(source.kind(), e.to_string()),
+            _ => std::io::Error::other(e.to_string()),
+        }
+    }
+}
+
+/// Result alias for the store.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn io_errors_carry_op_and_path() {
+        let e = StoreError::io(
+            "append to",
+            "/data/wal-1.log",
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("append to"), "{msg}");
+        assert!(msg.contains("/data/wal-1.log"), "{msg}");
+        assert!(msg.contains("denied"), "{msg}");
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn corrupt_and_replay_render_context() {
+        let c = StoreError::corrupt("/d/snapshot-1.snap", "CRC mismatch");
+        assert!(c.to_string().contains("snapshot-1.snap"));
+        assert!(c.to_string().contains("CRC"));
+        let r = StoreError::Replay {
+            path: "/d/wal-1.log".into(),
+            record: 7,
+            detail: "delta for unknown table `x`".into(),
+        };
+        assert!(r.to_string().contains("record 7"));
+        assert!(r.to_string().contains("wal-1.log"));
+    }
+
+    #[test]
+    fn converts_into_io_error_with_context() {
+        let e = StoreError::io(
+            "open",
+            "/d/wal-1.log",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        let io: std::io::Error = e.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::NotFound);
+        assert!(io.to_string().contains("/d/wal-1.log"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # hummer-store — the durable catalog under the HumMer service
+//!
+//! HumMer is a system users return to: prepared fusion queries and the
+//! query-language front end assume sources that outlive a single run. This
+//! crate makes the versioned catalog durable with nothing but `std`:
+//!
+//! * [`snapshot`] — one checksummed image of the whole catalog per
+//!   generation, written atomically (temp file → fsync → rename → directory
+//!   fsync);
+//! * [`wal`] — an append-only write-ahead log of catalog mutations
+//!   (register / delta / deregister), each record length-prefixed and
+//!   CRC-guarded, fsynced on commit. A logged delta is exactly
+//!   `hummer_delta::TableDelta` — the incremental-fusion change model
+//!   doubles as the recovery record;
+//! * [`store`] — [`CatalogStore`]: open + recover (newest valid snapshot,
+//!   then the WAL tail, tolerating a torn final record), logging hooks, and
+//!   threshold-based compaction;
+//! * [`crc`] / `hummer_engine::codec` — the integrity and byte layers.
+//!
+//! **Contract:** recovery reproduces the pre-crash catalog *byte-identically*
+//! — tables, content versions, and therefore fusion output at every
+//! parallelism degree. See `ARCHITECTURE.md`, "The store subsystem".
+//!
+//! ## Example
+//!
+//! ```
+//! use hummer_store::{CatalogStore, StoreOptions};
+//! use hummer_delta::TableDelta;
+//! use hummer_engine::{table, Value};
+//!
+//! let dir = std::env::temp_dir().join(format!("store_doc_{}", std::process::id()));
+//! let (mut store, recovery) = CatalogStore::open(&dir, StoreOptions::default()).unwrap();
+//! assert!(recovery.tables.is_empty());
+//!
+//! // Log a registration and a delta; both are durable once logged.
+//! let t = table! { "People" => ["Name", "Age"]; ["John Smith", 24] };
+//! store.log_register("People", 1, &t).unwrap();
+//! store
+//!     .log_delta(
+//!         "People",
+//!         2,
+//!         &TableDelta::new("People").insert(vec![Value::text("Mary Jones"), Value::Int(22)]),
+//!     )
+//!     .unwrap();
+//! drop(store); // "crash"
+//!
+//! let (_store, recovery) = CatalogStore::open(&dir, StoreOptions::default()).unwrap();
+//! assert_eq!(recovery.tables[0].table.len(), 2);
+//! assert_eq!(recovery.tables[0].version, 2);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crc;
+pub mod error;
+pub mod scratch;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use error::{Result, StoreError};
+pub use snapshot::SnapshotEntry;
+pub use store::{CatalogStore, RecoveredTable, Recovery, StoreOptions, StoreStats};
+pub use wal::WalRecord;

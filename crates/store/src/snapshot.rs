@@ -1,0 +1,271 @@
+//! Snapshot files: one checksummed, atomically-written image of the whole
+//! catalog per generation.
+//!
+//! ## File format
+//!
+//! ```text
+//! "HUMSNAP1" (8 bytes) · payload_len u32-LE · crc32(payload) u32-LE · payload
+//! payload: generation u64 · version_clock u64 · table_count u32 ·
+//!          per table: alias str · version u64 · table (engine codec)
+//! ```
+//!
+//! ## Write discipline
+//!
+//! A snapshot is written to `snapshot-<gen>.tmp`, fsynced, renamed to its
+//! final `snapshot-<gen>.snap` name, and the directory is fsynced — so a
+//! reader either sees a complete, checksummed snapshot or none at all.
+//! Loading validates magic, length, and CRC before decoding; recovery falls
+//! back to the next-older snapshot if the newest fails validation.
+
+use crate::error::{Result, StoreError};
+use hummer_engine::codec::{read_table, write_table, ByteReader, ByteWriter};
+use hummer_engine::Table;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Snapshot file magic.
+pub const SNAP_MAGIC: &[u8; 8] = b"HUMSNAP1";
+
+/// One catalog entry as it appears in a snapshot (borrowed from the caller;
+/// writing a snapshot never clones table data).
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotEntry<'a> {
+    /// Catalog alias.
+    pub alias: &'a str,
+    /// Content version.
+    pub version: u64,
+    /// The table.
+    pub table: &'a Table,
+}
+
+/// A loaded snapshot.
+#[derive(Debug)]
+pub struct SnapshotData {
+    /// The generation this snapshot captures.
+    pub generation: u64,
+    /// Highest content version assigned before the snapshot was taken.
+    pub version_clock: u64,
+    /// The catalog: `(alias, version, table)` per entry.
+    pub tables: Vec<(String, u64, Table)>,
+}
+
+/// The on-disk name of generation `gen`'s snapshot.
+pub fn snapshot_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("snapshot-{gen:020}.snap"))
+}
+
+/// The on-disk name of generation `gen`'s WAL.
+pub fn wal_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("wal-{gen}.log"))
+}
+
+/// fsync a directory so a rename/create/delete inside it is durable.
+pub fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| StoreError::io("fsync directory", dir, e))
+}
+
+/// The generation a store filename refers to, given its naming scheme —
+/// the one place the `snapshot-*.snap` / `wal-*.log` patterns are parsed.
+pub fn parse_generation(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse::<u64>()
+        .ok()
+}
+
+/// Snapshot files present in `dir`, newest generation first.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| StoreError::io("list", dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io("list", dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(gen) = parse_generation(name, "snapshot-", ".snap") {
+            found.push((gen, entry.path()));
+        }
+    }
+    found.sort_by_key(|(gen, _)| std::cmp::Reverse(*gen));
+    Ok(found)
+}
+
+/// Write generation `generation`'s snapshot atomically (temp file + fsync +
+/// rename + directory fsync). Returns the final path.
+pub fn write_snapshot(
+    dir: &Path,
+    generation: u64,
+    version_clock: u64,
+    entries: &[SnapshotEntry<'_>],
+    fsync: bool,
+) -> Result<PathBuf> {
+    let mut w = ByteWriter::new();
+    w.put_u64(generation);
+    w.put_u64(version_clock);
+    w.put_u32(entries.len() as u32);
+    for e in entries {
+        w.put_str(e.alias);
+        w.put_u64(e.version);
+        write_table(&mut w, e.table);
+    }
+    let payload = w.into_bytes();
+    let final_path = snapshot_path(dir, generation);
+    if payload.len() as u64 > u64::from(u32::MAX) {
+        return Err(StoreError::TooLarge {
+            what: "snapshot payload",
+            path: final_path,
+            bytes: payload.len() as u64,
+            cap: u64::from(u32::MAX),
+        });
+    }
+    let mut file_bytes = Vec::with_capacity(16 + payload.len());
+    file_bytes.extend_from_slice(SNAP_MAGIC);
+    file_bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    file_bytes.extend_from_slice(&crate::crc::crc32(&payload).to_le_bytes());
+    file_bytes.extend_from_slice(&payload);
+
+    let tmp = dir.join(format!("snapshot-{generation:020}.tmp"));
+    let mut f = File::create(&tmp).map_err(|e| StoreError::io("create", &tmp, e))?;
+    f.write_all(&file_bytes)
+        .map_err(|e| StoreError::io("write", &tmp, e))?;
+    if fsync {
+        f.sync_all().map_err(|e| StoreError::io("fsync", &tmp, e))?;
+    }
+    drop(f);
+    fs::rename(&tmp, &final_path).map_err(|e| StoreError::io("rename", &tmp, e))?;
+    if fsync {
+        sync_dir(dir)?;
+    }
+    Ok(final_path)
+}
+
+/// Load and fully validate one snapshot file.
+pub fn load_snapshot(path: &Path) -> Result<SnapshotData> {
+    let bytes = fs::read(path).map_err(|e| StoreError::io("read", path, e))?;
+    if bytes.len() < 16 || &bytes[..8] != SNAP_MAGIC {
+        return Err(StoreError::corrupt(path, "bad or truncated snapshot magic"));
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if bytes.len() != 16 + len {
+        return Err(StoreError::corrupt(
+            path,
+            format!("payload length {len} but file holds {}", bytes.len() - 16),
+        ));
+    }
+    let payload = &bytes[16..];
+    if crate::crc::crc32(payload) != crc {
+        return Err(StoreError::corrupt(path, "payload CRC mismatch"));
+    }
+    let mut r = ByteReader::new(payload);
+    let decode = |e: hummer_engine::EngineError| StoreError::corrupt(path, e.to_string());
+    let generation = r.get_u64("snapshot generation").map_err(decode)?;
+    let version_clock = r.get_u64("snapshot version clock").map_err(decode)?;
+    let count = r.get_count(13, "snapshot table count").map_err(decode)?;
+    let mut tables = Vec::with_capacity(count);
+    for _ in 0..count {
+        let alias = r.get_str("snapshot alias").map_err(decode)?;
+        let version = r.get_u64("snapshot table version").map_err(decode)?;
+        let table = read_table(&mut r).map_err(decode)?;
+        tables.push((alias, version, table));
+    }
+    r.expect_end("snapshot").map_err(decode)?;
+    Ok(SnapshotData {
+        generation,
+        version_clock,
+        tables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::table;
+
+    fn temp_dir() -> PathBuf {
+        crate::scratch::dir("snap")
+    }
+
+    fn sample_tables() -> Vec<(String, u64, Table)> {
+        vec![
+            (
+                "EE_Student".into(),
+                3,
+                table! { "EE_Student" => ["Name", "Age"]; ["John, \"J\"", 24], ["Mary", ()] },
+            ),
+            (
+                "CS_Students".into(),
+                7,
+                table! { "CS_Students" => ["FullName"]; ["Ada\nLovelace"] },
+            ),
+        ]
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let dir = temp_dir();
+        let tables = sample_tables();
+        let entries: Vec<SnapshotEntry<'_>> = tables
+            .iter()
+            .map(|(a, v, t)| SnapshotEntry {
+                alias: a,
+                version: *v,
+                table: t,
+            })
+            .collect();
+        let path = write_snapshot(&dir, 5, 9, &entries, true).unwrap();
+        let data = load_snapshot(&path).unwrap();
+        assert_eq!(data.generation, 5);
+        assert_eq!(data.version_clock, 9);
+        assert_eq!(data.tables, tables);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn listing_orders_newest_first_and_ignores_tmp() {
+        let dir = temp_dir();
+        for gen in [2u64, 10, 1] {
+            write_snapshot(&dir, gen, gen, &[], false).unwrap();
+        }
+        fs::write(dir.join("snapshot-00000000000000000099.tmp"), b"junk").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"junk").unwrap();
+        let listed = list_snapshots(&dir).unwrap();
+        let gens: Vec<u64> = listed.iter().map(|(g, _)| *g).collect();
+        assert_eq!(gens, vec![10, 2, 1]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = temp_dir();
+        let tables = sample_tables();
+        let entries: Vec<SnapshotEntry<'_>> = tables
+            .iter()
+            .map(|(a, v, t)| SnapshotEntry {
+                alias: a,
+                version: *v,
+                table: t,
+            })
+            .collect();
+        let path = write_snapshot(&dir, 1, 1, &entries, false).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte: CRC must catch it.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Truncation must be caught by the length check.
+        bytes.truncate(bytes.len() / 2);
+        fs::write(&path, &bytes).unwrap();
+        assert!(load_snapshot(&path).is_err());
+        // Wrong magic.
+        fs::write(&path, b"NOTASNAPxxxxxxxx").unwrap();
+        assert!(load_snapshot(&path).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

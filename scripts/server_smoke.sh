@@ -2,15 +2,18 @@
 # Smoke-test a release build of hummer-serve: start it on an ephemeral-ish
 # port, upload the paper's two student tables, run the paper's FUSE query,
 # assert HTTP 200 and the fused row count, then shut down gracefully.
+# A second section exercises durability: --data-dir, kill -9, restart on the
+# same directory, byte-identical fusion result, recovery_ms in /metrics.
 set -euo pipefail
 
 BIN=${BIN:-./target/release/hummer-serve}
 PORT=${PORT:-$((20000 + RANDOM % 20000))}
 ADDR="127.0.0.1:${PORT}"
+DATA_DIR=$(mktemp -d)
 
 "$BIN" --addr "$ADDR" --threads 2 --narrow-schemas &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+trap 'kill -9 "$SERVER_PID" 2>/dev/null || true; rm -rf "$DATA_DIR"' EXIT
 
 # Wait for the listener.
 for _ in $(seq 1 50); do
@@ -61,5 +64,88 @@ curl -sf "http://${ADDR}/metrics" | grep -q '"cache_upgrades":1' \
 # Graceful shutdown: the endpoint answers, then the process exits 0.
 curl -sf -X POST "http://${ADDR}/shutdown" >/dev/null
 wait "$SERVER_PID"
+
+# --- Durability: kill -9, restart on the same --data-dir --------------------
+
+wait_healthy() {
+    for _ in $(seq 1 50); do
+        if curl -sf "http://$1/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    curl -sf "http://$1/healthz" >/dev/null
+}
+
+# The query response minus the (run-dependent) timing fields: everything up
+# to "row_count", i.e. exactly the fused result table. Our JSON writer emits
+# keys in a fixed order, so equal strings == byte-identical results.
+result_of() { sed 's/,"cache".*//' "$1"; }
+
+PORT2=$((PORT + 1))
+ADDR2="127.0.0.1:${PORT2}"
+"$BIN" --addr "$ADDR2" --threads 2 --narrow-schemas --data-dir "$DATA_DIR" &
+SERVER_PID=$!
+wait_healthy "$ADDR2"
+
+curl -sf -X PUT "http://${ADDR2}/tables/EE_Student" \
+    --data-binary $'Name,Age,City\nJohn Smith,24,Berlin\nMary Jones,22,Hamburg\nPeter Miller,27,Munich\n' >/dev/null
+curl -sf -X PUT "http://${ADDR2}/tables/CS_Students" \
+    --data-binary $'FullName,Years,Town\nJohn Smith,25,Berlin\nMary Jones,22,Hamburg\nAda Lovelace,28,London\n' >/dev/null
+# A delta that must survive the crash (acked => durable).
+curl -sf -X POST "http://${ADDR2}/tables/CS_Students/delta" \
+    -H 'content-type: application/json' \
+    -d '{"insert": [["Grace Hopper", "37", "Arlington"]]}' >/dev/null
+curl -sf -X POST "http://${ADDR2}/query" \
+    -d 'SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)' \
+    -o /tmp/durable_before.json
+grep -q '"row_count":5' /tmp/durable_before.json \
+    || { echo "pre-crash fusion wrong:"; cat /tmp/durable_before.json; exit 1; }
+
+# Crash hard; no graceful shutdown, no flush hook.
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+
+# Restart on the same directory — at a different intra-query parallelism
+# degree, which must not change a single output byte.
+PORT3=$((PORT + 2))
+ADDR3="127.0.0.1:${PORT3}"
+"$BIN" --addr "$ADDR3" --threads 2 --par 2 --narrow-schemas --data-dir "$DATA_DIR" &
+SERVER_PID=$!
+wait_healthy "$ADDR3"
+
+curl -sf -X POST "http://${ADDR3}/query" \
+    -d 'SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)' \
+    -o /tmp/durable_after.json
+if [ "$(result_of /tmp/durable_before.json)" != "$(result_of /tmp/durable_after.json)" ]; then
+    echo "recovered fusion result differs from pre-crash:"
+    diff <(result_of /tmp/durable_before.json) <(result_of /tmp/durable_after.json) || true
+    exit 1
+fi
+
+# Recovery is visible in /metrics (wal_records covers 2 registers + 1 delta).
+curl -sf "http://${ADDR3}/metrics" -o /tmp/durable_metrics.json
+grep -q '"recovery_ms"' /tmp/durable_metrics.json \
+    || { echo "store metrics missing recovery_ms:"; cat /tmp/durable_metrics.json; exit 1; }
+grep -q '"wal_records":3' /tmp/durable_metrics.json \
+    || { echo "unexpected wal_records:"; cat /tmp/durable_metrics.json; exit 1; }
+
+# DELETE is durable too: deregister, restart, still gone.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://${ADDR3}/tables/EE_Student")
+[ "$code" = 200 ] || { echo "DELETE /tables/EE_Student -> $code"; exit 1; }
+curl -sf -X POST "http://${ADDR3}/shutdown" >/dev/null
+wait "$SERVER_PID"
+
+PORT4=$((PORT + 3))
+ADDR4="127.0.0.1:${PORT4}"
+"$BIN" --addr "$ADDR4" --threads 2 --narrow-schemas --data-dir "$DATA_DIR" &
+SERVER_PID=$!
+wait_healthy "$ADDR4"
+curl -sf "http://${ADDR4}/tables" | grep -vq 'EE_Student' \
+    || { echo "deregistered table came back after restart"; exit 1; }
+curl -sf -X POST "http://${ADDR4}/shutdown" >/dev/null
+wait "$SERVER_PID"
+
 trap - EXIT
-echo "server smoke test OK (addr ${ADDR})"
+rm -rf "$DATA_DIR"
+echo "server smoke test OK (addr ${ADDR}, durable restart on ${ADDR3})"

@@ -17,6 +17,7 @@
 //! | [`dupdetect`] | duplicate detection: measure, filter, blocking, transitive closure |
 //! | [`fusion`] | conflict-resolution functions, fusion operator, lineage |
 //! | [`delta`] | delta ingestion + incremental maintenance of clusters and fused views |
+//! | [`store`] | durable catalog: checksummed snapshots + delta WAL, crash recovery, compaction |
 //! | [`query`] | the Fuse By SQL dialect (Fig. 1): parser + executor |
 //! | [`datagen`] | synthetic dirty worlds with gold standards + metrics |
 //! | [`core`](mod@core) | repository + automatic pipeline + six-step wizard |
@@ -58,4 +59,5 @@ pub use hummer_fusion as fusion;
 pub use hummer_matching as matching;
 pub use hummer_query as query;
 pub use hummer_server as server;
+pub use hummer_store as store;
 pub use hummer_textsim as textsim;
