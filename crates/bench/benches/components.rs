@@ -9,7 +9,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hummer_core::{Hummer, HummerConfig, MatcherConfig, SniffConfig};
 use hummer_datagen::{generate, DirtyConfig, EntityKind, SourceSpec};
-use hummer_dupdetect::{detect_duplicates, CandidateSpec, DetectorConfig};
+use hummer_dupdetect::{
+    candidate_pairs, detect_duplicates, field_similarity_with_range, numeric_field_similarity,
+    score_candidate_pairs, select_attributes, CandidateSpec, CandidateStrategy, ColumnarMeasure,
+    DetectorConfig, HeuristicConfig, PairScorer, Parallelism, TupleSimilarity,
+};
 use hummer_engine::expr::Expr;
 use hummer_engine::ops::{hash_join, nested_loop_join, outer_union, JoinKind};
 use hummer_engine::Table;
@@ -165,6 +169,98 @@ fn bench_dupdetect(c: &mut Criterion) {
     g.finish();
 }
 
+/// The columnar-kernel benches (row vs. columnar on identical inputs):
+/// TF-IDF weight vectors and the merge-join dot/norm sweep, the numeric
+/// distance kernel with and without `Value` dispatch, and candidate-pair
+/// scoring through both [`PairScorer`] variants.
+fn bench_columnar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("columnar");
+    g.sample_size(20);
+
+    // TF-IDF: building the sorted SoA weight vector, and the merge-join
+    // cosine over two prebuilt vectors (the hot sweep inside sniffing).
+    let docs: Vec<Vec<String>> = (0..500)
+        .map(|i| word_tokens(&format!("artist {} album number {}", i % 40, i)))
+        .collect();
+    let corpus = Corpus::from_documents(docs.iter());
+    let ta = word_tokens("artist 7 album number 300 deluxe remastered edition");
+    let tb = word_tokens("artist 7 albun number 301 deluxe remaster edition");
+    g.bench_function("tfidf_weight_vector", |bch| {
+        bch.iter(|| corpus.weight_vector(black_box(&ta)))
+    });
+    let va = corpus.weight_vector(&ta);
+    let vb = corpus.weight_vector(&tb);
+    g.bench_function("tfidf_cosine_merge_join", |bch| {
+        bch.iter(|| black_box(&va).cosine(black_box(&vb)))
+    });
+
+    // Numeric distance: the raw f64 kernel vs. the Value-dispatching entry.
+    let xs: Vec<f64> = (0..1024).map(|i| 19.0 + (i % 77) as f64 * 0.5).collect();
+    let ys: Vec<f64> = (0..1024).map(|i| 19.0 + (i % 91) as f64 * 0.5).collect();
+    g.bench_function("numeric_kernel_1024", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0f64;
+            for (x, y) in xs.iter().zip(&ys) {
+                acc += numeric_field_similarity(black_box(*x), black_box(*y), Some(40.0));
+            }
+            acc
+        })
+    });
+    let vxs: Vec<hummer_engine::Value> =
+        xs.iter().map(|&x| hummer_engine::Value::Float(x)).collect();
+    let vys: Vec<hummer_engine::Value> =
+        ys.iter().map(|&y| hummer_engine::Value::Float(y)).collect();
+    g.bench_function("numeric_value_dispatch_1024", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0f64;
+            for (x, y) in vxs.iter().zip(&vys) {
+                acc += field_similarity_with_range(black_box(x), black_box(y), Some(40.0));
+            }
+            acc
+        })
+    });
+
+    // Pair scoring: the same candidates through both scorer layouts.
+    let w = person_world(1000, 7);
+    let u = union_of(&w);
+    let attrs = select_attributes(&u, &HeuristicConfig::default());
+    let measure = TupleSimilarity::new(&u, attrs);
+    let cm = ColumnarMeasure::from_measure(&measure);
+    let candidates = candidate_pairs(
+        &u,
+        &CandidateStrategy::SortedNeighborhood {
+            key_attrs: vec![u.resolve("Name").unwrap()],
+            window: 15,
+        },
+    );
+    let cfg = DetectorConfig::default();
+    let seq = Parallelism::degree(1);
+    g.bench_function("score_pairs_row", |bch| {
+        bch.iter(|| {
+            score_candidate_pairs(
+                &PairScorer::Rows {
+                    table: &u,
+                    measure: &measure,
+                },
+                &cfg,
+                black_box(&candidates),
+                seq,
+            )
+        })
+    });
+    g.bench_function("score_pairs_columnar", |bch| {
+        bch.iter(|| {
+            score_candidate_pairs(
+                &PairScorer::Columnar(&cm),
+                &cfg,
+                black_box(&candidates),
+                seq,
+            )
+        })
+    });
+    g.finish();
+}
+
 fn bench_fusion(c: &mut Criterion) {
     let mut g = c.benchmark_group("fusion");
     g.sample_size(20);
@@ -242,6 +338,7 @@ criterion_group!(
     bench_engine,
     bench_matching,
     bench_dupdetect,
+    bench_columnar,
     bench_fusion,
     bench_query,
     bench_pipeline

@@ -19,12 +19,12 @@ use hummer_dupdetect::{
     annotate_object_ids, detect_delta, detect_duplicates_par, DeltaDetectionStats, DetectionResult,
     DetectorConfig, RowMapping, OBJECT_ID_COLUMN,
 };
-use hummer_engine::Table;
+use hummer_engine::{ExecutionLayout, Table};
 use hummer_fusion::{
     fuse, FunctionRegistry, FusionSpec, Lineage, Parallelism, ResolutionSpec, SampleConflict,
 };
 use hummer_matching::{
-    apply_renames, integrate, match_star, match_star_par, MatchResult, MatcherConfig,
+    apply_renames, integrate_with_layout, match_star, match_star_par, MatchResult, MatcherConfig,
 };
 use hummer_query::{parse, QueryOutput, TableSet};
 use std::time::{Duration, Instant};
@@ -108,12 +108,13 @@ pub fn prepare_tables(tables: &[&Table], config: &HummerConfig) -> Result<Prepar
 
     // 2. Transformation: rename → sourceID → full outer union.
     let t0 = Instant::now();
-    let integrated = integrate(tables, &match_results, "Integrated")?;
+    let integrated = integrate_with_layout(tables, &match_results, "Integrated", config.layout)?;
     timings.transformation = t0.elapsed();
 
     // 3. Duplicate detection → objectID.
     let t0 = Instant::now();
-    let detection = detect_duplicates_par(&integrated, &config.detector, config.parallelism)?;
+    let detection =
+        detect_duplicates_par(&integrated, &config.detector_config(), config.parallelism)?;
     let annotated = annotate_object_ids(&integrated, &detection)?;
     timings.detection = t0.elapsed();
 
@@ -172,7 +173,8 @@ impl PreparedSources {
         //    union schema, the incremental detector notices through its
         //    cell comparison and degrades gracefully.
         let t0 = Instant::now();
-        let integrated = integrate(new_tables, &match_results, "Integrated")?;
+        let integrated =
+            integrate_with_layout(new_tables, &match_results, "Integrated", config.layout)?;
         timings.transformation = t0.elapsed();
 
         // 3. Duplicate detection: incremental against the old artifacts.
@@ -182,7 +184,7 @@ impl PreparedSources {
             &self.detection,
             &integrated,
             mapping,
-            &config.detector,
+            &config.detector_config(),
             config.parallelism,
         )?;
         let annotated = annotate_object_ids(&integrated, &detection)?;
@@ -287,6 +289,24 @@ pub struct HummerConfig {
     /// `Parallelism::auto_shared(N)` so the two layers compose without
     /// oversubscribing the machine.
     pub parallelism: Parallelism,
+    /// Physical layout of the hot paths (transformation and pair scoring):
+    /// this one knob drives the whole pipeline, overriding
+    /// `detector.layout` (which exists for standalone detector users).
+    /// Both layouts are bit-identical — `tests/columnar_properties.rs` and
+    /// `exp13_columnar` enforce it — so, like `parallelism`, this is
+    /// purely a performance knob.
+    pub layout: ExecutionLayout,
+}
+
+impl HummerConfig {
+    /// The detector configuration with the pipeline-level layout knob
+    /// applied.
+    fn detector_config(&self) -> DetectorConfig {
+        DetectorConfig {
+            layout: self.layout,
+            ..self.detector.clone()
+        }
+    }
 }
 
 /// The HumMer system: a metadata repository plus configured components.

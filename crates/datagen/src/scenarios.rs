@@ -102,6 +102,33 @@ pub fn student_rosters(entities: usize, seed: u64) -> GeneratedWorld {
     })
 }
 
+/// The two-source person world of the scalability experiments (exp7,
+/// exp13), as a named preset: source B relabels `Name`/`City` and shuffles
+/// its columns, so the pipeline has real schema matching to do at scale.
+/// With `coverage: 0.7` the union holds ≈ `1.4 × entities` rows, so
+/// `entities = 7200` produces a ≈ 10 000-row union — an order of magnitude
+/// past the paper-scale scenario worlds, which is what the columnar hot
+/// path is sized for.
+pub fn person_scale(entities: usize, seed: u64) -> GeneratedWorld {
+    generate(&DirtyConfig {
+        kind: EntityKind::Person,
+        entities,
+        sources: vec![
+            SourceSpec::plain("A"),
+            SourceSpec::plain("B")
+                .rename("Name", "FullName")
+                .rename("City", "Town")
+                .shuffled(),
+        ],
+        coverage: 0.7,
+        typo_rate: 0.08,
+        null_rate: 0.05,
+        conflict_rate: 0.1,
+        dup_within_source: 0.0,
+        seed,
+    })
+}
+
 /// A single dirty customer table for the online-cleansing-service scenario:
 /// one source, heavy internal duplication and noise.
 pub fn cleansing_service(entities: usize, seed: u64) -> GeneratedWorld {
@@ -155,6 +182,18 @@ mod tests {
         let w = cleansing_service(50, 4);
         assert_eq!(w.sources.len(), 1);
         assert!(w.sources[0].table.len() > 55, "expect ~50% extra dups");
+    }
+
+    #[test]
+    fn person_scale_shape() {
+        let w = person_scale(100, 7);
+        assert_eq!(w.sources.len(), 2);
+        assert_eq!(w.sources[0].table.name(), "A");
+        assert!(w.sources[1].table.schema().contains("FullName"));
+        assert!(w.sources[1].table.schema().contains("Town"));
+        // coverage 0.7 per source → union ≈ 1.4 × entities.
+        let union: usize = w.sources.iter().map(|s| s.table.len()).sum();
+        assert!((120..=160).contains(&union), "union was {union}");
     }
 
     #[test]

@@ -1,0 +1,488 @@
+//! Columnar pair scoring: the vectorized twin of
+//! [`TupleSimilarity::similarity`] / [`TupleSimilarity::upper_bound`].
+//!
+//! [`ColumnarMeasure`] transposes a [`TupleSimilarity`]'s row-major cell
+//! caches into per-attribute struct-of-arrays columns (weights, numeric
+//! views, interned text), and [`score_candidate_pairs`] sweeps candidate
+//! blocks attribute-by-attribute over those contiguous arrays instead of
+//! dispatching per cell.
+//!
+//! ## Byte-identity contract
+//!
+//! The columnar path produces **bit-identical** scores, classifications,
+//! and stats to the row path, by construction:
+//!
+//! * it is built *from* the row measure's caches, so every weight, numeric
+//!   view, text rendering, and quantized corpus statistic is the exact
+//!   same bit pattern (the incremental detector's carry-over test is
+//!   untouched);
+//! * each pair's numerator/denominator accumulators receive their
+//!   per-attribute contributions in increasing attribute order — the same
+//!   sequence of float additions the row loop performs, merely interleaved
+//!   across the pairs of a block;
+//! * the text kernel's fast paths are bit-neutral: equal interned ids
+//!   return the literal `1.0` that `levenshtein_similarity(x, x)` computes
+//!   exactly, and the per-attribute memo caches a pure, symmetric function
+//!   under a canonical `(min, max)` key.
+//!
+//! `tests/columnar_properties.rs` and `exp13_columnar` enforce the
+//! contract end to end.
+
+use std::collections::HashMap;
+
+use crate::detector::{DetectorConfig, DuplicatePair, ScoredCandidates};
+use crate::measure::{numeric_field_similarity, TupleSimilarity, EVIDENCE_PRIOR};
+use hummer_engine::Table;
+use hummer_par::{par_chunks, Parallelism};
+use hummer_textsim::edit::{levenshtein_similarity_chars, EditScratch};
+
+/// Pairs per kernel block: accumulators for one block stay cache-resident
+/// while the attribute sweep runs over them.
+const BLOCK: usize = 512;
+
+/// One participating attribute in struct-of-arrays form. Per-row arrays are
+/// indexed by row; text payloads are interned, so per-row storage is a
+/// `u32` id into the pooled `chars`/`lens`/`hists` arrays.
+#[derive(Debug, Clone, Default)]
+struct AttrColumn {
+    /// `true` where the row has a (non-null) cell for this attribute.
+    present: Vec<bool>,
+    /// Identifying power of exact agreement.
+    weight: Vec<f64>,
+    /// Identifying power of mere closeness (numeric); equals `weight` for
+    /// text.
+    near_weight: Vec<f64>,
+    /// `true` where the cell has a numeric view.
+    has_num: Vec<bool>,
+    /// The numeric view (placeholder `0.0` where absent).
+    num: Vec<f64>,
+    /// Interned id of the cell's lowercased text rendering.
+    text_id: Vec<u32>,
+    /// Per interned text: its chars (the edit-distance input).
+    chars: Vec<Vec<char>>,
+    /// Per interned text: its char count (the O(1) length bound).
+    lens: Vec<usize>,
+    /// Per interned text: its bucketed character histogram.
+    hists: Vec<[u16; 28]>,
+}
+
+/// A [`TupleSimilarity`] transposed into per-attribute columns, ready for
+/// block-wise candidate scoring.
+///
+/// Built *from* the row measure, so all cached statistics are bit-for-bit
+/// the row measure's — see the module docs for the identity argument.
+#[derive(Debug, Clone)]
+pub struct ColumnarMeasure {
+    cols: Vec<AttrColumn>,
+    ranges: Vec<Option<f64>>,
+    row_count: usize,
+}
+
+impl ColumnarMeasure {
+    /// Transpose `measure`'s row-major cell caches into columns.
+    pub fn from_measure(measure: &TupleSimilarity) -> ColumnarMeasure {
+        let rows = measure.cells();
+        let n_attrs = measure.attrs().len();
+        let mut cols: Vec<AttrColumn> = Vec::with_capacity(n_attrs);
+        for k in 0..n_attrs {
+            let mut col = AttrColumn::default();
+            let mut intern: HashMap<String, u32> = HashMap::new();
+            for row in rows {
+                match &row[k] {
+                    Some(c) => {
+                        col.present.push(true);
+                        col.weight.push(c.weight);
+                        col.near_weight.push(c.near_weight);
+                        col.has_num.push(c.num.is_some());
+                        col.num.push(c.num.unwrap_or(0.0));
+                        let next = intern.len() as u32;
+                        let id = *intern.entry(c.text.clone()).or_insert(next);
+                        if id == next {
+                            col.chars.push(c.text.chars().collect());
+                            col.lens.push(c.len);
+                            col.hists.push(c.hist);
+                        }
+                        col.text_id.push(id);
+                    }
+                    None => {
+                        col.present.push(false);
+                        col.weight.push(0.0);
+                        col.near_weight.push(0.0);
+                        col.has_num.push(false);
+                        col.num.push(0.0);
+                        col.text_id.push(0);
+                    }
+                }
+            }
+            cols.push(col);
+        }
+        ColumnarMeasure {
+            cols,
+            ranges: measure.ranges().to_vec(),
+            row_count: rows.len(),
+        }
+    }
+
+    /// Number of rows the measure is bound to.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Number of participating attributes.
+    pub fn attr_count(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+/// Per-worker scratch for the block kernel: accumulators, the edit-distance
+/// DP rows, and one memo per attribute for interned-text pair similarities
+/// (a pure symmetric function, cached under its canonical `(min, max)`
+/// key — deterministic no matter the lookup order).
+struct KernelScratch {
+    ub_num: Vec<f64>,
+    ub_den: Vec<f64>,
+    sim_num: Vec<f64>,
+    sim_den: Vec<f64>,
+    alive: Vec<bool>,
+    edit: EditScratch,
+    memo: Vec<HashMap<(u32, u32), f64>>,
+}
+
+impl KernelScratch {
+    fn new(n_attrs: usize) -> Self {
+        KernelScratch {
+            ub_num: Vec::new(),
+            ub_den: Vec::new(),
+            sim_num: Vec::new(),
+            sim_den: Vec::new(),
+            alive: Vec::new(),
+            edit: EditScratch::new(),
+            memo: (0..n_attrs).map(|_| HashMap::new()).collect(),
+        }
+    }
+}
+
+/// Per-chunk scoring output, merged in chunk (= candidate) order.
+struct ScoredChunk {
+    pairs: Vec<DuplicatePair>,
+    unsure: Vec<DuplicatePair>,
+    filtered_out: usize,
+    compared: usize,
+}
+
+/// Score one block of candidate pairs: an upper-bound filter sweep, then a
+/// full-similarity sweep over the survivors, both attribute-outer /
+/// pair-inner so each pair's accumulation order matches the row loop's
+/// attribute order exactly.
+fn score_block(
+    cm: &ColumnarMeasure,
+    cfg: &DetectorConfig,
+    block: &[(usize, usize)],
+    scratch: &mut KernelScratch,
+    out: &mut ScoredChunk,
+) {
+    let n = block.len();
+    scratch.alive.clear();
+    scratch.alive.resize(n, true);
+
+    // Phase A — the admissible upper-bound filter (mirrors
+    // `TupleSimilarity::upper_bound` term for term).
+    if cfg.use_filter {
+        scratch.ub_num.clear();
+        scratch.ub_num.resize(n, 0.0);
+        scratch.ub_den.clear();
+        scratch.ub_den.resize(n, 0.0);
+        for (k, col) in cm.cols.iter().enumerate() {
+            let range = cm.ranges[k];
+            for (p, &(i, j)) in block.iter().enumerate() {
+                if !(col.present[i] && col.present[j]) {
+                    continue;
+                }
+                let w = if col.has_num[i] && col.has_num[j] && col.num[i] != col.num[j] {
+                    (col.near_weight[i] + col.near_weight[j]) / 2.0
+                } else {
+                    (col.weight[i] + col.weight[j]) / 2.0
+                };
+                let s = if col.has_num[i] && col.has_num[j] {
+                    numeric_field_similarity(col.num[i], col.num[j], range)
+                } else {
+                    let (a, b) = (col.text_id[i] as usize, col.text_id[j] as usize);
+                    let (la, lb) = (col.lens[a], col.lens[b]);
+                    let max = la.max(lb);
+                    if max == 0 {
+                        1.0
+                    } else {
+                        let l1: u32 = col.hists[a]
+                            .iter()
+                            .zip(&col.hists[b])
+                            .map(|(x, y)| x.abs_diff(*y) as u32)
+                            .sum();
+                        let dist_lb = (l1 as f64 / 2.0).max(la.abs_diff(lb) as f64);
+                        1.0 - dist_lb / max as f64
+                    }
+                };
+                scratch.ub_num[p] += w * s;
+                scratch.ub_den[p] += w;
+            }
+        }
+        for p in 0..n {
+            let ub = if scratch.ub_den[p] == 0.0 {
+                0.0
+            } else {
+                (scratch.ub_num[p] / (scratch.ub_den[p] + EVIDENCE_PRIOR)).min(1.0)
+            };
+            scratch.alive[p] = ub >= cfg.unsure_threshold;
+        }
+    }
+
+    // Phase B — the full measure over surviving pairs (mirrors
+    // `TupleSimilarity::similarity` term for term).
+    scratch.sim_num.clear();
+    scratch.sim_num.resize(n, 0.0);
+    scratch.sim_den.clear();
+    scratch.sim_den.resize(n, 0.0);
+    let KernelScratch {
+        sim_num,
+        sim_den,
+        alive,
+        edit,
+        memo,
+        ..
+    } = scratch;
+    for (k, col) in cm.cols.iter().enumerate() {
+        let range = cm.ranges[k];
+        let memo_k = &mut memo[k];
+        for (p, &(i, j)) in block.iter().enumerate() {
+            if !(alive[p] && col.present[i] && col.present[j]) {
+                continue;
+            }
+            let (w, s) = if col.has_num[i] && col.has_num[j] {
+                let (x, y) = (col.num[i], col.num[j]);
+                let w = if x == y {
+                    (col.weight[i] + col.weight[j]) / 2.0
+                } else {
+                    (col.near_weight[i] + col.near_weight[j]) / 2.0
+                };
+                (w, numeric_field_similarity(x, y, range))
+            } else {
+                let w = (col.weight[i] + col.weight[j]) / 2.0;
+                let (a, b) = (col.text_id[i], col.text_id[j]);
+                let s = if a == b {
+                    // levenshtein_similarity(x, x) is exactly 1.0 (distance
+                    // 0, and the both-empty case returns the literal), so
+                    // this fast path changes no bits.
+                    1.0
+                } else {
+                    let key = (a.min(b), a.max(b));
+                    *memo_k.entry(key).or_insert_with(|| {
+                        levenshtein_similarity_chars(
+                            &col.chars[a as usize],
+                            &col.chars[b as usize],
+                            edit,
+                        )
+                    })
+                };
+                (w, s)
+            };
+            sim_num[p] += w * s;
+            sim_den[p] += w;
+        }
+    }
+
+    // Phase C — classification, in candidate order.
+    for (p, &(i, j)) in block.iter().enumerate() {
+        if !alive[p] {
+            out.filtered_out += 1;
+            continue;
+        }
+        out.compared += 1;
+        let s = if sim_den[p] == 0.0 {
+            0.0
+        } else {
+            (sim_num[p] / (sim_den[p] + EVIDENCE_PRIOR)).clamp(0.0, 1.0)
+        };
+        if s >= cfg.threshold {
+            out.pairs.push(DuplicatePair {
+                left: i,
+                right: j,
+                similarity: s,
+            });
+        } else if s >= cfg.unsure_threshold {
+            out.unsure.push(DuplicatePair {
+                left: i,
+                right: j,
+                similarity: s,
+            });
+        }
+    }
+}
+
+/// Which scorer backs [`score_candidate_pairs`]: the row-at-a-time
+/// reference measure or its columnar transposition. Both produce
+/// bit-identical [`ScoredCandidates`].
+#[derive(Debug, Clone, Copy)]
+pub enum PairScorer<'a> {
+    /// The row path: per-pair calls into [`TupleSimilarity`].
+    Rows {
+        /// The table the measure is bound to (API symmetry with
+        /// [`TupleSimilarity::similarity`]; all data comes from the caches).
+        table: &'a Table,
+        /// The row measure.
+        measure: &'a TupleSimilarity,
+    },
+    /// The columnar path: block sweeps over a [`ColumnarMeasure`].
+    Columnar(
+        /// The transposed measure.
+        &'a ColumnarMeasure,
+    ),
+}
+
+/// Score a candidate-pair list on up to `par.get()` threads, merging chunk
+/// results in candidate order. The returned pair lists are **unsorted**
+/// (candidate order); callers apply the canonical similarity-descending
+/// stable sort. Row and columnar scorers agree bit for bit — pairs, stats,
+/// and similarity values alike.
+pub fn score_candidate_pairs(
+    scorer: &PairScorer<'_>,
+    cfg: &DetectorConfig,
+    candidates: &[(usize, usize)],
+    par: Parallelism,
+) -> ScoredCandidates {
+    let chunks = par_chunks(par, candidates, |_, chunk| {
+        let mut out = ScoredChunk {
+            pairs: Vec::new(),
+            unsure: Vec::new(),
+            filtered_out: 0,
+            compared: 0,
+        };
+        match scorer {
+            PairScorer::Rows { table, measure } => {
+                for &(i, j) in chunk {
+                    if cfg.use_filter && measure.upper_bound(table, i, j) < cfg.unsure_threshold {
+                        out.filtered_out += 1;
+                        continue;
+                    }
+                    out.compared += 1;
+                    let s = measure.similarity(table, i, j);
+                    if s >= cfg.threshold {
+                        out.pairs.push(DuplicatePair {
+                            left: i,
+                            right: j,
+                            similarity: s,
+                        });
+                    } else if s >= cfg.unsure_threshold {
+                        out.unsure.push(DuplicatePair {
+                            left: i,
+                            right: j,
+                            similarity: s,
+                        });
+                    }
+                }
+            }
+            PairScorer::Columnar(cm) => {
+                let mut scratch = KernelScratch::new(cm.attr_count());
+                for block in chunk.chunks(BLOCK) {
+                    score_block(cm, cfg, block, &mut scratch, &mut out);
+                }
+            }
+        }
+        out
+    });
+    let mut merged = ScoredCandidates::default();
+    for chunk in chunks {
+        merged.filtered_out += chunk.filtered_out;
+        merged.compared += chunk.compared;
+        merged.pairs.extend(chunk.pairs);
+        merged.unsure.extend(chunk.unsure);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::{candidate_pairs, CandidateStrategy};
+    use crate::detector::resolve_attributes;
+    use hummer_engine::table;
+
+    fn scorers_agree(t: &Table, cfg: &DetectorConfig) {
+        let attrs = resolve_attributes(t, cfg).unwrap();
+        let measure = TupleSimilarity::new(t, attrs);
+        let cm = ColumnarMeasure::from_measure(&measure);
+        let candidates = candidate_pairs(t, &CandidateStrategy::AllPairs);
+        for degree in [1, 2, 4] {
+            let par = Parallelism::degree(degree);
+            let rows = score_candidate_pairs(
+                &PairScorer::Rows {
+                    table: t,
+                    measure: &measure,
+                },
+                cfg,
+                &candidates,
+                par,
+            );
+            let cols = score_candidate_pairs(&PairScorer::Columnar(&cm), cfg, &candidates, par);
+            assert_eq!(rows.filtered_out, cols.filtered_out, "degree {degree}");
+            assert_eq!(rows.compared, cols.compared, "degree {degree}");
+            assert_eq!(rows.pairs, cols.pairs, "degree {degree}");
+            assert_eq!(rows.unsure, cols.unsure, "degree {degree}");
+            for (a, b) in rows.pairs.iter().zip(&cols.pairs) {
+                assert_eq!(a.similarity.to_bits(), b.similarity.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_matches_rows_on_mixed_table() {
+        let t = table! {
+            "People" => ["Name", "City", "Age"];
+            ["John Smith", "Berlin", 34],
+            ["Jon Smith", "Berlin", 34],
+            ["John Smith", (), 34],
+            ["Mary Jones", "Hamburg", 28],
+            ["Mary Jones", "Hamburg", 28],
+            ["Peter Miller", "Munich", 45],
+            ["", "Berlin", ()],
+        };
+        scorers_agree(
+            &t,
+            &DetectorConfig {
+                threshold: 0.75,
+                unsure_threshold: 0.55,
+                ..Default::default()
+            },
+        );
+        scorers_agree(
+            &t,
+            &DetectorConfig {
+                threshold: 0.75,
+                unsure_threshold: 0.55,
+                use_filter: false,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn columnar_matches_rows_on_numeric_heavy_table() {
+        let rows: Vec<hummer_engine::Row> = (0..24)
+            .map(|i| {
+                hummer_engine::Row::from_values(vec![
+                    hummer_engine::Value::text(format!("Person {}", i / 2)),
+                    hummer_engine::Value::Float(19.99 + (i / 2) as f64 * 0.5),
+                    hummer_engine::Value::Int(1970 + (i % 12) as i64),
+                ])
+            })
+            .collect();
+        let t = Table::from_rows("Catalog", &["Name", "Price", "Year"], rows).unwrap();
+        scorers_agree(
+            &t,
+            &DetectorConfig {
+                attributes: Some(vec!["Name".into(), "Price".into(), "Year".into()]),
+                threshold: 0.7,
+                unsure_threshold: 0.5,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -2,12 +2,13 @@
 //! comparison → threshold classification → transitive closure → `objectID`.
 
 use crate::blocking::{candidate_pairs, CandidateStrategy};
+use crate::columnar::{score_candidate_pairs, ColumnarMeasure, PairScorer};
 use crate::heuristics::{select_attributes, HeuristicConfig};
 use crate::measure::TupleSimilarity;
 use crate::unionfind::UnionFind;
 use hummer_engine::error::EngineError;
-use hummer_engine::{Column, ColumnType, Result, Table, Value};
-use hummer_par::{par_chunks, Parallelism};
+use hummer_engine::{Column, ColumnType, ExecutionLayout, Result, Row, Table, Value};
+use hummer_par::Parallelism;
 
 /// Name of the cluster column the detector appends: "the output of
 /// duplicate detection is the same as the input relation, but enriched by
@@ -49,6 +50,10 @@ pub struct DetectorConfig {
     /// (§2.3: "the number of pairwise comparisons are reduced by applying a
     /// filter (upper bound to the similarity measure)").
     pub use_filter: bool,
+    /// Physical layout of pair scoring. Both layouts are bit-identical
+    /// (`tests/columnar_properties.rs`); [`ExecutionLayout::Row`] keeps the
+    /// reference path available for equivalence checks and benchmarks.
+    pub layout: ExecutionLayout,
 }
 
 impl Default for DetectorConfig {
@@ -67,6 +72,7 @@ impl Default for DetectorConfig {
             threshold: 0.77,
             unsure_threshold: 0.6,
             use_filter: true,
+            layout: ExecutionLayout::default(),
         }
     }
 }
@@ -181,14 +187,6 @@ pub fn detect_duplicates(table: &Table, cfg: &DetectorConfig) -> Result<Detectio
     detect_duplicates_par(table, cfg, Parallelism::sequential())
 }
 
-/// Per-chunk scoring output, merged in chunk (= candidate) order.
-struct ScoredChunk {
-    pairs: Vec<DuplicatePair>,
-    unsure: Vec<DuplicatePair>,
-    filtered_out: usize,
-    compared: usize,
-}
-
 /// Resolve the comparison attributes for `table` under `cfg`: explicit
 /// names, or the selection heuristics. Shared by the full detector and the
 /// incremental path so both always agree.
@@ -209,10 +207,11 @@ pub(crate) fn resolve_attributes(table: &Table, cfg: &DetectorConfig) -> Result<
 }
 
 /// Score a candidate-pair list against `measure` on up to `par.get()`
-/// threads, merging chunk results in candidate order. The returned pair
-/// lists are **unsorted** (candidate order); callers apply the canonical
-/// similarity-descending stable sort. Shared by [`detect_duplicates_par`]
-/// and the incremental detector so a pair scores identically on both paths.
+/// threads, dispatching on `cfg.layout`: the row path calls the measure
+/// per pair, the columnar path transposes it once and runs the block
+/// kernel. Both are bit-identical; the returned pair lists are
+/// **unsorted** (candidate order). Shared by [`detect_duplicates_par`] and
+/// the incremental detector so a pair scores identically on both paths.
 pub(crate) fn score_candidates(
     table: &Table,
     measure: &TupleSimilarity,
@@ -220,53 +219,29 @@ pub(crate) fn score_candidates(
     candidates: &[(usize, usize)],
     par: Parallelism,
 ) -> ScoredCandidates {
-    let chunks = par_chunks(par, candidates, |_, chunk| {
-        let mut out = ScoredChunk {
-            pairs: Vec::new(),
-            unsure: Vec::new(),
-            filtered_out: 0,
-            compared: 0,
-        };
-        for &(i, j) in chunk {
-            if cfg.use_filter && measure.upper_bound(table, i, j) < cfg.unsure_threshold {
-                out.filtered_out += 1;
-                continue;
-            }
-            out.compared += 1;
-            let s = measure.similarity(table, i, j);
-            if s >= cfg.threshold {
-                out.pairs.push(DuplicatePair {
-                    left: i,
-                    right: j,
-                    similarity: s,
-                });
-            } else if s >= cfg.unsure_threshold {
-                out.unsure.push(DuplicatePair {
-                    left: i,
-                    right: j,
-                    similarity: s,
-                });
-            }
+    match cfg.layout {
+        ExecutionLayout::Row => {
+            score_candidate_pairs(&PairScorer::Rows { table, measure }, cfg, candidates, par)
         }
-        out
-    });
-    let mut merged = ScoredCandidates::default();
-    for chunk in chunks {
-        merged.filtered_out += chunk.filtered_out;
-        merged.compared += chunk.compared;
-        merged.pairs.extend(chunk.pairs);
-        merged.unsure.extend(chunk.unsure);
+        ExecutionLayout::Columnar => {
+            let cm = ColumnarMeasure::from_measure(measure);
+            score_candidate_pairs(&PairScorer::Columnar(&cm), cfg, candidates, par)
+        }
     }
-    merged
 }
 
-/// Merged output of [`score_candidates`].
-#[derive(Default)]
-pub(crate) struct ScoredCandidates {
-    pub(crate) pairs: Vec<DuplicatePair>,
-    pub(crate) unsure: Vec<DuplicatePair>,
-    pub(crate) filtered_out: usize,
-    pub(crate) compared: usize,
+/// Merged output of [`score_candidate_pairs`]: the classified pairs (in
+/// candidate order — unsorted) plus the filter/comparison counters.
+#[derive(Debug, Clone, Default)]
+pub struct ScoredCandidates {
+    /// Accepted pairs (similarity ≥ threshold), candidate order.
+    pub pairs: Vec<DuplicatePair>,
+    /// Unsure pairs, candidate order.
+    pub unsure: Vec<DuplicatePair>,
+    /// Candidates discarded by the upper-bound filter.
+    pub filtered_out: usize,
+    /// Full similarity evaluations performed.
+    pub compared: usize,
 }
 
 /// The canonical order of the detector's pair lists: similarity descending,
@@ -356,17 +331,31 @@ pub fn detect_duplicates_par(
 }
 
 /// Append the `objectID` column carrying each row's cluster id.
+///
+/// Rows are assembled once at their final width instead of cloning the
+/// table and growing each row by a push (which reallocated every row,
+/// since a cloned `Vec`'s capacity equals its length).
 pub fn annotate_object_ids(table: &Table, result: &DetectionResult) -> Result<Table> {
     assert_eq!(
         table.len(),
         result.cluster_ids.len(),
         "detection result must describe this table"
     );
-    let mut out = table.clone();
-    out.add_column(Column::new(OBJECT_ID_COLUMN, ColumnType::Int), |i, _| {
-        Value::Int(result.cluster_ids[i] as i64)
-    })?;
-    Ok(out)
+    let schema = table
+        .schema()
+        .with_column(Column::new(OBJECT_ID_COLUMN, ColumnType::Int))?;
+    let rows: Vec<Row> = table
+        .rows()
+        .iter()
+        .zip(&result.cluster_ids)
+        .map(|(row, &id)| {
+            let mut values = Vec::with_capacity(row.len() + 1);
+            values.extend(row.values().iter().cloned());
+            values.push(Value::Int(id as i64));
+            Row::from_values(values)
+        })
+        .collect();
+    Table::new(table.name(), schema, rows)
 }
 
 #[cfg(test)]

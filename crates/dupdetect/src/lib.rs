@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 
 pub mod blocking;
+pub mod columnar;
 pub mod detector;
 pub mod heuristics;
 pub mod incremental;
@@ -60,15 +61,18 @@ pub mod measure;
 pub mod unionfind;
 
 pub use blocking::{candidate_pairs, CandidateStrategy};
+pub use columnar::{score_candidate_pairs, ColumnarMeasure, PairScorer};
 pub use detector::{
     annotate_object_ids, detect_duplicates, detect_duplicates_par, CandidateSpec, DetectionResult,
-    DetectionStats, DetectorConfig, DuplicatePair, OBJECT_ID_COLUMN,
+    DetectionStats, DetectorConfig, DuplicatePair, ScoredCandidates, OBJECT_ID_COLUMN,
 };
 pub use heuristics::{score_attributes, select_attributes, AttributeScore, HeuristicConfig};
+pub use hummer_engine::ExecutionLayout;
 pub use hummer_par::Parallelism;
 pub use incremental::{detect_delta, DeltaDetectionStats, RowMapping};
 pub use measure::{
-    field_similarity, field_similarity_with_range, quantize_count, quantize_scale, TupleSimilarity,
-    NUMERIC_SIGMA_SCALE, SIGMA_SMALL_SAMPLE_INFLATION,
+    field_similarity, field_similarity_with_range, numeric_field_similarity, quantize_count,
+    quantize_scale, TupleSimilarity, EVIDENCE_PRIOR, NUMERIC_SIGMA_SCALE,
+    SIGMA_SMALL_SAMPLE_INFLATION,
 };
 pub use unionfind::UnionFind;

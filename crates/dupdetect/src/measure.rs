@@ -139,7 +139,11 @@ pub fn field_similarity(a: &Value, b: &Value) -> f64 {
     field_similarity_with_range(a, b, None)
 }
 
-fn numeric_field_similarity(x: f64, y: f64, scale: Option<f64>) -> f64 {
+/// The numeric kernel under [`field_similarity_with_range`]: similarity of
+/// two numeric views against an attribute's comparison scale. Exposed so
+/// the columnar scorer and the micro-benches can run the exact same
+/// arithmetic the row measure runs.
+pub fn numeric_field_similarity(x: f64, y: f64, scale: Option<f64>) -> f64 {
     if x == y {
         return 1.0;
     }
@@ -186,22 +190,22 @@ pub(crate) struct CellData {
     /// Identifying power (mean soft IDF of the value's tokens; for σ-scaled
     /// numeric attributes, soft IDF of the *exact* value) — applied to text
     /// comparisons and to exact numeric agreement.
-    weight: f64,
+    pub(crate) weight: f64,
     /// Identifying power of mere *closeness* for σ-scaled numeric
     /// attributes: soft IDF of the value's noise-resolution bucket. Two
     /// different-but-close continuous values share a bucket easily, so this
     /// is deliberately weaker than `weight`. Equals `weight` for text.
-    near_weight: f64,
+    pub(crate) near_weight: f64,
     /// Numeric view, when the value has one.
-    num: Option<f64>,
+    pub(crate) num: Option<f64>,
     /// Lowercased text rendering (for edit-distance comparison).
-    text: String,
+    pub(crate) text: String,
     /// Character count of `text` (the O(1) length bound).
-    len: usize,
+    pub(crate) len: usize,
     /// Bucketed character histogram of `text` (a–z, digits, other): each
     /// edit operation changes the L1 distance between histograms by at most
     /// 2, so `levenshtein ≥ L1/2` — a second admissible bound.
-    hist: [u16; 28],
+    pub(crate) hist: [u16; 28],
 }
 
 fn char_histogram(text: &str) -> [u16; 28] {
@@ -361,6 +365,17 @@ impl TupleSimilarity {
     /// The per-attribute corpora (exposed for diagnostics and benches).
     pub fn corpora(&self) -> &[Corpus] {
         &self.corpora
+    }
+
+    /// The per-row cell caches (row-major), for the columnar scorer's
+    /// transposition.
+    pub(crate) fn cells(&self) -> &[Vec<Option<CellData>>] {
+        &self.cells
+    }
+
+    /// The per-attribute comparison scales.
+    pub(crate) fn ranges(&self) -> &[Option<f64>] {
+        &self.ranges
     }
 
     /// Similarity of rows `i` and `j` of the bound table, in `[0, 1]`.

@@ -1,0 +1,813 @@
+//! Columnar batches: per-column typed storage with **bit-exact** row ⇄
+//! column conversion.
+//!
+//! The row-oriented [`Table`] chases a pointer per cell; the hot loops of
+//! the fusion pipeline (pair scoring, the outer-union transform) want
+//! contiguous typed arrays they can sweep linearly. A [`ColumnarBatch`]
+//! stores one [`ColumnData`] per schema column:
+//!
+//! * a column whose non-null cells all inhabit one [`ColumnType`] becomes a
+//!   dense typed vector (`Vec<i64>`, `Vec<f64>`, `Vec<String>`, …) plus a
+//!   validity mask distinguishing `NULL` from a real value (in particular a
+//!   real *empty string* from a null Text cell);
+//! * an all-`NULL` column is just a length;
+//! * a mixed-type column falls back to the row representation
+//!   ([`ColumnData::Mixed`]) so no [`Value`] is ever coerced.
+//!
+//! ## Byte-identity contract
+//!
+//! `ColumnarBatch::from_rows(t.into_parts()).into_table()` reproduces the
+//! original table **bit for bit**: float cells keep their exact bit
+//! patterns (`-0.0` and NaN payloads included, per the codec conventions of
+//! the durable store), `Int` cells stay `Int` even when the schema column
+//! unified to `Float`, and validity masks round-trip `NULL`s exactly.
+//! `tests/columnar_properties.rs` property-tests this over adversarial
+//! values.
+
+use crate::error::EngineError;
+use crate::row::Row;
+use crate::schema::{ColumnType, Schema};
+use crate::table::Table;
+use crate::value::{Date, Value};
+use crate::Result;
+
+/// Which physical layout the pipeline's hot paths run over.
+///
+/// Both layouts produce **bit-identical** output — the columnar kernels are
+/// refactorings of the row loops with the same arithmetic in the same
+/// order — so this is purely a performance knob. The row path is kept as
+/// the executable reference implementation the equivalence tests and
+/// `exp13_columnar` compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionLayout {
+    /// Row-at-a-time loops over `Vec<Row>` (the reference path).
+    Row,
+    /// Vectorized sweeps over [`ColumnarBatch`]-style typed columns.
+    #[default]
+    Columnar,
+}
+
+/// Placeholder stored in the invalid (null) slots of a Date column.
+const DATE_PLACEHOLDER: Date = Date {
+    year: 1970,
+    month: 1,
+    day: 1,
+};
+
+/// One column of a [`ColumnarBatch`]: typed dense storage with a validity
+/// mask, or the row-value fallback for heterogeneous columns.
+///
+/// Invalid (null) slots of typed variants hold an arbitrary placeholder
+/// (`false` / `0` / `0.0` / `""` / 1970-01-01); only slots whose validity
+/// bit is set carry data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Every cell is `NULL`; only the length is stored.
+    Null {
+        /// Number of (all-null) cells.
+        len: usize,
+    },
+    /// All non-null cells are booleans.
+    Bool {
+        /// Cell payloads (placeholder where invalid).
+        values: Vec<bool>,
+        /// `true` where the cell is non-null.
+        validity: Vec<bool>,
+    },
+    /// All non-null cells are 64-bit integers.
+    Int {
+        /// Cell payloads (placeholder where invalid).
+        values: Vec<i64>,
+        /// `true` where the cell is non-null.
+        validity: Vec<bool>,
+    },
+    /// All non-null cells are 64-bit floats (exact bit patterns preserved,
+    /// including `-0.0` and NaN payloads).
+    Float {
+        /// Cell payloads (placeholder where invalid).
+        values: Vec<f64>,
+        /// `true` where the cell is non-null.
+        validity: Vec<bool>,
+    },
+    /// All non-null cells are text. The validity mask is what tells a null
+    /// cell apart from a genuine empty string.
+    Text {
+        /// Cell payloads (placeholder where invalid).
+        values: Vec<String>,
+        /// `true` where the cell is non-null.
+        validity: Vec<bool>,
+    },
+    /// All non-null cells are dates.
+    Date {
+        /// Cell payloads (placeholder where invalid).
+        values: Vec<Date>,
+        /// `true` where the cell is non-null.
+        validity: Vec<bool>,
+    },
+    /// Heterogeneous column: cells kept verbatim as [`Value`]s.
+    Mixed {
+        /// The cells, exactly as they appeared in the rows.
+        values: Vec<Value>,
+    },
+}
+
+/// Split values into a typed payload vector and a validity mask, using
+/// `extract` for non-null cells and `placeholder()` for null slots.
+fn build_typed<T>(
+    values: Vec<Value>,
+    mut extract: impl FnMut(Value) -> T,
+    mut placeholder: impl FnMut() -> T,
+) -> (Vec<T>, Vec<bool>) {
+    let mut out = Vec::with_capacity(values.len());
+    let mut validity = Vec::with_capacity(values.len());
+    for v in values {
+        if v.is_null() {
+            out.push(placeholder());
+            validity.push(false);
+        } else {
+            out.push(extract(v));
+            validity.push(true);
+        }
+    }
+    (out, validity)
+}
+
+impl ColumnData {
+    /// Build a column from row cells, choosing the densest representation:
+    /// all-null → [`ColumnData::Null`], uniformly typed → the typed
+    /// variant, anything else → [`ColumnData::Mixed`] (values verbatim).
+    pub fn from_values(values: Vec<Value>) -> ColumnData {
+        let mut kind: Option<ColumnType> = None;
+        let mut uniform = true;
+        for v in &values {
+            match (kind, v.column_type()) {
+                (_, None) => {}
+                (None, Some(t)) => kind = Some(t),
+                (Some(k), Some(t)) if k == t => {}
+                _ => {
+                    uniform = false;
+                    break;
+                }
+            }
+        }
+        if !uniform {
+            return ColumnData::Mixed { values };
+        }
+        match kind {
+            None => ColumnData::Null { len: values.len() },
+            Some(ColumnType::Bool) => {
+                let (values, validity) = build_typed(
+                    values,
+                    |v| match v {
+                        Value::Bool(b) => b,
+                        _ => unreachable!("uniform Bool column"),
+                    },
+                    || false,
+                );
+                ColumnData::Bool { values, validity }
+            }
+            Some(ColumnType::Int) => {
+                let (values, validity) = build_typed(
+                    values,
+                    |v| match v {
+                        Value::Int(i) => i,
+                        _ => unreachable!("uniform Int column"),
+                    },
+                    || 0,
+                );
+                ColumnData::Int { values, validity }
+            }
+            Some(ColumnType::Float) => {
+                let (values, validity) = build_typed(
+                    values,
+                    |v| match v {
+                        Value::Float(f) => f,
+                        _ => unreachable!("uniform Float column"),
+                    },
+                    || 0.0,
+                );
+                ColumnData::Float { values, validity }
+            }
+            Some(ColumnType::Text) => {
+                let (values, validity) = build_typed(
+                    values,
+                    |v| match v {
+                        Value::Text(s) => s,
+                        _ => unreachable!("uniform Text column"),
+                    },
+                    String::new,
+                );
+                ColumnData::Text { values, validity }
+            }
+            Some(ColumnType::Date) => {
+                let (values, validity) = build_typed(
+                    values,
+                    |v| match v {
+                        Value::Date(d) => d,
+                        _ => unreachable!("uniform Date column"),
+                    },
+                    || DATE_PLACEHOLDER,
+                );
+                ColumnData::Date { values, validity }
+            }
+            Some(ColumnType::Any) => unreachable!("Value::column_type never reports Any"),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Null { len } => *len,
+            ColumnData::Bool { values, .. } => values.len(),
+            ColumnData::Int { values, .. } => values.len(),
+            ColumnData::Float { values, .. } => values.len(),
+            ColumnData::Text { values, .. } => values.len(),
+            ColumnData::Date { values, .. } => values.len(),
+            ColumnData::Mixed { values } => values.len(),
+        }
+    }
+
+    /// True when the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of null cells.
+    pub fn null_count(&self) -> usize {
+        match self {
+            ColumnData::Null { len } => *len,
+            ColumnData::Bool { validity, .. }
+            | ColumnData::Int { validity, .. }
+            | ColumnData::Float { validity, .. }
+            | ColumnData::Text { validity, .. }
+            | ColumnData::Date { validity, .. } => validity.iter().filter(|v| !**v).count(),
+            ColumnData::Mixed { values } => values.iter().filter(|v| v.is_null()).count(),
+        }
+    }
+
+    /// The cell at `i`, reconstructed as a [`Value`] (clones text).
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Null { len } => {
+                assert!(i < *len, "column index {i} out of bounds ({len})");
+                Value::Null
+            }
+            ColumnData::Bool { values, validity } => {
+                if validity[i] {
+                    Value::Bool(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnData::Int { values, validity } => {
+                if validity[i] {
+                    Value::Int(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnData::Float { values, validity } => {
+                if validity[i] {
+                    Value::Float(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnData::Text { values, validity } => {
+                if validity[i] {
+                    Value::Text(values[i].clone())
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnData::Date { values, validity } => {
+                if validity[i] {
+                    Value::Date(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnData::Mixed { values } => values[i].clone(),
+        }
+    }
+
+    /// Consume the column back into row cells, bit-exactly.
+    pub fn into_values(self) -> Vec<Value> {
+        fn rebuild<T>(
+            values: Vec<T>,
+            validity: Vec<bool>,
+            wrap: impl Fn(T) -> Value,
+        ) -> Vec<Value> {
+            values
+                .into_iter()
+                .zip(validity)
+                .map(|(v, ok)| if ok { wrap(v) } else { Value::Null })
+                .collect()
+        }
+        match self {
+            ColumnData::Null { len } => vec![Value::Null; len],
+            ColumnData::Bool { values, validity } => rebuild(values, validity, Value::Bool),
+            ColumnData::Int { values, validity } => rebuild(values, validity, Value::Int),
+            ColumnData::Float { values, validity } => rebuild(values, validity, Value::Float),
+            ColumnData::Text { values, validity } => rebuild(values, validity, Value::Text),
+            ColumnData::Date { values, validity } => rebuild(values, validity, Value::Date),
+            ColumnData::Mixed { values } => values,
+        }
+    }
+
+    /// Append `n` null cells.
+    pub fn push_nulls(&mut self, n: usize) {
+        fn pad<T>(
+            values: &mut Vec<T>,
+            validity: &mut Vec<bool>,
+            n: usize,
+            mut ph: impl FnMut() -> T,
+        ) {
+            values.extend(std::iter::repeat_with(&mut ph).take(n));
+            validity.extend(std::iter::repeat_n(false, n));
+        }
+        match self {
+            ColumnData::Null { len } => *len += n,
+            ColumnData::Bool { values, validity } => pad(values, validity, n, || false),
+            ColumnData::Int { values, validity } => pad(values, validity, n, || 0),
+            ColumnData::Float { values, validity } => pad(values, validity, n, || 0.0),
+            ColumnData::Text { values, validity } => pad(values, validity, n, String::new),
+            ColumnData::Date { values, validity } => pad(values, validity, n, || DATE_PLACEHOLDER),
+            ColumnData::Mixed { values } => values.extend(std::iter::repeat_n(Value::Null, n)),
+        }
+    }
+
+    /// Append another column's cells after this column's, reconciling
+    /// representations: matching typed variants extend in place, `Null`
+    /// runs become validity gaps in the other side's representation, and a
+    /// genuine variant mismatch degrades (losslessly) to
+    /// [`ColumnData::Mixed`].
+    pub fn append(&mut self, other: ColumnData) {
+        use ColumnData::*;
+        let merged = match (std::mem::replace(self, Null { len: 0 }), other) {
+            (Null { len: a }, Null { len: b }) => Null { len: a + b },
+            (Null { len: a }, mut typed) if !matches!(typed, Mixed { .. }) => {
+                // Prepend a null run: rebuild the typed column with `a`
+                // leading invalid slots.
+                let mut lead = match &typed {
+                    Bool { .. } => Bool {
+                        values: Vec::new(),
+                        validity: Vec::new(),
+                    },
+                    Int { .. } => Int {
+                        values: Vec::new(),
+                        validity: Vec::new(),
+                    },
+                    Float { .. } => Float {
+                        values: Vec::new(),
+                        validity: Vec::new(),
+                    },
+                    Text { .. } => Text {
+                        values: Vec::new(),
+                        validity: Vec::new(),
+                    },
+                    Date { .. } => Date {
+                        values: Vec::new(),
+                        validity: Vec::new(),
+                    },
+                    Null { .. } | Mixed { .. } => unreachable!("guarded by the match arm"),
+                };
+                lead.push_nulls(a);
+                lead.extend_same_variant(&mut typed);
+                lead
+            }
+            (mut typed, Null { len: b }) => {
+                typed.push_nulls(b);
+                typed
+            }
+            (mut a, mut b) if a.same_typed_variant(&b) => {
+                a.extend_same_variant(&mut b);
+                a
+            }
+            (a, b) => {
+                // Heterogeneous: fall back to row values, verbatim.
+                let mut values = a.into_values();
+                values.extend(b.into_values());
+                Mixed { values }
+            }
+        };
+        *self = merged;
+    }
+
+    /// Whether `self` and `other` are the same *typed* variant (Mixed and
+    /// Null never count).
+    fn same_typed_variant(&self, other: &ColumnData) -> bool {
+        use ColumnData::*;
+        matches!(
+            (self, other),
+            (Bool { .. }, Bool { .. })
+                | (Int { .. }, Int { .. })
+                | (Float { .. }, Float { .. })
+                | (Text { .. }, Text { .. })
+                | (Date { .. }, Date { .. })
+        )
+    }
+
+    /// Move `other`'s payload after `self`'s; both must be the same typed
+    /// variant.
+    fn extend_same_variant(&mut self, other: &mut ColumnData) {
+        use ColumnData::*;
+        match (self, other) {
+            (
+                Bool {
+                    values: av,
+                    validity: am,
+                },
+                Bool {
+                    values: bv,
+                    validity: bm,
+                },
+            ) => {
+                av.append(bv);
+                am.append(bm);
+            }
+            (
+                Int {
+                    values: av,
+                    validity: am,
+                },
+                Int {
+                    values: bv,
+                    validity: bm,
+                },
+            ) => {
+                av.append(bv);
+                am.append(bm);
+            }
+            (
+                Float {
+                    values: av,
+                    validity: am,
+                },
+                Float {
+                    values: bv,
+                    validity: bm,
+                },
+            ) => {
+                av.append(bv);
+                am.append(bm);
+            }
+            (
+                Text {
+                    values: av,
+                    validity: am,
+                },
+                Text {
+                    values: bv,
+                    validity: bm,
+                },
+            ) => {
+                av.append(bv);
+                am.append(bm);
+            }
+            (
+                Date {
+                    values: av,
+                    validity: am,
+                },
+                Date {
+                    values: bv,
+                    validity: bm,
+                },
+            ) => {
+                av.append(bv);
+                am.append(bm);
+            }
+            _ => unreachable!("extend_same_variant requires matching typed variants"),
+        }
+    }
+}
+
+/// A table in columnar layout: a schema plus one [`ColumnData`] per column,
+/// all of equal length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarBatch {
+    name: String,
+    schema: Schema,
+    len: usize,
+    columns: Vec<ColumnData>,
+}
+
+impl ColumnarBatch {
+    /// Build a batch from a row table, cloning each cell exactly once.
+    pub fn from_table(table: &Table) -> ColumnarBatch {
+        let len = table.len();
+        let columns = (0..table.schema().len())
+            .map(|c| ColumnData::from_values(table.rows().iter().map(|r| r[c].clone()).collect()))
+            .collect();
+        ColumnarBatch {
+            name: table.name().to_string(),
+            schema: table.schema().clone(),
+            len,
+            columns,
+        }
+    }
+
+    /// Build a batch by *consuming* rows (cells are moved, not cloned).
+    /// Errors on a row whose arity does not match the schema.
+    pub fn from_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Row>,
+    ) -> Result<ColumnarBatch> {
+        let width = schema.len();
+        let len = rows.len();
+        let mut cols: Vec<Vec<Value>> = (0..width).map(|_| Vec::with_capacity(len)).collect();
+        for row in rows {
+            if row.len() != width {
+                return Err(EngineError::ArityMismatch {
+                    expected: width,
+                    actual: row.len(),
+                });
+            }
+            for (col, v) in cols.iter_mut().zip(row.into_values()) {
+                col.push(v);
+            }
+        }
+        Ok(ColumnarBatch {
+            name: name.into(),
+            schema,
+            len,
+            columns: cols.into_iter().map(ColumnData::from_values).collect(),
+        })
+    }
+
+    /// Assemble a batch from already-built columns. Errors when the column
+    /// count does not match the schema or the columns disagree on length.
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<ColumnData>,
+    ) -> Result<ColumnarBatch> {
+        if columns.len() != schema.len() {
+            return Err(EngineError::SchemaMismatch(format!(
+                "batch has {} columns but the schema defines {}",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        let len = columns.first().map(ColumnData::len).unwrap_or(0);
+        if let Some(bad) = columns.iter().find(|c| c.len() != len) {
+            return Err(EngineError::SchemaMismatch(format!(
+                "ragged batch: column lengths {} vs {}",
+                len,
+                bad.len()
+            )));
+        }
+        Ok(ColumnarBatch {
+            name: name.into(),
+            schema,
+            len,
+            columns,
+        })
+    }
+
+    /// Batch name (carried into [`ColumnarBatch::into_table`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The columns in schema order.
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnData {
+        &self.columns[idx]
+    }
+
+    /// The cell at (`row`, `col`), reconstructed as a [`Value`].
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value(row)
+    }
+
+    /// Decompose into name, schema, and columns (for column-wise assembly,
+    /// e.g. the outer-union transform).
+    pub fn into_columns(self) -> (String, Schema, Vec<ColumnData>) {
+        (self.name, self.schema, self.columns)
+    }
+
+    /// Transpose back into a row [`Table`], bit-exactly. Cells are *moved*
+    /// out of the columns — no clone.
+    pub fn into_table(self) -> Result<Table> {
+        let mut iters: Vec<std::vec::IntoIter<Value>> = self
+            .columns
+            .into_iter()
+            .map(|c| c.into_values().into_iter())
+            .collect();
+        let rows: Vec<Row> = (0..self.len)
+            .map(|_| {
+                Row::from_values(
+                    iters
+                        .iter_mut()
+                        .map(|it| it.next().expect("columns are length-checked"))
+                        .collect(),
+                )
+            })
+            .collect();
+        Table::new(self.name, self.schema, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table;
+
+    /// Bit-exact equality of two values (plain `==` treats all NaNs alike
+    /// and `-0.0 == 0.0`; the codec contract is stricter).
+    fn bits_equal(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b,
+        }
+    }
+
+    fn roundtrip(t: &Table) {
+        let batch = ColumnarBatch::from_table(t);
+        assert_eq!(batch.len(), t.len());
+        let back = batch.into_table().unwrap();
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.schema(), t.schema());
+        for (a, b) in t.rows().iter().zip(back.rows()) {
+            for (x, y) in a.values().iter().zip(b.values()) {
+                assert!(bits_equal(x, y), "{x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn typed_columns_round_trip() {
+        roundtrip(&table! {
+            "T" => ["name", "age", "score"];
+            ["Ada", 36, 1.5],
+            ["", 0, -0.0],
+            [(), (), ()],
+        });
+    }
+
+    #[test]
+    fn adversarial_floats_keep_their_bits() {
+        let quiet_nan = f64::from_bits(0x7ff8_0000_0000_00ffu64);
+        let t = Table::from_rows(
+            "F",
+            &["x"],
+            vec![
+                Row::from_values(vec![Value::Float(-0.0)]),
+                Row::from_values(vec![Value::Float(quiet_nan)]),
+                Row::from_values(vec![Value::Float(f64::INFINITY)]),
+                Row::from_values(vec![Value::Null]),
+            ],
+        )
+        .unwrap();
+        let batch = ColumnarBatch::from_table(&t);
+        assert!(matches!(batch.column(0), ColumnData::Float { .. }));
+        let back = batch.into_table().unwrap();
+        for (a, b) in t.rows().iter().zip(back.rows()) {
+            assert!(bits_equal(&a[0], &b[0]), "{:?} vs {:?}", a[0], b[0]);
+        }
+    }
+
+    #[test]
+    fn empty_string_is_not_null() {
+        let t = table! { "T" => ["s"]; [""], [()] };
+        let batch = ColumnarBatch::from_table(&t);
+        match batch.column(0) {
+            ColumnData::Text { validity, .. } => assert_eq!(validity, &vec![true, false]),
+            other => panic!("expected Text column, got {other:?}"),
+        }
+        assert_eq!(batch.value(0, 0), Value::text(""));
+        assert_eq!(batch.value(1, 0), Value::Null);
+    }
+
+    #[test]
+    fn all_null_column_stores_only_length() {
+        let t = table! { "T" => ["a", "b"]; [(), 1], [(), 2] };
+        let batch = ColumnarBatch::from_table(&t);
+        assert_eq!(batch.column(0), &ColumnData::Null { len: 2 });
+        assert_eq!(batch.column(0).null_count(), 2);
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn mixed_column_keeps_values_verbatim() {
+        // Int next to Float in one column: the row values must survive
+        // without coercion (an Int must come back as Int).
+        let t = table! { "T" => ["x"]; [1], [1.5], ["one"] };
+        let batch = ColumnarBatch::from_table(&t);
+        assert!(matches!(batch.column(0), ColumnData::Mixed { .. }));
+        let back = batch.into_table().unwrap();
+        assert_eq!(back.cell(0, 0), &Value::Int(1));
+        assert_eq!(back.cell(1, 0), &Value::Float(1.5));
+    }
+
+    #[test]
+    fn from_rows_moves_and_checks_arity() {
+        let schema = Schema::of_names(&["a", "b"]).unwrap();
+        let rows = vec![
+            Row::from_values(vec![Value::Int(1), Value::text("x")]),
+            Row::from_values(vec![Value::Int(2), Value::Null]),
+        ];
+        let batch = ColumnarBatch::from_rows("T", schema.clone(), rows).unwrap();
+        assert_eq!(batch.len(), 2);
+        let bad =
+            ColumnarBatch::from_rows("T", schema, vec![Row::from_values(vec![Value::Int(1)])]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn append_same_variant_extends() {
+        let mut a = ColumnData::from_values(vec![Value::Int(1), Value::Null]);
+        let b = ColumnData::from_values(vec![Value::Int(3)]);
+        a.append(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.value(0), Value::Int(1));
+        assert_eq!(a.value(1), Value::Null);
+        assert_eq!(a.value(2), Value::Int(3));
+    }
+
+    #[test]
+    fn append_reconciles_null_runs() {
+        // Null then typed: the null run becomes leading validity gaps.
+        let mut a = ColumnData::Null { len: 2 };
+        a.append(ColumnData::from_values(vec![Value::text("x")]));
+        assert!(matches!(a, ColumnData::Text { .. }));
+        assert_eq!(
+            a.into_values(),
+            vec![Value::Null, Value::Null, Value::text("x")]
+        );
+        // Typed then null: push_nulls.
+        let mut b = ColumnData::from_values(vec![Value::Float(-0.0)]);
+        b.append(ColumnData::Null { len: 2 });
+        let vals = b.into_values();
+        assert_eq!(vals.len(), 3);
+        assert!(bits_equal(&vals[0], &Value::Float(-0.0)));
+        assert!(vals[1].is_null() && vals[2].is_null());
+    }
+
+    #[test]
+    fn append_mismatch_degrades_to_mixed_losslessly() {
+        let mut a = ColumnData::from_values(vec![Value::Int(7)]);
+        a.append(ColumnData::from_values(vec![Value::text("seven")]));
+        assert!(matches!(a, ColumnData::Mixed { .. }));
+        assert_eq!(a.into_values(), vec![Value::Int(7), Value::text("seven")]);
+    }
+
+    #[test]
+    fn from_columns_validates_shape() {
+        let schema = Schema::of_names(&["a", "b"]).unwrap();
+        let ok = ColumnarBatch::from_columns(
+            "T",
+            schema.clone(),
+            vec![ColumnData::Null { len: 2 }, ColumnData::Null { len: 2 }],
+        );
+        assert!(ok.is_ok());
+        let wrong_count =
+            ColumnarBatch::from_columns("T", schema.clone(), vec![ColumnData::Null { len: 2 }]);
+        assert!(wrong_count.is_err());
+        let ragged = ColumnarBatch::from_columns(
+            "T",
+            schema,
+            vec![ColumnData::Null { len: 2 }, ColumnData::Null { len: 3 }],
+        );
+        assert!(ragged.is_err());
+    }
+
+    #[test]
+    fn dates_round_trip_and_pad() {
+        let t = table! {
+            "T" => ["d"];
+            [Value::Date(Date::new(2004, 12, 26).unwrap())],
+            [()],
+        };
+        let batch = ColumnarBatch::from_table(&t);
+        assert!(matches!(batch.column(0), ColumnData::Date { .. }));
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn execution_layout_defaults_to_columnar() {
+        assert_eq!(ExecutionLayout::default(), ExecutionLayout::Columnar);
+    }
+}

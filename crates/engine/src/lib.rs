@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub mod codec;
+pub mod columnar;
 pub mod csv;
 pub mod cursor;
 pub mod error;
@@ -52,6 +53,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use columnar::{ColumnData, ColumnarBatch, ExecutionLayout};
 pub use error::EngineError;
 pub use expr::Expr;
 pub use row::{IntoValue, Row};

@@ -3,8 +3,10 @@
 //! full outer union (paper §2.2-§2.3 and §3).
 
 use crate::correspondence::MatchResult;
-use hummer_engine::ops::outer_union;
-use hummer_engine::{Column, ColumnType, Result, Table, Value};
+use hummer_engine::ops::{outer_union, outer_union_columnar};
+use hummer_engine::{
+    Column, ColumnData, ColumnType, ColumnarBatch, ExecutionLayout, Result, Schema, Table, Value,
+};
 
 /// Name of the provenance column added to every table before the union.
 /// It stores the source alias and is what `CHOOSE(source)` and the lineage
@@ -65,6 +67,61 @@ pub fn integrate(tables: &[&Table], matches: &[MatchResult], name: &str) -> Resu
     }
     let refs: Vec<&Table> = transformed.iter().collect();
     outer_union(&refs, name)
+}
+
+/// The schema [`apply_renames`] would produce, computed without touching
+/// any rows: the renames run on a row-less shell of the table, so every
+/// rule (case-insensitive skip, move-aside on collision) is *the* same
+/// code path and the result can never drift from the row transform.
+fn renamed_schema(table: &Table, result: &MatchResult) -> Result<Schema> {
+    let shell = Table::empty(table.name(), table.schema().clone());
+    Ok(apply_renames(&shell, result)?.schema().clone())
+}
+
+/// [`integrate`] in columnar form: renames are applied to schemas only,
+/// each source's cells are read into columns exactly once, the constant
+/// `sourceID` column is materialized directly, and the outer union splices
+/// whole columns instead of cloning per cell. Output is **bit-identical**
+/// to [`integrate`] (same schema, same rows, same order).
+pub fn integrate_columnar(tables: &[&Table], matches: &[MatchResult], name: &str) -> Result<Table> {
+    assert_eq!(
+        matches.len() + 1,
+        tables.len().max(1),
+        "need one match result per non-preferred table"
+    );
+    let mut batches: Vec<ColumnarBatch> = Vec::with_capacity(tables.len());
+    for (i, t) in tables.iter().enumerate() {
+        let schema = if i == 0 {
+            t.schema().clone()
+        } else {
+            renamed_schema(t, &matches[i - 1])?
+        };
+        let schema = schema.with_column(Column::new(SOURCE_ID_COLUMN, ColumnType::Text))?;
+        let len = t.len();
+        let mut columns: Vec<ColumnData> = (0..t.schema().len())
+            .map(|c| ColumnData::from_values(t.rows().iter().map(|r| r[c].clone()).collect()))
+            .collect();
+        columns.push(ColumnData::Text {
+            values: vec![t.name().to_string(); len],
+            validity: vec![true; len],
+        });
+        batches.push(ColumnarBatch::from_columns(t.name(), schema, columns)?);
+    }
+    outer_union_columnar(batches, name)?.into_table()
+}
+
+/// Dispatch between [`integrate`] and [`integrate_columnar`] — one knob
+/// for the pipeline; both layouts produce bit-identical output.
+pub fn integrate_with_layout(
+    tables: &[&Table],
+    matches: &[MatchResult],
+    name: &str,
+    layout: ExecutionLayout,
+) -> Result<Table> {
+    match layout {
+        ExecutionLayout::Row => integrate(tables, matches, name),
+        ExecutionLayout::Columnar => integrate_columnar(tables, matches, name),
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +218,23 @@ mod tests {
         assert!(out.schema().contains("R_Name"));
         let name_idx = out.resolve("Name").unwrap();
         assert_eq!(out.cell(0, name_idx), &Value::text("John Smith"));
+    }
+
+    #[test]
+    fn integrate_columnar_matches_row_integrate() {
+        let e = ee();
+        let c = cs();
+        let m = match_tables(&e, &c, &cfg());
+        let matches = std::slice::from_ref(&m);
+        let row_u = integrate(&[&e, &c], matches, "Students").unwrap();
+        let col_u = integrate_columnar(&[&e, &c], matches, "Students").unwrap();
+        assert_eq!(row_u.schema(), col_u.schema());
+        assert_eq!(row_u.rows(), col_u.rows());
+        assert_eq!(row_u.name(), col_u.name());
+        for layout in [ExecutionLayout::Row, ExecutionLayout::Columnar] {
+            let u = integrate_with_layout(&[&e, &c], matches, "Students", layout).unwrap();
+            assert_eq!(u.rows(), row_u.rows());
+        }
     }
 
     #[test]

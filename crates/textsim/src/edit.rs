@@ -4,30 +4,55 @@
 //! distance and numerical distance functions" (paper §2.3); this module
 //! provides the former, both as a raw distance and as a `[0, 1]` similarity.
 
-/// Levenshtein distance (unit costs), O(|a|·|b|) time, O(min) space.
-pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+/// Reusable DP buffers for [`levenshtein_chars`].
+///
+/// The columnar pair-scoring kernel calls the edit distance millions of
+/// times per chunk; allocating the two DP rows (and re-collecting the char
+/// vectors) per call dominates the cost. One scratch per worker amortizes
+/// all of it.
+#[derive(Debug, Clone, Default)]
+pub struct EditScratch {
+    prev: Vec<usize>,
+    cur: Vec<usize>,
+}
+
+impl EditScratch {
+    /// Fresh scratch (buffers grow on demand).
+    pub fn new() -> Self {
+        EditScratch::default()
+    }
+}
+
+/// Levenshtein distance over pre-collected char slices, reusing `scratch`'s
+/// DP rows. Identical arithmetic to [`levenshtein`] (which delegates here),
+/// so results — and every similarity derived from them — agree exactly.
+pub fn levenshtein_chars(a: &[char], b: &[char], scratch: &mut EditScratch) -> usize {
     // Keep the shorter string in the inner dimension for less memory.
-    let (short, long) = if a.len() <= b.len() {
-        (&a, &b)
-    } else {
-        (&b, &a)
-    };
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if short.is_empty() {
         return long.len();
     }
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut cur = vec![0usize; short.len() + 1];
+    scratch.prev.clear();
+    scratch.prev.extend(0..=short.len());
+    scratch.cur.clear();
+    scratch.cur.resize(short.len() + 1, 0);
+    let (prev, cur) = (&mut scratch.prev, &mut scratch.cur);
     for (i, lc) in long.iter().enumerate() {
         cur[0] = i + 1;
         for (j, sc) in short.iter().enumerate() {
             let cost = usize::from(lc != sc);
             cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
     prev[short.len()]
+}
+
+/// Levenshtein distance (unit costs), O(|a|·|b|) time, O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_chars(&a, &b, &mut EditScratch::new())
 }
 
 /// Damerau-Levenshtein distance (optimal string alignment variant:
@@ -68,11 +93,20 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
 /// Levenshtein similarity in `[0, 1]`: `1 − dist / max(|a|, |b|)`.
 /// Two empty strings are fully similar.
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_similarity_chars(&a, &b, &mut EditScratch::new())
+}
+
+/// [`levenshtein_similarity`] over pre-collected char slices with a
+/// reusable scratch — the allocation-free form the columnar kernel uses.
+/// Same formula, bit for bit (char counts are the slice lengths).
+pub fn levenshtein_similarity_chars(a: &[char], b: &[char], scratch: &mut EditScratch) -> f64 {
+    let max_len = a.len().max(b.len());
     if max_len == 0 {
         return 1.0;
     }
-    1.0 - levenshtein(a, b) as f64 / max_len as f64
+    1.0 - levenshtein_chars(a, b, scratch) as f64 / max_len as f64
 }
 
 #[cfg(test)]

@@ -41,7 +41,10 @@ pub mod softtfidf;
 pub mod tfidf;
 pub mod tokenize;
 
-pub use edit::{damerau_levenshtein, levenshtein, levenshtein_similarity};
+pub use edit::{
+    damerau_levenshtein, levenshtein, levenshtein_chars, levenshtein_similarity,
+    levenshtein_similarity_chars, EditScratch,
+};
 pub use jaro::{jaro, jaro_winkler};
 pub use numeric::{relative_similarity, scaled_similarity};
 pub use softtfidf::SoftTfIdf;

@@ -85,30 +85,38 @@ impl Corpus {
 
     /// The unit-normalized TF-IDF vector of a document:
     /// `v(w) = ln(1 + tf(w)) · idf(w)`, then L2-normalized.
+    ///
+    /// Term frequencies come from a sort + run-length sweep (not a hash
+    /// map), so construction, the norm below, and every dot product
+    /// downstream accumulate floats in one deterministic token-sorted
+    /// order; a hash-random order would make repeated runs disagree in the
+    /// last ULP, breaking the pipeline's bit-reproducibility guarantee.
     pub fn weight_vector(&self, tokens: &[String]) -> TfIdfVector {
-        let mut tf: HashMap<String, f64> = HashMap::with_capacity(tokens.len());
-        for t in tokens {
-            *tf.entry(t.clone()).or_insert(0.0) += 1.0;
+        let mut sorted: Vec<&String> = tokens.iter().collect();
+        sorted.sort_unstable();
+        let mut out_tokens: Vec<String> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        let mut i = 0;
+        while i < sorted.len() {
+            let token = sorted[i];
+            let mut run = 1;
+            while i + run < sorted.len() && sorted[i + run] == token {
+                run += 1;
+            }
+            i += run;
+            out_tokens.push(token.clone());
+            weights.push((1.0 + run as f64).ln() * self.idf(token));
         }
-        // Token-sorted from here on: the norm below and every dot product
-        // downstream accumulate floats in this order, and a hash-random
-        // order would make repeated runs disagree in the last ULP (breaking
-        // the pipeline's bit-reproducibility guarantee).
-        let mut weights: Vec<(String, f64)> = tf
-            .into_iter()
-            .map(|(t, f)| {
-                let w = (1.0 + f).ln() * self.idf(&t);
-                (t, w)
-            })
-            .collect();
-        weights.sort_by(|a, b| a.0.cmp(&b.0));
-        let norm: f64 = weights.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        let norm: f64 = weights.iter().map(|w| w * w).sum::<f64>().sqrt();
         if norm > 0.0 {
-            for (_, w) in &mut weights {
+            for w in &mut weights {
                 *w /= norm;
             }
         }
-        TfIdfVector { weights }
+        TfIdfVector {
+            tokens: out_tokens,
+            weights,
+        }
     }
 
     /// Cosine similarity of two token lists under this corpus's weights.
@@ -117,56 +125,85 @@ impl Corpus {
     }
 }
 
-/// A unit-normalized sparse TF-IDF vector.
+/// A unit-normalized sparse TF-IDF vector in columnar (SoA) form.
 ///
-/// Weights are stored **sorted by token** (lookup is a binary search), so
-/// iteration — and with it every float accumulation built on this type —
-/// has one deterministic order. Do not switch this back to a hash map: the
+/// Tokens and weights live in two parallel arrays **sorted by token**
+/// (lookup is a binary search over the token array; the dot product is a
+/// merge-join sweeping both weight arrays linearly), so iteration — and
+/// with it every float accumulation built on this type — has one
+/// deterministic order. Do not switch this back to a hash map: the
 /// sniffing dot products and the vector norm would then accumulate in a
 /// per-instance random order, and two runs over identical data could
 /// differ in the last ULP, which the pipeline's bit-reproducibility
 /// contract (sequential == parallel, run == rerun) forbids.
 #[derive(Debug, Clone, Default)]
 pub struct TfIdfVector {
-    /// `(token, weight)` pairs, sorted by token, tokens distinct.
-    weights: Vec<(String, f64)>,
+    /// Distinct tokens, sorted.
+    tokens: Vec<String>,
+    /// `weights[i]` is the weight of `tokens[i]`.
+    weights: Vec<f64>,
 }
 
 impl TfIdfVector {
     /// The weight of a token (0 when absent).
     pub fn weight(&self, token: &str) -> f64 {
-        self.weights
-            .binary_search_by(|(t, _)| t.as_str().cmp(token))
-            .map(|i| self.weights[i].1)
+        self.tokens
+            .binary_search_by(|t| t.as_str().cmp(token))
+            .map(|i| self.weights[i])
             .unwrap_or(0.0)
     }
 
     /// Iterate over (token, weight) pairs in token order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.weights.iter().map(|(t, w)| (t.as_str(), *w))
+        self.tokens
+            .iter()
+            .zip(&self.weights)
+            .map(|(t, w)| (t.as_str(), *w))
+    }
+
+    /// The sorted token array.
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// The weight array, parallel to [`TfIdfVector::tokens`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
     }
 
     /// Number of distinct tokens.
     pub fn len(&self) -> usize {
-        self.weights.len()
+        self.tokens.len()
     }
 
     /// True for the empty vector.
     pub fn is_empty(&self) -> bool {
-        self.weights.is_empty()
+        self.tokens.is_empty()
     }
 
     /// Cosine similarity (dot product — both vectors are unit-normalized).
     /// Clamped to `[0, 1]` against floating-point drift.
+    ///
+    /// Implemented as a merge-join over the two token-sorted arrays: the
+    /// matched products are accumulated in sorted-token order, which is
+    /// exactly the order the previous "iterate the smaller side, binary-
+    /// search the larger" formulation produced (its unmatched terms
+    /// contributed `+0.0`, and both sides' weights are non-negative, so
+    /// skipping the misses never changes a bit of the sum).
     pub fn cosine(&self, other: &TfIdfVector) -> f64 {
-        // Iterate over the smaller vector; token order keeps the float
-        // accumulation deterministic.
-        let (small, large) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        let dot: f64 = small.weights.iter().map(|(t, w)| w * large.weight(t)).sum();
+        let mut dot = 0.0f64;
+        let (mut i, mut j) = (0, 0);
+        while i < self.tokens.len() && j < other.tokens.len() {
+            match self.tokens[i].cmp(&other.tokens[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += self.weights[i] * other.weights[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
         dot.clamp(0.0, 1.0)
     }
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Smoke-test the columnar execution layer: run the exp13 gate binary, which
+# (1) asserts byte-identity between the row and columnar paths across every
+# scenario world, layout, and parallelism degree 1-4, (2) enforces the
+# >= 1.5x single-thread columnar speedup on large-world pair scoring, and
+# (3) writes BENCH_columnar.json. The script then sanity-checks the report.
+set -euo pipefail
+
+BIN=${BIN:-./target/release/exp13_columnar}
+
+[ -x "$BIN" ] || { echo "missing $BIN (build with: cargo build --release -p hummer_bench --bin exp13_columnar)"; exit 1; }
+
+"$BIN"
+
+REPORT=BENCH_columnar.json
+[ -f "$REPORT" ] || { echo "$REPORT was not written"; exit 1; }
+grep -q '"identical_between_layouts": *true' "$REPORT" \
+    || { echo "report does not record layout identity:"; cat "$REPORT"; exit 1; }
+grep -q '"passed": *true' "$REPORT" \
+    || { echo "scoring gate not passed:"; cat "$REPORT"; exit 1; }
+
+echo "bench smoke test OK ($REPORT)"

@@ -1,0 +1,180 @@
+//! Properties of the columnar execution layer (the `ExecutionLayout` knob).
+//!
+//! 1. **Round-trip bit-identity**: `Row ⇄ ColumnarBatch` is the identity on
+//!    adversarial tables — NaNs with payload bits, `-0.0`, empty strings vs.
+//!    nulls, all-null columns, mixed-type columns. Compared with explicit
+//!    `to_bits` on floats (a Debug fingerprint is not enough: every NaN
+//!    prints as `NaN` regardless of payload).
+//! 2. **Row vs. columnar fused-output equivalence**: across random scenario
+//!    worlds and parallelism degrees 1–4, the full pipeline under
+//!    `ExecutionLayout::Columnar` produces output bit-identical to
+//!    `ExecutionLayout::Row`.
+
+use hummer::core::{
+    fuse_prepared_par, prepare_tables, ExecutionLayout, HummerConfig, Parallelism, PipelineOutcome,
+};
+use hummer::datagen::scenarios::{
+    cd_shopping, cleansing_service, disaster_registry, student_rosters,
+};
+use hummer::datagen::GeneratedWorld;
+use hummer::engine::{ColumnarBatch, Date, Row, Table, Value};
+use hummer::fusion::FunctionRegistry;
+use hummer::matching::SniffConfig;
+use proptest::prelude::*;
+
+/// Adversarial cell values: beyond the durability-test set, this includes
+/// non-finite floats and NaNs with distinct payload bits — the codec
+/// conventions (PR 5) the batch layer must preserve.
+fn arb_value() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (0u8..2).prop_map(|b| Value::Bool(b == 1)),
+        (-10_000i64..10_000).prop_map(Value::Int),
+        (-70_000i64..70_000).prop_map(|n| Value::Float(n as f64 / 7.0)),
+        Just(Value::Float(-0.0)),
+        Just(Value::Float(f64::INFINITY)),
+        Just(Value::Float(f64::NEG_INFINITY)),
+        Just(Value::Float(f64::NAN)),
+        // A quiet NaN with a non-standard payload: survives only if the
+        // batch stores the exact bits.
+        Just(Value::Float(f64::from_bits(0x7ff8_0000_0000_00ffu64))),
+        Just(Value::Text(String::new())), // empty string ≠ null
+        "[a-z\"', \n]{0,10}".prop_map(Value::Text),
+        ".{0,8}".prop_map(Value::Text),
+        (2000i32..2030).prop_flat_map(|y| {
+            (1u8..13).prop_flat_map(move |m| {
+                (1u8..29).prop_map(move |d| Value::Date(Date::new(y, m, d).unwrap()))
+            })
+        }),
+    ]
+    .boxed()
+}
+
+/// Bitwise value equality: `to_bits` on floats, structural elsewhere.
+fn values_bit_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => format!("{a:?}") == format!("{b:?}"),
+    }
+}
+
+fn world_for(scenario: u8, entities: usize, seed: u64) -> GeneratedWorld {
+    match scenario % 4 {
+        0 => cd_shopping(entities, seed),
+        1 => disaster_registry(entities, seed),
+        2 => student_rosters(entities, seed),
+        _ => cleansing_service(entities, seed),
+    }
+}
+
+fn run(world: &GeneratedWorld, layout: ExecutionLayout, par: Parallelism) -> PipelineOutcome {
+    let tables: Vec<&Table> = world.sources.iter().map(|s| &s.table).collect();
+    let config = HummerConfig {
+        matcher: hummer::core::MatcherConfig {
+            sniff: SniffConfig {
+                top_k: 10,
+                min_similarity: 0.3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        parallelism: par,
+        layout,
+        ..Default::default()
+    };
+    let registry = FunctionRegistry::standard();
+    let prepared = prepare_tables(&tables, &config).expect("prepare");
+    fuse_prepared_par(&prepared, &[], &registry, par).expect("fuse")
+}
+
+/// Everything user-visible, rendered bit-exactly (`{:?}` on `f64` is the
+/// shortest roundtrip form, so differing bits render differently; the
+/// generated worlds produce no NaNs, so Debug is exact here).
+fn fingerprint(out: &PipelineOutcome) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}",
+        out.result.rows(),
+        out.result.schema().names(),
+        out.detection.cluster_ids,
+        out.detection.pairs,
+        out.conflict_count,
+        out.sample_conflicts,
+        out.match_results
+            .iter()
+            .map(|m| (&m.correspondences, &m.duplicates_used))
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Table → ColumnarBatch → Table` is the bitwise identity on
+    /// adversarial tables, whatever mixture of types lands in a column.
+    #[test]
+    fn row_columnar_round_trip_is_bit_identity(
+        rows in prop::collection::vec(prop::collection::vec(arb_value(), 3), 0..12),
+    ) {
+        let table = Table::from_rows(
+            "Adversarial",
+            &["A", "B", "C"],
+            rows.iter().map(|v| Row::from_values(v.clone())).collect(),
+        )
+        .unwrap();
+        let batch = ColumnarBatch::from_table(&table);
+        // Random access agrees cell for cell…
+        for (i, row) in table.rows().iter().enumerate() {
+            for (j, v) in row.values().iter().enumerate() {
+                prop_assert!(
+                    values_bit_equal(v, &batch.value(i, j)),
+                    "cell ({i},{j}) changed through the batch"
+                );
+            }
+        }
+        // …and so does the full materialized round trip.
+        let back = batch.into_table().unwrap();
+        prop_assert_eq!(table.name(), back.name());
+        prop_assert_eq!(table.schema(), back.schema());
+        prop_assert_eq!(table.len(), back.len());
+        for (orig, round) in table.rows().iter().zip(back.rows()) {
+            for (v, w) in orig.values().iter().zip(round.values()) {
+                prop_assert!(values_bit_equal(v, w), "{v:?} != {w:?} after round trip");
+            }
+        }
+    }
+
+    /// An all-null column survives (as does a column that is all empty
+    /// strings — two states a lossy layout could conflate).
+    #[test]
+    fn degenerate_columns_round_trip(len in 0usize..20) {
+        let rows = (0..len)
+            .map(|_| Row::from_values(vec![Value::Null, Value::Text(String::new())]))
+            .collect();
+        let table = Table::from_rows("Degenerate", &["AllNull", "AllEmpty"], rows).unwrap();
+        let back = ColumnarBatch::from_table(&table).into_table().unwrap();
+        prop_assert_eq!(table.rows(), back.rows());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The headline equivalence: columnar == row for the whole pipeline, on
+    /// a random scenario world, at every degree 1–4.
+    #[test]
+    fn columnar_pipeline_matches_row_pipeline(
+        scenario in 0u8..4,
+        entities in 8usize..40,
+        seed in 0u64..1000,
+    ) {
+        let world = world_for(scenario, entities, seed);
+        let reference = fingerprint(&run(&world, ExecutionLayout::Row, Parallelism::degree(1)));
+        for degree in 1..=4 {
+            let columnar = run(&world, ExecutionLayout::Columnar, Parallelism::degree(degree));
+            prop_assert_eq!(&reference, &fingerprint(&columnar));
+            // The row layout stays degree-stable too.
+            let row = run(&world, ExecutionLayout::Row, Parallelism::degree(degree));
+            prop_assert_eq!(&reference, &fingerprint(&row));
+        }
+    }
+}
