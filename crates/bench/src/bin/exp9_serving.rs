@@ -125,7 +125,7 @@ fn main() -> ExitCode {
 
     // Cache hit rate from the server's own metrics endpoint.
     let (_, metrics_body) =
-        http_request(&addr, "GET", "/metrics", "text/plain", b"").expect("metrics");
+        http_request(&addr, "GET", "/metrics.json", "text/plain", b"").expect("metrics");
     let metrics = Json::parse(&metrics_body).expect("metrics JSON");
     let cache = metrics.get("prepared_cache").expect("cache stats").clone();
     println!("cache: {}", cache.to_string_compact());

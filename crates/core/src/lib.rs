@@ -59,8 +59,8 @@ pub mod wizard;
 
 pub use error::{HummerError, Result};
 pub use pipeline::{
-    fuse_prepared, fuse_prepared_par, prepare_tables, DeltaReport, Hummer, HummerConfig,
-    PipelineOutcome, PreparedSources, StageTimings,
+    fuse_prepared, fuse_prepared_par, fuse_prepared_traced, prepare_tables, prepare_tables_traced,
+    DeltaReport, Hummer, HummerConfig, PipelineOutcome, PreparedSources, StageTimings,
 };
 pub use repository::{MetadataRepository, SourceInfo};
 pub use wizard::{Wizard, WizardPhase};
@@ -70,6 +70,7 @@ pub use hummer_dupdetect as dupdetect;
 pub use hummer_engine as engine;
 pub use hummer_fusion as fusion;
 pub use hummer_matching as matching;
+pub use hummer_obs as obs;
 pub use hummer_query as query;
 pub use hummer_store as store;
 pub use hummer_textsim as textsim;
@@ -83,4 +84,5 @@ pub use hummer_engine::ExecutionLayout;
 pub use hummer_fusion::Parallelism;
 pub use hummer_fusion::{FunctionRegistry, ResolutionSpec};
 pub use hummer_matching::{MatcherConfig, SniffConfig};
+pub use hummer_obs::{ObsConfig, Span, Tracer};
 pub use hummer_query::QueryOutput;

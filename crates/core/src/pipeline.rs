@@ -26,6 +26,7 @@ use hummer_fusion::{
 use hummer_matching::{
     apply_renames, integrate_with_layout, match_star, match_star_par, MatchResult, MatcherConfig,
 };
+use hummer_obs::{ObsConfig, Span};
 use hummer_query::{parse, QueryOutput, TableSet};
 use std::time::{Duration, Instant};
 
@@ -99,24 +100,53 @@ pub struct PreparedSources {
 /// assert_eq!(prepared.detection.object_count(), 2); // the Smiths cluster
 /// ```
 pub fn prepare_tables(tables: &[&Table], config: &HummerConfig) -> Result<PreparedSources> {
+    let root = config.obs.tracer.trace("prepare");
+    prepare_tables_traced(tables, config, &root)
+}
+
+/// [`prepare_tables`] recording its stage spans (match → transform →
+/// detect → cluster) as children of `parent` — the serving layer passes
+/// its per-request span here so one trace covers the whole query. With a
+/// no-op `parent` this is exactly `prepare_tables`.
+pub fn prepare_tables_traced(
+    tables: &[&Table],
+    config: &HummerConfig,
+    parent: &Span,
+) -> Result<PreparedSources> {
     let mut timings = StageTimings::default();
 
     // 1. Schema matching.
+    let mut span = parent.child("match");
     let t0 = Instant::now();
     let match_results = match_star_par(tables, &config.matcher, config.parallelism);
     timings.matching = t0.elapsed();
+    span.count("tables", tables.len() as u64);
+    span.count("correspondences", total_correspondences(&match_results));
+    span.count("degree", config.parallelism.get() as u64);
+    drop(span);
 
     // 2. Transformation: rename → sourceID → full outer union.
+    let mut span = parent.child("transform");
     let t0 = Instant::now();
     let integrated = integrate_with_layout(tables, &match_results, "Integrated", config.layout)?;
     timings.transformation = t0.elapsed();
+    span.count("union_rows", integrated.len() as u64);
+    span.count("union_cols", integrated.schema().len() as u64);
+    drop(span);
 
     // 3. Duplicate detection → objectID.
     let t0 = Instant::now();
+    let mut span = parent.child("detect");
     let detection =
         detect_duplicates_par(&integrated, &config.detector_config(), config.parallelism)?;
+    count_detection(&mut span, &detection.stats, config);
+    drop(span);
+    let mut span = parent.child("cluster");
     let annotated = annotate_object_ids(&integrated, &detection)?;
     timings.detection = t0.elapsed();
+    span.count("clusters", detection.object_count() as u64);
+    span.count("duplicate_pairs", detection.pairs.len() as u64);
+    drop(span);
 
     Ok(PreparedSources {
         match_results,
@@ -125,6 +155,38 @@ pub fn prepare_tables(tables: &[&Table], config: &HummerConfig) -> Result<Prepar
         annotated,
         timings,
     })
+}
+
+/// Correspondences across all match results (a span counter).
+fn total_correspondences(results: &[MatchResult]) -> u64 {
+    results
+        .iter()
+        .map(|m| m.correspondence_count() as u64)
+        .sum()
+}
+
+/// Attach detection counters to the `detect` span: blocking-window hits
+/// (candidates), filter rejections, pairs actually scored, edit-distance
+/// memo hits, and — on the columnar path — how many 512-pair blocks the
+/// vectorized scorer processed.
+fn count_detection(
+    span: &mut Span,
+    stats: &hummer_dupdetect::DetectionStats,
+    config: &HummerConfig,
+) {
+    if !span.is_recording() {
+        return;
+    }
+    span.count("candidates", stats.candidates as u64);
+    span.count("filtered_out", stats.filtered_out as u64);
+    span.count("compared", stats.compared as u64);
+    span.count("memo_hits", stats.memo_hits as u64);
+    if config.layout == ExecutionLayout::Columnar {
+        span.count(
+            "columnar_blocks",
+            stats.compared.div_ceil(hummer_dupdetect::PAIR_BLOCK) as u64,
+        );
+    }
 }
 
 /// What one [`PreparedSources::apply_delta`] cost and how much it reused.
@@ -160,25 +222,47 @@ impl PreparedSources {
         mapping: &RowMapping,
         config: &HummerConfig,
     ) -> Result<(PreparedSources, DeltaReport)> {
+        let root = config.obs.tracer.trace("delta");
+        self.apply_delta_traced(new_tables, mapping, config, &root)
+    }
+
+    /// [`PreparedSources::apply_delta`] recording its stage spans under
+    /// `parent` (the server's per-request span). With a no-op `parent`
+    /// this is exactly `apply_delta`.
+    pub fn apply_delta_traced(
+        &self,
+        new_tables: &[&Table],
+        mapping: &RowMapping,
+        config: &HummerConfig,
+        parent: &Span,
+    ) -> Result<(PreparedSources, DeltaReport)> {
         let mut timings = StageTimings::default();
 
         // 1. Schema matching: recomputed from scratch (near-linear via the
         //    inverted sniffing index), so instance drift that changes
         //    correspondences is honored, not approximated.
+        let mut span = parent.child("match");
         let t0 = Instant::now();
         let match_results = match_star_par(new_tables, &config.matcher, config.parallelism);
         timings.matching = t0.elapsed();
+        span.count("tables", new_tables.len() as u64);
+        span.count("correspondences", total_correspondences(&match_results));
+        drop(span);
 
         // 2. Transformation: recomputed (linear). If matching changed the
         //    union schema, the incremental detector notices through its
         //    cell comparison and degrades gracefully.
+        let mut span = parent.child("transform");
         let t0 = Instant::now();
         let integrated =
             integrate_with_layout(new_tables, &match_results, "Integrated", config.layout)?;
         timings.transformation = t0.elapsed();
+        span.count("union_rows", integrated.len() as u64);
+        drop(span);
 
         // 3. Duplicate detection: incremental against the old artifacts.
         let t0 = Instant::now();
+        let mut span = parent.child("detect");
         let (detection, delta_stats) = detect_delta(
             &self.integrated,
             &self.detection,
@@ -187,8 +271,24 @@ impl PreparedSources {
             &config.detector_config(),
             config.parallelism,
         )?;
+        if span.is_recording() {
+            span.count("dirty_rows", delta_stats.dirty_rows as u64);
+            span.count("candidates", delta_stats.candidates as u64);
+            span.count("compared", delta_stats.compared as u64);
+            span.count("carried_pairs", delta_stats.carried_pairs as u64);
+            span.count("scored_pairs", delta_stats.scored_pairs as u64);
+            span.count(
+                "affected_components",
+                delta_stats.affected_components as u64,
+            );
+            span.count("full_rescore", u64::from(delta_stats.full_rescore));
+        }
+        drop(span);
+        let mut span = parent.child("cluster");
         let annotated = annotate_object_ids(&integrated, &detection)?;
         timings.detection = t0.elapsed();
+        span.count("clusters", detection.object_count() as u64);
+        drop(span);
 
         Ok((
             PreparedSources {
@@ -229,7 +329,21 @@ pub fn fuse_prepared_par(
     registry: &FunctionRegistry,
     par: Parallelism,
 ) -> Result<PipelineOutcome> {
+    fuse_prepared_traced(prepared, resolutions, registry, par, &Span::noop())
+}
+
+/// [`fuse_prepared_par`] recording a `fuse` span (fused rows, resolved
+/// conflicts, parallelism degree) as a child of `parent`. With a no-op
+/// `parent` this is exactly `fuse_prepared_par`.
+pub fn fuse_prepared_traced(
+    prepared: &PreparedSources,
+    resolutions: &[(String, ResolutionSpec)],
+    registry: &FunctionRegistry,
+    par: Parallelism,
+    parent: &Span,
+) -> Result<PipelineOutcome> {
     let mut timings = prepared.timings;
+    let mut span = parent.child("fuse");
     let t0 = Instant::now();
     let mut spec = FusionSpec::by_key(vec![OBJECT_ID_COLUMN])
         .drop_column(OBJECT_ID_COLUMN)
@@ -240,6 +354,13 @@ pub fn fuse_prepared_par(
     }
     let fused = fuse(&prepared.annotated, &spec, registry)?;
     timings.fusion = t0.elapsed();
+    if span.is_recording() {
+        span.count("fused_rows", fused.table.len() as u64);
+        span.count("merged_clusters", fused.merged_clusters as u64);
+        span.count("conflicts", fused.conflict_count as u64);
+        span.count("degree", par.get() as u64);
+    }
+    drop(span);
 
     Ok(PipelineOutcome {
         result: fused.table,
@@ -296,6 +417,11 @@ pub struct HummerConfig {
     /// `exp13_columnar` enforce it — so, like `parallelism`, this is
     /// purely a performance knob.
     pub layout: ExecutionLayout,
+    /// Observability: where pipeline stage spans are recorded. Disabled by
+    /// default (spans become branch-only no-ops); instrumentation never
+    /// changes the fused output — `exp14_observability` enforces both the
+    /// ≤3% overhead contract and bit-identity.
+    pub obs: ObsConfig,
 }
 
 impl HummerConfig {

@@ -38,7 +38,9 @@ use hummer_textsim::edit::{levenshtein_similarity_chars, EditScratch};
 
 /// Pairs per kernel block: accumulators for one block stay cache-resident
 /// while the attribute sweep runs over them.
-const BLOCK: usize = 512;
+/// Candidate pairs per vectorized scoring block — the unit the `detect`
+/// span's `columnar_blocks` counter reports.
+pub const PAIR_BLOCK: usize = 512;
 
 /// One participating attribute in struct-of-arrays form. Per-row arrays are
 /// indexed by row; text payloads are interned, so per-row storage is a
@@ -168,6 +170,7 @@ struct ScoredChunk {
     unsure: Vec<DuplicatePair>,
     filtered_out: usize,
     compared: usize,
+    memo_hits: usize,
 }
 
 /// Score one block of candidate pairs: an upper-bound filter sweep, then a
@@ -274,13 +277,21 @@ fn score_block(
                     1.0
                 } else {
                     let key = (a.min(b), a.max(b));
-                    *memo_k.entry(key).or_insert_with(|| {
-                        levenshtein_similarity_chars(
-                            &col.chars[a as usize],
-                            &col.chars[b as usize],
-                            edit,
-                        )
-                    })
+                    match memo_k.get(&key) {
+                        Some(&s) => {
+                            out.memo_hits += 1;
+                            s
+                        }
+                        None => {
+                            let s = levenshtein_similarity_chars(
+                                &col.chars[a as usize],
+                                &col.chars[b as usize],
+                                edit,
+                            );
+                            memo_k.insert(key, s);
+                            s
+                        }
+                    }
                 };
                 (w, s)
             };
@@ -354,6 +365,7 @@ pub fn score_candidate_pairs(
             unsure: Vec::new(),
             filtered_out: 0,
             compared: 0,
+            memo_hits: 0,
         };
         match scorer {
             PairScorer::Rows { table, measure } => {
@@ -381,7 +393,7 @@ pub fn score_candidate_pairs(
             }
             PairScorer::Columnar(cm) => {
                 let mut scratch = KernelScratch::new(cm.attr_count());
-                for block in chunk.chunks(BLOCK) {
+                for block in chunk.chunks(PAIR_BLOCK) {
                     score_block(cm, cfg, block, &mut scratch, &mut out);
                 }
             }
@@ -392,6 +404,7 @@ pub fn score_candidate_pairs(
     for chunk in chunks {
         merged.filtered_out += chunk.filtered_out;
         merged.compared += chunk.compared;
+        merged.memo_hits += chunk.memo_hits;
         merged.pairs.extend(chunk.pairs);
         merged.unsure.extend(chunk.unsure);
     }

@@ -452,6 +452,7 @@ pub fn detect_delta(
             candidates: stats.candidates,
             filtered_out: stats.filtered_out,
             compared: stats.compared,
+            memo_hits: 0,
         },
         attributes_used: names_new,
     };

@@ -61,7 +61,7 @@ pub mod measure;
 pub mod unionfind;
 
 pub use blocking::{candidate_pairs, CandidateStrategy};
-pub use columnar::{score_candidate_pairs, ColumnarMeasure, PairScorer};
+pub use columnar::{score_candidate_pairs, ColumnarMeasure, PairScorer, PAIR_BLOCK};
 pub use detector::{
     annotate_object_ids, detect_duplicates, detect_duplicates_par, CandidateSpec, DetectionResult,
     DetectionStats, DetectorConfig, DuplicatePair, ScoredCandidates, OBJECT_ID_COLUMN,

@@ -101,6 +101,10 @@ pub struct FusedTable {
     pub sample_conflicts: Vec<SampleConflict>,
     /// Total number of cell-level conflicts resolved.
     pub conflict_count: usize,
+    /// Output rows whose cluster merged more than one input row — the
+    /// fusions that actually combined sources, as opposed to singleton
+    /// pass-throughs.
+    pub merged_clusters: usize,
 }
 
 /// Cap on collected [`SampleConflict`]s.
@@ -118,6 +122,8 @@ pub(crate) struct ResolvedCluster {
     /// clusters in order, so a per-cluster cap loses nothing).
     pub(crate) samples: Vec<SampleConflict>,
     pub(crate) conflicts: usize,
+    /// Input rows this cluster fused.
+    pub(crate) members: usize,
 }
 
 /// Fuse the cluster whose member row indices are `members` into one tuple.
@@ -199,6 +205,7 @@ pub(crate) fn resolve_cluster(
         cell_lineages,
         samples,
         conflicts,
+        members: members.len(),
     })
 }
 
@@ -361,8 +368,12 @@ impl FusionSetup {
         let mut lineage = Lineage::new(out_names);
         let mut samples: Vec<SampleConflict> = Vec::new();
         let mut conflict_count = 0usize;
+        let mut merged_clusters = 0usize;
         for cluster in resolved {
             conflict_count += cluster.conflicts;
+            if cluster.members > 1 {
+                merged_clusters += 1;
+            }
             for sample in cluster.samples {
                 if samples.len() >= MAX_SAMPLE_CONFLICTS {
                     break;
@@ -378,6 +389,7 @@ impl FusionSetup {
             lineage,
             sample_conflicts: samples,
             conflict_count,
+            merged_clusters,
         })
     }
 }

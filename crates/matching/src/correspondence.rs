@@ -47,6 +47,12 @@ pub struct MatchResult {
 }
 
 impl MatchResult {
+    /// Number of 1:1 correspondences this match found — the `match` stage
+    /// span and `/metrics` report the sum of this over all table pairs.
+    pub fn correspondence_count(&self) -> usize {
+        self.correspondences.len()
+    }
+
     /// Map from right-schema column name to the preferred left-schema name
     /// it should be renamed to.
     pub fn rename_map(&self) -> HashMap<String, String> {

@@ -149,6 +149,7 @@ where
     if ranges.len() <= 1 {
         return ranges.into_iter().map(|r| f(r.start, &items[r])).collect();
     }
+    FORKED_THREADS.fetch_add(ranges.len() as u64, std::sync::atomic::Ordering::Relaxed);
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
@@ -163,6 +164,18 @@ where
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect()
     })
+}
+
+/// Process-wide count of scoped worker threads ever forked by
+/// [`par_chunks`] (and everything built on it). Sequential fast paths
+/// spawn nothing and count nothing.
+static FORKED_THREADS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total scoped worker threads forked by this process so far — a cheap
+/// gauge of how much intra-query fan-out actually happened (the server
+/// exposes it as `hummer_par_forks_total`).
+pub fn forked_threads_total() -> u64 {
+    FORKED_THREADS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Map `f` over `items` on up to `par.get()` threads; the result vector is

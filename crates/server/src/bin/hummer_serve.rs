@@ -21,7 +21,7 @@
 //! The process serves until `POST /shutdown` arrives, then drains in-flight
 //! requests and exits 0.
 
-use hummer_server::{HummerServer, Parallelism, ServerConfig, ServiceConfig};
+use hummer_server::{HummerServer, ObsConfig, Parallelism, ServerConfig, ServiceConfig};
 use std::process::ExitCode;
 
 const HELP: &str = "\
@@ -35,6 +35,13 @@ Serving:
   --cache N               prepared-pipeline cache capacity, in source sets (default 64)
   --narrow-schemas        pipeline tuning for narrow (2-3 column) sources
   --preload NAME=FILE.csv register a CSV file before serving (repeatable)
+
+Observability:
+  --trace-ring N          span-ring capacity, in span records (default 65536);
+                          responses carry X-Hummer-Trace and GET /trace/{id}
+                          returns a request's span tree while it is in the ring
+  --no-trace              disable tracing entirely (spans become no-ops;
+                          /metrics histograms still record)
 
 Durability (see README \"Durability\"):
   --data-dir DIR          persist the catalog in DIR: recover on boot, then
@@ -56,6 +63,8 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut config = ServerConfig::default();
     let mut par: Option<usize> = None;
+    let mut trace_ring = 65536usize;
+    let mut trace = true;
     let mut preloads: Vec<(String, String)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -98,6 +107,13 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage())
             }
             "--no-fsync" => config.store.fsync = false,
+            "--trace-ring" => {
+                trace_ring = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--no-trace" => trace = false,
             "--help" | "-h" => {
                 println!("{HELP}");
                 return ExitCode::SUCCESS;
@@ -111,6 +127,12 @@ fn main() -> ExitCode {
         Some(n) => Parallelism::degree(n),
         None => Parallelism::auto_shared(config.threads.max(1)),
     };
+    // Tracing is on by default — the overhead contract (exp14) keeps the
+    // instrumented pipeline within 3% of bare, so the visibility is
+    // effectively free; --no-trace turns spans into no-ops.
+    if trace {
+        config.service.pipeline.obs = ObsConfig::enabled(trace_ring.max(1));
+    }
 
     let server = match HummerServer::bind(config.clone()) {
         Ok(s) => s,
@@ -165,11 +187,16 @@ fn main() -> ExitCode {
         }
     }
     eprintln!(
-        "hummer-serve: listening on {} ({} workers x {} intra-query threads); \
+        "hummer-serve: listening on {} ({} workers x {} intra-query threads, tracing {}); \
          POST /shutdown to stop",
         server.local_addr(),
         config.threads.max(1),
         config.service.pipeline.parallelism.get(),
+        if trace {
+            "on (X-Hummer-Trace + GET /trace/{id})"
+        } else {
+            "OFF"
+        },
     );
     match server.run() {
         Ok(()) => {

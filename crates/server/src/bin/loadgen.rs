@@ -112,7 +112,7 @@ fn main() -> ExitCode {
         update_pool,
     });
 
-    let metrics = http_request(&addr, "GET", "/metrics", "text/plain", b"")
+    let metrics = http_request(&addr, "GET", "/metrics.json", "text/plain", b"")
         .ok()
         .filter(|(status, _)| *status == 200)
         .and_then(|(_, body)| Json::parse(&body).ok());
@@ -131,7 +131,17 @@ fn main() -> ExitCode {
     println!("throughput_rps   {:.1}", report.throughput_rps);
     println!("latency_mean_ms  {:.3}", report.mean_ms);
     println!("latency_p50_ms   {:.3}", report.p50_ms);
+    println!("latency_p90_ms   {:.3}", report.p90_ms);
     println!("latency_p99_ms   {:.3}", report.p99_ms);
+    println!("latency_p999_ms  {:.3}", report.p999_ms);
+    // The tail, explained: the worst requests with their trace ids —
+    // `curl http://{addr}/trace/{id}` shows the span tree of each.
+    for (i, (ms, trace)) in report.slowest.iter().enumerate() {
+        println!(
+            "slowest_{i:02}       {ms:.3} ms  trace={}",
+            trace.as_deref().unwrap_or("-")
+        );
+    }
     match cache {
         Some(rate) => println!("cache_hit_rate   {rate:.3}"),
         None => println!("cache_hit_rate   n/a"),

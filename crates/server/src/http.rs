@@ -159,6 +159,9 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Ask the client to close the connection after this response.
     pub close: bool,
+    /// Additional response headers as `(name, value)` pairs (e.g.
+    /// `x-hummer-trace`). Names go out as given; keep them lowercase.
+    pub extra_headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -169,7 +172,25 @@ impl Response {
             content_type: "application/json",
             body: body.into().into_bytes(),
             close: false,
+            extra_headers: Vec::new(),
         }
+    }
+
+    /// A plain-text response (Prometheus exposition uses this).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into().into_bytes(),
+            close: false,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Attach an extra response header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.into(), value.into()));
+        self
     }
 
     /// The reason phrase for a status code.
@@ -188,8 +209,8 @@ impl Response {
 /// write: two small segments would trip Nagle + delayed-ACK stalls
 /// (~40–200 ms per request) on keep-alive connections.
 pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         response.status,
         Response::reason(response.status),
         response.content_type,
@@ -200,6 +221,13 @@ pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> std::io:
             "keep-alive"
         },
     );
+    for (name, value) in &response.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let mut message = Vec::with_capacity(head.len() + response.body.len());
     message.extend_from_slice(head.as_bytes());
     message.extend_from_slice(&response.body);
@@ -302,6 +330,19 @@ mod tests {
         assert!(text.contains("content-length: 11\r\n"));
         assert!(text.contains("connection: keep-alive"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_serialize_before_body() {
+        let mut out = Vec::new();
+        let r = Response::text(200, "ok").with_header("x-hummer-trace", "00000000deadbeef");
+        write_response(&mut out, &r).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("x-hummer-trace: 00000000deadbeef\r\n"));
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text[..head_end].contains("x-hummer-trace"));
+        assert!(text.ends_with("ok"));
+        assert!(text.contains("content-type: text/plain; version=0.0.4; charset=utf-8\r\n"));
     }
 
     #[test]

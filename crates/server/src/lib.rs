@@ -19,7 +19,10 @@
 //! * [`http`] — minimal HTTP/1.1 request/response framing;
 //! * [`json`] — the hand-rolled JSON writer/parser the wire protocol uses;
 //! * [`error`] — [`ServerError`] with HTTP status mapping;
-//! * [`metrics`] — request counts, p50/p99 latency, stage aggregates;
+//! * [`metrics`] — lock-free latency histograms (`hummer_obs`), request
+//!   counts, stage aggregates; exposed as Prometheus text on `GET /metrics`
+//!   and JSON on `GET /metrics.json`, with per-request span trees on
+//!   `GET /trace/{id}`;
 //! * [`loadgen`] — the load-generating client (also a binary).
 //!
 //! ## In-process quickstart
@@ -67,7 +70,7 @@ pub mod service;
 
 pub use cache::{CacheStats, PreparedCache, PreparedKey};
 pub use error::{Result, ServerError};
-pub use hummer_core::Parallelism;
+pub use hummer_core::{ObsConfig, Parallelism, Tracer};
 pub use hummer_store::{CatalogStore, StoreOptions, StoreStats};
 pub use json::{Json, JsonError};
 pub use metrics::{Metrics, MetricsSnapshot};

@@ -8,6 +8,7 @@
 
 use crate::error::{Result, ServerError};
 use crate::json::Json;
+use hummer_obs::{Histogram, HistogramSnapshot};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -45,6 +46,19 @@ impl Client {
         content_type: &str,
         body: &[u8],
     ) -> Result<(u16, String)> {
+        self.request_traced(method, path, content_type, body)
+            .map(|(status, body, _)| (status, body))
+    }
+
+    /// [`Client::request`], also returning the `X-Hummer-Trace` header the
+    /// server attaches when its tracer is enabled.
+    pub fn request_traced(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<(u16, String, Option<String>)> {
         match self.request_once(method, path, content_type, body) {
             Err(ServerError::Io(_)) => {
                 let fresh = Client::connect(&self.addr)?;
@@ -61,7 +75,7 @@ impl Client {
         path: &str,
         content_type: &str,
         body: &[u8],
-    ) -> Result<(u16, String)> {
+    ) -> Result<(u16, String, Option<String>)> {
         let head = format!(
             "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n\r\n",
             self.addr,
@@ -77,8 +91,9 @@ impl Client {
     }
 }
 
-/// Read one HTTP response: status line, headers, `Content-Length` body.
-fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String)> {
+/// Read one HTTP response: status line, headers (capturing
+/// `X-Hummer-Trace`), `Content-Length` body.
+fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String, Option<String>)> {
     let mut status_line = String::new();
     if reader.read_line(&mut status_line)? == 0 {
         return Err(ServerError::Io(std::io::Error::new(
@@ -92,6 +107,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String)> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ServerError::BadRequest(format!("bad status line `{status_line}`")))?;
     let mut content_length = 0usize;
+    let mut trace = None;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -109,13 +125,15 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String)> {
                 content_length = value.trim().parse().map_err(|_| {
                     ServerError::BadRequest(format!("bad content-length `{value}`"))
                 })?;
+            } else if name.trim().eq_ignore_ascii_case("x-hummer-trace") {
+                trace = Some(value.trim().to_string());
             }
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     String::from_utf8(body)
-        .map(|text| (status, text))
+        .map(|text| (status, text, trace))
         .map_err(|_| ServerError::BadRequest("response body is not UTF-8".into()))
 }
 
@@ -127,7 +145,9 @@ pub fn http_request(
     content_type: &str,
     body: &[u8],
 ) -> Result<(u16, String)> {
-    Client::connect(addr)?.request_once(method, path, content_type, body)
+    Client::connect(addr)?
+        .request_once(method, path, content_type, body)
+        .map(|(status, text, _)| (status, text))
 }
 
 /// Upload one scenario world's sources as `{prefix}_{source}` tables and
@@ -283,8 +303,20 @@ pub struct LoadReport {
     pub mean_ms: f64,
     /// Median latency (ms).
     pub p50_ms: f64,
+    /// 90th-percentile latency (ms).
+    pub p90_ms: f64,
     /// 99th-percentile latency (ms).
     pub p99_ms: f64,
+    /// 99.9th-percentile latency (ms).
+    pub p999_ms: f64,
+    /// Merged latency histogram of all successful requests (microsecond
+    /// samples) — the percentiles above are read from it.
+    pub latency: HistogramSnapshot,
+    /// The slowest successful requests, worst first (at most 10):
+    /// `(latency_ms, trace_id)` where the trace id comes from the server's
+    /// `X-Hummer-Trace` header (`None` when tracing is disabled). Feed an
+    /// id to `GET /trace/{id}` to see where that request's time went.
+    pub slowest: Vec<(f64, Option<String>)>,
 }
 
 /// Latency percentile over an unsorted millisecond sample (`p` in `[0, 100]`);
@@ -312,7 +344,11 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         };
         let total = config.requests;
         handles.push(thread::spawn(move || {
-            let mut latencies = Vec::new();
+            // Lock-free per-thread histogram; merged after the join. The
+            // slowest list keeps the worst 10 with their trace ids so the
+            // tail can be explained span-by-span via `GET /trace/{id}`.
+            let hist = Histogram::new();
+            let mut slowest: Vec<(f64, Option<String>)> = Vec::new();
             let mut errors = 0usize;
             let mut updates_ok = 0usize;
             let mut update_errors = 0usize;
@@ -332,14 +368,16 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
                 let t0 = Instant::now();
                 let outcome = if is_update {
                     let (path, body) = &updates[(i / update_every) % updates.len()];
-                    c.request("POST", path, "application/json", body.as_bytes())
+                    c.request_traced("POST", path, "application/json", body.as_bytes())
                 } else {
                     let sql = &pool[i % pool.len()];
-                    c.request("POST", "/query", "text/plain", sql.as_bytes())
+                    c.request_traced("POST", "/query", "text/plain", sql.as_bytes())
                 };
                 match outcome {
-                    Ok((200, _)) => {
-                        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                    Ok((200, _, trace)) => {
+                        let elapsed = t0.elapsed();
+                        hist.record_duration(elapsed);
+                        push_slowest(&mut slowest, elapsed.as_secs_f64() * 1e3, trace);
                         if is_update {
                             updates_ok += 1;
                         }
@@ -359,27 +397,29 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
                     }
                 }
             }
-            (latencies, errors, updates_ok, update_errors)
+            (hist.snapshot(), slowest, errors, updates_ok, update_errors)
         }));
     }
-    let mut latencies = Vec::with_capacity(config.requests);
+    let mut latency = HistogramSnapshot::default();
+    let mut slowest: Vec<(f64, Option<String>)> = Vec::new();
     let mut errors = 0;
     let mut updates_ok = 0;
     let mut update_errors = 0;
     for h in handles {
-        let (mut l, e, uo, ue) = h.join().unwrap_or((Vec::new(), 0, 0, 0));
-        latencies.append(&mut l);
+        let (snap, sl, e, uo, ue) =
+            h.join()
+                .unwrap_or((HistogramSnapshot::default(), Vec::new(), 0, 0, 0));
+        latency.merge(&snap);
+        for (ms, trace) in sl {
+            push_slowest(&mut slowest, ms, trace);
+        }
         errors += e;
         updates_ok += uo;
         update_errors += ue;
     }
     let elapsed = started.elapsed();
-    let ok = latencies.len();
-    let mean_ms = if ok == 0 {
-        0.0
-    } else {
-        latencies.iter().sum::<f64>() / ok as f64
-    };
+    let ok = latency.count() as usize;
+    let q = |p: f64| latency.quantile(p) as f64 / 1e3;
     LoadReport {
         ok,
         errors,
@@ -391,9 +431,28 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         } else {
             0.0
         },
-        mean_ms,
-        p50_ms: percentile_ms(&latencies, 50.0),
-        p99_ms: percentile_ms(&latencies, 99.0),
+        mean_ms: latency.mean() / 1e3,
+        p50_ms: q(0.5),
+        p90_ms: q(0.9),
+        p99_ms: q(0.99),
+        p999_ms: q(0.999),
+        latency,
+        slowest,
+    }
+}
+
+/// How many of the slowest requests a load run reports.
+const SLOWEST_KEPT: usize = 10;
+
+/// Insert into a worst-first top-`SLOWEST_KEPT` list.
+fn push_slowest(slowest: &mut Vec<(f64, Option<String>)>, ms: f64, trace: Option<String>) {
+    let at = slowest
+        .iter()
+        .position(|(v, _)| ms > *v)
+        .unwrap_or(slowest.len());
+    if at < SLOWEST_KEPT {
+        slowest.insert(at, (ms, trace));
+        slowest.truncate(SLOWEST_KEPT);
     }
 }
 
@@ -413,9 +472,39 @@ mod tests {
     #[test]
     fn read_response_parses_status_and_body() {
         let raw = "HTTP/1.1 404 Not Found\r\ncontent-type: application/json\r\ncontent-length: 2\r\n\r\n{}";
-        let (status, body) = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
+        let (status, body, trace) = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
         assert_eq!(status, 404);
         assert_eq!(body, "{}");
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn read_response_captures_trace_header() {
+        let raw =
+            "HTTP/1.1 200 OK\r\nx-hummer-trace: 00000000000000a1\r\ncontent-length: 2\r\n\r\nok";
+        let (status, body, trace) = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok");
+        assert_eq!(trace.as_deref(), Some("00000000000000a1"));
+    }
+
+    #[test]
+    fn slowest_list_keeps_worst_first_and_bounds_length() {
+        let mut slowest = Vec::new();
+        for i in 0..50u64 {
+            // Interleave so insertion hits both ends.
+            let ms = if i % 2 == 0 {
+                i as f64
+            } else {
+                100.0 - i as f64
+            };
+            push_slowest(&mut slowest, ms, Some(format!("{i:016x}")));
+        }
+        assert_eq!(slowest.len(), SLOWEST_KEPT);
+        for pair in slowest.windows(2) {
+            assert!(pair[0].0 >= pair[1].0, "{slowest:?}");
+        }
+        assert_eq!(slowest[0].0, 99.0);
     }
 
     #[test]

@@ -1,41 +1,40 @@
-//! Request metrics: counts, latency percentiles, per-stage timing
+//! Request metrics: counts, latency histograms, per-stage timing
 //! aggregates.
 //!
-//! One [`Metrics`] lives in the shared service; worker threads record into
-//! it behind a mutex (the critical section is a few counter bumps and a ring
-//! push, so contention stays negligible next to pipeline work). `GET
-//! /metrics` renders a [`MetricsSnapshot`].
+//! One [`Metrics`] lives in the shared service. The hot recording paths —
+//! request latencies and stage latencies — go through `hummer_obs`'s
+//! lock-free log-bucketed [`Histogram`]s (one relaxed `fetch_add` per
+//! sample, ~1.6% worst-case quantile error), so worker threads never
+//! contend at loadgen concurrency. The endpoint label map sits behind an
+//! `RwLock` taken for reading only; the rarely-touched aggregates
+//! (per-delta counters, stage total durations) keep a plain mutex.
+//!
+//! `GET /metrics` renders the same registry as Prometheus text (see
+//! `service::metrics_to_prometheus`); `GET /metrics.json` renders a
+//! [`MetricsSnapshot`].
 
 use hummer_core::StageTimings;
+use hummer_obs::{Histogram, HistogramSnapshot, HistogramVec};
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
-/// Per-endpoint latency samples kept for percentile estimates. A ring of the
-/// most recent samples bounds memory on long-lived servers.
-const LATENCY_RING: usize = 8192;
-
+/// Per-endpoint counters and the latency histogram (microsecond samples).
 #[derive(Debug, Default)]
-struct EndpointStats {
-    count: u64,
-    errors: u64,
-    latencies_us: Vec<u64>,
-    next_slot: usize,
+pub struct EndpointStats {
+    count: AtomicU64,
+    errors: AtomicU64,
+    latency: Histogram,
 }
 
 impl EndpointStats {
-    fn record(&mut self, latency: Duration, is_error: bool) {
-        self.count += 1;
+    fn record(&self, latency: Duration, is_error: bool) {
+        self.count.fetch_add(1, Ordering::Relaxed);
         if is_error {
-            self.errors += 1;
+            self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        if self.latencies_us.len() < LATENCY_RING {
-            self.latencies_us.push(us);
-        } else {
-            self.latencies_us[self.next_slot] = us;
-            self.next_slot = (self.next_slot + 1) % LATENCY_RING;
-        }
+        self.latency.record_duration(latency);
     }
 }
 
@@ -60,9 +59,9 @@ pub struct EndpointSnapshot {
     pub count: u64,
     /// Requests that ended in an error status.
     pub errors: u64,
-    /// Median latency in milliseconds over the recent window.
+    /// Median latency in milliseconds (log-bucketed, ≤ ~1.6% high).
     pub p50_ms: f64,
-    /// 99th-percentile latency in milliseconds over the recent window.
+    /// 99th-percentile latency in milliseconds (log-bucketed, ≤ ~1.6% high).
     pub p99_ms: f64,
 }
 
@@ -101,37 +100,45 @@ pub struct MetricsSnapshot {
     pub deltas: DeltaAggregate,
 }
 
-/// Thread-safe metrics registry.
+/// Thread-safe metrics registry. Recording latencies is lock-free after
+/// the first request per endpoint label.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    inner: Mutex<Inner>,
+    endpoints: RwLock<BTreeMap<String, Arc<EndpointStats>>>,
+    /// Stage latency histograms, labeled `[stage, layout, degree]`.
+    stage_hists: HistogramVec,
+    stages: Mutex<StageAggregate>,
+    deltas: Mutex<DeltaAggregate>,
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    endpoints: BTreeMap<String, EndpointStats>,
-    stages: StageAggregate,
-    deltas: DeltaAggregate,
-}
-
-/// Nearest-rank percentile over an unsorted sample; `p` in [0, 100]. The
-/// single percentile implementation in this crate — the server's `/metrics`
-/// and the loadgen client both report through it, so their p50/p99 can
-/// never silently diverge.
+/// Nearest-rank percentile over a sample set; `p` in [0, 100]. The single
+/// percentile implementation in this crate — the server's `/metrics` and
+/// the loadgen client both report through the same log-bucketed
+/// [`Histogram`], so their p50/p99 can never silently diverge. Values are
+/// bucketed at 1/1000 granularity (milliseconds in, microsecond buckets),
+/// so results are exact below 0.064 and within ~1.6% above.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    let h = Histogram::new();
+    for &v in samples {
+        h.record((v.max(0.0) * 1000.0).round() as u64);
+    }
+    h.snapshot().quantile(p / 100.0) as f64 / 1000.0
 }
 
-/// [`percentile`] over microsecond counters.
+/// [`percentile`] over already-integer (microsecond) counters: same
+/// histogram, no scaling.
 pub fn percentile_us(values: &[u64], p: f64) -> f64 {
-    let as_f64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
-    percentile(&as_f64, p)
+    if values.is_empty() {
+        return 0.0;
+    }
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot().quantile(p / 100.0) as f64
 }
 
 impl Metrics {
@@ -140,30 +147,51 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Shared handle to one endpoint's stats (created on first use).
+    fn endpoint(&self, endpoint: &str) -> Arc<EndpointStats> {
+        {
+            let map = self.endpoints.read().unwrap();
+            if let Some(stats) = map.get(endpoint) {
+                return Arc::clone(stats);
+            }
+        }
+        let mut map = self.endpoints.write().unwrap();
+        Arc::clone(map.entry(endpoint.to_string()).or_default())
+    }
+
     /// Record one served request.
     pub fn record_request(&self, endpoint: &str, latency: Duration, is_error: bool) {
-        let mut inner = self.inner.lock().unwrap();
-        inner
-            .endpoints
-            .entry(endpoint.to_string())
-            .or_default()
-            .record(latency, is_error);
+        self.endpoint(endpoint).record(latency, is_error);
     }
 
-    /// Record a preparation run (cache miss) with its stage timings.
-    pub fn record_prepare(&self, timings: &StageTimings) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.stages.prepares += 1;
-        inner.stages.totals.matching += timings.matching;
-        inner.stages.totals.transformation += timings.transformation;
-        inner.stages.totals.detection += timings.detection;
+    /// Record a preparation run (cache miss) with its stage timings, under
+    /// the layout/degree labels it ran with.
+    pub fn record_prepare(&self, timings: &StageTimings, layout: &str, degree: usize) {
+        let degree = degree_label(degree);
+        for (stage, d) in [
+            ("match", timings.matching),
+            ("transform", timings.transformation),
+            ("detect", timings.detection),
+        ] {
+            self.stage_hists
+                .with(&[stage, layout, degree])
+                .record_duration(d);
+        }
+        let mut stages = self.stages.lock().unwrap();
+        stages.prepares += 1;
+        stages.totals.matching += timings.matching;
+        stages.totals.transformation += timings.transformation;
+        stages.totals.detection += timings.detection;
     }
 
-    /// Record one fusion execution's wall time.
-    pub fn record_fusion(&self, fusion: Duration) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.stages.fusions += 1;
-        inner.stages.totals.fusion += fusion;
+    /// Record one fusion execution's wall time under its labels.
+    pub fn record_fusion(&self, fusion: Duration, layout: &str, degree: usize) {
+        self.stage_hists
+            .with(&["fuse", layout, degree_label(degree)])
+            .record_duration(fusion);
+        let mut stages = self.stages.lock().unwrap();
+        stages.fusions += 1;
+        stages.totals.fusion += fusion;
     }
 
     /// Record one applied delta batch and its cache-upgrade outcome.
@@ -176,41 +204,71 @@ impl Metrics {
         upgrade_failures: u64,
         full_rescores: u64,
     ) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.deltas.deltas += 1;
-        inner.deltas.rows_inserted += inserted;
-        inner.deltas.rows_updated += updated;
-        inner.deltas.rows_deleted += deleted;
-        inner.deltas.cache_upgrades += upgrades;
-        inner.deltas.cache_upgrade_failures += upgrade_failures;
-        inner.deltas.full_rescores += full_rescores;
+        let mut deltas = self.deltas.lock().unwrap();
+        deltas.deltas += 1;
+        deltas.rows_inserted += inserted;
+        deltas.rows_updated += updated;
+        deltas.rows_deleted += deleted;
+        deltas.cache_upgrades += upgrades;
+        deltas.cache_upgrade_failures += upgrade_failures;
+        deltas.full_rescores += full_rescores;
     }
 
     /// Snapshot all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().unwrap();
-        let mut endpoints = Vec::with_capacity(inner.endpoints.len());
+        let mut endpoints = Vec::new();
         let mut total_requests = 0;
         let mut total_errors = 0;
-        for (name, stats) in &inner.endpoints {
-            total_requests += stats.count;
-            total_errors += stats.errors;
+        for (name, count, errors, latency) in self.endpoint_histograms() {
+            total_requests += count;
+            total_errors += errors;
             endpoints.push(EndpointSnapshot {
-                endpoint: name.clone(),
-                count: stats.count,
-                errors: stats.errors,
-                p50_ms: percentile_us(&stats.latencies_us, 50.0) / 1e3,
-                p99_ms: percentile_us(&stats.latencies_us, 99.0) / 1e3,
+                endpoint: name,
+                count,
+                errors,
+                p50_ms: latency.quantile(0.5) as f64 / 1e3,
+                p99_ms: latency.quantile(0.99) as f64 / 1e3,
             });
         }
         MetricsSnapshot {
             total_requests,
             total_errors,
             endpoints,
-            stages: inner.stages,
-            deltas: inner.deltas,
+            stages: *self.stages.lock().unwrap(),
+            deltas: *self.deltas.lock().unwrap(),
         }
     }
+
+    /// Per-endpoint `(label, count, errors, latency-histogram)` rows,
+    /// sorted by label — the Prometheus exposition's request families.
+    pub fn endpoint_histograms(&self) -> Vec<(String, u64, u64, HistogramSnapshot)> {
+        let map = self.endpoints.read().unwrap();
+        map.iter()
+            .map(|(name, stats)| {
+                (
+                    name.clone(),
+                    stats.count.load(Ordering::Relaxed),
+                    stats.errors.load(Ordering::Relaxed),
+                    stats.latency.snapshot(),
+                )
+            })
+            .collect()
+    }
+
+    /// Stage latency histograms with their `[stage, layout, degree]`
+    /// labels, sorted by label values.
+    pub fn stage_histograms(&self) -> Vec<(Vec<String>, HistogramSnapshot)> {
+        self.stage_hists.snapshot()
+    }
+}
+
+/// Static label for a parallelism degree (avoids allocating per record for
+/// the common 1–16 range).
+fn degree_label(degree: usize) -> &'static str {
+    const LABELS: [&str; 17] = [
+        "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16",
+    ];
+    LABELS.get(degree).copied().unwrap_or("many")
 }
 
 #[cfg(test)]
@@ -246,14 +304,40 @@ mod tests {
             detection: Duration::from_millis(3),
             fusion: Duration::ZERO,
         };
-        m.record_prepare(&t);
-        m.record_prepare(&t);
-        m.record_fusion(Duration::from_millis(1));
+        m.record_prepare(&t, "row", 1);
+        m.record_prepare(&t, "row", 1);
+        m.record_fusion(Duration::from_millis(1), "row", 1);
         let s = m.snapshot().stages;
         assert_eq!(s.prepares, 2);
         assert_eq!(s.fusions, 1);
         assert_eq!(s.totals.matching, Duration::from_millis(10));
         assert_eq!(s.totals.fusion, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn stage_histograms_are_labeled() {
+        let m = Metrics::new();
+        let t = StageTimings {
+            matching: Duration::from_millis(5),
+            transformation: Duration::from_millis(2),
+            detection: Duration::from_millis(3),
+            fusion: Duration::ZERO,
+        };
+        m.record_prepare(&t, "columnar", 4);
+        m.record_fusion(Duration::from_millis(1), "row", 2);
+        let hists = m.stage_histograms();
+        let labels: Vec<&[String]> = hists.iter().map(|(l, _)| l.as_slice()).collect();
+        assert!(labels.contains(
+            &&[
+                "detect".to_string(),
+                "columnar".to_string(),
+                "4".to_string()
+            ][..]
+        ));
+        assert!(labels.contains(&&["fuse".to_string(), "row".to_string(), "2".to_string()][..]));
+        for (labels, snap) in &hists {
+            assert_eq!(snap.count(), 1, "{labels:?}");
+        }
     }
 
     #[test]
@@ -275,15 +359,45 @@ mod tests {
         assert_eq!(percentile_us(&[7], 99.0), 7.0);
         assert_eq!(percentile_us(&[3, 1, 2], 0.0), 1.0);
         assert_eq!(percentile_us(&[3, 1, 2], 100.0), 3.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // Sub-unit float samples keep millisecond precision through the
+        // microsecond-bucket shim.
+        assert!((percentile(&[0.003, 0.001, 0.002], 100.0) - 0.003).abs() < 1e-9);
+    }
+
+    /// The two shims agree with each other on the same data — the
+    /// inconsistency the old sort-based pair allowed (interpolating
+    /// differently per caller) is structurally gone.
+    #[test]
+    fn percentile_shims_agree() {
+        let us: Vec<u64> = (1..=500u64).map(|i| i * 37).collect();
+        let ms: Vec<f64> = us.iter().map(|&v| v as f64 / 1000.0).collect();
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            let a = percentile_us(&us, p);
+            let b = percentile(&ms, p) * 1000.0;
+            assert!((a - b).abs() < 1e-6, "p{p}: {a} vs {b}");
+        }
     }
 
     #[test]
-    fn latency_ring_bounds_memory() {
-        let mut stats = EndpointStats::default();
-        for i in 0..(LATENCY_RING as u64 + 100) {
-            stats.record(Duration::from_micros(i), false);
+    fn concurrent_recording_is_lossless() {
+        let m = Arc::new(Metrics::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        m.record_request("POST /query", Duration::from_micros(i), i % 7 == 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
         }
-        assert_eq!(stats.latencies_us.len(), LATENCY_RING);
-        assert_eq!(stats.count, LATENCY_RING as u64 + 100);
+        let snap = m.snapshot();
+        assert_eq!(snap.total_requests, 4000);
+        let q = &snap.endpoints[0];
+        assert_eq!(q.count, 4000);
     }
 }

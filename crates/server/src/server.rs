@@ -9,9 +9,16 @@
 //! | `DELETE /tables/{name}`      | deregister a table |
 //! | `GET /tables`                | list registered tables |
 //! | `POST /query`                | execute Fuse By SQL (raw text or `{"sql": …}`) |
-//! | `GET /metrics`               | request counts, p50/p99 latency, stage + cache + delta + store stats |
+//! | `GET /metrics`               | the whole registry in Prometheus text format |
+//! | `GET /metrics.json`          | request counts, p50/p99 latency, stage + cache + delta + store stats as JSON |
+//! | `GET /trace/{id}`            | span tree of a finished request (id from the `X-Hummer-Trace` header) |
 //! | `GET /healthz`               | liveness probe |
 //! | `POST /shutdown`             | graceful shutdown (finish in-flight, then exit) |
+//!
+//! When the service tracer is enabled (`hummer-serve` default), every
+//! response carries an `X-Hummer-Trace` header naming the request's trace
+//! id; `GET /trace/{id}` returns that request's span tree while it is
+//! still in the ring.
 //!
 //! With [`ServerConfig::data_dir`] set, the catalog is durable: every
 //! mutation is write-ahead-logged before it is acked, and `bind` recovers
@@ -28,9 +35,10 @@ use crate::http::{read_request, write_response, Request, Response};
 use crate::json::Json;
 use crate::pool::ThreadPool;
 use crate::service::{
-    delta_result_to_json, metrics_to_json, parse_delta, query_result_to_json, FusionService,
-    ServiceConfig, TableInfo,
+    delta_result_to_json, metrics_to_json, metrics_to_prometheus, parse_delta,
+    query_result_to_json, FusionService, ServiceConfig, TableInfo,
 };
+use hummer_obs::{Span, TraceNode, TraceTree};
 use hummer_store::{CatalogStore, StoreOptions};
 use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -222,10 +230,20 @@ fn handle_connection(stream: TcpStream, service: &FusionService, shutdown: &Shut
         let wants_close = request.wants_close();
         let endpoint = endpoint_label(&request);
         let started = Instant::now();
-        let mut response = match route(&request, service, shutdown) {
+        // One root span per request, named by its normalized endpoint; the
+        // service threads it through the pipeline so stage spans nest under
+        // it. Dropped *before* the response goes out, so a client that
+        // immediately asks `/trace/{id}` sees the complete tree.
+        let root = service.tracer().trace(endpoint.clone());
+        let trace_id = root.trace_id();
+        let mut response = match route(&request, service, shutdown, &root) {
             Ok(r) => r,
             Err(e) => error_response(&e, false),
         };
+        drop(root);
+        if let Some(id) = trace_id {
+            response = response.with_header("x-hummer-trace", format!("{id:016x}"));
+        }
         let is_error = response.status >= 400;
         service
             .metrics()
@@ -243,9 +261,12 @@ fn handle_connection(stream: TcpStream, service: &FusionService, shutdown: &Shut
 /// grow the metrics map (and its latency rings) without bound.
 fn endpoint_label(request: &Request) -> String {
     let route = match request.path.as_str() {
-        "/healthz" | "/tables" | "/query" | "/metrics" | "/shutdown" => request.path.as_str(),
+        "/healthz" | "/tables" | "/query" | "/metrics" | "/metrics.json" | "/shutdown" => {
+            request.path.as_str()
+        }
         p if p.starts_with("/tables/") && p.ends_with("/delta") => "/tables/{name}/delta",
         p if p.starts_with("/tables/") => "/tables/{name}",
+        p if p.starts_with("/trace/") => "/trace/{id}",
         _ => "{other}",
     };
     let method = match request.method.as_str() {
@@ -276,11 +297,42 @@ fn table_info_json(info: &TableInfo) -> Json {
         .with("version", info.version)
 }
 
-/// Dispatch one request.
+/// A trace tree as wire JSON: nested `{name, start_us, duration_us,
+/// counters, children}` objects under `{trace, orphans, roots}`.
+fn trace_node_json(node: &TraceNode) -> Json {
+    let mut counters = Json::object();
+    for (name, value) in &node.record.counters {
+        counters.push(name.as_ref(), Json::Int(*value as i64));
+    }
+    Json::object()
+        .with("name", node.record.name.to_string())
+        .with("start_us", node.record.start_us)
+        .with("duration_us", node.record.duration_us)
+        .with("counters", counters)
+        .with(
+            "children",
+            Json::Arr(node.children.iter().map(trace_node_json).collect()),
+        )
+}
+
+fn trace_tree_json(tree: &TraceTree) -> Json {
+    Json::object()
+        .with("trace", format!("{:016x}", tree.trace))
+        .with("span_count", tree.span_count())
+        .with("orphans", tree.orphans)
+        .with(
+            "roots",
+            Json::Arr(tree.roots.iter().map(trace_node_json).collect()),
+        )
+}
+
+/// Dispatch one request. `parent` is the per-request root span — stage
+/// spans of traced endpoints nest under it.
 fn route(
     request: &Request,
     service: &FusionService,
     shutdown: &ShutdownHandle,
+    parent: &Span,
 ) -> Result<Response> {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Ok(Response::json(
@@ -296,18 +348,33 @@ fn route(
                     .to_string_compact(),
             ))
         }
-        ("GET", "/metrics") => Ok(Response::json(
+        ("GET", "/metrics") => Ok(Response::text(200, metrics_to_prometheus(service))),
+        ("GET", "/metrics.json") => Ok(Response::json(
             200,
             metrics_to_json(service).to_string_compact(),
         )),
+        ("GET", path) if path.starts_with("/trace/") => {
+            let id_text = &path["/trace/".len()..];
+            let id = u64::from_str_radix(id_text, 16)
+                .map_err(|_| ServerError::BadRequest(format!("bad trace id `{id_text}`")))?;
+            let tree = service
+                .tracer()
+                .trace_tree(id)
+                .ok_or_else(|| ServerError::NotFound(format!("trace {id_text}")))?;
+            Ok(Response::json(
+                200,
+                trace_tree_json(&tree).to_string_compact(),
+            ))
+        }
         ("POST", "/query") => {
             let body = request.body_utf8()?;
             let sql = extract_sql(body, request.header("content-type"))?;
-            let result = service.query(&sql)?;
-            Ok(Response::json(
-                200,
-                query_result_to_json(&result).to_string_compact(),
-            ))
+            let result = service.query_traced(&sql, parent)?;
+            let mut serialize_span = parent.child("serialize");
+            let body = query_result_to_json(&result).to_string_compact();
+            serialize_span.count("bytes", body.len() as u64);
+            drop(serialize_span);
+            Ok(Response::json(200, body))
         }
         ("POST", "/shutdown") => {
             // Full shutdown (flag + acceptor wake): without the wake the
@@ -330,7 +397,7 @@ fn route(
         {
             let name = &path["/tables/".len()..path.len() - "/delta".len()];
             let delta = parse_delta(name, request.body_utf8()?)?;
-            let outcome = service.apply_delta(name, &delta)?;
+            let outcome = service.apply_delta_traced(name, &delta, parent)?;
             Ok(Response::json(
                 200,
                 delta_result_to_json(&outcome).to_string_compact(),
@@ -358,9 +425,11 @@ fn route(
             if path == "/healthz"
                 || path == "/tables"
                 || path == "/metrics"
+                || path == "/metrics.json"
                 || path == "/query"
                 || path == "/shutdown"
-                || path.starts_with("/tables/") =>
+                || path.starts_with("/tables/")
+                || path.starts_with("/trace/") =>
         {
             Err(ServerError::MethodNotAllowed(format!(
                 "{} {}",
@@ -435,32 +504,41 @@ mod tests {
             addr: "127.0.0.1:9".parse().unwrap(),
             flag: Arc::new(AtomicBool::new(false)),
         };
+        let noop = Span::noop();
         let req = |method: &str, path: &str, body: &[u8]| Request {
             method: method.into(),
             path: path.into(),
             headers: vec![],
             body: body.to_vec(),
         };
-        let ok = route(&req("GET", "/healthz", b""), &service, &shutdown).unwrap();
+        let ok = route(&req("GET", "/healthz", b""), &service, &shutdown, &noop).unwrap();
         assert_eq!(ok.status, 200);
-        let e = route(&req("GET", "/nope", b""), &service, &shutdown).unwrap_err();
+        let e = route(&req("GET", "/nope", b""), &service, &shutdown, &noop).unwrap_err();
         assert_eq!(e.status(), 404);
-        let e = route(&req("DELETE", "/query", b""), &service, &shutdown).unwrap_err();
+        let e = route(&req("DELETE", "/query", b""), &service, &shutdown, &noop).unwrap_err();
         assert_eq!(e.status(), 405);
         let e = route(
             &req("POST", "/query", b"SELECT * FROM Ghosts"),
             &service,
             &shutdown,
+            &noop,
         )
         .unwrap_err();
         assert_eq!(e.status(), 404);
-        let put = route(&req("PUT", "/tables/T", b"a,b\n1,2\n"), &service, &shutdown).unwrap();
+        let put = route(
+            &req("PUT", "/tables/T", b"a,b\n1,2\n"),
+            &service,
+            &shutdown,
+            &noop,
+        )
+        .unwrap();
         assert_eq!(put.status, 200);
         // Delta endpoint: applies and answers 200 with the new version.
         let d = route(
             &req("POST", "/tables/T/delta", br#"{"insert": [[3, 4]]}"#),
             &service,
             &shutdown,
+            &noop,
         )
         .unwrap();
         assert_eq!(d.status, 200);
@@ -471,31 +549,154 @@ mod tests {
             &req("POST", "/tables/Nope/delta", br#"{"delete": [0]}"#),
             &service,
             &shutdown,
+            &noop,
         )
         .unwrap_err();
         assert_eq!(e.status(), 404);
         // Degenerate delta paths (no table name) must not panic on the
         // name slice; they fall through to method-not-allowed.
         for degenerate in ["/tables/delta", "/tables//delta"] {
-            let e = route(&req("POST", degenerate, b"{}"), &service, &shutdown).unwrap_err();
+            let e = route(&req("POST", degenerate, b"{}"), &service, &shutdown, &noop).unwrap_err();
             assert_eq!(e.status(), 405, "{degenerate}");
         }
-        let e = route(&req("POST", "/tables/T/delta", b"{"), &service, &shutdown).unwrap_err();
+        let e = route(
+            &req("POST", "/tables/T/delta", b"{"),
+            &service,
+            &shutdown,
+            &noop,
+        )
+        .unwrap_err();
         assert_eq!(e.status(), 400);
         // Deregistration: 200 with the final shape, then 404 on repeat.
-        let del = route(&req("DELETE", "/tables/T", b""), &service, &shutdown).unwrap();
+        let del = route(&req("DELETE", "/tables/T", b""), &service, &shutdown, &noop).unwrap();
         assert_eq!(del.status, 200);
         let body = String::from_utf8(del.body.clone()).unwrap();
         assert!(body.contains("\"deleted\":true"), "{body}");
-        let e = route(&req("DELETE", "/tables/T", b""), &service, &shutdown).unwrap_err();
+        let e = route(&req("DELETE", "/tables/T", b""), &service, &shutdown, &noop).unwrap_err();
         assert_eq!(e.status(), 404);
         // A bare DELETE /tables/ (no name) is method-not-allowed, not a panic.
-        let e = route(&req("DELETE", "/tables/", b""), &service, &shutdown).unwrap_err();
+        let e = route(&req("DELETE", "/tables/", b""), &service, &shutdown, &noop).unwrap_err();
         assert_eq!(e.status(), 405);
         assert!(!shutdown.is_requested());
-        let bye = route(&req("POST", "/shutdown", b""), &service, &shutdown).unwrap();
+        let bye = route(&req("POST", "/shutdown", b""), &service, &shutdown, &noop).unwrap();
         assert_eq!(bye.status, 200);
         assert!(bye.close);
         assert!(shutdown.is_requested());
+    }
+
+    #[test]
+    fn metrics_routes_and_trace_endpoint() {
+        use crate::service::ServiceConfig;
+        use hummer_core::ObsConfig;
+        let mut config = ServiceConfig::narrow_schema();
+        config.pipeline.obs = ObsConfig::enabled(4096);
+        let service = FusionService::new(config);
+        service
+            .put_table("A", "Name,Age\nJohn Smith,24\nMary Jones,22\n")
+            .unwrap();
+        service
+            .put_table("B", "Name,Age\nJohn Smith,25\nAda Lovelace,28\n")
+            .unwrap();
+        let shutdown = ShutdownHandle {
+            addr: "127.0.0.1:9".parse().unwrap(),
+            flag: Arc::new(AtomicBool::new(false)),
+        };
+        let req = |method: &str, path: &str, body: &[u8]| Request {
+            method: method.into(),
+            path: path.into(),
+            headers: vec![],
+            body: body.to_vec(),
+        };
+
+        // A traced query: stage spans nest under the request root.
+        let root = service.tracer().trace("POST /query");
+        let trace_id = root.trace_id().unwrap();
+        let r = route(
+            &req(
+                "POST",
+                "/query",
+                b"SELECT Name FUSE FROM A, B FUSE BY (objectID)",
+            ),
+            &service,
+            &shutdown,
+            &root,
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+        drop(root);
+
+        // The trace endpoint returns the assembled tree.
+        let t = route(
+            &req("GET", &format!("/trace/{trace_id:016x}"), b""),
+            &service,
+            &shutdown,
+            &Span::noop(),
+        )
+        .unwrap();
+        let tree = Json::parse(std::str::from_utf8(&t.body).unwrap()).unwrap();
+        let roots = tree.get("roots").unwrap().as_array().unwrap();
+        assert_eq!(roots.len(), 1, "one request root, no orphans");
+        let names: Vec<&str> = roots[0]
+            .get("children")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|c| c.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"prepare"), "{names:?}");
+        assert!(names.contains(&"fuse"), "{names:?}");
+        assert!(names.contains(&"serialize"), "{names:?}");
+
+        // Unknown and malformed trace ids.
+        let e = route(
+            &req("GET", "/trace/ffffffffffffffff", b""),
+            &service,
+            &shutdown,
+            &Span::noop(),
+        )
+        .unwrap_err();
+        assert_eq!(e.status(), 404);
+        let e = route(
+            &req("GET", "/trace/not-hex", b""),
+            &service,
+            &shutdown,
+            &Span::noop(),
+        )
+        .unwrap_err();
+        assert_eq!(e.status(), 400);
+
+        // /metrics is Prometheus text; /metrics.json is the JSON document.
+        let m = route(
+            &req("GET", "/metrics", b""),
+            &service,
+            &shutdown,
+            &Span::noop(),
+        )
+        .unwrap();
+        assert!(m.content_type.starts_with("text/plain"));
+        let text = String::from_utf8(m.body).unwrap();
+        assert!(
+            text.contains("# TYPE hummer_stage_seconds histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hummer_stage_seconds_bucket{stage=\"detect\""),
+            "{text}"
+        );
+        assert!(
+            text.contains("hummer_prepared_cache_misses_total 1"),
+            "{text}"
+        );
+        let j = route(
+            &req("GET", "/metrics.json", b""),
+            &service,
+            &shutdown,
+            &Span::noop(),
+        )
+        .unwrap();
+        assert_eq!(j.content_type, "application/json");
+        let doc = Json::parse(std::str::from_utf8(&j.body).unwrap()).unwrap();
+        assert!(doc.get("prepared_cache").is_some());
     }
 }

@@ -17,10 +17,13 @@ use crate::cache::{CacheStats, PreparedCache, PreparedKey};
 use crate::error::{Result, ServerError};
 use crate::json::Json;
 use crate::metrics::Metrics;
-use hummer_core::{prepare_tables, HummerConfig, PreparedSources, RowMapping, StageTimings};
+use hummer_core::{
+    prepare_tables_traced, ExecutionLayout, HummerConfig, PreparedSources, RowMapping, StageTimings,
+};
 use hummer_delta::{concat_mappings, DeltaError, TableDelta};
 use hummer_engine::{csv, Table, Value};
 use hummer_fusion::FunctionRegistry;
+use hummer_obs::{Histogram, PromText, Span, Tracer};
 use hummer_query::{
     execute, execute_combined_par, parse, FuseQuery, QueryOutput, VersionedTableSet,
 };
@@ -265,6 +268,34 @@ impl FusionService {
         &self.metrics
     }
 
+    /// The service tracer — the same instance the pipeline stages record
+    /// into (it rides on `HummerConfig::obs`), so a per-request root span
+    /// created here parents every stage span of that request.
+    pub fn tracer(&self) -> &Tracer {
+        &self.config.obs.tracer
+    }
+
+    /// The `stage_seconds` label value for the configured execution layout.
+    pub fn layout_label(&self) -> &'static str {
+        match self.config.layout {
+            ExecutionLayout::Row => "row",
+            ExecutionLayout::Columnar => "columnar",
+        }
+    }
+
+    /// The configured intra-query parallelism degree.
+    pub fn degree(&self) -> usize {
+        self.config.parallelism.get()
+    }
+
+    /// The WAL-commit fsync latency histogram, when a store is attached.
+    /// `Arc`-shared so `/metrics` reads it without holding the store lock.
+    pub fn store_fsync_histogram(&self) -> Option<Arc<Histogram>> {
+        self.store
+            .as_ref()
+            .map(|s| s.lock().unwrap().fsync_histogram())
+    }
+
     /// Prepared-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().unwrap().stats()
@@ -375,6 +406,17 @@ impl FusionService {
     /// fusion queries over the updated sources therefore hit the cache —
     /// no cold re-prepare.
     pub fn apply_delta(&self, name: &str, delta: &TableDelta) -> Result<DeltaApplyResult> {
+        self.apply_delta_traced(name, delta, &Span::noop())
+    }
+
+    /// [`FusionService::apply_delta`] recording cache-upgrade work as child
+    /// spans of `parent` (the HTTP layer's per-request span).
+    pub fn apply_delta_traced(
+        &self,
+        name: &str,
+        delta: &TableDelta,
+        parent: &Span,
+    ) -> Result<DeltaApplyResult> {
         let counts = delta.counts();
         // Catalog swap under the write lock (delta application is linear).
         // When durable, the delta is WAL-logged — as the TableDelta itself —
@@ -437,8 +479,17 @@ impl FusionService {
         let mut upgraded = 0u64;
         let mut failures = 0u64;
         let mut full_rescores = 0u64;
+        let mut upgrade_span = parent.child("upgrade");
         for (key, artifacts) in candidates {
-            match self.upgrade_entry(&key, &artifacts, &lname, info.version, &new_table, &mapping) {
+            match self.upgrade_entry(
+                &key,
+                &artifacts,
+                &lname,
+                info.version,
+                &new_table,
+                &mapping,
+                &upgrade_span,
+            ) {
                 Ok(Some(full_rescore)) => {
                     upgraded += 1;
                     full_rescores += u64::from(full_rescore);
@@ -447,6 +498,10 @@ impl FusionService {
                 Err(_) => failures += 1,
             }
         }
+        upgrade_span.count("cache_upgrades", upgraded);
+        upgrade_span.count("cache_upgrade_failures", failures);
+        upgrade_span.count("full_rescores", full_rescores);
+        drop(upgrade_span);
         self.metrics.record_delta(
             counts.inserted as u64,
             counts.updated as u64,
@@ -470,6 +525,7 @@ impl FusionService {
     /// `Ok(Some(full_rescore))` on success, `Ok(None)` when the entry is
     /// unrecoverably stale (another referenced source changed meanwhile, or
     /// a concurrent delta already superseded `new_version`).
+    #[allow(clippy::too_many_arguments)]
     fn upgrade_entry(
         &self,
         key: &PreparedKey,
@@ -478,6 +534,7 @@ impl FusionService {
         new_version: u64,
         new_table: &Arc<Table>,
         mapping: &RowMapping,
+        parent: &Span,
     ) -> Result<Option<bool>> {
         let mut tables: Vec<Arc<Table>> = Vec::with_capacity(key.len());
         let mut per_source: Vec<RowMapping> = Vec::with_capacity(key.len());
@@ -515,7 +572,8 @@ impl FusionService {
         }
         let union_mapping = concat_mappings(&per_source)?;
         let refs: Vec<&Table> = tables.iter().map(|t| t.as_ref()).collect();
-        let (upgraded, report) = artifacts.apply_delta(&refs, &union_mapping, &self.config)?;
+        let (upgraded, report) =
+            artifacts.apply_delta_traced(&refs, &union_mapping, &self.config, parent)?;
         self.cache
             .lock()
             .unwrap()
@@ -547,9 +605,15 @@ impl FusionService {
 
     /// Parse and execute one Fuse By SQL statement.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.query_traced(sql, &Span::noop())
+    }
+
+    /// [`FusionService::query`] recording pipeline stage spans (and
+    /// prepared-cache counters) as children of `parent`.
+    pub fn query_traced(&self, sql: &str, parent: &Span) -> Result<QueryResult> {
         let q = parse(sql)?;
         if q.from.fuse {
-            self.fusion_query(&q)
+            self.fusion_query(&q, parent)
         } else {
             self.plain_query(&q)
         }
@@ -571,7 +635,7 @@ impl FusionService {
 
     /// `FUSE FROM`: run (or reuse) the prepared pipeline over the referenced
     /// sources, then execute the query against the annotated union.
-    fn fusion_query(&self, q: &FuseQuery) -> Result<QueryResult> {
+    fn fusion_query(&self, q: &FuseQuery, parent: &Span) -> Result<QueryResult> {
         // Snapshot the referenced tables + versions under the read lock.
         let (key, tables): (PreparedKey, Vec<Arc<Table>>) = {
             let catalog = self.catalog.read().unwrap();
@@ -587,7 +651,8 @@ impl FusionService {
             (key, tables)
         };
 
-        let (artifacts, hit) = self.prepared_for(&key, &tables)?;
+        let (artifacts, hit) = self.prepared_for(&key, &tables, parent)?;
+        let mut fuse_span = parent.child("fuse");
         let t0 = Instant::now();
         // The same per-request degree the prepare stages use: the worker
         // pool provides inter-query concurrency, `config.parallelism`
@@ -600,7 +665,17 @@ impl FusionService {
             self.config.parallelism,
         )?;
         let execute_time = t0.elapsed();
-        self.metrics.record_fusion(execute_time);
+        if fuse_span.is_recording() {
+            fuse_span.count("result_rows", output.table.len() as u64);
+            if let Some(info) = &output.fusion {
+                fuse_span.count("fused_rows", info.fused_table.len() as u64);
+                fuse_span.count("conflicts", info.conflict_count as u64);
+            }
+            fuse_span.count("degree", self.config.parallelism.get() as u64);
+        }
+        drop(fuse_span);
+        self.metrics
+            .record_fusion(execute_time, self.layout_label(), self.degree());
         Ok(QueryResult {
             output,
             cache_hit: Some(hit),
@@ -618,13 +693,21 @@ impl FusionService {
         &self,
         key: &PreparedKey,
         tables: &[Arc<Table>],
+        parent: &Span,
     ) -> Result<(Arc<PreparedSources>, bool)> {
         if let Some(found) = self.cache.lock().unwrap().get(key) {
+            if parent.is_recording() {
+                parent.child("prepare").count("cache_hits", 1);
+            }
             return Ok((found, true));
         }
         let refs: Vec<&Table> = tables.iter().map(|t| t.as_ref()).collect();
-        let prepared = Arc::new(prepare_tables(&refs, &self.config)?);
-        self.metrics.record_prepare(&prepared.timings);
+        let mut prepare_span = parent.child("prepare");
+        prepare_span.count("cache_misses", 1);
+        let prepared = Arc::new(prepare_tables_traced(&refs, &self.config, &prepare_span)?);
+        drop(prepare_span);
+        self.metrics
+            .record_prepare(&prepared.timings, self.layout_label(), self.degree());
         self.cache
             .lock()
             .unwrap()
@@ -789,10 +872,218 @@ pub fn metrics_to_json(service: &FusionService) -> Json {
                 .with("wal_records", store.wal_records)
                 .with("snapshots_written", store.snapshots_written)
                 .with("recovery_ms", store.recovery_ms)
-                .with("fsync", store.fsync),
+                .with("fsync", store.fsync)
+                .with("fsyncs", store.fsyncs),
         );
     }
     doc
+}
+
+/// The `GET /metrics` response body: the whole registry in Prometheus text
+/// exposition format — request counters and latency histograms per
+/// endpoint, stage histograms labeled `(stage, layout, degree)`,
+/// prepared-cache and delta counters, durable-store gauges (including the
+/// WAL fsync latency histogram), intra-query fork totals, and the trace
+/// ring's occupancy.
+pub fn metrics_to_prometheus(service: &FusionService) -> String {
+    let mut out = PromText::new();
+    let endpoints = service.metrics().endpoint_histograms();
+
+    out.header(
+        "hummer_requests_total",
+        "Requests served, by endpoint.",
+        "counter",
+    );
+    for (endpoint, count, _, _) in &endpoints {
+        out.sample(
+            "hummer_requests_total",
+            &[("endpoint", endpoint)],
+            *count as f64,
+        );
+    }
+    out.header(
+        "hummer_request_errors_total",
+        "Requests that returned an error status, by endpoint.",
+        "counter",
+    );
+    for (endpoint, _, errors, _) in &endpoints {
+        out.sample(
+            "hummer_request_errors_total",
+            &[("endpoint", endpoint)],
+            *errors as f64,
+        );
+    }
+    out.header(
+        "hummer_request_seconds",
+        "End-to-end request latency, by endpoint.",
+        "histogram",
+    );
+    for (endpoint, _, _, latency) in &endpoints {
+        out.histogram_us(
+            "hummer_request_seconds",
+            &[("endpoint", endpoint)],
+            latency,
+            None,
+        );
+    }
+
+    out.header(
+        "hummer_stage_seconds",
+        "Pipeline stage latency, by stage, execution layout, and parallelism degree.",
+        "histogram",
+    );
+    for (labels, snap) in &service.metrics().stage_histograms() {
+        out.histogram_us(
+            "hummer_stage_seconds",
+            &[
+                ("stage", &labels[0]),
+                ("layout", &labels[1]),
+                ("degree", &labels[2]),
+            ],
+            snap,
+            None,
+        );
+    }
+
+    let cache = service.cache_stats();
+    let snap = service.metrics().snapshot();
+    for (name, help, value) in [
+        (
+            "hummer_prepared_cache_hits_total",
+            "Prepared-pipeline cache hits.",
+            cache.hits as f64,
+        ),
+        (
+            "hummer_prepared_cache_misses_total",
+            "Prepared-pipeline cache misses (cold prepares).",
+            cache.misses as f64,
+        ),
+        (
+            "hummer_prepared_cache_evictions_total",
+            "Prepared-pipeline cache LRU evictions.",
+            cache.evictions as f64,
+        ),
+        (
+            "hummer_prepared_cache_upgrades_total",
+            "Prepared entries upgraded in place by deltas.",
+            snap.deltas.cache_upgrades as f64,
+        ),
+        (
+            "hummer_prepared_cache_upgrade_failures_total",
+            "Delta upgrades that failed (entry dropped).",
+            snap.deltas.cache_upgrade_failures as f64,
+        ),
+        (
+            "hummer_deltas_applied_total",
+            "Delta batches applied.",
+            snap.deltas.deltas as f64,
+        ),
+        (
+            "hummer_deltas_rows_inserted_total",
+            "Rows inserted by deltas.",
+            snap.deltas.rows_inserted as f64,
+        ),
+        (
+            "hummer_deltas_rows_updated_total",
+            "Rows updated by deltas.",
+            snap.deltas.rows_updated as f64,
+        ),
+        (
+            "hummer_deltas_rows_deleted_total",
+            "Rows deleted by deltas.",
+            snap.deltas.rows_deleted as f64,
+        ),
+        (
+            "hummer_deltas_full_rescores_total",
+            "Delta upgrades that degraded to a full rescore.",
+            snap.deltas.full_rescores as f64,
+        ),
+        (
+            "hummer_par_forks_total",
+            "Scoped worker threads forked for intra-query parallelism.",
+            hummer_par::forked_threads_total() as f64,
+        ),
+    ] {
+        out.header(name, help, "counter");
+        out.sample(name, &[], value);
+    }
+    out.header(
+        "hummer_prepared_cache_entries",
+        "Prepared-pipeline cache live entries.",
+        "gauge",
+    );
+    out.sample("hummer_prepared_cache_entries", &[], cache.entries as f64);
+
+    if let Some(store) = service.store_stats() {
+        for (name, help, kind, value) in [
+            (
+                "hummer_store_generation",
+                "Live snapshot generation.",
+                "gauge",
+                store.generation as f64,
+            ),
+            (
+                "hummer_store_wal_bytes",
+                "Current WAL size in bytes.",
+                "gauge",
+                store.wal_bytes as f64,
+            ),
+            (
+                "hummer_store_wal_records",
+                "Records in the current WAL.",
+                "gauge",
+                store.wal_records as f64,
+            ),
+            (
+                "hummer_store_snapshots_total",
+                "Snapshots written by this process (compactions).",
+                "counter",
+                store.snapshots_written as f64,
+            ),
+            (
+                "hummer_store_recovery_seconds",
+                "Wall time of the most recent open+recover.",
+                "gauge",
+                store.recovery_ms / 1e3,
+            ),
+            (
+                "hummer_store_fsyncs_total",
+                "WAL commit fsyncs issued.",
+                "counter",
+                store.fsyncs as f64,
+            ),
+        ] {
+            out.header(name, help, kind);
+            out.sample(name, &[], value);
+        }
+        if let Some(hist) = service.store_fsync_histogram() {
+            out.header(
+                "hummer_store_fsync_seconds",
+                "WAL commit fsync latency.",
+                "histogram",
+            );
+            out.histogram_us("hummer_store_fsync_seconds", &[], &hist.snapshot(), None);
+        }
+    }
+
+    let tracer = service.tracer();
+    out.header(
+        "hummer_trace_spans",
+        "Span records currently held in the trace ring.",
+        "gauge",
+    );
+    out.sample("hummer_trace_spans", &[], tracer.span_count() as f64);
+    out.header(
+        "hummer_trace_spans_dropped_total",
+        "Span records evicted from the trace ring.",
+        "counter",
+    );
+    out.sample(
+        "hummer_trace_spans_dropped_total",
+        &[],
+        tracer.dropped_spans() as f64,
+    );
+    out.finish()
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! graceful shutdown.
 
 use hummer_server::loadgen::{http_request, run_load, Client, LoadConfig};
-use hummer_server::{HummerServer, Json, ServerConfig, ServiceConfig};
+use hummer_server::{HummerServer, Json, ObsConfig, ServerConfig, ServiceConfig};
 use std::thread;
 
 const EE_CSV: &[u8] =
@@ -14,11 +14,16 @@ const PAPER_QUERY: &[u8] =
     b"SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)";
 
 /// Start a server on an ephemeral port; returns (addr, shutdown closure).
+///
+/// Tracing is on (as `hummer-serve` runs by default), so every response
+/// carries `X-Hummer-Trace` and the tests exercise the instrumented path.
 fn start_server(threads: usize) -> (String, impl FnOnce()) {
+    let mut service = ServiceConfig::narrow_schema();
+    service.pipeline.obs = ObsConfig::enabled(4096);
     start_server_with(ServerConfig {
         addr: "127.0.0.1:0".into(),
         threads,
-        service: ServiceConfig::narrow_schema(),
+        service,
         ..ServerConfig::default()
     })
 }
@@ -91,13 +96,24 @@ fn upload_query_metrics_shutdown() {
     assert_eq!(doc.get("cache").unwrap().as_str(), Some("hit"));
 
     // Metrics reflect all of the above.
-    let (status, body) = http_request(&addr, "GET", "/metrics", "text/plain", b"").unwrap();
+    let (status, body) = http_request(&addr, "GET", "/metrics.json", "text/plain", b"").unwrap();
     assert_eq!(status, 200);
     let m = Json::parse(&body).unwrap();
     assert!(m.get("total_requests").unwrap().as_i64().unwrap() >= 6);
     let cache = m.get("prepared_cache").unwrap();
     assert_eq!(cache.get("misses").unwrap().as_i64(), Some(1));
     assert_eq!(cache.get("hits").unwrap().as_i64(), Some(2));
+
+    // The same registry in Prometheus text exposition on /metrics.
+    let (status, prom) = http_request(&addr, "GET", "/metrics", "text/plain", b"").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        prom.contains("# TYPE hummer_requests_total counter"),
+        "{prom}"
+    );
+    assert!(prom.contains("hummer_requests_total{endpoint=\"POST /query\"}"));
+    assert!(prom.contains("# TYPE hummer_stage_seconds histogram"));
+    assert!(prom.contains("hummer_prepared_cache_hits_total 2"));
 
     stop();
 }
@@ -140,6 +156,21 @@ fn keep_alive_connection_serves_many_requests() {
         assert_eq!(status, 200);
         assert!(body.contains("\"row_count\":4"));
     }
+
+    // Every response carries X-Hummer-Trace; the span tree for that id is
+    // immediately fetchable and rooted at the request's endpoint label.
+    let (status, _, trace) = client
+        .request_traced("POST", "/query", "text/plain", PAPER_QUERY)
+        .unwrap();
+    assert_eq!(status, 200);
+    let trace = trace.expect("response carries X-Hummer-Trace");
+    let (status, body) =
+        http_request(&addr, "GET", &format!("/trace/{trace}"), "text/plain", b"").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let tree = Json::parse(&body).unwrap();
+    assert_eq!(tree.get("trace").unwrap().as_str(), Some(trace.as_str()));
+    assert!(tree.get("span_count").unwrap().as_i64().unwrap() >= 2);
+    assert!(body.contains("POST /query"), "{body}");
     stop();
 }
 
@@ -202,8 +233,8 @@ fn delta_over_http_upgrades_cache_and_mixed_load_runs() {
     assert_eq!(report.ok, 40);
     assert_eq!(report.updates_ok, 10);
 
-    // Delta counters surfaced in /metrics.
-    let (_, body) = http_request(&addr, "GET", "/metrics", "text/plain", b"").unwrap();
+    // Delta counters surfaced in /metrics.json.
+    let (_, body) = http_request(&addr, "GET", "/metrics.json", "text/plain", b"").unwrap();
     let m = Json::parse(&body).unwrap();
     let deltas = m.get("deltas").unwrap();
     assert_eq!(deltas.get("applied").unwrap().as_i64(), Some(11));
@@ -229,7 +260,7 @@ fn concurrent_load_is_consistent() {
     assert!(report.p99_ms >= report.p50_ms);
     // At most a few cold misses (concurrent first arrivals may race), then
     // everything hits.
-    let (_, body) = http_request(&addr, "GET", "/metrics", "text/plain", b"").unwrap();
+    let (_, body) = http_request(&addr, "GET", "/metrics.json", "text/plain", b"").unwrap();
     let m = Json::parse(&body).unwrap();
     let hits = m
         .get("prepared_cache")
@@ -303,8 +334,8 @@ fn durable_server_recovers_catalog_across_restart() {
     assert_eq!(result_of(&after), result_of(&before));
     assert!(after.contains("\"row_count\":5"), "{after}");
 
-    // The store section (wal_bytes, recovery_ms, ...) is on /metrics.
-    let (_, body) = http_request(&addr, "GET", "/metrics", "text/plain", b"").unwrap();
+    // The store section (wal_bytes, recovery_ms, ...) is on /metrics.json.
+    let (_, body) = http_request(&addr, "GET", "/metrics.json", "text/plain", b"").unwrap();
     let store = Json::parse(&body).unwrap().get("store").cloned().unwrap();
     assert!(store.get("recovery_ms").unwrap().as_f64().is_some());
     assert!(store.get("wal_records").unwrap().as_i64().unwrap() >= 3);

@@ -32,10 +32,12 @@ use crate::snapshot::{
 use crate::wal::{self, WalRecord, WAL_HEADER_LEN};
 use hummer_delta::TableDelta;
 use hummer_engine::Table;
+use hummer_obs::Histogram;
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Store tuning knobs.
@@ -106,6 +108,9 @@ pub struct StoreStats {
     pub recovery_ms: f64,
     /// Whether commits fsync.
     pub fsync: bool,
+    /// WAL commit fsyncs issued by this process (snapshot/rotation syncs
+    /// not included; 0 when `fsync` is off).
+    pub fsyncs: u64,
 }
 
 /// The durable catalog store. See the module docs for the on-disk layout
@@ -122,6 +127,12 @@ pub struct CatalogStore {
     wal_records: u64,
     snapshots_written: u64,
     recovery_ms: f64,
+    /// WAL commit fsyncs issued by this process.
+    fsyncs: u64,
+    /// Latency of each WAL commit fsync, in microseconds. Shared (via
+    /// [`CatalogStore::fsync_histogram`]) with the server's `/metrics`
+    /// exposition; recording is lock-free.
+    fsync_hist: Arc<Histogram>,
     /// Set when a failed append left a partial frame that could not be
     /// truncated away; all further writes are refused (see
     /// [`StoreError::Poisoned`]).
@@ -307,6 +318,8 @@ impl CatalogStore {
             wal_records: replayed_records,
             snapshots_written: 0,
             recovery_ms,
+            fsyncs: 0,
+            fsync_hist: Arc::new(Histogram::new()),
             poisoned: false,
             _lock: lock,
         };
@@ -336,7 +349,16 @@ impl CatalogStore {
             snapshots_written: self.snapshots_written,
             recovery_ms: self.recovery_ms,
             fsync: self.options.fsync,
+            fsyncs: self.fsyncs,
         }
+    }
+
+    /// Shared handle to the WAL-commit fsync latency histogram
+    /// (microsecond samples). The server exposes it as
+    /// `hummer_store_fsync_seconds`; recording is lock-free, so holding
+    /// the handle outside the catalog lock is safe.
+    pub fn fsync_histogram(&self) -> Arc<Histogram> {
+        Arc::clone(&self.fsync_hist)
     }
 
     /// Hand out the next content version (for callers without their own
@@ -386,6 +408,7 @@ impl CatalogStore {
             });
         }
         let framed = wal::frame(&payload);
+        let mut fsync_elapsed = None;
         let write = self
             .wal
             .write_all(&framed)
@@ -397,13 +420,22 @@ impl CatalogStore {
             })
             .and_then(|()| {
                 if self.options.fsync {
-                    self.wal
+                    let t0 = Instant::now();
+                    let synced = self
+                        .wal
                         .sync_data()
-                        .map_err(|e| StoreError::io("fsync", &self.wal_file_path, e))
+                        .map_err(|e| StoreError::io("fsync", &self.wal_file_path, e));
+                    fsync_elapsed = Some(t0.elapsed());
+                    synced
                 } else {
                     Ok(())
                 }
             });
+        if let Some(elapsed) = fsync_elapsed {
+            // Count failed fsyncs too — a stalling disk should be visible.
+            self.fsyncs += 1;
+            self.fsync_hist.record_duration(elapsed);
+        }
         if let Err(e) = write {
             // The file may hold a partial (or complete-but-unacked) frame.
             // Truncate back to the last durable record so later successful

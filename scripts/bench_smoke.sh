@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# Smoke-test the columnar execution layer: run the exp13 gate binary, which
-# (1) asserts byte-identity between the row and columnar paths across every
-# scenario world, layout, and parallelism degree 1-4, (2) enforces the
-# >= 1.5x single-thread columnar speedup on large-world pair scoring, and
-# (3) writes BENCH_columnar.json. The script then sanity-checks the report.
+# Smoke-test the performance gates:
+#  - exp13: byte-identity between the row and columnar paths across every
+#    scenario world, layout, and parallelism degree 1-4, plus the >= 1.5x
+#    single-thread columnar speedup on large-world pair scoring
+#    (writes BENCH_columnar.json);
+#  - exp14: the observability contract — the fully-instrumented pipeline
+#    (stage spans + counters) within 3% of bare wall time on the 10k-row
+#    person_scale world, bit-identical output (writes BENCH_observability.json).
+# The script then sanity-checks both reports.
 set -euo pipefail
 
 BIN=${BIN:-./target/release/exp13_columnar}
+OBS_BIN=${OBS_BIN:-./target/release/exp14_observability}
 
 [ -x "$BIN" ] || { echo "missing $BIN (build with: cargo build --release -p hummer_bench --bin exp13_columnar)"; exit 1; }
+[ -x "$OBS_BIN" ] || { echo "missing $OBS_BIN (build with: cargo build --release -p hummer_bench --bin exp14_observability)"; exit 1; }
 
 "$BIN"
 
@@ -19,4 +25,13 @@ grep -q '"identical_between_layouts": *true' "$REPORT" \
 grep -q '"passed": *true' "$REPORT" \
     || { echo "scoring gate not passed:"; cat "$REPORT"; exit 1; }
 
-echo "bench smoke test OK ($REPORT)"
+"$OBS_BIN"
+
+OBS_REPORT=BENCH_observability.json
+[ -f "$OBS_REPORT" ] || { echo "$OBS_REPORT was not written"; exit 1; }
+grep -q '"passed": *true' "$OBS_REPORT" \
+    || { echo "observability overhead gate not passed:"; cat "$OBS_REPORT"; exit 1; }
+grep -q '"identical": *true' "$OBS_REPORT" \
+    || { echo "report does not record instrumented/bare identity:"; cat "$OBS_REPORT"; exit 1; }
+
+echo "bench smoke test OK ($REPORT, $OBS_REPORT)"

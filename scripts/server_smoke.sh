@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Smoke-test a release build of hummer-serve: start it on an ephemeral-ish
 # port, upload the paper's two student tables, run the paper's FUSE query,
-# assert HTTP 200 and the fused row count, then shut down gracefully.
-# A second section exercises durability: --data-dir, kill -9, restart on the
-# same directory, byte-identical fusion result, recovery_ms in /metrics.
+# assert HTTP 200 and the fused row count, scrape the Prometheus /metrics
+# exposition and a per-request /trace/{id} span tree, then shut down
+# gracefully. A second section exercises durability: --data-dir, kill -9,
+# restart on the same directory, byte-identical fusion result, recovery
+# stats in /metrics.json and on the Prometheus exposition.
 set -euo pipefail
 
 BIN=${BIN:-./target/release/hummer-serve}
@@ -57,9 +59,38 @@ code=$(curl -s -o /tmp/query2.json -w '%{http_code}' -X POST "http://${ADDR}/que
 grep -q '"row_count":5' /tmp/query2.json || { echo "delta not reflected:"; cat /tmp/query2.json; exit 1; }
 grep -q '"cache":"hit"' /tmp/query2.json || { echo "expected an upgraded-cache hit:"; cat /tmp/query2.json; exit 1; }
 
-# Delta counters are visible in /metrics.
-curl -sf "http://${ADDR}/metrics" | grep -q '"cache_upgrades":1' \
-    || { echo "delta counters missing from /metrics"; exit 1; }
+# Delta counters are visible in /metrics.json.
+curl -sf "http://${ADDR}/metrics.json" | grep -q '"cache_upgrades":1' \
+    || { echo "delta counters missing from /metrics.json"; exit 1; }
+
+# /metrics is Prometheus text: after the query and the delta above, the
+# stage histograms and the delta counters must be present.
+curl -sf "http://${ADDR}/metrics" -o /tmp/prom.txt
+for want in \
+    '# TYPE hummer_stage_seconds histogram' \
+    'hummer_stage_seconds_bucket{stage="detect"' \
+    'hummer_stage_seconds_bucket{stage="fuse"' \
+    'hummer_request_seconds_bucket{endpoint="POST /query"' \
+    'hummer_prepared_cache_misses_total 1' \
+    'hummer_deltas_applied_total 1' \
+    'hummer_trace_spans'
+do
+    grep -qF "$want" /tmp/prom.txt \
+        || { echo "Prometheus exposition missing: $want"; cat /tmp/prom.txt; exit 1; }
+done
+
+# Every response carries X-Hummer-Trace; its span tree is served on
+# /trace/{id} and covers the whole request (root named after the endpoint).
+trace=$(curl -s -D - -o /dev/null -X POST "http://${ADDR}/query" \
+    -d 'SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)' \
+    | tr -d '\r' | awk 'tolower($1) == "x-hummer-trace:" {print $2}')
+[ -n "$trace" ] || { echo "response missing X-Hummer-Trace header"; exit 1; }
+curl -sf "http://${ADDR}/trace/${trace}" -o /tmp/trace.json \
+    || { echo "GET /trace/${trace} failed"; exit 1; }
+grep -q '"POST /query"' /tmp/trace.json \
+    || { echo "trace tree missing request root:"; cat /tmp/trace.json; exit 1; }
+grep -q '"serialize"' /tmp/trace.json \
+    || { echo "trace tree missing serialize span:"; cat /tmp/trace.json; exit 1; }
 
 # Graceful shutdown: the endpoint answers, then the process exits 0.
 curl -sf -X POST "http://${ADDR}/shutdown" >/dev/null
@@ -123,12 +154,18 @@ if [ "$(result_of /tmp/durable_before.json)" != "$(result_of /tmp/durable_after.
     exit 1
 fi
 
-# Recovery is visible in /metrics (wal_records covers 2 registers + 1 delta).
-curl -sf "http://${ADDR3}/metrics" -o /tmp/durable_metrics.json
+# Recovery is visible in /metrics.json (wal_records covers 2 registers +
+# 1 delta) and the store counters are on the Prometheus exposition too.
+curl -sf "http://${ADDR3}/metrics.json" -o /tmp/durable_metrics.json
 grep -q '"recovery_ms"' /tmp/durable_metrics.json \
     || { echo "store metrics missing recovery_ms:"; cat /tmp/durable_metrics.json; exit 1; }
 grep -q '"wal_records":3' /tmp/durable_metrics.json \
     || { echo "unexpected wal_records:"; cat /tmp/durable_metrics.json; exit 1; }
+curl -sf "http://${ADDR3}/metrics" -o /tmp/durable_prom.txt
+grep -qF 'hummer_store_wal_records 3' /tmp/durable_prom.txt \
+    || { echo "Prometheus exposition missing store counters:"; cat /tmp/durable_prom.txt; exit 1; }
+grep -qF 'hummer_store_recovery_seconds' /tmp/durable_prom.txt \
+    || { echo "Prometheus exposition missing recovery gauge:"; cat /tmp/durable_prom.txt; exit 1; }
 
 # DELETE is durable too: deregister, restart, still gone.
 code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://${ADDR3}/tables/EE_Student")

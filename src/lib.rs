@@ -57,6 +57,7 @@ pub use hummer_dupdetect as dupdetect;
 pub use hummer_engine as engine;
 pub use hummer_fusion as fusion;
 pub use hummer_matching as matching;
+pub use hummer_obs as obs;
 pub use hummer_query as query;
 pub use hummer_server as server;
 pub use hummer_store as store;
