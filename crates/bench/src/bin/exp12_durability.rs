@@ -79,6 +79,7 @@ fn delta_throughput(world: &GeneratedWorld, mode: &str) -> (f64, f64) {
             let options = StoreOptions {
                 fsync: mode == "fsync",
                 compact_after_bytes: 0, // isolate logging cost from compaction
+                group_commit_window_us: 0,
             };
             let (store, recovery) = CatalogStore::open(&dir, options).expect("open store");
             FusionService::with_store(ServiceConfig::default(), store, recovery)
@@ -147,6 +148,7 @@ fn recovery_cell(world: &GeneratedWorld, n: usize) -> (RecoveryCell, Vec<Table>)
     let options = StoreOptions {
         fsync: true,
         compact_after_bytes: 0, // compaction is explicit below
+        group_commit_window_us: 0,
     };
     {
         let (mut store, _) = CatalogStore::open(&dir, options.clone()).expect("open");

@@ -485,6 +485,7 @@ mod tests {
         let options = StoreOptions {
             fsync: false,
             compact_after_bytes: 64,
+            group_commit_window_us: 0,
         };
         {
             let (mut repo, mut store) = MetadataRepository::open(&dir, options.clone()).unwrap();

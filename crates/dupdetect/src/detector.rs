@@ -612,7 +612,10 @@ mod tests {
             let par = detect_duplicates_par(&t, &cfg(), Parallelism::degree(degree)).unwrap();
             assert_eq!(par.pairs, seq.pairs, "degree {degree}");
             assert_eq!(par.unsure, seq.unsure, "degree {degree}");
-            assert_eq!(par.stats.candidates, seq.stats.candidates, "degree {degree}");
+            assert_eq!(
+                par.stats.candidates, seq.stats.candidates,
+                "degree {degree}"
+            );
             assert_eq!(
                 par.stats.filtered_out, seq.stats.filtered_out,
                 "degree {degree}"

@@ -109,6 +109,41 @@ impl PromText {
         self.buf.push('\n');
     }
 
+    /// Emit a full histogram family from a snapshot of *raw-unit* samples
+    /// (record counts, bytes — no microsecond→second scaling): `_bucket`
+    /// ladder over powers of two from 1 to 4096, unscaled `_sum`, `_count`.
+    pub fn histogram_raw(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        let bucket = format!("{name}_bucket");
+        for exp in 0..13u32 {
+            let bound = 2f64.powi(exp as i32);
+            let c = snap.cumulative_le(bound as u64);
+            self.buf.push_str(&bucket);
+            self.write_labels(labels, Some(bound));
+            self.buf.push(' ');
+            self.write_value(c as f64);
+            self.buf.push('\n');
+        }
+        self.buf.push_str(&bucket);
+        self.write_labels_inf(labels);
+        self.buf.push(' ');
+        self.write_value(snap.count() as f64);
+        self.buf.push('\n');
+
+        self.buf.push_str(name);
+        self.buf.push_str("_sum");
+        self.write_labels(labels, None);
+        self.buf.push(' ');
+        self.write_value(snap.sum() as f64);
+        self.buf.push('\n');
+
+        self.buf.push_str(name);
+        self.buf.push_str("_count");
+        self.write_labels(labels, None);
+        self.buf.push(' ');
+        self.write_value(snap.count() as f64);
+        self.buf.push('\n');
+    }
+
     /// The finished exposition body.
     pub fn finish(self) -> String {
         self.buf

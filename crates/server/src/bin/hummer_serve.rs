@@ -3,7 +3,10 @@
 //! ```text
 //! hummer-serve [--addr HOST:PORT] [--threads N] [--par N] [--cache N]
 //!              [--narrow-schemas] [--preload NAME=FILE.csv ...]
+//!              [--blocking] [--max-connections N] [--read-timeout-ms N]
+//!              [--idle-timeout-ms N]
 //!              [--data-dir DIR] [--compact-after-bytes N] [--no-fsync]
+//!              [--group-commit-window-us N]
 //! ```
 //!
 //! `--par N` sets the intra-query thread budget each request may use for
@@ -21,20 +24,34 @@
 //! The process serves until `POST /shutdown` arrives, then drains in-flight
 //! requests and exits 0.
 
-use hummer_server::{HummerServer, ObsConfig, Parallelism, ServerConfig, ServiceConfig};
+use hummer_server::{
+    HummerServer, ObsConfig, Parallelism, ServerConfig, ServiceConfig, ServingMode,
+};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const HELP: &str = "\
 usage: hummer-serve [OPTIONS]
 
 Serving:
   --addr HOST:PORT        bind address (default 127.0.0.1:7878; port 0 = ephemeral)
-  --threads N             worker threads, one connection each (default 4)
+  --threads N             worker threads (default 4). Event mode: each worker
+                          multiplexes many connections; blocking mode: one
+                          connection per worker
   --par N                 intra-query thread budget per request
                           (default: max(1, cores / --threads))
   --cache N               prepared-pipeline cache capacity, in source sets (default 64)
   --narrow-schemas        pipeline tuning for narrow (2-3 column) sources
   --preload NAME=FILE.csv register a CSV file before serving (repeatable)
+  --blocking              serve with the legacy thread-per-connection blocking
+                          path instead of the nonblocking event loop
+  --max-connections N     admission cap on open connections; arrivals beyond it
+                          get 503 + Retry-After (event mode; default 1024)
+  --read-timeout-ms N     a started request must arrive in full within N ms or
+                          the connection is answered 408 and closed
+                          (event mode; default 30000)
+  --idle-timeout-ms N     idle keep-alive connections are reclaimed after N ms
+                          (event mode; default 60000)
 
 Observability:
   --trace-ring N          span-ring capacity, in span records (default 65536);
@@ -51,6 +68,10 @@ Durability (see README \"Durability\"):
                           N bytes; 0 disables auto-compaction (default 8388608)
   --no-fsync              skip fsync on commit - benchmarking escape hatch;
                           survives kill -9 but not power loss (default: fsync on)
+  --group-commit-window-us N
+                          let the WAL commit leader linger N microseconds so
+                          concurrent writers share one fsync; 0 commits
+                          immediately (default 0)
 
   -h, --help              print this help and exit
 ";
@@ -107,6 +128,33 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage())
             }
             "--no-fsync" => config.store.fsync = false,
+            "--group-commit-window-us" => {
+                config.store.group_commit_window_us = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--blocking" => config.mode = ServingMode::Blocking,
+            "--max-connections" => {
+                config.max_connections = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(Duration::from_millis)
+                    .unwrap_or_else(|| usage())
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(Duration::from_millis)
+                    .unwrap_or_else(|| usage())
+            }
             "--trace-ring" => {
                 trace_ring = args
                     .next()
@@ -187,9 +235,13 @@ fn main() -> ExitCode {
         }
     }
     eprintln!(
-        "hummer-serve: listening on {} ({} workers x {} intra-query threads, tracing {}); \
-         POST /shutdown to stop",
+        "hummer-serve: listening on {} ({} mode, {} workers x {} intra-query threads, \
+         tracing {}); POST /shutdown to stop",
         server.local_addr(),
+        match config.mode {
+            ServingMode::Event => "event",
+            ServingMode::Blocking => "blocking",
+        },
         config.threads.max(1),
         config.service.pipeline.parallelism.get(),
         if trace {

@@ -125,6 +125,7 @@ fn main() -> ExitCode {
 
     println!("requests_ok      {}", report.ok);
     println!("requests_err     {}", report.errors);
+    println!("rejects_503      {}", report.rejects);
     println!("updates_ok       {}", report.updates_ok);
     println!("updates_err      {}", report.update_errors);
     println!("elapsed_s        {:.3}", report.elapsed.as_secs_f64());

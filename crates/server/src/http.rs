@@ -22,6 +22,11 @@ const MAX_HEADERS: usize = 128;
 /// `read_line` String without bound.
 const MAX_LINE_BYTES: usize = 64 * 1024;
 
+/// Upper bound on a whole request head (request line + headers) for the
+/// incremental parser — a peer that never sends the blank line cannot grow
+/// a connection buffer past this.
+pub const MAX_HEAD_BYTES: usize = 2 * MAX_LINE_BYTES;
+
 /// `read_line` with a hard length cap (the terminating newline may sit at
 /// the cap boundary; anything longer is a 400).
 fn read_line_capped<R: BufRead>(stream: &mut R, out: &mut String) -> Result<usize> {
@@ -72,14 +77,10 @@ impl Request {
     }
 }
 
-/// Read one request from the stream. `Ok(None)` means the peer closed the
-/// connection cleanly between requests (normal keep-alive end-of-life).
-pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Option<Request>> {
-    let mut line = String::new();
-    if read_line_capped(stream, &mut line)? == 0 {
-        return Ok(None);
-    }
-    let line = line.trim_end_matches(['\r', '\n']);
+/// Parse `GET /path?query HTTP/1.1` into `(method, path)` — method
+/// uppercased, query string stripped (the protocol carries parameters in
+/// bodies).
+fn parse_request_line(line: &str) -> Result<(String, String)> {
     if line.is_empty() {
         return Err(ServerError::BadRequest("empty request line".into()));
     }
@@ -99,8 +100,45 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Option<Request>> {
             "unsupported version `{version}`"
         )));
     }
-    // Strip any query string; the protocol carries parameters in bodies.
     let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok((method, path))
+}
+
+/// Parse one `Name: value` header line into the lowercased-name pair.
+fn parse_header_line(h: &str) -> Result<(String, String)> {
+    let (name, value) = h
+        .split_once(':')
+        .ok_or_else(|| ServerError::BadRequest(format!("malformed header `{h}`")))?;
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
+
+/// The declared body length, validated against [`MAX_BODY_BYTES`].
+fn content_length(headers: &[(String, String)]) -> Result<usize> {
+    let length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ServerError::BadRequest(format!("bad Content-Length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if length > MAX_BODY_BYTES {
+        return Err(ServerError::BadRequest(format!(
+            "body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    Ok(length)
+}
+
+/// Read one request from the stream. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (normal keep-alive end-of-life).
+pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Option<Request>> {
+    let mut line = String::new();
+    if read_line_capped(stream, &mut line)? == 0 {
+        return Ok(None);
+    }
+    let (method, path) = parse_request_line(line.trim_end_matches(['\r', '\n']))?;
 
     let mut headers = Vec::new();
     loop {
@@ -117,27 +155,10 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Option<Request>> {
         if headers.len() >= MAX_HEADERS {
             return Err(ServerError::BadRequest("too many headers".into()));
         }
-        let (name, value) = h
-            .split_once(':')
-            .ok_or_else(|| ServerError::BadRequest(format!("malformed header `{h}`")))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        headers.push(parse_header_line(h)?);
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| {
-            v.parse::<usize>()
-                .map_err(|_| ServerError::BadRequest(format!("bad Content-Length `{v}`")))
-        })
-        .transpose()?
-        .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(ServerError::BadRequest(format!(
-            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
-        )));
-    }
-    let mut body = vec![0u8; content_length];
+    let mut body = vec![0u8; content_length(&headers)?];
     stream.read_exact(&mut body)?;
 
     Ok(Some(Request {
@@ -146,6 +167,95 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Option<Request>> {
         headers,
         body,
     }))
+}
+
+/// Where the request head ends in `buf`: the index just past the blank
+/// line. Accepts `\r\n\r\n` and the tolerant bare `\n\n` form.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        match buf[i] {
+            b'\n' => {
+                if buf.get(i + 1) == Some(&b'\n') {
+                    return Some(i + 2);
+                }
+                if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                    return Some(i + 3);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Incremental parse for the event loop: try to extract one complete
+/// request from the front of a connection buffer.
+///
+/// * `Ok(Some((request, consumed)))` — a full request occupied the first
+///   `consumed` bytes; the caller drains them and keeps the rest (the
+///   start of a pipelined successor).
+/// * `Ok(None)` — the buffer holds a valid *prefix*; read more bytes.
+/// * `Err` — the prefix can never become a valid request (oversized head,
+///   malformed line, bad `Content-Length`, …); answer 400 and close.
+pub fn try_parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>> {
+    let head_end = match find_head_end(buf) {
+        Some(end) => end,
+        None => {
+            if buf.len() > MAX_HEAD_BYTES {
+                return Err(ServerError::BadRequest(format!(
+                    "request head exceeds the {MAX_HEAD_BYTES}-byte limit"
+                )));
+            }
+            return Ok(None);
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ServerError::BadRequest("request head is not valid UTF-8".into()))?;
+
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ServerError::BadRequest("empty request line".into()))?;
+    if request_line.len() > MAX_LINE_BYTES {
+        return Err(ServerError::BadRequest(format!(
+            "line exceeds the {MAX_LINE_BYTES}-byte limit"
+        )));
+    }
+    let (method, path) = parse_request_line(request_line)?;
+
+    let mut headers = Vec::new();
+    for h in lines {
+        if h.is_empty() {
+            break;
+        }
+        if h.len() > MAX_LINE_BYTES {
+            return Err(ServerError::BadRequest(format!(
+                "line exceeds the {MAX_LINE_BYTES}-byte limit"
+            )));
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ServerError::BadRequest("too many headers".into()));
+        }
+        headers.push(parse_header_line(h)?);
+    }
+
+    let body_len = content_length(&headers)?;
+    let consumed = head_end + body_len;
+    if buf.len() < consumed {
+        return Ok(None); // body still arriving
+    }
+    let body = buf[head_end..consumed].to_vec();
+    Ok(Some((
+        Request {
+            method,
+            path,
+            headers,
+            body,
+        },
+        consumed,
+    )))
 }
 
 /// A response ready to serialize.
@@ -200,8 +310,18 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
+    }
+
+    /// Serialize this response to wire bytes (head + body in one buffer).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        // Writing to a Vec cannot fail.
+        write_response(&mut out, self).expect("serializing into memory");
+        out
     }
 }
 
@@ -343,6 +463,80 @@ mod tests {
         assert!(text[..head_end].contains("x-hummer-trace"));
         assert!(text.ends_with("ok"));
         assert!(text.contains("content-type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+    }
+
+    #[test]
+    fn try_parse_incremental_prefixes() {
+        let raw = b"POST /query HTTP/1.1\r\nContent-Length: 4\r\n\r\nBODYGET /h";
+        // Every proper prefix up to the full request is "keep reading".
+        for cut in 0..47 {
+            assert!(
+                try_parse_request(&raw[..cut]).unwrap().is_none(),
+                "cut {cut}"
+            );
+        }
+        // The full request parses and reports exactly its own bytes as
+        // consumed, leaving the pipelined successor in place.
+        let (req, consumed) = try_parse_request(raw).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.body, b"BODY");
+        assert_eq!(consumed, 47);
+        assert_eq!(&raw[consumed..], b"GET /h");
+    }
+
+    #[test]
+    fn try_parse_tolerates_bare_lf() {
+        let (req, consumed) = try_parse_request(b"GET /tables HTTP/1.1\nHost: x\n\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/tables");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(consumed, 30);
+    }
+
+    #[test]
+    fn try_parse_rejects_unbounded_head() {
+        // No blank line and past the head cap: the prefix can never become
+        // a request, so the parser errs instead of asking for more bytes.
+        let junk = vec![b'a'; MAX_HEAD_BYTES + 1];
+        let e = try_parse_request(&junk).unwrap_err();
+        assert_eq!(e.status(), 400);
+        // Under the cap the verdict is "keep reading".
+        assert!(try_parse_request(&junk[..MAX_HEAD_BYTES])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn try_parse_rejects_oversized_line_and_body() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "b".repeat(MAX_LINE_BYTES + 10)
+        );
+        assert_eq!(try_parse_request(raw.as_bytes()).unwrap_err().status(), 400);
+        let raw = format!(
+            "PUT /tables/x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(try_parse_request(raw.as_bytes()).unwrap_err().status(), 400);
+        assert_eq!(
+            try_parse_request(b"GARBAGE\r\n\r\n").unwrap_err().status(),
+            400
+        );
+    }
+
+    #[test]
+    fn new_reason_phrases_serialize() {
+        let mut out = Vec::new();
+        let mut r = Response::json(408, "{}");
+        r.close = true;
+        write_response(&mut out, &r).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 408 Request Timeout\r\n"));
+        assert!(text.contains("connection: close"));
+        let bytes = Response::json(503, "{}").to_bytes();
+        assert!(bytes.starts_with(b"HTTP/1.1 503 Service Unavailable\r\n"));
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! * [`service`] — the transport-independent core: catalog, cache, metrics,
 //!   and the optional durable store (`hummer_store`) that write-ahead-logs
 //!   every catalog mutation and recovers it on boot;
-//! * [`server`] — listener, worker [`pool`], routing, graceful shutdown;
+//! * [`server`] — listener, routing, graceful shutdown, and the serving
+//!   mode switch ([`ServingMode`]);
+//! * [`event`] — the default nonblocking event-loop serving path:
+//!   per-connection state machines, read/idle timeouts, 503 admission
+//!   control (the blocking worker-[`pool`] path stays selectable);
 //! * [`http`] — minimal HTTP/1.1 request/response framing;
 //! * [`json`] — the hand-rolled JSON writer/parser the wire protocol uses;
 //! * [`error`] — [`ServerError`] with HTTP status mapping;
@@ -60,6 +64,7 @@
 
 pub mod cache;
 pub mod error;
+pub mod event;
 pub mod http;
 pub mod json;
 pub mod loadgen;
@@ -75,7 +80,7 @@ pub use hummer_store::{CatalogStore, StoreOptions, StoreStats};
 pub use json::{Json, JsonError};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pool::ThreadPool;
-pub use server::{HummerServer, ServerConfig, ShutdownHandle};
+pub use server::{HummerServer, ServerConfig, ServingMode, ShutdownHandle};
 pub use service::{
     parse_delta, DeltaApplyResult, FusionService, QueryResult, ServiceConfig, TableInfo,
 };

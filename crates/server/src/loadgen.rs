@@ -291,6 +291,9 @@ pub struct LoadReport {
     pub ok: usize,
     /// Requests that failed (transport error or non-200).
     pub errors: usize,
+    /// Of `errors`, how many were `503` admission-control rejections
+    /// (overloaded server shedding load rather than queueing).
+    pub rejects: usize,
     /// Of `ok`, how many were delta (update) requests.
     pub updates_ok: usize,
     /// Of `errors`, how many were delta (update) requests.
@@ -350,6 +353,7 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
             let hist = Histogram::new();
             let mut slowest: Vec<(f64, Option<String>)> = Vec::new();
             let mut errors = 0usize;
+            let mut rejects = 0usize;
             let mut updates_ok = 0usize;
             let mut update_errors = 0usize;
             let mut client = Client::connect(&addr).ok();
@@ -382,8 +386,14 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
                             updates_ok += 1;
                         }
                     }
-                    Ok(_) => {
+                    Ok((status, _, _)) => {
                         errors += 1;
+                        if status == 503 {
+                            rejects += 1;
+                            // The server closes rejected connections;
+                            // reconnect before the next request.
+                            client = Client::connect(&addr).ok();
+                        }
                         if is_update {
                             update_errors += 1;
                         }
@@ -397,23 +407,32 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
                     }
                 }
             }
-            (hist.snapshot(), slowest, errors, updates_ok, update_errors)
+            (
+                hist.snapshot(),
+                slowest,
+                errors,
+                rejects,
+                updates_ok,
+                update_errors,
+            )
         }));
     }
     let mut latency = HistogramSnapshot::default();
     let mut slowest: Vec<(f64, Option<String>)> = Vec::new();
     let mut errors = 0;
+    let mut rejects = 0;
     let mut updates_ok = 0;
     let mut update_errors = 0;
     for h in handles {
-        let (snap, sl, e, uo, ue) =
+        let (snap, sl, e, r, uo, ue) =
             h.join()
-                .unwrap_or((HistogramSnapshot::default(), Vec::new(), 0, 0, 0));
+                .unwrap_or((HistogramSnapshot::default(), Vec::new(), 0, 0, 0, 0));
         latency.merge(&snap);
         for (ms, trace) in sl {
             push_slowest(&mut slowest, ms, trace);
         }
         errors += e;
+        rejects += r;
         updates_ok += uo;
         update_errors += ue;
     }
@@ -423,6 +442,7 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
     LoadReport {
         ok,
         errors,
+        rejects,
         updates_ok,
         update_errors,
         elapsed,

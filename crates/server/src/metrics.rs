@@ -85,6 +85,20 @@ pub struct DeltaAggregate {
     pub full_rescores: u64,
 }
 
+/// Serving-path (event loop / worker pool) health counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingSnapshot {
+    /// Connections refused with 503 because the live-connection cap was hit.
+    pub overload_rejects: u64,
+    /// Connections closed with 408 because a started request stalled past
+    /// the read deadline.
+    pub read_timeouts: u64,
+    /// Idle keep-alive connections reclaimed silently.
+    pub idle_reclaims: u64,
+    /// Requests whose handler panicked (answered 500, connection closed).
+    pub worker_panics: u64,
+}
+
 /// A point-in-time view of the whole metrics registry.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
@@ -98,6 +112,8 @@ pub struct MetricsSnapshot {
     pub stages: StageAggregate,
     /// Delta-ingestion aggregates.
     pub deltas: DeltaAggregate,
+    /// Serving-path health counters.
+    pub serving: ServingSnapshot,
 }
 
 /// Thread-safe metrics registry. Recording latencies is lock-free after
@@ -107,8 +123,15 @@ pub struct Metrics {
     endpoints: RwLock<BTreeMap<String, Arc<EndpointStats>>>,
     /// Stage latency histograms, labeled `[stage, layout, degree]`.
     stage_hists: HistogramVec,
+    /// Per-connection time spent in each lifecycle state (`reading`,
+    /// `executing`, `writing`, `idle`), labeled `[state]`; microseconds.
+    conn_state_hists: HistogramVec,
     stages: Mutex<StageAggregate>,
     deltas: Mutex<DeltaAggregate>,
+    overload_rejects: AtomicU64,
+    read_timeouts: AtomicU64,
+    idle_reclaims: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 /// Nearest-rank percentile over a sample set; `p` in [0, 100]. The single
@@ -214,6 +237,42 @@ impl Metrics {
         deltas.full_rescores += full_rescores;
     }
 
+    /// Record the time one connection spent in a lifecycle state
+    /// (`reading`, `executing`, `writing`, `idle`).
+    pub fn record_conn_state(&self, state: &str, spent: Duration) {
+        self.conn_state_hists.with(&[state]).record_duration(spent);
+    }
+
+    /// Count a connection refused with 503 at the admission gate.
+    pub fn record_overload_reject(&self) {
+        self.overload_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a started request that stalled past the read deadline (408).
+    pub fn record_read_timeout(&self) {
+        self.read_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an idle keep-alive connection reclaimed silently.
+    pub fn record_idle_reclaim(&self) {
+        self.idle_reclaims.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a request whose handler panicked (500 + close).
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Serving-path counters only (cheaper than a full [`Metrics::snapshot`]).
+    pub fn serving_snapshot(&self) -> ServingSnapshot {
+        ServingSnapshot {
+            overload_rejects: self.overload_rejects.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            idle_reclaims: self.idle_reclaims.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+        }
+    }
+
     /// Snapshot all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut endpoints = Vec::new();
@@ -236,7 +295,13 @@ impl Metrics {
             endpoints,
             stages: *self.stages.lock().unwrap(),
             deltas: *self.deltas.lock().unwrap(),
+            serving: self.serving_snapshot(),
         }
+    }
+
+    /// Connection-state histograms with their `[state]` labels.
+    pub fn conn_state_histograms(&self) -> Vec<(Vec<String>, HistogramSnapshot)> {
+        self.conn_state_hists.snapshot()
     }
 
     /// Per-endpoint `(label, count, errors, latency-histogram)` rows,
@@ -351,6 +416,27 @@ mod tests {
         assert_eq!(d.cache_upgrades, 3);
         assert_eq!(d.cache_upgrade_failures, 1);
         assert_eq!(d.full_rescores, 1);
+    }
+
+    #[test]
+    fn serving_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_overload_reject();
+        m.record_overload_reject();
+        m.record_read_timeout();
+        m.record_idle_reclaim();
+        m.record_worker_panic();
+        m.record_conn_state("reading", Duration::from_micros(150));
+        m.record_conn_state("executing", Duration::from_micros(900));
+        let s = m.snapshot().serving;
+        assert_eq!(s.overload_rejects, 2);
+        assert_eq!(s.read_timeouts, 1);
+        assert_eq!(s.idle_reclaims, 1);
+        assert_eq!(s.worker_panics, 1);
+        let hists = m.conn_state_histograms();
+        assert_eq!(hists.len(), 2);
+        let labels: Vec<&str> = hists.iter().map(|(l, _)| l[0].as_str()).collect();
+        assert!(labels.contains(&"reading") && labels.contains(&"executing"));
     }
 
     #[test]

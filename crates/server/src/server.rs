@@ -42,9 +42,26 @@ use hummer_obs::{Span, TraceNode, TraceTree};
 use hummer_store::{CatalogStore, StoreOptions};
 use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Which I/O discipline [`HummerServer::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServingMode {
+    /// Nonblocking readiness-driven event loop (the default): each worker
+    /// multiplexes many connections through per-connection state machines,
+    /// with read/idle timeouts and 503 admission control. See the
+    /// [`crate::event`] module.
+    #[default]
+    Event,
+    /// Thread-per-connection blocking I/O: one pool worker owns the whole
+    /// keep-alive conversation. Kept selectable for apples-to-apples
+    /// comparisons (the exp15 identity gate runs both modes against the
+    /// same catalog).
+    Blocking,
+}
 
 /// Server construction parameters.
 ///
@@ -71,6 +88,19 @@ pub struct ServerConfig {
     /// Store tuning (fsync discipline, compaction threshold); only
     /// meaningful with `data_dir`.
     pub store: StoreOptions,
+    /// I/O discipline: nonblocking event loop (default) or the legacy
+    /// thread-per-connection blocking path.
+    pub mode: ServingMode,
+    /// Admission cap on concurrently open connections (event mode).
+    /// Arrivals beyond the cap get `503` + `Retry-After` and are closed
+    /// instead of queueing unboundedly.
+    pub max_connections: usize,
+    /// How long a *started* request may take to arrive in full before the
+    /// connection is answered `408` and closed (event mode).
+    pub read_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before it is silently reclaimed (event mode).
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +111,10 @@ impl Default for ServerConfig {
             service: ServiceConfig::default(),
             data_dir: None,
             store: StoreOptions::default(),
+            mode: ServingMode::default(),
+            max_connections: 1024,
+            read_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -93,6 +127,11 @@ pub struct ShutdownHandle {
 }
 
 impl ShutdownHandle {
+    /// Assemble a handle from its parts (event workers build their own).
+    pub(crate) fn from_parts(addr: SocketAddr, flag: Arc<AtomicBool>) -> ShutdownHandle {
+        ShutdownHandle { addr, flag }
+    }
+
     /// Request shutdown: set the flag and wake the acceptor.
     pub fn shutdown(&self) {
         self.flag.store(true, Ordering::SeqCst);
@@ -110,11 +149,15 @@ impl ShutdownHandle {
 /// The HTTP server.
 #[derive(Debug)]
 pub struct HummerServer {
-    listener: TcpListener,
-    service: Arc<FusionService>,
-    threads: usize,
-    shutdown: Arc<AtomicBool>,
-    local_addr: SocketAddr,
+    pub(crate) listener: TcpListener,
+    pub(crate) service: Arc<FusionService>,
+    pub(crate) threads: usize,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) mode: ServingMode,
+    pub(crate) max_connections: usize,
+    pub(crate) read_timeout: Duration,
+    pub(crate) idle_timeout: Duration,
 }
 
 impl HummerServer {
@@ -137,6 +180,10 @@ impl HummerServer {
             threads: config.threads,
             shutdown: Arc::new(AtomicBool::new(false)),
             local_addr,
+            mode: config.mode,
+            max_connections: config.max_connections.max(1),
+            read_timeout: config.read_timeout,
+            idle_timeout: config.idle_timeout,
         })
     }
 
@@ -161,6 +208,14 @@ impl HummerServer {
     /// Serve until shutdown is requested. Returns after all workers drained
     /// their in-flight connections.
     pub fn run(self) -> std::io::Result<()> {
+        match self.mode {
+            ServingMode::Event => crate::event::run(self),
+            ServingMode::Blocking => self.run_blocking(),
+        }
+    }
+
+    /// The legacy thread-per-connection path.
+    fn run_blocking(self) -> std::io::Result<()> {
         let pool = ThreadPool::new(self.threads);
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
@@ -228,32 +283,60 @@ fn handle_connection(stream: TcpStream, service: &FusionService, shutdown: &Shut
             }
         };
         let wants_close = request.wants_close();
-        let endpoint = endpoint_label(&request);
-        let started = Instant::now();
-        // One root span per request, named by its normalized endpoint; the
-        // service threads it through the pipeline so stage spans nest under
-        // it. Dropped *before* the response goes out, so a client that
-        // immediately asks `/trace/{id}` sees the complete tree.
-        let root = service.tracer().trace(endpoint.clone());
-        let trace_id = root.trace_id();
-        let mut response = match route(&request, service, shutdown, &root) {
-            Ok(r) => r,
-            Err(e) => error_response(&e, false),
-        };
-        drop(root);
-        if let Some(id) = trace_id {
-            response = response.with_header("x-hummer-trace", format!("{id:016x}"));
-        }
-        let is_error = response.status >= 400;
-        service
-            .metrics()
-            .record_request(&endpoint, started.elapsed(), is_error);
+        let mut response = execute_request(&request, service, shutdown);
         response.close = response.close || wants_close || shutdown.is_requested();
         if write_response(&mut writer, &response).is_err() || response.close {
             return;
         }
         let _ = writer.set_read_timeout(Some(IDLE_POLL));
     }
+}
+
+/// Execute one parsed request against the service: root span, routing,
+/// panic containment, trace header, request metrics. Both serving paths
+/// funnel through here; transport concerns (keep-alive, when to close the
+/// socket) stay with the caller — except that a panicked handler always
+/// demands a close, which the returned response carries.
+pub(crate) fn execute_request(
+    request: &Request,
+    service: &FusionService,
+    shutdown: &ShutdownHandle,
+) -> Response {
+    let endpoint = endpoint_label(request);
+    let started = Instant::now();
+    // One root span per request, named by its normalized endpoint; the
+    // service threads it through the pipeline so stage spans nest under
+    // it. Dropped *before* the response goes out, so a client that
+    // immediately asks `/trace/{id}` sees the complete tree.
+    let root = service.tracer().trace(endpoint.clone());
+    let trace_id = root.trace_id();
+    let routed = catch_unwind(AssertUnwindSafe(|| {
+        route(request, service, shutdown, &root)
+    }));
+    drop(root);
+    let mut response = match routed {
+        Ok(Ok(r)) => r,
+        Ok(Err(e)) => error_response(&e, false),
+        Err(_) => {
+            // The handler panicked. Answer 500 *and close the socket* —
+            // before this existed, the client hung until its own timeout.
+            // Any state the handler half-built is suspect, so the
+            // connection does not survive.
+            service.metrics().record_worker_panic();
+            error_response(
+                &ServerError::Internal("handler panicked; connection closed".into()),
+                true,
+            )
+        }
+    };
+    if let Some(id) = trace_id {
+        response = response.with_header("x-hummer-trace", format!("{id:016x}"));
+    }
+    let is_error = response.status >= 400;
+    service
+        .metrics()
+        .record_request(&endpoint, started.elapsed(), is_error);
+    response
 }
 
 /// The metrics label for a request: normalized method + route. Unmatched
@@ -276,7 +359,7 @@ fn endpoint_label(request: &Request) -> String {
     format!("{method} {route}")
 }
 
-fn error_response(e: &ServerError, close: bool) -> Response {
+pub(crate) fn error_response(e: &ServerError, close: bool) -> Response {
     let body = Json::object()
         .with("error", e.to_string())
         .with("status", i64::from(e.status()))
@@ -375,6 +458,12 @@ fn route(
             serialize_span.count("bytes", body.len() as u64);
             drop(serialize_span);
             Ok(Response::json(200, body))
+        }
+        // Fault injection for the panic-containment regression tests; only
+        // routable when the service opted in (`debug_panic_route`),
+        // otherwise the path falls through to 404.
+        ("POST", "/__test/panic") if service.debug_panic_route() => {
+            panic!("fault injection: POST /__test/panic")
         }
         ("POST", "/shutdown") => {
             // Full shutdown (flag + acceptor wake): without the wake the

@@ -27,7 +27,7 @@ use hummer_obs::{Histogram, PromText, Span, Tracer};
 use hummer_query::{
     execute, execute_combined_par, parse, FuseQuery, QueryOutput, VersionedTableSet,
 };
-use hummer_store::{CatalogStore, Recovery, SnapshotEntry, StoreStats};
+use hummer_store::{CatalogStore, Recovery, SnapshotEntry, StoreStats, WalCommitter, WalTicket};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -38,6 +38,10 @@ pub struct ServiceConfig {
     pub pipeline: HummerConfig,
     /// Prepared-pipeline cache capacity (source sets, not bytes).
     pub cache_capacity: usize,
+    /// Enable the fault-injection endpoint `POST /__test/panic` (the
+    /// handler panics on purpose). Test/CI only — never expose this on a
+    /// real deployment.
+    pub debug_panic_route: bool,
 }
 
 impl Default for ServiceConfig {
@@ -45,6 +49,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             pipeline: HummerConfig::default(),
             cache_capacity: 64,
+            debug_panic_route: false,
         }
     }
 }
@@ -72,6 +77,7 @@ impl ServiceConfig {
                 ..Default::default()
             },
             cache_capacity: 64,
+            debug_panic_route: false,
         }
     }
 }
@@ -211,10 +217,13 @@ fn json_value(v: &Json) -> Result<Value> {
 /// The shared, thread-safe fusion service.
 ///
 /// With a durable store attached ([`FusionService::with_store`]), every
-/// catalog mutation — register, delta, deregister — is written ahead to the
-/// store's WAL *before* it is applied and acked, under the catalog write
-/// lock (so WAL order always equals version order). Reads never touch the
-/// store.
+/// catalog mutation — register, delta, deregister — is *enqueued* to the
+/// store's WAL under the catalog write lock (so WAL order always equals
+/// version order), applied, and then — after the lock is released — the
+/// writer waits for group durability before acking. One fsync covers every
+/// writer that queued behind it; a durability failure poisons the store,
+/// so no later mutation can commit on top of a non-durable one. Reads
+/// never touch the store.
 #[derive(Debug)]
 pub struct FusionService {
     catalog: RwLock<VersionedTableSet>,
@@ -225,6 +234,11 @@ pub struct FusionService {
     /// Lock order: `catalog` write lock first, then the store — never the
     /// other way around.
     store: Option<Mutex<CatalogStore>>,
+    /// Waits on WAL tickets without holding `store` (or the catalog lock)
+    /// — this is what lets concurrent commits share one fsync.
+    committer: Option<WalCommitter>,
+    /// Fault-injection endpoint toggle (see [`ServiceConfig`]).
+    debug_panic_route: bool,
 }
 
 impl FusionService {
@@ -238,6 +252,8 @@ impl FusionService {
             registry: FunctionRegistry::standard(),
             config: config.pipeline,
             store: None,
+            committer: None,
+            debug_panic_route: config.debug_panic_route,
         }
     }
 
@@ -253,6 +269,7 @@ impl FusionService {
         // The log may have assigned versions beyond every *surviving*
         // table's (a deleted table held the highest); never reuse them.
         catalog.advance_version_clock(recovery.last_version);
+        let committer = store.committer();
         FusionService {
             catalog: RwLock::new(catalog),
             cache: Mutex::new(PreparedCache::new(config.cache_capacity)),
@@ -260,7 +277,25 @@ impl FusionService {
             registry: FunctionRegistry::standard(),
             config: config.pipeline,
             store: Some(Mutex::new(store)),
+            committer: Some(committer),
+            debug_panic_route: config.debug_panic_route,
         }
+    }
+
+    /// Whether the fault-injection endpoint is enabled (test/CI only).
+    pub fn debug_panic_route(&self) -> bool {
+        self.debug_panic_route
+    }
+
+    /// Wait for an enqueued WAL record to become durable. Call *after*
+    /// releasing the catalog write lock and *before* acking the mutation.
+    fn wait_durable(&self, ticket: WalTicket) -> Result<()> {
+        let committer = self
+            .committer
+            .as_ref()
+            .expect("a WAL ticket implies an attached store");
+        committer.wait(ticket)?;
+        Ok(())
     }
 
     /// The metrics registry (workers record; `/metrics` snapshots).
@@ -294,6 +329,13 @@ impl FusionService {
         self.store
             .as_ref()
             .map(|s| s.lock().unwrap().fsync_histogram())
+    }
+
+    /// The records-per-group-commit histogram, when a store is attached.
+    pub fn store_batch_histogram(&self) -> Option<Arc<Histogram>> {
+        self.store
+            .as_ref()
+            .map(|s| s.lock().unwrap().batch_histogram())
     }
 
     /// Prepared-cache counters.
@@ -352,17 +394,26 @@ impl FusionService {
             .map(|s| s.to_string())
             .collect();
         let rows = table.len();
-        let version = {
+        let (version, ticket) = {
             let mut catalog = self.catalog.write().unwrap();
             let version = catalog.upcoming_version();
-            if let Some(store) = &self.store {
-                store.lock().unwrap().log_register(name, version, &table)?;
-            }
+            let ticket = match &self.store {
+                Some(store) => Some(
+                    store
+                        .lock()
+                        .unwrap()
+                        .enqueue_register(name, version, &table)?,
+                ),
+                None => None,
+            };
             let assigned = catalog.register(name, table);
             debug_assert_eq!(assigned, version);
             self.compact_if_needed(&catalog);
-            assigned
+            (assigned, ticket)
         };
+        if let Some(ticket) = ticket {
+            self.wait_durable(ticket)?;
+        }
         Ok(TableInfo {
             name: name.to_string(),
             rows,
@@ -376,27 +427,34 @@ impl FusionService {
     /// cache entries over the removed table become unreachable (versions
     /// are never reused) and age out via LRU.
     pub fn delete_table(&self, name: &str) -> Result<TableInfo> {
-        let mut catalog = self.catalog.write().unwrap();
-        let entry = catalog
-            .get(name)
-            .ok_or_else(|| ServerError::UnknownTable(name.to_string()))?;
-        let info = TableInfo {
-            name: entry.table.name().to_string(),
-            rows: entry.table.len(),
-            columns: entry
-                .table
-                .schema()
-                .names()
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
-            version: entry.version,
+        let (info, ticket) = {
+            let mut catalog = self.catalog.write().unwrap();
+            let entry = catalog
+                .get(name)
+                .ok_or_else(|| ServerError::UnknownTable(name.to_string()))?;
+            let info = TableInfo {
+                name: entry.table.name().to_string(),
+                rows: entry.table.len(),
+                columns: entry
+                    .table
+                    .schema()
+                    .names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                version: entry.version,
+            };
+            let ticket = match &self.store {
+                Some(store) => Some(store.lock().unwrap().enqueue_deregister(name)?),
+                None => None,
+            };
+            catalog.remove(name);
+            self.compact_if_needed(&catalog);
+            (info, ticket)
         };
-        if let Some(store) = &self.store {
-            store.lock().unwrap().log_deregister(name)?;
+        if let Some(ticket) = ticket {
+            self.wait_durable(ticket)?;
         }
-        catalog.remove(name);
-        self.compact_if_needed(&catalog);
         Ok(info)
     }
 
@@ -419,10 +477,11 @@ impl FusionService {
     ) -> Result<DeltaApplyResult> {
         let counts = delta.counts();
         // Catalog swap under the write lock (delta application is linear).
-        // When durable, the delta is WAL-logged — as the TableDelta itself —
-        // before the catalog changes, still under the lock, so log order
-        // always equals version order.
-        let (lname, old_version, new_table, mapping, info) = {
+        // When durable, the delta is WAL-enqueued — as the TableDelta itself
+        // — before the catalog changes, still under the lock, so log order
+        // always equals version order; the durability wait happens after
+        // the lock is released, so concurrent deltas share one fsync.
+        let (lname, old_version, new_table, mapping, info, ticket) = {
             let mut catalog = self.catalog.write().unwrap();
             let entry = catalog
                 .get(name)
@@ -444,12 +503,15 @@ impl FusionService {
                 .map(|s| s.to_string())
                 .collect();
             let upcoming = catalog.upcoming_version();
-            if let Some(store) = &self.store {
-                store
-                    .lock()
-                    .unwrap()
-                    .log_delta(&canonical, upcoming, delta)?;
-            }
+            let ticket = match &self.store {
+                Some(store) => Some(
+                    store
+                        .lock()
+                        .unwrap()
+                        .enqueue_delta(&canonical, upcoming, delta)?,
+                ),
+                None => None,
+            };
             let version = catalog.register(canonical.as_str(), new_table);
             debug_assert_eq!(version, upcoming);
             self.compact_if_needed(&catalog);
@@ -465,8 +527,12 @@ impl FusionService {
                     columns,
                     version,
                 },
+                ticket,
             )
         };
+        if let Some(ticket) = ticket {
+            self.wait_durable(ticket)?;
+        }
 
         // Upgrade cached pipelines over the superseded version. The cache
         // lock is not held while upgrading; the eventual insert's stale
@@ -862,6 +928,14 @@ pub fn metrics_to_json(service: &FusionService) -> Json {
                 .with("cache_upgrades", snap.deltas.cache_upgrades)
                 .with("cache_upgrade_failures", snap.deltas.cache_upgrade_failures)
                 .with("full_rescores", snap.deltas.full_rescores),
+        )
+        .with(
+            "serving",
+            Json::object()
+                .with("overload_rejects", snap.serving.overload_rejects)
+                .with("read_timeouts", snap.serving.read_timeouts)
+                .with("idle_reclaims", snap.serving.idle_reclaims)
+                .with("worker_panics", snap.serving.worker_panics),
         );
     if let Some(store) = service.store_stats() {
         doc.push(
@@ -873,7 +947,8 @@ pub fn metrics_to_json(service: &FusionService) -> Json {
                 .with("snapshots_written", store.snapshots_written)
                 .with("recovery_ms", store.recovery_ms)
                 .with("fsync", store.fsync)
-                .with("fsyncs", store.fsyncs),
+                .with("fsyncs", store.fsyncs)
+                .with("group_commits", store.group_commits),
         );
     }
     doc
@@ -945,9 +1020,43 @@ pub fn metrics_to_prometheus(service: &FusionService) -> String {
         );
     }
 
+    out.header(
+        "hummer_conn_state_seconds",
+        "Time connections spend in each lifecycle state (event loop).",
+        "histogram",
+    );
+    for (labels, snap) in &service.metrics().conn_state_histograms() {
+        out.histogram_us(
+            "hummer_conn_state_seconds",
+            &[("state", &labels[0])],
+            snap,
+            None,
+        );
+    }
+
     let cache = service.cache_stats();
     let snap = service.metrics().snapshot();
     for (name, help, value) in [
+        (
+            "hummer_overload_rejects_total",
+            "Connections refused with 503 at the admission gate.",
+            snap.serving.overload_rejects as f64,
+        ),
+        (
+            "hummer_read_timeouts_total",
+            "Started requests that stalled past the read deadline (408).",
+            snap.serving.read_timeouts as f64,
+        ),
+        (
+            "hummer_idle_reclaims_total",
+            "Idle keep-alive connections reclaimed silently.",
+            snap.serving.idle_reclaims as f64,
+        ),
+        (
+            "hummer_worker_panics_total",
+            "Requests whose handler panicked (answered 500, socket closed).",
+            snap.serving.worker_panics as f64,
+        ),
         (
             "hummer_prepared_cache_hits_total",
             "Prepared-pipeline cache hits.",
@@ -1052,6 +1161,12 @@ pub fn metrics_to_prometheus(service: &FusionService) -> String {
                 "counter",
                 store.fsyncs as f64,
             ),
+            (
+                "hummer_store_group_commits_total",
+                "WAL group-commit batches written.",
+                "counter",
+                store.group_commits as f64,
+            ),
         ] {
             out.header(name, help, kind);
             out.sample(name, &[], value);
@@ -1063,6 +1178,16 @@ pub fn metrics_to_prometheus(service: &FusionService) -> String {
                 "histogram",
             );
             out.histogram_us("hummer_store_fsync_seconds", &[], &hist.snapshot(), None);
+        }
+        if let Some(hist) = service.store_batch_histogram() {
+            // Records per group-commit batch — raw counts, not seconds, so
+            // the histogram goes out with unscaled bucket bounds.
+            out.header(
+                "hummer_store_group_commit_records",
+                "Records per WAL group-commit batch.",
+                "histogram",
+            );
+            out.histogram_raw("hummer_store_group_commit_records", &[], &hist.snapshot());
         }
     }
 
@@ -1484,6 +1609,7 @@ mod tests {
                 StoreOptions {
                     fsync: true,
                     compact_after_bytes: 256, // tiny: every upload compacts
+                    group_commit_window_us: 0,
                 },
             )
             .unwrap();

@@ -1,0 +1,316 @@
+//! Leader-based group commit for the WAL tail.
+//!
+//! Concurrent writers enqueue encoded frames into a shared pending buffer
+//! and then wait for durability. The first waiter whose record is not yet
+//! durable becomes the *leader*: it takes the whole pending buffer, writes
+//! it with one `write_all` + one fsync, advances the durable watermark,
+//! and wakes every waiter whose record the batch covered. Writers that
+//! arrive while a commit is in flight pile into the next batch — under
+//! contention the fsync cost amortizes across the batch instead of being
+//! paid per record.
+//!
+//! ## Invariants
+//!
+//! - **Byte identity**: frames land in the file in enqueue order, so the
+//!   on-disk WAL is bit-identical to the same records appended
+//!   sequentially with per-record fsync. Recovery code is unchanged.
+//! - **Ack order**: `durable_seq` only moves forward and a waiter returns
+//!   only once its sequence number is covered, so acks never reorder
+//!   relative to enqueues.
+//! - **Acked ⇒ durable**: a waiter returns `Ok` only after the fsync that
+//!   covered its frame completed (when fsync is enabled).
+//! - **Failure freezes the store**: writers apply state *before* waiting,
+//!   so a batch that fails to reach disk cannot simply be retried — later
+//!   records could then replay against state the failed record never
+//!   produced. A failed group commit therefore truncates the file back to
+//!   the durable prefix (best effort) and poisons the store: every waiter
+//!   covering the failed range gets an error and all further enqueues are
+//!   refused until the operator restarts.
+
+use crate::error::{Result, StoreError};
+use hummer_obs::Histogram;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Proof that a record was enqueued; redeem it with
+/// [`WalCommitter::wait`] (or [`crate::CatalogStore`]'s inline `log_*`
+/// helpers, which do so internally) before acking the mutation.
+#[derive(Debug)]
+#[must_use = "a mutation is only durable after waiting on its ticket"]
+pub struct WalTicket {
+    pub(crate) seq: u64,
+}
+
+impl WalTicket {
+    /// The record's position in enqueue order (1-based, process-local).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// A cloneable handle that waits for enqueued records to become durable
+/// *without* holding the store lock — this is what lets one fsync cover
+/// many writers.
+#[derive(Debug, Clone)]
+pub struct WalCommitter {
+    shared: Arc<WalShared>,
+}
+
+impl WalCommitter {
+    /// Block until the ticket's record is durable (or the commit that
+    /// covered it failed). May perform the commit itself (leader role).
+    pub fn wait(&self, ticket: WalTicket) -> Result<()> {
+        self.shared.wait_durable(ticket.seq)
+    }
+}
+
+/// The WAL file handle plus the length of its durable prefix. Only the
+/// commit leader (serialized by `WalState::committing`) and compaction
+/// touch this, so the lock is uncontended.
+#[derive(Debug)]
+pub(crate) struct WalIo {
+    pub(crate) file: File,
+    pub(crate) durable_bytes: u64,
+}
+
+/// Bookkeeping shared by enqueuers, waiters, and the commit leader.
+/// Held only for pointer-sized updates — never across I/O.
+#[derive(Debug)]
+pub(crate) struct WalState {
+    /// Encoded frames enqueued but not yet written.
+    pub(crate) pending: Vec<u8>,
+    /// Records in `pending`.
+    pub(crate) pending_records: u64,
+    /// Next sequence number to hand out (first record is 1).
+    pub(crate) next_seq: u64,
+    /// Every record with `seq <= durable_seq` is on disk (and fsynced,
+    /// when fsync is enabled).
+    pub(crate) durable_seq: u64,
+    /// A leader is currently writing a batch.
+    pub(crate) committing: bool,
+    /// Set on commit failure; all further writes are refused.
+    pub(crate) poisoned: bool,
+    /// Records with `seq >= fail_from` were lost to a failed commit.
+    pub(crate) fail_from: Option<u64>,
+    /// Current WAL path (mirrors `CatalogStore`; used for error context).
+    pub(crate) path: PathBuf,
+    /// Durable WAL length in bytes, header included.
+    pub(crate) wal_bytes: u64,
+    /// Durable records in the current WAL (replayed + committed).
+    pub(crate) wal_records: u64,
+    /// WAL commit fsyncs issued (failed ones included).
+    pub(crate) fsyncs: u64,
+    /// Group commits performed (batches written, empty drains excluded).
+    pub(crate) group_commits: u64,
+}
+
+/// Everything the group-commit protocol shares between threads.
+#[derive(Debug)]
+pub(crate) struct WalShared {
+    pub(crate) state: Mutex<WalState>,
+    pub(crate) cond: Condvar,
+    pub(crate) io: Mutex<WalIo>,
+    /// fsync batches on commit (from `StoreOptions::fsync`).
+    pub(crate) fsync: bool,
+    /// How long a leader lingers before taking the batch, letting more
+    /// writers pile in (from `StoreOptions::group_commit_window_us`).
+    pub(crate) window: Duration,
+    /// Per-fsync latency, microseconds.
+    pub(crate) fsync_hist: Arc<Histogram>,
+    /// Records per written batch.
+    pub(crate) batch_hist: Arc<Histogram>,
+}
+
+impl WalShared {
+    pub(crate) fn new(
+        file: File,
+        path: PathBuf,
+        wal_bytes: u64,
+        wal_records: u64,
+        fsync: bool,
+        window_us: u64,
+    ) -> Arc<WalShared> {
+        Arc::new(WalShared {
+            state: Mutex::new(WalState {
+                pending: Vec::new(),
+                pending_records: 0,
+                next_seq: 1,
+                durable_seq: 0,
+                committing: false,
+                poisoned: false,
+                fail_from: None,
+                path,
+                wal_bytes,
+                wal_records,
+                fsyncs: 0,
+                group_commits: 0,
+            }),
+            cond: Condvar::new(),
+            io: Mutex::new(WalIo {
+                file,
+                durable_bytes: wal_bytes,
+            }),
+            fsync,
+            window: Duration::from_micros(window_us),
+            fsync_hist: Arc::new(Histogram::new()),
+            batch_hist: Arc::new(Histogram::new()),
+        })
+    }
+
+    pub(crate) fn committer(self: &Arc<Self>) -> WalCommitter {
+        WalCommitter {
+            shared: Arc::clone(self),
+        }
+    }
+
+    /// Append `framed` to the pending buffer and assign its sequence
+    /// number. Cheap (no I/O); call under whatever lock establishes the
+    /// desired WAL order.
+    pub(crate) fn enqueue(&self, framed: &[u8]) -> Result<WalTicket> {
+        let mut st = self.state.lock().unwrap();
+        if st.poisoned {
+            return Err(StoreError::Poisoned {
+                path: st.path.clone(),
+            });
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.pending.extend_from_slice(framed);
+        st.pending_records += 1;
+        Ok(WalTicket { seq })
+    }
+
+    /// Block until `seq` is durable; acts as commit leader when nobody
+    /// else is writing.
+    pub(crate) fn wait_durable(&self, seq: u64) -> Result<()> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.durable_seq >= seq {
+                return Ok(());
+            }
+            if let Some(from) = st.fail_from {
+                if seq >= from {
+                    return Err(StoreError::Poisoned {
+                        path: st.path.clone(),
+                    });
+                }
+            }
+            if st.committing {
+                st = self.cond.wait(st).unwrap();
+            } else {
+                let (guard, result) = self.commit_locked(st);
+                st = guard;
+                result?;
+            }
+        }
+    }
+
+    /// Drain *everything* enqueued so far to disk (compaction calls this
+    /// before rotating the WAL). Returns once `durable_seq` catches up
+    /// with `next_seq - 1`.
+    pub(crate) fn commit_all(&self) -> Result<()> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.poisoned {
+                return Err(StoreError::Poisoned {
+                    path: st.path.clone(),
+                });
+            }
+            if st.durable_seq + 1 == st.next_seq && st.pending.is_empty() {
+                return Ok(());
+            }
+            if st.committing {
+                st = self.cond.wait(st).unwrap();
+            } else {
+                let (guard, result) = self.commit_locked(st);
+                st = guard;
+                result?;
+            }
+        }
+    }
+
+    /// The leader path: linger for the window, take the batch, write it
+    /// with one fsync, publish the outcome, wake everyone. Called with
+    /// the state lock held and `committing == false`; returns with the
+    /// state lock re-held and `committing == false`.
+    fn commit_locked<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, WalState>,
+    ) -> (MutexGuard<'a, WalState>, Result<()>) {
+        st.committing = true;
+        if !self.window.is_zero() {
+            drop(st);
+            std::thread::sleep(self.window);
+            st = self.state.lock().unwrap();
+        }
+        let batch = std::mem::take(&mut st.pending);
+        let records = st.pending_records;
+        st.pending_records = 0;
+        let batch_end = st.next_seq - 1;
+        let path = st.path.clone();
+        drop(st);
+
+        let mut fsynced = false;
+        let mut result = Ok(());
+        if !batch.is_empty() {
+            let mut io = self.io.lock().unwrap();
+            result = io
+                .file
+                .write_all(&batch)
+                .and_then(|()| io.file.flush())
+                .map_err(|e| StoreError::io("append to", &path, e));
+            if result.is_ok() && self.fsync {
+                let t0 = Instant::now();
+                let synced = io.file.sync_data();
+                self.fsync_hist.record_duration(t0.elapsed());
+                fsynced = true;
+                result = synced.map_err(|e| StoreError::io("fsync", &path, e));
+            }
+            if result.is_ok() {
+                io.durable_bytes += batch.len() as u64;
+            } else {
+                // Truncate the torn batch back to the durable prefix so
+                // the file recovery reads is exactly the acked records;
+                // the store poisons either way (see module docs).
+                let _ = OpenOptions::new().write(true).open(&path).and_then(|f| {
+                    f.set_len(io.durable_bytes)?;
+                    f.sync_all()
+                });
+            }
+        }
+
+        let mut st = self.state.lock().unwrap();
+        match &result {
+            Ok(()) => {
+                st.durable_seq = batch_end;
+                if !batch.is_empty() {
+                    st.wal_bytes += batch.len() as u64;
+                    st.wal_records += records;
+                    st.group_commits += 1;
+                    if fsynced {
+                        st.fsyncs += 1;
+                    }
+                    self.batch_hist.record(records);
+                }
+            }
+            Err(_) => {
+                // Records enqueued while we were writing are lost too —
+                // they would otherwise commit on top of a hole.
+                if fsynced {
+                    st.fsyncs += 1;
+                }
+                st.poisoned = true;
+                let from = st.durable_seq + 1;
+                st.fail_from = Some(st.fail_from.map_or(from, |f| f.min(from)));
+                st.pending.clear();
+                st.pending_records = 0;
+            }
+        }
+        st.committing = false;
+        self.cond.notify_all();
+        (st, result)
+    }
+}

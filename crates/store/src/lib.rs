@@ -55,12 +55,14 @@
 
 pub mod crc;
 pub mod error;
+pub mod group;
 pub mod scratch;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use error::{Result, StoreError};
+pub use group::{WalCommitter, WalTicket};
 pub use snapshot::SnapshotEntry;
 pub use store::{CatalogStore, RecoveredTable, Recovery, StoreOptions, StoreStats};
 pub use wal::WalRecord;

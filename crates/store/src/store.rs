@@ -26,6 +26,7 @@
 //! fusion output** to the pre-crash catalog at every parallelism degree.
 
 use crate::error::{Result, StoreError};
+use crate::group::{WalCommitter, WalShared, WalTicket};
 use crate::snapshot::{
     self, list_snapshots, load_snapshot, snapshot_path, sync_dir, wal_path, SnapshotEntry,
 };
@@ -51,6 +52,13 @@ pub struct StoreOptions {
     /// Roll the WAL into a fresh snapshot once it exceeds this many bytes
     /// (`0` disables automatic compaction).
     pub compact_after_bytes: u64,
+    /// How long a group-commit leader lingers (microseconds) before
+    /// flushing the pending batch, letting concurrent writers pile in so
+    /// one fsync covers more records. `0` (the default) commits as soon
+    /// as a leader is elected — lone writers pay no extra latency, and
+    /// batching still happens whenever writers queue behind an in-flight
+    /// fsync.
+    pub group_commit_window_us: u64,
 }
 
 impl Default for StoreOptions {
@@ -58,6 +66,7 @@ impl Default for StoreOptions {
         StoreOptions {
             fsync: true,
             compact_after_bytes: 8 * 1024 * 1024,
+            group_commit_window_us: 0,
         }
     }
 }
@@ -111,6 +120,10 @@ pub struct StoreStats {
     /// WAL commit fsyncs issued by this process (snapshot/rotation syncs
     /// not included; 0 when `fsync` is off).
     pub fsyncs: u64,
+    /// Group-commit batches written by this process. Equal to `fsyncs`
+    /// under fsync; the ratio of committed records to batches is the
+    /// group-commit amplification.
+    pub group_commits: u64,
 }
 
 /// The durable catalog store. See the module docs for the on-disk layout
@@ -119,24 +132,16 @@ pub struct StoreStats {
 pub struct CatalogStore {
     dir: PathBuf,
     options: StoreOptions,
-    wal: File,
-    wal_file_path: PathBuf,
+    /// The WAL tail: pending batch buffer, durability watermarks, and the
+    /// file handle, shared with [`WalCommitter`] handles so writers can
+    /// wait for group durability without holding the store lock. Poisoning
+    /// (a commit failure that must refuse further writes, see
+    /// [`StoreError::Poisoned`]) lives here too.
+    shared: Arc<WalShared>,
     generation: u64,
     version_clock: u64,
-    wal_bytes: u64,
-    wal_records: u64,
     snapshots_written: u64,
     recovery_ms: f64,
-    /// WAL commit fsyncs issued by this process.
-    fsyncs: u64,
-    /// Latency of each WAL commit fsync, in microseconds. Shared (via
-    /// [`CatalogStore::fsync_histogram`]) with the server's `/metrics`
-    /// exposition; recording is lock-free.
-    fsync_hist: Arc<Histogram>,
-    /// Set when a failed append left a partial frame that could not be
-    /// truncated away; all further writes are refused (see
-    /// [`StoreError::Poisoned`]).
-    poisoned: bool,
     /// The OS advisory lock on `store.lock`, held for this store's
     /// lifetime. The kernel releases it when the handle closes — including
     /// on `kill -9` — so stale locks cannot exist and two live openers
@@ -307,20 +312,22 @@ impl CatalogStore {
         cleanup_stale_generations(&dir, generation);
 
         let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let shared = WalShared::new(
+            wal,
+            wal_file_path,
+            wal_bytes,
+            replayed_records,
+            options.fsync,
+            options.group_commit_window_us,
+        );
         let store = CatalogStore {
             dir,
             options,
-            wal,
-            wal_file_path,
+            shared,
             generation,
             version_clock,
-            wal_bytes,
-            wal_records: replayed_records,
             snapshots_written: 0,
             recovery_ms,
-            fsyncs: 0,
-            fsync_hist: Arc::new(Histogram::new()),
-            poisoned: false,
             _lock: lock,
         };
         let recovery = Recovery {
@@ -342,14 +349,16 @@ impl CatalogStore {
 
     /// Current counters.
     pub fn stats(&self) -> StoreStats {
+        let st = self.shared.state.lock().unwrap();
         StoreStats {
             generation: self.generation,
-            wal_bytes: self.wal_bytes,
-            wal_records: self.wal_records,
+            wal_bytes: st.wal_bytes,
+            wal_records: st.wal_records,
             snapshots_written: self.snapshots_written,
             recovery_ms: self.recovery_ms,
             fsync: self.options.fsync,
-            fsyncs: self.fsyncs,
+            fsyncs: st.fsyncs,
+            group_commits: st.group_commits,
         }
     }
 
@@ -358,7 +367,21 @@ impl CatalogStore {
     /// `hummer_store_fsync_seconds`; recording is lock-free, so holding
     /// the handle outside the catalog lock is safe.
     pub fn fsync_histogram(&self) -> Arc<Histogram> {
-        Arc::clone(&self.fsync_hist)
+        Arc::clone(&self.shared.fsync_hist)
+    }
+
+    /// Shared handle to the records-per-group-commit histogram. A mean
+    /// near 1 means writers were never contended; larger means one fsync
+    /// covered that many commits.
+    pub fn batch_histogram(&self) -> Arc<Histogram> {
+        Arc::clone(&self.shared.batch_hist)
+    }
+
+    /// A handle for waiting on [`WalTicket`]s without holding the store
+    /// (or any catalog) lock — the enqueue/apply/release/wait pattern that
+    /// makes group commit batch.
+    pub fn committer(&self) -> WalCommitter {
+        self.shared.committer()
     }
 
     /// Hand out the next content version (for callers without their own
@@ -374,100 +397,88 @@ impl CatalogStore {
     /// Log a registration (or replacement) of `alias` at `version`.
     /// Durable once this returns — call *before* acking the mutation.
     pub fn log_register(&mut self, alias: &str, version: u64, table: &Table) -> Result<()> {
-        self.append(
+        let ticket = self.enqueue_register(alias, version, table)?;
+        self.shared.wait_durable(ticket.seq)
+    }
+
+    /// Log a delta batch against `alias` producing `new_version`.
+    pub fn log_delta(&mut self, alias: &str, new_version: u64, delta: &TableDelta) -> Result<()> {
+        let ticket = self.enqueue_delta(alias, new_version, delta)?;
+        self.shared.wait_durable(ticket.seq)
+    }
+
+    /// Log the removal of `alias`.
+    pub fn log_deregister(&mut self, alias: &str) -> Result<()> {
+        let ticket = self.enqueue_deregister(alias)?;
+        self.shared.wait_durable(ticket.seq)
+    }
+
+    /// Enqueue a registration without waiting for durability. The record's
+    /// WAL position is fixed here (enqueue order == replay order), so call
+    /// this under the same lock that orders catalog versions; redeem the
+    /// ticket via [`CatalogStore::committer`] *after* releasing that lock
+    /// and *before* acking the mutation.
+    pub fn enqueue_register(
+        &mut self,
+        alias: &str,
+        version: u64,
+        table: &Table,
+    ) -> Result<WalTicket> {
+        self.enqueue(
             Some(version),
             wal::encode_register_payload(alias, version, table),
         )
     }
 
-    /// Log a delta batch against `alias` producing `new_version`.
-    pub fn log_delta(&mut self, alias: &str, new_version: u64, delta: &TableDelta) -> Result<()> {
-        self.append(
+    /// Enqueue a delta batch without waiting for durability (see
+    /// [`CatalogStore::enqueue_register`] for the protocol).
+    pub fn enqueue_delta(
+        &mut self,
+        alias: &str,
+        new_version: u64,
+        delta: &TableDelta,
+    ) -> Result<WalTicket> {
+        self.enqueue(
             Some(new_version),
             wal::encode_delta_payload(alias, new_version, delta),
         )
     }
 
-    /// Log the removal of `alias`.
-    pub fn log_deregister(&mut self, alias: &str) -> Result<()> {
-        self.append(None, wal::encode_deregister_payload(alias))
+    /// Enqueue a removal without waiting for durability (see
+    /// [`CatalogStore::enqueue_register`] for the protocol).
+    pub fn enqueue_deregister(&mut self, alias: &str) -> Result<WalTicket> {
+        self.enqueue(None, wal::encode_deregister_payload(alias))
     }
 
-    fn append(&mut self, version: Option<u64>, payload: Vec<u8>) -> Result<()> {
-        if self.poisoned {
-            return Err(StoreError::Poisoned {
-                path: self.wal_file_path.clone(),
-            });
-        }
+    fn enqueue(&mut self, version: Option<u64>, payload: Vec<u8>) -> Result<WalTicket> {
         if payload.len() as u64 > u64::from(wal::MAX_RECORD_BYTES) {
+            let path = self.shared.state.lock().unwrap().path.clone();
             return Err(StoreError::TooLarge {
                 what: "WAL record",
-                path: self.wal_file_path.clone(),
+                path,
                 bytes: payload.len() as u64,
                 cap: u64::from(wal::MAX_RECORD_BYTES),
             });
         }
         let framed = wal::frame(&payload);
-        let mut fsync_elapsed = None;
-        let write = self
-            .wal
-            .write_all(&framed)
-            .map_err(|e| StoreError::io("append to", &self.wal_file_path, e))
-            .and_then(|()| {
-                self.wal
-                    .flush()
-                    .map_err(|e| StoreError::io("flush", &self.wal_file_path, e))
-            })
-            .and_then(|()| {
-                if self.options.fsync {
-                    let t0 = Instant::now();
-                    let synced = self
-                        .wal
-                        .sync_data()
-                        .map_err(|e| StoreError::io("fsync", &self.wal_file_path, e));
-                    fsync_elapsed = Some(t0.elapsed());
-                    synced
-                } else {
-                    Ok(())
-                }
-            });
-        if let Some(elapsed) = fsync_elapsed {
-            // Count failed fsyncs too — a stalling disk should be visible.
-            self.fsyncs += 1;
-            self.fsync_hist.record_duration(elapsed);
-        }
-        if let Err(e) = write {
-            // The file may hold a partial (or complete-but-unacked) frame.
-            // Truncate back to the last durable record so later successful
-            // appends are not stranded behind a torn tail; if even that
-            // fails, poison the store — appending past garbage would make
-            // recovery silently drop acked records.
-            let repaired = OpenOptions::new()
-                .write(true)
-                .open(&self.wal_file_path)
-                .and_then(|f| {
-                    f.set_len(self.wal_bytes)?;
-                    f.sync_all()
-                })
-                .is_ok();
-            if !repaired {
-                self.poisoned = true;
-            }
-            return Err(e);
-        }
+        let ticket = self.shared.enqueue(&framed)?;
         if let Some(v) = version {
             self.version_clock = self.version_clock.max(v);
         }
-        self.wal_bytes += framed.len() as u64;
-        self.wal_records += 1;
-        Ok(())
+        Ok(ticket)
     }
 
-    /// Whether the WAL has grown past the compaction threshold.
+    /// Whether the WAL has grown past the compaction threshold. Pending
+    /// (enqueued-but-not-yet-committed) records count: callers check this
+    /// right after enqueueing, and [`CatalogStore::compact`] drains the
+    /// pending batch before rotating anyway.
     pub fn wants_compaction(&self) -> bool {
-        self.options.compact_after_bytes > 0
-            && self.wal_records > 0
-            && self.wal_bytes >= self.options.compact_after_bytes
+        if self.options.compact_after_bytes == 0 {
+            return false;
+        }
+        let st = self.shared.state.lock().unwrap();
+        st.wal_records + st.pending_records > 0
+            && st.wal_bytes + st.pending.len() as u64 >= self.options.compact_after_bytes
     }
 
     /// Roll the WAL into a fresh snapshot of `entries` (the caller's
@@ -479,6 +490,11 @@ impl CatalogStore {
     /// the snapshot, ignore those acked appends, and delete them as stale.
     /// If even the rollback fails, the store poisons itself.
     pub fn compact(&mut self, entries: &[SnapshotEntry<'_>]) -> Result<()> {
+        // Flush every enqueued record first — rotation must not strand
+        // pending frames behind the file swap. Callers hold whatever lock
+        // orders enqueues (the server: the catalog write lock), so no new
+        // record can slip in between the drain and the swap.
+        self.shared.commit_all()?;
         let next_gen = self.generation + 1;
         snapshot::write_snapshot(
             &self.dir,
@@ -503,7 +519,7 @@ impl CatalogStore {
                 // snapshot that shadows future appends to the old WAL.
                 let committed = snapshot_path(&self.dir, next_gen);
                 if fs::remove_file(&committed).is_err() && committed.exists() {
-                    self.poisoned = true;
+                    self.shared.state.lock().unwrap().poisoned = true;
                 } else {
                     fs::remove_file(&next_wal_path).ok();
                     if self.options.fsync {
@@ -514,9 +530,20 @@ impl CatalogStore {
             }
         };
 
-        // Generation g+1 is durable; retire generation g (best effort — a
+        // Generation g+1 is durable; swap the tail under both WAL locks
+        // (nobody else ever holds the two together, and commit leaders
+        // are excluded because the WAL is fully drained and callers block
+        // new enqueues), then retire generation g (best effort — a
         // leftover file is ignored by recovery, never load-bearing).
-        let old_wal = std::mem::replace(&mut self.wal_file_path, next_wal_path);
+        let old_wal = {
+            let mut io = self.shared.io.lock().unwrap();
+            let mut st = self.shared.state.lock().unwrap();
+            io.file = next_wal;
+            io.durable_bytes = WAL_HEADER_LEN;
+            st.wal_bytes = WAL_HEADER_LEN;
+            st.wal_records = 0;
+            std::mem::replace(&mut st.path, next_wal_path)
+        };
         let old_snapshot = snapshot_path(&self.dir, self.generation);
         fs::remove_file(&old_wal).ok();
         fs::remove_file(&old_snapshot).ok();
@@ -524,10 +551,7 @@ impl CatalogStore {
             sync_dir(&self.dir).ok();
         }
 
-        self.wal = next_wal;
         self.generation = next_gen;
-        self.wal_bytes = WAL_HEADER_LEN;
-        self.wal_records = 0;
         self.snapshots_written += 1;
         Ok(())
     }
@@ -761,6 +785,7 @@ mod tests {
         let options = StoreOptions {
             fsync: false,
             compact_after_bytes: 64,
+            group_commit_window_us: 0,
         };
         let (mut store, _) = CatalogStore::open(&dir, options).unwrap();
         assert!(!store.wants_compaction()); // empty WAL never compacts
@@ -769,6 +794,7 @@ mod tests {
         let disabled = StoreOptions {
             fsync: false,
             compact_after_bytes: 0,
+            group_commit_window_us: 0,
         };
         let dir2 = temp_dir();
         let (mut store2, _) = CatalogStore::open(&dir2, disabled).unwrap();
@@ -844,6 +870,133 @@ mod tests {
         }
         let e = CatalogStore::open(&dir, StoreOptions::default()).unwrap_err();
         assert!(matches!(e, StoreError::Replay { record: 0, .. }), "{e}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_group_commit_recovers_every_acked_record_in_order() {
+        let dir = temp_dir();
+        let options = StoreOptions {
+            fsync: false, // keep the test fast; batching logic is identical
+            compact_after_bytes: 0,
+            group_commit_window_us: 200,
+        };
+        let acked: std::sync::Mutex<Vec<u64>> = std::sync::Mutex::new(Vec::new());
+        {
+            let (store, _) = CatalogStore::open(&dir, options.clone()).unwrap();
+            let committer = store.committer();
+            let store = std::sync::Mutex::new(store);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..5 {
+                            // Enqueue under the lock that orders versions
+                            // (standing in for the server's catalog write
+                            // lock), wait for durability outside it.
+                            let (version, ticket) = {
+                                let mut st = store.lock().unwrap();
+                                let v = st.allocate_version();
+                                let t = st
+                                    .enqueue_register(&format!("T{v}"), v, &students())
+                                    .unwrap();
+                                acked.lock().unwrap().push(v);
+                                (v, t)
+                            };
+                            committer.wait(ticket).unwrap();
+                            let _ = version;
+                        }
+                    });
+                }
+            });
+            let stats = store.lock().unwrap().stats();
+            assert_eq!(stats.wal_records, 20);
+            assert!(stats.group_commits >= 1 && stats.group_commits <= 20);
+            let batches = store.lock().unwrap().batch_histogram().snapshot();
+            assert_eq!(batches.count(), stats.group_commits);
+            assert_eq!(batches.sum(), 20, "every record lands in some batch");
+        }
+        // Recovery replays the records in enqueue (== ack) order: the
+        // versions recovered are exactly the acked set, and since each
+        // alias is unique, all 20 survive.
+        let (_, recovery) = CatalogStore::open(&dir, options).unwrap();
+        let mut want = acked.into_inner().unwrap();
+        want.sort_unstable();
+        let mut got: Vec<u64> = recovery.tables.iter().map(|t| t.version).collect();
+        got.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(recovery.last_version, 20);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_wal_bytes_match_sequential_appends() {
+        // The batched WAL must be bit-identical to sequential appends of
+        // the same records in the same order.
+        let seq_dir = temp_dir();
+        let grp_dir = temp_dir();
+        let options = StoreOptions {
+            fsync: false,
+            compact_after_bytes: 0,
+            group_commit_window_us: 0,
+        };
+        {
+            let (mut store, _) = CatalogStore::open(&seq_dir, options.clone()).unwrap();
+            for v in 1..=6u64 {
+                store
+                    .log_register(&format!("T{v}"), v, &students())
+                    .unwrap();
+            }
+        }
+        {
+            let (mut store, _) = CatalogStore::open(&grp_dir, options.clone()).unwrap();
+            let committer = store.committer();
+            // Enqueue everything first, wait afterwards: one batch.
+            let tickets: Vec<_> = (1..=6u64)
+                .map(|v| {
+                    store
+                        .enqueue_register(&format!("T{v}"), v, &students())
+                        .unwrap()
+                })
+                .collect();
+            for t in tickets {
+                committer.wait(t).unwrap();
+            }
+            assert_eq!(store.stats().group_commits, 1, "single drain batch");
+        }
+        let seq = fs::read(wal_path(&seq_dir, 0)).unwrap();
+        let grp = fs::read(wal_path(&grp_dir, 0)).unwrap();
+        assert_eq!(seq, grp);
+        fs::remove_dir_all(&seq_dir).ok();
+        fs::remove_dir_all(&grp_dir).ok();
+    }
+
+    #[test]
+    fn compaction_drains_enqueued_records_before_rotating() {
+        let dir = temp_dir();
+        let options = StoreOptions {
+            fsync: false,
+            compact_after_bytes: 0,
+            group_commit_window_us: 0,
+        };
+        {
+            let (mut store, _) = CatalogStore::open(&dir, options.clone()).unwrap();
+            let t = students();
+            // Enqueued but never waited on: compaction must still flush it
+            // so the snapshot and the version clock agree.
+            let _ticket = store.enqueue_register("A", 1, &t).unwrap();
+            store
+                .compact(&[SnapshotEntry {
+                    alias: "A",
+                    version: 1,
+                    table: &t,
+                }])
+                .unwrap();
+            assert_eq!(store.stats().wal_records, 0);
+        }
+        let (_, recovery) = CatalogStore::open(&dir, options).unwrap();
+        assert_eq!(recovery.snapshot_generation, Some(1));
+        assert_eq!(recovery.tables.len(), 1);
+        assert_eq!(recovery.last_version, 1);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -6,15 +6,22 @@
 #    (writes BENCH_columnar.json);
 #  - exp14: the observability contract — the fully-instrumented pipeline
 #    (stage spans + counters) within 3% of bare wall time on the 10k-row
-#    person_scale world, bit-identical output (writes BENCH_observability.json).
-# The script then sanity-checks both reports.
+#    person_scale world, bit-identical output (writes BENCH_observability.json);
+#  - exp15: the event-loop serving contract — fused output bit-identical to
+#    the blocking server at degrees 1-4, p99 at 128 connections no worse
+#    than the blocking baseline's p99 at 8, overload sheds with 503 and
+#    keeps serving, and group-commit fsync delta throughput >= 85% of
+#    no-fsync (writes BENCH_serving2.json).
+# The script then sanity-checks all three reports.
 set -euo pipefail
 
 BIN=${BIN:-./target/release/exp13_columnar}
 OBS_BIN=${OBS_BIN:-./target/release/exp14_observability}
+SERVE_BIN=${SERVE_BIN:-./target/release/exp15_serving}
 
 [ -x "$BIN" ] || { echo "missing $BIN (build with: cargo build --release -p hummer_bench --bin exp13_columnar)"; exit 1; }
 [ -x "$OBS_BIN" ] || { echo "missing $OBS_BIN (build with: cargo build --release -p hummer_bench --bin exp14_observability)"; exit 1; }
+[ -x "$SERVE_BIN" ] || { echo "missing $SERVE_BIN (build with: cargo build --release -p hummer_bench --bin exp15_serving)"; exit 1; }
 
 "$BIN"
 
@@ -34,4 +41,14 @@ grep -q '"passed": *true' "$OBS_REPORT" \
 grep -q '"identical": *true' "$OBS_REPORT" \
     || { echo "report does not record instrumented/bare identity:"; cat "$OBS_REPORT"; exit 1; }
 
-echo "bench smoke test OK ($REPORT, $OBS_REPORT)"
+"$SERVE_BIN"
+
+SERVE_REPORT=BENCH_serving2.json
+[ -f "$SERVE_REPORT" ] || { echo "$SERVE_REPORT was not written"; exit 1; }
+for gate in identity_degrees_1_4 p99_at_128_conns_le_baseline \
+            overload_sheds_and_survives group_commit_ratio_ge_085; do
+    grep -q "\"$gate\": *true" "$SERVE_REPORT" \
+        || { echo "serving gate $gate not passed:"; cat "$SERVE_REPORT"; exit 1; }
+done
+
+echo "bench smoke test OK ($REPORT, $OBS_REPORT, $SERVE_REPORT)"

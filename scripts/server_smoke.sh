@@ -5,10 +5,14 @@
 # exposition and a per-request /trace/{id} span tree, then shut down
 # gracefully. A second section exercises durability: --data-dir, kill -9,
 # restart on the same directory, byte-identical fusion result, recovery
-# stats in /metrics.json and on the Prometheus exposition.
+# stats in /metrics.json and on the Prometheus exposition. A third section
+# exercises the event loop at depth: a 128-connection mixed burst through
+# loadgen, then kill -9 while concurrent deltas are inside a widened
+# group-commit window — the restart must serve byte-identical fusion output.
 set -euo pipefail
 
 BIN=${BIN:-./target/release/hummer-serve}
+LOADGEN_BIN=${LOADGEN_BIN:-./target/release/loadgen}
 PORT=${PORT:-$((20000 + RANDOM % 20000))}
 ADDR="127.0.0.1:${PORT}"
 DATA_DIR=$(mktemp -d)
@@ -183,6 +187,82 @@ curl -sf "http://${ADDR4}/tables" | grep -vq 'EE_Student' \
 curl -sf -X POST "http://${ADDR4}/shutdown" >/dev/null
 wait "$SERVER_PID"
 
+# --- Event loop: 128-connection burst, kill -9 mid group-commit window ------
+
+[ -x "$LOADGEN_BIN" ] \
+    || { echo "missing $LOADGEN_BIN (build with: cargo build --release -p hummer_server --bin loadgen)"; exit 1; }
+
+# A mixed read/write burst at event-loop scale: 128 concurrent connections,
+# one in eight requests a delta update. loadgen exits nonzero on any
+# request error, so success means the nonblocking path served the whole
+# burst without dropping or corrupting a response.
+PORT5=$((PORT + 4))
+ADDR5="127.0.0.1:${PORT5}"
+"$BIN" --addr "$ADDR5" --threads 2 --narrow-schemas &
+SERVER_PID=$!
+wait_healthy "$ADDR5"
+"$LOADGEN_BIN" --addr "$ADDR5" --connections 128 --requests 640 \
+    --worlds 2 --entities 30 --update-ratio 0.125 >/tmp/burst.txt \
+    || { echo "128-connection burst failed:"; cat /tmp/burst.txt; exit 1; }
+grep -q '^requests_err     0$' /tmp/burst.txt \
+    || { echo "burst reported request errors:"; cat /tmp/burst.txt; exit 1; }
+curl -sf -X POST "http://${ADDR5}/shutdown" >/dev/null
+wait "$SERVER_PID"
+
+# Crash inside a group-commit window. The server runs with a widened
+# (5 ms) window so concurrent deltas batch into shared fsyncs; the deltas
+# only flap EE_Student's John Smith between two ages that both lose the
+# RESOLVE(Age, max) against CS_Students' 25, so whatever acked prefix of
+# the torn batch survives the kill -9, the fused output is byte-identical.
+DATA_DIR2=$(mktemp -d)
+trap 'kill -9 "$SERVER_PID" 2>/dev/null || true; rm -rf "$DATA_DIR" "$DATA_DIR2"' EXIT
+PORT6=$((PORT + 5))
+ADDR6="127.0.0.1:${PORT6}"
+"$BIN" --addr "$ADDR6" --threads 2 --narrow-schemas \
+    --data-dir "$DATA_DIR2" --group-commit-window-us 5000 &
+SERVER_PID=$!
+wait_healthy "$ADDR6"
+
+curl -sf -X PUT "http://${ADDR6}/tables/EE_Student" \
+    --data-binary $'Name,Age,City\nJohn Smith,24,Berlin\nMary Jones,22,Hamburg\nPeter Miller,27,Munich\n' >/dev/null
+curl -sf -X PUT "http://${ADDR6}/tables/CS_Students" \
+    --data-binary $'FullName,Years,Town\nJohn Smith,25,Berlin\nMary Jones,22,Hamburg\nAda Lovelace,28,London\n' >/dev/null
+curl -sf -X POST "http://${ADDR6}/query" \
+    -d 'SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)' \
+    -o /tmp/gc_before.json
+grep -q '"row_count":4' /tmp/gc_before.json \
+    || { echo "pre-crash fusion wrong:"; cat /tmp/gc_before.json; exit 1; }
+
+# 64 concurrent fusion-invariant deltas, then kill -9 while they are still
+# queueing into the 5 ms group-commit window.
+for i in $(seq 1 64); do
+    age=$((20 + (i % 2) * 4))
+    curl -s -o /dev/null -X POST "http://${ADDR6}/tables/EE_Student/delta" \
+        -H 'content-type: application/json' \
+        -d "{\"update\": [{\"row\": 0, \"values\": [\"John Smith\", \"${age}\", \"Berlin\"]}]}" &
+done
+sleep 0.05
+kill -9 "$SERVER_PID"
+wait 2>/dev/null || true
+
+# Restart on the same directory: recovery drops at most a torn tail, keeps
+# every acked delta, and the fused result is byte-identical.
+PORT7=$((PORT + 6))
+ADDR7="127.0.0.1:${PORT7}"
+"$BIN" --addr "$ADDR7" --threads 2 --narrow-schemas --data-dir "$DATA_DIR2" &
+SERVER_PID=$!
+wait_healthy "$ADDR7"
+curl -sf -X POST "http://${ADDR7}/query" \
+    -d 'SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)' \
+    -o /tmp/gc_after.json
+if [ "$(result_of /tmp/gc_before.json)" != "$(result_of /tmp/gc_after.json)" ]; then
+    echo "fusion result differs after group-commit crash recovery:"
+    diff <(result_of /tmp/gc_before.json) <(result_of /tmp/gc_after.json) || true
+    exit 1
+fi
+curl -sf -X POST "http://${ADDR7}/shutdown" >/dev/null
+wait "$SERVER_PID"
+
 trap - EXIT
-rm -rf "$DATA_DIR"
-echo "server smoke test OK (addr ${ADDR}, durable restart on ${ADDR3})"
+rm -rf "$DATA_DIR" "$DATA_DIR2"
+echo "server smoke test OK (addr ${ADDR}, durable restart on ${ADDR3}, group-commit crash on ${ADDR7})"

@@ -273,6 +273,7 @@ proptest! {
         let options = StoreOptions {
             fsync: false,            // page cache is enough for this test
             compact_after_bytes: 0,  // keep one WAL, no auto-compaction
+            group_commit_window_us: 0,
         };
         let (mut store, _) = CatalogStore::open(&dir, options.clone()).unwrap();
         let mut expected: Expected = BTreeMap::new();
