@@ -1,0 +1,466 @@
+//! E16 — sharded scatter-gather fusion (PR 9).
+//!
+//! Three gates on the two-tier worker/combiner executor in `crates/shard`:
+//!
+//! 1. **Identity matrix** (hard gate): for every demo scenario world, the
+//!    sharded pipeline's output is bit-identical to the single-shard
+//!    pipeline across shard ceilings K ∈ {1, 2, 4, 8} × intra-shard
+//!    parallelism degrees 1–4.
+//! 2. **Scatter-gather speedup** on the ≈ 10k-row `person_scale` world
+//!    under key-equality blocking (24 city keys → ≈ 1.4M candidate
+//!    pairs), 8 shards scattered over two HTTP workers:
+//!    - *work division* (hard gate, any host): the planner's round-robin
+//!      batches must split the candidate-pair work so the critical path —
+//!      the heaviest worker's share — is at most `1/1.5` of the total,
+//!      i.e. two workers buy ≥ 1.5× on the shardable stage;
+//!    - *wall clock* (hard gate on hosts with ≥ 4 cores, reported
+//!      otherwise — the same rule as exp10's parallelism gate): the
+//!      two-worker scatter must beat the sequential single-shard pipeline
+//!      end to end, global matching, wire encoding, and combiner included.
+//! 3. **Worker-kill fault drill** (hard gate): with one worker dead the
+//!    coordinator retries its batches on the surviving worker; with both
+//!    dead it falls back to local execution. Both answers must stay
+//!    bit-identical to the reference, and with fallback disabled the
+//!    all-dead scatter must surface an error instead of wrong output.
+//!
+//! Writes `BENCH_sharding.json` and exits nonzero if any gate fails.
+
+use hummer_bench::{f3, render_table};
+use hummer_core::{fuse_prepared_par, prepare_tables, HummerConfig, Parallelism, PipelineOutcome};
+use hummer_datagen::scenarios::{
+    cd_shopping, cleansing_service, disaster_registry, person_scale, student_rosters,
+};
+use hummer_datagen::GeneratedWorld;
+use hummer_dupdetect::{candidate_pairs, resolve_candidate_strategy};
+use hummer_engine::Table;
+use hummer_fusion::FunctionRegistry;
+use hummer_obs::Span;
+use hummer_server::{HummerServer, Json, ServerConfig, ServiceConfig};
+use hummer_shard::{
+    execute_sharded, execute_sharded_with, key_equality_spec, plan_shards, CoordinatorConfig,
+    RemoteBackend,
+};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const SEED: u64 = 2005;
+/// Entities per demo scenario world in the identity matrix.
+const CURVE_ENTITIES: usize = 120;
+/// `person_scale` entities; coverage 0.7 makes the union ≈ 10k rows.
+const LARGE_ENTITIES: usize = 7200;
+/// Shard ceilings of the identity matrix.
+const SHARD_CEILINGS: [usize; 4] = [1, 2, 4, 8];
+/// Intra-shard parallelism degrees of the identity matrix.
+const DEGREES: [usize; 4] = [1, 2, 3, 4];
+/// Shard ceiling for the large-world scatter.
+const K_BIG: usize = 8;
+/// Minimum end-to-end wall-clock speedup of the two-worker scatter over
+/// the sequential single-shard pipeline, enforced on hosts with at least
+/// [`MIN_CORES_FOR_WALL_GATE`] cores. Matching and transformation stay
+/// global (they are not sharded — see the shard crate docs), so the
+/// scatter can only win back the detect/cluster/fuse fraction; 1.1× on
+/// the full pipeline is the honest floor for two workers.
+const SPEEDUP_BAR: f64 = 1.1;
+/// The wall-clock gate needs real cores: a coordinator plus two workers
+/// time-slicing one CPU can only lose to a sequential run. Same rule as
+/// exp10's intra-query parallelism gate.
+const MIN_CORES_FOR_WALL_GATE: usize = 4;
+/// Minimum work-division speedup: total candidate pairs over the heaviest
+/// worker batch's pairs. This is the scatter's critical-path win and is
+/// host-independent; 2 ideally balanced workers give 2.0.
+const DIVISION_BAR: f64 = 1.5;
+const REPS: usize = 3;
+
+/// Minimum wall-clock milliseconds of `f` over [`REPS`] runs.
+fn time_min_ms<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(v);
+    }
+    (out.expect("REPS >= 1"), best)
+}
+
+/// Everything user-visible, rendered bit-exactly (`{:?}` on `f64` is the
+/// shortest roundtrip form, so differing bits — NaN payloads, `-0.0` —
+/// render differently).
+fn fingerprint(out: &PipelineOutcome) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}",
+        out.result.rows(),
+        out.result.schema().names(),
+        out.detection.cluster_ids,
+        out.detection.pairs,
+        out.detection.unsure,
+        out.conflict_count,
+        out.sample_conflicts,
+    )
+}
+
+/// Key-equality blocking on `key` so the candidate graph decomposes into
+/// one component per key group and K > 1 genuinely fans out.
+fn sharded_config(key: &str, par: Parallelism) -> HummerConfig {
+    let mut config = HummerConfig {
+        parallelism: par,
+        ..Default::default()
+    };
+    config.detector.candidates = key_equality_spec(key.to_string());
+    config
+}
+
+/// The single-shard reference: prepare + fuse, sequential.
+fn reference_outcome(tables: &[&Table], config: &HummerConfig) -> PipelineOutcome {
+    let prepared = prepare_tables(tables, config).expect("prepare");
+    fuse_prepared_par(
+        &prepared,
+        &[],
+        &FunctionRegistry::standard(),
+        Parallelism::sequential(),
+    )
+    .expect("fuse")
+}
+
+/// Start one shard worker: a plain `hummer-serve` (event mode) on an
+/// ephemeral port — `POST /shard/execute` is all the coordinator uses, and
+/// the request carries its own table, so no uploads are needed.
+fn start_worker(degree: usize) -> (String, impl FnOnce()) {
+    let mut service = ServiceConfig::default();
+    service.pipeline.parallelism = Parallelism::degree(degree);
+    let server = HummerServer::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        service,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral worker port");
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (addr, move || {
+        handle.shutdown();
+        join.join().expect("worker thread");
+    })
+}
+
+fn remote_backend(workers: Vec<String>, fallback_local: bool) -> RemoteBackend {
+    RemoteBackend::new(CoordinatorConfig {
+        workers,
+        fallback_local,
+        ..CoordinatorConfig::default()
+    })
+}
+
+fn main() -> ExitCode {
+    println!("E16 — sharded scatter-gather fusion\n");
+    let registry = FunctionRegistry::standard();
+
+    // ---- 1. Identity matrix: worlds × shard ceilings × degrees ----------
+    let worlds: Vec<(&str, GeneratedWorld)> = vec![
+        ("cd_shopping", cd_shopping(CURVE_ENTITIES, SEED)),
+        ("disaster_registry", disaster_registry(CURVE_ENTITIES, SEED)),
+        ("student_rosters", student_rosters(CURVE_ENTITIES, SEED)),
+        ("cleansing_service", cleansing_service(CURVE_ENTITIES, SEED)),
+    ];
+    let mut identity_reports = Vec::new();
+    for (name, world) in &worlds {
+        let tables: Vec<&Table> = world.sources.iter().map(|s| &s.table).collect();
+        let key = world.sources[0].table.schema().names()[0].to_string();
+        let base = fingerprint(&reference_outcome(
+            &tables,
+            &sharded_config(&key, Parallelism::sequential()),
+        ));
+        let mut checked = 0usize;
+        let mut max_shards = 0usize;
+        for &k in &SHARD_CEILINGS {
+            for &d in &DEGREES {
+                let config = sharded_config(&key, Parallelism::degree(d));
+                let sharded =
+                    execute_sharded(&tables, &config, k, &[], &registry).expect("sharded");
+                if fingerprint(&sharded.outcome) != base {
+                    eprintln!("FAIL: {name} diverged at k={k}, {d} thread(s)");
+                    return ExitCode::FAILURE;
+                }
+                max_shards = max_shards.max(sharded.shards);
+                checked += 1;
+            }
+        }
+        println!("{name}: {checked} shard x degree runs bit-identical (up to {max_shards} shards)");
+        identity_reports.push(
+            Json::object()
+                .with("scenario", *name)
+                .with("runs", checked)
+                .with("max_shards", max_shards)
+                .with("identical", true),
+        );
+    }
+    println!();
+
+    // ---- 2. Large world: scatter-gather speedup over two workers --------
+    // Key-equality on `City` (24 distinct cities in the generator pool)
+    // gives a few dozen fat candidate-graph components — real per-shard
+    // scoring work that the planner can actually spread.
+    let large = person_scale(LARGE_ENTITIES, SEED);
+    let tables: Vec<&Table> = large.sources.iter().map(|s| &s.table).collect();
+    let seq_cfg = sharded_config("City", Parallelism::sequential());
+    let par_cfg = sharded_config("City", Parallelism::degree(4));
+
+    let (reference, single_ms) = time_min_ms(|| reference_outcome(&tables, &seq_cfg));
+    let reference_fp = fingerprint(&reference);
+    let prepared = prepare_tables(&tables, &seq_cfg).expect("prepare large");
+    let strategy =
+        resolve_candidate_strategy(&prepared.integrated, &seq_cfg.detector_config().candidates)
+            .expect("strategy");
+    let n_candidates = candidate_pairs(&prepared.integrated, &strategy).len();
+    println!(
+        "large world: {} union rows, {} candidate pairs under City blocking; \
+         single-shard sequential pipeline {:.0} ms",
+        prepared.integrated.len(),
+        n_candidates,
+        single_ms
+    );
+
+    // Work-division gate: the coordinator hands worker i shards i, i+2,
+    // i+4, … (round-robin, see `RemoteBackend::scatter`); the heaviest
+    // batch's candidate-pair share is the scatter's critical path.
+    let plan = plan_shards(&prepared.integrated, &seq_cfg.detector_config(), K_BIG).expect("plan");
+    let n_groups = 2usize.min(plan.shards.len().max(1));
+    let mut group_pairs = vec![0usize; n_groups];
+    for (i, shard) in plan.shards.iter().enumerate() {
+        group_pairs[i % n_groups] += shard.candidates.len();
+    }
+    let max_group = group_pairs.iter().copied().max().unwrap_or(0);
+    let division = n_candidates as f64 / (max_group.max(1)) as f64;
+    let division_passed = division >= DIVISION_BAR;
+    println!(
+        "work division over 2 workers: heaviest batch {} of {} pairs -> {}x critical-path win",
+        max_group,
+        n_candidates,
+        f3(division)
+    );
+    if !division_passed {
+        eprintln!(
+            "FAIL: work division is {}x, below the {DIVISION_BAR}x bar",
+            f3(division)
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Local sharded run: same decomposition, no network — isolates the
+    // planner/combiner overhead from the scatter win.
+    let (local_sharded, local_ms) = time_min_ms(|| {
+        execute_sharded(&tables, &par_cfg, K_BIG, &[], &registry).expect("local sharded")
+    });
+    if fingerprint(&local_sharded.outcome) != reference_fp {
+        eprintln!("FAIL: local sharded output diverged on the large world");
+        return ExitCode::FAILURE;
+    }
+
+    // Remote scatter: two worker servers, round-robin shard batches.
+    let (addr_a, stop_a) = start_worker(2);
+    let (addr_b, stop_b) = start_worker(2);
+    let backend = remote_backend(vec![addr_a.clone(), addr_b.clone()], true);
+    let (remote, remote_ms) = time_min_ms(|| {
+        execute_sharded_with(
+            &tables,
+            &par_cfg,
+            K_BIG,
+            &[],
+            &registry,
+            &backend,
+            &Span::noop(),
+        )
+        .expect("remote sharded")
+    });
+    let remote_identical = fingerprint(&remote.outcome) == reference_fp;
+    let clean_scatter = remote.stats.fallbacks == 0 && remote.stats.retries == 0;
+    if !remote_identical {
+        eprintln!("FAIL: remote scatter output diverged on the large world");
+        return ExitCode::FAILURE;
+    }
+    if !clean_scatter {
+        eprintln!(
+            "FAIL: healthy two-worker scatter needed {} retries / {} fallbacks",
+            remote.stats.retries, remote.stats.fallbacks
+        );
+        return ExitCode::FAILURE;
+    }
+    let speedup = single_ms / remote_ms.max(1e-9);
+    println!(
+        "{}",
+        render_table(
+            &["pipeline", "ms", "vs single"],
+            &[
+                vec![
+                    "single shard, sequential".into(),
+                    format!("{single_ms:.0}"),
+                    "1.000x".into()
+                ],
+                vec![
+                    format!("{} shards, local", local_sharded.shards),
+                    format!("{local_ms:.0}"),
+                    format!("{}x", f3(single_ms / local_ms.max(1e-9))),
+                ],
+                vec![
+                    format!("{} shards, 2 workers", remote.shards),
+                    format!("{remote_ms:.0}"),
+                    format!("{}x", f3(speedup)),
+                ],
+            ],
+        )
+    );
+    println!(
+        "scatter: {} shards from {} components, {} worker requests\n",
+        remote.shards, remote.components, remote.stats.requests
+    );
+
+    // ---- 3. Fault drill: dead worker, dead fleet, no fallback -----------
+    // Kill worker B. Its batches must retry onto A and the answer must not
+    // change by a bit.
+    stop_b();
+    let one_dead = remote_backend(vec![addr_a.clone(), addr_b.clone()], true);
+    let drilled = execute_sharded_with(
+        &tables,
+        &par_cfg,
+        K_BIG,
+        &[],
+        &registry,
+        &one_dead,
+        &Span::noop(),
+    )
+    .expect("scatter with one dead worker");
+    let retry_identical = fingerprint(&drilled.outcome) == reference_fp;
+    let retried = drilled.stats.retries;
+    println!(
+        "worker-kill drill: 1 of 2 workers dead -> {} retries, {} fallbacks, identical={}",
+        retried, drilled.stats.fallbacks, retry_identical
+    );
+    if !retry_identical || retried == 0 {
+        eprintln!("FAIL: dead-worker retry path broke identity or never retried");
+        stop_a();
+        return ExitCode::FAILURE;
+    }
+
+    // Kill worker A too. Every batch now falls back to local execution.
+    stop_a();
+    let all_dead = remote_backend(vec![addr_a.clone(), addr_b.clone()], true);
+    let fell_back = execute_sharded_with(
+        &tables,
+        &par_cfg,
+        K_BIG,
+        &[],
+        &registry,
+        &all_dead,
+        &Span::noop(),
+    )
+    .expect("scatter with all workers dead");
+    let fallback_identical = fingerprint(&fell_back.outcome) == reference_fp;
+    let fallbacks = fell_back.stats.fallbacks;
+    println!(
+        "worker-kill drill: all workers dead -> {} fallbacks, identical={}",
+        fallbacks, fallback_identical
+    );
+    if !fallback_identical || fallbacks == 0 {
+        eprintln!("FAIL: local-fallback path broke identity or never engaged");
+        return ExitCode::FAILURE;
+    }
+
+    // With fallback disabled, the same all-dead scatter must error — never
+    // return partial or wrong output.
+    let strict = remote_backend(vec![addr_a, addr_b], false);
+    let strict_err = execute_sharded_with(
+        &tables,
+        &par_cfg,
+        K_BIG,
+        &[],
+        &registry,
+        &strict,
+        &Span::noop(),
+    )
+    .is_err();
+    println!("worker-kill drill: all dead + --no-fallback -> error surfaced: {strict_err}\n");
+    if !strict_err {
+        eprintln!("FAIL: all-dead scatter with fallback disabled did not error");
+        return ExitCode::FAILURE;
+    }
+
+    // ---- Report ---------------------------------------------------------
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let wall_gate_applies = host_cores >= MIN_CORES_FOR_WALL_GATE;
+    let wall_passed = !wall_gate_applies || speedup >= SPEEDUP_BAR;
+    let report = Json::object()
+        .with("experiment", "exp16_sharding")
+        .with("identity", Json::Arr(identity_reports))
+        .with(
+            "large_world",
+            Json::object()
+                .with("entities", LARGE_ENTITIES)
+                .with("union_rows", prepared.integrated.len())
+                .with("blocking_key", "City")
+                .with("candidate_pairs", n_candidates)
+                .with("components", remote.components)
+                .with("shards", remote.shards),
+        )
+        .with(
+            "work_division_gate",
+            Json::object()
+                .with("workers", 2usize)
+                .with("total_pairs", n_candidates)
+                .with("heaviest_batch_pairs", max_group)
+                .with("required_speedup", DIVISION_BAR)
+                .with("measured_speedup", division)
+                .with("passed", division_passed),
+        )
+        .with(
+            "wall_clock_gate",
+            Json::object()
+                .with("workers", 2usize)
+                .with("host_cores", host_cores)
+                .with("applies", wall_gate_applies)
+                .with("single_shard_ms", single_ms)
+                .with("local_sharded_ms", local_ms)
+                .with("remote_scatter_ms", remote_ms)
+                .with("worker_requests", remote.stats.requests)
+                .with("required_speedup", SPEEDUP_BAR)
+                .with("measured_speedup", speedup)
+                .with("passed", wall_passed),
+        )
+        .with(
+            "fault_drill",
+            Json::object()
+                .with("one_dead_retries", retried)
+                .with("one_dead_identical", retry_identical)
+                .with("all_dead_fallbacks", fallbacks)
+                .with("all_dead_identical", fallback_identical)
+                .with("no_fallback_errors", strict_err),
+        );
+    let path = "BENCH_sharding.json";
+    std::fs::write(path, report.to_string_pretty()).expect("write BENCH_sharding.json");
+    println!("wrote {path}");
+
+    if !wall_passed {
+        eprintln!(
+            "FAIL: two-worker scatter wall-clock speedup is {}x, below the {SPEEDUP_BAR}x bar",
+            f3(speedup)
+        );
+        return ExitCode::FAILURE;
+    }
+    if !wall_gate_applies {
+        println!(
+            "NOTE: host has {host_cores} core(s); the >= {SPEEDUP_BAR}x wall-clock gate needs \
+             >= {MIN_CORES_FOR_WALL_GATE} cores and was skipped (wall clock measured {}x; \
+             identity, work-division, and fault-drill gates still enforced)",
+            f3(speedup)
+        );
+    }
+    println!(
+        "PASS: work division = {}x (>= {DIVISION_BAR}x), every sharded output bit-identical, \
+         fault drill green",
+        f3(division)
+    );
+    ExitCode::SUCCESS
+}

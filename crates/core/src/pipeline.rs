@@ -426,8 +426,10 @@ pub struct HummerConfig {
 
 impl HummerConfig {
     /// The detector configuration with the pipeline-level layout knob
-    /// applied.
-    fn detector_config(&self) -> DetectorConfig {
+    /// applied. Public because the shard executor (`hummer_shard`) must
+    /// score pairs under exactly the configuration the single-shard
+    /// pipeline would use.
+    pub fn detector_config(&self) -> DetectorConfig {
         DetectorConfig {
             layout: self.layout,
             ..self.detector.clone()

@@ -10,8 +10,29 @@
 //!   method: sort rows by a key, slide a window of width `w`, compare only
 //!   rows within a window. Near-linear, may miss pairs whose keys sort far
 //!   apart.
+//! * [`CandidateStrategy::KeyEquality`] — classic disjoint blocking: only
+//!   rows whose rendered keys are *equal* are candidates. The candidate
+//!   graph decomposes into per-key cliques, which is what lets the shard
+//!   planner split the row space into independent shards.
 
 use hummer_engine::Table;
+
+/// Render one row's blocking key: each key attribute's text rendering,
+/// lowercased, terminated by a `\u{1f}` field separator (nulls and
+/// non-text values render as the empty field). Shared by the
+/// sorted-neighborhood sort key and the key-equality groups so the two
+/// strategies agree on what "the key" is.
+pub fn render_key(table: &Table, key_attrs: &[usize], row: usize) -> String {
+    let r = &table.rows()[row];
+    let mut k = String::new();
+    for &a in key_attrs {
+        if let Some(t) = r[a].as_text() {
+            k.push_str(&t.to_lowercase());
+        }
+        k.push('\u{1f}'); // field separator
+    }
+    k
+}
 
 /// How candidate pairs are generated.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +48,13 @@ pub enum CandidateStrategy {
         /// Window width `w`: each row is paired with its `w − 1` successors
         /// in key order.
         window: usize,
+    },
+    /// Disjoint blocking: every unordered pair of rows whose rendered keys
+    /// are equal. Rows with distinct keys are never candidates, so the
+    /// candidate graph's connected components never span two key groups.
+    KeyEquality {
+        /// Column indices forming the blocking key.
+        key_attrs: Vec<usize>,
     },
 }
 
@@ -47,20 +75,7 @@ pub fn candidate_pairs(table: &Table, strategy: &CandidateStrategy) -> Vec<(usiz
             assert!(*window >= 2, "window must be at least 2");
             // Sort row indices by the concatenated key.
             let mut order: Vec<usize> = (0..n).collect();
-            let keys: Vec<String> = table
-                .rows()
-                .iter()
-                .map(|r| {
-                    let mut k = String::new();
-                    for &a in key_attrs {
-                        if let Some(t) = r[a].as_text() {
-                            k.push_str(&t.to_lowercase());
-                        }
-                        k.push('\u{1f}'); // field separator
-                    }
-                    k
-                })
-                .collect();
+            let keys: Vec<String> = (0..n).map(|i| render_key(table, key_attrs, i)).collect();
             order.sort_by(|&a, &b| keys[a].cmp(&keys[b]).then(a.cmp(&b)));
             let mut out = Vec::new();
             for (pos, &i) in order.iter().enumerate() {
@@ -70,6 +85,26 @@ pub fn candidate_pairs(table: &Table, strategy: &CandidateStrategy) -> Vec<(usiz
             }
             out.sort_unstable();
             out.dedup();
+            out
+        }
+        CandidateStrategy::KeyEquality { key_attrs } => {
+            let mut groups: std::collections::BTreeMap<String, Vec<usize>> =
+                std::collections::BTreeMap::new();
+            for i in 0..n {
+                groups
+                    .entry(render_key(table, key_attrs, i))
+                    .or_default()
+                    .push(i);
+            }
+            let mut out = Vec::new();
+            for members in groups.values() {
+                for (pos, &i) in members.iter().enumerate() {
+                    for &j in &members[pos + 1..] {
+                        out.push((i, j)); // members ascend, so i < j
+                    }
+                }
+            }
+            out.sort_unstable();
             out
         }
     }
@@ -169,5 +204,31 @@ mod tests {
     fn empty_table_no_pairs() {
         let t = table! { "E" => ["a"]; };
         assert!(candidate_pairs(&t, &CandidateStrategy::AllPairs).is_empty());
+    }
+
+    #[test]
+    fn key_equality_pairs_only_equal_keys() {
+        let t = table! {
+            "T" => ["k"];
+            ["Alpha"],
+            ["beta"],
+            ["alpha"],   // equal to row 0 after lowercasing
+            ["beta"],
+            ["gamma"],
+        };
+        let pairs = candidate_pairs(&t, &CandidateStrategy::KeyEquality { key_attrs: vec![0] });
+        assert_eq!(pairs, vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn key_equality_null_keys_group_together() {
+        let t = table! {
+            "T" => ["k"];
+            [()],
+            ["x"],
+            [()],
+        };
+        let pairs = candidate_pairs(&t, &CandidateStrategy::KeyEquality { key_attrs: vec![0] });
+        assert_eq!(pairs, vec![(0, 2)]);
     }
 }

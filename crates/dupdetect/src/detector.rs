@@ -28,6 +28,37 @@ pub enum CandidateSpec {
         /// Window width (≥ 2).
         window: usize,
     },
+    /// Disjoint blocking over the given key columns: only rows with equal
+    /// rendered keys are candidates. The candidate graph splits into
+    /// per-key cliques, which is what gives the shard planner (the
+    /// `hummer_shard` crate) more than one component to distribute.
+    KeyEquality {
+        /// Blocking key column names.
+        key: Vec<String>,
+    },
+}
+
+/// Resolve a [`CandidateSpec`] (column *names*) into a
+/// [`CandidateStrategy`] (column *indices*) against `table`. Public so the
+/// shard planner generates exactly the candidate set the detector would.
+pub fn resolve_candidate_strategy(
+    table: &Table,
+    spec: &CandidateSpec,
+) -> Result<CandidateStrategy> {
+    let resolve_keys =
+        |key: &[String]| -> Result<Vec<usize>> { key.iter().map(|n| table.resolve(n)).collect() };
+    Ok(match spec {
+        CandidateSpec::AllPairs => CandidateStrategy::AllPairs,
+        CandidateSpec::SortedNeighborhood { key, window } => {
+            CandidateStrategy::SortedNeighborhood {
+                key_attrs: resolve_keys(key)?,
+                window: *window,
+            }
+        }
+        CandidateSpec::KeyEquality { key } => CandidateStrategy::KeyEquality {
+            key_attrs: resolve_keys(key)?,
+        },
+    })
 }
 
 /// Detector configuration.
@@ -194,9 +225,9 @@ pub fn detect_duplicates(table: &Table, cfg: &DetectorConfig) -> Result<Detectio
 }
 
 /// Resolve the comparison attributes for `table` under `cfg`: explicit
-/// names, or the selection heuristics. Shared by the full detector and the
-/// incremental path so both always agree.
-pub(crate) fn resolve_attributes(table: &Table, cfg: &DetectorConfig) -> Result<Vec<usize>> {
+/// names, or the selection heuristics. Shared by the full detector, the
+/// incremental path, and the shard executor so all three always agree.
+pub fn resolve_attributes(table: &Table, cfg: &DetectorConfig) -> Result<Vec<usize>> {
     let attrs: Vec<usize> = match &cfg.attributes {
         Some(names) => names
             .iter()
@@ -216,9 +247,10 @@ pub(crate) fn resolve_attributes(table: &Table, cfg: &DetectorConfig) -> Result<
 /// threads, dispatching on `cfg.layout`: the row path calls the measure
 /// per pair, the columnar path transposes it once and runs the block
 /// kernel. Both are bit-identical; the returned pair lists are
-/// **unsorted** (candidate order). Shared by [`detect_duplicates_par`] and
-/// the incremental detector so a pair scores identically on both paths.
-pub(crate) fn score_candidates(
+/// **unsorted** (candidate order). Shared by [`detect_duplicates_par`],
+/// the incremental detector, and the shard workers so a pair scores
+/// identically on every path.
+pub fn score_candidates(
     table: &Table,
     measure: &TupleSimilarity,
     cfg: &DetectorConfig,
@@ -256,7 +288,10 @@ pub struct ScoredCandidates {
 /// The canonical order of the detector's pair lists: similarity descending,
 /// ties in candidate (lexicographic `(left, right)`) order — exactly what
 /// the full detector's stable sort over lexicographic candidates produces.
-pub(crate) fn sort_pairs_canonical(pairs: &mut [DuplicatePair]) {
+/// A total order (ties break on `(left, right)`, which is unique), so
+/// concatenating disjoint sorted lists and re-sorting is deterministic —
+/// the shard combiner's merge relies on this.
+pub fn sort_pairs_canonical(pairs: &mut [DuplicatePair]) {
     pairs.sort_by(|a, b| {
         b.similarity
             .total_cmp(&a.similarity)
@@ -293,19 +328,7 @@ pub fn detect_duplicates_par(
         .map(|&i| table.schema().column(i).name.clone())
         .collect();
 
-    let strategy = match &cfg.candidates {
-        CandidateSpec::AllPairs => CandidateStrategy::AllPairs,
-        CandidateSpec::SortedNeighborhood { key, window } => {
-            let key_attrs: Vec<usize> = key
-                .iter()
-                .map(|n| table.resolve(n))
-                .collect::<Result<_>>()?;
-            CandidateStrategy::SortedNeighborhood {
-                key_attrs,
-                window: *window,
-            }
-        }
-    };
+    let strategy = resolve_candidate_strategy(table, &cfg.candidates)?;
 
     let measure = TupleSimilarity::new(table, attrs);
     let candidates = candidate_pairs(table, &strategy);

@@ -60,11 +60,13 @@ pub mod incremental;
 pub mod measure;
 pub mod unionfind;
 
-pub use blocking::{candidate_pairs, CandidateStrategy};
+pub use blocking::{candidate_pairs, render_key, CandidateStrategy};
 pub use columnar::{score_candidate_pairs, ColumnarMeasure, PairScorer, PAIR_BLOCK};
 pub use detector::{
-    annotate_object_ids, detect_duplicates, detect_duplicates_par, CandidateSpec, DetectionResult,
-    DetectionStats, DetectorConfig, DuplicatePair, ScoredCandidates, OBJECT_ID_COLUMN,
+    annotate_object_ids, detect_duplicates, detect_duplicates_par, resolve_attributes,
+    resolve_candidate_strategy, score_candidates, sort_pairs_canonical, CandidateSpec,
+    DetectionResult, DetectionStats, DetectorConfig, DuplicatePair, ScoredCandidates,
+    OBJECT_ID_COLUMN,
 };
 pub use heuristics::{score_attributes, select_attributes, AttributeScore, HeuristicConfig};
 pub use hummer_engine::ExecutionLayout;

@@ -4,6 +4,7 @@
 //! ```text
 //! loadgen --addr HOST:PORT [--connections N] [--requests N]
 //!         [--worlds N] [--entities N] [--seed N] [--update-ratio F]
+//!         [--coordinator-mode]
 //! ```
 //!
 //! Each world is one of the paper's demo scenarios (CD shopping, disaster
@@ -14,6 +15,12 @@
 //! fraction of requests becomes `POST /tables/{name}/delta` row updates,
 //! exercising delta ingestion — and the incremental cache-upgrade path —
 //! under concurrent queries.
+//!
+//! Against a `--coordinator` server, pass `--coordinator-mode` to extend
+//! the report with scatter-gather visibility: per-request shard fan-out
+//! (from the `X-Hummer-Shards` response header) and, from the server's
+//! `/metrics.json`, per-worker call counts with p50/p99 latency plus
+//! retry/fallback totals.
 
 use hummer_server::loadgen::{
     http_request, run_load, scenario_worlds, update_pool_for_worlds, upload_world, LoadConfig,
@@ -24,7 +31,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--connections N] [--requests N] \
-         [--worlds N] [--entities N] [--seed N] [--update-ratio F]"
+         [--worlds N] [--entities N] [--seed N] [--update-ratio F] \
+         [--coordinator-mode]"
     );
     std::process::exit(2);
 }
@@ -37,6 +45,7 @@ fn main() -> ExitCode {
     let mut entities = 60usize;
     let mut seed = 2005u64;
     let mut update_ratio = 0.0f64;
+    let mut coordinator_mode = false;
     fn next_num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> T {
         match args.next().and_then(|v| v.parse().ok()) {
             Some(v) => v,
@@ -53,6 +62,7 @@ fn main() -> ExitCode {
             "--entities" => entities = next_num(&mut args),
             "--seed" => seed = next_num(&mut args),
             "--update-ratio" => update_ratio = next_num(&mut args),
+            "--coordinator-mode" => coordinator_mode = true,
             _ => usage(),
         }
     }
@@ -173,6 +183,43 @@ fn main() -> ExitCode {
             );
         }
         None => println!("durable_mode     no"),
+    }
+    // Coordinator-mode report: shard fan-out as the clients saw it
+    // (X-Hummer-Shards) and worker-level latency/retry/fallback counters
+    // as the coordinator recorded them.
+    if coordinator_mode {
+        println!("scatter_requests {}", report.scatter_requests);
+        println!("cache_served     {}", report.cache_served);
+        println!("shards_scattered {}", report.shards_scattered);
+        println!("fanout_max       {}", report.fanout_max);
+        if report.scatter_requests > 0 {
+            println!(
+                "fanout_mean      {:.2}",
+                report.shards_scattered as f64 / report.scatter_requests as f64
+            );
+        }
+        match metrics.as_ref().and_then(|m| m.get("shard")) {
+            Some(shard) => {
+                let int = |key: &str| shard.get(key).and_then(Json::as_i64).unwrap_or(0);
+                println!("worker_requests  {}", int("worker_requests"));
+                println!("worker_retries   {}", int("worker_retries"));
+                println!("worker_fallbacks {}", int("worker_fallbacks"));
+                println!("worker_errors    {}", int("worker_errors"));
+                if let Some(workers) = shard.get("workers").and_then(Json::as_array) {
+                    for (i, w) in workers.iter().enumerate() {
+                        let f = |key: &str| w.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                        println!(
+                            "worker_{i:02}        {} calls={} p50={:.3} ms p99={:.3} ms",
+                            w.get("worker").and_then(Json::as_str).unwrap_or("?"),
+                            w.get("calls").and_then(Json::as_i64).unwrap_or(0),
+                            f("p50_ms"),
+                            f("p99_ms"),
+                        );
+                    }
+                }
+            }
+            None => println!("shard_metrics    n/a"),
+        }
     }
     if report.errors > 0 {
         ExitCode::FAILURE

@@ -286,6 +286,18 @@ impl Response {
         }
     }
 
+    /// A binary response (`application/octet-stream`) — the shard wire
+    /// format travels this way.
+    pub fn octets(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            body,
+            close: false,
+            extra_headers: Vec::new(),
+        }
+    }
+
     /// A plain-text response (Prometheus exposition uses this).
     pub fn text(status: u16, body: impl Into<String>) -> Response {
         Response {
@@ -311,7 +323,9 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            502 => "Bad Gateway",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Internal Server Error",
         }
     }

@@ -82,5 +82,6 @@ pub use metrics::{Metrics, MetricsSnapshot};
 pub use pool::ThreadPool;
 pub use server::{HummerServer, ServerConfig, ServingMode, ShutdownHandle};
 pub use service::{
-    parse_delta, DeltaApplyResult, FusionService, QueryResult, ServiceConfig, TableInfo,
+    parse_delta, CoordinatorOptions, DeltaApplyResult, FusionService, QueryResult, ServiceConfig,
+    TableInfo,
 };

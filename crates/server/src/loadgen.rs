@@ -59,6 +59,20 @@ impl Client {
         content_type: &str,
         body: &[u8],
     ) -> Result<(u16, String, Option<String>)> {
+        self.request_meta(method, path, content_type, body)
+            .map(|m| (m.status, m.body, m.trace))
+    }
+
+    /// [`Client::request`] returning the full response metadata, including
+    /// the `X-Hummer-Shards` fan-out header coordinator-mode servers attach
+    /// to `/query` answers.
+    pub fn request_meta(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<ResponseMeta> {
         match self.request_once(method, path, content_type, body) {
             Err(ServerError::Io(_)) => {
                 let fresh = Client::connect(&self.addr)?;
@@ -75,7 +89,7 @@ impl Client {
         path: &str,
         content_type: &str,
         body: &[u8],
-    ) -> Result<(u16, String, Option<String>)> {
+    ) -> Result<ResponseMeta> {
         let head = format!(
             "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n\r\n",
             self.addr,
@@ -91,9 +105,24 @@ impl Client {
     }
 }
 
+/// One parsed HTTP response with the headers the load driver cares about.
+#[derive(Debug, Clone)]
+pub struct ResponseMeta {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body text.
+    pub body: String,
+    /// `X-Hummer-Trace` header, when the server's tracer is enabled.
+    pub trace: Option<String>,
+    /// `X-Hummer-Shards` header: the shard fan-out of a coordinator-mode
+    /// `/query` (0 = answered from the prepared cache). `None` when the
+    /// server is not in coordinator mode.
+    pub shards: Option<u64>,
+}
+
 /// Read one HTTP response: status line, headers (capturing
-/// `X-Hummer-Trace`), `Content-Length` body.
-fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String, Option<String>)> {
+/// `X-Hummer-Trace` and `X-Hummer-Shards`), `Content-Length` body.
+fn read_response<R: BufRead>(reader: &mut R) -> Result<ResponseMeta> {
     let mut status_line = String::new();
     if reader.read_line(&mut status_line)? == 0 {
         return Err(ServerError::Io(std::io::Error::new(
@@ -108,6 +137,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String, Option<Stri
         .ok_or_else(|| ServerError::BadRequest(format!("bad status line `{status_line}`")))?;
     let mut content_length = 0usize;
     let mut trace = None;
+    let mut shards = None;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -127,13 +157,20 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String, Option<Stri
                 })?;
             } else if name.trim().eq_ignore_ascii_case("x-hummer-trace") {
                 trace = Some(value.trim().to_string());
+            } else if name.trim().eq_ignore_ascii_case("x-hummer-shards") {
+                shards = value.trim().parse().ok();
             }
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     String::from_utf8(body)
-        .map(|text| (status, text, trace))
+        .map(|text| ResponseMeta {
+            status,
+            body: text,
+            trace,
+            shards,
+        })
         .map_err(|_| ServerError::BadRequest("response body is not UTF-8".into()))
 }
 
@@ -147,7 +184,7 @@ pub fn http_request(
 ) -> Result<(u16, String)> {
     Client::connect(addr)?
         .request_once(method, path, content_type, body)
-        .map(|(status, text, _)| (status, text))
+        .map(|m| (m.status, m.body))
 }
 
 /// Upload one scenario world's sources as `{prefix}_{source}` tables and
@@ -320,6 +357,17 @@ pub struct LoadReport {
     /// `X-Hummer-Trace` header (`None` when tracing is disabled). Feed an
     /// id to `GET /trace/{id}` to see where that request's time went.
     pub slowest: Vec<(f64, Option<String>)>,
+    /// Coordinator mode: successful `/query` answers whose
+    /// `X-Hummer-Shards` header reported a fan-out `> 0` (cold prepares
+    /// that scattered to workers). 0 against a non-coordinator server.
+    pub scatter_requests: usize,
+    /// Coordinator mode: total shards scattered across those requests.
+    pub shards_scattered: u64,
+    /// Coordinator mode: the largest single-request fan-out observed.
+    pub fanout_max: u64,
+    /// Coordinator mode: answers served from the prepared cache
+    /// (`X-Hummer-Shards: 0`).
+    pub cache_served: usize,
 }
 
 /// Latency percentile over an unsorted millisecond sample (`p` in `[0, 100]`);
@@ -351,11 +399,7 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
             // slowest list keeps the worst 10 with their trace ids so the
             // tail can be explained span-by-span via `GET /trace/{id}`.
             let hist = Histogram::new();
-            let mut slowest: Vec<(f64, Option<String>)> = Vec::new();
-            let mut errors = 0usize;
-            let mut rejects = 0usize;
-            let mut updates_ok = 0usize;
-            let mut update_errors = 0usize;
+            let mut tally = ThreadTally::default();
             let mut client = Client::connect(&addr).ok();
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -363,7 +407,7 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
                     break;
                 }
                 let Some(c) = client.as_mut() else {
-                    errors += 1;
+                    tally.errors += 1;
                     continue;
                 };
                 // The mixed workload interleaves deltas deterministically:
@@ -372,79 +416,84 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
                 let t0 = Instant::now();
                 let outcome = if is_update {
                     let (path, body) = &updates[(i / update_every) % updates.len()];
-                    c.request_traced("POST", path, "application/json", body.as_bytes())
+                    c.request_meta("POST", path, "application/json", body.as_bytes())
                 } else {
                     let sql = &pool[i % pool.len()];
-                    c.request_traced("POST", "/query", "text/plain", sql.as_bytes())
+                    c.request_meta("POST", "/query", "text/plain", sql.as_bytes())
                 };
                 match outcome {
-                    Ok((200, _, trace)) => {
+                    Ok(m) if m.status == 200 => {
                         let elapsed = t0.elapsed();
                         hist.record_duration(elapsed);
-                        push_slowest(&mut slowest, elapsed.as_secs_f64() * 1e3, trace);
+                        push_slowest(&mut tally.slowest, elapsed.as_secs_f64() * 1e3, m.trace);
                         if is_update {
-                            updates_ok += 1;
+                            tally.updates_ok += 1;
+                        }
+                        // Coordinator-mode servers report each answer's
+                        // shard fan-out; 0 means the prepared cache had it.
+                        match m.shards {
+                            Some(0) => tally.cache_served += 1,
+                            Some(k) => {
+                                tally.scatter_requests += 1;
+                                tally.shards_scattered += k;
+                                tally.fanout_max = tally.fanout_max.max(k);
+                            }
+                            None => {}
                         }
                     }
-                    Ok((status, _, _)) => {
-                        errors += 1;
-                        if status == 503 {
-                            rejects += 1;
+                    Ok(m) => {
+                        tally.errors += 1;
+                        if m.status == 503 {
+                            tally.rejects += 1;
                             // The server closes rejected connections;
                             // reconnect before the next request.
                             client = Client::connect(&addr).ok();
                         }
                         if is_update {
-                            update_errors += 1;
+                            tally.update_errors += 1;
                         }
                     }
                     Err(_) => {
-                        errors += 1;
+                        tally.errors += 1;
                         if is_update {
-                            update_errors += 1;
+                            tally.update_errors += 1;
                         }
                         client = None; // connection is poisoned; fail fast
                     }
                 }
             }
-            (
-                hist.snapshot(),
-                slowest,
-                errors,
-                rejects,
-                updates_ok,
-                update_errors,
-            )
+            (hist.snapshot(), tally)
         }));
     }
     let mut latency = HistogramSnapshot::default();
+    let mut total = ThreadTally::default();
     let mut slowest: Vec<(f64, Option<String>)> = Vec::new();
-    let mut errors = 0;
-    let mut rejects = 0;
-    let mut updates_ok = 0;
-    let mut update_errors = 0;
     for h in handles {
-        let (snap, sl, e, r, uo, ue) =
-            h.join()
-                .unwrap_or((HistogramSnapshot::default(), Vec::new(), 0, 0, 0, 0));
+        let (snap, tally) = h
+            .join()
+            .unwrap_or((HistogramSnapshot::default(), ThreadTally::default()));
         latency.merge(&snap);
-        for (ms, trace) in sl {
+        for (ms, trace) in tally.slowest {
             push_slowest(&mut slowest, ms, trace);
         }
-        errors += e;
-        rejects += r;
-        updates_ok += uo;
-        update_errors += ue;
+        total.errors += tally.errors;
+        total.rejects += tally.rejects;
+        total.updates_ok += tally.updates_ok;
+        total.update_errors += tally.update_errors;
+        total.scatter_requests += tally.scatter_requests;
+        total.shards_scattered += tally.shards_scattered;
+        total.fanout_max = total.fanout_max.max(tally.fanout_max);
+        total.cache_served += tally.cache_served;
     }
     let elapsed = started.elapsed();
     let ok = latency.count() as usize;
     let q = |p: f64| latency.quantile(p) as f64 / 1e3;
     LoadReport {
         ok,
-        errors,
-        rejects,
-        updates_ok,
-        update_errors,
+        errors: total.errors,
+        rejects: total.rejects,
+        updates_ok: total.updates_ok,
+        update_errors: total.update_errors,
         elapsed,
         throughput_rps: if elapsed.as_secs_f64() > 0.0 {
             ok as f64 / elapsed.as_secs_f64()
@@ -458,7 +507,25 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         p999_ms: q(0.999),
         latency,
         slowest,
+        scatter_requests: total.scatter_requests,
+        shards_scattered: total.shards_scattered,
+        fanout_max: total.fanout_max,
+        cache_served: total.cache_served,
     }
+}
+
+/// Per-thread load counters, merged after the join.
+#[derive(Default)]
+struct ThreadTally {
+    slowest: Vec<(f64, Option<String>)>,
+    errors: usize,
+    rejects: usize,
+    updates_ok: usize,
+    update_errors: usize,
+    scatter_requests: usize,
+    shards_scattered: u64,
+    fanout_max: u64,
+    cache_served: usize,
 }
 
 /// How many of the slowest requests a load run reports.
@@ -492,20 +559,22 @@ mod tests {
     #[test]
     fn read_response_parses_status_and_body() {
         let raw = "HTTP/1.1 404 Not Found\r\ncontent-type: application/json\r\ncontent-length: 2\r\n\r\n{}";
-        let (status, body, trace) = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
-        assert_eq!(status, 404);
-        assert_eq!(body, "{}");
-        assert_eq!(trace, None);
+        let m = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(m.status, 404);
+        assert_eq!(m.body, "{}");
+        assert_eq!(m.trace, None);
+        assert_eq!(m.shards, None);
     }
 
     #[test]
-    fn read_response_captures_trace_header() {
-        let raw =
-            "HTTP/1.1 200 OK\r\nx-hummer-trace: 00000000000000a1\r\ncontent-length: 2\r\n\r\nok";
-        let (status, body, trace) = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
-        assert_eq!(status, 200);
-        assert_eq!(body, "ok");
-        assert_eq!(trace.as_deref(), Some("00000000000000a1"));
+    fn read_response_captures_trace_and_shard_headers() {
+        let raw = "HTTP/1.1 200 OK\r\nx-hummer-trace: 00000000000000a1\r\n\
+                   x-hummer-shards: 4\r\ncontent-length: 2\r\n\r\nok";
+        let m = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(m.status, 200);
+        assert_eq!(m.body, "ok");
+        assert_eq!(m.trace.as_deref(), Some("00000000000000a1"));
+        assert_eq!(m.shards, Some(4));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | `DELETE /tables/{name}`      | deregister a table |
 //! | `GET /tables`                | list registered tables |
 //! | `POST /query`                | execute Fuse By SQL (raw text or `{"sql": …}`) |
+//! | `POST /shard/execute`        | run a batch of shard tasks (binary wire format; coordinator → worker) |
 //! | `GET /metrics`               | the whole registry in Prometheus text format |
 //! | `GET /metrics.json`          | request counts, p50/p99 latency, stage + cache + delta + store stats as JSON |
 //! | `GET /trace/{id}`            | span tree of a finished request (id from the `X-Hummer-Trace` header) |
@@ -344,9 +345,8 @@ pub(crate) fn execute_request(
 /// grow the metrics map (and its latency rings) without bound.
 fn endpoint_label(request: &Request) -> String {
     let route = match request.path.as_str() {
-        "/healthz" | "/tables" | "/query" | "/metrics" | "/metrics.json" | "/shutdown" => {
-            request.path.as_str()
-        }
+        "/healthz" | "/tables" | "/query" | "/shard/execute" | "/metrics" | "/metrics.json"
+        | "/shutdown" => request.path.as_str(),
         p if p.starts_with("/tables/") && p.ends_with("/delta") => "/tables/{name}/delta",
         p if p.starts_with("/tables/") => "/tables/{name}",
         p if p.starts_with("/trace/") => "/trace/{id}",
@@ -457,7 +457,20 @@ fn route(
             let body = query_result_to_json(&result).to_string_compact();
             serialize_span.count("bytes", body.len() as u64);
             drop(serialize_span);
-            Ok(Response::json(200, body))
+            let mut response = Response::json(200, body);
+            if let Some(k) = result.shards {
+                // Coordinator mode: how many shards fanned out for this
+                // request (0 = served from the prepared cache).
+                response = response.with_header("x-hummer-shards", k.to_string());
+            }
+            Ok(response)
+        }
+        // Worker side of scatter-gather: a coordinator posts a binary batch
+        // of shard tasks; the worker runs detect/cluster/fuse per shard and
+        // answers with binary partials. See `hummer_shard::wire`.
+        ("POST", "/shard/execute") => {
+            let body = service.shard_execute(&request.body, parent)?;
+            Ok(Response::octets(200, body))
         }
         // Fault injection for the panic-containment regression tests; only
         // routable when the service opted in (`debug_panic_route`),
@@ -516,6 +529,7 @@ fn route(
                 || path == "/metrics"
                 || path == "/metrics.json"
                 || path == "/query"
+                || path == "/shard/execute"
                 || path == "/shutdown"
                 || path.starts_with("/tables/")
                 || path.starts_with("/trace/") =>

@@ -27,6 +27,7 @@ use hummer_obs::{Histogram, PromText, Span, Tracer};
 use hummer_query::{
     execute, execute_combined_par, parse, FuseQuery, QueryOutput, VersionedTableSet,
 };
+use hummer_shard::{execute_sharded_with, handle_shard_request, CoordinatorConfig, RemoteBackend};
 use hummer_store::{CatalogStore, Recovery, SnapshotEntry, StoreStats, WalCommitter, WalTicket};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -42,6 +43,34 @@ pub struct ServiceConfig {
     /// handler panics on purpose). Test/CI only — never expose this on a
     /// real deployment.
     pub debug_panic_route: bool,
+    /// Coordinator mode: scatter the prepare pipeline's detection stage
+    /// over remote shard workers. `None` (the default) prepares locally.
+    pub coordinator: Option<CoordinatorOptions>,
+}
+
+/// Coordinator-mode parameters (`--coordinator workers=...` on
+/// `hummer-serve`).
+#[derive(Debug, Clone)]
+pub struct CoordinatorOptions {
+    /// Shard-worker addresses (`host:port`).
+    pub workers: Vec<String>,
+    /// Shard-count ceiling K passed to the planner.
+    pub shards: usize,
+    /// Per-worker request timeout.
+    pub timeout: Duration,
+    /// Fall back to local execution when a batch fails on both workers.
+    pub fallback_local: bool,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> Self {
+        CoordinatorOptions {
+            workers: Vec::new(),
+            shards: 4,
+            timeout: Duration::from_secs(30),
+            fallback_local: true,
+        }
+    }
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +79,7 @@ impl Default for ServiceConfig {
             pipeline: HummerConfig::default(),
             cache_capacity: 64,
             debug_panic_route: false,
+            coordinator: None,
         }
     }
 }
@@ -78,6 +108,7 @@ impl ServiceConfig {
             },
             cache_capacity: 64,
             debug_panic_route: false,
+            coordinator: None,
         }
     }
 }
@@ -109,6 +140,11 @@ pub struct QueryResult {
     /// Wall time this request spent executing (fusion + projection; for a
     /// miss this excludes preparation, which is reported separately).
     pub execute_time: Duration,
+    /// Shard fan-out of this request's prepare: `Some(k)` when coordinator
+    /// mode scattered k shards for a cache miss, `Some(0)` on a
+    /// coordinator-mode cache hit, `None` otherwise. Echoed in the
+    /// `X-Hummer-Shards` response header for loadgen's coordinator report.
+    pub shards: Option<usize>,
 }
 
 /// What applying one delta batch did, for the endpoint's response.
@@ -239,6 +275,8 @@ pub struct FusionService {
     committer: Option<WalCommitter>,
     /// Fault-injection endpoint toggle (see [`ServiceConfig`]).
     debug_panic_route: bool,
+    /// Coordinator-mode parameters; `None` prepares locally.
+    coordinator: Option<CoordinatorOptions>,
 }
 
 impl FusionService {
@@ -254,6 +292,7 @@ impl FusionService {
             store: None,
             committer: None,
             debug_panic_route: config.debug_panic_route,
+            coordinator: config.coordinator,
         }
     }
 
@@ -279,12 +318,30 @@ impl FusionService {
             store: Some(Mutex::new(store)),
             committer: Some(committer),
             debug_panic_route: config.debug_panic_route,
+            coordinator: config.coordinator,
         }
     }
 
     /// Whether the fault-injection endpoint is enabled (test/CI only).
     pub fn debug_panic_route(&self) -> bool {
         self.debug_panic_route
+    }
+
+    /// Coordinator-mode parameters, when this server scatters prepares.
+    pub fn coordinator(&self) -> Option<&CoordinatorOptions> {
+        self.coordinator.as_ref()
+    }
+
+    /// Execute a shard batch as a *worker*: decode the binary request from
+    /// a coordinator, run it in-process, and return the encoded response
+    /// (`POST /shard/execute`).
+    pub fn shard_execute(&self, body: &[u8], parent: &Span) -> Result<Vec<u8>> {
+        let mut span = parent.child("shard_batch");
+        let response = handle_shard_request(body, &self.registry, self.config.parallelism)?;
+        span.count("response_bytes", response.len() as u64);
+        drop(span);
+        self.metrics.record_shard_batch();
+        Ok(response)
     }
 
     /// Wait for an enqueued WAL record to become durable. Call *after*
@@ -696,6 +753,7 @@ impl FusionService {
             cache_hit: None,
             prepare_timings: StageTimings::default(),
             execute_time: t0.elapsed(),
+            shards: None,
         })
     }
 
@@ -717,7 +775,7 @@ impl FusionService {
             (key, tables)
         };
 
-        let (artifacts, hit) = self.prepared_for(&key, &tables, parent)?;
+        let (artifacts, hit, shards) = self.prepared_for(&key, &tables, parent)?;
         let mut fuse_span = parent.child("fuse");
         let t0 = Instant::now();
         // The same per-request degree the prepare stages use: the worker
@@ -747,6 +805,7 @@ impl FusionService {
             cache_hit: Some(hit),
             prepare_timings: artifacts.timings,
             execute_time,
+            shards,
         })
     }
 
@@ -760,17 +819,54 @@ impl FusionService {
         key: &PreparedKey,
         tables: &[Arc<Table>],
         parent: &Span,
-    ) -> Result<(Arc<PreparedSources>, bool)> {
+    ) -> Result<(Arc<PreparedSources>, bool, Option<usize>)> {
+        let coordinated = self.coordinator.is_some();
         if let Some(found) = self.cache.lock().unwrap().get(key) {
             if parent.is_recording() {
                 parent.child("prepare").count("cache_hits", 1);
             }
-            return Ok((found, true));
+            return Ok((found, true, coordinated.then_some(0)));
         }
         let refs: Vec<&Table> = tables.iter().map(|t| t.as_ref()).collect();
         let mut prepare_span = parent.child("prepare");
         prepare_span.count("cache_misses", 1);
-        let prepared = Arc::new(prepare_tables_traced(&refs, &self.config, &prepare_span)?);
+        let (prepared, shards) = match &self.coordinator {
+            Some(co) => {
+                // Scatter the prepare: matching + transformation run here,
+                // detection fans out to the shard workers, and the combiner
+                // rebuilds detection + annotated — bit-identical to the
+                // local prepare (the cache entry is interchangeable).
+                let backend = RemoteBackend::new(CoordinatorConfig {
+                    workers: co.workers.clone(),
+                    timeout: co.timeout,
+                    fallback_local: co.fallback_local,
+                });
+                let sharded = execute_sharded_with(
+                    &refs,
+                    &self.config,
+                    co.shards,
+                    &[],
+                    &self.registry,
+                    &backend,
+                    &prepare_span,
+                )?;
+                self.metrics.record_shard_scatter(
+                    sharded.stats.shards as u64,
+                    sharded.stats.requests as u64,
+                    sharded.stats.retries as u64,
+                    sharded.stats.fallbacks as u64,
+                );
+                for call in &sharded.stats.worker_calls {
+                    self.metrics
+                        .record_shard_worker_call(&call.worker, call.latency, call.ok);
+                }
+                (Arc::new(sharded.prepared), Some(sharded.shards))
+            }
+            None => (
+                Arc::new(prepare_tables_traced(&refs, &self.config, &prepare_span)?),
+                None,
+            ),
+        };
         drop(prepare_span);
         self.metrics
             .record_prepare(&prepared.timings, self.layout_label(), self.degree());
@@ -778,7 +874,7 @@ impl FusionService {
             .lock()
             .unwrap()
             .insert(key.clone(), Arc::clone(&prepared));
-        Ok((prepared, false))
+        Ok((prepared, false, shards))
     }
 }
 
@@ -853,6 +949,9 @@ pub fn query_result_to_json(r: &QueryResult) -> Json {
             .with("detection", ms(r.prepare_timings.detection))
             .with("execute", ms(r.execute_time)),
     );
+    if let Some(k) = r.shards {
+        doc.push("shards", Json::Int(k as i64));
+    }
     doc
 }
 
@@ -937,6 +1036,30 @@ pub fn metrics_to_json(service: &FusionService) -> Json {
                 .with("idle_reclaims", snap.serving.idle_reclaims)
                 .with("worker_panics", snap.serving.worker_panics),
         );
+    let workers: Vec<Json> = service
+        .metrics()
+        .shard_worker_histograms()
+        .iter()
+        .map(|(labels, hist)| {
+            Json::object()
+                .with("worker", labels[0].clone())
+                .with("calls", hist.count())
+                .with("p50_ms", hist.quantile(0.5) as f64 / 1e3)
+                .with("p99_ms", hist.quantile(0.99) as f64 / 1e3)
+        })
+        .collect();
+    doc.push(
+        "shard",
+        Json::object()
+            .with("scatters", snap.shard.scatters)
+            .with("shards_planned", snap.shard.shards_planned)
+            .with("worker_requests", snap.shard.worker_requests)
+            .with("worker_retries", snap.shard.worker_retries)
+            .with("worker_fallbacks", snap.shard.worker_fallbacks)
+            .with("worker_errors", snap.shard.worker_errors)
+            .with("worker_batches", snap.shard.worker_batches)
+            .with("workers", Json::Arr(workers)),
+    );
     if let Some(store) = service.store_stats() {
         doc.push(
             "store",
@@ -1112,9 +1235,61 @@ pub fn metrics_to_prometheus(service: &FusionService) -> String {
             "Scoped worker threads forked for intra-query parallelism.",
             hummer_par::forked_threads_total() as f64,
         ),
+        (
+            "hummer_shard_scatters_total",
+            "Coordinator scatter-gather rounds executed.",
+            snap.shard.scatters as f64,
+        ),
+        (
+            "hummer_shard_shards_total",
+            "Shards executed across all scatters.",
+            snap.shard.shards_planned as f64,
+        ),
+        (
+            "hummer_shard_worker_requests_total",
+            "HTTP requests issued to shard workers (retries included).",
+            snap.shard.worker_requests as f64,
+        ),
+        (
+            "hummer_shard_worker_retries_total",
+            "Shard batches retried on a distinct worker.",
+            snap.shard.worker_retries as f64,
+        ),
+        (
+            "hummer_shard_worker_fallbacks_total",
+            "Shard batches that fell back to local execution.",
+            snap.shard.worker_fallbacks as f64,
+        ),
+        (
+            "hummer_shard_worker_errors_total",
+            "Worker calls that failed (connect, timeout, bad response).",
+            snap.shard.worker_errors as f64,
+        ),
+        (
+            "hummer_shard_worker_batches_total",
+            "Shard batches this process executed as a worker.",
+            snap.shard.worker_batches as f64,
+        ),
     ] {
         out.header(name, help, "counter");
         out.sample(name, &[], value);
+    }
+
+    let shard_workers = service.metrics().shard_worker_histograms();
+    if !shard_workers.is_empty() {
+        out.header(
+            "hummer_shard_worker_seconds",
+            "Latency of coordinator calls to shard workers, by worker address.",
+            "histogram",
+        );
+        for (labels, hist) in &shard_workers {
+            out.histogram_us(
+                "hummer_shard_worker_seconds",
+                &[("worker", &labels[0])],
+                hist,
+                None,
+            );
+        }
     }
     out.header(
         "hummer_prepared_cache_entries",

@@ -1,0 +1,335 @@
+//! The coordinator side of scatter-gather: ship shard batches to remote
+//! workers over HTTP, with per-worker timeouts, one retry on a distinct
+//! worker, and graceful fallback to local execution.
+//!
+//! ## Failure semantics
+//!
+//! Shards are assigned round-robin: worker *w* receives shards *w*,
+//! *w+W*, *w+2W*, … as one request. When a request fails (connect error,
+//! timeout, non-200, undecodable or short response) the batch is retried
+//! once on the next distinct worker. If that also fails and
+//! [`CoordinatorConfig::fallback_local`] is set (the default), the batch
+//! runs in-process — the answer is still exact, only slower. With fallback
+//! disabled the scatter surfaces [`ShardError::Worker`] naming the worker
+//! that failed *first*, so the serving layer can report the culprit.
+
+use crate::error::{Result, ShardError};
+use crate::exec::{
+    run_shards_local, JobSpec, ScatterStats, ShardBackend, ShardPartial, WorkerCall,
+};
+use crate::plan::Shard;
+use crate::wire::{decode_response, encode_request};
+use hummer_engine::Table;
+use hummer_fusion::FunctionRegistry;
+use hummer_par::{par_map, Parallelism};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Worker addresses (`host:port`). Empty means run everything locally.
+    pub workers: Vec<String>,
+    /// Per-request timeout (connect + send + receive each bounded by it).
+    pub timeout: Duration,
+    /// Run failed batches in-process instead of failing the query.
+    pub fallback_local: bool,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            workers: Vec::new(),
+            timeout: Duration::from_secs(30),
+            fallback_local: true,
+        }
+    }
+}
+
+/// A [`ShardBackend`] that scatters shard batches to remote workers.
+#[derive(Debug, Clone, Default)]
+pub struct RemoteBackend {
+    /// Worker set and failure policy.
+    pub config: CoordinatorConfig,
+}
+
+impl RemoteBackend {
+    /// Build a backend over the given configuration.
+    pub fn new(config: CoordinatorConfig) -> Self {
+        RemoteBackend { config }
+    }
+}
+
+/// One worker attempt's failure: rendered cause plus whether it was a
+/// timeout (drives the 502-vs-504 mapping at the server).
+#[derive(Debug, Clone)]
+struct AttemptError {
+    cause: String,
+    timeout: bool,
+}
+
+fn io_attempt_error(context: &str, e: &std::io::Error) -> AttemptError {
+    AttemptError {
+        cause: format!("{context}: {e}"),
+        timeout: matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut),
+    }
+}
+
+/// POST `body` to `http://{addr}/shard/execute` and return the response
+/// body. Std-only HTTP/1.1 with `Connection: close`, mirroring the server's
+/// hand-rolled parser.
+fn post_shard_execute(
+    addr: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::result::Result<Vec<u8>, AttemptError> {
+    let sockaddr = addr
+        .to_socket_addrs()
+        .map_err(|e| io_attempt_error("resolve", &e))?
+        .next()
+        .ok_or_else(|| AttemptError {
+            cause: "resolve: no address".to_string(),
+            timeout: false,
+        })?;
+    let mut stream = TcpStream::connect_timeout(&sockaddr, timeout)
+        .map_err(|e| io_attempt_error("connect", &e))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| io_attempt_error("configure socket", &e))?;
+
+    let head = format!(
+        "POST /shard/execute HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| io_attempt_error("send request", &e))?;
+
+    // Read the whole response (Connection: close → until EOF), bounded by
+    // the socket timeouts.
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(io_attempt_error("read response", &e)),
+        }
+    }
+
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| AttemptError {
+            cause: "malformed response: missing header terminator".to_string(),
+            timeout: false,
+        })?;
+    let head_text = String::from_utf8_lossy(&raw[..header_end]);
+    let status_line = head_text.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| AttemptError {
+            cause: format!("malformed status line: {status_line:?}"),
+            timeout: false,
+        })?;
+    let mut resp_body = raw[header_end + 4..].to_vec();
+    // Honor Content-Length when present (trailing bytes should not exist
+    // with Connection: close, but be strict about the declared length).
+    for line in head_text.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                if let Ok(len) = value.trim().parse::<usize>() {
+                    if resp_body.len() < len {
+                        return Err(AttemptError {
+                            cause: format!(
+                                "truncated response body: {} of {len} bytes",
+                                resp_body.len()
+                            ),
+                            timeout: false,
+                        });
+                    }
+                    resp_body.truncate(len);
+                }
+            }
+        }
+    }
+    if status != 200 {
+        let snippet: String = String::from_utf8_lossy(&resp_body)
+            .chars()
+            .take(200)
+            .collect();
+        return Err(AttemptError {
+            cause: format!("worker answered {status}: {snippet}"),
+            timeout: status == 504,
+        });
+    }
+    Ok(resp_body)
+}
+
+/// What one shard batch's scatter produced.
+struct GroupOutcome {
+    partials: Vec<ShardPartial>,
+    calls: Vec<WorkerCall>,
+    requests: usize,
+    retries: usize,
+    fallbacks: usize,
+    error: Option<ShardError>,
+}
+
+impl RemoteBackend {
+    fn run_group(
+        &self,
+        table: &Table,
+        spec: &JobSpec,
+        group: &[Shard],
+        primary: usize,
+        registry: &FunctionRegistry,
+        par: Parallelism,
+    ) -> GroupOutcome {
+        let mut outcome = GroupOutcome {
+            partials: Vec::new(),
+            calls: Vec::new(),
+            requests: 0,
+            retries: 0,
+            fallbacks: 0,
+            error: None,
+        };
+        let body = encode_request(table, spec, group);
+        let workers = &self.config.workers;
+        let mut first_failure: Option<(String, AttemptError)> = None;
+
+        // Primary attempt, then one retry on the next distinct worker.
+        let mut targets = vec![primary % workers.len()];
+        if workers.len() > 1 {
+            targets.push((primary + 1) % workers.len());
+        }
+        for (attempt, &wi) in targets.iter().enumerate() {
+            let worker = &workers[wi];
+            outcome.requests += 1;
+            if attempt > 0 {
+                outcome.retries += 1;
+            }
+            let t0 = Instant::now();
+            let result = post_shard_execute(worker, &body, self.config.timeout).and_then(|bytes| {
+                decode_response(&bytes, table.len()).map_err(|e| AttemptError {
+                    cause: format!("undecodable response: {e}"),
+                    timeout: false,
+                })
+            });
+            let latency = t0.elapsed();
+            match result {
+                Ok(partials) if partials.len() == group.len() => {
+                    outcome.calls.push(WorkerCall {
+                        worker: worker.clone(),
+                        latency,
+                        ok: true,
+                    });
+                    outcome.partials = partials;
+                    return outcome;
+                }
+                Ok(partials) => {
+                    outcome.calls.push(WorkerCall {
+                        worker: worker.clone(),
+                        latency,
+                        ok: false,
+                    });
+                    first_failure.get_or_insert((
+                        worker.clone(),
+                        AttemptError {
+                            cause: format!(
+                                "short response: {} partials for {} shards",
+                                partials.len(),
+                                group.len()
+                            ),
+                            timeout: false,
+                        },
+                    ));
+                }
+                Err(e) => {
+                    outcome.calls.push(WorkerCall {
+                        worker: worker.clone(),
+                        latency,
+                        ok: false,
+                    });
+                    first_failure.get_or_insert((worker.clone(), e));
+                }
+            }
+        }
+
+        let (worker, error) = first_failure.expect("at least one attempt ran");
+        if self.config.fallback_local {
+            outcome.fallbacks += 1;
+            match run_shards_local(table, spec, group, registry, par) {
+                Ok(partials) => outcome.partials = partials,
+                Err(e) => outcome.error = Some(e),
+            }
+        } else {
+            outcome.error = Some(ShardError::Worker {
+                worker,
+                cause: error.cause,
+                timeout: error.timeout,
+            });
+        }
+        outcome
+    }
+}
+
+impl ShardBackend for RemoteBackend {
+    fn scatter(
+        &self,
+        table: &Table,
+        spec: &JobSpec,
+        shards: &[Shard],
+        registry: &FunctionRegistry,
+        par: Parallelism,
+    ) -> Result<(Vec<ShardPartial>, ScatterStats)> {
+        if self.config.workers.is_empty() || shards.is_empty() {
+            let partials = run_shards_local(table, spec, shards, registry, par)?;
+            let stats = ScatterStats {
+                shards: shards.len(),
+                ..Default::default()
+            };
+            return Ok((partials, stats));
+        }
+
+        // Round-robin shard batches, one request per involved worker.
+        let n_workers = self.config.workers.len();
+        let n_groups = n_workers.min(shards.len());
+        let mut groups: Vec<Vec<Shard>> = vec![Vec::new(); n_groups];
+        for (i, shard) in shards.iter().enumerate() {
+            groups[i % n_groups].push(shard.clone());
+        }
+
+        let indices: Vec<usize> = (0..groups.len()).collect();
+        let fanout = Parallelism::degree(groups.len());
+        let outcomes = par_map(fanout, &indices, |&gi| {
+            self.run_group(table, spec, &groups[gi], gi, registry, par)
+        });
+
+        let mut partials = Vec::with_capacity(shards.len());
+        let mut stats = ScatterStats {
+            shards: shards.len(),
+            ..Default::default()
+        };
+        let mut error = None;
+        for outcome in outcomes {
+            stats.requests += outcome.requests;
+            stats.retries += outcome.retries;
+            stats.fallbacks += outcome.fallbacks;
+            stats.worker_calls.extend(outcome.calls);
+            if let Some(e) = outcome.error {
+                error.get_or_insert(e);
+            }
+            partials.extend(outcome.partials);
+        }
+        match error {
+            Some(e) => Err(e),
+            None => Ok((partials, stats)),
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The shard subsystem's error type.
+
+use std::fmt;
+
+/// Any failure while planning, executing, shipping, or combining shards.
+#[derive(Debug)]
+pub enum ShardError {
+    /// A pipeline stage (matching, detection, fusion, table construction)
+    /// failed; carries the rendered underlying error.
+    Pipeline(String),
+    /// Malformed shard-protocol bytes (bad magic/version, truncated frame,
+    /// out-of-range row index) or a violated combiner invariant.
+    Wire(String),
+    /// A remote worker could not produce this shard batch: unreachable,
+    /// timed out, or answered a non-200 status — after the retry on a
+    /// distinct worker also failed and local fallback was disabled.
+    Worker {
+        /// Address of the worker that failed first.
+        worker: String,
+        /// What went wrong (connect error, HTTP status, decode failure).
+        cause: String,
+        /// True when the failure was a timeout (maps to 504 at the server,
+        /// other causes map to 502).
+        timeout: bool,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Pipeline(msg) => write!(f, "shard pipeline error: {msg}"),
+            ShardError::Wire(msg) => write!(f, "shard protocol error: {msg}"),
+            ShardError::Worker {
+                worker,
+                cause,
+                timeout,
+            } => {
+                let kind = if *timeout { "timed out" } else { "failed" };
+                write!(f, "shard worker {worker} {kind}: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<hummer_engine::EngineError> for ShardError {
+    fn from(e: hummer_engine::EngineError) -> Self {
+        ShardError::Pipeline(e.to_string())
+    }
+}
+
+impl From<hummer_fusion::FusionError> for ShardError {
+    fn from(e: hummer_fusion::FusionError) -> Self {
+        ShardError::Pipeline(e.to_string())
+    }
+}
+
+impl From<hummer_core::HummerError> for ShardError {
+    fn from(e: hummer_core::HummerError) -> Self {
+        ShardError::Pipeline(e.to_string())
+    }
+}
+
+/// Shorthand result type for this crate.
+pub type Result<T> = std::result::Result<T, ShardError>;

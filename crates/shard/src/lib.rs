@@ -1,0 +1,73 @@
+//! # hummer-shard — sharded scatter-gather fusion
+//!
+//! A two-tier worker/combiner executor over the HumMer pipeline: partition
+//! the integrated (outer-union) row space by blocking key into K disjoint
+//! shards, run detection + clustering + fusion per shard on independent
+//! workers — in-process or over HTTP — and merge the partial fused views
+//! deterministically into the **exact byte-identical output** of the
+//! single-shard pipeline, at every shard count × parallelism degree.
+//!
+//! * [`plan`] — the [`ShardPlanner`](plan::plan_shards): candidate-graph
+//!   connected components packed into at most K bins, so rows that
+//!   co-occur in any candidate pair (and hence any duplicate cluster)
+//!   always land in the same shard;
+//! * [`exec`] — the worker kernel ([`run_shard`]) and the end-to-end
+//!   executor ([`execute_sharded`]); workers score their shard's candidate
+//!   pairs against the *full-table* corpus statistics, which is what makes
+//!   per-shard similarities bit-equal to the global detector's;
+//! * [`combine`] — the deterministic merge: canonical pair re-sort, global
+//!   re-closure, fused rows ordered by each cluster's smallest member, and
+//!   conflict samples re-capped in global order;
+//! * [`wire`] — the binary shard protocol over the engine codec (floats
+//!   ship as raw bits, so NaN payloads and `-0.0` survive the network);
+//! * [`client`] — the coordinator's [`RemoteBackend`]: round-robin
+//!   scatter, per-worker timeout, retry-once on a distinct worker, and
+//!   graceful fallback to local execution.
+//!
+//! ## Example
+//!
+//! ```
+//! use hummer_core::HummerConfig;
+//! use hummer_engine::table;
+//! use hummer_fusion::FunctionRegistry;
+//! use hummer_shard::{execute_sharded, key_equality_spec};
+//!
+//! let people = table! {
+//!     "People" => ["Name", "City"];
+//!     ["John Smith", "Berlin"],
+//!     ["Jon Smith",  "Berlin"],
+//!     ["Mary Jones", "Hamburg"],
+//! };
+//! let mut config = HummerConfig::default();
+//! config.detector.threshold = 0.7;
+//! config.detector.unsure_threshold = 0.55;
+//! // Disjoint blocking gives the planner components to distribute.
+//! config.detector.candidates = key_equality_spec("City");
+//! let registry = FunctionRegistry::standard();
+//!
+//! let sharded = execute_sharded(&[&people], &config, 4, &[], &registry).unwrap();
+//! assert_eq!(sharded.outcome.result.len(), 2); // the Smiths fused
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod combine;
+pub mod error;
+pub mod exec;
+pub mod plan;
+pub mod wire;
+
+pub use client::{CoordinatorConfig, RemoteBackend};
+pub use combine::{combine_partials, Combined};
+pub use error::{Result, ShardError};
+pub use exec::{
+    execute_sharded, execute_sharded_with, run_shard, run_shards_local, ClusterPartial, JobSpec,
+    LocalBackend, ScatterStats, ShardBackend, ShardPartial, ShardedOutcome, WorkerCall,
+};
+pub use plan::{key_equality_spec, plan_shards, Shard, ShardPlan};
+pub use wire::{
+    decode_request, decode_response, encode_request, encode_response, handle_shard_request,
+    SHARD_WIRE_MAGIC, SHARD_WIRE_VERSION,
+};

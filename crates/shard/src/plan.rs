@@ -1,0 +1,255 @@
+//! The shard planner: partition the union row space into K disjoint shards
+//! such that per-shard detection sees every candidate pair the global
+//! detector would.
+//!
+//! ## Invariants
+//!
+//! The planner computes the global candidate-pair list (the same
+//! [`hummer_dupdetect::candidate_pairs`] call the detector makes), forms
+//! the connected components of the candidate graph, and packs whole
+//! components into at most K bins. Because a component never splits:
+//!
+//! 1. **Coverage** — every row lands in exactly one shard (singleton rows
+//!    are their own components).
+//! 2. **Co-occurrence** — both endpoints of every candidate pair land in
+//!    the same shard, so no pair ever straddles a shard boundary and the
+//!    union of per-shard scored pairs equals the global scored pairs.
+//! 3. **Closure locality** — duplicate clusters (transitive closures over
+//!    *accepted* pairs, a subgraph of the candidate graph) are entirely
+//!    contained in one shard, so per-shard fusion fuses exactly the global
+//!    clusters.
+//!
+//! Packing is deterministic: components in decreasing cost order (candidate
+//! pairs + rows, ties by smallest member) go to the least-loaded bin
+//! (lowest index on ties). [`CandidateSpec::AllPairs`] and wide
+//! sorted-neighborhood windows yield one giant component — the plan then
+//! degrades to a single shard, which is correct but not distributed; use
+//! [`CandidateSpec::KeyEquality`] (or a narrow-window key) when real
+//! fan-out is wanted.
+
+use crate::error::{Result, ShardError};
+use hummer_dupdetect::{
+    candidate_pairs, resolve_candidate_strategy, CandidateSpec, DetectorConfig, UnionFind,
+};
+use hummer_engine::Table;
+
+/// One shard of the plan: a disjoint subset of the union rows plus the
+/// candidate pairs whose endpoints both fall in it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Global row indices, ascending.
+    pub rows: Vec<usize>,
+    /// Global candidate pairs `(left, right)` with `left < right`, both in
+    /// `rows`, in lexicographic order.
+    pub candidates: Vec<(usize, usize)>,
+}
+
+/// A complete shard plan over one integrated table.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// The non-empty shards (at most the requested K).
+    pub shards: Vec<Shard>,
+    /// Connected components of the candidate graph (the packing units).
+    pub components: usize,
+    /// Total candidate pairs across all shards (== the global candidate
+    /// count, since pairs partition exactly).
+    pub candidates: usize,
+}
+
+impl ShardPlan {
+    /// Audit the plan's invariants against a table of `n` rows: rows
+    /// partition `0..n` and no shard's candidate pair references a row
+    /// outside that shard. Returns the number of violations (0 = sound).
+    /// Property tests call this; production paths rely on construction.
+    pub fn audit(&self, n: usize) -> usize {
+        let mut violations = 0usize;
+        let mut owner = vec![usize::MAX; n];
+        for (si, shard) in self.shards.iter().enumerate() {
+            for &r in &shard.rows {
+                if r >= n || owner[r] != usize::MAX {
+                    violations += 1;
+                } else {
+                    owner[r] = si;
+                }
+            }
+            for &(a, b) in &shard.candidates {
+                if a >= n || b >= n || owner[a] != si || owner[b] != si {
+                    violations += 1;
+                }
+            }
+        }
+        violations += owner.iter().filter(|&&o| o == usize::MAX).count();
+        violations
+    }
+}
+
+/// Plan at most `k` shards for `table` under the detector configuration's
+/// candidate strategy. `k = 1` always yields one shard holding everything
+/// (when the table is non-empty); larger `k` is a ceiling — fewer shards
+/// come back when the candidate graph has fewer components.
+pub fn plan_shards(table: &Table, cfg: &DetectorConfig, k: usize) -> Result<ShardPlan> {
+    if k == 0 {
+        return Err(ShardError::Pipeline(
+            "shard count must be at least 1".into(),
+        ));
+    }
+    let strategy = resolve_candidate_strategy(table, &cfg.candidates)?;
+    let candidates = candidate_pairs(table, &strategy);
+    let n = table.len();
+
+    // Connected components of the candidate graph.
+    let mut uf = UnionFind::new(n);
+    for &(a, b) in &candidates {
+        uf.union(a, b);
+    }
+    let components = uf.clusters(); // ordered by smallest member, members ascending
+    let mut comp_of = vec![0usize; n];
+    for (ci, members) in components.iter().enumerate() {
+        for &m in members {
+            comp_of[m] = ci;
+        }
+    }
+
+    // Cost per component: its candidate pairs (scoring work) plus its rows
+    // (fusion/transfer work).
+    let mut cost = vec![0usize; components.len()];
+    for (ci, members) in components.iter().enumerate() {
+        cost[ci] = members.len();
+    }
+    for &(a, _) in &candidates {
+        cost[comp_of[a]] += 1;
+    }
+
+    // Deterministic greedy packing: heaviest component first (ties by
+    // smallest member — component index, since components are ordered by
+    // smallest member), into the least-loaded bin (lowest index on ties).
+    let bins = k.min(components.len()).max(1);
+    let mut order: Vec<usize> = (0..components.len()).collect();
+    order.sort_by(|&x, &y| cost[y].cmp(&cost[x]).then(x.cmp(&y)));
+    let mut load = vec![0usize; bins];
+    let mut assign = vec![0usize; components.len()];
+    for &ci in &order {
+        let bin = (0..bins).min_by_key(|&b| (load[b], b)).unwrap_or(0);
+        assign[ci] = bin;
+        load[bin] += cost[ci];
+    }
+
+    // Materialize the shards.
+    let mut shards: Vec<Shard> = (0..bins)
+        .map(|_| Shard {
+            rows: Vec::new(),
+            candidates: Vec::new(),
+        })
+        .collect();
+    for (ci, members) in components.iter().enumerate() {
+        shards[assign[ci]].rows.extend_from_slice(members);
+    }
+    for &(a, b) in &candidates {
+        shards[assign[comp_of[a]]].candidates.push((a, b));
+    }
+    for shard in &mut shards {
+        shard.rows.sort_unstable();
+        shard.candidates.sort_unstable();
+    }
+    shards.retain(|s| !s.rows.is_empty());
+
+    Ok(ShardPlan {
+        shards,
+        components: components.len(),
+        candidates: candidates.len(),
+    })
+}
+
+/// A [`DetectorConfig`] candidate spec that actually distributes: disjoint
+/// key-equality blocking makes each key group its own component. Purely a
+/// convenience for callers assembling shardable configurations.
+pub fn key_equality_spec(key: impl Into<String>) -> CandidateSpec {
+    CandidateSpec::KeyEquality {
+        key: vec![key.into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummer_engine::table;
+
+    fn keyed_table() -> Table {
+        table! {
+            "T" => ["Name", "Age"];
+            ["alpha", 1],
+            ["beta", 2],
+            ["alpha", 3],
+            ["gamma", 4],
+            ["beta", 5],
+            ["delta", 6],
+        }
+    }
+
+    fn cfg_key_equality() -> DetectorConfig {
+        DetectorConfig {
+            candidates: key_equality_spec("Name"),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn plan_partitions_rows_and_contains_pairs() {
+        let t = keyed_table();
+        for k in 1..=8 {
+            let plan = plan_shards(&t, &cfg_key_equality(), k).unwrap();
+            assert_eq!(plan.audit(t.len()), 0, "k={k}");
+            let total_rows: usize = plan.shards.iter().map(|s| s.rows.len()).sum();
+            assert_eq!(total_rows, t.len(), "k={k}");
+            let total_pairs: usize = plan.shards.iter().map(|s| s.candidates.len()).sum();
+            assert_eq!(total_pairs, plan.candidates, "k={k}");
+            assert!(plan.shards.len() <= k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn key_groups_never_split() {
+        let t = keyed_table();
+        let plan = plan_shards(&t, &cfg_key_equality(), 4).unwrap();
+        // Rows 0/2 (alpha) and 1/4 (beta) must each share a shard.
+        let shard_of = |r: usize| {
+            plan.shards
+                .iter()
+                .position(|s| s.rows.contains(&r))
+                .unwrap()
+        };
+        assert_eq!(shard_of(0), shard_of(2));
+        assert_eq!(shard_of(1), shard_of(4));
+    }
+
+    #[test]
+    fn all_pairs_degrades_to_one_shard() {
+        let t = keyed_table();
+        let cfg = DetectorConfig::default(); // AllPairs
+        let plan = plan_shards(&t, &cfg, 4).unwrap();
+        assert_eq!(plan.shards.len(), 1);
+        assert_eq!(plan.components, 1);
+    }
+
+    #[test]
+    fn empty_table_plans_no_shards() {
+        let t = table! { "E" => ["Name"]; };
+        let plan = plan_shards(&t, &cfg_key_equality(), 4).unwrap();
+        assert!(plan.shards.is_empty());
+        assert_eq!(plan.audit(0), 0);
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let t = keyed_table();
+        assert!(plan_shards(&t, &cfg_key_equality(), 0).is_err());
+    }
+
+    #[test]
+    fn packing_is_deterministic() {
+        let t = keyed_table();
+        let a = plan_shards(&t, &cfg_key_equality(), 3).unwrap();
+        let b = plan_shards(&t, &cfg_key_equality(), 3).unwrap();
+        assert_eq!(a.shards, b.shards);
+    }
+}

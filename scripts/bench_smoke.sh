@@ -11,17 +11,24 @@
 #    the blocking server at degrees 1-4, p99 at 128 connections no worse
 #    than the blocking baseline's p99 at 8, overload sheds with 503 and
 #    keeps serving, and group-commit fsync delta throughput >= 85% of
-#    no-fsync (writes BENCH_serving2.json).
-# The script then sanity-checks all three reports.
+#    no-fsync (writes BENCH_serving2.json);
+#  - exp16: the scatter-gather sharding contract — sharded output
+#    bit-identical to the single-shard pipeline across K in {1,2,4,8} x
+#    degrees 1-4, balanced work division over two workers, and the
+#    worker-kill fault drill (retry + local fallback keep answers
+#    byte-identical; writes BENCH_sharding.json).
+# The script then sanity-checks all four reports.
 set -euo pipefail
 
 BIN=${BIN:-./target/release/exp13_columnar}
 OBS_BIN=${OBS_BIN:-./target/release/exp14_observability}
 SERVE_BIN=${SERVE_BIN:-./target/release/exp15_serving}
+SHARD_BIN=${SHARD_BIN:-./target/release/exp16_sharding}
 
 [ -x "$BIN" ] || { echo "missing $BIN (build with: cargo build --release -p hummer_bench --bin exp13_columnar)"; exit 1; }
 [ -x "$OBS_BIN" ] || { echo "missing $OBS_BIN (build with: cargo build --release -p hummer_bench --bin exp14_observability)"; exit 1; }
 [ -x "$SERVE_BIN" ] || { echo "missing $SERVE_BIN (build with: cargo build --release -p hummer_bench --bin exp15_serving)"; exit 1; }
+[ -x "$SHARD_BIN" ] || { echo "missing $SHARD_BIN (build with: cargo build --release -p hummer_bench --bin exp16_sharding)"; exit 1; }
 
 "$BIN"
 
@@ -51,4 +58,19 @@ for gate in identity_degrees_1_4 p99_at_128_conns_le_baseline \
         || { echo "serving gate $gate not passed:"; cat "$SERVE_REPORT"; exit 1; }
 done
 
-echo "bench smoke test OK ($REPORT, $OBS_REPORT, $SERVE_REPORT)"
+"$SHARD_BIN"
+
+SHARD_REPORT=BENCH_sharding.json
+[ -f "$SHARD_REPORT" ] || { echo "$SHARD_REPORT was not written"; exit 1; }
+if grep -q '"identical": *false' "$SHARD_REPORT"; then
+    echo "a sharded run diverged from the single-shard pipeline:"; cat "$SHARD_REPORT"; exit 1
+fi
+if grep -q '"passed": *false' "$SHARD_REPORT"; then
+    echo "a sharding gate failed:"; cat "$SHARD_REPORT"; exit 1
+fi
+for gate in one_dead_identical all_dead_identical no_fallback_errors; do
+    grep -q "\"$gate\": *true" "$SHARD_REPORT" \
+        || { echo "fault drill gate $gate not passed:"; cat "$SHARD_REPORT"; exit 1; }
+done
+
+echo "bench smoke test OK ($REPORT, $OBS_REPORT, $SERVE_REPORT, $SHARD_REPORT)"
