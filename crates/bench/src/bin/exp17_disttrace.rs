@@ -1,0 +1,417 @@
+//! E17 — distributed tracing across the shard boundary (PR 10).
+//!
+//! Three gates on the cross-node tracing added in ISSUE 10 — the
+//! coordinator ships `(trace_id, parent_span_id)` inside the `HmSh` v2
+//! frame, workers record their stage spans under a private capture tracer
+//! and return the subtree in the response, and the coordinator splices it
+//! into its own ring tagged with a `node` label:
+//!
+//! 1. **Stitched tree** (hard gate): a cold coordinator query scattered
+//!    over two freshly-started HTTP workers must produce ONE trace tree —
+//!    single root, zero orphans — that contains the coordinator's own
+//!    stage spans (`plan`, `scatter`, `combine`, node-less) *and* every
+//!    worker stage span (`worker_batch` → `shard` → `score`/`cluster`),
+//!    with `node` labels naming at least two distinct workers. The fused
+//!    output must stay bit-identical to the single-shard reference.
+//! 2. **Fault drill as spans** (hard gate): with one worker dead the
+//!    retry decision must appear as a `retry` span in the same trace;
+//!    with the whole fleet dead the local `fallback` span must. Both
+//!    answers stay bit-identical.
+//! 3. **Overhead** (hard gate): the instrumented two-worker scatter —
+//!    coordinator tracer live, worker subtrees captured, shipped, and
+//!    spliced — must finish within [`OVERHEAD_BAR_PCT`] of the bare
+//!    scatter (no-op span, no capture), aggregated over parallelism
+//!    degrees 1–4 on the ≈ 10k-row `person_scale` world. Bare and
+//!    instrumented reps are interleaved; minima are compared. Every
+//!    degree's instrumented output must be bit-identical to the bare one
+//!    (tracing on/off must not perturb fusion).
+//!
+//! Writes `BENCH_disttrace.json` and exits nonzero if any gate fails.
+
+use hummer_bench::{f3, render_table};
+use hummer_core::{fuse_prepared_par, prepare_tables, HummerConfig, Parallelism, PipelineOutcome};
+use hummer_datagen::scenarios::person_scale;
+use hummer_engine::Table;
+use hummer_fusion::FunctionRegistry;
+use hummer_obs::{Span, SpanRecord, TraceNode, Tracer};
+use hummer_server::{HummerServer, Json, ServerConfig, ServiceConfig};
+use hummer_shard::{
+    execute_sharded_with, key_equality_spec, CoordinatorConfig, RemoteBackend, ShardedOutcome,
+};
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const SEED: u64 = 2005;
+/// `person_scale` entities; coverage 0.7 makes the union ≈ 10k rows.
+const LARGE_ENTITIES: usize = 7200;
+/// Shard ceiling: 8 shards round-robined over 2 workers.
+const K_BIG: usize = 8;
+/// Maximum tolerated instrumented-over-bare overhead, in percent —
+/// the same bar exp14 holds for single-node tracing, now including wire
+/// capture, span shipping, and coordinator-side splicing.
+const OVERHEAD_BAR_PCT: f64 = 3.0;
+/// Timing repetitions per degree cell; minima are compared.
+const REPS: usize = 3;
+/// Coordinator ring capacity (the `hummer-serve` default).
+const RING: usize = 65536;
+/// Worker stage spans the stitched tree must contain, all node-labeled.
+const WORKER_STAGES: [&str; 4] = ["worker_batch", "shard", "score", "cluster"];
+/// Coordinator stage spans the stitched tree must contain, all local.
+const COORD_STAGES: [&str; 3] = ["plan", "scatter", "combine"];
+
+/// Key-equality blocking on `City` (24 keys in the generator pool) so the
+/// candidate graph decomposes into fat components the planner can spread.
+fn sharded_config(par: Parallelism) -> HummerConfig {
+    let mut config = HummerConfig {
+        parallelism: par,
+        ..Default::default()
+    };
+    config.detector.candidates = key_equality_spec("City".to_string());
+    config
+}
+
+/// Everything user-visible, rendered bit-exactly (`{:?}` on `f64` is the
+/// shortest roundtrip form, so differing bits — NaN payloads, `-0.0` —
+/// render differently).
+fn fingerprint(out: &PipelineOutcome) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}",
+        out.result.rows(),
+        out.result.schema().names(),
+        out.detection.cluster_ids,
+        out.detection.pairs,
+        out.detection.unsure,
+        out.conflict_count,
+        out.sample_conflicts,
+    )
+}
+
+/// Start one shard worker: a plain `hummer-serve` on an ephemeral port.
+/// The worker's own tracer stays disabled — the spans it ships back come
+/// from the per-request capture tracer in `handle_shard_request`, which is
+/// exactly what a mixed fleet would exercise.
+fn start_worker(degree: usize) -> (String, impl FnOnce()) {
+    let mut service = ServiceConfig::default();
+    service.pipeline.parallelism = Parallelism::degree(degree);
+    let server = HummerServer::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        service,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral worker port");
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (addr, move || {
+        handle.shutdown();
+        join.join().expect("worker thread");
+    })
+}
+
+fn remote_backend(workers: Vec<String>) -> RemoteBackend {
+    RemoteBackend::new(CoordinatorConfig {
+        workers,
+        fallback_local: true,
+        ..CoordinatorConfig::default()
+    })
+}
+
+/// Flatten a trace tree into its span records, depth-first.
+fn flatten<'a>(node: &'a TraceNode, out: &mut Vec<&'a SpanRecord>) {
+    out.push(&node.record);
+    for child in &node.children {
+        flatten(child, out);
+    }
+}
+
+/// One traced scatter: a fresh root span on `tracer`, the scatter under
+/// it, root dropped so its record lands in the ring. Returns the outcome,
+/// the trace id, and the wall milliseconds.
+fn traced_scatter(
+    tables: &[&Table],
+    config: &HummerConfig,
+    registry: &FunctionRegistry,
+    backend: &RemoteBackend,
+    tracer: &Tracer,
+) -> (ShardedOutcome, Option<u64>, f64) {
+    let t0 = Instant::now();
+    let root = tracer.trace("exp17_query");
+    let trace_id = root.trace_id();
+    let out = execute_sharded_with(tables, config, K_BIG, &[], registry, backend, &root)
+        .expect("sharded scatter");
+    drop(root);
+    (out, trace_id, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() -> ExitCode {
+    println!("E17 — distributed tracing across the shard boundary\n");
+    let registry = FunctionRegistry::standard();
+
+    let world = person_scale(LARGE_ENTITIES, SEED);
+    let tables: Vec<&Table> = world.sources.iter().map(|s| &s.table).collect();
+    let seq_cfg = sharded_config(Parallelism::sequential());
+    let par_cfg = sharded_config(Parallelism::degree(4));
+
+    // Single-shard sequential reference for every identity check.
+    let prepared = prepare_tables(&tables, &seq_cfg).expect("prepare");
+    let reference_fp = fingerprint(
+        &fuse_prepared_par(
+            &prepared,
+            &[],
+            &FunctionRegistry::standard(),
+            Parallelism::sequential(),
+        )
+        .expect("fuse reference"),
+    );
+    println!(
+        "large world: {} union rows under City blocking",
+        prepared.integrated.len()
+    );
+
+    let (addr_a, stop_a) = start_worker(2);
+    let (addr_b, stop_b) = start_worker(2);
+    let backend = remote_backend(vec![addr_a.clone(), addr_b.clone()]);
+
+    // ---- 1. Stitched tree: the cold query ------------------------------
+    let tracer = Tracer::with_capacity(RING);
+    let (cold, cold_trace, cold_ms) =
+        traced_scatter(&tables, &par_cfg, &registry, &backend, &tracer);
+    let cold_identical = fingerprint(&cold.outcome) == reference_fp;
+    let trace_id = cold_trace.expect("enabled tracer allocates a trace id");
+    let tree = tracer
+        .trace_tree(trace_id)
+        .expect("cold query trace is in the ring");
+    let mut spans: Vec<&SpanRecord> = Vec::new();
+    for root in &tree.roots {
+        flatten(root, &mut spans);
+    }
+    let nodes: BTreeSet<&str> = spans.iter().filter_map(|r| r.node.as_deref()).collect();
+    let has_stage = |name: &str, remote: bool| {
+        spans
+            .iter()
+            .any(|r| r.name == name && r.node.is_some() == remote)
+    };
+    let worker_stages_present = WORKER_STAGES.iter().all(|s| has_stage(s, true));
+    let coord_stages_present = COORD_STAGES.iter().all(|s| has_stage(s, false));
+    let single_root = tree.roots.len() == 1 && tree.orphans == 0;
+    println!(
+        "cold query ({cold_ms:.0} ms): trace {trace_id:016x} stitched {} spans, \
+         {} root(s), {} orphan(s), worker nodes {:?}",
+        tree.span_count(),
+        tree.roots.len(),
+        tree.orphans,
+        nodes
+    );
+    let stitched_passed = single_root
+        && nodes.len() >= 2
+        && worker_stages_present
+        && coord_stages_present
+        && cold_identical
+        && cold.stats.retries == 0
+        && cold.stats.fallbacks == 0;
+    if !stitched_passed {
+        eprintln!(
+            "FAIL: stitched-tree gate — single_root={single_root}, distinct_nodes={}, \
+             worker_stages={worker_stages_present}, coordinator_stages={coord_stages_present}, \
+             identical={cold_identical}, retries={}, fallbacks={}",
+            nodes.len(),
+            cold.stats.retries,
+            cold.stats.fallbacks
+        );
+        stop_a();
+        stop_b();
+        return ExitCode::FAILURE;
+    }
+
+    // ---- 2. Overhead matrix: instrumented vs bare, degrees 1–4 ---------
+    // The bare side passes `Span::noop()`: no trace context goes on the
+    // wire, so workers skip their capture tracer entirely — that is the
+    // tracing-off configuration the ≤ 3% bar compares against.
+    let mut rows = Vec::new();
+    let mut cell_reports = Vec::new();
+    let mut bare_total = 0.0f64;
+    let mut instr_total = 0.0f64;
+    for degree in 1..=4usize {
+        let cfg = sharded_config(Parallelism::degree(degree));
+        let mut bare_ms = f64::INFINITY;
+        let mut instr_ms = f64::INFINITY;
+        let mut bare_out = None;
+        let mut instr_out = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let out = execute_sharded_with(
+                &tables,
+                &cfg,
+                K_BIG,
+                &[],
+                &registry,
+                &backend,
+                &Span::noop(),
+            )
+            .expect("bare scatter");
+            bare_ms = bare_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            bare_out = Some(out);
+            let (out, _, ms) = traced_scatter(&tables, &cfg, &registry, &backend, &tracer);
+            instr_ms = instr_ms.min(ms);
+            instr_out = Some(out);
+        }
+        let bare_out = bare_out.expect("REPS >= 1");
+        let instr_out = instr_out.expect("REPS >= 1");
+        let bare_fp = fingerprint(&bare_out.outcome);
+        if bare_fp != reference_fp || fingerprint(&instr_out.outcome) != bare_fp {
+            eprintln!("FAIL: tracing on/off outputs diverged at degree {degree}");
+            stop_a();
+            stop_b();
+            return ExitCode::FAILURE;
+        }
+        let overhead_pct = (instr_ms / bare_ms.max(1e-9) - 1.0) * 100.0;
+        bare_total += bare_ms;
+        instr_total += instr_ms;
+        rows.push(vec![
+            degree.to_string(),
+            format!("{bare_ms:.1}"),
+            format!("{instr_ms:.1}"),
+            format!("{overhead_pct:+.2}%"),
+        ]);
+        cell_reports.push(
+            Json::object()
+                .with("degree", degree)
+                .with("bare_ms", bare_ms)
+                .with("instrumented_ms", instr_ms)
+                .with("overhead_pct", overhead_pct)
+                .with("identical", true),
+        );
+    }
+    println!(
+        "{}",
+        render_table(
+            &["threads", "bare ms", "instrumented ms", "overhead"],
+            &rows
+        )
+    );
+    let overhead_pct = (instr_total / bare_total.max(1e-9) - 1.0) * 100.0;
+    let overhead_passed = overhead_pct <= OVERHEAD_BAR_PCT;
+    println!(
+        "aggregate: bare {:.1} ms, instrumented {:.1} ms -> {}% overhead (bar {}%)\n",
+        bare_total,
+        instr_total,
+        f3(overhead_pct),
+        OVERHEAD_BAR_PCT
+    );
+
+    // ---- 3. Fault drill: retry and fallback as spans -------------------
+    // Kill worker B: its batch must retry on A, and the retry decision
+    // must be visible as a span in the same stitched trace.
+    stop_b();
+    let one_dead = remote_backend(vec![addr_a.clone(), addr_b.clone()]);
+    let (drilled, drill_trace, _) =
+        traced_scatter(&tables, &par_cfg, &registry, &one_dead, &tracer);
+    let retry_identical = fingerprint(&drilled.outcome) == reference_fp;
+    let drill_tree = drill_trace
+        .and_then(|id| tracer.trace_tree(id))
+        .expect("drill trace is in the ring");
+    let mut drill_spans: Vec<&SpanRecord> = Vec::new();
+    for root in &drill_tree.roots {
+        flatten(root, &mut drill_spans);
+    }
+    let retry_span = drill_spans.iter().any(|r| r.name == "retry");
+    println!(
+        "worker-kill drill: 1 of 2 dead -> {} retries, retry span in trace: {retry_span}, \
+         identical={retry_identical}",
+        drilled.stats.retries
+    );
+    if !retry_identical || drilled.stats.retries == 0 || !retry_span {
+        eprintln!("FAIL: dead-worker retry was not traced or broke identity");
+        stop_a();
+        return ExitCode::FAILURE;
+    }
+
+    // Kill A too: every batch falls back locally; the fallback decision
+    // must be a span in the trace.
+    stop_a();
+    let all_dead = remote_backend(vec![addr_a, addr_b]);
+    let (fell_back, fb_trace, _) = traced_scatter(&tables, &par_cfg, &registry, &all_dead, &tracer);
+    let fallback_identical = fingerprint(&fell_back.outcome) == reference_fp;
+    let fb_tree = fb_trace
+        .and_then(|id| tracer.trace_tree(id))
+        .expect("fallback trace is in the ring");
+    let mut fb_spans: Vec<&SpanRecord> = Vec::new();
+    for root in &fb_tree.roots {
+        flatten(root, &mut fb_spans);
+    }
+    let fallback_span = fb_spans.iter().any(|r| r.name == "fallback");
+    println!(
+        "worker-kill drill: all dead -> {} fallbacks, fallback span in trace: {fallback_span}, \
+         identical={fallback_identical}\n",
+        fell_back.stats.fallbacks
+    );
+    if !fallback_identical || fell_back.stats.fallbacks == 0 || !fallback_span {
+        eprintln!("FAIL: local fallback was not traced or broke identity");
+        return ExitCode::FAILURE;
+    }
+
+    // ---- Report ---------------------------------------------------------
+    let report = Json::object()
+        .with("experiment", "exp17_disttrace")
+        .with(
+            "world",
+            Json::object()
+                .with("scenario", "person_scale")
+                .with("entities", LARGE_ENTITIES)
+                .with("union_rows", prepared.integrated.len())
+                .with("blocking_key", "City")
+                .with("shard_ceiling", K_BIG),
+        )
+        .with(
+            "stitched_trace",
+            Json::object()
+                .with("spans", tree.span_count())
+                .with("distinct_nodes", nodes.len())
+                .with("single_root", single_root)
+                .with("orphans", tree.orphans)
+                .with("worker_stage_spans", worker_stages_present)
+                .with("coordinator_stage_spans", coord_stages_present)
+                .with("identical", cold_identical)
+                .with("passed", stitched_passed),
+        )
+        .with(
+            "overhead_gate",
+            Json::object()
+                .with("cells", Json::Arr(cell_reports))
+                .with("bare_total_ms", bare_total)
+                .with("instrumented_total_ms", instr_total)
+                .with("overhead_pct", overhead_pct)
+                .with("bar_pct", OVERHEAD_BAR_PCT)
+                .with("passed", overhead_passed),
+        )
+        .with(
+            "fault_drill",
+            Json::object()
+                .with("one_dead_retries", drilled.stats.retries)
+                .with("retry_span_in_trace", retry_span)
+                .with("one_dead_identical", retry_identical)
+                .with("all_dead_fallbacks", fell_back.stats.fallbacks)
+                .with("fallback_span_in_trace", fallback_span)
+                .with("all_dead_identical", fallback_identical),
+        );
+    let path = "BENCH_disttrace.json";
+    std::fs::write(path, report.to_string_pretty()).expect("write BENCH_disttrace.json");
+    println!("wrote {path}");
+
+    if !overhead_passed {
+        eprintln!(
+            "FAIL: distributed tracing overhead is {}%, above the {OVERHEAD_BAR_PCT}% bar",
+            f3(overhead_pct)
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "PASS: one stitched tree over {} worker nodes, fault drill traced, \
+         overhead = {}% (<= {OVERHEAD_BAR_PCT}%), outputs bit-identical",
+        nodes.len(),
+        f3(overhead_pct)
+    );
+    ExitCode::SUCCESS
+}

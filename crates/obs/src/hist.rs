@@ -63,6 +63,10 @@ pub fn bucket_upper_edge(index: usize) -> u64 {
 /// A lock-free histogram of `u64` samples (typically microseconds).
 pub struct Histogram {
     buckets: Box<[AtomicU64]>,
+    /// Exemplar slots: the last trace id recorded into each bucket via
+    /// [`Histogram::record_with_trace`] (0 = none). A relaxed store per
+    /// sample — last writer wins, which is exactly the exemplar contract.
+    exemplars: Box<[AtomicU64]>,
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
@@ -88,8 +92,10 @@ impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
         let buckets = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let exemplars = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
         Histogram {
             buckets,
+            exemplars,
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
@@ -106,9 +112,27 @@ impl Histogram {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// [`Histogram::record`], additionally remembering `trace` as the
+    /// bucket's exemplar so a scrape can link the bucket to a fetchable
+    /// trace. Trace id 0 never occurs (ids start at 1), so it doubles as
+    /// the empty-slot sentinel.
+    pub fn record_with_trace(&self, value: u64, trace: Option<u64>) {
+        self.record(value);
+        if let Some(t) = trace {
+            if t != 0 {
+                self.exemplars[bucket_index(value)].store(t, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Record a [`std::time::Duration`] in microseconds.
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// [`Histogram::record_duration`] with an exemplar trace id.
+    pub fn record_duration_with_trace(&self, d: std::time::Duration, trace: Option<u64>) {
+        self.record_with_trace(d.as_micros().min(u128::from(u64::MAX)) as u64, trace);
     }
 
     /// Samples recorded so far.
@@ -126,11 +150,17 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        let exemplars: Vec<u64> = self
+            .exemplars
+            .iter()
+            .map(|e| e.load(Ordering::Relaxed))
+            .collect();
         // Derive the total from the buckets themselves so quantile walks
         // always terminate even if `count` raced ahead of a bucket bump.
         let count = counts.iter().sum();
         HistogramSnapshot {
             counts,
+            exemplars,
             count,
             sum: self.sum.load(Ordering::Relaxed),
             min: self.min.load(Ordering::Relaxed),
@@ -143,6 +173,7 @@ impl Histogram {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     counts: Vec<u64>,
+    exemplars: Vec<u64>,
     count: u64,
     sum: u64,
     min: u64,
@@ -160,6 +191,7 @@ impl HistogramSnapshot {
     pub fn empty() -> Self {
         HistogramSnapshot {
             counts: vec![0; BUCKETS],
+            exemplars: vec![0; BUCKETS],
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -244,6 +276,11 @@ impl HistogramSnapshot {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
+        for (a, &b) in self.exemplars.iter_mut().zip(&other.exemplars) {
+            if b != 0 {
+                *a = b;
+            }
+        }
         self.count += other.count;
         self.sum += other.sum;
         self.min = self.min.min(other.min);
@@ -253,6 +290,30 @@ impl HistogramSnapshot {
     /// Per-bucket counts (length [`bucket_count`]).
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Whether any bucket holds an exemplar trace id.
+    pub fn has_exemplars(&self) -> bool {
+        self.exemplars.iter().any(|&t| t != 0)
+    }
+
+    /// The exemplar for the value range `(lower, upper]`: the last trace
+    /// id recorded into a non-empty bucket whose upper edge lies in the
+    /// range, together with that edge as the exemplar's representative
+    /// value. Range semantics match the Prometheus `le` ladder, so each
+    /// exposition bucket gets an exemplar that actually fell into it.
+    pub fn exemplar_between(&self, lower: u64, upper: u64) -> Option<(u64, u64)> {
+        let mut best = None;
+        for (idx, &t) in self.exemplars.iter().enumerate() {
+            if t == 0 || self.counts[idx] == 0 {
+                continue;
+            }
+            let edge = bucket_upper_edge(idx);
+            if edge > lower && edge <= upper {
+                best = Some((t, edge));
+            }
+        }
+        best
     }
 }
 
@@ -330,6 +391,27 @@ mod tests {
             prev = c;
         }
         assert_eq!(s.cumulative_le(u64::MAX), 5);
+    }
+
+    #[test]
+    fn exemplars_remember_last_trace_per_bucket() {
+        let h = Histogram::new();
+        h.record_with_trace(100, Some(0xa1));
+        h.record_with_trace(100, Some(0xa2)); // same bucket: last wins
+        h.record_with_trace(1_000_000, Some(0xbb));
+        h.record(5_000_000); // no trace: slot untouched
+        let s = h.snapshot();
+        assert!(s.has_exemplars());
+        assert_eq!(s.exemplar_between(0, 200).map(|(t, _)| t), Some(0xa2));
+        let (t, v) = s.exemplar_between(200, 2_000_000).unwrap();
+        assert_eq!(t, 0xbb);
+        assert!((1_000_000..=1_016_000).contains(&v), "edge {v}");
+        // The traceless sample's range has no exemplar.
+        assert_eq!(s.exemplar_between(2_000_000, u64::MAX), None);
+        // record_with_trace(None) behaves like record.
+        let h2 = Histogram::new();
+        h2.record_with_trace(10, None);
+        assert!(!h2.snapshot().has_exemplars());
     }
 
     #[test]

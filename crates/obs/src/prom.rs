@@ -69,7 +69,9 @@ impl PromText {
     /// Emit a full histogram family (`_bucket` ladder, `_sum`, `_count`)
     /// from a snapshot of microsecond samples, converting to seconds.
     /// With `bounds_s: None` a default `le` ladder spanning 100 µs – 10 s
-    /// is used.
+    /// is used. Buckets whose range holds an exemplar trace id (recorded
+    /// via `Histogram::record_with_trace`) get OpenMetrics exemplar syntax
+    /// appended: `... # {trace_id="<16-hex>"} <seconds>`.
     pub fn histogram_us(
         &mut self,
         name: &str,
@@ -78,7 +80,9 @@ impl PromText {
         bounds_s: Option<&[f64]>,
     ) {
         let bounds = bounds_s.unwrap_or(DEFAULT_LATENCY_BOUNDS_S);
+        let exemplars = snap.has_exemplars();
         let bucket = format!("{name}_bucket");
+        let mut prev_us = 0u64;
         for &bound in bounds {
             let bound_us = (bound * 1e6).round() as u64;
             let c = snap.cumulative_le(bound_us);
@@ -86,12 +90,19 @@ impl PromText {
             self.write_labels(labels, Some(bound));
             self.buf.push(' ');
             self.write_value(c as f64);
+            if exemplars {
+                self.write_exemplar(snap.exemplar_between(prev_us, bound_us));
+            }
             self.buf.push('\n');
+            prev_us = bound_us;
         }
         self.buf.push_str(&bucket);
         self.write_labels_inf(labels);
         self.buf.push(' ');
         self.write_value(snap.count() as f64);
+        if exemplars {
+            self.write_exemplar(snap.exemplar_between(prev_us, u64::MAX));
+        }
         self.buf.push('\n');
 
         self.buf.push_str(name);
@@ -209,6 +220,19 @@ impl PromText {
         self.buf.push_str("le=\"+Inf\"}");
     }
 
+    /// Append exemplar syntax to the current bucket line:
+    /// ` # {trace_id="<16-hex>"} <value_seconds>`. Nothing when the
+    /// bucket's range holds no exemplar.
+    fn write_exemplar(&mut self, exemplar: Option<(u64, u64)>) {
+        if let Some((trace, value_us)) = exemplar {
+            let _ = std::fmt::Write::write_fmt(
+                &mut self.buf,
+                format_args!(" # {{trace_id=\"{trace:016x}\"}} "),
+            );
+            self.write_value(value_us as f64 * 1e-6);
+        }
+    }
+
     fn write_value(&mut self, value: f64) {
         // Prometheus floats: plain decimal; integers render without a
         // fractional part, which `{}` on f64 already does.
@@ -255,6 +279,35 @@ mod tests {
             assert!(v as u64 >= prev, "non-monotone: {line}");
             prev = v as u64;
         }
+    }
+
+    #[test]
+    fn exemplars_render_on_bucket_lines_only_when_present() {
+        let h = Histogram::new();
+        h.record(500); // no trace
+        let mut out = PromText::new();
+        out.histogram_us("lat_seconds", &[], &h.snapshot(), None);
+        assert!(!out.finish().contains(" # {"), "no exemplars expected");
+
+        h.record_with_trace(200_000, Some(0x00ab_cdef_0123_4567));
+        let mut out = PromText::new();
+        out.histogram_us("lat_seconds", &[], &h.snapshot(), None);
+        let text = out.finish();
+        // 200ms lands in the (0.1, 0.25] bucket of the default ladder.
+        let line = text
+            .lines()
+            .find(|l| l.contains("le=\"0.25\""))
+            .expect("0.25 bucket line");
+        assert!(
+            line.contains("# {trace_id=\"00abcdef01234567\"}"),
+            "exemplar missing: {line}"
+        );
+        // The exemplar value is the bucket edge in seconds (~0.2).
+        let value: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!((0.19..=0.25).contains(&value), "exemplar value {value}");
+        // Untouched ranges stay exemplar-free.
+        let early = text.lines().find(|l| l.contains("le=\"0.0001\"")).unwrap();
+        assert!(!early.contains(" # {"), "{early}");
     }
 
     #[test]

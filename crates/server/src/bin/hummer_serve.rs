@@ -35,8 +35,8 @@
 //! requests and exits 0.
 
 use hummer_server::{
-    CoordinatorOptions, HummerServer, ObsConfig, Parallelism, ServerConfig, ServiceConfig,
-    ServingMode,
+    CoordinatorOptions, EventLog, HummerServer, ObsConfig, Parallelism, ServerConfig,
+    ServiceConfig, ServingMode,
 };
 use std::process::ExitCode;
 use std::time::Duration;
@@ -80,6 +80,10 @@ Observability:
                           returns a request's span tree while it is in the ring
   --no-trace              disable tracing entirely (spans become no-ops;
                           /metrics histograms still record)
+  --log-json PATH         append a sampled structured event log (JSON lines,
+                          one event per request/delta/scatter) to PATH; the
+                          sampler always keeps errors, overload rejects, and
+                          the slowest decile, and counts what it drops
 
 Durability (see README \"Durability\"):
   --data-dir DIR          persist the catalog in DIR: recover on boot, then
@@ -232,6 +236,16 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage())
             }
             "--no-trace" => trace = false,
+            "--log-json" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                match EventLog::to_path(std::path::Path::new(&path)) {
+                    Ok(log) => config.service.event_log = log,
+                    Err(e) => {
+                        eprintln!("hummer-serve: cannot open event log {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 return ExitCode::SUCCESS;

@@ -133,26 +133,9 @@ fn main() -> ExitCode {
     });
     let store = metrics.as_ref().and_then(|m| m.get("store").cloned());
 
-    println!("requests_ok      {}", report.ok);
-    println!("requests_err     {}", report.errors);
-    println!("rejects_503      {}", report.rejects);
-    println!("updates_ok       {}", report.updates_ok);
-    println!("updates_err      {}", report.update_errors);
-    println!("elapsed_s        {:.3}", report.elapsed.as_secs_f64());
-    println!("throughput_rps   {:.1}", report.throughput_rps);
-    println!("latency_mean_ms  {:.3}", report.mean_ms);
-    println!("latency_p50_ms   {:.3}", report.p50_ms);
-    println!("latency_p90_ms   {:.3}", report.p90_ms);
-    println!("latency_p99_ms   {:.3}", report.p99_ms);
-    println!("latency_p999_ms  {:.3}", report.p999_ms);
-    // The tail, explained: the worst requests with their trace ids —
-    // `curl http://{addr}/trace/{id}` shows the span tree of each.
-    for (i, (ms, trace)) in report.slowest.iter().enumerate() {
-        println!(
-            "slowest_{i:02}       {ms:.3} ms  trace={}",
-            trace.as_deref().unwrap_or("-")
-        );
-    }
+    // One render path for plain and coordinator mode (the shared section —
+    // including the slowest-10 trace ids — cannot diverge between them).
+    print!("{}", report.render(coordinator_mode));
     match cache {
         Some(rate) => println!("cache_hit_rate   {rate:.3}"),
         None => println!("cache_hit_rate   n/a"),
@@ -184,20 +167,10 @@ fn main() -> ExitCode {
         }
         None => println!("durable_mode     no"),
     }
-    // Coordinator-mode report: shard fan-out as the clients saw it
-    // (X-Hummer-Shards) and worker-level latency/retry/fallback counters
-    // as the coordinator recorded them.
+    // Coordinator-mode extras that need the server's /metrics.json:
+    // worker-level latency/retry/fallback counters as the coordinator
+    // recorded them (the client-side scatter tallies came from `render`).
     if coordinator_mode {
-        println!("scatter_requests {}", report.scatter_requests);
-        println!("cache_served     {}", report.cache_served);
-        println!("shards_scattered {}", report.shards_scattered);
-        println!("fanout_max       {}", report.fanout_max);
-        if report.scatter_requests > 0 {
-            println!(
-                "fanout_mean      {:.2}",
-                report.shards_scattered as f64 / report.scatter_requests as f64
-            );
-        }
         match metrics.as_ref().and_then(|m| m.get("shard")) {
             Some(shard) => {
                 let int = |key: &str| shard.get(key).and_then(Json::as_i64).unwrap_or(0);

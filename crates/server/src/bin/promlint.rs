@@ -1,0 +1,57 @@
+//! `promlint` — lint a Prometheus text exposition.
+//!
+//! ```text
+//! promlint FILE        # or `-` / no argument for stdin
+//! ```
+//!
+//! Exit 0 with a one-line summary when the exposition is clean; exit 1
+//! listing every violation otherwise. `scripts/server_smoke.sh` runs this
+//! against a live `/metrics` scrape so format regressions fail CI.
+
+use hummer_server::promlint::lint;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    let text = match arg.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("promlint: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+        Some("--help") | Some("-h") => {
+            println!("usage: promlint [FILE|-]  (lints a Prometheus text exposition)");
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("promlint: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let report = lint(&text);
+    if report.ok() {
+        println!(
+            "promlint: OK — {} samples, {} families, {} exemplars",
+            report.samples, report.families, report.exemplars
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &report.errors {
+            eprintln!("promlint: {e}");
+        }
+        eprintln!(
+            "promlint: {} error(s) in {} samples / {} families",
+            report.errors.len(),
+            report.samples,
+            report.families
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -175,6 +175,13 @@ impl From<hummer_shard::ShardError> for ServerError {
                 cause,
                 timeout,
             },
+            // A frame from a binary speaking another protocol version is the
+            // *caller's* problem (mixed-version fleet), not an internal bug:
+            // answer 400 so the peer's retry/fallback logic sees a typed,
+            // non-retryable rejection instead of a generic 500.
+            mismatch @ hummer_shard::ShardError::VersionMismatch { .. } => {
+                ServerError::BadRequest(mismatch.to_string())
+            }
             other => ServerError::Internal(other.to_string()),
         }
     }

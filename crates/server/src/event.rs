@@ -152,10 +152,10 @@ fn worker_loop(
                         if live.fetch_add(1, Ordering::SeqCst) >= options.max_connections {
                             live.fetch_sub(1, Ordering::SeqCst);
                             service.metrics().record_overload_reject();
-                            reject_overloaded(stream);
+                            reject_overloaded(stream, service);
                             continue;
                         }
-                        match Conn::adopt(stream, options) {
+                        match Conn::adopt(stream, options, service) {
                             Some(conn) => conns.push(conn),
                             None => {
                                 live.fetch_sub(1, Ordering::SeqCst);
@@ -197,7 +197,7 @@ fn worker_loop(
 /// `Retry-After`, then drop. The socket was accepted from a nonblocking
 /// listener, so flip it to blocking with a short timeout for the one
 /// write — portable regardless of whether nonblocking was inherited.
-fn reject_overloaded(stream: TcpStream) {
+fn reject_overloaded(stream: TcpStream, service: &FusionService) {
     let mut stream = stream;
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
@@ -207,6 +207,14 @@ fn reject_overloaded(stream: TcpStream) {
     );
     r.close = true;
     let r = r.with_header("retry-after", "1");
+    // Overload rejects get an accept-time trace id too: the connection never
+    // reaches dispatch, but the client's error is still correlatable.
+    let r = crate::server::finish_rejected(
+        service,
+        r,
+        service.tracer().allocate_trace_id(),
+        Duration::ZERO,
+    );
     let _ = write_response(&mut stream, &r);
 }
 
@@ -250,11 +258,14 @@ struct Conn {
     /// Current phase label for the conn-state histograms.
     phase: &'static str,
     phase_since: Instant,
+    /// Trace id allocated at accept time, so a request rejected before
+    /// dispatch (408/400) is still traceable via `X-Hummer-Trace`.
+    pretrace: Option<u64>,
 }
 
 impl Conn {
     /// Wrap a fresh socket; `None` if it cannot be made nonblocking.
-    fn adopt(stream: TcpStream, options: Options) -> Option<Conn> {
+    fn adopt(stream: TcpStream, options: Options, service: &FusionService) -> Option<Conn> {
         stream.set_nonblocking(true).ok()?;
         let _ = stream.set_nodelay(true);
         let now = Instant::now();
@@ -271,7 +282,21 @@ impl Conn {
             options,
             phase: "idle",
             phase_since: now,
+            pretrace: service.tracer().allocate_trace_id(),
         })
+    }
+
+    /// Finish a pre-dispatch rejection: stamp the accept-time trace id onto
+    /// the response and account it under the `rejected` endpoint label. The
+    /// latency charged is the time spent in the current phase (how long the
+    /// doomed request was allowed to dawdle).
+    fn reject(&self, service: &FusionService, response: Response, now: Instant) -> Response {
+        crate::server::finish_rejected(
+            service,
+            response,
+            self.pretrace,
+            now.saturating_duration_since(self.phase_since),
+        )
     }
 
     /// Record time spent in the current phase and enter a new one.
@@ -357,6 +382,7 @@ impl Conn {
                 Err(e) => {
                     // Protocol junk can never become a request: 400, close.
                     let r = crate::server::error_response(&e, true);
+                    let r = self.reject(service, r, now);
                     return self.start_write(service, &r, now);
                 }
             }
@@ -369,6 +395,7 @@ impl Conn {
             // Half-close mid-request: the prefix can never complete.
             let e = ServerError::BadRequest("connection half-closed mid-request".into());
             let r = crate::server::error_response(&e, true);
+            let r = self.reject(service, r, now);
             return self.start_write(service, &r, now);
         }
 
@@ -381,6 +408,7 @@ impl Conn {
                     "{\"error\":\"request did not arrive in time\",\"status\":408}",
                 );
                 r.close = true;
+                let r = self.reject(service, r, now);
                 return self.start_write(service, &r, now);
             }
             service.metrics().record_idle_reclaim();

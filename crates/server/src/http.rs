@@ -315,6 +315,14 @@ impl Response {
         self
     }
 
+    /// An attached extra header's value, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.extra_headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
     /// The reason phrase for a status code.
     fn reason(status: u16) -> &'static str {
         match status {

@@ -70,12 +70,14 @@ pub mod json;
 pub mod loadgen;
 pub mod metrics;
 pub mod pool;
+pub mod promlint;
 pub mod server;
 pub mod service;
 
 pub use cache::{CacheStats, PreparedCache, PreparedKey};
 pub use error::{Result, ServerError};
 pub use hummer_core::{ObsConfig, Parallelism, Tracer};
+pub use hummer_obs::{EventLog, EventRecord};
 pub use hummer_store::{CatalogStore, StoreOptions, StoreStats};
 pub use json::{Json, JsonError};
 pub use metrics::{Metrics, MetricsSnapshot};

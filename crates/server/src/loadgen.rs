@@ -514,6 +514,53 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
     }
 }
 
+impl LoadReport {
+    /// Render the report as the `loadgen` binary prints it. One path for
+    /// plain and coordinator mode: the shared section — counts, latency
+    /// percentiles, and the slowest-10 with their trace ids — is emitted
+    /// unconditionally, so no mode can lose the tail-explanation lines;
+    /// `coordinator_mode` only *appends* the scatter visibility block.
+    pub fn render(&self, coordinator_mode: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "requests_ok      {}", self.ok);
+        let _ = writeln!(out, "requests_err     {}", self.errors);
+        let _ = writeln!(out, "rejects_503      {}", self.rejects);
+        let _ = writeln!(out, "updates_ok       {}", self.updates_ok);
+        let _ = writeln!(out, "updates_err      {}", self.update_errors);
+        let _ = writeln!(out, "elapsed_s        {:.3}", self.elapsed.as_secs_f64());
+        let _ = writeln!(out, "throughput_rps   {:.1}", self.throughput_rps);
+        let _ = writeln!(out, "latency_mean_ms  {:.3}", self.mean_ms);
+        let _ = writeln!(out, "latency_p50_ms   {:.3}", self.p50_ms);
+        let _ = writeln!(out, "latency_p90_ms   {:.3}", self.p90_ms);
+        let _ = writeln!(out, "latency_p99_ms   {:.3}", self.p99_ms);
+        let _ = writeln!(out, "latency_p999_ms  {:.3}", self.p999_ms);
+        // The tail, explained: the worst requests with their trace ids —
+        // `curl http://{addr}/trace/{id}` shows the span tree of each.
+        for (i, (ms, trace)) in self.slowest.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "slowest_{i:02}       {ms:.3} ms  trace={}",
+                trace.as_deref().unwrap_or("-")
+            );
+        }
+        if coordinator_mode {
+            let _ = writeln!(out, "scatter_requests {}", self.scatter_requests);
+            let _ = writeln!(out, "cache_served     {}", self.cache_served);
+            let _ = writeln!(out, "shards_scattered {}", self.shards_scattered);
+            let _ = writeln!(out, "fanout_max       {}", self.fanout_max);
+            if self.scatter_requests > 0 {
+                let _ = writeln!(
+                    out,
+                    "fanout_mean      {:.2}",
+                    self.shards_scattered as f64 / self.scatter_requests as f64
+                );
+            }
+        }
+        out
+    }
+}
+
 /// Per-thread load counters, merged after the join.
 #[derive(Default)]
 struct ThreadTally {
@@ -594,6 +641,45 @@ mod tests {
             assert!(pair[0].0 >= pair[1].0, "{slowest:?}");
         }
         assert_eq!(slowest[0].0, 99.0);
+    }
+
+    #[test]
+    fn render_emits_slowest_traces_in_both_modes() {
+        let mut report = LoadReport {
+            ok: 3,
+            errors: 0,
+            rejects: 0,
+            updates_ok: 0,
+            update_errors: 0,
+            elapsed: Duration::from_millis(10),
+            throughput_rps: 300.0,
+            mean_ms: 1.0,
+            p50_ms: 1.0,
+            p90_ms: 2.0,
+            p99_ms: 2.0,
+            p999_ms: 2.0,
+            latency: HistogramSnapshot::default(),
+            slowest: vec![(2.5, Some("00000000000000a1".into())), (1.0, None)],
+            scatter_requests: 2,
+            shards_scattered: 8,
+            fanout_max: 4,
+            cache_served: 1,
+        };
+        let plain = report.render(false);
+        let coord = report.render(true);
+        // The slowest-10 trace lines are part of the shared section: both
+        // modes must carry them (this is the regression the unified path
+        // guards against).
+        for rendered in [&plain, &coord] {
+            assert!(rendered.contains("slowest_00"), "{rendered}");
+            assert!(rendered.contains("trace=00000000000000a1"), "{rendered}");
+            assert!(rendered.contains("trace=-"), "{rendered}");
+        }
+        assert!(!plain.contains("scatter_requests"), "{plain}");
+        assert!(coord.contains("scatter_requests 2"), "{coord}");
+        assert!(coord.contains("fanout_mean      4.00"), "{coord}");
+        report.scatter_requests = 0;
+        assert!(!report.render(true).contains("fanout_mean"));
     }
 
     #[test]

@@ -29,12 +29,14 @@ pub struct EndpointStats {
 }
 
 impl EndpointStats {
-    fn record(&self, latency: Duration, is_error: bool) {
+    fn record(&self, latency: Duration, is_error: bool, trace: Option<u64>) {
         self.count.fetch_add(1, Ordering::Relaxed);
         if is_error {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        self.latency.record_duration(latency);
+        // The trace id becomes the bucket's exemplar: a slow `/metrics`
+        // bucket links directly to a fetchable `GET /trace/{id}`.
+        self.latency.record_duration_with_trace(latency, trace);
     }
 }
 
@@ -209,9 +211,16 @@ impl Metrics {
         Arc::clone(map.entry(endpoint.to_string()).or_default())
     }
 
-    /// Record one served request.
-    pub fn record_request(&self, endpoint: &str, latency: Duration, is_error: bool) {
-        self.endpoint(endpoint).record(latency, is_error);
+    /// Record one served request. `trace` (when the tracer is enabled)
+    /// becomes the latency bucket's OpenMetrics exemplar.
+    pub fn record_request(
+        &self,
+        endpoint: &str,
+        latency: Duration,
+        is_error: bool,
+        trace: Option<u64>,
+    ) {
+        self.endpoint(endpoint).record(latency, is_error, trace);
     }
 
     /// Record a preparation run (cache miss) with its stage timings, under
@@ -403,9 +412,14 @@ mod tests {
     fn records_counts_and_percentiles() {
         let m = Metrics::new();
         for i in 1..=100u64 {
-            m.record_request("POST /query", Duration::from_micros(i * 1000), i % 10 == 0);
+            m.record_request(
+                "POST /query",
+                Duration::from_micros(i * 1000),
+                i % 10 == 0,
+                Some(i),
+            );
         }
-        m.record_request("GET /healthz", Duration::from_micros(50), false);
+        m.record_request("GET /healthz", Duration::from_micros(50), false, None);
         let snap = m.snapshot();
         assert_eq!(snap.total_requests, 101);
         assert_eq!(snap.total_errors, 10);
@@ -554,7 +568,7 @@ mod tests {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || {
                     for i in 0..1000u64 {
-                        m.record_request("POST /query", Duration::from_micros(i), i % 7 == 0);
+                        m.record_request("POST /query", Duration::from_micros(i), i % 7 == 0, None);
                     }
                 })
             })

@@ -39,7 +39,7 @@ use crate::service::{
     delta_result_to_json, metrics_to_json, metrics_to_prometheus, parse_delta,
     query_result_to_json, FusionService, ServiceConfig, TableInfo,
 };
-use hummer_obs::{Span, TraceNode, TraceTree};
+use hummer_obs::{EventRecord, Span, TraceNode, TraceTree};
 use hummer_store::{CatalogStore, StoreOptions};
 use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -245,6 +245,9 @@ fn handle_connection(stream: TcpStream, service: &FusionService, shutdown: &Shut
         Ok(w) => w,
         Err(_) => return,
     };
+    // Accept-time trace id: even a request rejected before dispatch gets
+    // an `X-Hummer-Trace` header (see `finish_rejected`).
+    let pretrace = service.tracer().allocate_trace_id();
     // A read timeout lets the worker notice shutdown while parked on an
     // idle keep-alive connection instead of blocking the drain forever.
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
@@ -272,13 +275,22 @@ fn handle_connection(stream: TcpStream, service: &FusionService, shutdown: &Shut
         // A request has started: allow a generous window for the rest of it
         // (the clone shares the socket, so this reaches the reader too).
         let _ = writer.set_read_timeout(Some(Duration::from_secs(30)));
+        let started = Instant::now();
         let request = match read_request(&mut reader) {
             Ok(Some(r)) => r,
             Ok(None) => return, // clean close between requests
             Err(e) => {
-                // Transport gone → nothing to answer; protocol junk → 400.
+                // Transport gone → nothing to answer; protocol junk → 400,
+                // stamped with the accept-time trace id and accounted under
+                // the `rejected` endpoint label.
                 if !matches!(e, ServerError::Io(_)) {
-                    let _ = write_response(&mut writer, &error_response(&e, true));
+                    let r = finish_rejected(
+                        service,
+                        error_response(&e, true),
+                        pretrace,
+                        started.elapsed(),
+                    );
+                    let _ = write_response(&mut writer, &r);
                 }
                 return;
             }
@@ -334,9 +346,21 @@ pub(crate) fn execute_request(
         response = response.with_header("x-hummer-trace", format!("{id:016x}"));
     }
     let is_error = response.status >= 400;
+    let latency = started.elapsed();
     service
         .metrics()
-        .record_request(&endpoint, started.elapsed(), is_error);
+        .record_request(&endpoint, latency, is_error, trace_id);
+    service.events().emit(&EventRecord {
+        kind: "request",
+        trace: trace_id,
+        endpoint: &endpoint,
+        status: response.status,
+        latency_us: latency.as_micros().min(u64::MAX as u128) as u64,
+        shards: response
+            .header("x-hummer-shards")
+            .and_then(|v| v.parse().ok()),
+        error: is_error,
+    });
     response
 }
 
@@ -357,6 +381,36 @@ fn endpoint_label(request: &Request) -> String {
         _ => "{other}",
     };
     format!("{method} {route}")
+}
+
+/// Finish a response produced *before* dispatch (408 slowloris, 400
+/// protocol junk, 503 overload): stamp `X-Hummer-Trace` from the
+/// connection's accept-time trace id, count it under the `rejected`
+/// endpoint label, and offer it to the event log. These rejections never
+/// reach [`execute_request`], so without this they were untraceable and
+/// invisible to the request metrics.
+pub(crate) fn finish_rejected(
+    service: &FusionService,
+    mut response: Response,
+    trace: Option<u64>,
+    latency: Duration,
+) -> Response {
+    if let Some(id) = trace {
+        response = response.with_header("x-hummer-trace", format!("{id:016x}"));
+    }
+    service
+        .metrics()
+        .record_request("rejected", latency, true, trace);
+    service.events().emit(&EventRecord {
+        kind: "reject",
+        trace,
+        endpoint: "rejected",
+        status: response.status,
+        latency_us: latency.as_micros().min(u64::MAX as u128) as u64,
+        shards: None,
+        error: true,
+    });
+    response
 }
 
 pub(crate) fn error_response(e: &ServerError, close: bool) -> Response {
@@ -380,16 +434,19 @@ fn table_info_json(info: &TableInfo) -> Json {
         .with("version", info.version)
 }
 
-/// A trace tree as wire JSON: nested `{name, start_us, duration_us,
-/// counters, children}` objects under `{trace, orphans, roots}`.
+/// A trace tree as wire JSON: nested `{name, node, start_us, duration_us,
+/// counters, children}` objects under `{trace, orphans, roots}`. `node` is
+/// absent for local spans and names the worker for spliced remote spans.
 fn trace_node_json(node: &TraceNode) -> Json {
     let mut counters = Json::object();
     for (name, value) in &node.record.counters {
         counters.push(name.as_ref(), Json::Int(*value as i64));
     }
-    Json::object()
-        .with("name", node.record.name.to_string())
-        .with("start_us", node.record.start_us)
+    let mut obj = Json::object().with("name", node.record.name.to_string());
+    if let Some(worker) = &node.record.node {
+        obj = obj.with("node", worker.clone());
+    }
+    obj.with("start_us", node.record.start_us)
         .with("duration_us", node.record.duration_us)
         .with("counters", counters)
         .with(

@@ -23,7 +23,7 @@ use hummer_core::{
 use hummer_delta::{concat_mappings, DeltaError, TableDelta};
 use hummer_engine::{csv, Table, Value};
 use hummer_fusion::FunctionRegistry;
-use hummer_obs::{Histogram, PromText, Span, Tracer};
+use hummer_obs::{EventLog, EventRecord, Histogram, PromText, Span, Tracer};
 use hummer_query::{
     execute, execute_combined_par, parse, FuseQuery, QueryOutput, VersionedTableSet,
 };
@@ -46,6 +46,10 @@ pub struct ServiceConfig {
     /// Coordinator mode: scatter the prepare pipeline's detection stage
     /// over remote shard workers. `None` (the default) prepares locally.
     pub coordinator: Option<CoordinatorOptions>,
+    /// Structured event log (`--log-json` on `hummer-serve`). Disabled by
+    /// default; when enabled, one sampled JSON line per request, delta
+    /// batch, and shard scatter.
+    pub event_log: EventLog,
 }
 
 /// Coordinator-mode parameters (`--coordinator workers=...` on
@@ -80,6 +84,7 @@ impl Default for ServiceConfig {
             cache_capacity: 64,
             debug_panic_route: false,
             coordinator: None,
+            event_log: EventLog::disabled(),
         }
     }
 }
@@ -109,6 +114,7 @@ impl ServiceConfig {
             cache_capacity: 64,
             debug_panic_route: false,
             coordinator: None,
+            event_log: EventLog::disabled(),
         }
     }
 }
@@ -277,6 +283,8 @@ pub struct FusionService {
     debug_panic_route: bool,
     /// Coordinator-mode parameters; `None` prepares locally.
     coordinator: Option<CoordinatorOptions>,
+    /// Sampled structured event log; disabled by default.
+    events: EventLog,
 }
 
 impl FusionService {
@@ -293,6 +301,7 @@ impl FusionService {
             committer: None,
             debug_panic_route: config.debug_panic_route,
             coordinator: config.coordinator,
+            events: config.event_log,
         }
     }
 
@@ -319,6 +328,7 @@ impl FusionService {
             committer: Some(committer),
             debug_panic_route: config.debug_panic_route,
             coordinator: config.coordinator,
+            events: config.event_log,
         }
     }
 
@@ -337,7 +347,7 @@ impl FusionService {
     /// (`POST /shard/execute`).
     pub fn shard_execute(&self, body: &[u8], parent: &Span) -> Result<Vec<u8>> {
         let mut span = parent.child("shard_batch");
-        let response = handle_shard_request(body, &self.registry, self.config.parallelism)?;
+        let response = handle_shard_request(body, &self.registry, self.config.parallelism, &span)?;
         span.count("response_bytes", response.len() as u64);
         drop(span);
         self.metrics.record_shard_batch();
@@ -358,6 +368,11 @@ impl FusionService {
     /// The metrics registry (workers record; `/metrics` snapshots).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The structured event log (a disabled log when `--log-json` is off).
+    pub fn events(&self) -> &EventLog {
+        &self.events
     }
 
     /// The service tracer — the same instance the pipeline stages record
@@ -532,6 +547,7 @@ impl FusionService {
         delta: &TableDelta,
         parent: &Span,
     ) -> Result<DeltaApplyResult> {
+        let started = Instant::now();
         let counts = delta.counts();
         // Catalog swap under the write lock (delta application is linear).
         // When durable, the delta is WAL-enqueued — as the TableDelta itself
@@ -633,6 +649,15 @@ impl FusionService {
             failures,
             full_rescores,
         );
+        self.events.emit(&EventRecord {
+            kind: "delta",
+            trace: parent.trace_id(),
+            endpoint: &info.name,
+            status: 200,
+            latency_us: started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            shards: None,
+            error: false,
+        });
         Ok(DeltaApplyResult {
             info,
             inserted: counts.inserted,
@@ -841,6 +866,7 @@ impl FusionService {
                     timeout: co.timeout,
                     fallback_local: co.fallback_local,
                 });
+                let scatter_started = Instant::now();
                 let sharded = execute_sharded_with(
                     &refs,
                     &self.config,
@@ -850,6 +876,15 @@ impl FusionService {
                     &backend,
                     &prepare_span,
                 )?;
+                self.events.emit(&EventRecord {
+                    kind: "scatter",
+                    trace: parent.trace_id(),
+                    endpoint: "prepare",
+                    status: 200,
+                    latency_us: scatter_started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                    shards: Some(sharded.shards as u64),
+                    error: false,
+                });
                 self.metrics.record_shard_scatter(
                     sharded.stats.shards as u64,
                     sharded.stats.requests as u64,
@@ -1269,6 +1304,16 @@ pub fn metrics_to_prometheus(service: &FusionService) -> String {
             "hummer_shard_worker_batches_total",
             "Shard batches this process executed as a worker.",
             snap.shard.worker_batches as f64,
+        ),
+        (
+            "hummer_events_written_total",
+            "Structured event-log lines written (sampler kept them).",
+            service.events().written() as f64,
+        ),
+        (
+            "hummer_events_dropped_total",
+            "Structured events dropped by the sampler (fast successes).",
+            service.events().dropped() as f64,
         ),
     ] {
         out.header(name, help, "counter");

@@ -21,6 +21,7 @@ use crate::plan::Shard;
 use crate::wire::{decode_response, encode_request};
 use hummer_engine::Table;
 use hummer_fusion::FunctionRegistry;
+use hummer_obs::Span;
 use hummer_par::{par_map, Parallelism};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -78,11 +79,14 @@ fn io_attempt_error(context: &str, e: &std::io::Error) -> AttemptError {
 
 /// POST `body` to `http://{addr}/shard/execute` and return the response
 /// body. Std-only HTTP/1.1 with `Connection: close`, mirroring the server's
-/// hand-rolled parser.
+/// hand-rolled parser. `trace` is the caller's `(trace_id, parent_span_id)`
+/// context, mirrored as an `X-Hummer-Trace-Context` header so proxies and
+/// packet captures can correlate the wire-frame context without decoding it.
 fn post_shard_execute(
     addr: &str,
     body: &[u8],
     timeout: Duration,
+    trace: Option<(u64, u64)>,
 ) -> std::result::Result<Vec<u8>, AttemptError> {
     let sockaddr = addr
         .to_socket_addrs()
@@ -99,8 +103,11 @@ fn post_shard_execute(
         .and_then(|()| stream.set_write_timeout(Some(timeout)))
         .map_err(|e| io_attempt_error("configure socket", &e))?;
 
+    let trace_header = trace
+        .map(|(t, s)| format!("X-Hummer-Trace-Context: {t:016x}-{s:016x}\r\n"))
+        .unwrap_or_default();
     let head = format!(
-        "POST /shard/execute HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "POST /shard/execute HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\n{trace_header}Connection: close\r\n\r\n",
         body.len()
     );
     stream
@@ -182,6 +189,7 @@ struct GroupOutcome {
 }
 
 impl RemoteBackend {
+    #[allow(clippy::too_many_arguments)]
     fn run_group(
         &self,
         table: &Table,
@@ -190,6 +198,7 @@ impl RemoteBackend {
         primary: usize,
         registry: &FunctionRegistry,
         par: Parallelism,
+        parent: &Span,
     ) -> GroupOutcome {
         let mut outcome = GroupOutcome {
             partials: Vec::new(),
@@ -199,7 +208,10 @@ impl RemoteBackend {
             fallbacks: 0,
             error: None,
         };
-        let body = encode_request(table, spec, group);
+        // The scatter span's ids travel in the wire frame and the trace
+        // header; the worker's span subtree re-parents onto them.
+        let trace = parent.trace_id().zip(parent.span_id());
+        let body = encode_request(table, spec, group, trace);
         let workers = &self.config.workers;
         let mut first_failure: Option<(String, AttemptError)> = None;
 
@@ -214,16 +226,21 @@ impl RemoteBackend {
             if attempt > 0 {
                 outcome.retries += 1;
             }
+            let mut call_span = parent.child(if attempt > 0 { "retry" } else { "worker_call" });
+            call_span.set_node(worker.clone());
+            call_span.count("shards", group.len() as u64);
             let t0 = Instant::now();
-            let result = post_shard_execute(worker, &body, self.config.timeout).and_then(|bytes| {
-                decode_response(&bytes, table.len()).map_err(|e| AttemptError {
-                    cause: format!("undecodable response: {e}"),
-                    timeout: false,
-                })
-            });
+            let result =
+                post_shard_execute(worker, &body, self.config.timeout, trace).and_then(|bytes| {
+                    decode_response(&bytes, table.len()).map_err(|e| AttemptError {
+                        cause: format!("undecodable response: {e}"),
+                        timeout: false,
+                    })
+                });
             let latency = t0.elapsed();
             match result {
-                Ok(partials) if partials.len() == group.len() => {
+                Ok((partials, spans)) if partials.len() == group.len() => {
+                    call_span.splice_remote(worker, &spans);
                     outcome.calls.push(WorkerCall {
                         worker: worker.clone(),
                         latency,
@@ -232,7 +249,8 @@ impl RemoteBackend {
                     outcome.partials = partials;
                     return outcome;
                 }
-                Ok(partials) => {
+                Ok((partials, _)) => {
+                    call_span.count("short_response", 1);
                     outcome.calls.push(WorkerCall {
                         worker: worker.clone(),
                         latency,
@@ -251,6 +269,7 @@ impl RemoteBackend {
                     ));
                 }
                 Err(e) => {
+                    call_span.count("failed", 1);
                     outcome.calls.push(WorkerCall {
                         worker: worker.clone(),
                         latency,
@@ -264,7 +283,8 @@ impl RemoteBackend {
         let (worker, error) = first_failure.expect("at least one attempt ran");
         if self.config.fallback_local {
             outcome.fallbacks += 1;
-            match run_shards_local(table, spec, group, registry, par) {
+            let fb_span = parent.child("fallback");
+            match run_shards_local(table, spec, group, registry, par, &fb_span) {
                 Ok(partials) => outcome.partials = partials,
                 Err(e) => outcome.error = Some(e),
             }
@@ -287,9 +307,10 @@ impl ShardBackend for RemoteBackend {
         shards: &[Shard],
         registry: &FunctionRegistry,
         par: Parallelism,
+        parent: &Span,
     ) -> Result<(Vec<ShardPartial>, ScatterStats)> {
         if self.config.workers.is_empty() || shards.is_empty() {
-            let partials = run_shards_local(table, spec, shards, registry, par)?;
+            let partials = run_shards_local(table, spec, shards, registry, par, parent)?;
             let stats = ScatterStats {
                 shards: shards.len(),
                 ..Default::default()
@@ -308,7 +329,7 @@ impl ShardBackend for RemoteBackend {
         let indices: Vec<usize> = (0..groups.len()).collect();
         let fanout = Parallelism::degree(groups.len());
         let outcomes = par_map(fanout, &indices, |&gi| {
-            self.run_group(table, spec, &groups[gi], gi, registry, par)
+            self.run_group(table, spec, &groups[gi], gi, registry, par, parent)
         });
 
         let mut partials = Vec::with_capacity(shards.len());

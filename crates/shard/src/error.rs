@@ -8,9 +8,18 @@ pub enum ShardError {
     /// A pipeline stage (matching, detection, fusion, table construction)
     /// failed; carries the rendered underlying error.
     Pipeline(String),
-    /// Malformed shard-protocol bytes (bad magic/version, truncated frame,
+    /// Malformed shard-protocol bytes (bad magic, truncated frame,
     /// out-of-range row index) or a violated combiner invariant.
     Wire(String),
+    /// The peer speaks a different `HmSh` frame version. Typed (rather
+    /// than folded into [`ShardError::Wire`]) so coordinators can tell a
+    /// mixed-version fleet apart from frame corruption during rollouts.
+    VersionMismatch {
+        /// Version byte found in the frame header.
+        got: u8,
+        /// Version this binary speaks.
+        expected: u8,
+    },
     /// A remote worker could not produce this shard batch: unreachable,
     /// timed out, or answered a non-200 status — after the retry on a
     /// distinct worker also failed and local fallback was disabled.
@@ -30,6 +39,10 @@ impl fmt::Display for ShardError {
         match self {
             ShardError::Pipeline(msg) => write!(f, "shard pipeline error: {msg}"),
             ShardError::Wire(msg) => write!(f, "shard protocol error: {msg}"),
+            ShardError::VersionMismatch { got, expected } => write!(
+                f,
+                "shard protocol version mismatch: peer speaks v{got}, this binary speaks v{expected}"
+            ),
             ShardError::Worker {
                 worker,
                 cause,

@@ -115,7 +115,11 @@ pub struct ShardPartial {
 
 /// Run one shard end to end: score its candidate pairs against the full
 /// table's `measure`, form the shard-local transitive closure, fuse, and
-/// package the partial for the combiner.
+/// package the partial for the combiner. Records a `shard` span with
+/// `score` and `cluster` stage children under `parent` — on a worker
+/// serving a remote-traced request these are the spans that ship back to
+/// the coordinator.
+#[allow(clippy::too_many_arguments)]
 pub fn run_shard(
     table: &Table,
     measure: &TupleSimilarity,
@@ -124,13 +128,25 @@ pub fn run_shard(
     resolutions: &[(String, ResolutionSpec)],
     registry: &FunctionRegistry,
     par: Parallelism,
+    parent: &Span,
 ) -> Result<ShardPartial> {
+    let mut shard_span = parent.child("shard");
+    shard_span.count("rows", shard.rows.len() as u64);
+
     // 1. Score: full-table corpus statistics, shard-local pair list.
+    let mut span = shard_span.child("score");
     let scored = score_candidates(table, measure, cfg, &shard.candidates, par);
     let mut pairs = scored.pairs;
     let mut unsure = scored.unsure;
     sort_pairs_canonical(&mut pairs);
     sort_pairs_canonical(&mut unsure);
+    span.count("candidates", shard.candidates.len() as u64);
+    span.count("compared", scored.compared as u64);
+    span.count("filtered_out", scored.filtered_out as u64);
+    span.count("pairs", pairs.len() as u64);
+    drop(span);
+
+    let mut cluster_span = shard_span.child("cluster");
 
     // 2. Transitive closure within the shard (pairs never leave it).
     let local_of = |g: usize| -> Result<usize> {
@@ -205,6 +221,10 @@ pub fn run_shard(
         cluster_partials[sample.cluster].samples.push(sample);
     }
 
+    cluster_span.count("clusters", clusters.len() as u64);
+    cluster_span.count("conflicts", fused.conflict_count as u64);
+    drop(cluster_span);
+
     Ok(ShardPartial {
         candidates: shard.candidates.len(),
         pairs,
@@ -249,6 +269,8 @@ pub struct WorkerCall {
 pub trait ShardBackend {
     /// Execute every shard and return their partials (any order — the
     /// combiner's merge is order-insensitive) plus scatter statistics.
+    /// Execution spans (per-shard stages locally, `worker_call` / `retry`
+    /// / `fallback` remotely) nest under `parent`.
     fn scatter(
         &self,
         table: &Table,
@@ -256,6 +278,7 @@ pub trait ShardBackend {
         shards: &[Shard],
         registry: &FunctionRegistry,
         par: Parallelism,
+        parent: &Span,
     ) -> Result<(Vec<ShardPartial>, ScatterStats)>;
 }
 
@@ -273,6 +296,7 @@ pub fn run_shards_local(
     shards: &[Shard],
     registry: &FunctionRegistry,
     par: Parallelism,
+    parent: &Span,
 ) -> Result<Vec<ShardPartial>> {
     let cfg = spec.detector_config();
     let attrs: Vec<usize> = spec
@@ -283,7 +307,18 @@ pub fn run_shards_local(
     let measure = TupleSimilarity::new(table, attrs);
     shards
         .iter()
-        .map(|s| run_shard(table, &measure, &cfg, s, &spec.resolutions, registry, par))
+        .map(|s| {
+            run_shard(
+                table,
+                &measure,
+                &cfg,
+                s,
+                &spec.resolutions,
+                registry,
+                par,
+                parent,
+            )
+        })
         .collect()
 }
 
@@ -295,8 +330,9 @@ impl ShardBackend for LocalBackend {
         shards: &[Shard],
         registry: &FunctionRegistry,
         par: Parallelism,
+        parent: &Span,
     ) -> Result<(Vec<ShardPartial>, ScatterStats)> {
-        let partials = run_shards_local(table, spec, shards, registry, par)?;
+        let partials = run_shards_local(table, spec, shards, registry, par, parent)?;
         let stats = ScatterStats {
             shards: shards.len(),
             ..Default::default()
@@ -402,6 +438,7 @@ pub fn execute_sharded_with(
         &plan.shards,
         registry,
         config.parallelism,
+        &span,
     )?;
     stats.shards = plan.shards.len();
     span.count("shards", plan.shards.len() as u64);

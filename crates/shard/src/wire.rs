@@ -5,9 +5,16 @@
 //! do not round-trip through decimal text — so shard requests and
 //! responses reuse the engine's binary value codec, which writes floats as
 //! raw `f64::to_bits`. A request carries the full integrated table (corpus
-//! statistics must be global; see [`crate::exec`]), the job spec, and the
-//! shard batch; a response carries one [`ShardPartial`] per shard, in
-//! request order.
+//! statistics must be global; see [`crate::exec`]), the job spec, the
+//! shard batch, and (since frame v2) the caller's trace context; a
+//! response carries one [`ShardPartial`] per shard, in request order, plus
+//! the worker's recorded span subtree so the coordinator can stitch a
+//! single cross-node trace.
+//!
+//! Version negotiation is fail-fast: a v1 peer reading a v2 frame (or the
+//! reverse) answers the typed [`ShardError::VersionMismatch`] instead of
+//! hanging or mis-decoding — the version byte sits at a fixed offset right
+//! after the magic, before anything layout-dependent.
 
 use crate::error::{Result, ShardError};
 use crate::exec::{run_shards_local, ClusterPartial, JobSpec, ShardPartial};
@@ -18,12 +25,20 @@ use hummer_engine::codec::{
 };
 use hummer_engine::{EngineError, ExecutionLayout, Table};
 use hummer_fusion::{CellLineage, FunctionRegistry, ResolutionSpec, SampleConflict};
+use hummer_obs::{Span, SpanRecord, Tracer};
 use hummer_par::Parallelism;
+use std::borrow::Cow;
 
 /// Frame magic: `HmSh`.
 pub const SHARD_WIRE_MAGIC: u32 = u32::from_be_bytes(*b"HmSh");
-/// Protocol version; bumped on any layout change.
-pub const SHARD_WIRE_VERSION: u8 = 1;
+/// Protocol version; bumped on any layout change. v2 added the trace
+/// context to requests and the span subtree to responses.
+pub const SHARD_WIRE_VERSION: u8 = 2;
+
+/// Span-ring capacity of the per-request capture tracer a worker records
+/// remote-context stage spans into. A batch emits ~3 spans per shard plus
+/// one root, so this never evicts at realistic fan-outs.
+const WORKER_CAPTURE_CAPACITY: usize = 256;
 
 fn wire(e: EngineError) -> ShardError {
     ShardError::Wire(e.to_string())
@@ -43,9 +58,10 @@ fn get_header(r: &mut ByteReader) -> Result<()> {
     }
     let version = r.get_u8("shard frame version").map_err(wire)?;
     if version != SHARD_WIRE_VERSION {
-        return Err(ShardError::Wire(format!(
-            "unsupported shard protocol version {version} (expected {SHARD_WIRE_VERSION})"
-        )));
+        return Err(ShardError::VersionMismatch {
+            got: version,
+            expected: SHARD_WIRE_VERSION,
+        });
     }
     Ok(())
 }
@@ -117,10 +133,20 @@ fn layout_from_tag(tag: u8) -> Result<ExecutionLayout> {
 }
 
 /// Encode a shard-execution request: the integrated table, the job spec,
-/// and the shard batch this worker is responsible for.
-pub fn encode_request(table: &Table, spec: &JobSpec, shards: &[Shard]) -> Vec<u8> {
+/// the shard batch this worker is responsible for, and the caller's trace
+/// context. `trace` is `(trace_id, parent_span_id)`; `None` (an untraced
+/// coordinator) is wired as a pair of zeros — real ids start at 1.
+pub fn encode_request(
+    table: &Table,
+    spec: &JobSpec,
+    shards: &[Shard],
+    trace: Option<(u64, u64)>,
+) -> Vec<u8> {
     let mut w = ByteWriter::new();
     put_header(&mut w);
+    let (trace_id, parent_span) = trace.unwrap_or((0, 0));
+    w.put_u64(trace_id);
+    w.put_u64(parent_span);
     write_table(&mut w, table);
     put_strings(&mut w, &spec.attributes);
     w.put_u64(spec.threshold.to_bits());
@@ -148,11 +174,19 @@ pub fn encode_request(table: &Table, spec: &JobSpec, shards: &[Shard]) -> Vec<u8
     w.into_bytes()
 }
 
+/// A decoded shard-execution request: the shipped table, the job spec,
+/// the shard list, and the caller's trace context (`trace_id`,
+/// `parent_span_id`), `None` when the caller is untraced.
+pub type DecodedRequest = (Table, JobSpec, Vec<Shard>, Option<(u64, u64)>);
+
 /// Decode a shard-execution request; validates every row index against the
 /// shipped table.
-pub fn decode_request(bytes: &[u8]) -> Result<(Table, JobSpec, Vec<Shard>)> {
+pub fn decode_request(bytes: &[u8]) -> Result<DecodedRequest> {
     let mut r = ByteReader::new(bytes);
     get_header(&mut r)?;
+    let trace_id = r.get_u64("trace ctx trace id").map_err(wire)?;
+    let parent_span = r.get_u64("trace ctx parent span").map_err(wire)?;
+    let trace = (trace_id != 0).then_some((trace_id, parent_span));
     let table = read_table(&mut r).map_err(wire)?;
     let rows = table.len();
     let attributes = get_strings(&mut r, "job attributes")?;
@@ -198,7 +232,61 @@ pub fn decode_request(bytes: &[u8]) -> Result<(Table, JobSpec, Vec<Shard>)> {
         });
     }
     r.expect_end("shard request").map_err(wire)?;
-    Ok((table, spec, shards))
+    Ok((table, spec, shards, trace))
+}
+
+fn put_span_records(w: &mut ByteWriter, spans: &[SpanRecord]) {
+    put_usize(w, spans.len());
+    for s in spans {
+        w.put_u64(s.trace);
+        w.put_u64(s.id);
+        w.put_u8(u8::from(s.parent.is_some()));
+        w.put_u64(s.parent.unwrap_or(0));
+        w.put_str(&s.name);
+        w.put_u64(s.start_us);
+        w.put_u64(s.duration_us);
+        w.put_u8(u8::from(s.node.is_some()));
+        w.put_str(s.node.as_deref().unwrap_or(""));
+        put_usize(w, s.counters.len());
+        for (name, value) in &s.counters {
+            w.put_str(name);
+            w.put_u64(*value);
+        }
+    }
+}
+
+fn get_span_records(r: &mut ByteReader) -> Result<Vec<SpanRecord>> {
+    let n = r.get_count(40, "response spans").map_err(wire)?;
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        let trace = r.get_u64("span trace").map_err(wire)?;
+        let id = r.get_u64("span id").map_err(wire)?;
+        let has_parent = r.get_u8("span parent flag").map_err(wire)? != 0;
+        let parent_raw = r.get_u64("span parent").map_err(wire)?;
+        let name = r.get_str("span name").map_err(wire)?.to_string();
+        let start_us = r.get_u64("span start").map_err(wire)?;
+        let duration_us = r.get_u64("span duration").map_err(wire)?;
+        let has_node = r.get_u8("span node flag").map_err(wire)? != 0;
+        let node = r.get_str("span node").map_err(wire)?.to_string();
+        let n_counters = r.get_count(9, "span counters").map_err(wire)?;
+        let mut counters = Vec::with_capacity(n_counters);
+        for _ in 0..n_counters {
+            let cname = r.get_str("counter name").map_err(wire)?.to_string();
+            let value = r.get_u64("counter value").map_err(wire)?;
+            counters.push((Cow::Owned(cname), value));
+        }
+        spans.push(SpanRecord {
+            trace,
+            id,
+            parent: has_parent.then_some(parent_raw),
+            name: Cow::Owned(name),
+            start_us,
+            duration_us,
+            counters,
+            node: has_node.then_some(node),
+        });
+    }
+    Ok(spans)
 }
 
 fn put_cell(w: &mut ByteWriter, cell: &CellLineage) {
@@ -245,10 +333,12 @@ fn get_sample(r: &mut ByteReader) -> Result<SampleConflict> {
 }
 
 /// Encode a shard-execution response: one partial per requested shard, in
-/// request order.
-pub fn encode_response(partials: &[ShardPartial]) -> Vec<u8> {
+/// request order, followed by the worker's span subtree (empty when the
+/// request carried no trace context).
+pub fn encode_response(partials: &[ShardPartial], spans: &[SpanRecord]) -> Vec<u8> {
     let mut w = ByteWriter::new();
     put_header(&mut w);
+    put_span_records(&mut w, spans);
     put_usize(&mut w, partials.len());
     for p in partials {
         w.put_u64(p.candidates as u64);
@@ -279,10 +369,12 @@ pub fn encode_response(partials: &[ShardPartial]) -> Vec<u8> {
 }
 
 /// Decode a shard-execution response. `rows` is the integrated table's row
-/// count (bounds every global row index in the frame).
-pub fn decode_response(bytes: &[u8], rows: usize) -> Result<Vec<ShardPartial>> {
+/// count (bounds every global row index in the frame). The second element
+/// is the worker's span subtree for trace stitching.
+pub fn decode_response(bytes: &[u8], rows: usize) -> Result<(Vec<ShardPartial>, Vec<SpanRecord>)> {
     let mut r = ByteReader::new(bytes);
     get_header(&mut r)?;
+    let spans = get_span_records(&mut r)?;
     let n = r.get_count(40, "partials").map_err(wire)?;
     let mut partials = Vec::with_capacity(n);
     for _ in 0..n {
@@ -328,20 +420,38 @@ pub fn decode_response(bytes: &[u8], rows: usize) -> Result<Vec<ShardPartial>> {
         });
     }
     r.expect_end("shard response").map_err(wire)?;
-    Ok(partials)
+    Ok((partials, spans))
 }
 
 /// Worker-side entry point: decode a request frame, execute its shard
 /// batch locally, and encode the response frame. The serving layer mounts
 /// this behind `POST /shard/execute`.
+///
+/// When the request carries a remote trace context, the batch runs under a
+/// private capture tracer that adopts the caller's `(trace, parent)` ids,
+/// and the recorded span subtree ships back in the response for the
+/// coordinator to splice. Otherwise the batch records into `parent` (the
+/// worker's own local trace, a no-op when its tracer is disabled) and the
+/// response's span block is empty.
 pub fn handle_shard_request(
     body: &[u8],
     registry: &FunctionRegistry,
     par: Parallelism,
+    parent: &Span,
 ) -> Result<Vec<u8>> {
-    let (table, spec, shards) = decode_request(body)?;
-    let partials = run_shards_local(&table, &spec, &shards, registry, par)?;
-    Ok(encode_response(&partials))
+    let (table, spec, shards, trace) = decode_request(body)?;
+    if let Some((trace_id, parent_span)) = trace {
+        let capture = Tracer::with_capacity(WORKER_CAPTURE_CAPACITY);
+        let partials = {
+            let root = capture.adopt_remote(trace_id, parent_span, "worker_batch");
+            run_shards_local(&table, &spec, &shards, registry, par, &root)?
+        };
+        let spans = capture.drain();
+        Ok(encode_response(&partials, &spans))
+    } else {
+        let partials = run_shards_local(&table, &spec, &shards, registry, par, parent)?;
+        Ok(encode_response(&partials, &[]))
+    }
 }
 
 #[cfg(test)]
@@ -381,12 +491,17 @@ mod tests {
                 candidates: vec![],
             },
         ];
-        let bytes = encode_request(&t, &spec(), &shards);
-        let (t2, spec2, shards2) = decode_request(&bytes).unwrap();
+        let bytes = encode_request(&t, &spec(), &shards, Some((0xdead, 7)));
+        let (t2, spec2, shards2, trace) = decode_request(&bytes).unwrap();
         assert_eq!(t2.rows(), t.rows());
         assert_eq!(t2.schema().names(), t.schema().names());
         assert_eq!(spec2, spec());
         assert_eq!(shards2, shards);
+        assert_eq!(trace, Some((0xdead, 7)));
+
+        let bytes = encode_request(&t, &spec(), &shards, None);
+        let (_, _, _, trace) = decode_request(&bytes).unwrap();
+        assert_eq!(trace, None);
     }
 
     #[test]
@@ -420,8 +535,9 @@ mod tests {
                 }],
             }],
         };
-        let bytes = encode_response(std::slice::from_ref(&partial));
-        let decoded = decode_response(&bytes, 2).unwrap();
+        let bytes = encode_response(std::slice::from_ref(&partial), &[]);
+        let (decoded, spans) = decode_response(&bytes, 2).unwrap();
+        assert!(spans.is_empty());
         assert_eq!(decoded.len(), 1);
         assert_eq!(decoded[0].memo_hits, 5);
         assert_eq!(decoded[0].pairs, partial.pairs);
@@ -436,10 +552,52 @@ mod tests {
     }
 
     #[test]
+    fn span_subtree_roundtrips() {
+        let spans = vec![
+            SpanRecord {
+                trace: 0xfeed,
+                id: 9,
+                parent: None,
+                name: Cow::Borrowed("worker_batch"),
+                start_us: 0,
+                duration_us: 1234,
+                counters: vec![(Cow::Borrowed("shards"), 2)],
+                node: None,
+            },
+            SpanRecord {
+                trace: 0xfeed,
+                id: 10,
+                parent: Some(9),
+                name: Cow::Owned("score".to_string()),
+                start_us: 17,
+                duration_us: 900,
+                counters: vec![(Cow::Borrowed("pairs"), 5), (Cow::Borrowed("compared"), 40)],
+                node: Some("w1:9000".to_string()),
+            },
+        ];
+        let bytes = encode_response(&[], &spans);
+        let (partials, decoded) = decode_response(&bytes, 0).unwrap();
+        assert!(partials.is_empty());
+        assert_eq!(decoded, spans);
+    }
+
+    #[test]
     fn bad_magic_rejected() {
-        let mut bytes = encode_response(&[]);
+        let mut bytes = encode_response(&[], &[]);
         bytes[0] ^= 0xff;
         assert!(decode_response(&bytes, 0).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut bytes = encode_response(&[], &[]);
+        bytes[4] = 1; // version byte sits right after the 4-byte magic
+        match decode_response(&bytes, 0) {
+            Err(ShardError::VersionMismatch { got: 1, expected }) => {
+                assert_eq!(expected, SHARD_WIRE_VERSION);
+            }
+            other => panic!("expected typed version mismatch, got {other:?}"),
+        }
     }
 
     #[test]
@@ -452,7 +610,7 @@ mod tests {
             rows: vec![0, 7],
             candidates: vec![],
         }];
-        let bytes = encode_request(&t, &spec(), &shards);
+        let bytes = encode_request(&t, &spec(), &shards, None);
         assert!(decode_request(&bytes).is_err());
     }
 }

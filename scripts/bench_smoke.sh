@@ -16,19 +16,27 @@
 #    bit-identical to the single-shard pipeline across K in {1,2,4,8} x
 #    degrees 1-4, balanced work division over two workers, and the
 #    worker-kill fault drill (retry + local fallback keep answers
-#    byte-identical; writes BENCH_sharding.json).
-# The script then sanity-checks all four reports.
+#    byte-identical; writes BENCH_sharding.json);
+#  - exp17: the distributed-tracing contract — a cold 2-worker scatter
+#    yields ONE stitched trace tree with spans from >= 2 distinct worker
+#    nodes and every worker stage span, retry/fallback decisions appear
+#    as spans in the same trace, and the instrumented scatter stays
+#    within 3% of bare with bit-identical output at degrees 1-4
+#    (writes BENCH_disttrace.json).
+# The script then sanity-checks all five reports.
 set -euo pipefail
 
 BIN=${BIN:-./target/release/exp13_columnar}
 OBS_BIN=${OBS_BIN:-./target/release/exp14_observability}
 SERVE_BIN=${SERVE_BIN:-./target/release/exp15_serving}
 SHARD_BIN=${SHARD_BIN:-./target/release/exp16_sharding}
+TRACE_BIN=${TRACE_BIN:-./target/release/exp17_disttrace}
 
 [ -x "$BIN" ] || { echo "missing $BIN (build with: cargo build --release -p hummer_bench --bin exp13_columnar)"; exit 1; }
 [ -x "$OBS_BIN" ] || { echo "missing $OBS_BIN (build with: cargo build --release -p hummer_bench --bin exp14_observability)"; exit 1; }
 [ -x "$SERVE_BIN" ] || { echo "missing $SERVE_BIN (build with: cargo build --release -p hummer_bench --bin exp15_serving)"; exit 1; }
 [ -x "$SHARD_BIN" ] || { echo "missing $SHARD_BIN (build with: cargo build --release -p hummer_bench --bin exp16_sharding)"; exit 1; }
+[ -x "$TRACE_BIN" ] || { echo "missing $TRACE_BIN (build with: cargo build --release -p hummer_bench --bin exp17_disttrace)"; exit 1; }
 
 "$BIN"
 
@@ -73,4 +81,21 @@ for gate in one_dead_identical all_dead_identical no_fallback_errors; do
         || { echo "fault drill gate $gate not passed:"; cat "$SHARD_REPORT"; exit 1; }
 done
 
-echo "bench smoke test OK ($REPORT, $OBS_REPORT, $SERVE_REPORT, $SHARD_REPORT)"
+"$TRACE_BIN"
+
+TRACE_REPORT=BENCH_disttrace.json
+[ -f "$TRACE_REPORT" ] || { echo "$TRACE_REPORT was not written"; exit 1; }
+if grep -q '"identical": *false' "$TRACE_REPORT"; then
+    echo "a traced run diverged from the bare pipeline:"; cat "$TRACE_REPORT"; exit 1
+fi
+if grep -q '"passed": *false' "$TRACE_REPORT"; then
+    echo "a distributed-tracing gate failed:"; cat "$TRACE_REPORT"; exit 1
+fi
+for gate in single_root worker_stage_spans coordinator_stage_spans \
+            retry_span_in_trace fallback_span_in_trace \
+            one_dead_identical all_dead_identical; do
+    grep -q "\"$gate\": *true" "$TRACE_REPORT" \
+        || { echo "distributed-tracing gate $gate not passed:"; cat "$TRACE_REPORT"; exit 1; }
+done
+
+echo "bench smoke test OK ($REPORT, $OBS_REPORT, $SERVE_REPORT, $SHARD_REPORT, $TRACE_REPORT)"

@@ -18,6 +18,7 @@ set -euo pipefail
 
 BIN=${BIN:-./target/release/hummer-serve}
 LOADGEN_BIN=${LOADGEN_BIN:-./target/release/loadgen}
+PROMLINT_BIN=${PROMLINT_BIN:-./target/release/promlint}
 PORT=${PORT:-$((20000 + RANDOM % 20000))}
 ADDR="127.0.0.1:${PORT}"
 DATA_DIR=$(mktemp -d)
@@ -87,6 +88,22 @@ do
     grep -qF "$want" /tmp/prom.txt \
         || { echo "Prometheus exposition missing: $want"; cat /tmp/prom.txt; exit 1; }
 done
+
+# Lint the live scrape: HELP/TYPE present for every family, labels escaped,
+# le ladders monotone and +Inf-terminated, exemplar syntax well-formed.
+[ -x "$PROMLINT_BIN" ] \
+    || { echo "missing $PROMLINT_BIN (build with: cargo build --release -p hummer_server --bin promlint)"; exit 1; }
+"$PROMLINT_BIN" /tmp/prom.txt \
+    || { echo "promlint rejected the live /metrics scrape"; exit 1; }
+
+# Exemplars link histogram buckets to fetchable traces: any trace id the
+# exposition references must be served by GET /trace/{id} end to end.
+exemplar=$(grep -o 'trace_id="[0-9a-f]\{16\}"' /tmp/prom.txt | head -1 | cut -d'"' -f2)
+[ -n "$exemplar" ] || { echo "no histogram exemplars on /metrics"; cat /tmp/prom.txt; exit 1; }
+curl -sf "http://${ADDR}/trace/${exemplar}" -o /tmp/exemplar_trace.json \
+    || { echo "GET /trace/${exemplar} (from an exemplar) failed"; exit 1; }
+grep -q "\"trace\":\"${exemplar}\"" /tmp/exemplar_trace.json \
+    || { echo "exemplar trace tree mismatch:"; cat /tmp/exemplar_trace.json; exit 1; }
 
 # Every response carries X-Hummer-Trace; its span tree is served on
 # /trace/{id} and covers the whole request (root named after the endpoint).

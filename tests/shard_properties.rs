@@ -21,6 +21,115 @@ use hummer::fusion::{FunctionRegistry, ResolutionSpec};
 use hummer::shard::{execute_sharded, key_equality_spec, plan_shards};
 use proptest::prelude::*;
 
+mod wire_version {
+    //! Wire-frame version negotiation (ISSUE 10 satellite): a v1 worker
+    //! reading a v2 coordinator's frame — and the reverse — must fail with
+    //! the typed [`ShardError::VersionMismatch`] carrying the offending
+    //! version byte, never hang on a length it mis-parsed or decode
+    //! garbage into a partial.
+
+    use hummer::engine::table;
+    use hummer::engine::ExecutionLayout;
+    use hummer::fusion::ResolutionSpec;
+    use hummer::shard::{
+        decode_request, decode_response, encode_request, encode_response, JobSpec, Shard,
+        ShardError, SHARD_WIRE_VERSION,
+    };
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            attributes: vec!["Name".into(), "City".into()],
+            threshold: 0.77,
+            unsure_threshold: 0.6,
+            use_filter: true,
+            layout: ExecutionLayout::Columnar,
+            resolutions: vec![("City".into(), ResolutionSpec::named("vote"))],
+        }
+    }
+
+    fn request_bytes() -> Vec<u8> {
+        let t = table! {
+            "Integrated" => ["Name", "City"];
+            ["ann", "berlin"],
+            ["bob", "hamburg"],
+        };
+        let shards = vec![Shard {
+            rows: vec![0, 1],
+            candidates: vec![(0, 1)],
+        }];
+        encode_request(&t, &spec(), &shards, Some((0xbeef, 9)))
+    }
+
+    /// Patch the version byte (fixed offset 4, right after the magic) to
+    /// impersonate another protocol generation.
+    fn with_version(mut bytes: Vec<u8>, version: u8) -> Vec<u8> {
+        bytes[4] = version;
+        bytes
+    }
+
+    #[test]
+    fn v1_frame_at_v2_worker_is_typed_mismatch() {
+        // An old coordinator (v1) calling this binary's worker.
+        let bytes = with_version(request_bytes(), 1);
+        match decode_request(&bytes) {
+            Err(ShardError::VersionMismatch { got, expected }) => {
+                assert_eq!(got, 1);
+                assert_eq!(expected, SHARD_WIRE_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v3_frame_at_v2_worker_is_typed_mismatch() {
+        // A *newer* peer too: the check is an equality, not a minimum, so
+        // layout changes in either direction fail fast.
+        let bytes = with_version(request_bytes(), 3);
+        match decode_request(&bytes) {
+            Err(ShardError::VersionMismatch { got, expected }) => {
+                assert_eq!(got, 3);
+                assert_eq!(expected, SHARD_WIRE_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_response_at_coordinator_is_typed_mismatch() {
+        // The reverse direction: a v2 coordinator decoding an old worker's
+        // response frame.
+        let bytes = with_version(encode_response(&[], &[]), 1);
+        match decode_response(&bytes, 2) {
+            Err(ShardError::VersionMismatch { got, expected }) => {
+                assert_eq!(got, 1);
+                assert_eq!(expected, SHARD_WIRE_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatch_error_names_both_versions() {
+        let bytes = with_version(request_bytes(), 1);
+        let message = decode_request(&bytes).unwrap_err().to_string();
+        assert!(message.contains("version mismatch"), "{message}");
+        assert!(message.contains("v1"), "{message}");
+        assert!(
+            message.contains(&format!("v{SHARD_WIRE_VERSION}")),
+            "{message}"
+        );
+    }
+
+    #[test]
+    fn matching_version_still_roundtrips() {
+        // Control: the untouched frame decodes, trace context intact.
+        let (_, spec2, shards, trace) = decode_request(&request_bytes()).expect("roundtrip");
+        assert_eq!(spec2, spec());
+        assert_eq!(shards.len(), 1);
+        assert_eq!(trace, Some((0xbeef, 9)));
+    }
+}
+
 fn world_for(scenario: u8, entities: usize, seed: u64) -> GeneratedWorld {
     match scenario % 4 {
         0 => cd_shopping(entities, seed),
